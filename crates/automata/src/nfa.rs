@@ -1,0 +1,219 @@
+//! Nondeterministic finite automata with ε-transitions, built from
+//! test-free NREs by Thompson's construction.
+
+use crate::letter::Letter;
+use gdx_common::{FxHashMap, FxHashSet, GdxError, Result};
+use gdx_nre::Nre;
+
+/// An NFA state id.
+pub type StateId = u32;
+
+/// An ε-NFA over [`Letter`]s with a single start state and a set of accept
+/// states.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Number of states.
+    pub state_count: u32,
+    /// Start state.
+    pub start: StateId,
+    /// Accepting states.
+    pub accept: FxHashSet<StateId>,
+    /// Letter transitions.
+    pub trans: Vec<FxHashMap<Letter, Vec<StateId>>>,
+    /// ε-transitions.
+    pub eps: Vec<Vec<StateId>>,
+}
+
+impl Nfa {
+    fn with_states(n: u32) -> Nfa {
+        Nfa {
+            state_count: n,
+            start: 0,
+            accept: FxHashSet::default(),
+            trans: vec![FxHashMap::default(); n as usize],
+            eps: vec![Vec::new(); n as usize],
+        }
+    }
+
+    fn add_state(&mut self) -> StateId {
+        let id = self.state_count;
+        self.state_count += 1;
+        self.trans.push(FxHashMap::default());
+        self.eps.push(Vec::new());
+        id
+    }
+
+    fn add_trans(&mut self, from: StateId, letter: Letter, to: StateId) {
+        self.trans[from as usize]
+            .entry(letter)
+            .or_default()
+            .push(to);
+    }
+
+    fn add_eps(&mut self, from: StateId, to: StateId) {
+        self.eps[from as usize].push(to);
+    }
+
+    /// Thompson construction from a test-free NRE. Fails with
+    /// [`GdxError::Unsupported`] on nesting tests.
+    pub fn from_nre(r: &Nre) -> Result<Nfa> {
+        let mut nfa = Nfa::with_states(0);
+        let (s, f) = build(&mut nfa, r)?;
+        nfa.start = s;
+        nfa.accept.insert(f);
+        Ok(nfa)
+    }
+
+    /// ε-closure of a state set.
+    pub fn eps_closure(&self, states: &FxHashSet<StateId>) -> FxHashSet<StateId> {
+        let mut out = states.clone();
+        let mut stack: Vec<StateId> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s as usize] {
+                if out.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Word acceptance (mostly for tests; production paths go through the
+    /// DFA).
+    pub fn accepts(&self, word: &[Letter]) -> bool {
+        let mut cur: FxHashSet<StateId> = FxHashSet::default();
+        cur.insert(self.start);
+        cur = self.eps_closure(&cur);
+        for letter in word {
+            let mut next = FxHashSet::default();
+            for &s in &cur {
+                if let Some(ts) = self.trans[s as usize].get(letter) {
+                    next.extend(ts.iter().copied());
+                }
+            }
+            cur = self.eps_closure(&next);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.iter().any(|s| self.accept.contains(s))
+    }
+}
+
+/// Builds the fragment for `r`, returning `(start, accept)`.
+fn build(nfa: &mut Nfa, r: &Nre) -> Result<(StateId, StateId)> {
+    match r {
+        Nre::Epsilon => {
+            let s = nfa.add_state();
+            let f = nfa.add_state();
+            nfa.add_eps(s, f);
+            Ok((s, f))
+        }
+        Nre::Label(a) => {
+            let s = nfa.add_state();
+            let f = nfa.add_state();
+            nfa.add_trans(s, Letter::fwd(*a), f);
+            Ok((s, f))
+        }
+        Nre::Inverse(a) => {
+            let s = nfa.add_state();
+            let f = nfa.add_state();
+            nfa.add_trans(s, Letter::bwd(*a), f);
+            Ok((s, f))
+        }
+        Nre::Union(x, y) => {
+            let (sx, fx) = build(nfa, x)?;
+            let (sy, fy) = build(nfa, y)?;
+            let s = nfa.add_state();
+            let f = nfa.add_state();
+            nfa.add_eps(s, sx);
+            nfa.add_eps(s, sy);
+            nfa.add_eps(fx, f);
+            nfa.add_eps(fy, f);
+            Ok((s, f))
+        }
+        Nre::Concat(x, y) => {
+            let (sx, fx) = build(nfa, x)?;
+            let (sy, fy) = build(nfa, y)?;
+            nfa.add_eps(fx, sy);
+            Ok((sx, fy))
+        }
+        Nre::Star(x) => {
+            let (sx, fx) = build(nfa, x)?;
+            let s = nfa.add_state();
+            let f = nfa.add_state();
+            nfa.add_eps(s, sx);
+            nfa.add_eps(s, f);
+            nfa.add_eps(fx, sx);
+            nfa.add_eps(fx, f);
+            Ok((s, f))
+        }
+        Nre::Test(_) => Err(GdxError::unsupported(
+            "nesting tests have no regular-word semantics; automata \
+             construction handles test-free NREs only",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_common::Symbol;
+    use gdx_nre::parse::parse_nre;
+
+    fn w(text: &str) -> Vec<Letter> {
+        // space-separated letters, `x-` for backward
+        text.split_whitespace()
+            .map(|t| {
+                if let Some(sym) = t.strip_suffix('-') {
+                    Letter::bwd(Symbol::new(sym))
+                } else {
+                    Letter::fwd(Symbol::new(t))
+                }
+            })
+            .collect()
+    }
+
+    fn accepts(expr: &str, word: &str) -> bool {
+        Nfa::from_nre(&parse_nre(expr).unwrap())
+            .unwrap()
+            .accepts(&w(word))
+    }
+
+    #[test]
+    fn atoms() {
+        assert!(accepts("a", "a"));
+        assert!(!accepts("a", "b"));
+        assert!(!accepts("a", ""));
+        assert!(accepts("eps", ""));
+        assert!(accepts("a-", "a-"));
+        assert!(!accepts("a-", "a"));
+    }
+
+    #[test]
+    fn compound() {
+        assert!(accepts("a.b", "a b"));
+        assert!(!accepts("a.b", "b a"));
+        assert!(accepts("a+b", "b"));
+        assert!(accepts("a*", ""));
+        assert!(accepts("a*", "a a a"));
+        assert!(!accepts("a.a*", ""));
+        assert!(accepts("a.(b*+c*).a", "a c c a"));
+        assert!(!accepts("a.(b*+c*).a", "a b c a"));
+    }
+
+    #[test]
+    fn test_rejected() {
+        assert!(Nfa::from_nre(&parse_nre("[a]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn closure_is_reflexive_transitive() {
+        let nfa = Nfa::from_nre(&parse_nre("a*").unwrap()).unwrap();
+        let mut s = FxHashSet::default();
+        s.insert(nfa.start);
+        let c = nfa.eps_closure(&s);
+        assert!(c.contains(&nfa.start));
+        assert!(c.iter().any(|q| nfa.accept.contains(q)), "a* accepts ε");
+    }
+}

@@ -1,0 +1,68 @@
+//! B2: certain answering of `a·a` over reduction settings
+//! (Corollary 4.2's coNP-hardness, made empirical). The decision
+//! enumerates the full candidate family — exponential in `n` regardless of
+//! satisfiability, with UNSAT instances additionally forcing full
+//! verification of every candidate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdx_bench::solver_config_for_reduction;
+use gdx_datagen::{random_3cnf, rng};
+use gdx_exchange::certain_pair;
+use gdx_exchange::reduction::{Reduction, ReductionFlavor};
+
+fn bench_certain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certain_a_dot_a");
+    group.sample_size(10);
+    for n in [4u32, 6, 8] {
+        for ratio in [2.0f64, 4.3, 6.0] {
+            let m = ((n as f64) * ratio).round() as usize;
+            let cnf = random_3cnf(n, m, &mut rng(n as u64 * 17 + ratio as u64));
+            let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
+            let cfg = solver_config_for_reduction(n);
+            let id = format!("n{n}_r{ratio:.1}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &n, |b, _| {
+                b.iter(|| {
+                    certain_pair(
+                        &red.instance,
+                        &red.setting,
+                        &Reduction::certain_query_egd(),
+                        "c1",
+                        "c2",
+                        &cfg,
+                    )
+                    .unwrap()
+                    .is_certain()
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // The sameAs flavor (Proposition 4.3): same coNP shape.
+    let mut group = c.benchmark_group("certain_sameas");
+    group.sample_size(10);
+    for n in [4u32, 6, 8] {
+        let m = ((n as f64) * 4.3).round() as usize;
+        let cnf = random_3cnf(n, m, &mut rng(300 + n as u64));
+        let red = Reduction::from_cnf(&cnf, ReductionFlavor::SameAs).unwrap();
+        let cfg = solver_config_for_reduction(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                certain_pair(
+                    &red.instance,
+                    &red.setting,
+                    &Reduction::certain_query_sameas(),
+                    "c1",
+                    "c2",
+                    &cfg,
+                )
+                .unwrap()
+                .is_certain()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_certain);
+criterion_main!(benches);

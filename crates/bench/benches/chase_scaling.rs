@@ -1,0 +1,94 @@
+//! B3: chase scaling on the Flight/Hotel scenario — the s-t phase and the
+//! adapted egd phase of Section 5 against instance size and hotel-sharing
+//! density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdx_chase::{chase_egds_on_pattern, chase_st, EgdChaseConfig, StChaseVariant};
+use gdx_datagen::{flights_hotels, rng, FlightsHotelsParams};
+use gdx_mapping::Setting;
+
+fn bench_chase(c: &mut Criterion) {
+    let setting = Setting::example_2_2_egd();
+    let egds: Vec<_> = setting.egds().cloned().collect();
+
+    let mut group = c.benchmark_group("st_chase");
+    group.sample_size(10);
+    for flights in [100usize, 300, 1000] {
+        let inst = flights_hotels(
+            FlightsHotelsParams {
+                flights,
+                cities: (flights / 5).max(4),
+                hotels: flights / 5,
+                stays_per_flight: 2,
+            },
+            &mut rng(42),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(flights),
+            &flights,
+            |b, _| {
+                b.iter(|| {
+                    chase_st(&inst, &setting, StChaseVariant::Oblivious)
+                        .unwrap()
+                        .pattern
+                        .edge_count()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("egd_chase");
+    group.sample_size(10);
+    for flights in [100usize, 300, 1000] {
+        let inst = flights_hotels(
+            FlightsHotelsParams {
+                flights,
+                cities: (flights / 5).max(4),
+                hotels: flights / 5,
+                stays_per_flight: 2,
+            },
+            &mut rng(42),
+        );
+        let st = chase_st(&inst, &setting, StChaseVariant::Oblivious).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(flights),
+            &flights,
+            |b, _| {
+                b.iter(|| {
+                    chase_egds_on_pattern(&st.pattern, &egds, EgdChaseConfig::default())
+                        .unwrap()
+                        .succeeded()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Hotel-sharing density drives merge counts.
+    let mut group = c.benchmark_group("egd_chase_sharing_density");
+    group.sample_size(10);
+    for hotels in [10usize, 50, 200] {
+        let inst = flights_hotels(
+            FlightsHotelsParams {
+                flights: 500,
+                cities: 100,
+                hotels,
+                stays_per_flight: 2,
+            },
+            &mut rng(7),
+        );
+        let st = chase_st(&inst, &setting, StChaseVariant::Oblivious).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(hotels), &hotels, |b, _| {
+            b.iter(|| {
+                chase_egds_on_pattern(&st.pattern, &egds, EgdChaseConfig::default())
+                    .unwrap()
+                    .succeeded()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! B1: existence of solutions under egds (Theorem 4.1's hardness, made
+//! empirical). Reduction settings from random 3-CNF at the phase
+//! transition; the search solver's time grows exponentially in `n`, the
+//! sameAs-flavor construction (Proposition 4.3) stays polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdx_bench::solver_config_for_reduction;
+use gdx_datagen::{random_3cnf, rng};
+use gdx_exchange::exists::{construct_solution_no_egds, SolverConfig};
+use gdx_exchange::reduction::{Reduction, ReductionFlavor};
+
+fn bench_exists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exists_egd_search");
+    group.sample_size(10);
+    for n in [4u32, 6, 8, 10] {
+        let m = ((n as f64) * 4.3).round() as usize;
+        let cnf = random_3cnf(n, m, &mut rng(n as u64));
+        let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
+        let cfg = solver_config_for_reduction(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                gdx_exchange::solution_exists(&red.instance, &red.setting, &cfg)
+                    .unwrap()
+                    .exists()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exists_egd_sat_encoding");
+    group.sample_size(10);
+    for n in [8u32, 16, 24, 32] {
+        let m = ((n as f64) * 4.3).round() as usize;
+        let cnf = random_3cnf(n, m, &mut rng(100 + n as u64));
+        let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                gdx_exchange::encode::solution_exists_sat(&red.instance, &red.setting)
+                    .unwrap()
+                    .exists()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exists_sameas_construction");
+    group.sample_size(10);
+    for n in [8u32, 16, 24, 32] {
+        let m = ((n as f64) * 4.3).round() as usize;
+        let cnf = random_3cnf(n, m, &mut rng(200 + n as u64));
+        let red = Reduction::from_cnf(&cnf, ReductionFlavor::SameAs).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                construct_solution_no_egds(
+                    &red.instance,
+                    &red.setting,
+                    &SolverConfig::default(),
+                )
+                .unwrap()
+                .edge_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exists);
+criterion_main!(benches);

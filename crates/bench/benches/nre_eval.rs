@@ -1,0 +1,55 @@
+//! B4: the NRE engine — `⟦r⟧_G` evaluation against graph size and
+//! expression features, plus CNRE join evaluation and automata inclusion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdx_datagen::{random_graph, rng};
+use gdx_nre::parse::parse_nre;
+use gdx_query::Cnre;
+
+fn bench_nre(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nre_eval");
+    group.sample_size(10);
+    for nodes in [100usize, 300, 1000] {
+        let g = random_graph(nodes, nodes * 3, 3, &mut rng(5));
+        for expr in ["l0", "l0.l1", "l0*", "(l0+l1)*", "l0.[l1].l2-"] {
+            let r = parse_nre(expr).unwrap();
+            let id = format!("{expr}/n{nodes}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &nodes, |b, _| {
+                b.iter(|| gdx_nre::eval::eval(&g, &r).len())
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cnre_join");
+    group.sample_size(10);
+    for nodes in [100usize, 300] {
+        let g = random_graph(nodes, nodes * 3, 3, &mut rng(6));
+        let q = Cnre::parse("(x, l0, y), (y, l1, z), (z, l2, x)").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| gdx_query::evaluate(&g, &q).unwrap().len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("automata_inclusion");
+    group.sample_size(20);
+    let pairs = [
+        ("a.b", "a.b*"),
+        ("(a.a)*", "a*"),
+        ("(a+b)*", "(a*.b*)*"),
+        ("a.(b*+c*).a", "a.a"),
+    ];
+    for (l, r) in pairs {
+        let ln = parse_nre(l).unwrap();
+        let rn = parse_nre(r).unwrap();
+        let id = format!("{l}_in_{r}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+            b.iter(|| gdx_automata::included(&ln, &rn).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nre);
+criterion_main!(benches);

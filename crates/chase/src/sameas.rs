@@ -1,0 +1,154 @@
+//! sameAs saturation on concrete graphs.
+//!
+//! Section 4.2: with sameAs constraints instead of egds, solutions always
+//! exist — take any graph represented by the chased pattern and *add* the
+//! sameAs edges the constraints demand. Adding edges can enable further
+//! matches (bodies may mention `sameAs` themselves), so saturation runs to
+//! fixpoint. Since each round only adds edges over a fixed node set, the
+//! process terminates in at most `|V|²·|constraints|` additions — this is
+//! the polynomial half of the paper's egd-vs-sameAs contrast.
+
+use gdx_common::{GdxError, Result};
+use gdx_graph::Graph;
+use gdx_mapping::{same_as_symbol, SameAs};
+use gdx_nre::eval::EvalCache;
+use gdx_query::evaluate_with_cache;
+
+/// Saturates `graph` with sameAs edges until every constraint is
+/// satisfied. Returns the number of edges added.
+pub fn saturate_same_as(graph: &mut Graph, constraints: &[SameAs]) -> Result<usize> {
+    let sa = same_as_symbol();
+    let mut added = 0usize;
+    loop {
+        let mut new_edges = Vec::new();
+        {
+            // The graph mutates between rounds; the NRE cache must not
+            // outlive a round.
+            let mut cache = EvalCache::new();
+            for c in constraints {
+                let matches = evaluate_with_cache(graph, &c.body, &mut cache)?;
+                let vars = matches.vars();
+                let li = vars
+                    .iter()
+                    .position(|&v| v == c.lhs)
+                    .ok_or_else(|| GdxError::schema("sameAs lhs not in body"))?;
+                let ri = vars
+                    .iter()
+                    .position(|&v| v == c.rhs)
+                    .ok_or_else(|| GdxError::schema("sameAs rhs not in body"))?;
+                for row in matches.rows() {
+                    let (u, v) = (row[li], row[ri]);
+                    if !graph.has_edge(u, sa, v) {
+                        new_edges.push((u, v));
+                    }
+                }
+            }
+        }
+        if new_edges.is_empty() {
+            return Ok(added);
+        }
+        for (u, v) in new_edges {
+            if graph.add_edge(u, sa, v) {
+                added += 1;
+            }
+        }
+    }
+}
+
+/// Checks whether `graph` satisfies every sameAs constraint (no saturation).
+pub fn same_as_satisfied(graph: &Graph, constraints: &[SameAs]) -> Result<bool> {
+    let sa = same_as_symbol();
+    let mut cache = EvalCache::new();
+    for c in constraints {
+        let matches = evaluate_with_cache(graph, &c.body, &mut cache)?;
+        let vars = matches.vars();
+        let li = vars.iter().position(|&v| v == c.lhs);
+        let ri = vars.iter().position(|&v| v == c.rhs);
+        let (Some(li), Some(ri)) = (li, ri) else {
+            return Err(GdxError::schema("sameAs endpoint not in body"));
+        };
+        for row in matches.rows() {
+            if !graph.has_edge(row[li], sa, row[ri]) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_common::Symbol;
+    use gdx_query::Cnre;
+
+    fn hotel_sameas() -> SameAs {
+        SameAs {
+            body: Cnre::parse("(x1, h, x3), (x2, h, x3)").unwrap(),
+            lhs: Symbol::new("x1"),
+            rhs: Symbol::new("x2"),
+        }
+    }
+
+    #[test]
+    fn saturation_adds_required_edges() {
+        // Figure 1(c) shape: N2 and N3 share hotel hx.
+        let mut g = Graph::parse(
+            "(_N1, h, hy); (_N2, h, hx); (_N3, h, hx);",
+        )
+        .unwrap();
+        let c = hotel_sameas();
+        assert!(!same_as_satisfied(&g, std::slice::from_ref(&c)).unwrap());
+        let added = saturate_same_as(&mut g, std::slice::from_ref(&c)).unwrap();
+        // Pairs sharing a hotel: (N1,N1), (N2,N2), (N3,N3), (N2,N3), (N3,N2).
+        assert_eq!(added, 5);
+        assert!(same_as_satisfied(&g, &[c]).unwrap());
+    }
+
+    #[test]
+    fn saturation_is_idempotent() {
+        let mut g = Graph::parse("(_N2, h, hx); (_N3, h, hx);").unwrap();
+        let c = hotel_sameas();
+        saturate_same_as(&mut g, std::slice::from_ref(&c)).unwrap();
+        let again = saturate_same_as(&mut g, &[c]).unwrap();
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn cascading_constraints() {
+        // A constraint whose body mentions sameAs: transitivity.
+        let trans = SameAs {
+            body: Cnre::parse("(x, sameAs, y), (y, sameAs, z)").unwrap(),
+            lhs: Symbol::new("x"),
+            rhs: Symbol::new("z"),
+        };
+        let base = hotel_sameas();
+        let mut g = Graph::parse("(_N1, h, a); (_N2, h, a); (_N2, h, b); (_N3, h, b);")
+            .unwrap();
+        saturate_same_as(&mut g, &[base, trans.clone()]).unwrap();
+        // N1 ~ N2 ~ N3 must have closed: (N1, sameAs, N3).
+        let n1 = g.node_id(gdx_graph::Node::null("N1")).unwrap();
+        let n3 = g.node_id(gdx_graph::Node::null("N3")).unwrap();
+        assert!(g.has_edge(n1, same_as_symbol(), n3));
+        assert!(same_as_satisfied(&g, &[trans]).unwrap());
+    }
+
+    #[test]
+    fn empty_constraint_list() {
+        let mut g = Graph::parse("(a, h, b);").unwrap();
+        assert_eq!(saturate_same_as(&mut g, &[]).unwrap(), 0);
+        assert!(same_as_satisfied(&g, &[]).unwrap());
+    }
+
+    #[test]
+    fn constants_get_sameas_too() {
+        // The key contrast with egds: constants can be sameAs-linked.
+        let mut g = Graph::parse("(u1, h, hx); (u2, h, hx);").unwrap();
+        let c = hotel_sameas();
+        saturate_same_as(&mut g, std::slice::from_ref(&c)).unwrap();
+        let u1 = g.node_id(gdx_graph::Node::cst("u1")).unwrap();
+        let u2 = g.node_id(gdx_graph::Node::cst("u2")).unwrap();
+        assert!(g.has_edge(u1, same_as_symbol(), u2));
+        assert!(g.has_edge(u2, same_as_symbol(), u1));
+    }
+}

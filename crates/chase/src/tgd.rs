@@ -1,0 +1,231 @@
+//! Bounded restricted chase for target tgds on concrete graphs.
+//!
+//! A target tgd `φ_Σ(x̄) → ∃ȳ ψ_Σ(x̄, ȳ)` fires on a body match whose head
+//! has no witness; firing materializes the head atoms (shortest witness
+//! paths, fresh nulls for `ȳ`). The chase may not terminate in general —
+//! callers either verify weak acyclicity first
+//! ([`crate::weak_acyclicity`]) or rely on the step bound.
+
+use gdx_common::{FxHashMap, GdxError, Result, Symbol, Term};
+use gdx_graph::{Graph, Node, NodeId};
+use gdx_mapping::TargetTgd;
+use gdx_nre::eval::EvalCache;
+use gdx_nre::witness;
+use gdx_query::{evaluate_seeded, evaluate_with_cache};
+
+/// Configuration of the target-tgd chase.
+#[derive(Debug, Clone, Copy)]
+pub struct TgdChaseConfig {
+    /// Maximum number of firings before giving up.
+    pub max_steps: usize,
+}
+
+impl Default for TgdChaseConfig {
+    fn default() -> TgdChaseConfig {
+        TgdChaseConfig { max_steps: 10_000 }
+    }
+}
+
+/// Output of the target-tgd chase.
+#[derive(Debug, Clone)]
+pub struct TgdChaseResult {
+    /// The chased graph.
+    pub graph: Graph,
+    /// Number of tgd firings.
+    pub steps: usize,
+}
+
+/// Runs the restricted chase of `tgds` on `graph` until every tgd is
+/// satisfied or the step bound trips ([`GdxError::LimitExceeded`]).
+pub fn chase_target_tgds(
+    graph: &Graph,
+    tgds: &[TargetTgd],
+    cfg: TgdChaseConfig,
+) -> Result<TgdChaseResult> {
+    let mut g = graph.clone();
+    let mut steps = 0usize;
+    loop {
+        let mut fired_this_round = false;
+        for tgd in tgds {
+            // Body matches are computed against the current graph; firing
+            // invalidates the cache, so matches are collected first.
+            let matches: Vec<FxHashMap<Symbol, NodeId>> = {
+                let mut cache = EvalCache::new();
+                let b = evaluate_with_cache(&g, &tgd.body, &mut cache)?;
+                let vars: Vec<Symbol> = b.vars().to_vec();
+                b.rows()
+                    .iter()
+                    .map(|row| vars.iter().copied().zip(row.iter().copied()).collect())
+                    .collect()
+            };
+            for m in matches {
+                if head_has_witness(&g, tgd, &m)? {
+                    continue;
+                }
+                fire(&mut g, tgd, &m)?;
+                steps += 1;
+                fired_this_round = true;
+                if steps >= cfg.max_steps {
+                    return Err(GdxError::limit(format!(
+                        "target-tgd chase exceeded {} steps (non-terminating set?)",
+                        cfg.max_steps
+                    )));
+                }
+            }
+        }
+        if !fired_this_round {
+            return Ok(TgdChaseResult { graph: g, steps });
+        }
+    }
+}
+
+/// Does the head hold under the body match (some assignment of the
+/// existential variables)?
+fn head_has_witness(
+    graph: &Graph,
+    tgd: &TargetTgd,
+    body_match: &FxHashMap<Symbol, NodeId>,
+) -> Result<bool> {
+    let mut cache = EvalCache::new();
+    let seed: FxHashMap<Symbol, NodeId> = tgd
+        .head
+        .variables()
+        .into_iter()
+        .filter_map(|v| body_match.get(&v).map(|&id| (v, id)))
+        .collect();
+    let answers = evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?;
+    Ok(!answers.is_empty())
+}
+
+/// Materializes the head under the body match, inventing fresh nulls.
+fn fire(graph: &mut Graph, tgd: &TargetTgd, body_match: &FxHashMap<Symbol, NodeId>) -> Result<()> {
+    let mut fresh: FxHashMap<Symbol, NodeId> = FxHashMap::default();
+    for &y in &tgd.existential {
+        fresh.insert(y, graph.add_fresh_null());
+    }
+    let resolve = |g: &mut Graph, t: &Term, fresh: &FxHashMap<Symbol, NodeId>| -> Result<NodeId> {
+        match t {
+            Term::Const(c) => Ok(g.add_node(Node::Const(*c))),
+            Term::Var(v) => fresh
+                .get(v)
+                .or_else(|| body_match.get(v))
+                .copied()
+                .ok_or_else(|| GdxError::schema(format!("unbound head variable {v}"))),
+        }
+    };
+    for atom in &tgd.head.atoms {
+        let s = resolve(graph, &atom.left, &fresh)?;
+        let d = resolve(graph, &atom.right, &fresh)?;
+        let w = witness::shortest(&atom.nre);
+        if w.main_len() == 0 && s != d {
+            let w2 = witness::shortest_nonempty(&atom.nre).ok_or_else(|| {
+                GdxError::unsupported(
+                    "target tgd head atom with ε-only NRE between distinct nodes",
+                )
+            })?;
+            witness::materialize(graph, &w2, s, d)?;
+        } else {
+            witness::materialize(graph, &w, s, d)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_query::Cnre;
+
+    fn tgd(body: &str, existential: &[&str], head: &str) -> TargetTgd {
+        TargetTgd {
+            body: Cnre::parse(body).unwrap(),
+            existential: existential.iter().map(|s| Symbol::new(s)).collect(),
+            head: Cnre::parse(head).unwrap(),
+        }
+    }
+
+    #[test]
+    fn satisfied_tgd_does_not_fire() {
+        let g = Graph::parse("(a, f, b); (b, g, c);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
+        let out = chase_target_tgds(&g, &[t], TgdChaseConfig::default()).unwrap();
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn unsatisfied_tgd_fires_once() {
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
+        let out = chase_target_tgds(&g, &[t], TgdChaseConfig::default()).unwrap();
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.graph.edge_count(), 2);
+        assert_eq!(out.graph.node_count(), 3);
+    }
+
+    #[test]
+    fn cascading_fires_terminate_when_acyclic() {
+        // f-edge demands g-edge; g-edge demands h-edge.
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let ts = [
+            tgd("(x, f, y)", &["z"], "(y, g, z)"),
+            tgd("(x, g, y)", &["w"], "(y, h0, w)"),
+        ];
+        let out = chase_target_tgds(&g, &ts, TgdChaseConfig::default()).unwrap();
+        assert_eq!(out.steps, 2);
+        assert_eq!(out.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn non_terminating_set_hits_bound() {
+        // Every f-edge demands another f-edge: infinite chase.
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, f, z)");
+        let err = chase_target_tgds(&g, &[t], TgdChaseConfig { max_steps: 50 });
+        assert!(matches!(err, Err(GdxError::LimitExceeded(_))));
+    }
+
+    #[test]
+    fn existential_reuse_within_head() {
+        // One fresh z shared by two head atoms.
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, g, z), (z, g, x)");
+        let out = chase_target_tgds(&g, &[t], TgdChaseConfig::default()).unwrap();
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.graph.node_count(), 3);
+        assert_eq!(out.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn nre_heads_materialize_witnesses() {
+        // Head demands y -g·g→ x: two edges through a fresh null.
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let t = tgd("(x, f, y)", &[], "(y, g.g, x)");
+        let out = chase_target_tgds(&g, &[t], TgdChaseConfig::default()).unwrap();
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.graph.edge_count(), 3);
+        // The demand is now satisfied; chasing again is a no-op.
+        let again =
+            chase_target_tgds(&out.graph, &[tgd("(x, f, y)", &[], "(y, g.g, x)")],
+                TgdChaseConfig::default())
+            .unwrap();
+        assert_eq!(again.steps, 0);
+    }
+
+    #[test]
+    fn star_heads_satisfied_by_zero_steps() {
+        // (y, f*, x) with y≠x needs a path; shortest non-empty is one f.
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let t = tgd("(x, f, y)", &[], "(y, f*, x)");
+        let out = chase_target_tgds(&g, &[t], TgdChaseConfig::default()).unwrap();
+        assert_eq!(out.steps, 1);
+        let a = out.graph.node_id(Node::cst("a")).unwrap();
+        let b = out.graph.node_id(Node::cst("b")).unwrap();
+        assert!(gdx_nre::eval::holds(
+            &out.graph,
+            &gdx_nre::parse::parse_nre("f*").unwrap(),
+            b,
+            a
+        ));
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal flag parser: `--name value` pairs plus boolean `--name` flags.
+
+use gdx_common::{GdxError, Result};
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses `argv`, treating entries in `bool_flags` as valueless.
+    pub fn parse(argv: &[String], bool_flags: &[&str]) -> Result<Args> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(GdxError::schema(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
+            };
+            if bool_flags.contains(&name) {
+                pairs.push((name.to_owned(), None));
+                i += 1;
+            } else {
+                let value = argv.get(i + 1).ok_or_else(|| {
+                    GdxError::schema(format!("flag --{name} needs a value"))
+                })?;
+                pairs.push((name.to_owned(), Some(value.clone())));
+                i += 2;
+            }
+        }
+        Ok(Args { pairs })
+    }
+
+    /// The value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// The value of a required flag.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| GdxError::schema(format!("missing required flag --{name}")))
+    }
+
+    /// True when the boolean flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    /// Parses a numeric flag with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                GdxError::schema(format!("flag --{name} expects a number, got `{v}`"))
+            }),
+        }
+    }
+}
+
+/// Reads a file, mapping IO errors into the workspace error type.
+pub fn read_file(path: &str) -> Result<String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| GdxError::schema(format!("cannot read {path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_bools() {
+        let a = Args::parse(&v(&["--setting", "s.gdx", "--dot"]), &["dot"]).unwrap();
+        assert_eq!(a.get("setting"), Some("s.gdx"));
+        assert!(a.has("dot"));
+        assert!(!a.has("reify"));
+        assert!(a.require("setting").is_ok());
+        assert!(a.require("instance").is_err());
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(Args::parse(&v(&["positional"]), &[]).is_err());
+        assert!(Args::parse(&v(&["--setting"]), &[]).is_err());
+    }
+
+    #[test]
+    fn numeric_flags() {
+        let a = Args::parse(&v(&["--max-graphs", "512"]), &[]).unwrap();
+        assert_eq!(a.get_usize("max-graphs", 256).unwrap(), 512);
+        assert_eq!(a.get_usize("other", 7).unwrap(), 7);
+        let b = Args::parse(&v(&["--max-graphs", "abc"]), &[]).unwrap();
+        assert!(b.get_usize("max-graphs", 1).is_err());
+    }
+}

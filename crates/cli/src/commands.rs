@@ -1,0 +1,299 @@
+//! Subcommand implementations.
+
+use crate::args::{read_file, Args};
+use gdx_chase::{chase_st, EgdChaseOutcome, StChaseVariant};
+use gdx_common::{GdxError, Result};
+use gdx_exchange::exists::{chased_pattern, SolverConfig};
+use gdx_exchange::reduction::{Reduction, ReductionFlavor};
+use gdx_exchange::{certain_pair, is_solution, solution_exists, CertainAnswer, Existence};
+use gdx_graph::Graph;
+use gdx_mapping::Setting;
+use gdx_pattern::InstantiationConfig;
+use gdx_query::Cnre;
+use gdx_relational::{Instance, Schema};
+use gdx_sat::Cnf;
+
+const USAGE: &str = "\
+gdx — relational-to-graph data exchange with target constraints
+
+USAGE:
+  gdx chase   --setting S.gdx --instance I.facts [--skip-egds] [--dot]
+  gdx solve   --setting S.gdx --instance I.facts [--max-graphs N]
+  gdx check   --setting S.gdx --instance I.facts --graph G.graph
+  gdx certain --setting S.gdx --instance I.facts --nre EXPR --pair C1,C2
+              [--max-graphs N]
+  gdx cert-query --setting S.gdx --instance I.facts --cnre QUERY
+  gdx reduce  --dimacs F.cnf [--sameas]
+  gdx direct  --schema DECLS --instance I.facts [--reify]
+  gdx help
+
+FILE FORMATS:
+  settings: the DSL (source{..} target{..} sttgd.. egd.. tgd.. sameas..)
+  instances: fact lists        Flight(01, c1, c2); Hotel(01, hx);
+  graphs: edge lists           (c1, f, _N); (_N, h, hx);
+  formulas: DIMACS cnf
+";
+
+/// Dispatches on the first argument.
+pub fn dispatch(argv: &[String]) -> Result<()> {
+    let Some(cmd) = argv.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "chase" => cmd_chase(rest),
+        "solve" => cmd_solve(rest),
+        "check" => cmd_check(rest),
+        "certain" => cmd_certain(rest),
+        "cert-query" => cmd_cert_query(rest),
+        "reduce" => cmd_reduce(rest),
+        "direct" => cmd_direct(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(GdxError::schema(format!(
+            "unknown subcommand `{other}` (try `gdx help`)"
+        ))),
+    }
+}
+
+fn load_setting_instance(a: &Args) -> Result<(Setting, Instance)> {
+    let setting = gdx_mapping::dsl::parse_setting(&read_file(a.require("setting")?)?)?;
+    let instance =
+        Instance::parse(setting.source.clone(), &read_file(a.require("instance")?)?)?;
+    Ok((setting, instance))
+}
+
+fn config(a: &Args) -> Result<SolverConfig> {
+    Ok(SolverConfig {
+        instantiation: InstantiationConfig {
+            max_graphs: a.get_usize("max-graphs", 256)?,
+            ..InstantiationConfig::default()
+        },
+        ..SolverConfig::default()
+    })
+}
+
+fn cmd_chase(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &["skip-egds", "dot"])?;
+    let (setting, instance) = load_setting_instance(&a)?;
+    let pattern = if a.has("skip-egds") {
+        chase_st(&instance, &setting, StChaseVariant::Oblivious)?.pattern
+    } else {
+        match chased_pattern(&instance, &setting, &config(&a)?)? {
+            EgdChaseOutcome::Success { pattern, merges } => {
+                eprintln!("egd phase: {merges} merges");
+                pattern
+            }
+            EgdChaseOutcome::Failed { constants, .. } => {
+                println!(
+                    "CHASE FAILED: constants {} and {} forced equal — no solution",
+                    constants.0, constants.1
+                );
+                return Ok(());
+            }
+        }
+    };
+    if a.has("dot") {
+        println!("{}", pattern.to_dot());
+    } else {
+        print!("{pattern}");
+    }
+    Ok(())
+}
+
+fn cmd_solve(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &[])?;
+    let (setting, instance) = load_setting_instance(&a)?;
+    match solution_exists(&instance, &setting, &config(&a)?)? {
+        Existence::Exists(g) => {
+            println!("EXISTS");
+            print!("{g}");
+        }
+        Existence::NoSolution => println!("NO SOLUTION"),
+        Existence::Unknown(why) => println!("UNKNOWN ({why})"),
+    }
+    Ok(())
+}
+
+fn cmd_check(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &[])?;
+    let (setting, instance) = load_setting_instance(&a)?;
+    let graph = Graph::parse(&read_file(a.require("graph")?)?)?;
+    if is_solution(&instance, &setting, &graph)? {
+        println!("SOLUTION");
+    } else {
+        println!("NOT A SOLUTION");
+    }
+    Ok(())
+}
+
+fn cmd_certain(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &[])?;
+    let (setting, instance) = load_setting_instance(&a)?;
+    let nre = gdx_nre::parse::parse_nre(a.require("nre")?)?;
+    let pair = a.require("pair")?;
+    let (c1, c2) = pair.split_once(',').ok_or_else(|| {
+        GdxError::schema(format!("--pair expects `c1,c2`, got `{pair}`"))
+    })?;
+    match certain_pair(&instance, &setting, &nre, c1.trim(), c2.trim(), &config(&a)?)? {
+        CertainAnswer::Certain => println!("CERTAIN"),
+        CertainAnswer::NotCertain(g) => {
+            println!("NOT CERTAIN — counterexample solution:");
+            print!("{g}");
+        }
+        CertainAnswer::Unknown(why) => println!("UNKNOWN ({why})"),
+    }
+    Ok(())
+}
+
+fn cmd_cert_query(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &[])?;
+    let (setting, instance) = load_setting_instance(&a)?;
+    let query = Cnre::parse(a.require("cnre")?)?;
+    let (rows, exact) = gdx_exchange::certain::certain_answers(
+        &instance,
+        &setting,
+        &query,
+        &config(&a)?,
+    )?;
+    println!(
+        "{} certain answer(s){}:",
+        rows.len(),
+        if exact { "" } else { " (within bounds)" }
+    );
+    let vars = query.variables();
+    for row in rows {
+        let cells: Vec<String> = vars
+            .iter()
+            .zip(&row)
+            .map(|(v, n)| format!("{v}={n}"))
+            .collect();
+        println!("  {}", cells.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_reduce(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &["sameas"])?;
+    let cnf = Cnf::from_dimacs(&read_file(a.require("dimacs")?)?)?;
+    let flavor = if a.has("sameas") {
+        ReductionFlavor::SameAs
+    } else {
+        ReductionFlavor::Egd
+    };
+    let red = Reduction::from_cnf(&cnf, flavor)?;
+    println!("# Theorem 4.1 reduction of {} ({} vars, {} clauses)",
+        a.require("dimacs")?, cnf.num_vars, cnf.clauses.len());
+    print!("{}", red.setting);
+    println!("\n# fixed instance I_ρ:");
+    print!("{}", red.instance);
+    Ok(())
+}
+
+fn cmd_direct(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &["reify"])?;
+    let schema = Schema::parse(a.require("schema")?)?;
+    let instance = Instance::parse(schema, &read_file(a.require("instance")?)?)?;
+    let graph = if a.has("reify") {
+        gdx_exchange::direct::direct_map_reified(&instance)
+    } else {
+        gdx_exchange::direct::direct_map_binary(&instance)?
+    };
+    print!("{graph}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("gdx-cli-test-{name}"));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Each test gets its own files: tests run in parallel and must not
+    /// race on a shared temp path.
+    fn example_files(tag: &str) -> (String, String) {
+        let setting = write_tmp(
+            &format!("{tag}-setting.gdx"),
+            "source { Flight/3; Hotel/2 }
+             target { f; h }
+             sttgd Flight(x1, x2, x3), Hotel(x1, x4)
+                   -> exists y : (x2, f.f*, y), (y, h, x4), (y, f.f*, x3);
+             egd (x1, h, x3), (x2, h, x3) -> x1 = x2;",
+        );
+        let instance = write_tmp(
+            &format!("{tag}-instance.facts"),
+            "Flight(01, c1, c2); Flight(02, c3, c2);
+             Hotel(01, hx); Hotel(01, hy); Hotel(02, hx);",
+        );
+        (setting, instance)
+    }
+
+    #[test]
+    fn chase_and_solve_run() {
+        let (s, i) = example_files("chase");
+        dispatch(&v(&["chase", "--setting", &s, "--instance", &i])).unwrap();
+        dispatch(&v(&["chase", "--setting", &s, "--instance", &i, "--skip-egds"]))
+            .unwrap();
+        dispatch(&v(&["solve", "--setting", &s, "--instance", &i])).unwrap();
+    }
+
+    #[test]
+    fn check_accepts_g1() {
+        let (s, i) = example_files("check");
+        let g = write_tmp(
+            "g1.graph",
+            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
+        );
+        dispatch(&v(&["check", "--setting", &s, "--instance", &i, "--graph", &g]))
+            .unwrap();
+    }
+
+    #[test]
+    fn certain_runs() {
+        let (s, i) = example_files("certain");
+        dispatch(&v(&[
+            "certain", "--setting", &s, "--instance", &i, "--nre",
+            "f.f*.[h].f-.(f-)*", "--pair", "c1,c3",
+        ]))
+        .unwrap();
+        dispatch(&v(&[
+            "cert-query", "--setting", &s, "--instance", &i, "--cnre",
+            "(x, f.f*, y)",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn reduce_runs() {
+        let f = write_tmp("f.cnf", "p cnf 3 2\n1 -2 3 0\n-1 2 -3 0\n");
+        dispatch(&v(&["reduce", "--dimacs", &f])).unwrap();
+        dispatch(&v(&["reduce", "--dimacs", &f, "--sameas"])).unwrap();
+    }
+
+    #[test]
+    fn direct_runs() {
+        let i = write_tmp("rel.facts", "knows(a, b); knows(b, c);");
+        dispatch(&v(&["direct", "--schema", "knows/2", "--instance", &i])).unwrap();
+        dispatch(&v(&["direct", "--schema", "knows/2", "--instance", &i, "--reify"]))
+            .unwrap();
+    }
+
+    #[test]
+    fn help_and_errors() {
+        dispatch(&v(&["help"])).unwrap();
+        dispatch(&[]).unwrap();
+        assert!(dispatch(&v(&["bogus"])).is_err());
+        assert!(dispatch(&v(&["solve", "--setting", "/nonexistent"])).is_err());
+    }
+}

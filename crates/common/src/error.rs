@@ -1,0 +1,98 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GdxError>;
+
+/// Errors produced anywhere in the gdx workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GdxError {
+    /// Syntax error in one of the text formats.
+    Parse {
+        /// 1-based line of the offending token.
+        line: u32,
+        /// 1-based column of the offending token.
+        col: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Schema-level violation: arity mismatch, unknown relation/label,
+    /// unsafe variable, and the like.
+    Schema(String),
+    /// A construct outside the fragment an algorithm supports
+    /// (e.g. language-inclusion on NREs with nesting tests).
+    Unsupported(String),
+    /// A configured resource bound (chase steps, search nodes, witness
+    /// length) was exhausted before an answer was reached.
+    LimitExceeded(String),
+    /// Internal invariant violation — a bug in this library.
+    Internal(String),
+}
+
+impl GdxError {
+    /// Shorthand for a parse error.
+    pub fn parse(line: u32, col: u32, msg: impl Into<String>) -> GdxError {
+        GdxError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    /// Shorthand for a schema error.
+    pub fn schema(msg: impl Into<String>) -> GdxError {
+        GdxError::Schema(msg.into())
+    }
+
+    /// Shorthand for an unsupported-fragment error.
+    pub fn unsupported(msg: impl Into<String>) -> GdxError {
+        GdxError::Unsupported(msg.into())
+    }
+
+    /// Shorthand for a bound-exhaustion error.
+    pub fn limit(msg: impl Into<String>) -> GdxError {
+        GdxError::LimitExceeded(msg.into())
+    }
+}
+
+impl fmt::Display for GdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdxError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            GdxError::Schema(m) => write!(f, "schema error: {m}"),
+            GdxError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            GdxError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            GdxError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GdxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GdxError::parse(3, 7, "expected ')'");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ')'");
+        assert_eq!(
+            GdxError::schema("arity").to_string(),
+            "schema error: arity"
+        );
+        assert_eq!(
+            GdxError::limit("chase steps").to_string(),
+            "limit exceeded: chase steps"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GdxError::schema("x"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Global string interning.
+//!
+//! Every name in the system — relation symbols, edge labels, constants,
+//! variables — is interned into a [`Symbol`] (a `u32`). All hot-path
+//! comparisons, joins and adjacency lookups then work on integers. The
+//! interner is a process-global table behind a mutex; interning happens at
+//! parse/build time, never inside evaluation loops.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, compare, and hash.
+///
+/// ```
+/// use gdx_common::Symbol;
+/// let a = Symbol::new("flight");
+/// let b = Symbol::new("flight");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "flight");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its symbol. Idempotent.
+    pub fn new(s: &str) -> Symbol {
+        let mut g = interner().lock().expect("interner poisoned");
+        if let Some(&id) = g.map.get(s) {
+            return Symbol(id);
+        }
+        // Interned strings live for the program's lifetime; leaking is the
+        // standard trade for handing out `&'static str` without unsafe code.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(g.strings.len()).expect("interner overflow");
+        g.strings.push(leaked);
+        g.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        let g = interner().lock().expect("interner poisoned");
+        g.strings[self.0 as usize]
+    }
+
+    /// The raw id. Stable within a process run; useful for dense indexing.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_string_same_symbol() {
+        assert_eq!(Symbol::new("abc"), Symbol::new("abc"));
+        assert_eq!(Symbol::new("abc").id(), Symbol::new("abc").id());
+    }
+
+    #[test]
+    fn different_strings_differ() {
+        assert_ne!(Symbol::new("x1"), Symbol::new("x2"));
+    }
+
+    #[test]
+    fn roundtrips_text() {
+        let s = Symbol::new("hôtel-éà");
+        assert_eq!(s.as_str(), "hôtel-éà");
+        assert_eq!(s.to_string(), "hôtel-éà");
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "f".into();
+        let b: Symbol = String::from("f").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_consistent() {
+        let a = Symbol::new("ord-a");
+        let b = Symbol::new("ord-b");
+        // Interned order, not lexicographic — but must be a total order.
+        assert_eq!(a.cmp(&b), a.id().cmp(&b.id()));
+    }
+}

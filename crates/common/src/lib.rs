@@ -1,0 +1,30 @@
+//! # gdx-common
+//!
+//! Shared foundations for the `gdx` workspace (a reproduction of *Graph Data
+//! Exchange with Target Constraints*, EDBT/ICDT GraphQ 2015):
+//!
+//! * [`Symbol`] — globally interned strings used for relation names, edge
+//!   labels, constants, and variable names. Comparisons and hashing are on a
+//!   `u32`, which keeps joins and adjacency lookups cheap.
+//! * [`hash`] — a hand-rolled Fx-style hasher plus [`FxHashMap`]/[`FxHashSet`]
+//!   aliases. Integer-keyed maps dominate this workspace; SipHash is wasted
+//!   on them.
+//! * [`UnionFind`] — path-compressed union-find used by the egd chase when
+//!   merging graph-pattern nodes.
+//! * [`lexer`] — a single tokenizer shared by every text format in the
+//!   workspace (relational instances, graphs, NREs, mapping DSL, DIMACS is
+//!   separate).
+//! * [`GdxError`] — the workspace-wide error type.
+
+pub mod error;
+pub mod hash;
+pub mod intern;
+pub mod lexer;
+pub mod term;
+pub mod union_find;
+
+pub use error::{GdxError, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::Symbol;
+pub use term::Term;
+pub use union_find::UnionFind;

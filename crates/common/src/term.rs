@@ -1,0 +1,82 @@
+//! Terms: the arguments of query atoms.
+//!
+//! Both source-side conjunctive queries (over relations) and target-side
+//! CNREs (over graphs) take variables and constants as atom arguments, so
+//! the type lives here.
+
+use crate::Symbol;
+use std::fmt;
+
+/// A variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A query variable, e.g. `x1`.
+    Var(Symbol),
+    /// A constant from the shared domain `V`, e.g. `c1`.
+    Const(Symbol),
+}
+
+impl Term {
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Symbol::new(name))
+    }
+
+    /// Convenience constructor for a constant.
+    pub fn cst(name: &str) -> Term {
+        Term::Const(Symbol::new(name))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this is a constant.
+    pub fn as_const(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+
+    /// True for [`Term::Var`].
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Term::var("x");
+        let c = Term::cst("c1");
+        assert!(v.is_var());
+        assert!(!c.is_var());
+        assert_eq!(v.as_var(), Some(Symbol::new("x")));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_const(), Some(Symbol::new("c1")));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::cst("c1").to_string(), "'c1'");
+    }
+}

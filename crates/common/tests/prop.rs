@@ -1,0 +1,122 @@
+//! Property-based tests for the foundations: union-find vs a reference
+//! implementation, lexer totality and round-trips, interner coherence.
+
+use gdx_common::lexer::{tokenize, TokenKind};
+use gdx_common::{Symbol, UnionFind};
+use proptest::prelude::*;
+
+/// Reference connectivity: transitive closure by repeated passes.
+fn reference_classes(n: usize, unions: &[(u32, u32)]) -> Vec<usize> {
+    let mut class: Vec<usize> = (0..n).collect();
+    loop {
+        let mut changed = false;
+        for &(a, b) in unions {
+            let (ca, cb) = (class[a as usize], class[b as usize]);
+            if ca != cb {
+                let lo = ca.min(cb);
+                for c in class.iter_mut() {
+                    if *c == ca || *c == cb {
+                        *c = lo;
+                    }
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            return class;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Union-find connectivity matches the naive reference.
+    #[test]
+    fn union_find_matches_reference(
+        unions in proptest::collection::vec((0u32..12, 0u32..12), 0..24)
+    ) {
+        let n = 12usize;
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &unions {
+            uf.union(a, b);
+        }
+        let reference = reference_classes(n, &unions);
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                prop_assert_eq!(
+                    uf.same(a, b),
+                    reference[a as usize] == reference[b as usize],
+                    "{} vs {}", a, b
+                );
+            }
+        }
+        // Class count agrees.
+        let distinct: std::collections::BTreeSet<usize> =
+            reference.into_iter().collect();
+        prop_assert_eq!(uf.class_count(), distinct.len());
+    }
+
+    /// union_into keeps the designated representative.
+    #[test]
+    fn union_into_directs(
+        merges in proptest::collection::vec((0u32..8, 0u32..8), 1..12)
+    ) {
+        let mut uf = UnionFind::new(8);
+        for &(keep, drop) in &merges {
+            let rk = uf.find(keep);
+            uf.union_into(rk, drop);
+            prop_assert_eq!(uf.find(drop), rk);
+        }
+    }
+
+    /// The lexer never panics on arbitrary input, and lexing the rendering
+    /// of the tokens reproduces them (for token streams without errors).
+    #[test]
+    fn lexer_total_and_stable(s in "[ -~\n]{0,60}") {
+        if let Ok(tokens) = tokenize(&s) {
+            // Render tokens with spaces and re-lex: same kinds.
+            let rendered: String = tokens
+                .iter()
+                .filter(|t| t.kind != TokenKind::Eof)
+                .map(|t| match &t.kind {
+                    TokenKind::Ident(s) => s.clone(),
+                    TokenKind::Str(s) => format!("\"{s}\""),
+                    TokenKind::LParen => "(".into(),
+                    TokenKind::RParen => ")".into(),
+                    TokenKind::LBrace => "{".into(),
+                    TokenKind::RBrace => "}".into(),
+                    TokenKind::LBracket => "[".into(),
+                    TokenKind::RBracket => "]".into(),
+                    TokenKind::Comma => ",".into(),
+                    TokenKind::Semi => ";".into(),
+                    TokenKind::Colon => ":".into(),
+                    TokenKind::Eq => "=".into(),
+                    TokenKind::Star => "*".into(),
+                    TokenKind::Plus => "+".into(),
+                    TokenKind::Minus => "-".into(),
+                    TokenKind::Dot => ".".into(),
+                    TokenKind::Slash => "/".into(),
+                    TokenKind::Arrow => "->".into(),
+                    TokenKind::Eof => unreachable!(),
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            if let Ok(again) = tokenize(&rendered) {
+                let kinds_a: Vec<_> = tokens.iter().map(|t| &t.kind).collect();
+                let kinds_b: Vec<_> = again.iter().map(|t| &t.kind).collect();
+                prop_assert_eq!(kinds_a, kinds_b, "rendered: {}", rendered);
+            }
+        }
+    }
+
+    /// Interning is injective on distinct strings and stable on repeats.
+    #[test]
+    fn interner_coherent(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+        let sa = Symbol::new(&a);
+        let sb = Symbol::new(&b);
+        prop_assert_eq!(sa == sb, a == b);
+        prop_assert_eq!(sa.as_str(), a.as_str());
+        prop_assert_eq!(Symbol::new(&a), sa);
+    }
+}

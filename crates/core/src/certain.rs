@@ -1,0 +1,315 @@
+//! Certain answers: `cert_Ω(Q, I) = ⋂ {⟦Q⟧_G | G ∈ Sol_Ω(I)}`.
+//!
+//! The decision procedure exploits positivity: CNREs (and NREs) are
+//! preserved under homomorphisms, so if *any* solution fails to select a
+//! tuple, some homomorphism-minimal solution fails too. The candidate
+//! family of [`crate::exists::enumerate_minimal_solutions`] therefore
+//! doubles as the counterexample pool:
+//!
+//! * a candidate solution **not** selecting the tuple is a counterexample
+//!   (`NotCertain`) — always sound;
+//! * when the family is exhaustive (exact fragment, bounds not hit) and
+//!   every member selects the tuple, the tuple is `Certain`;
+//! * when no solution exists at all, everything is (vacuously) `Certain` —
+//!   the convention Corollary 4.2 relies on;
+//! * otherwise `Unknown`.
+
+use crate::exists::{enumerate_minimal_solutions, SolverConfig};
+use gdx_common::{Result, Term};
+use gdx_graph::{Graph, Node};
+use gdx_mapping::Setting;
+use gdx_nre::Nre;
+use gdx_query::{evaluate, Cnre};
+use gdx_relational::Instance;
+
+/// Outcome of a certain-answer test.
+#[derive(Debug, Clone)]
+pub enum CertainAnswer {
+    /// The tuple holds in every solution (exactly decided).
+    Certain,
+    /// A solution not selecting the tuple exists; attached as evidence.
+    NotCertain(Graph),
+    /// The bounded search was inconclusive.
+    Unknown(String),
+}
+
+impl CertainAnswer {
+    /// True for [`CertainAnswer::Certain`].
+    pub fn is_certain(&self) -> bool {
+        matches!(self, CertainAnswer::Certain)
+    }
+}
+
+/// Is `(c1, c2)` a certain answer of the single-NRE query `r`?
+/// (The shape of the paper's query answering problem.)
+pub fn certain_pair(
+    instance: &Instance,
+    setting: &Setting,
+    r: &Nre,
+    c1: &str,
+    c2: &str,
+    cfg: &SolverConfig,
+) -> Result<CertainAnswer> {
+    let query = Cnre::single(Term::cst(c1), r.clone(), Term::cst(c2));
+    certain_boolean(instance, setting, &query, cfg)
+}
+
+/// Is the Boolean (constants-only) CNRE query certain?
+pub fn certain_boolean(
+    instance: &Instance,
+    setting: &Setting,
+    query: &Cnre,
+    cfg: &SolverConfig,
+) -> Result<CertainAnswer> {
+    if !query.variables().is_empty() {
+        return Err(gdx_common::GdxError::unsupported(
+            "certain_boolean expects a constants-only query",
+        ));
+    }
+    let (solutions, exact) = enumerate_minimal_solutions(instance, setting, cfg, false)?;
+    if solutions.is_empty() {
+        return if exact {
+            // Sol_Ω(I) = ∅ ⇒ the intersection is everything.
+            Ok(CertainAnswer::Certain)
+        } else {
+            Ok(CertainAnswer::Unknown(
+                "no candidate solutions within bounds".to_owned(),
+            ))
+        };
+    }
+    for g in &solutions {
+        let answers = evaluate(g, query)?;
+        if answers.is_empty() {
+            return Ok(CertainAnswer::NotCertain(g.clone()));
+        }
+    }
+    if exact {
+        return Ok(CertainAnswer::Certain);
+    }
+    // Outside the exact fragment, a pattern-level entailment proof can
+    // still establish certainty (sound lower bound on cert — see
+    // `representative::certain_answer_lower_bound`).
+    if let crate::representative::RepresentativeOutcome::Representative(rep) =
+        crate::representative::chase_representative(instance, setting, cfg)?
+    {
+        let proven = rep.certain_answer_lower_bound(query, cfg)?;
+        // A constants-only query has one empty answer row when proven.
+        if query.variables().is_empty() && !proven.is_empty() {
+            return Ok(CertainAnswer::Certain);
+        }
+    }
+    Ok(CertainAnswer::Unknown(
+        "all bounded candidates select the tuple, but the family may be \
+         incomplete"
+            .to_owned(),
+    ))
+}
+
+/// The full certain-answer *set* of a query over constants appearing in
+/// the enumerated solutions: the intersection of constant-only answer
+/// rows. Returns `(rows, exact)`; with `exact == false` the set is an
+/// over-approximation restricted to the bounded family.
+pub fn certain_answers(
+    instance: &Instance,
+    setting: &Setting,
+    query: &Cnre,
+    cfg: &SolverConfig,
+) -> Result<(Vec<Vec<Node>>, bool)> {
+    let (solutions, exact) = enumerate_minimal_solutions(instance, setting, cfg, false)?;
+    let mut iter = solutions.iter();
+    let Some(first) = iter.next() else {
+        return Ok((Vec::new(), exact));
+    };
+    let mut inter = evaluate(first, query)?.constant_rows(first);
+    for g in iter {
+        let rows = evaluate(g, query)?.constant_rows(g);
+        inter.retain(|r| rows.contains(r));
+    }
+    let mut rows: Vec<Vec<Node>> = inter.into_iter().collect();
+    rows.sort_by_key(|r| r.iter().map(|n| n.name().as_str()).collect::<Vec<_>>());
+    Ok((rows, exact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::{Reduction, ReductionFlavor};
+    use gdx_nre::parse::parse_nre;
+    use gdx_sat::{Cnf, Lit};
+
+    #[test]
+    fn corollary_4_2_on_satisfiable_formula() {
+        // ρ₀ satisfiable ⇒ (c1,c2) ∉ cert(a·a).
+        let mut f = Cnf::new(4);
+        f.add_clause(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]);
+        f.add_clause(vec![Lit::neg(0), Lit::pos(2), Lit::neg(3)]);
+        let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
+        let ans = certain_pair(
+            &r.instance,
+            &r.setting,
+            &Reduction::certain_query_egd(),
+            "c1",
+            "c2",
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        match ans {
+            CertainAnswer::NotCertain(g) => {
+                // The counterexample must be a genuine solution.
+                assert!(
+                    crate::solution::is_solution(&r.instance, &r.setting, &g).unwrap()
+                );
+            }
+            other => panic!("expected NotCertain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corollary_4_2_on_unsatisfiable_formula() {
+        // Unsat ⇒ no solutions ⇒ (c1,c2) vacuously certain.
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![Lit::pos(0)]);
+        f.add_clause(vec![Lit::neg(0)]);
+        let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
+        let ans = certain_pair(
+            &r.instance,
+            &r.setting,
+            &Reduction::certain_query_egd(),
+            "c1",
+            "c2",
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        assert!(ans.is_certain());
+    }
+
+    #[test]
+    fn proposition_4_3_sameas_certainty() {
+        // Satisfiable ⇒ some solution omits the sameAs(c1,c2) edge.
+        let mut sat = Cnf::new(2);
+        sat.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let r = Reduction::from_cnf(&sat, ReductionFlavor::SameAs).unwrap();
+        let ans = certain_pair(
+            &r.instance,
+            &r.setting,
+            &Reduction::certain_query_sameas(),
+            "c1",
+            "c2",
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(ans, CertainAnswer::NotCertain(_)));
+
+        // Unsatisfiable ⇒ every valuation falsifies some clause ⇒ the
+        // sameAs(c1, c2) edge is forced in every minimal solution.
+        let mut unsat = Cnf::new(1);
+        unsat.add_clause(vec![Lit::pos(0)]);
+        unsat.add_clause(vec![Lit::neg(0)]);
+        let r = Reduction::from_cnf(&unsat, ReductionFlavor::SameAs).unwrap();
+        let ans = certain_pair(
+            &r.instance,
+            &r.setting,
+            &Reduction::certain_query_sameas(),
+            "c1",
+            "c2",
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        assert!(ans.is_certain(), "got {ans:?}");
+    }
+
+    #[test]
+    fn example_2_2_certain_answers() {
+        // cert_Ω(Q, I) = {(c1,c1),(c1,c3),(c3,c1),(c3,c3)} per the paper.
+        let q = Cnre::single(
+            Term::var("x1"),
+            parse_nre("f.f*.[h].f-.(f-)*").unwrap(),
+            Term::var("x2"),
+        );
+        let (rows, _exact) = certain_answers(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_egd(),
+            &q,
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        let set: std::collections::BTreeSet<(String, String)> = rows
+            .iter()
+            .map(|r| (r[0].to_string(), r[1].to_string()))
+            .collect();
+        let expected: std::collections::BTreeSet<(String, String)> =
+            [("c1", "c1"), ("c1", "c3"), ("c3", "c1"), ("c3", "c3")]
+                .iter()
+                .map(|&(a, b)| (a.to_string(), b.to_string()))
+                .collect();
+        assert_eq!(set, expected);
+    }
+
+    #[test]
+    fn example_2_2_sameas_certain_answers_differ() {
+        // Under Ω′ the certain answers shrink to {(c1,c1),(c3,c3)}.
+        let q = Cnre::single(
+            Term::var("x1"),
+            parse_nre("f.f*.[h].f-.(f-)*").unwrap(),
+            Term::var("x2"),
+        );
+        let (rows, _exact) = certain_answers(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_sameas(),
+            &q,
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        let set: std::collections::BTreeSet<(String, String)> = rows
+            .iter()
+            .map(|r| (r[0].to_string(), r[1].to_string()))
+            .collect();
+        let expected: std::collections::BTreeSet<(String, String)> =
+            [("c1", "c1"), ("c3", "c3")]
+                .iter()
+                .map(|&(a, b)| (a.to_string(), b.to_string()))
+                .collect();
+        assert_eq!(set, expected);
+    }
+
+    #[test]
+    fn pattern_proof_upgrades_unknown_to_certain() {
+        // Example 2.2 is outside the exact fragment (star heads), so the
+        // enumeration alone cannot *prove* certainty — but the
+        // pattern-level entailment can: (c1, f.f*, c2) follows from the
+        // chased pattern's f.f* path through N1.
+        let ans = certain_pair(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_egd(),
+            &parse_nre("f.f*").unwrap(),
+            "c1",
+            "c2",
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        assert!(ans.is_certain(), "got {ans:?}");
+        // A pair that no solution selects stays NotCertain.
+        let ans = certain_pair(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_egd(),
+            &parse_nre("f.f*").unwrap(),
+            "c2",
+            "c1",
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(ans, CertainAnswer::NotCertain(_)));
+    }
+
+    #[test]
+    fn non_boolean_query_rejected_by_certain_boolean() {
+        let q = Cnre::parse("(x, f, y)").unwrap();
+        let r = certain_boolean(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_egd(),
+            &q,
+            &SolverConfig::default(),
+        );
+        assert!(r.is_err());
+    }
+}

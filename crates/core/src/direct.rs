@@ -1,0 +1,139 @@
+//! Direct mappings: relational instances straight to graphs.
+//!
+//! The paper's future work points at "practical scenarios of
+//! relational-to-RDF data exchange" and cites the W3C-style direct mapping
+//! (Sequeda–Arenas–Miranker, WWW 2012). This module implements the two
+//! standard flavors:
+//!
+//! * [`direct_map_binary`] — each *binary* relation becomes an edge label:
+//!   `R(a, b)` ⇒ `(a, R, b)`. Fails on other arities.
+//! * [`direct_map_reified`] — arbitrary arities via reification: each
+//!   tuple gets a fresh null *tuple node* `t` with edges
+//!   `(t, R_i, vᵢ)` for every position `i` (1-based), plus a
+//!   `(t, rdf_type, R)` edge to a class node named after the relation.
+//!
+//! Both produce ordinary [`Graph`]s, so the full query/constraint stack
+//! applies downstream — e.g. run CNRE queries over a reified view, or use
+//! it as the *source-independent* baseline target in exchange pipelines.
+
+use gdx_common::{GdxError, Result, Symbol};
+use gdx_graph::{Graph, Node};
+use gdx_relational::Instance;
+
+/// The reserved `rdf_type`-style label used by reification.
+pub fn type_symbol() -> Symbol {
+    Symbol::new("rdf_type")
+}
+
+/// Direct-maps an instance whose relations are all binary:
+/// `R(a, b)` ⇒ edge `(a, R, b)`.
+pub fn direct_map_binary(instance: &Instance) -> Result<Graph> {
+    let mut g = Graph::new();
+    for (rel, arity) in instance.schema().relations() {
+        if arity != 2 {
+            return Err(GdxError::unsupported(format!(
+                "direct_map_binary: relation {rel} has arity {arity} (want 2); \
+                 use direct_map_reified"
+            )));
+        }
+        if let Some(data) = instance.relation(rel) {
+            for t in data.tuples() {
+                let s = g.add_node(Node::Const(t[0]));
+                let d = g.add_node(Node::Const(t[1]));
+                g.add_edge(s, rel, d);
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Direct-maps an instance of any arity by reifying tuples:
+/// `R(v₁, …, v_k)` ⇒ fresh null `t` with `(t, R_i, vᵢ)` and
+/// `(t, rdf_type, R)`.
+pub fn direct_map_reified(instance: &Instance) -> Graph {
+    let mut g = Graph::new();
+    for (rel, _arity) in instance.schema().relations() {
+        let class = g.add_node(Node::Const(rel));
+        if let Some(data) = instance.relation(rel) {
+            for tuple in data.tuples() {
+                let t = g.add_fresh_null();
+                g.add_edge(t, type_symbol(), class);
+                for (i, &v) in tuple.iter().enumerate() {
+                    let vn = g.add_node(Node::Const(v));
+                    let pos = Symbol::new(&format!("{rel}_{}", i + 1));
+                    g.add_edge(t, pos, vn);
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_query::Cnre;
+    use gdx_relational::Schema;
+
+    #[test]
+    fn binary_mapping_builds_edges() {
+        let schema = Schema::from_relations([("knows", 2), ("likes", 2)]).unwrap();
+        let inst = Instance::parse(
+            schema,
+            "knows(alice, bob); knows(bob, carol); likes(alice, carol);",
+        )
+        .unwrap();
+        let g = direct_map_binary(&inst).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        let q = Cnre::parse("(x, knows.knows, y)").unwrap();
+        let hits = gdx_query::evaluate(&g, &q).unwrap();
+        assert_eq!(hits.len(), 1, "alice -knows²-> carol");
+    }
+
+    #[test]
+    fn binary_mapping_rejects_other_arities() {
+        let inst = Instance::example_2_2();
+        assert!(direct_map_binary(&inst).is_err(), "Flight has arity 3");
+    }
+
+    #[test]
+    fn reified_mapping_handles_example_2_2() {
+        let inst = Instance::example_2_2();
+        let g = direct_map_reified(&inst);
+        // 5 tuples ⇒ 5 tuple nodes; edges: per Flight 3+1, per Hotel 2+1.
+        let nulls = g.nodes().iter().filter(|n| !n.is_const()).count();
+        assert_eq!(nulls, 5);
+        assert_eq!(g.edge_count(), 2 * 4 + 3 * 3);
+        // Navigate: flights departing c1 with a hotel stay at hx.
+        let q = Cnre::parse(
+            "(t, Flight_2, \"c1\"), (t, Flight_1, id), (s, Hotel_1, id), (s, Hotel_2, \"hx\")",
+        )
+        .unwrap();
+        let hits = gdx_query::evaluate(&g, &q).unwrap();
+        assert_eq!(hits.len(), 1, "flight 01 stayed at hx");
+    }
+
+    #[test]
+    fn reified_mapping_types_tuples() {
+        let inst = Instance::example_2_2();
+        let g = direct_map_reified(&inst);
+        let q = Cnre::parse("(t, rdf_type, \"Flight\")").unwrap();
+        assert_eq!(gdx_query::evaluate(&g, &q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn reified_preserves_join_semantics() {
+        // The CNRE over the reified graph finds the same flight/hotel
+        // joins as the relational CQ.
+        let inst = Instance::example_2_2();
+        let cq = gdx_relational::ConjunctiveQuery::parse(
+            "Flight(x1, x2, x3), Hotel(x1, x4)",
+        )
+        .unwrap();
+        let relational = gdx_relational::evaluate(&inst, &cq).unwrap();
+        let g = direct_map_reified(&inst);
+        let cnre = Cnre::parse("(t, Flight_1, id), (s, Hotel_1, id)").unwrap();
+        let graphy = gdx_query::evaluate(&g, &cnre).unwrap();
+        assert_eq!(relational.len(), graphy.len());
+    }
+}

@@ -1,0 +1,506 @@
+//! Existence of solutions.
+//!
+//! The decision procedure follows the paper's case analysis:
+//!
+//! * **no target constraints** — solutions always exist (Section 3.2): the
+//!   canonical instantiation of the chased pattern is returned;
+//! * **sameAs (and/or target tgds), no egds** — a solution is constructed
+//!   in polynomial time (Section 4.2): instantiate the pattern, saturate
+//!   sameAs edges, chase target tgds (bounded);
+//! * **egds present** — NP-hard (Theorem 4.1). The solver:
+//!   1. runs the adapted chase (Section 5); a **failure** proves no
+//!      solution exists;
+//!   2. a successful chase does *not* guarantee a solution (Example 5.2!),
+//!      so a bounded search over canonical instantiations follows, with an
+//!      egd-repair loop (merge forced violations on the concrete graph)
+//!      and a full `is_solution` verification of every candidate;
+//!   3. when the search exhausts without a solution, the answer is
+//!      `NoSolution` only if the setting lies in the *exact fragment*
+//!      (star-free, non-nullable s-t heads; no target tgds) where the
+//!      candidate family provably covers all homomorphism-minimal
+//!      solutions — otherwise `Unknown` (see DESIGN.md §5).
+
+use gdx_chase::{
+    chase_egds_on_pattern, chase_st, chase_target_tgds, saturate_same_as, EgdChaseConfig,
+    EgdChaseOutcome, StChaseVariant, TgdChaseConfig,
+};
+use gdx_common::{GdxError, Result, UnionFind};
+use gdx_graph::{Graph, NodeId};
+use gdx_mapping::{Egd, Setting};
+use gdx_nre::eval::EvalCache;
+use gdx_nre::Nre;
+use gdx_pattern::{instantiation_family, InstantiationConfig};
+use gdx_query::evaluate_with_cache;
+use gdx_relational::Instance;
+
+/// Solver bounds shared by existence and certain-answer search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverConfig {
+    /// Canonical-instantiation bounds.
+    pub instantiation: InstantiationConfig,
+    /// Adapted-chase bounds.
+    pub egd_chase: EgdChaseConfig,
+    /// Target-tgd chase bounds.
+    pub tgd_chase: TgdChaseConfig,
+}
+
+/// Outcome of the existence decision.
+#[derive(Debug, Clone)]
+pub enum Existence {
+    /// A solution exists; one is attached as the witness.
+    Exists(Graph),
+    /// Provably no solution exists.
+    NoSolution,
+    /// The bounded search was inconclusive.
+    Unknown(String),
+}
+
+impl Existence {
+    /// True for [`Existence::Exists`].
+    pub fn exists(&self) -> bool {
+        matches!(self, Existence::Exists(_))
+    }
+
+    /// The witness graph, when present.
+    pub fn witness(&self) -> Option<&Graph> {
+        match self {
+            Existence::Exists(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Decides whether `Sol_Ω(I) ≠ ∅`.
+pub fn solution_exists(
+    instance: &Instance,
+    setting: &Setting,
+    cfg: &SolverConfig,
+) -> Result<Existence> {
+    let (candidates, exact) = enumerate_minimal_solutions(instance, setting, cfg, true)?;
+    if let Some(g) = candidates.into_iter().next() {
+        return Ok(Existence::Exists(g));
+    }
+    if exact {
+        Ok(Existence::NoSolution)
+    } else {
+        Ok(Existence::Unknown(
+            "bounded candidate search exhausted outside the exact fragment".to_owned(),
+        ))
+    }
+}
+
+/// Enumerates verified solutions from the canonical candidate family.
+///
+/// Returns `(solutions, exact)`. When `exact` is true the family provably
+/// covers all homomorphism-minimal solutions, so:
+/// * an empty list proves `Sol_Ω(I) = ∅`;
+/// * for a positive query, a tuple is a certain answer iff it is an answer
+///   in *every* listed solution.
+///
+/// With `first_only`, stops at the first verified solution.
+pub fn enumerate_minimal_solutions(
+    instance: &Instance,
+    setting: &Setting,
+    cfg: &SolverConfig,
+    first_only: bool,
+) -> Result<(Vec<Graph>, bool)> {
+    setting.validate()?;
+    let st = chase_st(instance, setting, StChaseVariant::Oblivious)?;
+    let mut exact = exact_fragment(setting);
+
+    // Adapted chase (Section 5): failure is a sound no-solution proof.
+    let egds: Vec<Egd> = setting.egds().cloned().collect();
+    let pattern = if egds.is_empty() {
+        st.pattern
+    } else {
+        match chase_egds_on_pattern(&st.pattern, &egds, cfg.egd_chase)? {
+            EgdChaseOutcome::Success { pattern, .. } => pattern,
+            EgdChaseOutcome::Failed { .. } => return Ok((Vec::new(), true)),
+        }
+    };
+
+    // Candidate family: bounded canonical instantiations.
+    let family = match instantiation_family(&pattern, cfg.instantiation) {
+        Ok(f) => f,
+        // Bounds left some edge without a realization: inconclusive.
+        Err(GdxError::LimitExceeded(_)) => return Ok((Vec::new(), false)),
+        Err(e) => return Err(e),
+    };
+    if family.len() >= cfg.instantiation.max_graphs {
+        // The cap truncated the family: coverage is no longer provable.
+        exact = false;
+    }
+
+    let same_as: Vec<_> = setting.same_as_constraints().cloned().collect();
+    let target_tgds: Vec<_> = setting.target_tgds().cloned().collect();
+
+    let mut solutions = Vec::new();
+    'candidates: for mut g in family {
+        // Enforce the three constraint kinds to a joint fixpoint: egd
+        // merges can create new sameAs/tgd obligations and vice versa.
+        // Each enforcement is monotone (adds edges or merges nodes), so a
+        // handful of rounds suffices; the final is_solution check keeps
+        // Exists sound regardless of the round cap.
+        for _round in 0..8 {
+            if !same_as.is_empty() {
+                saturate_same_as(&mut g, &same_as)?;
+            }
+            if !target_tgds.is_empty() {
+                match chase_target_tgds(&g, &target_tgds, cfg.tgd_chase) {
+                    Ok(out) => g = out.graph,
+                    Err(GdxError::LimitExceeded(_)) => {
+                        exact = false;
+                        continue 'candidates;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Concrete egd repair: merge forced violations; a constant
+            // clash kills the candidate.
+            let Some(repaired) = repair_egds_batched(&g, &egds)? else {
+                continue 'candidates;
+            };
+            g = repaired;
+            if crate::solution::is_solution(instance, setting, &g)? {
+                solutions.push(g);
+                if first_only {
+                    return Ok((solutions, exact));
+                }
+                continue 'candidates;
+            }
+            if same_as.is_empty() && target_tgds.is_empty() {
+                // Nothing else can change: the candidate is dead.
+                continue 'candidates;
+            }
+        }
+    }
+    Ok((solutions, exact))
+}
+
+/// The fragment where the candidate family is provably complete: egds with
+/// arbitrary bodies, sameAs constraints allowed, but every s-t head NRE
+/// star-free and non-nullable, and no proper target tgds. See DESIGN.md §5
+/// for the homomorphism argument.
+pub fn exact_fragment(setting: &Setting) -> bool {
+    if setting.has_target_tgds() {
+        return false;
+    }
+    setting.st_tgds.iter().all(|tgd| {
+        tgd.head
+            .atoms
+            .iter()
+            .all(|a| star_free(&a.nre) && !a.nre.nullable())
+    })
+}
+
+fn star_free(r: &Nre) -> bool {
+    match r {
+        Nre::Epsilon | Nre::Label(_) | Nre::Inverse(_) => true,
+        Nre::Union(a, b) | Nre::Concat(a, b) => star_free(a) && star_free(b),
+        Nre::Star(_) => false,
+        Nre::Test(a) => star_free(a),
+    }
+}
+
+/// The concrete-graph egd chase: repeatedly merge nodes forced equal by
+/// egd matches. Returns `None` when two distinct constants clash.
+/// Terminates because every merge shrinks the node count.
+pub fn repair_egds(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>> {
+    if egds.is_empty() {
+        return Ok(Some(graph.clone()));
+    }
+    let mut g = graph.clone();
+    loop {
+        let mut merge: Option<(NodeId, NodeId)> = None;
+        {
+            let mut cache = EvalCache::new();
+            'outer: for egd in egds {
+                let matches = evaluate_with_cache(&g, &egd.body, &mut cache)?;
+                let vars = matches.vars();
+                let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
+                let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
+                for row in matches.rows() {
+                    if row[li] != row[ri] {
+                        merge = Some((row[li], row[ri]));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((a, b)) = merge else {
+            return Ok(Some(g));
+        };
+        let (na, nb) = (g.node(a), g.node(b));
+        match (na.is_const(), nb.is_const()) {
+            (true, true) => return Ok(None),
+            (true, false) => g = g.quotient(|id| if id == b { a } else { id }),
+            _ => g = g.quotient(|id| if id == a { b } else { id }),
+        }
+    }
+}
+
+/// Variant of [`repair_egds`] driven by a union-find, merging *all*
+/// violations found in one evaluation round before re-evaluating —
+/// noticeably faster on patterns with many parallel violations. Used by
+/// the benchmark harness as an ablation (B5).
+pub fn repair_egds_batched(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>> {
+    if egds.is_empty() {
+        return Ok(Some(graph.clone()));
+    }
+    let mut g = graph.clone();
+    loop {
+        let mut uf = UnionFind::new(g.node_count());
+        let mut any = false;
+        {
+            let mut cache = EvalCache::new();
+            for egd in egds {
+                let matches = evaluate_with_cache(&g, &egd.body, &mut cache)?;
+                let vars = matches.vars();
+                let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
+                let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
+                for row in matches.rows() {
+                    let (a, b) = (row[li], row[ri]);
+                    if uf.find(a) == uf.find(b) {
+                        continue;
+                    }
+                    any = true;
+                    let (ra, rb) = (uf.find(a), uf.find(b));
+                    let ca = g.node(ra).is_const();
+                    let cb = g.node(rb).is_const();
+                    match (ca, cb) {
+                        (true, true) => return Ok(None),
+                        (true, false) => {
+                            uf.union_into(ra, rb);
+                        }
+                        _ => {
+                            uf.union_into(rb, ra);
+                        }
+                    }
+                }
+            }
+        }
+        if !any {
+            return Ok(Some(g));
+        }
+        g = g.quotient(|id| uf.find_const(id));
+    }
+}
+
+/// Constructs *a* solution without deciding hard cases: the fast path used
+/// when the caller knows the setting has no egds. Errors on egd settings.
+pub fn construct_solution_no_egds(
+    instance: &Instance,
+    setting: &Setting,
+    cfg: &SolverConfig,
+) -> Result<Graph> {
+    if setting.has_egds() {
+        return Err(GdxError::unsupported(
+            "construct_solution_no_egds called on a setting with egds",
+        ));
+    }
+    let st = chase_st(instance, setting, StChaseVariant::Oblivious)?;
+    let mut g = gdx_pattern::instantiate_shortest(&st.pattern)?;
+    let same_as: Vec<_> = setting.same_as_constraints().cloned().collect();
+    if !same_as.is_empty() {
+        saturate_same_as(&mut g, &same_as)?;
+    }
+    let target_tgds: Vec<_> = setting.target_tgds().cloned().collect();
+    if !target_tgds.is_empty() {
+        g = chase_target_tgds(&g, &target_tgds, cfg.tgd_chase)?.graph;
+        if !same_as.is_empty() {
+            saturate_same_as(&mut g, &same_as)?;
+        }
+    }
+    Ok(g)
+}
+
+/// Exposes the chased pattern for inspection (and for the representative
+/// module).
+pub fn chased_pattern(
+    instance: &Instance,
+    setting: &Setting,
+    cfg: &SolverConfig,
+) -> Result<EgdChaseOutcome> {
+    let st = chase_st(instance, setting, StChaseVariant::Oblivious)?;
+    let egds: Vec<Egd> = setting.egds().cloned().collect();
+    if egds.is_empty() {
+        return Ok(EgdChaseOutcome::Success {
+            pattern: st.pattern,
+            merges: 0,
+        });
+    }
+    chase_egds_on_pattern(&st.pattern, &egds, cfg.egd_chase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_common::Symbol;
+
+    #[test]
+    fn example_2_2_has_solution() {
+        let ex = solution_exists(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_egd(),
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        let g = ex.witness().expect("solution exists");
+        assert!(crate::solution::is_solution(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_egd(),
+            g
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn sameas_setting_has_solution_fast_path() {
+        let setting = Setting::example_2_2_sameas();
+        let g = construct_solution_no_egds(
+            &Instance::example_2_2(),
+            &setting,
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            crate::solution::is_solution(&Instance::example_2_2(), &setting, &g).unwrap()
+        );
+    }
+
+    #[test]
+    fn example_5_2_no_solution_despite_chase_success() {
+        // The headline subtlety of Section 5.
+        let setting = Setting::example_5_2();
+        let schema = setting.source.clone();
+        let inst = Instance::parse(schema, "R(c1); P(c2);").unwrap();
+        // 1. The adapted chase succeeds…
+        let chased = chased_pattern(&inst, &setting, &SolverConfig::default()).unwrap();
+        assert!(chased.succeeded(), "Example 5.2: chase must succeed");
+        // 2. …yet the solver proves nothing satisfies both constraints?
+        // The setting's heads contain stars (b*+c*), so it is OUTSIDE the
+        // exact fragment; the solver must answer Unknown, not Exists.
+        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        match ex {
+            Existence::Unknown(_) => {}
+            Existence::NoSolution => {}
+            Existence::Exists(g) => panic!(
+                "Example 5.2 has no solution but solver produced one:\n{g}"
+            ),
+        }
+    }
+
+    #[test]
+    fn egd_failure_is_no_solution() {
+        // Two constants forced equal: chase fails ⇒ NoSolution.
+        let setting = gdx_mapping::dsl::parse_setting(
+            "source { R/2 }
+             target { h }
+             sttgd R(x, y) -> (x, h, y);
+             egd (x1, h, x3), (x2, h, x3) -> x1 = x2;",
+        )
+        .unwrap();
+        let schema = setting.source.clone();
+        let inst = Instance::parse(schema, "R(u1, shared); R(u2, shared);").unwrap();
+        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        assert!(matches!(ex, Existence::NoSolution));
+    }
+
+    #[test]
+    fn union_heads_pick_working_disjunct() {
+        // (x, t+f, x) self-loop with an egd forbidding t·a paths: the
+        // solver must pick the f loop.
+        let setting = gdx_mapping::dsl::parse_setting(
+            "source { R1/1; R2/1 }
+             target { a; t; f }
+             sttgd R1(x), R2(y) -> (x, a, y), (x, t+f, x);
+             egd (x, t.a, y) -> x = y;",
+        )
+        .unwrap();
+        let schema = setting.source.clone();
+        let inst = Instance::parse(schema, "R1(c1); R2(c2);").unwrap();
+        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        let g = ex.witness().expect("f-loop solution exists");
+        let c1 = g.node_id(gdx_graph::Node::cst("c1")).unwrap();
+        assert!(g.has_edge_labelled(c1, "f", c1));
+        assert!(!g.has_edge_labelled(c1, "t", c1));
+    }
+
+    #[test]
+    fn both_disjuncts_blocked_is_no_solution() {
+        let setting = gdx_mapping::dsl::parse_setting(
+            "source { R1/1; R2/1 }
+             target { a; t; f }
+             sttgd R1(x), R2(y) -> (x, a, y), (x, t+f, x);
+             egd (x, t.a, y) -> x = y;
+             egd (x, f.a, y) -> x = y;",
+        )
+        .unwrap();
+        let schema = setting.source.clone();
+        let inst = Instance::parse(schema, "R1(c1); R2(c2);").unwrap();
+        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        assert!(
+            matches!(ex, Existence::NoSolution),
+            "exact fragment: search exhaustion proves emptiness, got {ex:?}"
+        );
+    }
+
+    #[test]
+    fn repair_merges_nulls() {
+        let g = Graph::parse("(_N1, h, hx); (_N2, h, hx); (_N1, f, z);").unwrap();
+        let egd = Egd {
+            body: gdx_query::Cnre::parse("(x1, h, x3), (x2, h, x3)").unwrap(),
+            lhs: Symbol::new("x1"),
+            rhs: Symbol::new("x2"),
+        };
+        for repaired in [
+            repair_egds(&g, std::slice::from_ref(&egd)).unwrap().unwrap(),
+            repair_egds_batched(&g, std::slice::from_ref(&egd))
+                .unwrap()
+                .unwrap(),
+        ] {
+            assert_eq!(repaired.node_count(), 3);
+            assert_eq!(repaired.edge_count(), 2);
+        }
+    }
+
+    #[test]
+    fn repair_constant_clash_is_none() {
+        let g = Graph::parse("(u1, h, hx); (u2, h, hx);").unwrap();
+        let egd = Egd {
+            body: gdx_query::Cnre::parse("(x1, h, x3), (x2, h, x3)").unwrap(),
+            lhs: Symbol::new("x1"),
+            rhs: Symbol::new("x2"),
+        };
+        assert!(repair_egds(&g, std::slice::from_ref(&egd)).unwrap().is_none());
+        assert!(repair_egds_batched(&g, &[egd]).unwrap().is_none());
+    }
+
+    #[test]
+    fn exact_fragment_detection() {
+        assert!(!exact_fragment(&Setting::example_2_2_egd()), "f.f* has a star");
+        assert!(!exact_fragment(&Setting::example_5_2()));
+        let reduction_shaped = gdx_mapping::dsl::parse_setting(
+            "source { R1/1; R2/1 }
+             target { a; t1; f1 }
+             sttgd R1(x), R2(y) -> (x, a, y), (x, t1+f1, x);
+             egd (x, t1.f1.a, y) -> x = y;",
+        )
+        .unwrap();
+        assert!(exact_fragment(&reduction_shaped));
+    }
+
+    #[test]
+    fn no_constraints_always_exists() {
+        let setting = gdx_mapping::dsl::parse_setting(
+            "source { R/2 }
+             target { e }
+             sttgd R(x, y) -> exists z : (x, e, z), (z, e, y);",
+        )
+        .unwrap();
+        let schema = setting.source.clone();
+        let inst = Instance::parse(schema, "R(a, b); R(b, c);").unwrap();
+        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        assert!(ex.exists());
+    }
+}

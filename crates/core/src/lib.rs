@@ -1,0 +1,95 @@
+//! # gdx-exchange
+//!
+//! The paper's primary contribution, as a library: relational-to-graph
+//! data exchange with target constraints.
+//!
+//! Given a setting `Ω = (R, Σ, M_st, M_t)` and an instance `I` of `R`,
+//! this crate answers the paper's two problems of interest:
+//!
+//! 1. **Existence of solutions** — is there a graph `G` over `Σ` such that
+//!    `(I, G) ⊨ M_st` and `G ⊨ M_t`? ([`exists`])
+//!    * trivial without target constraints (Section 3.2);
+//!    * polynomial with sameAs constraints (Section 4.2);
+//!    * NP-hard with egds (Theorem 4.1) — solved by bounded search, with
+//!      an exactness flag telling when the bounds are provably sufficient,
+//!      plus a SAT-encoding backend for the union-of-symbols fragment.
+//! 2. **Query answering** — the certain answers
+//!    `cert_Ω(Q, I) = ⋂ {⟦Q⟧_G | G ∈ Sol_Ω(I)}` ([`certain`]), coNP-hard
+//!    with egds (Corollary 4.2) and already with sameAs constraints
+//!    (Proposition 4.3).
+//!
+//! Supporting modules:
+//!
+//! * [`solution`] — the `Sol_Ω(I)` membership check;
+//! * [`reduction`] — the Theorem 4.1 reduction (3SAT → setting) and its
+//!   inverse;
+//! * [`encode`] — SAT encoding of existence for the restricted fragment;
+//! * [`representative`] — universal representatives as
+//!   `(pattern, constraints)` pairs (Section 5).
+
+pub mod certain;
+pub mod direct;
+pub mod encode;
+pub mod exists;
+pub mod reduction;
+pub mod representative;
+pub mod solution;
+
+pub use certain::{certain_pair, CertainAnswer};
+pub use exists::{enumerate_minimal_solutions, solution_exists, Existence, SolverConfig};
+pub use reduction::Reduction;
+pub use representative::UniversalRepresentative;
+pub use solution::is_solution;
+
+/// Facade bundling an instance with a setting, exposing the main
+/// operations with shared defaults.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// The data exchange setting `Ω`.
+    pub setting: gdx_mapping::Setting,
+    /// The source instance `I`.
+    pub instance: gdx_relational::Instance,
+    /// Solver bounds.
+    pub config: SolverConfig,
+}
+
+impl Exchange {
+    /// Creates a facade with default solver bounds.
+    pub fn new(
+        setting: gdx_mapping::Setting,
+        instance: gdx_relational::Instance,
+    ) -> Exchange {
+        Exchange {
+            setting,
+            instance,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// `G ∈ Sol_Ω(I)`?
+    pub fn is_solution(&self, graph: &gdx_graph::Graph) -> gdx_common::Result<bool> {
+        solution::is_solution(&self.instance, &self.setting, graph)
+    }
+
+    /// Decides existence of solutions.
+    pub fn solution_exists(&self) -> gdx_common::Result<Existence> {
+        exists::solution_exists(&self.instance, &self.setting, &self.config)
+    }
+
+    /// The chased universal representative `(pattern, constraints)`.
+    pub fn universal_representative(
+        &self,
+    ) -> gdx_common::Result<representative::RepresentativeOutcome> {
+        representative::chase_representative(&self.instance, &self.setting, &self.config)
+    }
+
+    /// Is `(c1, c2)` a certain answer of the single-NRE query `r`?
+    pub fn certain_pair(
+        &self,
+        r: &gdx_nre::Nre,
+        c1: &str,
+        c2: &str,
+    ) -> gdx_common::Result<CertainAnswer> {
+        certain::certain_pair(&self.instance, &self.setting, r, c1, c2, &self.config)
+    }
+}

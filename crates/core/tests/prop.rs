@@ -1,0 +1,120 @@
+//! Property-based validation of the solver stack on random reductions:
+//! all existence backends agree with the exhaustive SAT oracle, witnesses
+//! decode to models, and certain answering respects Corollary 4.2.
+
+use gdx_exchange::encode::solution_exists_sat;
+use gdx_exchange::exists::{solution_exists, SolverConfig};
+use gdx_exchange::reduction::{Reduction, ReductionFlavor};
+use gdx_exchange::{certain_pair, is_solution};
+use gdx_pattern::InstantiationConfig;
+use gdx_sat::{brute_force, Cnf, Lit};
+use proptest::prelude::*;
+
+/// Random 3-CNF over up to 5 variables (kept small: the search solver is
+/// deliberately exponential).
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..5, any::<bool>()), 1..=3),
+        0..14,
+    )
+    .prop_map(|clauses| {
+        let mut f = Cnf::new(5);
+        for c in clauses {
+            f.add_clause(
+                c.into_iter()
+                    .map(|(v, pos)| Lit { var: v, positive: pos })
+                    .collect(),
+            );
+        }
+        f
+    })
+}
+
+fn cfg() -> SolverConfig {
+    SolverConfig {
+        instantiation: InstantiationConfig {
+            max_graphs: 64,
+            ..InstantiationConfig::default()
+        },
+        ..SolverConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 4.1, randomized: existence ⇔ satisfiability, across both
+    /// solver backends; witnesses verify and decode.
+    #[test]
+    fn existence_matches_satisfiability(f in arb_cnf()) {
+        let truth = brute_force(&f).is_some();
+        let red = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
+
+        let search = solution_exists(&red.instance, &red.setting, &cfg()).unwrap();
+        prop_assert_eq!(search.exists(), truth, "search backend on {}", f);
+        if let Some(g) = search.witness() {
+            prop_assert!(is_solution(&red.instance, &red.setting, g).unwrap());
+            let val = red.valuation_from_solution(g).expect("decodable witness");
+            prop_assert!(f.eval(&val));
+        }
+
+        let encoded = solution_exists_sat(&red.instance, &red.setting).unwrap();
+        prop_assert_eq!(encoded.exists(), truth, "SAT backend on {}", f);
+    }
+
+    /// Corollary 4.2, randomized: (c1,c2) ∈ cert(a·a) ⇔ unsatisfiable.
+    #[test]
+    fn certain_matches_unsatisfiability(f in arb_cnf()) {
+        let unsat = brute_force(&f).is_none();
+        let red = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
+        let ans = certain_pair(
+            &red.instance,
+            &red.setting,
+            &Reduction::certain_query_egd(),
+            "c1",
+            "c2",
+            &cfg(),
+        )
+        .unwrap();
+        prop_assert_eq!(ans.is_certain(), unsat, "on {}", f);
+    }
+
+    /// The sameAs flavor always has solutions, and its cert(sameAs)
+    /// verdict also tracks unsatisfiability (Proposition 4.3).
+    #[test]
+    fn sameas_flavor_properties(f in arb_cnf()) {
+        let unsat = brute_force(&f).is_none();
+        let red = Reduction::from_cnf(&f, ReductionFlavor::SameAs).unwrap();
+        let g = gdx_exchange::exists::construct_solution_no_egds(
+            &red.instance,
+            &red.setting,
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        prop_assert!(is_solution(&red.instance, &red.setting, &g).unwrap());
+        let ans = certain_pair(
+            &red.instance,
+            &red.setting,
+            &Reduction::certain_query_sameas(),
+            "c1",
+            "c2",
+            &cfg(),
+        )
+        .unwrap();
+        prop_assert_eq!(ans.is_certain(), unsat, "on {}", f);
+    }
+
+    /// The inverse reduction is lossless on clause sets.
+    #[test]
+    fn extract_cnf_is_inverse(f in arb_cnf()) {
+        let red = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
+        let back = red.extract_cnf();
+        let norm = |c: &Cnf| {
+            let mut cl = c.clauses.clone();
+            for cc in &mut cl { cc.sort(); }
+            cl.sort();
+            cl
+        };
+        prop_assert_eq!(norm(&f), norm(&back));
+    }
+}

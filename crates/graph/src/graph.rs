@@ -1,0 +1,445 @@
+//! Directed, edge-labeled graphs over constants and labeled nulls.
+
+use gdx_common::lexer::{TokenCursor, TokenKind};
+use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A graph node id: a constant from the shared domain `𝒱`, or a labeled
+/// null from `𝒩`.
+///
+/// Constants and nulls never compare equal even when their names collide;
+/// the text format writes nulls with a `_` prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Node {
+    /// A constant node id (e.g. a city `c1`).
+    Const(Symbol),
+    /// A labeled null (e.g. `N1` invented by the chase).
+    Null(Symbol),
+}
+
+impl Node {
+    /// Constant constructor.
+    pub fn cst(name: &str) -> Node {
+        Node::Const(Symbol::new(name))
+    }
+
+    /// Null constructor.
+    pub fn null(name: &str) -> Node {
+        Node::Null(Symbol::new(name))
+    }
+
+    /// True for [`Node::Const`].
+    pub fn is_const(&self) -> bool {
+        matches!(self, Node::Const(_))
+    }
+
+    /// The underlying name.
+    pub fn name(&self) -> Symbol {
+        match self {
+            Node::Const(s) | Node::Null(s) => *s,
+        }
+    }
+
+    /// A globally fresh null (names `~0`, `~1`, …; `~` never lexes as an
+    /// identifier, so fresh nulls cannot collide with parsed ones).
+    pub fn fresh_null() -> Node {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Node::Null(Symbol::new(&format!("~{n}")))
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Const(s) => write!(f, "{s}"),
+            Node::Null(s) => write!(f, "_{s}"),
+        }
+    }
+}
+
+/// Dense handle to a node within one [`Graph`]. Not meaningful across
+/// graphs.
+pub type NodeId = u32;
+
+/// A directed, edge-labeled graph `G = (V, E)` with `E ⊆ V × Σ × V`.
+///
+/// Nodes are stored densely; adjacency is indexed by `(node, label)` in both
+/// directions. Edges are deduplicated.
+///
+/// ```
+/// use gdx_graph::{Graph, Node};
+/// let mut g = Graph::new();
+/// let c1 = g.add_node(Node::cst("c1"));
+/// let c2 = g.add_node(Node::cst("c2"));
+/// g.add_edge_labelled(c1, "f", c2);
+/// assert!(g.has_edge_labelled(c1, "f", c2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    ids: FxHashMap<Node, NodeId>,
+    edges: Vec<(NodeId, Symbol, NodeId)>,
+    edge_set: FxHashSet<(NodeId, Symbol, NodeId)>,
+    out: FxHashMap<(NodeId, Symbol), Vec<NodeId>>,
+    inc: FxHashMap<(NodeId, Symbol), Vec<NodeId>>,
+    labels: FxHashSet<Symbol>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (distinct) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds (or finds) a node, returning its dense id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        if let Some(&id) = self.ids.get(&node) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("node id overflow");
+        self.nodes.push(node);
+        self.ids.insert(node, id);
+        id
+    }
+
+    /// Adds a constant node by name.
+    pub fn add_const(&mut self, name: &str) -> NodeId {
+        self.add_node(Node::cst(name))
+    }
+
+    /// Adds a fresh null node.
+    pub fn add_fresh_null(&mut self) -> NodeId {
+        self.add_node(Node::fresh_null())
+    }
+
+    /// The node behind a dense id.
+    pub fn node(&self, id: NodeId) -> Node {
+        self.nodes[id as usize]
+    }
+
+    /// The dense id of `node`, if present.
+    pub fn node_id(&self, node: Node) -> Option<NodeId> {
+        self.ids.get(&node).copied()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.nodes.len() as u32
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Adds an edge (nodes must already exist). Returns `true` when new.
+    pub fn add_edge(&mut self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
+        debug_assert!((src as usize) < self.nodes.len());
+        debug_assert!((dst as usize) < self.nodes.len());
+        if !self.edge_set.insert((src, label, dst)) {
+            return false;
+        }
+        self.edges.push((src, label, dst));
+        self.out.entry((src, label)).or_default().push(dst);
+        self.inc.entry((dst, label)).or_default().push(src);
+        self.labels.insert(label);
+        true
+    }
+
+    /// Adds an edge with a string label.
+    pub fn add_edge_labelled(&mut self, src: NodeId, label: &str, dst: NodeId) -> bool {
+        self.add_edge(src, Symbol::new(label), dst)
+    }
+
+    /// Convenience: add nodes and edge in one call, constants by name.
+    pub fn add_edge_consts(&mut self, src: &str, label: &str, dst: &str) {
+        let s = self.add_const(src);
+        let d = self.add_const(dst);
+        self.add_edge_labelled(s, label, d);
+    }
+
+    /// Edge membership.
+    pub fn has_edge(&self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
+        self.edge_set.contains(&(src, label, dst))
+    }
+
+    /// Edge membership with a string label.
+    pub fn has_edge_labelled(&self, src: NodeId, label: &str, dst: NodeId) -> bool {
+        self.has_edge(src, Symbol::new(label), dst)
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[(NodeId, Symbol, NodeId)] {
+        &self.edges
+    }
+
+    /// Successors of `src` along `label`-edges.
+    pub fn successors(&self, src: NodeId, label: Symbol) -> &[NodeId] {
+        self.out.get(&(src, label)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Predecessors of `dst` along `label`-edges.
+    pub fn predecessors(&self, dst: NodeId, label: Symbol) -> &[NodeId] {
+        self.inc.get(&(dst, label)).map_or(&[], Vec::as_slice)
+    }
+
+    /// All edge labels that occur in the graph.
+    pub fn labels(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.labels.iter().copied()
+    }
+
+    /// All `(src, dst)` pairs of `label`-edges.
+    pub fn label_pairs(&self, label: Symbol) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(_, l, _)| l == label)
+            .map(|&(s, _, d)| (s, d))
+    }
+
+    /// Ids of all constant nodes.
+    pub fn const_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&id| self.node(id).is_const())
+    }
+
+    /// The quotient of the graph under a node mapping: node `id` of `self`
+    /// becomes `rep(id)` (a *node id of `self`*), nodes that are the image
+    /// of nothing disappear, and edges are rewritten (and deduplicated).
+    ///
+    /// This is how the egd chase merges nodes without fighting the borrow
+    /// checker: compute classes in a union-find, then rebuild.
+    pub fn quotient(&self, mut rep: impl FnMut(NodeId) -> NodeId) -> Graph {
+        let mut g = Graph::new();
+        let mut remap: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        for id in self.node_ids() {
+            let r = rep(id);
+            let node = self.node(r);
+            let new_id = g.add_node(node);
+            remap.insert(id, new_id);
+        }
+        for &(s, l, d) in &self.edges {
+            g.add_edge(remap[&s], l, remap[&d]);
+        }
+        g
+    }
+
+    /// Checks the graph only uses labels from `alphabet` (target schema
+    /// conformance).
+    pub fn conforms_to(&self, alphabet: &FxHashSet<Symbol>) -> bool {
+        self.labels.iter().all(|l| alphabet.contains(l))
+    }
+
+    /// Parses the edge-list format: `(src, label, dst);` per edge, names
+    /// with a `_` prefix denoting labeled nulls:
+    ///
+    /// ```text
+    /// (c1, f, _N); (_N, h, hx); (_N, f, c2);
+    /// ```
+    ///
+    /// Isolated nodes can be declared as `node(x);` / `node(_x);`.
+    pub fn parse(input: &str) -> Result<Graph> {
+        let mut cur = TokenCursor::new(input)?;
+        let mut g = Graph::new();
+        while !cur.at_eof() {
+            if cur.eat_keyword("node") {
+                cur.expect(&TokenKind::LParen, "node declaration")?;
+                let n = parse_node(&mut cur)?;
+                g.add_node(n);
+                cur.expect(&TokenKind::RParen, "node declaration")?;
+            } else {
+                cur.expect(&TokenKind::LParen, "edge")?;
+                let src = parse_node(&mut cur)?;
+                cur.expect(&TokenKind::Comma, "edge")?;
+                let label = cur.expect_ident("edge label")?;
+                cur.expect(&TokenKind::Comma, "edge")?;
+                let dst = parse_node(&mut cur)?;
+                cur.expect(&TokenKind::RParen, "edge")?;
+                let s = g.add_node(src);
+                let d = g.add_node(dst);
+                g.add_edge(s, Symbol::new(&label), d);
+            }
+            while cur.eat(&TokenKind::Semi) || cur.eat(&TokenKind::Comma) {}
+        }
+        Ok(g)
+    }
+
+    /// GraphViz DOT rendering (constants as boxes, nulls as ellipses).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("digraph G {\n");
+        for id in self.node_ids() {
+            let n = self.node(id);
+            let shape = if n.is_const() { "box" } else { "ellipse" };
+            let _ = writeln!(s, "  n{id} [label=\"{n}\", shape={shape}];");
+        }
+        for &(src, l, dst) in &self.edges {
+            let _ = writeln!(s, "  n{src} -> n{dst} [label=\"{l}\"];");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn parse_node(cur: &mut TokenCursor) -> Result<Node> {
+    // `_name` lexes as the single identifier "_name".
+    let name = cur.expect_ident("node")?;
+    if let Some(rest) = name.strip_prefix('_') {
+        if rest.is_empty() {
+            return Err(GdxError::parse(
+                cur.peek().line,
+                cur.peek().col,
+                "null node needs a name after `_`",
+            ));
+        }
+        Ok(Node::null(rest))
+    } else {
+        Ok(Node::cst(&name))
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &(s, l, d) in &self.edges {
+            writeln!(f, "({}, {l}, {});", self.node(s), self.node(d))?;
+        }
+        // Isolated nodes.
+        let mut touched: FxHashSet<NodeId> = FxHashSet::default();
+        for &(s, _, d) in &self.edges {
+            touched.insert(s);
+            touched.insert(d);
+        }
+        for id in self.node_ids() {
+            if !touched.contains(&id) {
+                writeln!(f, "node({});", self.node(id))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_dedup() {
+        let mut g = Graph::new();
+        let a = g.add_const("c1");
+        let b = g.add_const("c1");
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+        let n = g.add_node(Node::null("c1"));
+        assert_ne!(a, n, "const c1 and null c1 are different nodes");
+    }
+
+    #[test]
+    fn edges_dedup_and_index() {
+        let mut g = Graph::new();
+        let a = g.add_const("a");
+        let b = g.add_const("b");
+        assert!(g.add_edge_labelled(a, "f", b));
+        assert!(!g.add_edge_labelled(a, "f", b));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(a, Symbol::new("f")), &[b]);
+        assert_eq!(g.predecessors(b, Symbol::new("f")), &[a]);
+        assert!(g.successors(b, Symbol::new("f")).is_empty());
+    }
+
+    #[test]
+    fn parse_fig1_g1() {
+        // Figure 1(a): G1.
+        let g = Graph::parse(
+            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        let n = g.node_id(Node::null("N")).unwrap();
+        let hx = g.node_id(Node::cst("hx")).unwrap();
+        assert!(g.has_edge_labelled(n, "h", hx));
+    }
+
+    #[test]
+    fn parse_isolated_nodes() {
+        let g = Graph::parse("node(a); node(_x); (a, f, b);").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Graph::parse("(a, f)").is_err());
+        assert!(Graph::parse("(a f b)").is_err());
+        assert!(Graph::parse("(_, f, b)").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let g = Graph::parse("(c1, f, _N); (_N, h, hx); node(iso);").unwrap();
+        let g2 = Graph::parse(&g.to_string()).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for &(s, l, d) in g.edges() {
+            let s2 = g2.node_id(g.node(s)).unwrap();
+            let d2 = g2.node_id(g.node(d)).unwrap();
+            assert!(g2.has_edge(s2, l, d2));
+        }
+    }
+
+    #[test]
+    fn quotient_merges() {
+        let g = Graph::parse("(a, f, _N1); (a, f, _N2); (_N1, h, b); (_N2, h, b);").unwrap();
+        let n1 = g.node_id(Node::null("N1")).unwrap();
+        let n2 = g.node_id(Node::null("N2")).unwrap();
+        let q = g.quotient(|id| if id == n2 { n1 } else { id });
+        assert_eq!(q.node_count(), 3);
+        assert_eq!(q.edge_count(), 2, "parallel edges collapse");
+        assert!(q.node_id(Node::null("N2")).is_none());
+    }
+
+    #[test]
+    fn conforms_to_alphabet() {
+        let g = Graph::parse("(a, f, b); (b, h, c);").unwrap();
+        let mut sigma = FxHashSet::default();
+        sigma.insert(Symbol::new("f"));
+        assert!(!g.conforms_to(&sigma));
+        sigma.insert(Symbol::new("h"));
+        assert!(g.conforms_to(&sigma));
+    }
+
+    #[test]
+    fn fresh_nulls_are_distinct() {
+        let a = Node::fresh_null();
+        let b = Node::fresh_null();
+        assert_ne!(a, b);
+        assert!(!a.is_const());
+    }
+
+    #[test]
+    fn label_pairs() {
+        let g = Graph::parse("(a, f, b); (b, f, c); (a, h, c);").unwrap();
+        let f = Symbol::new("f");
+        assert_eq!(g.label_pairs(f).count(), 2);
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = Graph::parse("(c1, f, _N);").unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("label=\"f\""));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # gdx-graph
+//!
+//! The graph substrate: the *target* side of the data exchange setting.
+//!
+//! An instance over a target schema (finite alphabet) `Σ` is a directed,
+//! edge-labeled graph `G = (V, E)` with `V ⊆ 𝒱 ∪ 𝒩` — node ids are either
+//! *constants* (shared with the relational domain) or *labeled nulls*
+//! (invented by the chase), and `E ⊆ V × Σ × V`.
+//!
+//! * [`Graph`] — adjacency-indexed edge-labeled graph with dense `u32` node
+//!   handles, a text format (`(c1, f, c2); (c1, h, _N1);` — `_`-prefixed
+//!   names are nulls), DOT export, and quotienting (used by the egd chase).
+//! * [`hom`] — graph-to-graph homomorphism and isomorphism checks (identity
+//!   on constants), used to compare chase outputs against the paper's
+//!   figures "up to null renaming".
+
+pub mod graph;
+pub mod hom;
+
+pub use graph::{Graph, Node, NodeId};
+pub use hom::{find_homomorphism, is_isomorphic};

@@ -1,0 +1,96 @@
+//! Property-based tests for the graph substrate: quotient laws,
+//! homomorphism/isomorphism sanity, and parser totality.
+
+use gdx_common::UnionFind;
+use gdx_graph::{find_homomorphism, is_isomorphic, Graph, Node, NodeId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0u32..5, 0u8..2, 0u32..5), 0..10).prop_map(|edges| {
+        let mut g = Graph::new();
+        // Mix of constants and nulls.
+        let nodes: Vec<NodeId> = (0..5)
+            .map(|i| {
+                if i % 2 == 0 {
+                    g.add_node(Node::cst(&format!("k{i}")))
+                } else {
+                    g.add_node(Node::null(&format!("n{i}")))
+                }
+            })
+            .collect();
+        for (s, l, d) in edges {
+            let label = ["f", "h"][l as usize];
+            g.add_edge_labelled(nodes[s as usize], label, nodes[d as usize]);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Isomorphism is reflexive; homomorphism to self is the identity when
+    /// checked for existence.
+    #[test]
+    fn iso_reflexive(g in arb_graph()) {
+        prop_assert!(is_isomorphic(&g, &g));
+        prop_assert!(find_homomorphism(&g, &g).is_some());
+    }
+
+    /// Display → parse round-trips up to isomorphism.
+    #[test]
+    fn display_parse_roundtrip(g in arb_graph()) {
+        let text = g.to_string();
+        let back = Graph::parse(&text).unwrap();
+        prop_assert!(is_isomorphic(&g, &back), "text:\n{}", text);
+    }
+
+    /// Quotienting by a union-find yields a graph that (a) the original
+    /// maps into homomorphically whenever only nulls were merged, and
+    /// (b) never gains nodes or edges.
+    #[test]
+    fn quotient_shrinks(g in arb_graph(), merges in
+        proptest::collection::vec((0u32..5, 0u32..5), 0..4))
+    {
+        if g.node_count() == 0 { return Ok(()); }
+        let n = g.node_count() as u32;
+        let mut uf = UnionFind::new(n as usize);
+        for (a, b) in merges {
+            let (a, b) = (a % n, b % n);
+            // Merge toward constants so the quotient keeps them.
+            let (ra, rb) = (uf.find(a), uf.find(b));
+            if ra == rb { continue; }
+            if g.node(ra).is_const() {
+                uf.union_into(ra, rb);
+            } else {
+                uf.union_into(rb, ra);
+            }
+        }
+        let q = g.quotient(|id| uf.find_const(id));
+        prop_assert!(q.node_count() <= g.node_count());
+        prop_assert!(q.edge_count() <= g.edge_count());
+        // Edges survive the rewrite.
+        for &(s, l, d) in g.edges() {
+            let qs = q.node_id(g.node(uf.find_const(s))).unwrap();
+            let qd = q.node_id(g.node(uf.find_const(d))).unwrap();
+            prop_assert!(q.has_edge(qs, l, qd));
+        }
+    }
+
+    /// A graph always maps homomorphically into itself plus extra edges.
+    #[test]
+    fn hom_into_supergraph(g in arb_graph()) {
+        let mut bigger = g.clone();
+        let x = bigger.add_const("extra");
+        if bigger.node_count() > 1 {
+            bigger.add_edge_labelled(x, "f", 0);
+        }
+        prop_assert!(find_homomorphism(&g, &bigger).is_some());
+    }
+
+    /// Parser never panics on arbitrary ASCII input (errors are fine).
+    #[test]
+    fn parser_total(s in "[ -~]{0,40}") {
+        let _ = Graph::parse(&s);
+    }
+}

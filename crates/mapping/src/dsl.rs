@@ -1,0 +1,215 @@
+//! The settings DSL parser.
+//!
+//! ```text
+//! setting  := block*
+//! block    := 'source' '{' schema-decls '}'
+//!           | 'target' '{' symbol (';'|',' symbol)* '}'
+//!           | 'sttgd'  cq  '->' head ';'
+//!           | 'tgd'    cnre '->' head ';'
+//!           | 'egd'    cnre '->' ident '=' ident ';'
+//!           | 'sameas' cnre '->' '(' ident ',' ident ')' ';'
+//! head     := ['exists' ident (',' ident)* ':'] cnre
+//! ```
+
+use crate::constraint::{Egd, SameAs, SourceToTargetTgd, TargetConstraint, TargetTgd};
+use crate::setting::Setting;
+use gdx_common::lexer::{TokenCursor, TokenKind};
+use gdx_common::{GdxError, Result, Symbol};
+use gdx_query::cnre::parse_cnre;
+use gdx_query::Cnre;
+use gdx_relational::cq::parse_cq;
+use gdx_relational::schema::parse_decls;
+use gdx_relational::Schema;
+
+/// Parses a complete setting from DSL text and validates it.
+pub fn parse_setting(input: &str) -> Result<Setting> {
+    let mut cur = TokenCursor::new(input)?;
+    let mut source: Option<Schema> = None;
+    let mut target: Vec<Symbol> = Vec::new();
+    let mut st_tgds = Vec::new();
+    let mut constraints = Vec::new();
+
+    while !cur.at_eof() {
+        if cur.eat_keyword("source") {
+            cur.expect(&TokenKind::LBrace, "source block")?;
+            let schema = parse_decls(&mut cur)?;
+            cur.expect(&TokenKind::RBrace, "source block")?;
+            if source.replace(schema).is_some() {
+                return Err(cur.error("duplicate source block"));
+            }
+        } else if cur.eat_keyword("target") {
+            cur.expect(&TokenKind::LBrace, "target block")?;
+            loop {
+                target.push(Symbol::new(&cur.expect_ident("target symbol")?));
+                if !(cur.eat(&TokenKind::Semi) || cur.eat(&TokenKind::Comma)) {
+                    break;
+                }
+                if cur.at(&TokenKind::RBrace) {
+                    break;
+                }
+            }
+            cur.expect(&TokenKind::RBrace, "target block")?;
+        } else if cur.eat_keyword("sttgd") {
+            let body = parse_cq(&mut cur)?;
+            cur.expect(&TokenKind::Arrow, "sttgd")?;
+            let (existential, head) = parse_head(&mut cur)?;
+            cur.expect(&TokenKind::Semi, "sttgd")?;
+            st_tgds.push(SourceToTargetTgd {
+                body,
+                existential,
+                head,
+            });
+        } else if cur.eat_keyword("tgd") {
+            let body = parse_cnre(&mut cur)?;
+            cur.expect(&TokenKind::Arrow, "tgd")?;
+            let (existential, head) = parse_head(&mut cur)?;
+            cur.expect(&TokenKind::Semi, "tgd")?;
+            constraints.push(TargetConstraint::Tgd(TargetTgd {
+                body,
+                existential,
+                head,
+            }));
+        } else if cur.eat_keyword("egd") {
+            let body = parse_cnre(&mut cur)?;
+            cur.expect(&TokenKind::Arrow, "egd")?;
+            let lhs = Symbol::new(&cur.expect_ident("egd equality")?);
+            cur.expect(&TokenKind::Eq, "egd equality")?;
+            let rhs = Symbol::new(&cur.expect_ident("egd equality")?);
+            cur.expect(&TokenKind::Semi, "egd")?;
+            constraints.push(TargetConstraint::Egd(Egd { body, lhs, rhs }));
+        } else if cur.eat_keyword("sameas") {
+            let body = parse_cnre(&mut cur)?;
+            cur.expect(&TokenKind::Arrow, "sameas")?;
+            cur.expect(&TokenKind::LParen, "sameas head")?;
+            let lhs = Symbol::new(&cur.expect_ident("sameas head")?);
+            cur.expect(&TokenKind::Comma, "sameas head")?;
+            let rhs = Symbol::new(&cur.expect_ident("sameas head")?);
+            cur.expect(&TokenKind::RParen, "sameas head")?;
+            cur.expect(&TokenKind::Semi, "sameas")?;
+            constraints.push(TargetConstraint::SameAs(SameAs { body, lhs, rhs }));
+        } else {
+            return Err(cur.error(
+                "expected one of `source`, `target`, `sttgd`, `tgd`, `egd`, `sameas`",
+            ));
+        }
+    }
+
+    let source = source.ok_or_else(|| GdxError::schema("missing source block"))?;
+    Setting::new(source, target, st_tgds, constraints)
+}
+
+/// Parses `['exists' vars ':'] cnre`.
+fn parse_head(cur: &mut TokenCursor) -> Result<(Vec<Symbol>, Cnre)> {
+    let mut existential = Vec::new();
+    if cur.eat_keyword("exists") {
+        loop {
+            existential.push(Symbol::new(&cur.expect_ident("existential variable")?));
+            if !cur.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        cur.expect(&TokenKind::Colon, "existential quantifier")?;
+    }
+    let head = parse_cnre(cur)?;
+    Ok((existential, head))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_2_2() {
+        let s = parse_setting(
+            "source { Flight/3; Hotel/2 }
+             target { f; h }
+             sttgd Flight(x1, x2, x3), Hotel(x1, x4)
+                   -> exists y : (x2, f.f*, y), (y, h, x4), (y, f.f*, x3);
+             egd (x1, h, x3), (x2, h, x3) -> x1 = x2;",
+        )
+        .unwrap();
+        assert_eq!(s.st_tgds.len(), 1);
+        assert_eq!(s.target_constraints.len(), 1);
+        assert_eq!(s.st_tgds[0].existential.len(), 1);
+        assert_eq!(s.st_tgds[0].head.atoms.len(), 3);
+    }
+
+    #[test]
+    fn parses_all_constraint_kinds() {
+        let s = parse_setting(
+            "source { R/2 }
+             target { a; b }
+             sttgd R(x, y) -> (x, a, y);
+             egd (x, a, y), (z, a, y) -> x = z;
+             tgd (x, a, y) -> exists w : (y, b, w);
+             sameas (x, a, y), (z, a, y) -> (x, z);",
+        )
+        .unwrap();
+        assert!(s.has_egds() && s.has_target_tgds() && s.has_same_as());
+    }
+
+    #[test]
+    fn multiple_st_tgds() {
+        let s = parse_setting(
+            "source { R/1; S/1 }
+             target { a }
+             sttgd R(x) -> exists y : (x, a, y);
+             sttgd S(x) -> (x, a, x);",
+        )
+        .unwrap();
+        assert_eq!(s.st_tgds.len(), 2);
+        assert!(s.st_tgds[1].existential.is_empty());
+    }
+
+    #[test]
+    fn commas_or_semis_in_target() {
+        let a = parse_setting("source { R/1 } target { a, b, c } sttgd R(x) -> (x, a, x);")
+            .unwrap();
+        let b = parse_setting("source { R/1 } target { a; b; c } sttgd R(x) -> (x, a, x);")
+            .unwrap();
+        assert_eq!(a.target, b.target);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_setting("source { R/1 }\nbogus").unwrap_err();
+        match err {
+            GdxError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_source_rejected() {
+        assert!(parse_setting("target { a }").is_err());
+    }
+
+    #[test]
+    fn duplicate_source_rejected() {
+        assert!(parse_setting("source { R/1 } source { S/1 } target { a }").is_err());
+    }
+
+    #[test]
+    fn validation_runs_on_parse() {
+        // Head uses alphabet symbol `z` that is not declared.
+        let r = parse_setting(
+            "source { R/1 } target { a } sttgd R(x) -> (x, z, x);",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn theorem_4_1_style_setting() {
+        // The reduction's shape for n = 2 variables: self-loop unions.
+        let s = parse_setting(
+            "source { R1/1; R2/1 }
+             target { a; t1; f1; t2; f2 }
+             sttgd R1(x), R2(y) -> (x, a, y), (x, t1+f1, x), (x, t2+f2, x);
+             egd (x, t1.f1.a, y) -> x = y;
+             egd (x, t2.f2.a, y) -> x = y;",
+        )
+        .unwrap();
+        assert_eq!(s.st_tgds[0].head.atoms.len(), 3);
+        assert_eq!(s.egds().count(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the mapping DSL: generated settings
+//! round-trip through Display → parse, and validation is stable.
+
+use gdx_common::{Symbol, Term};
+use gdx_mapping::{Egd, SameAs, Setting, SourceToTargetTgd, TargetConstraint};
+use gdx_nre::ast::Nre;
+use gdx_query::{Cnre, CnreAtom};
+use gdx_relational::{Atom, ConjunctiveQuery, Schema};
+use proptest::prelude::*;
+
+fn arb_nre() -> impl Strategy<Value = Nre> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("e1"), Just("e2"), Just("e3")].prop_map(Nre::label),
+        prop_oneof![Just("e1"), Just("e2")].prop_map(Nre::inverse),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
+            inner.clone().prop_map(|x| Nre::Star(Box::new(x))),
+            inner.prop_map(|x| Nre::Test(Box::new(x))),
+        ]
+    })
+}
+
+/// Settings with one s-t tgd over R/2 and 0–2 constraints, all variables
+/// drawn from a safe pool.
+fn arb_setting() -> impl Strategy<Value = Setting> {
+    let head_atom = (0u8..2, arb_nre(), 0u8..3).prop_map(|(l, r, rt)| {
+        let vars = ["x", "y", "z"]; // z is existential
+        CnreAtom::new(
+            Term::var(vars[l as usize]),
+            r,
+            Term::var(vars[rt as usize]),
+        )
+    });
+    let constraint = (arb_nre(), any::<bool>()).prop_map(|(r, egd)| {
+        let body = Cnre::new(vec![CnreAtom::new(Term::var("u"), r, Term::var("v"))]);
+        if egd {
+            TargetConstraint::Egd(Egd {
+                body,
+                lhs: Symbol::new("u"),
+                rhs: Symbol::new("v"),
+            })
+        } else {
+            TargetConstraint::SameAs(SameAs {
+                body,
+                lhs: Symbol::new("u"),
+                rhs: Symbol::new("v"),
+            })
+        }
+    });
+    (
+        proptest::collection::vec(head_atom, 1..4),
+        proptest::collection::vec(constraint, 0..3),
+    )
+        .prop_map(|(head_atoms, constraints)| {
+            let uses_z = head_atoms
+                .iter()
+                .flat_map(CnreAtom::variables)
+                .any(|v| v == Symbol::new("z"));
+            let tgd = SourceToTargetTgd {
+                body: ConjunctiveQuery::new(vec![Atom::new(
+                    Symbol::new("R"),
+                    vec![Term::var("x"), Term::var("y")],
+                )]),
+                existential: if uses_z { vec![Symbol::new("z")] } else { vec![] },
+                head: Cnre::new(head_atoms),
+            };
+            Setting::new(
+                Schema::from_relations([("R", 2)]).unwrap(),
+                vec![Symbol::new("e1"), Symbol::new("e2"), Symbol::new("e3")],
+                vec![tgd],
+                constraints,
+            )
+            .expect("constructed settings are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display → parse → Display is a fixpoint (structural equality does
+    /// not hold in general: `+`/`·` print flat and reparse
+    /// left-associated, which is the printer's documented contract).
+    #[test]
+    fn dsl_roundtrip(s in arb_setting()) {
+        let text = s.to_string();
+        let back = gdx_mapping::dsl::parse_setting(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(back.to_string(), text);
+        // Left-associated trees do round-trip structurally.
+        let again = gdx_mapping::dsl::parse_setting(&back.to_string()).unwrap();
+        prop_assert_eq!(back, again);
+    }
+
+    /// Validation is idempotent and clones validate identically.
+    #[test]
+    fn validation_stable(s in arb_setting()) {
+        prop_assert!(s.validate().is_ok());
+        prop_assert!(s.clone().validate().is_ok());
+    }
+
+    /// The alphabet always contains every declared symbol, plus `sameAs`
+    /// exactly when a sameAs constraint is present.
+    #[test]
+    fn alphabet_contents(s in arb_setting()) {
+        let ab = s.alphabet();
+        for sym in &s.target {
+            prop_assert!(ab.contains(sym));
+        }
+        prop_assert_eq!(
+            ab.contains(&gdx_mapping::same_as_symbol()),
+            s.has_same_as()
+        );
+    }
+}

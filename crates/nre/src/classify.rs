@@ -1,0 +1,189 @@
+//! Fragment classification.
+//!
+//! The paper's hardness results hold under severe syntactic restrictions;
+//! detecting those fragments lets the solvers pick exact algorithms:
+//!
+//! * **single symbol** `a` — the relational fragment of Section 3.1;
+//! * **union of symbols** `a₁ + … + a_m` — what Theorem 4.1's s-t tgds use
+//!   (`a` or `a + b`);
+//! * **SORE(·)** `a₁ · … · a_n` with pairwise-distinct symbols — what
+//!   Theorem 4.1's egd bodies use (single-occurrence regular expressions
+//!   over concatenation, after Antonopoulos–Neven–Servais);
+//! * **test-free** — no nesting `[r]`; the automata crate compiles exactly
+//!   this fragment.
+
+use crate::ast::Nre;
+use gdx_common::{FxHashSet, Symbol};
+
+/// The most specific fragment an NRE belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fragment {
+    /// A single forward symbol `a`.
+    SingleSymbol(Symbol),
+    /// A union of ≥2 distinct forward symbols `a₁+…+a_m`.
+    UnionOfSymbols(Vec<Symbol>),
+    /// A concatenation of ≥2 pairwise-distinct forward symbols `a₁·…·a_n`.
+    SoreConcat(Vec<Symbol>),
+    /// Test-free but none of the above (may use `ε`, inverse, `*`, mixed
+    /// operators).
+    TestFree,
+    /// Contains at least one nesting test.
+    General,
+}
+
+impl Fragment {
+    /// Classifies `r`.
+    pub fn of(r: &Nre) -> Fragment {
+        if let Nre::Label(a) = r {
+            return Fragment::SingleSymbol(*a);
+        }
+        if let Some(syms) = union_of_symbols(r) {
+            return Fragment::UnionOfSymbols(syms);
+        }
+        if let Some(syms) = sore_concat(r) {
+            return Fragment::SoreConcat(syms);
+        }
+        if r.is_test_free() {
+            return Fragment::TestFree;
+        }
+        Fragment::General
+    }
+}
+
+/// `Some(symbols)` when `r` is a union `a₁+…+a_m` of ≥2 *distinct* forward
+/// symbols.
+pub fn union_of_symbols(r: &Nre) -> Option<Vec<Symbol>> {
+    fn collect(r: &Nre, out: &mut Vec<Symbol>) -> bool {
+        match r {
+            Nre::Label(a) => {
+                out.push(*a);
+                true
+            }
+            Nre::Union(x, y) => collect(x, out) && collect(y, out),
+            _ => false,
+        }
+    }
+    let mut syms = Vec::new();
+    if !collect(r, &mut syms) || syms.len() < 2 {
+        return None;
+    }
+    let distinct: FxHashSet<Symbol> = syms.iter().copied().collect();
+    if distinct.len() != syms.len() {
+        return None;
+    }
+    Some(syms)
+}
+
+/// `Some(symbols)` when `r` is a concatenation `a₁·…·a_n` (n ≥ 2) of
+/// pairwise-distinct forward symbols — the SORE(·) fragment of the egds in
+/// Theorem 4.1.
+pub fn sore_concat(r: &Nre) -> Option<Vec<Symbol>> {
+    fn collect(r: &Nre, out: &mut Vec<Symbol>) -> bool {
+        match r {
+            Nre::Label(a) => {
+                out.push(*a);
+                true
+            }
+            Nre::Concat(x, y) => collect(x, out) && collect(y, out),
+            _ => false,
+        }
+    }
+    let mut syms = Vec::new();
+    if !collect(r, &mut syms) || syms.len() < 2 {
+        return None;
+    }
+    let distinct: FxHashSet<Symbol> = syms.iter().copied().collect();
+    if distinct.len() != syms.len() {
+        return None;
+    }
+    Some(syms)
+}
+
+/// `Some(word)` when `L(r)` is a single word of forward symbols (possibly
+/// empty): concatenations of labels and `ε` only. Used by solvers that can
+/// be exact on word-shaped expressions.
+pub fn single_word(r: &Nre) -> Option<Vec<Symbol>> {
+    match r {
+        Nre::Epsilon => Some(vec![]),
+        Nre::Label(a) => Some(vec![*a]),
+        Nre::Concat(x, y) => {
+            let mut w = single_word(x)?;
+            w.extend(single_word(y)?);
+            Some(w)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_nre;
+
+    fn frag(s: &str) -> Fragment {
+        Fragment::of(&parse_nre(s).unwrap())
+    }
+
+    #[test]
+    fn single_symbol() {
+        assert_eq!(frag("a"), Fragment::SingleSymbol(Symbol::new("a")));
+    }
+
+    #[test]
+    fn union_of_symbols_detected() {
+        match frag("t1+f1") {
+            Fragment::UnionOfSymbols(v) => {
+                assert_eq!(v.len(), 2);
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+        match frag("a+b+c") {
+            Fragment::UnionOfSymbols(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected union, got {other:?}"),
+        }
+        // Repeated symbol — `a+a` simplifies via the smart constructor but
+        // the parser builds the raw tree; either way it is not a *distinct*
+        // union.
+        assert_ne!(
+            frag("a+a"),
+            Fragment::UnionOfSymbols(vec![Symbol::new("a"), Symbol::new("a")])
+        );
+    }
+
+    #[test]
+    fn sore_concat_detected() {
+        match frag("t1.f1.a") {
+            Fragment::SoreConcat(v) => {
+                let names: Vec<String> = v.iter().map(|s| s.to_string()).collect();
+                assert_eq!(names, ["t1", "f1", "a"]);
+            }
+            other => panic!("expected SORE(·), got {other:?}"),
+        }
+        // Repetition breaks the single-occurrence requirement.
+        assert_eq!(frag("a.a"), Fragment::TestFree);
+    }
+
+    #[test]
+    fn test_free_fallback() {
+        assert_eq!(frag("a.b*"), Fragment::TestFree);
+        assert_eq!(frag("a-"), Fragment::TestFree);
+        assert_eq!(frag("eps"), Fragment::TestFree);
+        assert_eq!(frag("(a+b).c"), Fragment::TestFree);
+    }
+
+    #[test]
+    fn general_with_tests() {
+        assert_eq!(frag("f.f*.[h].f-.(f-)*"), Fragment::General);
+        assert_eq!(frag("[a]"), Fragment::General);
+    }
+
+    #[test]
+    fn single_word_extraction() {
+        let w = single_word(&parse_nre("a.b.a").unwrap()).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(single_word(&parse_nre("eps").unwrap()).unwrap().len(), 0);
+        assert!(single_word(&parse_nre("a+b").unwrap()).is_none());
+        assert!(single_word(&parse_nre("a*").unwrap()).is_none());
+        assert!(single_word(&parse_nre("a-").unwrap()).is_none());
+    }
+}

@@ -1,0 +1,420 @@
+//! Evaluation of NREs over graphs: `⟦r⟧_G ⊆ V × V`.
+//!
+//! Bottom-up relational evaluation. Composition is a hash join on the
+//! middle node; Kleene star is a per-source BFS over the closure of the
+//! inner relation, which keeps the worst case at `O(|V|·(|V|+|R|))` instead
+//! of cubic matrix iteration.
+
+use crate::ast::Nre;
+use gdx_common::{FxHashMap, FxHashSet, Symbol};
+use gdx_graph::{Graph, NodeId};
+
+/// A binary relation over graph nodes with a forward adjacency index.
+#[derive(Debug, Clone, Default)]
+pub struct BinRel {
+    pairs: FxHashSet<(NodeId, NodeId)>,
+    fwd: FxHashMap<NodeId, Vec<NodeId>>,
+    rev: FxHashMap<NodeId, Vec<NodeId>>,
+}
+
+impl BinRel {
+    /// The empty relation.
+    pub fn new() -> BinRel {
+        BinRel::default()
+    }
+
+    /// Inserts a pair; returns `true` when new.
+    pub fn insert(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.pairs.insert((u, v)) {
+            self.fwd.entry(u).or_default().push(v);
+            self.rev.entry(v).or_default().push(u);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.pairs.contains(&(u, v))
+    }
+
+    /// All pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Successors of `u` in the relation.
+    pub fn image(&self, u: NodeId) -> &[NodeId] {
+        self.fwd.get(&u).map_or(&[], Vec::as_slice)
+    }
+
+    /// Predecessors of `v` in the relation.
+    pub fn preimage(&self, v: NodeId) -> &[NodeId] {
+        self.rev.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The set of first components.
+    pub fn domain(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.fwd.keys().copied()
+    }
+
+    fn from_pairs(pairs: impl IntoIterator<Item = (NodeId, NodeId)>) -> BinRel {
+        let mut r = BinRel::new();
+        for (u, v) in pairs {
+            r.insert(u, v);
+        }
+        r
+    }
+
+    /// Relation composition `self ; other`.
+    pub fn compose(&self, other: &BinRel) -> BinRel {
+        let mut out = BinRel::new();
+        for &(u, m) in &self.pairs {
+            for &v in other.image(m) {
+                out.insert(u, v);
+            }
+        }
+        out
+    }
+
+    /// Reflexive-transitive closure over the node universe of `graph`.
+    pub fn star(&self, graph: &Graph) -> BinRel {
+        let mut out = BinRel::new();
+        for src in graph.node_ids() {
+            // BFS from src over the relation's adjacency.
+            let mut frontier = vec![src];
+            let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+            seen.insert(src);
+            out.insert(src, src);
+            while let Some(u) = frontier.pop() {
+                for &v in self.image(u) {
+                    if seen.insert(v) {
+                        out.insert(src, v);
+                        frontier.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates `⟦r⟧_G`.
+///
+/// ```
+/// use gdx_graph::Graph;
+/// use gdx_nre::parse::parse_nre;
+/// use gdx_nre::eval::eval;
+/// let g = Graph::parse("(a, f, b); (b, f, c);").unwrap();
+/// let r = eval(&g, &parse_nre("f.f").unwrap());
+/// let a = g.node_id(gdx_graph::Node::cst("a")).unwrap();
+/// let c = g.node_id(gdx_graph::Node::cst("c")).unwrap();
+/// assert!(r.contains(a, c));
+/// assert_eq!(r.len(), 1);
+/// ```
+pub fn eval(graph: &Graph, r: &Nre) -> BinRel {
+    match r {
+        Nre::Epsilon => BinRel::from_pairs(graph.node_ids().map(|v| (v, v))),
+        Nre::Label(a) => BinRel::from_pairs(graph.label_pairs(*a)),
+        Nre::Inverse(a) => BinRel::from_pairs(graph.label_pairs(*a).map(|(u, v)| (v, u))),
+        Nre::Union(x, y) => {
+            let mut rel = eval(graph, x);
+            for (u, v) in eval(graph, y).iter() {
+                rel.insert(u, v);
+            }
+            rel
+        }
+        Nre::Concat(x, y) => eval(graph, x).compose(&eval(graph, y)),
+        Nre::Star(inner) => eval(graph, inner).star(graph),
+        Nre::Test(inner) => {
+            let rel = eval(graph, inner);
+            BinRel::from_pairs(rel.domain().map(|u| (u, u)))
+        }
+    }
+}
+
+/// Nodes reachable from `src` via `r`: `{v | (src, v) ∈ ⟦r⟧_G}`.
+///
+/// Computed on the fly without materializing the full relation — the
+/// single-source evaluator recursions stay local except for `Inverse` under
+/// `Star`, which falls back to label-pair scans.
+pub fn eval_from(graph: &Graph, r: &Nre, src: NodeId) -> FxHashSet<NodeId> {
+    let mut set = FxHashSet::default();
+    set.insert(src);
+    eval_from_set(graph, r, &set)
+}
+
+/// Image of a node set under `⟦r⟧_G`.
+pub fn eval_from_set(graph: &Graph, r: &Nre, srcs: &FxHashSet<NodeId>) -> FxHashSet<NodeId> {
+    match r {
+        Nre::Epsilon => srcs.clone(),
+        Nre::Label(a) => {
+            let mut out = FxHashSet::default();
+            for &u in srcs {
+                out.extend(graph.successors(u, *a).iter().copied());
+            }
+            out
+        }
+        Nre::Inverse(a) => {
+            let mut out = FxHashSet::default();
+            for &u in srcs {
+                out.extend(graph.predecessors(u, *a).iter().copied());
+            }
+            out
+        }
+        Nre::Union(x, y) => {
+            let mut out = eval_from_set(graph, x, srcs);
+            out.extend(eval_from_set(graph, y, srcs));
+            out
+        }
+        Nre::Concat(x, y) => {
+            let mid = eval_from_set(graph, x, srcs);
+            eval_from_set(graph, y, &mid)
+        }
+        Nre::Star(inner) => {
+            // BFS on the inner relation starting from srcs.
+            let mut reached = srcs.clone();
+            let mut frontier: FxHashSet<NodeId> = srcs.clone();
+            while !frontier.is_empty() {
+                let next = eval_from_set(graph, inner, &frontier);
+                frontier = next
+                    .into_iter()
+                    .filter(|v| reached.insert(*v))
+                    .collect();
+            }
+            reached
+        }
+        Nre::Test(inner) => srcs
+            .iter()
+            .copied()
+            .filter(|&u| {
+                let mut single = FxHashSet::default();
+                single.insert(u);
+                !eval_from_set(graph, inner, &single).is_empty()
+            })
+            .collect(),
+    }
+}
+
+/// Convenience: does `(u, v) ∈ ⟦r⟧_G` hold?
+pub fn holds(graph: &Graph, r: &Nre, u: NodeId, v: NodeId) -> bool {
+    eval_from(graph, r, u).contains(&v)
+}
+
+/// Evaluates `⟦r⟧_G` restricted to pairs of *labeled* interest — all pairs,
+/// but reported per label symbol used. Helper for query planners that cache
+/// per-NRE relations.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    cache: FxHashMap<Nre, BinRel>,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Evaluates with memoization on the NRE (top level only — inner
+    /// subexpressions recurse through [`eval`]).
+    pub fn eval<'a>(&'a mut self, graph: &Graph, r: &Nre) -> &'a BinRel {
+        self.cache
+            .entry(r.clone())
+            .or_insert_with(|| eval(graph, r))
+    }
+}
+
+/// All labels mentioned by an NRE that actually occur in the graph —
+/// a cheap emptiness precheck.
+pub fn mentions_absent_label(graph: &Graph, r: &Nre) -> bool {
+    let present: FxHashSet<Symbol> = graph.labels().collect();
+    r.symbols().iter().any(|s| !present.contains(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_nre;
+    use gdx_graph::Node;
+
+    fn id(g: &Graph, name: &str) -> NodeId {
+        g.node_id(Node::cst(name))
+            .or_else(|| g.node_id(Node::null(name)))
+            .unwrap_or_else(|| panic!("no node {name}"))
+    }
+
+    fn pairs(g: &Graph, expr: &str) -> FxHashSet<(String, String)> {
+        let rel = eval(g, &parse_nre(expr).unwrap());
+        rel.iter()
+            .map(|(u, v)| (g.node(u).to_string(), g.node(v).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn label_and_inverse() {
+        let g = Graph::parse("(a, f, b); (b, f, c);").unwrap();
+        let fwd = pairs(&g, "f");
+        assert_eq!(fwd.len(), 2);
+        assert!(fwd.contains(&("a".into(), "b".into())));
+        let bwd = pairs(&g, "f-");
+        assert!(bwd.contains(&("b".into(), "a".into())));
+        assert_eq!(bwd.len(), 2);
+    }
+
+    #[test]
+    fn epsilon_is_identity() {
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let rel = eval(&g, &Nre::Epsilon);
+        assert_eq!(rel.len(), 2);
+        for v in g.node_ids() {
+            assert!(rel.contains(v, v));
+        }
+    }
+
+    #[test]
+    fn concat_and_union() {
+        let g = Graph::parse("(a, f, b); (b, g, c); (a, h, c);").unwrap();
+        let fg = pairs(&g, "f.g");
+        assert_eq!(fg.len(), 1);
+        assert!(fg.contains(&("a".into(), "c".into())));
+        let u = pairs(&g, "f.g+h");
+        assert_eq!(u.len(), 1, "both disjuncts give (a,c)");
+    }
+
+    #[test]
+    fn star_closure() {
+        let g = Graph::parse("(a, f, b); (b, f, c); (c, f, d);").unwrap();
+        let rel = eval(&g, &parse_nre("f*").unwrap());
+        // 4 reflexive + 3+2+1 forward = 10
+        assert_eq!(rel.len(), 10);
+        assert!(rel.contains(id(&g, "a"), id(&g, "d")));
+        assert!(!rel.contains(id(&g, "d"), id(&g, "a")));
+    }
+
+    #[test]
+    fn star_on_cycle() {
+        let g = Graph::parse("(a, f, b); (b, f, a);").unwrap();
+        let rel = eval(&g, &parse_nre("f*").unwrap());
+        assert_eq!(rel.len(), 4, "complete relation on the 2-cycle");
+    }
+
+    #[test]
+    fn plus_requires_one_step() {
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let rel = eval(&g, &parse_nre("f.f*").unwrap());
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(id(&g, "a"), id(&g, "b")));
+    }
+
+    #[test]
+    fn test_selects_nodes_with_witness() {
+        // [h] holds at nodes that have an outgoing h-edge.
+        let g = Graph::parse("(n1, h, hx); (n2, g, hx);").unwrap();
+        let rel = eval(&g, &parse_nre("[h]").unwrap());
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(id(&g, "n1"), id(&g, "n1")));
+    }
+
+    #[test]
+    fn papers_query_on_g1() {
+        // Figure 1(a): G1, query Q = f.f*.[h].f-.(f-)*.
+        let g = Graph::parse(
+            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
+        )
+        .unwrap();
+        let q = parse_nre("f.f*.[h].f-.(f-)*").unwrap();
+        let rel = eval(&g, &q);
+        let sel: FxHashSet<(String, String)> = rel
+            .iter()
+            .map(|(u, v)| (g.node(u).to_string(), g.node(v).to_string()))
+            .collect();
+        let expected: FxHashSet<(String, String)> = [
+            ("c1", "c1"),
+            ("c1", "c3"),
+            ("c3", "c1"),
+            ("c3", "c3"),
+        ]
+        .iter()
+        .map(|&(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+        assert_eq!(sel, expected, "JQK_G1 from Example 2.2");
+    }
+
+    #[test]
+    fn papers_query_on_g2() {
+        // Figure 1(b): G2 has an extra hop c1 -f-> N1 -f-> N2(-h->hy), N2 -f-> c2…
+        // Per the paper: JQK_G2 has 9 pairs.
+        let g = Graph::parse(
+            "(c1, f, _N1); (_N1, f, _N2); (_N2, f, c2);
+             (c3, f, _N2); (_N2, h, hx); (_N1, h, hy); (_N2, f, c2);
+             (c3, f, _N1);",
+        )
+        .unwrap();
+        // This is a hand-encoding of Fig 1(b); the paper draws
+        // c1→N1→N2→c2, c3→N2, c3→N1? — the answer set below is what the
+        // paper lists, which is the ground truth we check against.
+        let q = parse_nre("f.f*.[h].f-.(f-)*").unwrap();
+        let rel = eval(&g, &q);
+        let names: FxHashSet<(String, String)> = rel
+            .iter()
+            .map(|(u, v)| (g.node(u).to_string(), g.node(v).to_string()))
+            .collect();
+        for (a, b) in [("c1", "c1"), ("c1", "c3"), ("c3", "c1"), ("c3", "c3")] {
+            assert!(names.contains(&(a.to_string(), b.to_string())), "{a},{b}");
+        }
+    }
+
+    #[test]
+    fn eval_from_matches_full_eval() {
+        let g = Graph::parse(
+            "(a, f, b); (b, f, c); (c, g, a); (b, h, d); (d, g, b);",
+        )
+        .unwrap();
+        for expr in ["f", "f-", "f.f", "f*", "(f+g)*", "[h]", "f.[h].f-", "eps"] {
+            let r = parse_nre(expr).unwrap();
+            let full = eval(&g, &r);
+            for u in g.node_ids() {
+                let from = eval_from(&g, &r, u);
+                let expected: FxHashSet<NodeId> =
+                    full.iter().filter(|&(s, _)| s == u).map(|(_, v)| v).collect();
+                assert_eq!(from, expected, "expr {expr} src {}", g.node(u));
+            }
+        }
+    }
+
+    #[test]
+    fn holds_shortcut() {
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let r = parse_nre("f").unwrap();
+        assert!(holds(&g, &r, id(&g, "a"), id(&g, "b")));
+        assert!(!holds(&g, &r, id(&g, "b"), id(&g, "a")));
+    }
+
+    #[test]
+    fn cache_reuses_results() {
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let mut cache = EvalCache::new();
+        let r = parse_nre("f*").unwrap();
+        let n1 = cache.eval(&g, &r).len();
+        let n2 = cache.eval(&g, &r).len();
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn absent_label_detection() {
+        let g = Graph::parse("(a, f, b);").unwrap();
+        assert!(mentions_absent_label(&g, &parse_nre("f.zzz").unwrap()));
+        assert!(!mentions_absent_label(&g, &parse_nre("f.f").unwrap()));
+    }
+}

@@ -1,0 +1,184 @@
+//! Text syntax for NREs.
+//!
+//! Grammar (standard precedence — union lowest, then concatenation, then
+//! the postfix operators `*` and `-`):
+//!
+//! ```text
+//! union  := concat ('+' concat)*
+//! concat := postfix ('.' postfix)*
+//! postfix:= atom ('*' | '-')*
+//! atom   := 'eps' | 'ε' | label | '(' union ')' | '[' union ']'
+//! ```
+//!
+//! The paper's query `f · f*[h] · f⁻ · (f⁻)*` is written
+//! `f.f*.[h].f-.(f-)*`.
+
+use crate::ast::Nre;
+use gdx_common::lexer::{TokenCursor, TokenKind};
+use gdx_common::{Result, Symbol};
+
+/// Parses a complete NRE, rejecting trailing input.
+pub fn parse_nre(input: &str) -> Result<Nre> {
+    let mut cur = TokenCursor::new(input)?;
+    let r = parse_union(&mut cur)?;
+    if !cur.at_eof() {
+        return Err(cur.error("trailing input after NRE"));
+    }
+    Ok(r)
+}
+
+/// Parses an NRE from an existing cursor (used by the CNRE and mapping DSL
+/// parsers, which embed NREs between commas/parens).
+pub fn parse_union(cur: &mut TokenCursor) -> Result<Nre> {
+    let mut r = parse_concat(cur)?;
+    while cur.eat(&TokenKind::Plus) {
+        let rhs = parse_concat(cur)?;
+        r = Nre::Union(Box::new(r), Box::new(rhs));
+    }
+    Ok(r)
+}
+
+fn parse_concat(cur: &mut TokenCursor) -> Result<Nre> {
+    let mut r = parse_postfix(cur)?;
+    while cur.eat(&TokenKind::Dot) {
+        let rhs = parse_postfix(cur)?;
+        r = Nre::Concat(Box::new(r), Box::new(rhs));
+    }
+    Ok(r)
+}
+
+fn parse_postfix(cur: &mut TokenCursor) -> Result<Nre> {
+    let mut r = parse_atom(cur)?;
+    loop {
+        if cur.eat(&TokenKind::Star) {
+            r = Nre::Star(Box::new(r));
+        } else if cur.eat(&TokenKind::Minus) {
+            r = match r {
+                Nre::Label(a) => Nre::Inverse(a),
+                other => {
+                    return Err(cur.error(format!(
+                        "inverse `-` applies to single labels, not to `{other}`"
+                    )))
+                }
+            };
+        } else {
+            break;
+        }
+    }
+    Ok(r)
+}
+
+fn parse_atom(cur: &mut TokenCursor) -> Result<Nre> {
+    if cur.eat(&TokenKind::LParen) {
+        let r = parse_union(cur)?;
+        cur.expect(&TokenKind::RParen, "parenthesized NRE")?;
+        return Ok(r);
+    }
+    if cur.eat(&TokenKind::LBracket) {
+        let r = parse_union(cur)?;
+        cur.expect(&TokenKind::RBracket, "nesting test")?;
+        return Ok(Nre::Test(Box::new(r)));
+    }
+    let name = cur.expect_ident("NRE atom")?;
+    if name == "eps" {
+        Ok(Nre::Epsilon)
+    } else {
+        Ok(Nre::Label(Symbol::new(&name)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms() {
+        assert_eq!(parse_nre("f").unwrap(), Nre::label("f"));
+        assert_eq!(parse_nre("eps").unwrap(), Nre::Epsilon);
+        assert_eq!(parse_nre("ε").unwrap(), Nre::Epsilon);
+        assert_eq!(parse_nre("f-").unwrap(), Nre::inverse("f"));
+    }
+
+    #[test]
+    fn precedence() {
+        // a+b.c = a + (b.c)
+        let r = parse_nre("a+b.c").unwrap();
+        assert_eq!(
+            r,
+            Nre::Union(
+                Box::new(Nre::label("a")),
+                Box::new(Nre::Concat(
+                    Box::new(Nre::label("b")),
+                    Box::new(Nre::label("c"))
+                ))
+            )
+        );
+        // a.b* = a.(b*)
+        let r = parse_nre("a.b*").unwrap();
+        assert_eq!(
+            r,
+            Nre::Concat(
+                Box::new(Nre::label("a")),
+                Box::new(Nre::Star(Box::new(Nre::label("b"))))
+            )
+        );
+    }
+
+    #[test]
+    fn papers_query() {
+        let q = parse_nre("f.f*.[h].f-.(f-)*").unwrap();
+        assert_eq!(q.to_string(), "f.f*.[h].f-.(f-)*");
+        assert_eq!(q.test_depth(), 1);
+        assert!(!q.is_forward());
+    }
+
+    #[test]
+    fn example_5_2_nre() {
+        // a·(b* + c*)·a from Example 5.2.
+        let r = parse_nre("a.(b*+c*).a").unwrap();
+        assert_eq!(r.to_string(), "a.(b*+c*).a");
+    }
+
+    #[test]
+    fn inverse_star_roundtrip() {
+        let r = parse_nre("(f-)*").unwrap();
+        assert_eq!(r, Nre::Star(Box::new(Nre::inverse("f"))));
+        assert_eq!(parse_nre(&r.to_string()).unwrap(), r);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for text in [
+            "f.f*",
+            "a+b",
+            "(a+b).c",
+            "(a+b)*",
+            "[h]",
+            "a.[b.c*].d-",
+            "eps+a",
+            "((a.b)+c)*",
+            "t1+f1",
+        ] {
+            let r = parse_nre(text).unwrap();
+            let r2 = parse_nre(&r.to_string()).unwrap();
+            assert_eq!(r, r2, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_nre("").is_err());
+        assert!(parse_nre("(a").is_err());
+        assert!(parse_nre("[a").is_err());
+        assert!(parse_nre("a+").is_err());
+        assert!(parse_nre("a..b").is_err());
+        assert!(parse_nre("(a+b)-").is_err(), "inverse on non-label");
+        assert!(parse_nre("a b").is_err(), "trailing input");
+    }
+
+    #[test]
+    fn double_inverse_rejected() {
+        // a-- would be inverse of an inverse; the grammar forbids it.
+        assert!(parse_nre("a--").is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the NRE substrate: parser/printer agreement,
+//! full-relation vs single-source evaluation, reversal, and witness
+//! soundness — all over *randomly generated* expressions and graphs.
+
+use gdx_graph::{Graph, NodeId};
+use gdx_nre::ast::Nre;
+use gdx_nre::eval::{eval, eval_from};
+use gdx_nre::parse::parse_nre;
+use gdx_nre::witness::{self, EnumConfig};
+use proptest::prelude::*;
+
+/// Strategy: random NREs over the alphabet {a, b, c}, depth-bounded.
+fn arb_nre() -> impl Strategy<Value = Nre> {
+    let leaf = prop_oneof![
+        Just(Nre::Epsilon),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Nre::label),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Nre::inverse),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
+            inner.clone().prop_map(|x| Nre::Star(Box::new(x))),
+            inner.prop_map(|x| Nre::Test(Box::new(x))),
+        ]
+    })
+}
+
+/// Strategy: random small graphs over the same alphabet.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    // Up to 6 nodes, up to 12 edges, labels a/b/c.
+    proptest::collection::vec((0u32..6, 0u8..3, 0u32..6), 0..12).prop_map(|edges| {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..6).map(|i| g.add_const(&format!("v{i}"))).collect();
+        for (s, l, d) in edges {
+            let label = ["a", "b", "c"][l as usize];
+            g.add_edge_labelled(nodes[s as usize], label, nodes[d as usize]);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Printing then reparsing yields a syntactically identical tree once
+    /// the printed form is taken as canonical (print∘parse is a fixpoint).
+    #[test]
+    fn display_parse_fixpoint(r in arb_nre()) {
+        let printed = r.to_string();
+        let reparsed = parse_nre(&printed).expect("printer output parses");
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// The single-source evaluator agrees with the full-relation evaluator
+    /// on every source node.
+    #[test]
+    fn eval_from_agrees_with_eval(r in arb_nre(), g in arb_graph()) {
+        let full = eval(&g, &r);
+        for u in g.node_ids() {
+            let from: std::collections::BTreeSet<NodeId> =
+                eval_from(&g, &r, u).into_iter().collect();
+            let expected: std::collections::BTreeSet<NodeId> = full
+                .iter()
+                .filter(|&(s, _)| s == u)
+                .map(|(_, v)| v)
+                .collect();
+            prop_assert_eq!(&from, &expected, "src {}", u);
+        }
+    }
+
+    /// ⟦rev(r)⟧ is the inverse relation of ⟦r⟧.
+    #[test]
+    fn reversal_inverts_semantics(r in arb_nre(), g in arb_graph()) {
+        let fwd: std::collections::BTreeSet<(NodeId, NodeId)> =
+            eval(&g, &r).iter().collect();
+        let bwd: std::collections::BTreeSet<(NodeId, NodeId)> =
+            eval(&g, &r.reversed()).iter().map(|(u, v)| (v, u)).collect();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Every enumerated witness, once materialized into a fresh graph,
+    /// satisfies the expression between its endpoints.
+    #[test]
+    fn witnesses_are_sound(r in arb_nre()) {
+        let cfg = EnumConfig { star_unroll: 2, max_len: 4, max_witnesses: 6 };
+        for w in witness::enumerate(&r, cfg) {
+            let mut g = Graph::new();
+            let s = g.add_const("src");
+            let d = if w.main_len() == 0 { s } else { g.add_const("dst") };
+            witness::materialize(&mut g, &w, s, d).expect("materialize");
+            prop_assert!(
+                gdx_nre::eval::holds(&g, &r, s, d),
+                "witness {:?} of {} does not satisfy it", w, r
+            );
+        }
+    }
+
+    /// The shortest witness is minimal within the enumerated family.
+    #[test]
+    fn shortest_witness_is_minimal(r in arb_nre()) {
+        let s = witness::shortest(&r);
+        let cfg = EnumConfig { star_unroll: 2, max_len: 6, max_witnesses: 32 };
+        for w in witness::enumerate(&r, cfg) {
+            prop_assert!(s.main_len() <= w.main_len());
+        }
+    }
+
+    /// Semantic monotonicity: adding edges never removes pairs (NREs are
+    /// positive).
+    #[test]
+    fn eval_is_monotone(r in arb_nre(), g in arb_graph()) {
+        let before = eval(&g, &r);
+        let mut bigger = g.clone();
+        // Add one arbitrary extra edge between existing nodes.
+        if bigger.node_count() >= 2 {
+            bigger.add_edge_labelled(0, "a", 1);
+        }
+        let after = eval(&bigger, &r);
+        for (u, v) in before.iter() {
+            prop_assert!(after.contains(u, v));
+        }
+    }
+
+    /// Simplification preserves semantics on every graph and never grows
+    /// the expression.
+    #[test]
+    fn simplify_preserves_semantics(r in arb_nre(), g in arb_graph()) {
+        let s = gdx_nre::simplify::simplify(&r);
+        prop_assert!(s.size() <= r.size());
+        let before: std::collections::BTreeSet<(NodeId, NodeId)> =
+            eval(&g, &r).iter().collect();
+        let after: std::collections::BTreeSet<(NodeId, NodeId)> =
+            eval(&g, &s).iter().collect();
+        prop_assert_eq!(before, after, "{} vs {}", r, s);
+    }
+
+    /// Simplification is idempotent.
+    #[test]
+    fn simplify_idempotent(r in arb_nre()) {
+        let once = gdx_nre::simplify::simplify(&r);
+        let twice = gdx_nre::simplify::simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Union and concat sizes behave: |⟦x+y⟧| ≥ max and ⟦x⟧;⟦y⟧ ⊆ ⟦x·y⟧.
+    #[test]
+    fn union_contains_operands(x in arb_nre(), y in arb_nre(), g in arb_graph()) {
+        let u = eval(&g, &Nre::Union(Box::new(x.clone()), Box::new(y.clone())));
+        for (a, b) in eval(&g, &x).iter() {
+            prop_assert!(u.contains(a, b));
+        }
+        for (a, b) in eval(&g, &y).iter() {
+            prop_assert!(u.contains(a, b));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Pattern-to-graph homomorphisms: the semantics of `Rep_Σ(π)`.
+//!
+//! A homomorphism `h : π → G` is a total function on pattern nodes that is
+//! the identity on constants (requirement 1 of the paper's Section 3.2)
+//! and satisfies `(h(u), h(v)) ∈ ⟦r⟧_G` for every pattern edge `(u, r, v)`
+//! (requirement 2).
+//!
+//! Deciding `π → G` is NP-complete in general; the search below is a
+//! backtracking matcher with per-null candidate filtering (arc
+//! consistency on unary projections of the edge relations), which is fast
+//! on chase-produced patterns (few nulls, many constants).
+
+use crate::pattern::{GraphPattern, PNodeId};
+use gdx_common::{FxHashMap, FxHashSet};
+use gdx_graph::{Graph, NodeId};
+use gdx_nre::eval::EvalCache;
+use gdx_nre::BinRel;
+
+/// Searches for a homomorphism `π → G`; returns the node map if one exists.
+pub fn find_pattern_homomorphism(
+    pattern: &GraphPattern,
+    graph: &Graph,
+) -> Option<FxHashMap<PNodeId, NodeId>> {
+    let mut cache = EvalCache::new();
+    // Materialize each distinct edge NRE once.
+    let rels: Vec<BinRel> = pattern
+        .edges()
+        .iter()
+        .map(|(_, r, _)| cache.eval(graph, r).clone())
+        .collect();
+
+    let mut assign: FxHashMap<PNodeId, NodeId> = FxHashMap::default();
+    // Constants are forced (identity).
+    for id in pattern.node_ids() {
+        let node = pattern.node(id);
+        if node.is_const() {
+            assign.insert(id, graph.node_id(node)?);
+        }
+    }
+
+    // Candidate sets for nulls: intersect unary projections of incident
+    // edge relations.
+    let mut candidates: FxHashMap<PNodeId, FxHashSet<NodeId>> = FxHashMap::default();
+    for id in pattern.node_ids() {
+        if pattern.node(id).is_const() {
+            continue;
+        }
+        let mut cand: Option<FxHashSet<NodeId>> = None;
+        for (ei, (s, _, d)) in pattern.edges().iter().enumerate() {
+            let filter: Option<FxHashSet<NodeId>> = if *s == id && *d == id {
+                Some(rels[ei].iter().filter(|(u, v)| u == v).map(|(u, _)| u).collect())
+            } else if *s == id {
+                Some(rels[ei].domain().collect())
+            } else if *d == id {
+                Some(rels[ei].iter().map(|(_, v)| v).collect())
+            } else {
+                None
+            };
+            if let Some(f) = filter {
+                cand = Some(match cand {
+                    None => f,
+                    Some(c) => c.intersection(&f).copied().collect(),
+                });
+                if cand.as_ref().is_some_and(FxHashSet::is_empty) {
+                    return None;
+                }
+            }
+        }
+        let cand = cand.unwrap_or_else(|| graph.node_ids().collect());
+        candidates.insert(id, cand);
+    }
+
+    // Early rejection on constant-constant edges.
+    for (ei, (s, _, d)) in pattern.edges().iter().enumerate() {
+        if let (Some(&hs), Some(&hd)) = (assign.get(s), assign.get(d)) {
+            if !rels[ei].contains(hs, hd) {
+                return None;
+            }
+        }
+    }
+
+    // Order nulls by candidate-set size (fail-first).
+    let mut nulls: Vec<PNodeId> = pattern
+        .node_ids()
+        .filter(|id| !pattern.node(*id).is_const())
+        .collect();
+    nulls.sort_by_key(|id| candidates[id].len());
+
+    if search(pattern, &rels, &nulls, 0, &candidates, &mut assign) {
+        Some(assign)
+    } else {
+        None
+    }
+}
+
+/// `G ∈ Rep_Σ(π)`?
+pub fn represents(pattern: &GraphPattern, graph: &Graph) -> bool {
+    find_pattern_homomorphism(pattern, graph).is_some()
+}
+
+fn search(
+    pattern: &GraphPattern,
+    rels: &[BinRel],
+    nulls: &[PNodeId],
+    depth: usize,
+    candidates: &FxHashMap<PNodeId, FxHashSet<NodeId>>,
+    assign: &mut FxHashMap<PNodeId, NodeId>,
+) -> bool {
+    if depth == nulls.len() {
+        return true;
+    }
+    let u = nulls[depth];
+    for &cand in &candidates[&u] {
+        assign.insert(u, cand);
+        if consistent(pattern, rels, assign)
+            && search(pattern, rels, nulls, depth + 1, candidates, assign)
+        {
+            return true;
+        }
+        assign.remove(&u);
+    }
+    false
+}
+
+fn consistent(
+    pattern: &GraphPattern,
+    rels: &[BinRel],
+    assign: &FxHashMap<PNodeId, NodeId>,
+) -> bool {
+    for (ei, (s, _, d)) in pattern.edges().iter().enumerate() {
+        if let (Some(&hs), Some(&hd)) = (assign.get(s), assign.get(d)) {
+            if !rels[ei].contains(hs, hd) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3() -> GraphPattern {
+        GraphPattern::parse(
+            "(c1, f.f*, _N1); (_N1, f.f*, c2); (_N1, h, hy);
+             (c1, f.f*, _N2); (_N2, f.f*, c2); (_N2, h, hx);
+             (c3, f.f*, _N3); (_N3, f.f*, c2); (_N3, h, hx);",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn g1_is_represented_by_fig3() {
+        // Figure 1(a): all three nulls fold onto the single null N.
+        let g1 = Graph::parse(
+            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
+        )
+        .unwrap();
+        assert!(represents(&fig3(), &g1));
+    }
+
+    #[test]
+    fn g2_is_represented_by_fig3() {
+        // Figure 1(b): two intermediate nulls.
+        let g2 = Graph::parse(
+            "(c1, f, _N1); (c3, f, _N1); (_N1, f, _N2); (_N1, f, c2);
+             (_N2, f, c2); (_N1, h, hy); (_N1, h, hx);",
+        )
+        .unwrap();
+        assert!(represents(&fig3(), &g2));
+    }
+
+    #[test]
+    fn missing_hotel_edge_breaks_hom() {
+        let g = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx);")
+            .unwrap();
+        // No h-edge to hy anywhere: N1's (N1, h, hy) constraint fails.
+        assert!(!represents(&fig3(), &g));
+    }
+
+    #[test]
+    fn missing_constant_breaks_hom() {
+        let g = Graph::parse("(c1, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
+            .unwrap();
+        // c3 absent from G.
+        assert!(!represents(&fig3(), &g));
+    }
+
+    #[test]
+    fn kleene_star_folds_long_paths() {
+        let p = GraphPattern::parse("(a, f.f*, b);").unwrap();
+        let long = Graph::parse("(a, f, _X1); (_X1, f, _X2); (_X2, f, b);").unwrap();
+        assert!(represents(&p, &long));
+        let zero = Graph::parse("node(a); node(b);").unwrap();
+        assert!(!represents(&p, &zero), "f.f* needs at least one f");
+    }
+
+    #[test]
+    fn hom_map_is_returned() {
+        let p = GraphPattern::parse("(a, f, _N); (_N, h, c);").unwrap();
+        let g = Graph::parse("(a, f, m); (m, h, c);").unwrap();
+        let h = find_pattern_homomorphism(&p, &g).unwrap();
+        let n = p.node_id(gdx_graph::Node::null("N")).unwrap();
+        let m = g.node_id(gdx_graph::Node::cst("m")).unwrap();
+        assert_eq!(h[&n], m);
+    }
+
+    #[test]
+    fn self_loop_pattern_edge() {
+        let p = GraphPattern::parse("(_N, t1+f1, _N);").unwrap();
+        let g_yes = Graph::parse("(c1, t1, c1);").unwrap();
+        let g_no = Graph::parse("(c1, t1, c2);").unwrap();
+        assert!(represents(&p, &g_yes));
+        assert!(!represents(&p, &g_no));
+    }
+
+    #[test]
+    fn epsilon_edge_forces_equality() {
+        let p = GraphPattern::parse("(a, eps, b);").unwrap();
+        let g = Graph::parse("node(a); node(b);").unwrap();
+        assert!(!represents(&p, &g), "ε between distinct constants");
+        let p2 = GraphPattern::parse("(a, eps, _N);").unwrap();
+        assert!(represents(&p2, &g), "null folds onto a itself");
+    }
+}

@@ -1,0 +1,299 @@
+//! Canonical instantiation of graph patterns.
+//!
+//! An *instantiation* realizes every NRE edge of a pattern by a concrete
+//! witness path (fresh nulls for intermediate nodes), producing a graph `G`
+//! with `π → G` via the identity-on-pattern-nodes homomorphism. The
+//! shortest instantiation is the canonical solution of a setting without
+//! target constraints; the *family* of bounded instantiations is the
+//! candidate pool for certain-answer counterexample search (these are
+//! homomorphism-minimal members of `Rep_Σ(π)` up to the enumeration
+//! bounds — see DESIGN.md §5).
+//!
+//! Edges whose language is `{ε}` force their endpoints to be equal; the
+//! instantiator resolves those by merging (failing when both endpoints are
+//! distinct constants).
+
+use crate::pattern::{GraphPattern, PNodeId};
+use gdx_common::{FxHashMap, GdxError, Result, UnionFind};
+use gdx_graph::{Graph, NodeId};
+use gdx_nre::witness::{self, EnumConfig, Witness};
+use gdx_nre::Nre;
+
+/// Bounds for instantiation families.
+#[derive(Debug, Clone, Copy)]
+pub struct InstantiationConfig {
+    /// Witness enumeration bounds per edge.
+    pub witnesses: EnumConfig,
+    /// Cap on the number of graphs generated.
+    pub max_graphs: usize,
+}
+
+impl Default for InstantiationConfig {
+    fn default() -> InstantiationConfig {
+        InstantiationConfig {
+            witnesses: EnumConfig::default(),
+            max_graphs: 256,
+        }
+    }
+}
+
+/// Merges endpoints of `{ε}`-language edges; returns the quotiented
+/// pattern and the list of residual (non-ε-only) edges. Fails when two
+/// distinct constants are forced equal.
+fn resolve_epsilon_edges(pattern: &GraphPattern) -> Result<GraphPattern> {
+    let mut uf = UnionFind::new(pattern.node_count());
+    for (s, r, d) in pattern.edges() {
+        let eps_only = witness::shortest_nonempty(r).is_none();
+        if eps_only && s != d {
+            // Representative preference: constants win.
+            let (rs, rd) = (uf.find(*s), uf.find(*d));
+            if rs == rd {
+                continue;
+            }
+            let s_const = pattern.node(rs).is_const();
+            let d_const = pattern.node(rd).is_const();
+            match (s_const, d_const) {
+                (true, true) => {
+                    return Err(GdxError::unsupported(format!(
+                        "ε-only pattern edge forces distinct constants {} = {}",
+                        pattern.node(rs),
+                        pattern.node(rd)
+                    )))
+                }
+                (true, false) => {
+                    uf.union_into(rs, rd);
+                }
+                _ => {
+                    uf.union_into(rd, rs);
+                }
+            }
+        }
+    }
+    let mut quotiented = pattern.quotient(|id| uf.find_const(id));
+    // Drop self-loop edges whose shortest witness materializes nothing at
+    // all (pure ε, no nesting-test branches): they are trivially
+    // satisfied. Test edges like `[f]` keep their branch obligations.
+    let mut clean = GraphPattern::new();
+    let mut remap: FxHashMap<PNodeId, PNodeId> = FxHashMap::default();
+    for id in quotiented.node_ids() {
+        remap.insert(id, clean.add_node(quotiented.node(id)));
+    }
+    let edges: Vec<_> = quotiented.edges().to_vec();
+    for (s, r, d) in edges {
+        if s == d {
+            let w = witness::shortest(&r);
+            if w.main_len() == 0 && w.edge_count() == 0 {
+                continue;
+            }
+        }
+        clean.add_edge(remap[&s], r, remap[&d]);
+    }
+    quotiented = clean;
+    Ok(quotiented)
+}
+
+/// The canonical (shortest-witness) instantiation of `pattern`.
+///
+/// Every pattern node appears under its own name; every edge is realized
+/// by its shortest witness (preferring non-empty main paths between
+/// distinct endpoints).
+pub fn instantiate_shortest(pattern: &GraphPattern) -> Result<Graph> {
+    let pattern = resolve_epsilon_edges(pattern)?;
+    let mut g = Graph::new();
+    let mut node_map: FxHashMap<PNodeId, NodeId> = FxHashMap::default();
+    for id in pattern.node_ids() {
+        node_map.insert(id, g.add_node(pattern.node(id)));
+    }
+    for (s, r, d) in pattern.edges() {
+        let w = pick_witness(r, s == d)?;
+        witness::materialize(&mut g, &w, node_map[s], node_map[d])?;
+    }
+    Ok(g)
+}
+
+fn pick_witness(r: &Nre, self_loop: bool) -> Result<Witness> {
+    let shortest = witness::shortest(r);
+    if shortest.main_len() == 0 && !self_loop {
+        witness::shortest_nonempty(r).ok_or_else(|| {
+            GdxError::Internal(
+                "ε-only edge survived resolve_epsilon_edges".to_owned(),
+            )
+        })
+    } else {
+        Ok(shortest)
+    }
+}
+
+/// A bounded family of instantiations of `pattern`: the cartesian product
+/// of per-edge witness families, capped at `cfg.max_graphs`, shortest
+/// combination first. Every returned graph is in `Rep_Σ(pattern)`.
+pub fn instantiation_family(
+    pattern: &GraphPattern,
+    cfg: InstantiationConfig,
+) -> Result<Vec<Graph>> {
+    let pattern = resolve_epsilon_edges(pattern)?;
+    let per_edge: Vec<Vec<Witness>> = pattern
+        .edges()
+        .iter()
+        .map(|(s, r, d)| {
+            witness::enumerate(r, cfg.witnesses)
+                .into_iter()
+                .filter(|w| w.main_len() > 0 || s == d)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if per_edge.iter().any(Vec::is_empty) {
+        // An edge admits no usable witness within bounds (ε-only between
+        // distinct nodes was already resolved, so this is a bounds issue).
+        return Err(GdxError::limit(
+            "witness enumeration bounds left an edge without realizations",
+        ));
+    }
+
+    let mut graphs = Vec::new();
+    let mut counters = vec![0usize; per_edge.len()];
+    'outer: loop {
+        let mut g = Graph::new();
+        let mut node_map: FxHashMap<PNodeId, NodeId> = FxHashMap::default();
+        for id in pattern.node_ids() {
+            node_map.insert(id, g.add_node(pattern.node(id)));
+        }
+        for (ei, (s, _, d)) in pattern.edges().iter().enumerate() {
+            let w = &per_edge[ei][counters[ei]];
+            witness::materialize(&mut g, w, node_map[s], node_map[d])?;
+        }
+        graphs.push(g);
+        if graphs.len() >= cfg.max_graphs {
+            break;
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == counters.len() {
+                break 'outer;
+            }
+            counters[i] += 1;
+            if counters[i] < per_edge[i].len() {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+    Ok(graphs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::represents;
+
+    fn fig3() -> GraphPattern {
+        GraphPattern::parse(
+            "(c1, f.f*, _N1); (_N1, f.f*, c2); (_N1, h, hy);
+             (c1, f.f*, _N2); (_N2, f.f*, c2); (_N2, h, hx);
+             (c3, f.f*, _N3); (_N3, f.f*, c2); (_N3, h, hx);",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shortest_instantiation_is_represented() {
+        let p = fig3();
+        let g = instantiate_shortest(&p).unwrap();
+        assert!(represents(&p, &g), "π → canonical(π) must hold");
+        // Shortest witnesses: every f.f* edge becomes one f edge.
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.node_count(), 8);
+    }
+
+    #[test]
+    fn family_members_are_represented() {
+        let p = GraphPattern::parse("(a, f.f*, b); (b, h+g, c);").unwrap();
+        let family = instantiation_family(&p, InstantiationConfig::default()).unwrap();
+        assert!(family.len() >= 4, "star unrollings × union branches");
+        for g in &family {
+            assert!(represents(&p, g));
+        }
+    }
+
+    #[test]
+    fn family_varies_witness_words() {
+        let p = GraphPattern::parse("(a, f.f*, b);").unwrap();
+        let family = instantiation_family(&p, InstantiationConfig::default()).unwrap();
+        let sizes: std::collections::BTreeSet<usize> =
+            family.iter().map(Graph::edge_count).collect();
+        assert!(sizes.contains(&1) && sizes.contains(&2), "{sizes:?}");
+    }
+
+    #[test]
+    fn epsilon_edge_merges_null() {
+        let p = GraphPattern::parse("(a, eps, _N); (_N, f, b);").unwrap();
+        let g = instantiate_shortest(&p).unwrap();
+        // N merged into a: single edge a -f-> b.
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.node_id(gdx_graph::Node::null("N")).is_none());
+        assert!(represents(&p, &g));
+    }
+
+    #[test]
+    fn epsilon_between_constants_fails() {
+        let p = GraphPattern::parse("(a, eps, b);").unwrap();
+        assert!(instantiate_shortest(&p).is_err());
+        let p2 = GraphPattern::parse("(a, eps+f, b);").unwrap();
+        // Non-ε realization exists: f.
+        let g = instantiate_shortest(&p2).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn test_edges_materialize_branches() {
+        let p = GraphPattern::parse("(a, f.[h], b);").unwrap();
+        let g = instantiate_shortest(&p).unwrap();
+        // a -f-> b plus b -h-> fresh.
+        assert_eq!(g.edge_count(), 2);
+        assert!(represents(&p, &g));
+    }
+
+    #[test]
+    fn family_respects_cap() {
+        let p = GraphPattern::parse("(a, (f+g)*.(x+y), b);").unwrap();
+        let family = instantiation_family(
+            &p,
+            InstantiationConfig {
+                max_graphs: 5,
+                ..InstantiationConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(family.len(), 5);
+    }
+
+    #[test]
+    fn pure_test_edge_keeps_branch_obligation() {
+        // Regression: (k0, [f], _N) has an ε-only main path, so N merges
+        // into k0 — but the nesting test still demands an outgoing
+        // f-witness at k0. Dropping the self-loop entirely produced
+        // instantiations outside Rep(π).
+        let p = GraphPattern::parse("(k0, [f], _N);").unwrap();
+        let g = instantiate_shortest(&p).unwrap();
+        assert_eq!(g.edge_count(), 1, "the f-branch must materialize");
+        assert!(represents(&p, &g));
+        // A pure-ε self-loop, by contrast, is dropped.
+        let p2 = GraphPattern::parse("(k0, eps, _N);").unwrap();
+        let g2 = instantiate_shortest(&p2).unwrap();
+        assert_eq!(g2.edge_count(), 0);
+        assert!(represents(&p2, &g2));
+    }
+
+    #[test]
+    fn example_5_2_pattern_instantiation() {
+        // π = (c1, a.(b*+c*).a, c2): shortest realization is a·a through one
+        // fresh null.
+        let p = GraphPattern::parse("(c1, a.(b0*+c0*).a, c2);").unwrap();
+        let g = instantiate_shortest(&p).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 3);
+        assert!(represents(&p, &g));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for graph patterns: instantiation soundness
+//! (`π → instantiate(π)` always holds), Rep monotonicity, and quotient
+//! compatibility with homomorphisms.
+
+use gdx_graph::Node;
+use gdx_nre::ast::Nre;
+use gdx_pattern::{
+    find_pattern_homomorphism, instantiate_shortest, instantiation_family, represents,
+    GraphPattern, InstantiationConfig,
+};
+use proptest::prelude::*;
+
+fn arb_nre() -> impl Strategy<Value = Nre> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("f"), Just("h")].prop_map(Nre::label),
+        prop_oneof![Just("f"), Just("h")].prop_map(Nre::inverse),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
+            inner.clone().prop_map(|x| Nre::Star(Box::new(x))),
+            inner.prop_map(|x| Nre::Test(Box::new(x))),
+        ]
+    })
+}
+
+fn arb_pattern() -> impl Strategy<Value = GraphPattern> {
+    proptest::collection::vec((0u32..4, arb_nre(), 0u32..4), 1..5).prop_map(|edges| {
+        let mut p = GraphPattern::new();
+        let nodes: Vec<_> = (0..4)
+            .map(|i| {
+                if i < 2 {
+                    p.add_node(Node::cst(&format!("k{i}")))
+                } else {
+                    p.add_node(Node::null(&format!("n{i}")))
+                }
+            })
+            .collect();
+        for (s, r, d) in edges {
+            p.add_edge(nodes[s as usize], r, nodes[d as usize]);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every canonical instantiation lies in Rep(π).
+    #[test]
+    fn instantiations_are_represented(p in arb_pattern()) {
+        // Non-nullable edges only guaranteed realizable between distinct
+        // constants; instantiate_shortest may legitimately fail when an
+        // ε-only edge connects the two constants.
+        if let Ok(g) = instantiate_shortest(&p) {
+            prop_assert!(represents(&p, &g), "pattern:\n{}\ngraph:\n{}", p, g);
+        }
+        let cfg = InstantiationConfig {
+            max_graphs: 8,
+            ..InstantiationConfig::default()
+        };
+        if let Ok(family) = instantiation_family(&p, cfg) {
+            for g in family {
+                prop_assert!(represents(&p, &g));
+            }
+        }
+    }
+
+    /// Rep membership is monotone: adding edges to a represented graph
+    /// keeps it represented.
+    #[test]
+    fn rep_monotone(p in arb_pattern()) {
+        if let Ok(mut g) = instantiate_shortest(&p) {
+            let a = g.add_const("fresh1");
+            let b = g.add_const("fresh2");
+            g.add_edge_labelled(a, "f", b);
+            prop_assert!(represents(&p, &g));
+        }
+    }
+
+    /// The homomorphism returned by the matcher actually satisfies every
+    /// edge relation.
+    #[test]
+    fn returned_hom_is_valid(p in arb_pattern()) {
+        if let Ok(g) = instantiate_shortest(&p) {
+            let h = find_pattern_homomorphism(&p, &g).expect("represented");
+            for (s, r, d) in p.edges() {
+                prop_assert!(
+                    gdx_nre::eval::holds(&g, r, h[s], h[d]),
+                    "edge ({}, {}, {})", p.node(*s), r, p.node(*d)
+                );
+            }
+            // Identity on constants.
+            for id in p.node_ids() {
+                let n = p.node(id);
+                if n.is_const() {
+                    prop_assert_eq!(g.node(h[&id]), n);
+                }
+            }
+        }
+    }
+
+    /// Core retraction is minimal and preserves Rep in both directions.
+    #[test]
+    fn retract_core_preserves_rep(p in arb_pattern()) {
+        let (core, _folds) = gdx_pattern::retract_core(&p);
+        prop_assert!(gdx_pattern::is_retract_minimal(&core));
+        prop_assert!(core.node_count() <= p.node_count());
+        if let (Ok(gi), Ok(gc)) = (instantiate_shortest(&p), instantiate_shortest(&core)) {
+            prop_assert!(represents(&core, &gi), "Rep(p) ⊆ Rep(core)");
+            prop_assert!(represents(&p, &gc), "Rep(core) ⊆ Rep(p)");
+        }
+    }
+
+    /// Quotienting nulls preserves instantiability-or-error (never panics)
+    /// and never grows the pattern.
+    #[test]
+    fn quotient_null_merge(p in arb_pattern()) {
+        let nulls: Vec<_> = p
+            .node_ids()
+            .filter(|&id| !p.node(id).is_const())
+            .collect();
+        if nulls.len() >= 2 {
+            let (keep, drop) = (nulls[0], nulls[1]);
+            let q = p.quotient(|id| if id == drop { keep } else { id });
+            prop_assert!(q.node_count() < p.node_count());
+            prop_assert!(q.edge_count() <= p.edge_count());
+            let _ = instantiate_shortest(&q); // must not panic
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! CNRE evaluation over graphs.
+//!
+//! Each distinct NRE is materialized once into a [`BinRel`] (memoized in an
+//! [`EvalCache`]); atoms are then joined in a greedy order — constants and
+//! already-bound variables first, smallest relations preferred.
+
+use crate::cnre::{Cnre, CnreAtom};
+use gdx_common::{FxHashMap, FxHashSet, Result, Symbol, Term};
+use gdx_graph::{Graph, Node, NodeId};
+use gdx_nre::eval::EvalCache;
+use gdx_nre::BinRel;
+
+/// Evaluation result: named columns over graph node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeBindings {
+    vars: Vec<Symbol>,
+    rows: Vec<Box<[NodeId]>>,
+}
+
+impl NodeBindings {
+    /// Column order.
+    pub fn vars(&self) -> &[Symbol] {
+        &self.vars
+    }
+
+    /// Rows aligned with [`NodeBindings::vars`].
+    pub fn rows(&self) -> &[Box<[NodeId]>] {
+        &self.rows
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no answer exists. For a constants-only (Boolean) query,
+    /// `is_empty() == false` means *satisfied* (one empty row).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows translated to [`Node`]s via `graph`.
+    pub fn node_rows<'a>(&'a self, graph: &'a Graph) -> impl Iterator<Item = Vec<Node>> + 'a {
+        self.rows
+            .iter()
+            .map(move |r| r.iter().map(|&id| graph.node(id)).collect())
+    }
+
+    /// The answers projected to rows where *every* value is a constant —
+    /// the candidate certain answers.
+    pub fn constant_rows(&self, graph: &Graph) -> FxHashSet<Vec<Node>> {
+        self.node_rows(graph)
+            .filter(|row| row.iter().all(Node::is_const))
+            .collect()
+    }
+
+    /// Membership of a full assignment.
+    pub fn contains_row(&self, row: &[NodeId]) -> bool {
+        self.rows.iter().any(|r| &**r == row)
+    }
+}
+
+/// Evaluates `query` over `graph` with a fresh relation cache.
+pub fn evaluate(graph: &Graph, query: &Cnre) -> Result<NodeBindings> {
+    let mut cache = EvalCache::new();
+    evaluate_with_cache(graph, query, &mut cache)
+}
+
+/// Evaluates `query` over `graph`, reusing `cache` across calls (the chase
+/// evaluates the same constraint bodies repeatedly).
+pub fn evaluate_with_cache(
+    graph: &Graph,
+    query: &Cnre,
+    cache: &mut EvalCache,
+) -> Result<NodeBindings> {
+    evaluate_seeded(graph, query, cache, &FxHashMap::default())
+}
+
+/// Evaluates `query` with some variables pre-bound to graph nodes.
+///
+/// Used by the target-tgd chase to check whether a tgd head is already
+/// satisfied under a body match: frontier variables are seeded, existential
+/// variables are left free. Seeded variables appear in the output columns
+/// with their fixed values.
+pub fn evaluate_seeded(
+    graph: &Graph,
+    query: &Cnre,
+    cache: &mut EvalCache,
+    seed: &FxHashMap<Symbol, NodeId>,
+) -> Result<NodeBindings> {
+    query.validate(None)?;
+    let vars = query.variables();
+
+    // Materialize every distinct NRE once.
+    let mut rels: Vec<BinRel> = Vec::with_capacity(query.atoms.len());
+    for atom in &query.atoms {
+        rels.push(cache.eval(graph, &atom.nre).clone());
+    }
+
+    // Resolve constant terms to node ids; a missing constant means no
+    // answers (the node does not exist in the graph).
+    let resolve = |t: &Term| -> Option<TermSlot> {
+        match t {
+            Term::Var(v) => Some(TermSlot::Var(*v)),
+            Term::Const(c) => graph.node_id(Node::Const(*c)).map(TermSlot::Fixed),
+        }
+    };
+    let mut slots: Vec<(TermSlot, TermSlot)> = Vec::with_capacity(query.atoms.len());
+    for atom in &query.atoms {
+        match (resolve(&atom.left), resolve(&atom.right)) {
+            (Some(l), Some(r)) => slots.push((l, r)),
+            _ => {
+                return Ok(NodeBindings {
+                    vars,
+                    rows: Vec::new(),
+                })
+            }
+        }
+    }
+
+    // Greedy atom order: prefer atoms whose variables are already bound,
+    // then smaller relations.
+    let n = query.atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut bound: FxHashSet<Symbol> = seed.keys().copied().collect();
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let a = &query.atoms[i];
+                let shared = a.variables().filter(|v| bound.contains(v)).count();
+                let fixed = [&a.left, &a.right]
+                    .iter()
+                    .filter(|t| !t.is_var())
+                    .count();
+                (shared + fixed, usize::MAX - rels[i].len())
+            })
+            .expect("non-empty remaining");
+        order.push(best);
+        bound.extend(query.atoms[best].variables());
+        remaining.swap_remove(pos);
+    }
+
+    let mut rows = Vec::new();
+    let mut binding: FxHashMap<Symbol, NodeId> =
+        seed.iter().map(|(&v, &id)| (v, id)).collect();
+    // A seeded variable that never occurs in the query must not panic the
+    // row builder; restrict the seed to query variables.
+    binding.retain(|v, _| vars.contains(v));
+    join(
+        query, &rels, &slots, &order, 0, &mut binding, &vars, &mut rows,
+    );
+    let mut seen: FxHashSet<Box<[NodeId]>> = FxHashSet::default();
+    rows.retain(|r| seen.insert(r.clone()));
+    Ok(NodeBindings { vars, rows })
+}
+
+#[derive(Clone, Copy)]
+enum TermSlot {
+    Var(Symbol),
+    Fixed(NodeId),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    query: &Cnre,
+    rels: &[BinRel],
+    slots: &[(TermSlot, TermSlot)],
+    order: &[usize],
+    depth: usize,
+    binding: &mut FxHashMap<Symbol, NodeId>,
+    vars: &[Symbol],
+    rows: &mut Vec<Box<[NodeId]>>,
+) {
+    if depth == order.len() {
+        rows.push(vars.iter().map(|v| binding[v]).collect());
+        return;
+    }
+    let ai = order[depth];
+    let rel = &rels[ai];
+    let _atom: &CnreAtom = &query.atoms[ai];
+    let (l, r) = slots[ai];
+    let lv = match l {
+        TermSlot::Fixed(id) => Some(id),
+        TermSlot::Var(v) => binding.get(&v).copied(),
+    };
+    let rv = match r {
+        TermSlot::Fixed(id) => Some(id),
+        TermSlot::Var(v) => binding.get(&v).copied(),
+    };
+    match (lv, rv) {
+        (Some(u), Some(w)) => {
+            if rel.contains(u, w) {
+                join(query, rels, slots, order, depth + 1, binding, vars, rows);
+            }
+        }
+        (Some(u), None) => {
+            let TermSlot::Var(rvar) = r else { unreachable!() };
+            for &w in rel.image(u) {
+                binding.insert(rvar, w);
+                join(query, rels, slots, order, depth + 1, binding, vars, rows);
+            }
+            binding.remove(&rvar);
+        }
+        (None, Some(w)) => {
+            let TermSlot::Var(lvar) = l else { unreachable!() };
+            for &u in rel.preimage(w) {
+                binding.insert(lvar, u);
+                join(query, rels, slots, order, depth + 1, binding, vars, rows);
+            }
+            binding.remove(&lvar);
+        }
+        (None, None) => {
+            let TermSlot::Var(lvar) = l else { unreachable!() };
+            let TermSlot::Var(rvar) = r else { unreachable!() };
+            if lvar == rvar {
+                // Self-join on one variable: diagonal pairs only.
+                for (u, w) in rel.iter() {
+                    if u == w {
+                        binding.insert(lvar, u);
+                        join(query, rels, slots, order, depth + 1, binding, vars, rows);
+                        binding.remove(&lvar);
+                    }
+                }
+            } else {
+                for (u, w) in rel.iter() {
+                    binding.insert(lvar, u);
+                    binding.insert(rvar, w);
+                    join(query, rels, slots, order, depth + 1, binding, vars, rows);
+                    binding.remove(&rvar);
+                    binding.remove(&lvar);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g1() -> Graph {
+        // Figure 1(a).
+        Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
+            .unwrap()
+    }
+
+    #[test]
+    fn single_atom_query() {
+        let g = g1();
+        let q = Cnre::parse("(x, h, y)").unwrap();
+        let b = evaluate(&g, &q).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn papers_query_certainlike_eval() {
+        let g = g1();
+        let q = Cnre::parse("(x1, f.f*.[h].f-.(f-)*, x2)").unwrap();
+        let b = evaluate(&g, &q).unwrap();
+        let consts = b.constant_rows(&g);
+        // JQK_G1 = {(c1,c1),(c1,c3),(c3,c1),(c3,c3)} — all constants.
+        assert_eq!(b.len(), 4);
+        assert_eq!(consts.len(), 4);
+    }
+
+    #[test]
+    fn conjunction_join() {
+        let g = g1();
+        // Cities x with a flight to y that has hotel hx.
+        let q = Cnre::parse("(x, f, y), (y, h, \"hx\")").unwrap();
+        let b = evaluate(&g, &q).unwrap();
+        assert_eq!(b.len(), 2, "c1→N and c3→N");
+        let rows = b.constant_rows(&g);
+        assert!(rows.is_empty(), "y is the null N in every answer");
+    }
+
+    #[test]
+    fn boolean_query_constants_only() {
+        let g = g1();
+        let yes = Cnre::parse("(\"c1\", f.f, \"c2\")").unwrap();
+        assert!(!evaluate(&g, &yes).unwrap().is_empty());
+        let no = Cnre::parse("(\"c2\", f, \"c1\")").unwrap();
+        assert!(evaluate(&g, &no).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_constant_gives_empty() {
+        let g = g1();
+        let q = Cnre::parse("(\"nope\", f, x)").unwrap();
+        assert!(evaluate(&g, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let g = Graph::parse("(a, f, a); (a, f, b);").unwrap();
+        let q = Cnre::parse("(x, f, x)").unwrap();
+        let b = evaluate(&g, &q).unwrap();
+        assert_eq!(b.len(), 1, "only the self-loop");
+    }
+
+    #[test]
+    fn shared_variable_across_atoms() {
+        let g = Graph::parse("(a, f, b); (b, g, c); (b, g, d); (x, g, y);").unwrap();
+        let q = Cnre::parse("(u, f, v), (v, g, w)").unwrap();
+        let b = evaluate(&g, &q).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn eval_with_shared_cache() {
+        let g = g1();
+        let mut cache = EvalCache::new();
+        let q = Cnre::parse("(x, f.f*, y)").unwrap();
+        let a1 = evaluate_with_cache(&g, &q, &mut cache).unwrap();
+        let a2 = evaluate_with_cache(&g, &q, &mut cache).unwrap();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn seeded_evaluation_fixes_variables() {
+        let g = g1();
+        let q = Cnre::parse("(x, f, y), (y, h, z)").unwrap();
+        let mut cache = EvalCache::new();
+        let c1 = g.node_id(Node::cst("c1")).unwrap();
+        let mut seed = FxHashMap::default();
+        seed.insert(Symbol::new("x"), c1);
+        let b = crate::eval::evaluate_seeded(&g, &q, &mut cache, &seed).unwrap();
+        // x fixed to c1: y = N, z ∈ {hx, hy}.
+        assert_eq!(b.len(), 2);
+        for row in b.rows() {
+            assert_eq!(row[0], c1);
+        }
+        // Seeding an unused variable is harmless.
+        seed.insert(Symbol::new("unused"), c1);
+        let b2 = crate::eval::evaluate_seeded(&g, &q, &mut cache, &seed).unwrap();
+        assert_eq!(b2.len(), 2);
+    }
+
+    #[test]
+    fn egd_body_from_example_2_2() {
+        // (x1, h, x3), (x2, h, x3): pairs of cities sharing a hotel.
+        let g = Graph::parse(
+            "(_N1, h, hy); (_N2, h, hx); (_N3, h, hx);",
+        )
+        .unwrap();
+        let q = Cnre::parse("(x1, h, x3), (x2, h, x3)").unwrap();
+        let b = evaluate(&g, &q).unwrap();
+        // Pairs over hy: (N1,N1). Over hx: (N2,N2),(N2,N3),(N3,N2),(N3,N3).
+        assert_eq!(b.len(), 5);
+    }
+}

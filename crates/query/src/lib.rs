@@ -1,0 +1,23 @@
+//! # gdx-query
+//!
+//! Conjunctions of nested regular expressions (CNREs) — the target-side
+//! query language, used for (i) the right-hand sides of s-t tgds, (ii) the
+//! bodies of target constraints, and (iii) the queries of the
+//! query-answering problem.
+//!
+//! A CNRE is a conjunction of atoms `(t, r, t')` where `t, t'` are
+//! variables or constants and `r` is an NRE; its answers over a graph `G`
+//! are the assignments of nodes to variables such that every atom's pair is
+//! in `⟦r⟧_G`.
+//!
+//! * [`Cnre`] / [`CnreAtom`] — the query type with a text format
+//!   `(x1, f.f*, y), (y, h, x4)` (quoted names are constants);
+//! * [`evaluate`] — join-based evaluation with per-NRE relation
+//!   materialization, smallest-relation-first ordering and residual-pair
+//!   propagation.
+
+pub mod cnre;
+pub mod eval;
+
+pub use cnre::{Cnre, CnreAtom};
+pub use eval::{evaluate, evaluate_seeded, evaluate_with_cache, NodeBindings};

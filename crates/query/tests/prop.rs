@@ -1,0 +1,123 @@
+//! Property-based tests for CNRE evaluation: the join engine is validated
+//! against a naive all-assignments reference evaluator on random graphs
+//! and queries.
+
+use gdx_common::{FxHashMap, Symbol, Term};
+use gdx_graph::{Graph, NodeId};
+use gdx_nre::ast::Nre;
+use gdx_nre::eval::eval;
+use gdx_query::{evaluate, Cnre, CnreAtom};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0u32..5, 0u8..2, 0u32..5), 0..10).prop_map(|edges| {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..5).map(|i| g.add_const(&format!("v{i}"))).collect();
+        for (s, l, d) in edges {
+            let label = ["f", "h"][l as usize];
+            g.add_edge_labelled(nodes[s as usize], label, nodes[d as usize]);
+        }
+        g
+    })
+}
+
+fn arb_nre() -> impl Strategy<Value = Nre> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("f"), Just("h")].prop_map(Nre::label),
+        prop_oneof![Just("f"), Just("h")].prop_map(Nre::inverse),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
+            inner.clone().prop_map(|x| Nre::Star(Box::new(x))),
+            inner.prop_map(|x| Nre::Test(Box::new(x))),
+        ]
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Cnre> {
+    let vars = ["x", "y", "z"];
+    let atom = (0u8..3, arb_nre(), 0u8..3).prop_map(move |(a, r, b)| {
+        CnreAtom::new(Term::var(vars[a as usize]), r, Term::var(vars[b as usize]))
+    });
+    proptest::collection::vec(atom, 1..3).prop_map(Cnre::new)
+}
+
+/// Naive reference: try every assignment of variables to nodes.
+fn naive_eval(g: &Graph, q: &Cnre) -> Vec<Vec<NodeId>> {
+    let vars = q.variables();
+    let rels: Vec<_> = q.atoms.iter().map(|a| eval(g, &a.nre)).collect();
+    let nodes: Vec<NodeId> = g.node_ids().collect();
+    let mut out = Vec::new();
+    let mut assign: FxHashMap<Symbol, NodeId> = FxHashMap::default();
+    fn rec(
+        q: &Cnre,
+        rels: &[gdx_nre::BinRel],
+        vars: &[Symbol],
+        nodes: &[NodeId],
+        depth: usize,
+        assign: &mut FxHashMap<Symbol, NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if depth == vars.len() {
+            let ok = q.atoms.iter().zip(rels).all(|(atom, rel)| {
+                let l = match atom.left {
+                    Term::Var(v) => assign[&v],
+                    Term::Const(_) => unreachable!("vars only"),
+                };
+                let r = match atom.right {
+                    Term::Var(v) => assign[&v],
+                    Term::Const(_) => unreachable!("vars only"),
+                };
+                rel.contains(l, r)
+            });
+            if ok {
+                out.push(vars.iter().map(|v| assign[v]).collect());
+            }
+            return;
+        }
+        for &n in nodes {
+            assign.insert(vars[depth], n);
+            rec(q, rels, vars, nodes, depth + 1, assign, out);
+        }
+        assign.remove(&vars[depth]);
+    }
+    rec(q, &rels, &vars, &nodes, 0, &mut assign, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Join-based CNRE evaluation ≡ naive assignment enumeration.
+    #[test]
+    fn cnre_join_matches_naive(g in arb_graph(), q in arb_query()) {
+        let fast = evaluate(&g, &q).unwrap();
+        let mut fast_rows: Vec<Vec<NodeId>> =
+            fast.rows().iter().map(|r| r.to_vec()).collect();
+        fast_rows.sort();
+        let slow = naive_eval(&g, &q);
+        prop_assert_eq!(fast_rows, slow, "query {}", q);
+    }
+
+    /// CNRE answers are preserved under adding edges (positivity) —
+    /// the property certain-answer counterexample search relies on.
+    #[test]
+    fn cnre_monotone(g in arb_graph(), q in arb_query()) {
+        let before = evaluate(&g, &q).unwrap();
+        let mut bigger = g.clone();
+        if bigger.node_count() >= 2 {
+            bigger.add_edge_labelled(0, "f", 1);
+            bigger.add_edge_labelled(1, "h", 0);
+        }
+        let after = evaluate(&bigger, &q).unwrap();
+        for row in before.rows() {
+            prop_assert!(after.contains_row(row));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Conjunctive queries over a relational schema: the left-hand sides of
+//! s-t tgds.
+//!
+//! The paper restricts source queries to conjunctions of atoms *using only
+//! variables*; we additionally allow constants in atom positions, which is
+//! harmless (the restriction is recovered by simply not using them).
+
+use crate::schema::Schema;
+use gdx_common::lexer::{TokenCursor, TokenKind};
+use gdx_common::{FxHashSet, GdxError, Result, Symbol, Term};
+use std::fmt;
+
+/// One relational atom `R(t₁, …, t_k)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation symbol.
+    pub relation: Symbol,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom; arguments prefixed with `?` would be ambiguous in the
+    /// text format, so the convention is: names bound in the enclosing
+    /// query's variable set are variables. Programmatic construction uses
+    /// explicit [`Term`]s instead.
+    pub fn new(relation: impl Into<Symbol>, terms: Vec<Term>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Variables appearing in the atom, in position order (with repeats).
+    pub fn variables(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match t {
+                Term::Var(v) => write!(f, "{v}")?,
+                Term::Const(c) => write!(f, "\"{c}\"")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A conjunction of relational atoms. All variables are free (the paper's
+/// source queries have no projection; projection happens in the tgd head).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// The conjuncts.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query from atoms.
+    pub fn new(atoms: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery { atoms }
+    }
+
+    /// The distinct variables of the query, in first-occurrence order.
+    pub fn variables(&self) -> Vec<Symbol> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for v in atom.variables() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates the query against `schema`: every relation declared, every
+    /// atom with the declared arity, at least one atom.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if self.atoms.is_empty() {
+            return Err(GdxError::schema("empty conjunctive query"));
+        }
+        for atom in &self.atoms {
+            match schema.arity_of(atom.relation) {
+                None => {
+                    return Err(GdxError::schema(format!(
+                        "unknown relation {} in query",
+                        atom.relation
+                    )))
+                }
+                Some(a) if a != atom.terms.len() => {
+                    return Err(GdxError::schema(format!(
+                        "atom {} has {} arguments, relation has arity {a}",
+                        atom.relation,
+                        atom.terms.len()
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `R(x, y), S(y, "c")` style text. Unquoted names are
+    /// variables; `"quoted"` names are constants.
+    pub fn parse(input: &str) -> Result<ConjunctiveQuery> {
+        let mut cur = TokenCursor::new(input)?;
+        let q = parse_cq(&mut cur)?;
+        if !cur.at_eof() {
+            return Err(cur.error("trailing input after conjunctive query"));
+        }
+        Ok(q)
+    }
+}
+
+/// Parses a comma-separated atom list from an existing cursor (shared with
+/// the mapping DSL, which embeds CQs on the left of `->`).
+///
+/// Bare identifiers are variables; `"quoted"` names are constants.
+pub fn parse_cq(cur: &mut TokenCursor) -> Result<ConjunctiveQuery> {
+    let mut atoms = Vec::new();
+    loop {
+        let rel = cur.expect_ident("relational atom")?;
+        cur.expect(&TokenKind::LParen, "relational atom")?;
+        let mut terms = Vec::new();
+        loop {
+            let (name, quoted) = cur.expect_name("atom argument")?;
+            terms.push(if quoted {
+                Term::Const(Symbol::new(&name))
+            } else {
+                Term::Var(Symbol::new(&name))
+            });
+            if !cur.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        cur.expect(&TokenKind::RParen, "relational atom")?;
+        atoms.push(Atom::new(Symbol::new(&rel), terms));
+        if !cur.eat(&TokenKind::Comma) {
+            break;
+        }
+    }
+    Ok(ConjunctiveQuery::new(atoms))
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_variables() {
+        let q = ConjunctiveQuery::parse("Flight(x1, x2, x3), Hotel(x1, x4)").unwrap();
+        assert_eq!(q.atoms.len(), 2);
+        let vars: Vec<String> = q.variables().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, ["x1", "x2", "x3", "x4"]);
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let schema = Schema::from_relations([("Flight", 3), ("Hotel", 2)]).unwrap();
+        let q = ConjunctiveQuery::parse("Flight(x, y, z), Hotel(x, w)").unwrap();
+        q.validate(&schema).unwrap();
+
+        let bad_arity = ConjunctiveQuery::parse("Flight(x, y)").unwrap();
+        assert!(bad_arity.validate(&schema).is_err());
+
+        let bad_rel = ConjunctiveQuery::parse("Train(x)").unwrap();
+        assert!(bad_rel.validate(&schema).is_err());
+
+        let empty = ConjunctiveQuery::new(vec![]);
+        assert!(empty.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn repeated_variable_listed_once() {
+        let q = ConjunctiveQuery::parse("R(x, x), S(x)").unwrap();
+        assert_eq!(q.variables().len(), 1);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let q = ConjunctiveQuery::parse("Flight(x1, x2, x3), Hotel(x1, x4)").unwrap();
+        let q2 = ConjunctiveQuery::parse(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(ConjunctiveQuery::parse("R(x").is_err());
+        assert!(ConjunctiveQuery::parse("R x)").is_err());
+        assert!(ConjunctiveQuery::parse("R(), S(y)").is_err());
+    }
+}

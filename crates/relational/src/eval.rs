@@ -1,0 +1,354 @@
+//! Conjunctive query evaluation over relational instances.
+//!
+//! This is the trigger-enumeration engine of the s-t chase: every
+//! satisfying assignment of a tgd body is a chase trigger. The evaluator
+//! performs a hash join: atoms are greedily ordered (smallest relation
+//! first, then most-connected), and for each atom an index keyed on the
+//! positions bound by earlier atoms is built once and probed per partial
+//! binding.
+
+use crate::cq::ConjunctiveQuery;
+use crate::instance::Instance;
+use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol, Term};
+
+/// The result of evaluating a CQ: named columns plus distinct rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bindings {
+    vars: Vec<Symbol>,
+    rows: Vec<Box<[Symbol]>>,
+}
+
+impl Bindings {
+    /// Column order (the query's variables in first-occurrence order).
+    pub fn vars(&self) -> &[Symbol] {
+        &self.vars
+    }
+
+    /// The rows, each aligned with [`Bindings::vars`].
+    pub fn rows(&self) -> &[Box<[Symbol]>] {
+        &self.rows
+    }
+
+    /// Number of satisfying assignments.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the query has no match.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Value of `var` in row `row`, if the variable exists.
+    pub fn value(&self, row: usize, var: Symbol) -> Option<Symbol> {
+        let idx = self.vars.iter().position(|&v| v == var)?;
+        Some(self.rows[row][idx])
+    }
+
+    /// Membership of a full row (aligned with [`Bindings::vars`]).
+    pub fn contains_row(&self, row: &[Symbol]) -> bool {
+        self.rows.iter().any(|r| &**r == row)
+    }
+
+    /// Iterates rows as `(var, value)` maps.
+    pub fn iter_maps(&self) -> impl Iterator<Item = FxHashMap<Symbol, Symbol>> + '_ {
+        self.rows.iter().map(move |row| {
+            self.vars
+                .iter()
+                .copied()
+                .zip(row.iter().copied())
+                .collect()
+        })
+    }
+}
+
+/// Greedy join order: start with the smallest relation; repeatedly add the
+/// atom sharing the most already-bound variables, breaking ties by relation
+/// size. Cartesian products are taken only when forced.
+fn order_atoms(instance: &Instance, query: &ConjunctiveQuery) -> Vec<usize> {
+    let n = query.atoms.len();
+    let size = |i: usize| {
+        instance
+            .relation(query.atoms[i].relation)
+            .map_or(0, |r| r.len())
+    };
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound: FxHashSet<Symbol> = FxHashSet::default();
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let shared = query.atoms[i]
+                    .variables()
+                    .filter(|v| bound.contains(v))
+                    .count();
+                // More shared variables first; among those, smaller relations.
+                (shared, usize::MAX - size(i))
+            })
+            .expect("remaining non-empty");
+        order.push(best);
+        bound.extend(query.atoms[best].variables());
+        remaining.swap_remove(pos);
+    }
+    order
+}
+
+struct AtomPlan {
+    atom_idx: usize,
+    /// Positions whose value is known before probing this atom
+    /// (constants or variables bound earlier), with the expected source:
+    /// `Const` or the variable.
+    bound_positions: Vec<(usize, Term)>,
+    /// Positions that bind fresh variables, first occurrence within the atom.
+    fresh_positions: Vec<(usize, Symbol)>,
+    /// Position pairs that must agree (repeated fresh variable in the atom).
+    equal_positions: Vec<(usize, usize)>,
+    /// Index from key (values at `bound_positions`) to tuple ids.
+    index: FxHashMap<Box<[Symbol]>, Vec<u32>>,
+}
+
+/// Evaluates `query` over `instance`, returning all satisfying assignments.
+///
+/// ```
+/// use gdx_relational::{evaluate, ConjunctiveQuery, Instance};
+/// let i = Instance::example_2_2();
+/// let q = ConjunctiveQuery::parse("Flight(x1, x2, x3), Hotel(x1, x4)").unwrap();
+/// let b = evaluate(&i, &q).unwrap();
+/// assert_eq!(b.len(), 3); // three (flight, hotel-stay) joins
+/// ```
+pub fn evaluate(instance: &Instance, query: &ConjunctiveQuery) -> Result<Bindings> {
+    query.validate(instance.schema())?;
+    let vars = query.variables();
+    let order = order_atoms(instance, query);
+
+    // Build per-atom plans and indexes following the chosen order.
+    let mut bound: FxHashSet<Symbol> = FxHashSet::default();
+    let mut plans: Vec<AtomPlan> = Vec::with_capacity(order.len());
+    for &ai in &order {
+        let atom = &query.atoms[ai];
+        let mut bound_positions = Vec::new();
+        let mut fresh_positions = Vec::new();
+        let mut equal_positions = Vec::new();
+        let mut fresh_in_atom: FxHashMap<Symbol, usize> = FxHashMap::default();
+        for (pos, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(_) => bound_positions.push((pos, *term)),
+                Term::Var(v) => {
+                    if bound.contains(v) {
+                        bound_positions.push((pos, *term));
+                    } else if let Some(&first) = fresh_in_atom.get(v) {
+                        equal_positions.push((first, pos));
+                    } else {
+                        fresh_in_atom.insert(*v, pos);
+                        fresh_positions.push((pos, *v));
+                    }
+                }
+            }
+        }
+        bound.extend(atom.variables());
+
+        let rel = instance
+            .relation(atom.relation)
+            .ok_or_else(|| GdxError::schema(format!("unknown relation {}", atom.relation)))?;
+        let mut index: FxHashMap<Box<[Symbol]>, Vec<u32>> = FxHashMap::default();
+        for (tid, tuple) in rel.tuples().iter().enumerate() {
+            if equal_positions.iter().any(|&(a, b)| tuple[a] != tuple[b]) {
+                continue;
+            }
+            // Constants can be checked at index-build time.
+            if bound_positions
+                .iter()
+                .any(|&(p, t)| matches!(t, Term::Const(c) if tuple[p] != c))
+            {
+                continue;
+            }
+            let key: Box<[Symbol]> = bound_positions.iter().map(|&(p, _)| tuple[p]).collect();
+            index.entry(key).or_default().push(tid as u32);
+        }
+        plans.push(AtomPlan {
+            atom_idx: ai,
+            bound_positions,
+            fresh_positions,
+            equal_positions: Vec::new(), // already enforced at build time
+            index,
+        });
+    }
+
+    // Depth-first join.
+    let mut rows: Vec<Box<[Symbol]>> = Vec::new();
+    let mut binding: FxHashMap<Symbol, Symbol> = FxHashMap::default();
+    join(
+        instance,
+        query,
+        &plans,
+        0,
+        &mut binding,
+        &vars,
+        &mut rows,
+    );
+
+    // Deduplicate (repeated atoms can produce duplicate rows).
+    let mut seen: FxHashSet<Box<[Symbol]>> = FxHashSet::default();
+    rows.retain(|r| seen.insert(r.clone()));
+    Ok(Bindings { vars, rows })
+}
+
+fn join(
+    instance: &Instance,
+    query: &ConjunctiveQuery,
+    plans: &[AtomPlan],
+    depth: usize,
+    binding: &mut FxHashMap<Symbol, Symbol>,
+    vars: &[Symbol],
+    rows: &mut Vec<Box<[Symbol]>>,
+) {
+    if depth == plans.len() {
+        let row: Box<[Symbol]> = vars
+            .iter()
+            .map(|v| *binding.get(v).expect("all query variables bound"))
+            .collect();
+        rows.push(row);
+        return;
+    }
+    let plan = &plans[depth];
+    let atom = &query.atoms[plan.atom_idx];
+    let rel = instance
+        .relation(atom.relation)
+        .expect("validated relation");
+    let key: Box<[Symbol]> = plan
+        .bound_positions
+        .iter()
+        .map(|&(_pos, t)| match t {
+            Term::Const(c) => c,
+            Term::Var(v) => *binding.get(&v).expect("bound variable"),
+        })
+        .collect();
+    let Some(tids) = plan.index.get(&key) else {
+        return;
+    };
+    debug_assert!(plan.equal_positions.is_empty());
+    for &tid in tids {
+        let tuple = &rel.tuples()[tid as usize];
+        for &(pos, var) in &plan.fresh_positions {
+            binding.insert(var, tuple[pos]);
+        }
+        join(instance, query, plans, depth + 1, binding, vars, rows);
+    }
+    for &(_, var) in &plan.fresh_positions {
+        binding.remove(&var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn single_atom_all_tuples() {
+        let i = Instance::example_2_2();
+        let q = ConjunctiveQuery::parse("Hotel(f, h)").unwrap();
+        let b = evaluate(&i, &q).unwrap();
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn join_on_flight_id() {
+        let i = Instance::example_2_2();
+        let q = ConjunctiveQuery::parse("Flight(x1, x2, x3), Hotel(x1, x4)").unwrap();
+        let b = evaluate(&i, &q).unwrap();
+        assert_eq!(b.len(), 3);
+        // Triggers: (01,c1,c2,hx), (01,c1,c2,hy), (02,c3,c2,hx).
+        let mut triples: Vec<(String, String)> = b
+            .iter_maps()
+            .map(|m| {
+                (
+                    m[&Symbol::new("x1")].to_string(),
+                    m[&Symbol::new("x4")].to_string(),
+                )
+            })
+            .collect();
+        triples.sort();
+        assert_eq!(
+            triples,
+            vec![
+                ("01".into(), "hx".into()),
+                ("01".into(), "hy".into()),
+                ("02".into(), "hx".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let schema = Schema::from_relations([("E", 2)]).unwrap();
+        let i = Instance::parse(schema, "E(a, a); E(a, b); E(b, b);").unwrap();
+        let q = ConjunctiveQuery::parse("E(x, x)").unwrap();
+        let b = evaluate(&i, &q).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn cross_product_when_disconnected() {
+        let schema = Schema::from_relations([("R", 1), ("S", 1)]).unwrap();
+        let i = Instance::parse(schema, "R(a); R(b); S(c); S(d); S(e);").unwrap();
+        let q = ConjunctiveQuery::parse("R(x), S(y)").unwrap();
+        let b = evaluate(&i, &q).unwrap();
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    fn empty_relation_empty_result() {
+        let schema = Schema::from_relations([("R", 1), ("S", 1)]).unwrap();
+        let i = Instance::parse(schema, "R(a);").unwrap();
+        let q = ConjunctiveQuery::parse("R(x), S(x)").unwrap();
+        let b = evaluate(&i, &q).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn triangle_join() {
+        let schema = Schema::from_relations([("E", 2)]).unwrap();
+        let i = Instance::parse(
+            schema,
+            "E(a,b); E(b,c); E(c,a); E(b,a); E(x,y);",
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::parse("E(x, y), E(y, z), E(z, x)").unwrap();
+        let b = evaluate(&i, &q).unwrap();
+        // Triangles: (a,b,c) rotations ×1 orientation = 3, plus a-b-a style?
+        // a->b->a->... E(a,b),E(b,a),E(a,a)? no E(a,a). Cycles of length 3
+        // through {a,b,c}: (a,b,c),(b,c,a),(c,a,b). Also 2-cycles reused:
+        // E(a,b),E(b,a),E(a,a) missing. So exactly 3.
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn constants_in_programmatic_atoms() {
+        use crate::cq::Atom;
+        let schema = Schema::from_relations([("Hotel", 2)]).unwrap();
+        let i = Instance::parse(schema, "Hotel(01, hx); Hotel(01, hy); Hotel(02, hx);")
+            .unwrap();
+        let q = ConjunctiveQuery::new(vec![Atom::new(
+            Symbol::new("Hotel"),
+            vec![Term::cst("01"), Term::var("h")],
+        )]);
+        let b = evaluate(&i, &q).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn value_accessor() {
+        let i = Instance::example_2_2();
+        let q = ConjunctiveQuery::parse("Flight(x1, x2, x3)").unwrap();
+        let b = evaluate(&i, &q).unwrap();
+        let x2 = Symbol::new("x2");
+        let srcs: FxHashSet<String> = (0..b.len())
+            .map(|r| b.value(r, x2).unwrap().to_string())
+            .collect();
+        assert!(srcs.contains("c1") && srcs.contains("c3"));
+        assert_eq!(b.value(0, Symbol::new("zzz")), None);
+    }
+}

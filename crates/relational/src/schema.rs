@@ -1,0 +1,185 @@
+//! Relational schemas: finite collections of relation symbols with arities.
+
+use gdx_common::{FxHashMap, GdxError, Result, Symbol};
+use gdx_common::lexer::{TokenCursor, TokenKind};
+use std::fmt;
+
+/// A source schema `R`: relation symbols, each with a positive arity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<(Symbol, usize)>,
+    by_name: FxHashMap<Symbol, usize>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Builds a schema from `(name, arity)` pairs.
+    ///
+    /// ```
+    /// use gdx_relational::Schema;
+    /// let r = Schema::from_relations([("Flight", 3), ("Hotel", 2)]).unwrap();
+    /// assert_eq!(r.arity_of_str("Flight"), Some(3));
+    /// ```
+    pub fn from_relations<'a>(
+        rels: impl IntoIterator<Item = (&'a str, usize)>,
+    ) -> Result<Schema> {
+        let mut s = Schema::new();
+        for (name, arity) in rels {
+            s.add_relation(Symbol::new(name), arity)?;
+        }
+        Ok(s)
+    }
+
+    /// Declares a relation. Arity must be positive; redeclaration with a
+    /// different arity is an error, redeclaration with the same arity is a
+    /// no-op.
+    pub fn add_relation(&mut self, name: Symbol, arity: usize) -> Result<()> {
+        if arity == 0 {
+            return Err(GdxError::schema(format!(
+                "relation {name} must have positive arity"
+            )));
+        }
+        if let Some(&idx) = self.by_name.get(&name) {
+            let existing = self.relations[idx].1;
+            if existing != arity {
+                return Err(GdxError::schema(format!(
+                    "relation {name} redeclared with arity {arity} (was {existing})"
+                )));
+            }
+            return Ok(());
+        }
+        self.by_name.insert(name, self.relations.len());
+        self.relations.push((name, arity));
+        Ok(())
+    }
+
+    /// Arity of `name`, if declared.
+    pub fn arity_of(&self, name: Symbol) -> Option<usize> {
+        self.by_name.get(&name).map(|&i| self.relations[i].1)
+    }
+
+    /// Arity lookup by string name.
+    pub fn arity_of_str(&self, name: &str) -> Option<usize> {
+        self.arity_of(Symbol::new(name))
+    }
+
+    /// True when `name` is declared.
+    pub fn contains(&self, name: Symbol) -> bool {
+        self.by_name.contains_key(&name)
+    }
+
+    /// Declared relations in declaration order.
+    pub fn relations(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.relations.iter().copied()
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Parses the schema block syntax: a `;`- or `,`-separated list of
+    /// `Name/arity` declarations, e.g. `Flight/3; Hotel/2`.
+    pub fn parse(input: &str) -> Result<Schema> {
+        let mut cur = TokenCursor::new(input)?;
+        let schema = parse_decls(&mut cur)?;
+        if !cur.at_eof() {
+            return Err(cur.error("trailing input after schema declarations"));
+        }
+        Ok(schema)
+    }
+}
+
+/// Parses `Name/arity (;|,) ...` until the cursor no longer looks at an
+/// identifier. Shared with the mapping DSL's `source { ... }` block.
+pub fn parse_decls(cur: &mut TokenCursor) -> Result<Schema> {
+    let mut schema = Schema::new();
+    while let TokenKind::Ident(_) = &cur.peek().kind {
+        let name = cur.expect_ident("relation declaration")?;
+        cur.expect(&TokenKind::Slash, "relation declaration (Name/arity)")?;
+        let arity_txt = cur.expect_ident("relation arity")?;
+        let arity: usize = arity_txt
+            .parse()
+            .map_err(|_| cur.error(format!("invalid arity `{arity_txt}`")))?;
+        schema.add_relation(Symbol::new(&name), arity)?;
+        if !(cur.eat(&TokenKind::Semi) || cur.eat(&TokenKind::Comma)) {
+            break;
+        }
+    }
+    Ok(schema)
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, arity) in &self.relations {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            write!(f, "{name}/{arity}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::from_relations([("Flight", 3), ("Hotel", 2)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.arity_of_str("Flight"), Some(3));
+        assert_eq!(s.arity_of_str("Hotel"), Some(2));
+        assert_eq!(s.arity_of_str("Nope"), None);
+        assert!(s.contains(Symbol::new("Flight")));
+    }
+
+    #[test]
+    fn zero_arity_rejected() {
+        assert!(Schema::from_relations([("R", 0)]).is_err());
+    }
+
+    #[test]
+    fn conflicting_redeclaration_rejected() {
+        let mut s = Schema::new();
+        s.add_relation(Symbol::new("R"), 2).unwrap();
+        assert!(s.add_relation(Symbol::new("R"), 3).is_err());
+        // Same arity is fine.
+        s.add_relation(Symbol::new("R"), 2).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let s = Schema::parse("Flight/3; Hotel/2").unwrap();
+        assert_eq!(s.to_string(), "Flight/3; Hotel/2");
+        let s2 = Schema::parse(&s.to_string()).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Schema::parse("Flight/x").is_err());
+        assert!(Schema::parse("Flight 3").is_err());
+        assert!(Schema::parse("Flight/3 extra/").is_err());
+    }
+
+    #[test]
+    fn declaration_order_preserved() {
+        let s = Schema::parse("B/1; A/2; C/3").unwrap();
+        let names: Vec<_> = s.relations().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, ["B", "A", "C"]);
+    }
+}

@@ -1,0 +1,285 @@
+//! CNF formulas and DIMACS I/O.
+
+use gdx_common::{FxHashSet, GdxError, Result};
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: a variable with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// The variable.
+    pub var: Var,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// DIMACS integer encoding (1-based, sign = polarity).
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.var) + 1;
+        if self.positive {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a DIMACS integer (non-zero).
+    pub fn from_dimacs(n: i64) -> Result<Lit> {
+        if n == 0 {
+            return Err(GdxError::schema("literal 0 in DIMACS body"));
+        }
+        let var = u32::try_from(n.unsigned_abs() - 1)
+            .map_err(|_| GdxError::schema("variable index overflow"))?;
+        Ok(Lit {
+            var,
+            positive: n > 0,
+        })
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (`0..num_vars`).
+    pub num_vars: u32,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) formula over `num_vars` variables.
+    pub fn new(num_vars: u32) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause, deduplicating literals and dropping tautologies.
+    /// Grows `num_vars` as needed. Returns `false` when the clause was a
+    /// tautology (and thus dropped).
+    pub fn add_clause(&mut self, mut clause: Clause) -> bool {
+        clause.sort();
+        clause.dedup();
+        let taut = clause
+            .iter()
+            .any(|l| clause.binary_search(&l.negated()).is_ok());
+        if taut {
+            return false;
+        }
+        for l in &clause {
+            self.num_vars = self.num_vars.max(l.var + 1);
+        }
+        self.clauses.push(clause);
+        true
+    }
+
+    /// True when the formula is in 3-CNF (every clause ≤ 3 literals).
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() <= 3)
+    }
+
+    /// Evaluates under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var as usize] == l.positive)
+        })
+    }
+
+    /// The variables actually mentioned.
+    pub fn used_vars(&self) -> FxHashSet<Var> {
+        self.clauses
+            .iter()
+            .flat_map(|c| c.iter().map(|l| l.var))
+            .collect()
+    }
+
+    /// Serializes to DIMACS `p cnf` format.
+    pub fn to_dimacs(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                let _ = write!(s, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(s, "0");
+        }
+        s
+    }
+
+    /// Parses DIMACS text (`c` comments, one `p cnf` header, clauses
+    /// terminated by `0`).
+    pub fn from_dimacs(text: &str) -> Result<Cnf> {
+        let mut cnf: Option<Cnf> = None;
+        let mut current: Clause = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("p ") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(GdxError::schema(format!("bad DIMACS header: {line}")));
+                }
+                let nv: u32 = parts[1]
+                    .parse()
+                    .map_err(|_| GdxError::schema("bad variable count"))?;
+                cnf = Some(Cnf::new(nv));
+                continue;
+            }
+            let f = cnf
+                .as_mut()
+                .ok_or_else(|| GdxError::schema("clause before DIMACS header"))?;
+            for tok in line.split_whitespace() {
+                let n: i64 = tok
+                    .parse()
+                    .map_err(|_| GdxError::schema(format!("bad DIMACS token {tok}")))?;
+                if n == 0 {
+                    f.add_clause(std::mem::take(&mut current));
+                } else {
+                    current.push(Lit::from_dimacs(n)?);
+                }
+            }
+        }
+        let mut f = cnf.ok_or_else(|| GdxError::schema("missing DIMACS header"))?;
+        if !current.is_empty() {
+            f.add_clause(current);
+        }
+        Ok(f)
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ρ₀ from the paper: (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x3 ∨ ¬x4).
+    pub fn rho0() -> Cnf {
+        let mut f = Cnf::new(4);
+        f.add_clause(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]);
+        f.add_clause(vec![Lit::neg(0), Lit::pos(2), Lit::neg(3)]);
+        f
+    }
+
+    #[test]
+    fn eval_rho0() {
+        let f = rho0();
+        // v(x1)=v(x2)=true, v(x3)=v(x4)=false — the paper's Figure 4 valuation.
+        assert!(f.eval(&[true, true, false, false]));
+        // x1=f x2=t x3=f x4=t violates clause 1.
+        assert!(!f.eval(&[false, true, false, true]));
+        assert!(f.is_3cnf());
+    }
+
+    #[test]
+    fn tautologies_dropped() {
+        let mut f = Cnf::new(1);
+        assert!(!f.add_clause(vec![Lit::pos(0), Lit::neg(0)]));
+        assert!(f.clauses.is_empty());
+        assert!(f.add_clause(vec![Lit::pos(0), Lit::pos(0)]));
+        assert_eq!(f.clauses[0].len(), 1, "duplicate literal removed");
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let f = rho0();
+        let text = f.to_dimacs();
+        assert!(text.starts_with("p cnf 4 2"));
+        let g = Cnf::from_dimacs(&text).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(Cnf::from_dimacs("1 2 0").is_err(), "no header");
+        assert!(Cnf::from_dimacs("p cnf x y").is_err());
+        assert!(Cnf::from_dimacs("p cnf 2 1\n1 z 0").is_err());
+    }
+
+    #[test]
+    fn dimacs_with_comments_and_trailing_clause() {
+        let f = Cnf::from_dimacs("c comment\np cnf 2 2\n1 2 0\n-1 -2").unwrap();
+        assert_eq!(f.clauses.len(), 2);
+    }
+
+    #[test]
+    fn literal_encoding() {
+        assert_eq!(Lit::pos(0).to_dimacs(), 1);
+        assert_eq!(Lit::neg(0).to_dimacs(), -1);
+        assert_eq!(Lit::from_dimacs(-3).unwrap(), Lit::neg(2));
+        assert!(Lit::from_dimacs(0).is_err());
+        assert_eq!(Lit::pos(5).negated(), Lit::neg(5));
+    }
+
+    #[test]
+    fn num_vars_grows() {
+        let mut f = Cnf::new(0);
+        f.add_clause(vec![Lit::pos(9)]);
+        assert_eq!(f.num_vars, 10);
+    }
+}
