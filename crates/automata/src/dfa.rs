@@ -127,9 +127,7 @@ impl Dfa {
                         let id = trans.len() as u32;
                         map.insert((np, nq), id);
                         trans.push(vec![u32::MAX; k]);
-                        accept.push(
-                            self.accept[np as usize] && other.accept[nq as usize],
-                        );
+                        accept.push(self.accept[np as usize] && other.accept[nq as usize]);
                         queue.push_back((np, nq));
                         id
                     }
@@ -207,11 +205,7 @@ impl Dfa {
         let n = self.state_count();
         let k = self.alphabet.len();
         // Initial partition: accept vs non-accept.
-        let mut class: Vec<u32> = self
-            .accept
-            .iter()
-            .map(|&a| if a { 1 } else { 0 })
-            .collect();
+        let mut class: Vec<u32> = self.accept.iter().map(|&a| if a { 1 } else { 0 }).collect();
         loop {
             // Signature: (class, classes of successors).
             let mut sig_map: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();

@@ -100,9 +100,8 @@ mod tests {
 
     #[test]
     fn equivalence() {
-        let e = |a: &str, b: &str| {
-            equivalent(&parse_nre(a).unwrap(), &parse_nre(b).unwrap()).unwrap()
-        };
+        let e =
+            |a: &str, b: &str| equivalent(&parse_nre(a).unwrap(), &parse_nre(b).unwrap()).unwrap();
         assert!(e("a*", "eps+a.a*"));
         assert!(e("(a+b)*", "(a*.b*)*"));
         assert!(!e("a*", "a.a*"));
@@ -110,9 +109,8 @@ mod tests {
 
     #[test]
     fn intersection_tests() {
-        let i = |a: &str, b: &str| {
-            intersects(&parse_nre(a).unwrap(), &parse_nre(b).unwrap()).unwrap()
-        };
+        let i =
+            |a: &str, b: &str| intersects(&parse_nre(a).unwrap(), &parse_nre(b).unwrap()).unwrap();
         assert!(i("a+b", "b+c"));
         assert!(!i("a", "b"));
         assert!(i("a*", "b*"), "both contain eps");

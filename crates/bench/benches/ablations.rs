@@ -56,7 +56,11 @@ fn bench_ablations(c: &mut Criterion) {
             ..EgdChaseConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| chase_egds_on_pattern(&st.pattern, &egds, cfg).unwrap().succeeded())
+            b.iter(|| {
+                chase_egds_on_pattern(&st.pattern, &egds, cfg)
+                    .unwrap()
+                    .succeeded()
+            })
         });
     }
     group.finish();

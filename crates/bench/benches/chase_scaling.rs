@@ -1,10 +1,14 @@
-//! B3: chase scaling on the Flight/Hotel scenario — the s-t phase and the
+//! B3: chase scaling on the Flight/Hotel scenario — the s-t phase, the
 //! adapted egd phase of Section 5 against instance size and hotel-sharing
-//! density.
+//! density, and the target-tgd chase in naive round-robin vs semi-naive
+//! worklist mode (the `TgdChaseConfig::mode` flag).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gdx_chase::{chase_egds_on_pattern, chase_st, EgdChaseConfig, StChaseVariant};
-use gdx_datagen::{flights_hotels, rng, FlightsHotelsParams};
+use gdx_chase::{
+    chase_egds_on_pattern, chase_st, chase_target_tgds, EgdChaseConfig, StChaseVariant,
+    TgdChaseConfig, TgdChaseMode,
+};
+use gdx_datagen::{chain_target_tgds, flights_hotels, rng, FlightsHotelsParams};
 use gdx_mapping::Setting;
 
 fn bench_chase(c: &mut Criterion) {
@@ -23,18 +27,14 @@ fn bench_chase(c: &mut Criterion) {
             },
             &mut rng(42),
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(flights),
-            &flights,
-            |b, _| {
-                b.iter(|| {
-                    chase_st(&inst, &setting, StChaseVariant::Oblivious)
-                        .unwrap()
-                        .pattern
-                        .edge_count()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(flights), &flights, |b, _| {
+            b.iter(|| {
+                chase_st(&inst, &setting, StChaseVariant::Oblivious)
+                    .unwrap()
+                    .pattern
+                    .edge_count()
+            })
+        });
     }
     group.finish();
 
@@ -51,17 +51,54 @@ fn bench_chase(c: &mut Criterion) {
             &mut rng(42),
         );
         let st = chase_st(&inst, &setting, StChaseVariant::Oblivious).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(flights),
-            &flights,
-            |b, _| {
-                b.iter(|| {
-                    chase_egds_on_pattern(&st.pattern, &egds, EgdChaseConfig::default())
-                        .unwrap()
-                        .succeeded()
-                })
+        group.bench_with_input(BenchmarkId::from_parameter(flights), &flights, |b, _| {
+            b.iter(|| {
+                chase_egds_on_pattern(&st.pattern, &egds, EgdChaseConfig::default())
+                    .unwrap()
+                    .succeeded()
+            })
+        });
+    }
+    group.finish();
+
+    // Naive vs semi-naive target-tgd chase: a depth-6 tgd chain over the
+    // instantiated Flight/Hotel graph. Naive re-evaluates every rule body
+    // per round; the semi-naive worklist engine consumes deltas only.
+    let mut group = c.benchmark_group("tgd_chase_mode");
+    group.sample_size(10);
+    let tgds = chain_target_tgds(6);
+    for flights in [100usize, 300, 1000] {
+        let inst = flights_hotels(
+            FlightsHotelsParams {
+                flights,
+                cities: (flights / 5).max(4),
+                hotels: flights / 5,
+                stays_per_flight: 2,
             },
+            &mut rng(42),
         );
+        let st = chase_st(&inst, &setting, StChaseVariant::Oblivious).unwrap();
+        let g = gdx_pattern::instantiate_shortest(&st.pattern).unwrap();
+        for (label, mode) in [
+            ("semi_naive", TgdChaseMode::SemiNaive),
+            ("naive", TgdChaseMode::Naive),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, flights), &flights, |b, _| {
+                b.iter(|| {
+                    chase_target_tgds(
+                        &g,
+                        &tgds,
+                        TgdChaseConfig {
+                            max_steps: 1_000_000,
+                            mode,
+                        },
+                    )
+                    .unwrap()
+                    .stats
+                    .body_rows
+                })
+            });
+        }
     }
     group.finish();
 

@@ -51,13 +51,9 @@ fn bench_exists(c: &mut Criterion) {
         let red = Reduction::from_cnf(&cnf, ReductionFlavor::SameAs).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                construct_solution_no_egds(
-                    &red.instance,
-                    &red.setting,
-                    &SolverConfig::default(),
-                )
-                .unwrap()
-                .edge_count()
+                construct_solution_no_egds(&red.instance, &red.setting, &SolverConfig::default())
+                    .unwrap()
+                    .edge_count()
             })
         });
     }

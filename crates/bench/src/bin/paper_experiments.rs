@@ -5,8 +5,8 @@
 //! Run with `cargo run -p gdx-bench --release --bin paper_experiments`.
 
 use gdx_bench::{
-    certain_sweep, chase_sweep, example_2_2, example_5_2, exists_sweep, mean_us,
-    print_table, solver_config_for_reduction,
+    certain_sweep, chase_sweep, example_2_2, example_5_2, exists_sweep, mean_us, print_table,
+    solver_config_for_reduction,
 };
 use gdx_common::Term;
 use gdx_exchange::exists::{construct_solution_no_egds, SolverConfig};
@@ -50,8 +50,7 @@ fn main() {
 // ---------------------------------------------------------------- E1 --
 
 fn g1() -> Graph {
-    Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
-        .unwrap()
+    Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);").unwrap()
 }
 
 fn g2() -> Graph {
@@ -78,8 +77,16 @@ fn g3() -> Graph {
 fn e1_figure_1_solutions() {
     println!("-- E1: Figure 1 — solutions under Ω (egd) and Ω′ (sameAs) --");
     let (i, egd, sameas) = example_2_2();
-    check("E1", "G1 is a solution under Ω", is_solution(&i, &egd, &g1()).unwrap());
-    check("E1", "G2 is a solution under Ω", is_solution(&i, &egd, &g2()).unwrap());
+    check(
+        "E1",
+        "G1 is a solution under Ω",
+        is_solution(&i, &egd, &g1()).unwrap(),
+    );
+    check(
+        "E1",
+        "G2 is a solution under Ω",
+        is_solution(&i, &egd, &g2()).unwrap(),
+    );
     check(
         "E1",
         "G3 is a solution under Ω′",
@@ -109,16 +116,18 @@ fn e2_example_2_2_query_answers() {
     check("E2", "|JQK_G2| = 9 (paper lists 9 pairs)", a2.len() == 9);
 
     let cfg = SolverConfig::default();
-    let (cert_egd, _) =
-        gdx_exchange::certain::certain_answers(&i, &egd, &q, &cfg).unwrap();
+    let (cert_egd, _) = gdx_exchange::certain::certain_answers(&i, &egd, &q, &cfg).unwrap();
     check(
         "E2",
         "cert_Ω(Q, I) = {(c1,c1),(c1,c3),(c3,c1),(c3,c3)}",
         cert_egd.len() == 4,
     );
-    let (cert_sa, _) =
-        gdx_exchange::certain::certain_answers(&i, &sameas, &q, &cfg).unwrap();
-    check("E2", "cert_Ω′(Q, I) = {(c1,c1),(c3,c3)}", cert_sa.len() == 2);
+    let (cert_sa, _) = gdx_exchange::certain::certain_answers(&i, &sameas, &q, &cfg).unwrap();
+    check(
+        "E2",
+        "cert_Ω′(Q, I) = {(c1,c1),(c3,c3)}",
+        cert_sa.len() == 2,
+    );
     println!();
 }
 
@@ -248,7 +257,11 @@ fn e6_corollary_4_2() {
         &solver_config_for_reduction(3),
     )
     .unwrap();
-    check("E6", "unsatisfiable ⇒ (c1,c2) ∈ cert(a·a)", ans.is_certain());
+    check(
+        "E6",
+        "unsatisfiable ⇒ (c1,c2) ∈ cert(a·a)",
+        ans.is_certain(),
+    );
     println!();
 }
 
@@ -261,12 +274,8 @@ fn e7_proposition_4_3() {
     unsat.add_clause(vec![Lit::neg(0), Lit::pos(1)]);
     unsat.add_clause(vec![Lit::neg(1)]);
     let red = Reduction::from_cnf(&unsat, ReductionFlavor::SameAs).unwrap();
-    let g = construct_solution_no_egds(
-        &red.instance,
-        &red.setting,
-        &SolverConfig::default(),
-    )
-    .unwrap();
+    let g =
+        construct_solution_no_egds(&red.instance, &red.setting, &SolverConfig::default()).unwrap();
     check(
         "E7",
         "solutions exist even for unsatisfiable ρ (poly construction)",
@@ -281,7 +290,11 @@ fn e7_proposition_4_3() {
         &solver_config_for_reduction(3),
     )
     .unwrap();
-    check("E7", "unsatisfiable ⇒ (c1,c2) ∈ cert(sameAs)", ans.is_certain());
+    check(
+        "E7",
+        "unsatisfiable ⇒ (c1,c2) ∈ cert(sameAs)",
+        ans.is_certain(),
+    );
 
     let red_s = Reduction::from_cnf(&rho0(), ReductionFlavor::SameAs).unwrap();
     let ans = certain_pair(
@@ -325,7 +338,11 @@ fn e9_example_5_2() {
     let (i, setting) = example_5_2();
     let cfg = SolverConfig::default();
     let chased = gdx_exchange::exists::chased_pattern(&i, &setting, &cfg).unwrap();
-    check("E9", "the adapted chase succeeds (Figure 6a)", chased.succeeded());
+    check(
+        "E9",
+        "the adapted chase succeeds (Figure 6a)",
+        chased.succeeded(),
+    );
     let ex = gdx_exchange::solution_exists(&i, &setting, &cfg).unwrap();
     check(
         "E9",
@@ -348,9 +365,7 @@ fn e10_proposition_5_3() {
     println!("-- E10: Prop. 5.3 / Figure 7 — patterns are not universal --");
     let (i, egd, _) = example_2_2();
     let ex = Exchange::new(egd.clone(), i.clone());
-    let RepresentativeOutcome::Representative(rep) =
-        ex.universal_representative().unwrap()
-    else {
+    let RepresentativeOutcome::Representative(rep) = ex.universal_representative().unwrap() else {
         panic!("chase succeeds on Example 2.2");
     };
     let fig7 = Graph::parse(
@@ -403,7 +418,14 @@ fn t1_existence_sweep() {
         }
     }
     print_table(
-        &["n", "m/n", "sat", "egd-search µs", "egd-SAT µs", "sameAs µs"],
+        &[
+            "n",
+            "m/n",
+            "sat",
+            "egd-search µs",
+            "egd-SAT µs",
+            "sameAs µs",
+        ],
         &table,
     );
     println!();
@@ -458,8 +480,14 @@ fn t3_chase_scaling() {
         .collect();
     print_table(
         &[
-            "flights", "hotels", "pat nodes", "pat edges", "st µs", "egd µs",
-            "merges", "final nodes",
+            "flights",
+            "hotels",
+            "pat nodes",
+            "pat edges",
+            "st µs",
+            "egd µs",
+            "merges",
+            "final nodes",
         ],
         &table,
     );
@@ -534,8 +562,7 @@ fn t5_ablations() {
     // (ii) batched vs sequential egd merging.
     let egds: Vec<_> = setting.egds().cloned().collect();
     let t = Instant::now();
-    let b = chase_egds_on_pattern(&obl.pattern, &egds, EgdChaseConfig::default())
-        .unwrap();
+    let b = chase_egds_on_pattern(&obl.pattern, &egds, EgdChaseConfig::default()).unwrap();
     let batched_us = t.elapsed().as_micros();
     let t = Instant::now();
     let s = chase_egds_on_pattern(
@@ -595,8 +622,7 @@ fn t5_ablations() {
     let a = gdx_exchange::solution_exists(&red.instance, &red.setting, &cfg).unwrap();
     let search_us = t.elapsed().as_micros();
     let t = Instant::now();
-    let b2 = gdx_exchange::encode::solution_exists_sat(&red.instance, &red.setting)
-        .unwrap();
+    let b2 = gdx_exchange::encode::solution_exists_sat(&red.instance, &red.setting).unwrap();
     let sat_us = t.elapsed().as_micros();
     println!(
         "  existence n=10 ratio 4.3: search {} µs vs SAT-encoding {} µs (agree: {})",

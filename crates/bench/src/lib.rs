@@ -67,8 +67,7 @@ pub fn exists_sweep(
                 let (sat_res, _) = solve(&cnf, SatConfig::default());
                 let satisfiable = sat_res.is_sat();
 
-                let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd)
-                    .expect("3-CNF reduction");
+                let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).expect("3-CNF reduction");
 
                 let search_us = if n <= search_cutoff_n {
                     let cfg = solver_config_for_reduction(n);
@@ -92,8 +91,8 @@ pub fn exists_sweep(
                 let encode_us = t.elapsed().as_micros();
                 assert_eq!(ex.exists(), satisfiable, "encoder disagrees with SAT");
 
-                let red_sa = Reduction::from_cnf(&cnf, ReductionFlavor::SameAs)
-                    .expect("3-CNF reduction");
+                let red_sa =
+                    Reduction::from_cnf(&cnf, ReductionFlavor::SameAs).expect("3-CNF reduction");
                 let t = Instant::now();
                 let g = gdx_exchange::exists::construct_solution_no_egds(
                     &red_sa.instance,
@@ -145,8 +144,7 @@ pub fn certain_sweep(ns: &[u32], ratios: &[f64], seeds: u64) -> Vec<CertainRow> 
                 let cnf = random_3cnf(n, m, &mut r);
                 let (sat_res, _) = solve(&cnf, SatConfig::default());
                 let unsat = matches!(sat_res, SatResult::Unsat);
-                let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd)
-                    .expect("3-CNF reduction");
+                let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).expect("3-CNF reduction");
                 let cfg = solver_config_for_reduction(n);
                 let t = Instant::now();
                 let ans = certain_pair(
@@ -302,8 +300,7 @@ pub fn example_5_2() -> (Instance, Setting) {
 pub fn reduction_solution_count(red: &Reduction, n: u32) -> usize {
     let cfg = solver_config_for_reduction(n);
     let (sols, _exact) =
-        enumerate_minimal_solutions(&red.instance, &red.setting, &cfg, false)
-            .expect("enumeration");
+        enumerate_minimal_solutions(&red.instance, &red.setting, &cfg, false).expect("enumeration");
     sols.len()
 }
 
@@ -328,8 +325,14 @@ mod tests {
             assert!(r.search_us.is_some());
         }
         // Low ratio mostly SAT, high mostly UNSAT.
-        let low_sat = rows.iter().filter(|r| r.ratio == 2.0 && r.satisfiable).count();
-        let high_sat = rows.iter().filter(|r| r.ratio == 6.0 && r.satisfiable).count();
+        let low_sat = rows
+            .iter()
+            .filter(|r| r.ratio == 2.0 && r.satisfiable)
+            .count();
+        let high_sat = rows
+            .iter()
+            .filter(|r| r.ratio == 6.0 && r.satisfiable)
+            .count();
         assert!(low_sat >= high_sat);
     }
 

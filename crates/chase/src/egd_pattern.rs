@@ -101,12 +101,18 @@ pub fn chase_egds_on_pattern(
     let mut incl_cache: FxHashMap<(Vec<Nre>, Nre), bool> = FxHashMap::default();
 
     for _round in 0..cfg.max_rounds {
+        // The step relations and entailment relations depend only on the
+        // pattern (which is stable within a round), not on the egd under
+        // consideration: build them once per round and share them across
+        // every egd — and across duplicate NREs within one egd body.
+        let mut index = EntailmentIndex::build(&pattern, cfg);
         if cfg.batch_merges {
             // Collect every violation in one pass, merge them all at once.
             let mut uf = UnionFind::new(pattern.node_count());
             let mut any = false;
             for egd in egds {
-                let matches = certain_matches(&pattern, &egd.body, cfg, &mut incl_cache)?;
+                let matches =
+                    certain_matches_indexed(&pattern, &egd.body, &mut index, &mut incl_cache)?;
                 for m in matches {
                     let (n1, n2) = (m[&egd.lhs], m[&egd.rhs]);
                     let (r1, r2) = (uf.find(n1), uf.find(n2));
@@ -140,7 +146,8 @@ pub fn chase_egds_on_pattern(
         } else {
             let mut changed = false;
             'egd_loop: for egd in egds {
-                let matches = certain_matches(&pattern, &egd.body, cfg, &mut incl_cache)?;
+                let matches =
+                    certain_matches_indexed(&pattern, &egd.body, &mut index, &mut incl_cache)?;
                 for m in matches {
                     let n1 = m[&egd.lhs];
                     let n2 = m[&egd.rhs];
@@ -157,12 +164,10 @@ pub fn chase_egds_on_pattern(
                             })
                         }
                         (true, false) => {
-                            pattern =
-                                pattern.quotient(|id| if id == n2 { n1 } else { id });
+                            pattern = pattern.quotient(|id| if id == n2 { n1 } else { id });
                         }
                         _ => {
-                            pattern =
-                                pattern.quotient(|id| if id == n1 { n2 } else { id });
+                            pattern = pattern.quotient(|id| if id == n1 { n2 } else { id });
                         }
                     }
                     merges += 1;
@@ -179,19 +184,152 @@ pub fn chase_egds_on_pattern(
     Err(GdxError::limit("egd chase exceeded max_rounds"))
 }
 
+/// Per-pattern-version evaluation index for certain matching: the
+/// sequence relations (which depend on the pattern only) plus memoized
+/// per-target entailment relations. Built once per chase round and shared
+/// across every egd of the round; [`certain_matches`] builds a throwaway
+/// one for one-shot callers.
+#[derive(Debug)]
+pub struct EntailmentIndex {
+    /// Every NRE sequence up to the path bound with a non-empty composed
+    /// syntactic relation over the pattern.
+    sequences: Vec<(Vec<Nre>, BinRel)>,
+    /// Entailment relations per target NRE, memoized across egd bodies.
+    by_target: FxHashMap<Nre, BinRel>,
+}
+
+impl EntailmentIndex {
+    /// Scans the pattern once: distinct edge NREs (with optional reversed
+    /// variants) become step relations, then sequences up to
+    /// `cfg.path_bound` are composed. Targets are *not* consulted here —
+    /// the same index serves every egd of a round.
+    pub fn build(pattern: &GraphPattern, cfg: EgdChaseConfig) -> EntailmentIndex {
+        // Each "step kind" is (nre-as-matched, its syntactic relation).
+        let mut step_rels: Vec<(Nre, BinRel)> = Vec::new();
+        {
+            let mut seen: FxHashSet<Nre> = FxHashSet::default();
+            for (_, r, _) in pattern.edges() {
+                if seen.insert(r.clone()) {
+                    let mut fwd = BinRel::new();
+                    for (s, r2, d) in pattern.edges() {
+                        if r2 == r {
+                            fwd.insert(*s, *d);
+                        }
+                    }
+                    step_rels.push((r.clone(), fwd));
+                }
+            }
+            if cfg.allow_reversed {
+                let fwd_kinds: Vec<(Nre, BinRel)> = step_rels.clone();
+                for (r, fwd) in fwd_kinds {
+                    let rev_nre = r.reversed();
+                    if seen.insert(rev_nre.clone()) {
+                        let mut rev = BinRel::new();
+                        for (u, v) in fwd.iter() {
+                            rev.insert(v, u);
+                        }
+                        step_rels.push((rev_nre, rev));
+                    }
+                }
+            }
+        }
+
+        // Enumerate sequences up to the path bound, composing as we go;
+        // empty compositions cannot entail anything and are pruned.
+        let mut sequences: Vec<(Vec<Nre>, BinRel)> = Vec::new();
+        let mut frontier: Vec<(Vec<Nre>, Option<BinRel>)> = vec![(Vec::new(), None)];
+        for _len in 1..=cfg.path_bound {
+            let mut next: Vec<(Vec<Nre>, Option<BinRel>)> = Vec::new();
+            for (seq, seq_rel) in &frontier {
+                for (step_nre, step_rel) in &step_rels {
+                    let mut seq2 = seq.clone();
+                    seq2.push(step_nre.clone());
+                    let rel2 = match seq_rel {
+                        None => step_rel.clone(),
+                        Some(r) => r.compose(step_rel),
+                    };
+                    if rel2.is_empty() {
+                        continue;
+                    }
+                    sequences.push((seq2.clone(), rel2.clone()));
+                    next.push((seq2, Some(rel2)));
+                }
+            }
+            frontier = next;
+        }
+        EntailmentIndex {
+            sequences,
+            by_target: FxHashMap::default(),
+        }
+    }
+
+    /// The pairs of pattern nodes certainly related by `target` in every
+    /// represented graph (sound, path-bounded). Memoized per target.
+    fn entailment_relation(
+        &mut self,
+        pattern: &GraphPattern,
+        target: &Nre,
+        incl_cache: &mut FxHashMap<(Vec<Nre>, Nre), bool>,
+    ) -> Result<&BinRel> {
+        if !self.by_target.contains_key(target) {
+            let mut rel = BinRel::new();
+            // Length 0: ε ∈ L(target) relates every node to itself.
+            if target.nullable() {
+                for id in pattern.node_ids() {
+                    rel.insert(id, id);
+                }
+            }
+            for (seq, seq_rel) in &self.sequences {
+                let key = (seq.clone(), target.clone());
+                let ok = match incl_cache.get(&key) {
+                    Some(&b) => b,
+                    None => {
+                        let b = sequence_included(seq, target)?;
+                        incl_cache.insert(key, b);
+                        b
+                    }
+                };
+                if ok {
+                    for (u, v) in seq_rel.iter() {
+                        rel.insert(u, v);
+                    }
+                }
+            }
+            self.by_target.insert(target.clone(), rel);
+        }
+        Ok(&self.by_target[target])
+    }
+}
+
 /// All certain matches of a CNRE body against the pattern: assignments of
 /// body variables to pattern nodes such that every atom is entailed.
+/// One-shot wrapper around [`certain_matches_indexed`].
 pub fn certain_matches(
     pattern: &GraphPattern,
     body: &gdx_query::Cnre,
     cfg: EgdChaseConfig,
     incl_cache: &mut FxHashMap<(Vec<Nre>, Nre), bool>,
 ) -> Result<Vec<FxHashMap<Symbol, PNodeId>>> {
-    // Entailment relation per atom.
-    let mut rels: Vec<BinRel> = Vec::with_capacity(body.atoms.len());
+    let mut index = EntailmentIndex::build(pattern, cfg);
+    certain_matches_indexed(pattern, body, &mut index, incl_cache)
+}
+
+/// [`certain_matches`] against a prebuilt per-round [`EntailmentIndex`].
+pub fn certain_matches_indexed(
+    pattern: &GraphPattern,
+    body: &gdx_query::Cnre,
+    index: &mut EntailmentIndex,
+    incl_cache: &mut FxHashMap<(Vec<Nre>, Nre), bool>,
+) -> Result<Vec<FxHashMap<Symbol, PNodeId>>> {
+    // Entailment relation per atom (shared per target via the index).
     for atom in &body.atoms {
-        rels.push(entailment_relation(pattern, &atom.nre, cfg, incl_cache)?);
+        index.entailment_relation(pattern, &atom.nre, incl_cache)?;
     }
+    let rels: Vec<&BinRel> = body
+        .atoms
+        .iter()
+        .map(|a| &index.by_target[&a.nre])
+        .collect();
     // Join.
     let mut out = Vec::new();
     let mut binding: FxHashMap<Symbol, PNodeId> = FxHashMap::default();
@@ -199,98 +337,11 @@ pub fn certain_matches(
     Ok(out)
 }
 
-/// The pairs of pattern nodes certainly related by `target` in every
-/// represented graph (sound, path-bounded).
-fn entailment_relation(
-    pattern: &GraphPattern,
-    target: &Nre,
-    cfg: EgdChaseConfig,
-    incl_cache: &mut FxHashMap<(Vec<Nre>, Nre), bool>,
-) -> Result<BinRel> {
-    let mut rel = BinRel::new();
-
-    // Length 0: ε ∈ L(target) relates every node to itself.
-    if target.nullable() {
-        for id in pattern.node_ids() {
-            rel.insert(id, id);
-        }
-    }
-
-    // Distinct edge NREs, with optional reversed variants. Each "step kind"
-    // is (nre-as-matched, its syntactic relation over pattern nodes).
-    let mut step_rels: Vec<(Nre, BinRel)> = Vec::new();
-    {
-        let mut seen: FxHashSet<Nre> = FxHashSet::default();
-        for (_, r, _) in pattern.edges() {
-            if seen.insert(r.clone()) {
-                let mut fwd = BinRel::new();
-                for (s, r2, d) in pattern.edges() {
-                    if r2 == r {
-                        fwd.insert(*s, *d);
-                    }
-                }
-                step_rels.push((r.clone(), fwd));
-            }
-        }
-        if cfg.allow_reversed {
-            let fwd_kinds: Vec<(Nre, BinRel)> = step_rels.clone();
-            for (r, fwd) in fwd_kinds {
-                let rev_nre = r.reversed();
-                if seen.insert(rev_nre.clone()) {
-                    let mut rev = BinRel::new();
-                    for (u, v) in fwd.iter() {
-                        rev.insert(v, u);
-                    }
-                    step_rels.push((rev_nre, rev));
-                }
-            }
-        }
-    }
-
-    // Enumerate NRE sequences up to the path bound; for each included one
-    // compose the corresponding relations.
-    let mut frontier: Vec<(Vec<Nre>, Option<BinRel>)> = vec![(Vec::new(), None)];
-    for _len in 1..=cfg.path_bound {
-        let mut next: Vec<(Vec<Nre>, Option<BinRel>)> = Vec::new();
-        for (seq, seq_rel) in &frontier {
-            for (step_nre, step_rel) in &step_rels {
-                let mut seq2 = seq.clone();
-                seq2.push(step_nre.clone());
-                let rel2 = match seq_rel {
-                    None => step_rel.clone(),
-                    Some(r) => r.compose(step_rel),
-                };
-                if rel2.is_empty() {
-                    continue;
-                }
-                let key = (seq2.clone(), target.clone());
-                let ok = match incl_cache.get(&key) {
-                    Some(&b) => b,
-                    None => {
-                        let b = sequence_included(&seq2, target)?;
-                        incl_cache.insert(key, b);
-                        b
-                    }
-                };
-                if ok {
-                    for (u, v) in rel2.iter() {
-                        rel.insert(u, v);
-                    }
-                }
-                next.push((seq2, Some(rel2)));
-            }
-        }
-        frontier = next;
-    }
-    Ok(rel)
-}
-
 /// `L(r₁·…·r_m) ⊆ L(target)`? Test-free sequences go through the automata
 /// library; anything with a nesting test falls back to single-step
 /// syntactic equality (sound, incomplete).
 fn sequence_included(seq: &[Nre], target: &Nre) -> Result<bool> {
-    let all_test_free =
-        target.is_test_free() && seq.iter().all(Nre::is_test_free);
+    let all_test_free = target.is_test_free() && seq.iter().all(Nre::is_test_free);
     if all_test_free {
         let concat = Nre::concat_all(seq.iter().cloned());
         return included(&concat, target);
@@ -301,7 +352,7 @@ fn sequence_included(seq: &[Nre], target: &Nre) -> Result<bool> {
 fn join(
     pattern: &GraphPattern,
     body: &gdx_query::Cnre,
-    rels: &[BinRel],
+    rels: &[&BinRel],
     depth: usize,
     binding: &mut FxHashMap<Symbol, PNodeId>,
     out: &mut Vec<FxHashMap<Symbol, PNodeId>>,
@@ -311,7 +362,7 @@ fn join(
         return Ok(());
     }
     let atom = &body.atoms[depth];
-    let rel = &rels[depth];
+    let rel = rels[depth];
     let resolve = |t: &Term, binding: &FxHashMap<Symbol, PNodeId>| -> Result<Slot> {
         match t {
             Term::Const(c) => match pattern.node_id(Node::Const(*c)) {
@@ -324,7 +375,10 @@ fn join(
             }),
         }
     };
-    match (resolve(&atom.left, binding)?, resolve(&atom.right, binding)?) {
+    match (
+        resolve(&atom.left, binding)?,
+        resolve(&atom.right, binding)?,
+    ) {
         (Slot::Missing, _) | (_, Slot::Missing) => Ok(()),
         (Slot::Fixed(u), Slot::Fixed(v)) => {
             if rel.contains(u, v) {
@@ -446,8 +500,7 @@ mod tests {
     fn example_5_1_merges_hotel_nulls() {
         // Figure 5: N2 and N3 (both h-linked to hx) merge.
         let out =
-            chase_egds_on_pattern(&fig3(), &[hotel_egd()], EgdChaseConfig::default())
-                .unwrap();
+            chase_egds_on_pattern(&fig3(), &[hotel_egd()], EgdChaseConfig::default()).unwrap();
         match out {
             EgdChaseOutcome::Success { pattern, merges } => {
                 assert_eq!(merges, 1);
@@ -498,14 +551,12 @@ mod tests {
     fn constant_constant_merge_fails() {
         // Two distinct constants sharing a hotel.
         let p = GraphPattern::parse("(u1, h, hx); (u2, h, hx);").unwrap();
-        let out =
-            chase_egds_on_pattern(&p, &[hotel_egd()], EgdChaseConfig::default()).unwrap();
+        let out = chase_egds_on_pattern(&p, &[hotel_egd()], EgdChaseConfig::default()).unwrap();
         match out {
             EgdChaseOutcome::Failed { constants, .. } => {
-                let names: FxHashSet<String> =
-                    [constants.0.to_string(), constants.1.to_string()]
-                        .into_iter()
-                        .collect();
+                let names: FxHashSet<String> = [constants.0.to_string(), constants.1.to_string()]
+                    .into_iter()
+                    .collect();
                 assert!(names.contains("u1") && names.contains("u2"));
             }
             other => panic!("expected failure, got {other:?}"),
@@ -515,8 +566,7 @@ mod tests {
     #[test]
     fn constant_null_substitutes_constant() {
         let p = GraphPattern::parse("(u1, h, hx); (_N, h, hx); (_N, f, z);").unwrap();
-        let out =
-            chase_egds_on_pattern(&p, &[hotel_egd()], EgdChaseConfig::default()).unwrap();
+        let out = chase_egds_on_pattern(&p, &[hotel_egd()], EgdChaseConfig::default()).unwrap();
         let pattern = out.pattern().expect("success");
         assert!(pattern.node_id(Node::null("N")).is_none(), "null replaced");
         // The f-edge now hangs off u1.
@@ -626,8 +676,7 @@ mod tests {
                 vec![hotel_egd()],
             ),
         ] {
-            let a = chase_egds_on_pattern(&pattern, &egds, EgdChaseConfig::default())
-                .unwrap();
+            let a = chase_egds_on_pattern(&pattern, &egds, EgdChaseConfig::default()).unwrap();
             let b = chase_egds_on_pattern(&pattern, &egds, seq_cfg).unwrap();
             assert_eq!(a.succeeded(), b.succeeded());
             if let (Some(pa), Some(pb)) = (a.pattern(), b.pattern()) {
@@ -648,8 +697,7 @@ mod tests {
         // Trivial egd x = x would be rejected by validation, but
         // certain_matches itself must handle identity entailment.
         let mut cache = FxHashMap::default();
-        let ms = certain_matches(&p, &egd.body, EgdChaseConfig::default(), &mut cache)
-            .unwrap();
+        let ms = certain_matches(&p, &egd.body, EgdChaseConfig::default(), &mut cache).unwrap();
         assert_eq!(ms.len(), 2, "every node matches (x, f*, x)");
     }
 }

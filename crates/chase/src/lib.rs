@@ -12,7 +12,9 @@
 //! * [`sameas`] — sameAs saturation on concrete graphs (the tractable
 //!   solution-construction route of Proposition 4.3);
 //! * [`tgd`] — a bounded restricted chase for target tgds on concrete
-//!   graphs;
+//!   graphs: a semi-naive, worklist-driven, restartable engine
+//!   ([`tgd::TgdChaseEngine`]) with naive round-robin kept as the
+//!   reference oracle;
 //! * [`weak_acyclicity`] — the classical termination criterion, applicable
 //!   to the single-symbol fragment of target tgds.
 //!
@@ -25,7 +27,9 @@ pub mod tgd;
 pub mod weak_acyclicity;
 
 pub use egd_pattern::{chase_egds_on_pattern, EgdChaseConfig, EgdChaseOutcome};
-pub use sameas::saturate_same_as;
+pub use sameas::{saturate_same_as, SameAsEngine};
 pub use st::{chase_st, StChaseResult, StChaseVariant};
-pub use tgd::{chase_target_tgds, TgdChaseConfig, TgdChaseResult};
+pub use tgd::{
+    chase_target_tgds, ChaseStats, TgdChaseConfig, TgdChaseEngine, TgdChaseMode, TgdChaseResult,
+};
 pub use weak_acyclicity::is_weakly_acyclic;

@@ -7,26 +7,49 @@
 //! fixpoint. Since each round only adds edges over a fixed node set, the
 //! process terminates in at most `|V|²·|constraints|` additions — this is
 //! the polynomial half of the paper's egd-vs-sameAs contrast.
+//!
+//! Saturation only ever *adds* edges to one graph value, so it is a
+//! perfect fit for the delta layer: [`SameAsEngine`] keeps one persistent
+//! [`SemiNaiveState`] per constraint, each round examines only the body
+//! matches enabled since the previous round, and the engine survives
+//! across [`SameAsEngine::saturate`] calls — the solver's fixpoint loop
+//! re-saturates after every tgd round without re-deriving old matches.
 
 use gdx_common::{GdxError, Result};
 use gdx_graph::Graph;
 use gdx_mapping::{same_as_symbol, SameAs};
 use gdx_nre::eval::EvalCache;
-use gdx_query::evaluate_with_cache;
+use gdx_query::{evaluate_with_cache, SemiNaiveState};
 
-/// Saturates `graph` with sameAs edges until every constraint is
-/// satisfied. Returns the number of edges added.
-pub fn saturate_same_as(graph: &mut Graph, constraints: &[SameAs]) -> Result<usize> {
-    let sa = same_as_symbol();
-    let mut added = 0usize;
-    loop {
-        let mut new_edges = Vec::new();
-        {
-            // The graph mutates between rounds; the NRE cache must not
-            // outlive a round.
-            let mut cache = EvalCache::new();
-            for c in constraints {
-                let matches = evaluate_with_cache(graph, &c.body, &mut cache)?;
+/// Restartable semi-naive sameAs saturator: per-constraint delta states
+/// that persist across rounds and across calls on the same graph value
+/// (graph replacement resets them transparently).
+#[derive(Debug)]
+pub struct SameAsEngine {
+    constraints: Vec<SameAs>,
+    states: Vec<SemiNaiveState>,
+}
+
+impl SameAsEngine {
+    /// An engine for the given constraints.
+    pub fn new(constraints: &[SameAs]) -> SameAsEngine {
+        SameAsEngine {
+            constraints: constraints.to_vec(),
+            states: constraints.iter().map(|_| SemiNaiveState::new()).collect(),
+        }
+    }
+
+    /// Saturates `graph` in place until every constraint is satisfied.
+    /// Returns the number of edges added by this call.
+    pub fn saturate(&mut self, graph: &mut Graph) -> Result<usize> {
+        let sa = same_as_symbol();
+        let mut added = 0usize;
+        loop {
+            let mut new_edges = Vec::new();
+            for (c, state) in self.constraints.iter().zip(&mut self.states) {
+                // Only the body matches that appeared since this
+                // constraint's previous look at the graph.
+                let matches = state.delta_matches(graph, &c.body)?;
                 let vars = matches.vars();
                 let li = vars
                     .iter()
@@ -43,16 +66,24 @@ pub fn saturate_same_as(graph: &mut Graph, constraints: &[SameAs]) -> Result<usi
                     }
                 }
             }
-        }
-        if new_edges.is_empty() {
-            return Ok(added);
-        }
-        for (u, v) in new_edges {
-            if graph.add_edge(u, sa, v) {
-                added += 1;
+            if new_edges.is_empty() {
+                return Ok(added);
+            }
+            for (u, v) in new_edges {
+                if graph.add_edge(u, sa, v) {
+                    added += 1;
+                }
             }
         }
     }
+}
+
+/// Saturates `graph` with sameAs edges until every constraint is
+/// satisfied. Returns the number of edges added. One-shot wrapper around
+/// [`SameAsEngine`]; callers that re-saturate a growing graph should hold
+/// an engine instead.
+pub fn saturate_same_as(graph: &mut Graph, constraints: &[SameAs]) -> Result<usize> {
+    SameAsEngine::new(constraints).saturate(graph)
 }
 
 /// Checks whether `graph` satisfies every sameAs constraint (no saturation).
@@ -93,10 +124,7 @@ mod tests {
     #[test]
     fn saturation_adds_required_edges() {
         // Figure 1(c) shape: N2 and N3 share hotel hx.
-        let mut g = Graph::parse(
-            "(_N1, h, hy); (_N2, h, hx); (_N3, h, hx);",
-        )
-        .unwrap();
+        let mut g = Graph::parse("(_N1, h, hy); (_N2, h, hx); (_N3, h, hx);").unwrap();
         let c = hotel_sameas();
         assert!(!same_as_satisfied(&g, std::slice::from_ref(&c)).unwrap());
         let added = saturate_same_as(&mut g, std::slice::from_ref(&c)).unwrap();
@@ -123,8 +151,7 @@ mod tests {
             rhs: Symbol::new("z"),
         };
         let base = hotel_sameas();
-        let mut g = Graph::parse("(_N1, h, a); (_N2, h, a); (_N2, h, b); (_N3, h, b);")
-            .unwrap();
+        let mut g = Graph::parse("(_N1, h, a); (_N2, h, a); (_N2, h, b); (_N3, h, b);").unwrap();
         saturate_same_as(&mut g, &[base, trans.clone()]).unwrap();
         // N1 ~ N2 ~ N3 must have closed: (N1, sameAs, N3).
         let n1 = g.node_id(gdx_graph::Node::null("N1")).unwrap();
@@ -138,6 +165,24 @@ mod tests {
         let mut g = Graph::parse("(a, h, b);").unwrap();
         assert_eq!(saturate_same_as(&mut g, &[]).unwrap(), 0);
         assert!(same_as_satisfied(&g, &[]).unwrap());
+    }
+
+    #[test]
+    fn engine_resaturates_incrementally() {
+        let mut g = Graph::parse("(_N1, h, hx); (_N2, h, hx);").unwrap();
+        let c = hotel_sameas();
+        let mut engine = SameAsEngine::new(std::slice::from_ref(&c));
+        // 4 pairs over hx: (N1,N1), (N2,N2), (N1,N2), (N2,N1).
+        assert_eq!(engine.saturate(&mut g).unwrap(), 4);
+        // Nothing changed: re-saturating adds nothing (and, thanks to the
+        // delta states, re-derives nothing).
+        assert_eq!(engine.saturate(&mut g).unwrap(), 0);
+        // A third null joins the hotel: only the new pairs appear.
+        let n3 = g.add_node(gdx_graph::Node::null("N3"));
+        let hx = g.node_id(gdx_graph::Node::cst("hx")).unwrap();
+        g.add_edge_labelled(n3, "h", hx);
+        assert_eq!(engine.saturate(&mut g).unwrap(), 5, "pairs touching N3");
+        assert!(same_as_satisfied(&g, &[c]).unwrap());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   assignment of the existential variables). An ablation axis (B5).
 
 use gdx_common::{FxHashMap, GdxError, Result, Symbol, Term};
-use gdx_graph::Node;
+use gdx_graph::{Node, NullFactory};
 use gdx_mapping::{Setting, SourceToTargetTgd};
 use gdx_pattern::{GraphPattern, PNodeId};
 use gdx_relational::{evaluate, Instance};
@@ -59,18 +59,19 @@ pub fn chase_st(
 ) -> Result<StChaseResult> {
     setting.validate()?;
     let mut pattern = GraphPattern::new();
+    // One null factory per chase run: null names are deterministic per
+    // (instance, setting) regardless of what else ran in the process.
+    let mut nulls = NullFactory::new();
     let mut triggers = 0;
     let mut fired = 0;
     for tgd in &setting.st_tgds {
         let bindings = evaluate(instance, &tgd.body)?;
         for row in bindings.iter_maps() {
             triggers += 1;
-            if variant == StChaseVariant::Restricted
-                && head_satisfied(&pattern, tgd, &row)
-            {
+            if variant == StChaseVariant::Restricted && head_satisfied(&pattern, tgd, &row) {
                 continue;
             }
-            fire(&mut pattern, tgd, &row)?;
+            fire(&mut pattern, tgd, &row, &mut nulls)?;
             fired += 1;
         }
     }
@@ -86,12 +87,14 @@ fn fire(
     pattern: &mut GraphPattern,
     tgd: &SourceToTargetTgd,
     row: &FxHashMap<Symbol, Symbol>,
+    factory: &mut NullFactory,
 ) -> Result<()> {
     // Fresh null per existential variable, shared across the head's atoms
     // of this trigger.
     let mut nulls: FxHashMap<Symbol, PNodeId> = FxHashMap::default();
     for &y in &tgd.existential {
-        nulls.insert(y, pattern.add_node(Node::fresh_null()));
+        let node = factory.fresh_where(|n| pattern.node_id(n).is_some());
+        nulls.insert(y, pattern.add_node(node));
     }
     let resolve = |pattern: &mut GraphPattern, t: &Term| -> Result<PNodeId> {
         match t {
@@ -139,10 +142,10 @@ fn satisfied_rec(
     let resolve = |t: &Term, assign: &FxHashMap<Symbol, PNodeId>| -> Option<PNodeId> {
         match t {
             Term::Const(c) => pattern.node_id(Node::Const(*c)),
-            Term::Var(v) => assign.get(v).copied().or_else(|| {
-                row.get(v)
-                    .and_then(|&c| pattern.node_id(Node::Const(c)))
-            }),
+            Term::Var(v) => assign
+                .get(v)
+                .copied()
+                .or_else(|| row.get(v).and_then(|&c| pattern.node_id(Node::Const(c)))),
         }
     };
     if depth == ex.len() {
@@ -185,11 +188,7 @@ mod tests {
         assert_eq!(p.null_count(), 3);
         // Every f.f* edge; h edges to hx twice, hy once.
         let ffstar = parse_nre("f.f*").unwrap();
-        let star_edges = p
-            .edges()
-            .iter()
-            .filter(|(_, r, _)| r == &ffstar)
-            .count();
+        let star_edges = p.edges().iter().filter(|(_, r, _)| r == &ffstar).count();
         assert_eq!(star_edges, 6);
         let hx = p.node_id(Node::cst("hx")).unwrap();
         let h = parse_nre("h").unwrap();
@@ -249,20 +248,20 @@ mod tests {
         )
         .unwrap();
         let out = chase_st(&inst, &setting, StChaseVariant::Oblivious).unwrap();
-        assert!(out
-            .pattern
-            .node_id(Node::cst("sink"))
-            .is_some());
+        assert!(out.pattern.node_id(Node::cst("sink")).is_some());
         assert_eq!(out.pattern.edge_count(), 1);
     }
 
     #[test]
     fn empty_instance_empty_pattern() {
-        let schema = gdx_relational::Schema::from_relations([("Flight", 3), ("Hotel", 2)])
-            .unwrap();
+        let schema = gdx_relational::Schema::from_relations([("Flight", 3), ("Hotel", 2)]).unwrap();
         let inst = Instance::new(schema);
-        let out = chase_st(&inst, &Setting::example_2_2_egd(), StChaseVariant::Oblivious)
-            .unwrap();
+        let out = chase_st(
+            &inst,
+            &Setting::example_2_2_egd(),
+            StChaseVariant::Oblivious,
+        )
+        .unwrap();
         assert_eq!(out.pattern.node_count(), 0);
         assert_eq!(out.triggers, 0);
     }

@@ -5,25 +5,95 @@
 //! paths, fresh nulls for `ȳ`). The chase may not terminate in general —
 //! callers either verify weak acyclicity first
 //! ([`crate::weak_acyclicity`]) or rely on the step bound.
+//!
+//! # Worklist semantics (semi-naive mode, the default)
+//!
+//! The engine keeps one persistent [`SemiNaiveState`] per rule (plus an
+//! [`IncrementalCache`] for its head) and drives a **worklist of dirty
+//! rules** instead of round-robin full scans:
+//!
+//! 1. every rule starts dirty; popping a rule asks its body state for
+//!    [`delta_matches`] — only the body matches that did not exist the
+//!    last time this rule was examined (the first call returns all);
+//! 2. each new match is head-checked against the *current* graph (the
+//!    incremental head cache advances by graph deltas) and fired when
+//!    unwitnessed. Firing records the graph epoch around it, so the edges
+//!    it produced are known exactly;
+//! 3. after a rule's turn, every rule whose body mentions one of the
+//!    produced edge labels — or whose body has a nullable atom, when
+//!    nodes appeared — is re-marked dirty. Rules never re-examine old
+//!    matches: graphs only grow during the tgd chase and heads are
+//!    positive, so a witnessed head stays witnessed.
+//!
+//! The engine is **restartable**: [`TgdChaseEngine::run`] may be called
+//! again after other actors (sameAs saturation, the solver's repair loop)
+//! mutated the same graph — the per-rule caches survive and only the
+//! foreign deltas are re-examined. Replacing the graph value entirely
+//! (clone, quotient) is detected via [`Graph::id`] and resets the caches.
+//!
+//! Naive round-robin evaluation ([`TgdChaseMode::Naive`]) is kept as the
+//! reference oracle: the equivalence property test in `tests/` asserts
+//! both modes produce homomorphically equivalent results, and the
+//! [`ChaseStats`] counters let benches compare evaluation effort.
+//!
+//! [`SemiNaiveState`]: gdx_query::SemiNaiveState
+//! [`delta_matches`]: gdx_query::SemiNaiveState::delta_matches
+//! [`IncrementalCache`]: gdx_nre::IncrementalCache
 
-use gdx_common::{FxHashMap, GdxError, Result, Symbol, Term};
-use gdx_graph::{Graph, Node, NodeId};
+use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol, Term};
+use gdx_graph::{Graph, GraphId, Node, NodeId, NullFactory};
 use gdx_mapping::TargetTgd;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::witness;
-use gdx_query::{evaluate_seeded, evaluate_with_cache};
+use gdx_nre::IncrementalCache;
+use gdx_query::{
+    evaluate_seeded, evaluate_seeded_incremental, evaluate_with_cache, SemiNaiveState,
+};
+
+/// Body-evaluation strategy of the target-tgd chase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TgdChaseMode {
+    /// Delta-driven worklist chase with persistent per-rule caches.
+    #[default]
+    SemiNaive,
+    /// Reference oracle: round-robin, cold full body evaluation per rule
+    /// per round (the pre-epoch behaviour).
+    Naive,
+}
 
 /// Configuration of the target-tgd chase.
 #[derive(Debug, Clone, Copy)]
 pub struct TgdChaseConfig {
     /// Maximum number of firings before giving up.
     pub max_steps: usize,
+    /// Body-evaluation strategy.
+    pub mode: TgdChaseMode,
 }
 
 impl Default for TgdChaseConfig {
     fn default() -> TgdChaseConfig {
-        TgdChaseConfig { max_steps: 10_000 }
+        TgdChaseConfig {
+            max_steps: 10_000,
+            mode: TgdChaseMode::default(),
+        }
     }
+}
+
+/// Evaluation-effort counters, for regression tests and the scaling bench
+/// (naive vs semi-naive).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaseStats {
+    /// Tgd firings.
+    pub steps: usize,
+    /// Rule turns taken (worklist pops / naive rule visits).
+    pub turns: usize,
+    /// Body match rows examined across all turns. Naive mode re-examines
+    /// every match each round; semi-naive examines each match once.
+    pub body_rows: usize,
+    /// Body evaluations that ran from a cold cache.
+    pub full_evals: usize,
+    /// Body evaluations answered from a warm per-rule delta state.
+    pub delta_evals: usize,
 }
 
 /// Output of the target-tgd chase.
@@ -33,75 +103,288 @@ pub struct TgdChaseResult {
     pub graph: Graph,
     /// Number of tgd firings.
     pub steps: usize,
+    /// Evaluation-effort counters.
+    pub stats: ChaseStats,
 }
 
-/// Runs the restricted chase of `tgds` on `graph` until every tgd is
-/// satisfied or the step bound trips ([`GdxError::LimitExceeded`]).
+/// Per-rule persistent state of the semi-naive engine.
+#[derive(Debug)]
+struct RuleState {
+    tgd: TargetTgd,
+    /// Delta-driven body matcher (cache + per-atom marks).
+    body: SemiNaiveState,
+    /// Incremental relations for head-satisfaction checks.
+    head: IncrementalCache,
+    /// Alphabet symbols of the body NREs: an edge with a foreign label
+    /// cannot create a body match.
+    symbols: FxHashSet<Symbol>,
+    /// Whether some body atom is nullable: only then can a bare node
+    /// addition (identity pair) create a body match.
+    nullable_atom: bool,
+    dirty: bool,
+    /// Whether the body state has evaluated at least once (distinguishes
+    /// full prime from delta evaluation in the stats).
+    primed: bool,
+}
+
+impl RuleState {
+    fn new(tgd: &TargetTgd) -> RuleState {
+        let symbols = tgd.body.symbols();
+        let nullable_atom = tgd.body.atoms.iter().any(|a| a.nre.nullable());
+        RuleState {
+            tgd: tgd.clone(),
+            body: SemiNaiveState::new(),
+            head: IncrementalCache::new(),
+            symbols,
+            nullable_atom,
+            dirty: true,
+            primed: false,
+        }
+    }
+}
+
+/// A restartable, semi-naive target-tgd chase engine.
+///
+/// Owns the per-rule caches; [`TgdChaseEngine::run`] chases a graph
+/// *in place* to a fixpoint and may be called repeatedly as the graph
+/// grows — each call re-examines only what changed since the last one.
+#[derive(Debug)]
+pub struct TgdChaseEngine {
+    cfg: TgdChaseConfig,
+    rules: Vec<RuleState>,
+    nulls: NullFactory,
+    /// The graph value the caches are valid for.
+    graph: Option<GraphId>,
+    /// Firings charged against `cfg.max_steps`, reset per graph value.
+    steps_in_graph: usize,
+    stats: ChaseStats,
+}
+
+impl TgdChaseEngine {
+    /// An engine for the given rules (rules are fixed per engine).
+    pub fn new(tgds: &[TargetTgd], cfg: TgdChaseConfig) -> TgdChaseEngine {
+        TgdChaseEngine {
+            cfg,
+            rules: tgds.iter().map(RuleState::new).collect(),
+            nulls: NullFactory::new(),
+            graph: None,
+            steps_in_graph: 0,
+            stats: ChaseStats::default(),
+        }
+    }
+
+    /// Cumulative evaluation-effort counters (across graphs and
+    /// [`TgdChaseEngine::run`] calls).
+    pub fn stats(&self) -> ChaseStats {
+        self.stats
+    }
+
+    /// Chases `graph` in place until every tgd is satisfied or the step
+    /// bound trips ([`GdxError::LimitExceeded`]).
+    pub fn run(&mut self, graph: &mut Graph) -> Result<()> {
+        if self.graph != Some(graph.id()) {
+            for rule in &mut self.rules {
+                rule.body = SemiNaiveState::new();
+                rule.head = IncrementalCache::new();
+                rule.primed = false;
+            }
+            self.nulls = NullFactory::new();
+            self.graph = Some(graph.id());
+            self.steps_in_graph = 0;
+        }
+        // Every rule re-enters the worklist: if nothing changed since the
+        // last run, its delta is empty and the turn costs O(1).
+        for rule in &mut self.rules {
+            rule.dirty = true;
+        }
+        let result = match self.cfg.mode {
+            TgdChaseMode::SemiNaive => self.run_semi_naive(graph),
+            TgdChaseMode::Naive => self.run_naive(graph),
+        };
+        if result.is_err() {
+            // An error abandons the current delta batch mid-flight: the
+            // per-rule marks have already advanced past matches that were
+            // never fired. Drop the binding so a later `run` on this graph
+            // resets the caches and re-chases from scratch instead of
+            // silently reporting a fixpoint.
+            self.graph = None;
+        }
+        result
+    }
+
+    fn run_semi_naive(&mut self, graph: &mut Graph) -> Result<()> {
+        // Round-robin over dirty rules (rotating cursor): a self-feeding
+        // rule must not starve the others, mirroring the fairness of the
+        // naive round-robin oracle.
+        let mut cursor = 0usize;
+        loop {
+            let n = self.rules.len();
+            let Some(ri) = (0..n)
+                .map(|k| (cursor + k) % n)
+                .find(|&i| self.rules[i].dirty)
+            else {
+                return Ok(());
+            };
+            cursor = (ri + 1) % n.max(1);
+            self.rules[ri].dirty = false;
+            self.stats.turns += 1;
+            let turn_start = graph.epoch();
+
+            let matches = {
+                let rule = &mut self.rules[ri];
+                if rule.primed {
+                    self.stats.delta_evals += 1;
+                } else {
+                    self.stats.full_evals += 1;
+                    rule.primed = true;
+                }
+                rule.body.delta_matches(graph, &rule.tgd.body)?
+            };
+            self.stats.body_rows += matches.len();
+
+            let vars: Vec<Symbol> = matches.vars().to_vec();
+            for row in matches.rows() {
+                let m: FxHashMap<Symbol, NodeId> =
+                    vars.iter().copied().zip(row.iter().copied()).collect();
+                let rule = &mut self.rules[ri];
+                if head_witnessed_incremental(graph, &rule.tgd, &m, &mut rule.head)? {
+                    continue;
+                }
+                fire(graph, &rule.tgd, &m, &mut self.nulls)?;
+                self.stats.steps += 1;
+                self.steps_in_graph += 1;
+                if self.steps_in_graph >= self.cfg.max_steps {
+                    return Err(step_limit(self.cfg.max_steps));
+                }
+            }
+
+            // Dirty every rule the turn's new edges/nodes could affect
+            // (including this one: its own firings can feed its body).
+            let added_labels: FxHashSet<Symbol> = graph
+                .edges_since(turn_start)
+                .iter()
+                .map(|&(_, l, _)| l)
+                .collect();
+            let nodes_added = graph.epoch().nodes() > turn_start.nodes();
+            if !added_labels.is_empty() || nodes_added {
+                for rule in &mut self.rules {
+                    rule.dirty |= rule.symbols.iter().any(|s| added_labels.contains(s))
+                        || (nodes_added && rule.nullable_atom);
+                }
+            }
+        }
+    }
+
+    fn run_naive(&mut self, graph: &mut Graph) -> Result<()> {
+        loop {
+            let mut fired_this_round = false;
+            for ri in 0..self.rules.len() {
+                self.stats.turns += 1;
+                self.stats.full_evals += 1;
+                // Body matches are computed against the current graph from
+                // a cold cache; firing invalidates it, so matches are
+                // collected first.
+                let tgd = &self.rules[ri].tgd;
+                let matches: Vec<FxHashMap<Symbol, NodeId>> = {
+                    let mut cache = EvalCache::new();
+                    let b = evaluate_with_cache(graph, &tgd.body, &mut cache)?;
+                    let vars: Vec<Symbol> = b.vars().to_vec();
+                    b.rows()
+                        .iter()
+                        .map(|row| vars.iter().copied().zip(row.iter().copied()).collect())
+                        .collect()
+                };
+                self.stats.body_rows += matches.len();
+                for m in matches {
+                    let tgd = &self.rules[ri].tgd;
+                    if head_witnessed(graph, tgd, &m)? {
+                        continue;
+                    }
+                    fire(graph, tgd, &m, &mut self.nulls)?;
+                    self.stats.steps += 1;
+                    self.steps_in_graph += 1;
+                    fired_this_round = true;
+                    if self.steps_in_graph >= self.cfg.max_steps {
+                        return Err(step_limit(self.cfg.max_steps));
+                    }
+                }
+            }
+            if !fired_this_round {
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn step_limit(max_steps: usize) -> GdxError {
+    GdxError::limit(format!(
+        "target-tgd chase exceeded {max_steps} steps (non-terminating set?)"
+    ))
+}
+
+/// Runs the restricted chase of `tgds` on a copy of `graph` until every
+/// tgd is satisfied or the step bound trips ([`GdxError::LimitExceeded`]).
 pub fn chase_target_tgds(
     graph: &Graph,
     tgds: &[TargetTgd],
     cfg: TgdChaseConfig,
 ) -> Result<TgdChaseResult> {
     let mut g = graph.clone();
-    let mut steps = 0usize;
-    loop {
-        let mut fired_this_round = false;
-        for tgd in tgds {
-            // Body matches are computed against the current graph; firing
-            // invalidates the cache, so matches are collected first.
-            let matches: Vec<FxHashMap<Symbol, NodeId>> = {
-                let mut cache = EvalCache::new();
-                let b = evaluate_with_cache(&g, &tgd.body, &mut cache)?;
-                let vars: Vec<Symbol> = b.vars().to_vec();
-                b.rows()
-                    .iter()
-                    .map(|row| vars.iter().copied().zip(row.iter().copied()).collect())
-                    .collect()
-            };
-            for m in matches {
-                if head_has_witness(&g, tgd, &m)? {
-                    continue;
-                }
-                fire(&mut g, tgd, &m)?;
-                steps += 1;
-                fired_this_round = true;
-                if steps >= cfg.max_steps {
-                    return Err(GdxError::limit(format!(
-                        "target-tgd chase exceeded {} steps (non-terminating set?)",
-                        cfg.max_steps
-                    )));
-                }
-            }
-        }
-        if !fired_this_round {
-            return Ok(TgdChaseResult { graph: g, steps });
-        }
-    }
+    let mut engine = TgdChaseEngine::new(tgds, cfg);
+    engine.run(&mut g)?;
+    let stats = engine.stats();
+    Ok(TgdChaseResult {
+        graph: g,
+        steps: stats.steps,
+        stats,
+    })
 }
 
 /// Does the head hold under the body match (some assignment of the
-/// existential variables)?
-fn head_has_witness(
+/// existential variables)? Naive-mode variant: cold cache per check.
+fn head_witnessed(
     graph: &Graph,
     tgd: &TargetTgd,
     body_match: &FxHashMap<Symbol, NodeId>,
 ) -> Result<bool> {
     let mut cache = EvalCache::new();
-    let seed: FxHashMap<Symbol, NodeId> = tgd
-        .head
-        .variables()
-        .into_iter()
-        .filter_map(|v| body_match.get(&v).map(|&id| (v, id)))
-        .collect();
+    let seed = head_seed(tgd, body_match);
     let answers = evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?;
     Ok(!answers.is_empty())
 }
 
+/// Incremental variant: the per-rule head cache advances by graph deltas
+/// instead of rebuilding the head relations per check.
+fn head_witnessed_incremental(
+    graph: &Graph,
+    tgd: &TargetTgd,
+    body_match: &FxHashMap<Symbol, NodeId>,
+    cache: &mut IncrementalCache,
+) -> Result<bool> {
+    let seed = head_seed(tgd, body_match);
+    let answers = evaluate_seeded_incremental(graph, &tgd.head, cache, &seed)?;
+    Ok(!answers.is_empty())
+}
+
+/// Frontier variables of the head, seeded from the body match.
+fn head_seed(tgd: &TargetTgd, body_match: &FxHashMap<Symbol, NodeId>) -> FxHashMap<Symbol, NodeId> {
+    tgd.head
+        .variables()
+        .into_iter()
+        .filter_map(|v| body_match.get(&v).map(|&id| (v, id)))
+        .collect()
+}
+
 /// Materializes the head under the body match, inventing fresh nulls.
-fn fire(graph: &mut Graph, tgd: &TargetTgd, body_match: &FxHashMap<Symbol, NodeId>) -> Result<()> {
+fn fire(
+    graph: &mut Graph,
+    tgd: &TargetTgd,
+    body_match: &FxHashMap<Symbol, NodeId>,
+    nulls: &mut NullFactory,
+) -> Result<()> {
     let mut fresh: FxHashMap<Symbol, NodeId> = FxHashMap::default();
     for &y in &tgd.existential {
-        fresh.insert(y, graph.add_fresh_null());
+        fresh.insert(y, nulls.fresh_in(graph));
     }
     let resolve = |g: &mut Graph, t: &Term, fresh: &FxHashMap<Symbol, NodeId>| -> Result<NodeId> {
         match t {
@@ -119,9 +402,7 @@ fn fire(graph: &mut Graph, tgd: &TargetTgd, body_match: &FxHashMap<Symbol, NodeI
         let w = witness::shortest(&atom.nre);
         if w.main_len() == 0 && s != d {
             let w2 = witness::shortest_nonempty(&atom.nre).ok_or_else(|| {
-                GdxError::unsupported(
-                    "target tgd head atom with ε-only NRE between distinct nodes",
-                )
+                GdxError::unsupported("target tgd head atom with ε-only NRE between distinct nodes")
             })?;
             witness::materialize(graph, &w2, s, d)?;
         } else {
@@ -144,23 +425,37 @@ mod tests {
         }
     }
 
+    fn both_modes() -> [TgdChaseConfig; 2] {
+        [
+            TgdChaseConfig::default(),
+            TgdChaseConfig {
+                mode: TgdChaseMode::Naive,
+                ..TgdChaseConfig::default()
+            },
+        ]
+    }
+
     #[test]
     fn satisfied_tgd_does_not_fire() {
         let g = Graph::parse("(a, f, b); (b, g, c);").unwrap();
         let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
-        let out = chase_target_tgds(&g, &[t], TgdChaseConfig::default()).unwrap();
-        assert_eq!(out.steps, 0);
-        assert_eq!(out.graph.edge_count(), 2);
+        for cfg in both_modes() {
+            let out = chase_target_tgds(&g, std::slice::from_ref(&t), cfg).unwrap();
+            assert_eq!(out.steps, 0);
+            assert_eq!(out.graph.edge_count(), 2);
+        }
     }
 
     #[test]
     fn unsatisfied_tgd_fires_once() {
         let g = Graph::parse("(a, f, b);").unwrap();
         let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
-        let out = chase_target_tgds(&g, &[t], TgdChaseConfig::default()).unwrap();
-        assert_eq!(out.steps, 1);
-        assert_eq!(out.graph.edge_count(), 2);
-        assert_eq!(out.graph.node_count(), 3);
+        for cfg in both_modes() {
+            let out = chase_target_tgds(&g, std::slice::from_ref(&t), cfg).unwrap();
+            assert_eq!(out.steps, 1);
+            assert_eq!(out.graph.edge_count(), 2);
+            assert_eq!(out.graph.node_count(), 3);
+        }
     }
 
     #[test]
@@ -171,9 +466,11 @@ mod tests {
             tgd("(x, f, y)", &["z"], "(y, g, z)"),
             tgd("(x, g, y)", &["w"], "(y, h0, w)"),
         ];
-        let out = chase_target_tgds(&g, &ts, TgdChaseConfig::default()).unwrap();
-        assert_eq!(out.steps, 2);
-        assert_eq!(out.graph.edge_count(), 3);
+        for cfg in both_modes() {
+            let out = chase_target_tgds(&g, &ts, cfg).unwrap();
+            assert_eq!(out.steps, 2);
+            assert_eq!(out.graph.edge_count(), 3);
+        }
     }
 
     #[test]
@@ -181,8 +478,17 @@ mod tests {
         // Every f-edge demands another f-edge: infinite chase.
         let g = Graph::parse("(a, f, b);").unwrap();
         let t = tgd("(x, f, y)", &["z"], "(y, f, z)");
-        let err = chase_target_tgds(&g, &[t], TgdChaseConfig { max_steps: 50 });
-        assert!(matches!(err, Err(GdxError::LimitExceeded(_))));
+        for mode in [TgdChaseMode::SemiNaive, TgdChaseMode::Naive] {
+            let err = chase_target_tgds(
+                &g,
+                std::slice::from_ref(&t),
+                TgdChaseConfig {
+                    max_steps: 50,
+                    mode,
+                },
+            );
+            assert!(matches!(err, Err(GdxError::LimitExceeded(_))));
+        }
     }
 
     #[test]
@@ -190,10 +496,12 @@ mod tests {
         // One fresh z shared by two head atoms.
         let g = Graph::parse("(a, f, b);").unwrap();
         let t = tgd("(x, f, y)", &["z"], "(y, g, z), (z, g, x)");
-        let out = chase_target_tgds(&g, &[t], TgdChaseConfig::default()).unwrap();
-        assert_eq!(out.steps, 1);
-        assert_eq!(out.graph.node_count(), 3);
-        assert_eq!(out.graph.edge_count(), 3);
+        for cfg in both_modes() {
+            let out = chase_target_tgds(&g, std::slice::from_ref(&t), cfg).unwrap();
+            assert_eq!(out.steps, 1);
+            assert_eq!(out.graph.node_count(), 3);
+            assert_eq!(out.graph.edge_count(), 3);
+        }
     }
 
     #[test]
@@ -205,10 +513,12 @@ mod tests {
         assert_eq!(out.steps, 1);
         assert_eq!(out.graph.edge_count(), 3);
         // The demand is now satisfied; chasing again is a no-op.
-        let again =
-            chase_target_tgds(&out.graph, &[tgd("(x, f, y)", &[], "(y, g.g, x)")],
-                TgdChaseConfig::default())
-            .unwrap();
+        let again = chase_target_tgds(
+            &out.graph,
+            &[tgd("(x, f, y)", &[], "(y, g.g, x)")],
+            TgdChaseConfig::default(),
+        )
+        .unwrap();
         assert_eq!(again.steps, 0);
     }
 
@@ -227,5 +537,111 @@ mod tests {
             b,
             a
         ));
+    }
+
+    #[test]
+    fn engine_restarts_preserve_caches_and_consume_foreign_deltas() {
+        // Run to fixpoint, mutate the graph from outside, run again: the
+        // engine picks up exactly the foreign delta and its consequences.
+        let mut g = Graph::parse("(a, f, b);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
+        let mut engine = TgdChaseEngine::new(std::slice::from_ref(&t), TgdChaseConfig::default());
+        engine.run(&mut g).unwrap();
+        assert_eq!(engine.stats().steps, 1);
+        let full_evals_after_first = engine.stats().full_evals;
+
+        let c = g.add_const("c");
+        let a = g.node_id(Node::cst("a")).unwrap();
+        g.add_edge_labelled(c, "f", a);
+        engine.run(&mut g).unwrap();
+        assert_eq!(engine.stats().steps, 2, "one firing for the new f-edge");
+        assert_eq!(
+            engine.stats().full_evals,
+            full_evals_after_first,
+            "restart must reuse the per-rule cache, not re-prime it"
+        );
+    }
+
+    #[test]
+    fn engine_resets_after_step_limit_error() {
+        // Hitting the step bound abandons a delta batch mid-flight; the
+        // engine must not treat that graph as chased afterwards.
+        let mut g = Graph::parse("(a, f, b); (c, f, d); (e, f, q);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
+        let mut engine = TgdChaseEngine::new(
+            std::slice::from_ref(&t),
+            TgdChaseConfig {
+                max_steps: 2,
+                ..TgdChaseConfig::default()
+            },
+        );
+        assert!(matches!(
+            engine.run(&mut g),
+            Err(GdxError::LimitExceeded(_))
+        ));
+        // A budget-raised rerun on the same graph must re-chase from
+        // scratch, not report a silent fixpoint over the lost matches.
+        engine.cfg.max_steps = 100;
+        engine.run(&mut g).unwrap();
+        for name in ["b", "d", "q"] {
+            let id = g.node_id(Node::cst(name)).unwrap();
+            assert_eq!(
+                g.successors(id, gdx_common::Symbol::new("g")).len(),
+                1,
+                "{name} must have its g-successor"
+            );
+        }
+        // 2 fires before the trip; the rerun re-evaluates everything but
+        // only the one unwitnessed match still fires.
+        assert_eq!(engine.stats().steps, 3);
+    }
+
+    #[test]
+    fn engine_resets_on_graph_replacement() {
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
+        let mut engine = TgdChaseEngine::new(std::slice::from_ref(&t), TgdChaseConfig::default());
+        let mut g1 = g.clone();
+        engine.run(&mut g1).unwrap();
+        assert_eq!(engine.stats().steps, 1);
+        // A clone is a different graph value: the engine restarts cleanly
+        // and chases it from scratch.
+        let mut g2 = g.clone();
+        engine.run(&mut g2).unwrap();
+        assert_eq!(engine.stats().steps, 2);
+        assert_eq!(g2.edge_count(), 2);
+    }
+
+    #[test]
+    fn semi_naive_examines_fewer_rows_on_chains() {
+        // A chain of k rules forces k naive rounds, each re-evaluating
+        // every body; the semi-naive engine touches each match once.
+        let g = Graph::parse("(a, l0, b); (b, l0, c); (c, l0, d);").unwrap();
+        let ts: Vec<TargetTgd> = (0..4)
+            .map(|i| {
+                tgd(
+                    &format!("(x, l{i}, y)"),
+                    &["z"],
+                    &format!("(y, l{}, z)", i + 1),
+                )
+            })
+            .collect();
+        let semi = chase_target_tgds(&g, &ts, TgdChaseConfig::default()).unwrap();
+        let naive = chase_target_tgds(
+            &g,
+            &ts,
+            TgdChaseConfig {
+                mode: TgdChaseMode::Naive,
+                ..TgdChaseConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(semi.steps, naive.steps);
+        assert!(
+            naive.stats.body_rows >= 2 * semi.stats.body_rows,
+            "expected ≥2× fewer rows examined: naive {} vs semi-naive {}",
+            naive.stats.body_rows,
+            semi.stats.body_rows
+        );
     }
 }

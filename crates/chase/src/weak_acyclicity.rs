@@ -78,11 +78,8 @@ pub fn is_weakly_acyclic(tgds: &[TargetTgd]) -> Result<bool> {
     // Weak acyclicity fails iff some special edge lies on a cycle, i.e.
     // both its endpoints are in the same strongly connected component.
     let node_list: Vec<Position> = nodes.iter().copied().collect();
-    let index: FxHashMap<Position, usize> = node_list
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, i))
-        .collect();
+    let index: FxHashMap<Position, usize> =
+        node_list.iter().enumerate().map(|(i, &p)| (p, i)).collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); node_list.len()];
     for &(a, b, _) in &edges {
         adj[index[&a]].push(index[&b]);
@@ -226,8 +223,14 @@ mod tests {
 
         let bad = [tgd("(x, f, y)", &["z"], "(y, f, z)")];
         assert!(!is_weakly_acyclic(&bad).unwrap());
-        assert!(
-            chase_target_tgds(&g, &bad, TgdChaseConfig { max_steps: 64 }).is_err()
-        );
+        assert!(chase_target_tgds(
+            &g,
+            &bad,
+            TgdChaseConfig {
+                max_steps: 64,
+                ..TgdChaseConfig::default()
+            }
+        )
+        .is_err());
     }
 }

@@ -1,9 +1,7 @@
 //! Property-based tests for the chase engines on randomly generated
 //! instances and patterns.
 
-use gdx_chase::{
-    chase_egds_on_pattern, chase_st, EgdChaseConfig, EgdChaseOutcome, StChaseVariant,
-};
+use gdx_chase::{chase_egds_on_pattern, chase_st, EgdChaseConfig, EgdChaseOutcome, StChaseVariant};
 use gdx_common::Symbol;
 use gdx_graph::Node;
 use gdx_mapping::{Egd, Setting};
@@ -24,11 +22,7 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
             for (id, src, dst) in flights {
                 inst.insert_strs(
                     "Flight",
-                    &[
-                        &format!("fl{id}"),
-                        &format!("c{src}"),
-                        &format!("c{dst}"),
-                    ],
+                    &[&format!("fl{id}"), &format!("c{src}"), &format!("c{dst}")],
                 )
                 .unwrap();
             }

@@ -24,9 +24,9 @@ impl Args {
                 pairs.push((name.to_owned(), None));
                 i += 1;
             } else {
-                let value = argv.get(i + 1).ok_or_else(|| {
-                    GdxError::schema(format!("flag --{name} needs a value"))
-                })?;
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| GdxError::schema(format!("flag --{name} needs a value")))?;
                 pairs.push((name.to_owned(), Some(value.clone())));
                 i += 2;
             }
@@ -66,8 +66,7 @@ impl Args {
 
 /// Reads a file, mapping IO errors into the workspace error type.
 pub fn read_file(path: &str) -> Result<String> {
-    std::fs::read_to_string(path)
-        .map_err(|e| GdxError::schema(format!("cannot read {path}: {e}")))
+    std::fs::read_to_string(path).map_err(|e| GdxError::schema(format!("cannot read {path}: {e}")))
 }
 
 #[cfg(test)]

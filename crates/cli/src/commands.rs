@@ -61,8 +61,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
 
 fn load_setting_instance(a: &Args) -> Result<(Setting, Instance)> {
     let setting = gdx_mapping::dsl::parse_setting(&read_file(a.require("setting")?)?)?;
-    let instance =
-        Instance::parse(setting.source.clone(), &read_file(a.require("instance")?)?)?;
+    let instance = Instance::parse(setting.source.clone(), &read_file(a.require("instance")?)?)?;
     Ok((setting, instance))
 }
 
@@ -135,10 +134,17 @@ fn cmd_certain(argv: &[String]) -> Result<()> {
     let (setting, instance) = load_setting_instance(&a)?;
     let nre = gdx_nre::parse::parse_nre(a.require("nre")?)?;
     let pair = a.require("pair")?;
-    let (c1, c2) = pair.split_once(',').ok_or_else(|| {
-        GdxError::schema(format!("--pair expects `c1,c2`, got `{pair}`"))
-    })?;
-    match certain_pair(&instance, &setting, &nre, c1.trim(), c2.trim(), &config(&a)?)? {
+    let (c1, c2) = pair
+        .split_once(',')
+        .ok_or_else(|| GdxError::schema(format!("--pair expects `c1,c2`, got `{pair}`")))?;
+    match certain_pair(
+        &instance,
+        &setting,
+        &nre,
+        c1.trim(),
+        c2.trim(),
+        &config(&a)?,
+    )? {
         CertainAnswer::Certain => println!("CERTAIN"),
         CertainAnswer::NotCertain(g) => {
             println!("NOT CERTAIN — counterexample solution:");
@@ -153,12 +159,8 @@ fn cmd_cert_query(argv: &[String]) -> Result<()> {
     let a = Args::parse(argv, &[])?;
     let (setting, instance) = load_setting_instance(&a)?;
     let query = Cnre::parse(a.require("cnre")?)?;
-    let (rows, exact) = gdx_exchange::certain::certain_answers(
-        &instance,
-        &setting,
-        &query,
-        &config(&a)?,
-    )?;
+    let (rows, exact) =
+        gdx_exchange::certain::certain_answers(&instance, &setting, &query, &config(&a)?)?;
     println!(
         "{} certain answer(s){}:",
         rows.len(),
@@ -185,8 +187,12 @@ fn cmd_reduce(argv: &[String]) -> Result<()> {
         ReductionFlavor::Egd
     };
     let red = Reduction::from_cnf(&cnf, flavor)?;
-    println!("# Theorem 4.1 reduction of {} ({} vars, {} clauses)",
-        a.require("dimacs")?, cnf.num_vars, cnf.clauses.len());
+    println!(
+        "# Theorem 4.1 reduction of {} ({} vars, {} clauses)",
+        a.require("dimacs")?,
+        cnf.num_vars,
+        cnf.clauses.len()
+    );
     print!("{}", red.setting);
     println!("\n# fixed instance I_ρ:");
     print!("{}", red.instance);
@@ -243,8 +249,15 @@ mod tests {
     fn chase_and_solve_run() {
         let (s, i) = example_files("chase");
         dispatch(&v(&["chase", "--setting", &s, "--instance", &i])).unwrap();
-        dispatch(&v(&["chase", "--setting", &s, "--instance", &i, "--skip-egds"]))
-            .unwrap();
+        dispatch(&v(&[
+            "chase",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--skip-egds",
+        ]))
+        .unwrap();
         dispatch(&v(&["solve", "--setting", &s, "--instance", &i])).unwrap();
     }
 
@@ -255,20 +268,40 @@ mod tests {
             "g1.graph",
             "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
         );
-        dispatch(&v(&["check", "--setting", &s, "--instance", &i, "--graph", &g]))
-            .unwrap();
+        dispatch(&v(&[
+            "check",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--graph",
+            &g,
+        ]))
+        .unwrap();
     }
 
     #[test]
     fn certain_runs() {
         let (s, i) = example_files("certain");
         dispatch(&v(&[
-            "certain", "--setting", &s, "--instance", &i, "--nre",
-            "f.f*.[h].f-.(f-)*", "--pair", "c1,c3",
+            "certain",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--nre",
+            "f.f*.[h].f-.(f-)*",
+            "--pair",
+            "c1,c3",
         ]))
         .unwrap();
         dispatch(&v(&[
-            "cert-query", "--setting", &s, "--instance", &i, "--cnre",
+            "cert-query",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--cnre",
             "(x, f.f*, y)",
         ]))
         .unwrap();
@@ -285,8 +318,15 @@ mod tests {
     fn direct_runs() {
         let i = write_tmp("rel.facts", "knows(a, b); knows(b, c);");
         dispatch(&v(&["direct", "--schema", "knows/2", "--instance", &i])).unwrap();
-        dispatch(&v(&["direct", "--schema", "knows/2", "--instance", &i, "--reify"]))
-            .unwrap();
+        dispatch(&v(&[
+            "direct",
+            "--schema",
+            "knows/2",
+            "--instance",
+            &i,
+            "--reify",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -80,10 +80,7 @@ mod tests {
     fn display_formats() {
         let e = GdxError::parse(3, 7, "expected ')'");
         assert_eq!(e.to_string(), "parse error at 3:7: expected ')'");
-        assert_eq!(
-            GdxError::schema("arity").to_string(),
-            "schema error: arity"
-        );
+        assert_eq!(GdxError::schema("arity").to_string(), "schema error: arity");
         assert_eq!(
             GdxError::limit("chase steps").to_string(),
             "limit exceeded: chase steps"

@@ -156,9 +156,7 @@ mod tests {
         match ans {
             CertainAnswer::NotCertain(g) => {
                 // The counterexample must be a genuine solution.
-                assert!(
-                    crate::solution::is_solution(&r.instance, &r.setting, &g).unwrap()
-                );
+                assert!(crate::solution::is_solution(&r.instance, &r.setting, &g).unwrap());
             }
             other => panic!("expected NotCertain, got {other:?}"),
         }
@@ -264,11 +262,10 @@ mod tests {
             .iter()
             .map(|r| (r[0].to_string(), r[1].to_string()))
             .collect();
-        let expected: std::collections::BTreeSet<(String, String)> =
-            [("c1", "c1"), ("c3", "c3")]
-                .iter()
-                .map(|&(a, b)| (a.to_string(), b.to_string()))
-                .collect();
+        let expected: std::collections::BTreeSet<(String, String)> = [("c1", "c1"), ("c3", "c3")]
+            .iter()
+            .map(|&(a, b)| (a.to_string(), b.to_string()))
+            .collect();
         assert_eq!(set, expected);
     }
 

@@ -126,10 +126,8 @@ mod tests {
         // The CNRE over the reified graph finds the same flight/hotel
         // joins as the relational CQ.
         let inst = Instance::example_2_2();
-        let cq = gdx_relational::ConjunctiveQuery::parse(
-            "Flight(x1, x2, x3), Hotel(x1, x4)",
-        )
-        .unwrap();
+        let cq =
+            gdx_relational::ConjunctiveQuery::parse("Flight(x1, x2, x3), Hotel(x1, x4)").unwrap();
         let relational = gdx_relational::evaluate(&inst, &cq).unwrap();
         let g = direct_map_reified(&inst);
         let cnre = Cnre::parse("(t, Flight_1, id), (s, Hotel_1, id)").unwrap();

@@ -95,8 +95,7 @@ pub fn encode_existence(instance: &Instance, setting: &Setting) -> Result<Encodi
     // Egd path clauses.
     let nodes: Vec<PNodeId> = pattern.node_ids().collect();
     // Adjacency over potential edges per label: label -> Vec<(u, v, var)>.
-    let mut by_label: FxHashMap<Symbol, Vec<(PNodeId, PNodeId, u32)>> =
-        FxHashMap::default();
+    let mut by_label: FxHashMap<Symbol, Vec<(PNodeId, PNodeId, u32)>> = FxHashMap::default();
     for (i, &(u, l, v)) in edges.iter().enumerate() {
         by_label.entry(l).or_default().push((u, v, i as u32));
     }
@@ -133,9 +132,7 @@ pub fn encode_existence(instance: &Instance, setting: &Setting) -> Result<Encodi
         while let Some((cur, pos, path_vars)) = stack.pop() {
             visited += 1;
             if visited > budget_limit {
-                return Err(GdxError::limit(
-                    "egd path enumeration exceeded its budget",
-                ));
+                return Err(GdxError::limit("egd path enumeration exceeded its budget"));
             }
             if pos == word.len() {
                 // Path from its origin to `cur`. The origin is implicit in
@@ -290,11 +287,8 @@ mod tests {
             let mut f = Cnf::new(2);
             f.add_clause(c.clone());
             let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
-            if let Existence::Exists(g) =
-                solution_exists_sat(&r.instance, &r.setting).unwrap()
-            {
-                assert!(crate::solution::is_solution(&r.instance, &r.setting, &g)
-                    .unwrap());
+            if let Existence::Exists(g) = solution_exists_sat(&r.instance, &r.setting).unwrap() {
+                assert!(crate::solution::is_solution(&r.instance, &r.setting, &g).unwrap());
             } else {
                 panic!("satisfiable single-clause formula");
             }
@@ -348,8 +342,7 @@ mod tests {
                 let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
                 let via_sat = solution_exists_sat(&r.instance, &r.setting).unwrap();
                 let via_search =
-                    solution_exists(&r.instance, &r.setting, &SolverConfig::default())
-                        .unwrap();
+                    solution_exists(&r.instance, &r.setting, &SolverConfig::default()).unwrap();
                 assert_eq!(via_sat.exists(), via_search.exists(), "on {f}");
             }
         }

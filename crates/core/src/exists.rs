@@ -22,7 +22,7 @@
 
 use gdx_chase::{
     chase_egds_on_pattern, chase_st, chase_target_tgds, saturate_same_as, EgdChaseConfig,
-    EgdChaseOutcome, StChaseVariant, TgdChaseConfig,
+    EgdChaseOutcome, SameAsEngine, StChaseVariant, TgdChaseConfig, TgdChaseEngine,
 };
 use gdx_common::{GdxError, Result, UnionFind};
 use gdx_graph::{Graph, NodeId};
@@ -134,6 +134,16 @@ pub fn enumerate_minimal_solutions(
     let same_as: Vec<_> = setting.same_as_constraints().cloned().collect();
     let target_tgds: Vec<_> = setting.target_tgds().cloned().collect();
 
+    // The enforcement engines persist across rounds *and* candidates:
+    // within a candidate they mutate the graph in place, so their
+    // delta caches survive the fixpoint rounds (the chase restarts
+    // instead of re-chasing from scratch); switching to the next
+    // candidate — or an egd quotient replacing the graph value — resets
+    // them via graph-identity detection.
+    let mut sameas_engine = (!same_as.is_empty()).then(|| SameAsEngine::new(&same_as));
+    let mut tgd_engine =
+        (!target_tgds.is_empty()).then(|| TgdChaseEngine::new(&target_tgds, cfg.tgd_chase));
+
     let mut solutions = Vec::new();
     'candidates: for mut g in family {
         // Enforce the three constraint kinds to a joint fixpoint: egd
@@ -142,12 +152,12 @@ pub fn enumerate_minimal_solutions(
         // handful of rounds suffices; the final is_solution check keeps
         // Exists sound regardless of the round cap.
         for _round in 0..8 {
-            if !same_as.is_empty() {
-                saturate_same_as(&mut g, &same_as)?;
+            if let Some(engine) = &mut sameas_engine {
+                engine.saturate(&mut g)?;
             }
-            if !target_tgds.is_empty() {
-                match chase_target_tgds(&g, &target_tgds, cfg.tgd_chase) {
-                    Ok(out) => g = out.graph,
+            if let Some(engine) = &mut tgd_engine {
+                match engine.run(&mut g) {
+                    Ok(()) => {}
                     Err(GdxError::LimitExceeded(_)) => {
                         exact = false;
                         continue 'candidates;
@@ -156,11 +166,11 @@ pub fn enumerate_minimal_solutions(
                 }
             }
             // Concrete egd repair: merge forced violations; a constant
-            // clash kills the candidate.
-            let Some(repaired) = repair_egds_batched(&g, &egds)? else {
+            // clash kills the candidate. Violation-free rounds keep the
+            // graph value (and hence the engine caches) intact.
+            if !repair_egds_in_place(&mut g, &egds)? {
                 continue 'candidates;
-            };
-            g = repaired;
+            }
             if crate::solution::is_solution(instance, setting, &g)? {
                 solutions.push(g);
                 if first_only {
@@ -244,17 +254,29 @@ pub fn repair_egds(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>> {
 /// noticeably faster on patterns with many parallel violations. Used by
 /// the benchmark harness as an ablation (B5).
 pub fn repair_egds_batched(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>> {
-    if egds.is_empty() {
-        return Ok(Some(graph.clone()));
-    }
     let mut g = graph.clone();
+    if repair_egds_in_place(&mut g, egds)? {
+        Ok(Some(g))
+    } else {
+        Ok(None)
+    }
+}
+
+/// In-place core of [`repair_egds_batched`]: merges all forced violations
+/// to fixpoint, returning `false` on a constant clash. When no violation
+/// exists, the graph value is left untouched — its [`gdx_graph::GraphId`]
+/// survives, so incremental engines watching the graph keep their caches.
+pub fn repair_egds_in_place(g: &mut Graph, egds: &[Egd]) -> Result<bool> {
+    if egds.is_empty() {
+        return Ok(true);
+    }
     loop {
         let mut uf = UnionFind::new(g.node_count());
         let mut any = false;
         {
             let mut cache = EvalCache::new();
             for egd in egds {
-                let matches = evaluate_with_cache(&g, &egd.body, &mut cache)?;
+                let matches = evaluate_with_cache(g, &egd.body, &mut cache)?;
                 let vars = matches.vars();
                 let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
                 let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
@@ -268,7 +290,7 @@ pub fn repair_egds_batched(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>>
                     let ca = g.node(ra).is_const();
                     let cb = g.node(rb).is_const();
                     match (ca, cb) {
-                        (true, true) => return Ok(None),
+                        (true, true) => return Ok(false),
                         (true, false) => {
                             uf.union_into(ra, rb);
                         }
@@ -280,9 +302,9 @@ pub fn repair_egds_batched(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>>
             }
         }
         if !any {
-            return Ok(Some(g));
+            return Ok(true);
         }
-        g = g.quotient(|id| uf.find_const(id));
+        *g = g.quotient(|id| uf.find_const(id));
     }
 }
 
@@ -363,9 +385,7 @@ mod tests {
             &SolverConfig::default(),
         )
         .unwrap();
-        assert!(
-            crate::solution::is_solution(&Instance::example_2_2(), &setting, &g).unwrap()
-        );
+        assert!(crate::solution::is_solution(&Instance::example_2_2(), &setting, &g).unwrap());
     }
 
     #[test]
@@ -384,9 +404,9 @@ mod tests {
         match ex {
             Existence::Unknown(_) => {}
             Existence::NoSolution => {}
-            Existence::Exists(g) => panic!(
-                "Example 5.2 has no solution but solver produced one:\n{g}"
-            ),
+            Existence::Exists(g) => {
+                panic!("Example 5.2 has no solution but solver produced one:\n{g}")
+            }
         }
     }
 
@@ -454,7 +474,9 @@ mod tests {
             rhs: Symbol::new("x2"),
         };
         for repaired in [
-            repair_egds(&g, std::slice::from_ref(&egd)).unwrap().unwrap(),
+            repair_egds(&g, std::slice::from_ref(&egd))
+                .unwrap()
+                .unwrap(),
             repair_egds_batched(&g, std::slice::from_ref(&egd))
                 .unwrap()
                 .unwrap(),
@@ -472,13 +494,18 @@ mod tests {
             lhs: Symbol::new("x1"),
             rhs: Symbol::new("x2"),
         };
-        assert!(repair_egds(&g, std::slice::from_ref(&egd)).unwrap().is_none());
+        assert!(repair_egds(&g, std::slice::from_ref(&egd))
+            .unwrap()
+            .is_none());
         assert!(repair_egds_batched(&g, &[egd]).unwrap().is_none());
     }
 
     #[test]
     fn exact_fragment_detection() {
-        assert!(!exact_fragment(&Setting::example_2_2_egd()), "f.f* has a star");
+        assert!(
+            !exact_fragment(&Setting::example_2_2_egd()),
+            "f.f* has a star"
+        );
         assert!(!exact_fragment(&Setting::example_5_2()));
         let reduction_shaped = gdx_mapping::dsl::parse_setting(
             "source { R1/1; R2/1 }

@@ -55,10 +55,7 @@ pub struct Exchange {
 
 impl Exchange {
     /// Creates a facade with default solver bounds.
-    pub fn new(
-        setting: gdx_mapping::Setting,
-        instance: gdx_relational::Instance,
-    ) -> Exchange {
+    pub fn new(setting: gdx_mapping::Setting, instance: gdx_relational::Instance) -> Exchange {
         Exchange {
             setting,
             instance,

@@ -20,9 +20,7 @@
 
 use gdx_common::{GdxError, Result, Symbol, Term};
 use gdx_graph::{Graph, Node};
-use gdx_mapping::{
-    same_as_symbol, Egd, SameAs, Setting, SourceToTargetTgd, TargetConstraint,
-};
+use gdx_mapping::{same_as_symbol, Egd, SameAs, Setting, SourceToTargetTgd, TargetConstraint};
 use gdx_nre::Nre;
 use gdx_query::{Cnre, CnreAtom};
 use gdx_relational::{ConjunctiveQuery, Instance, Schema};
@@ -123,7 +121,13 @@ impl Reduction {
         for clause in &cnf.clauses {
             let mut word: Vec<Symbol> = clause
                 .iter()
-                .map(|l| if l.positive { f_sym(l.var) } else { t_sym(l.var) })
+                .map(|l| {
+                    if l.positive {
+                        f_sym(l.var)
+                    } else {
+                        t_sym(l.var)
+                    }
+                })
                 .collect();
             word.push(a_sym());
             push(word);
@@ -292,8 +296,7 @@ mod tests {
     #[test]
     fn existence_matches_sat_on_rho0() {
         let r = Reduction::from_cnf(&rho0(), ReductionFlavor::Egd).unwrap();
-        let ex = solution_exists(&r.instance, &r.setting, &SolverConfig::default())
-            .unwrap();
+        let ex = solution_exists(&r.instance, &r.setting, &SolverConfig::default()).unwrap();
         assert!(ex.exists(), "ρ₀ is satisfiable");
         let val = r
             .valuation_from_solution(ex.witness().unwrap())
@@ -310,8 +313,7 @@ mod tests {
         f.add_clause(vec![Lit::neg(1)]);
         assert!(brute_force(&f).is_none());
         let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
-        let ex = solution_exists(&r.instance, &r.setting, &SolverConfig::default())
-            .unwrap();
+        let ex = solution_exists(&r.instance, &r.setting, &SolverConfig::default()).unwrap();
         assert!(matches!(ex, Existence::NoSolution));
     }
 

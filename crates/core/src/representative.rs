@@ -129,22 +129,17 @@ impl SettingView<'_> {
                 TargetConstraint::Tgd(tgd) => {
                     let m = evaluate_with_cache(graph, &tgd.body, &mut cache)?;
                     let vars: Vec<Symbol> = m.vars().to_vec();
-                    let rows: Vec<Vec<NodeId>> =
-                        m.rows().iter().map(|r| r.to_vec()).collect();
+                    let rows: Vec<Vec<NodeId>> = m.rows().iter().map(|r| r.to_vec()).collect();
                     for row in rows {
                         let seed: FxHashMap<Symbol, NodeId> = tgd
                             .head
                             .variables()
                             .into_iter()
                             .filter_map(|v| {
-                                vars.iter()
-                                    .position(|&bv| bv == v)
-                                    .map(|i| (v, row[i]))
+                                vars.iter().position(|&bv| bv == v).map(|i| (v, row[i]))
                             })
                             .collect();
-                        if evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?
-                            .is_empty()
-                        {
+                        if evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?.is_empty() {
                             return Ok(false);
                         }
                     }
@@ -174,9 +169,7 @@ pub fn chase_representative(
     } else {
         match chase_egds_on_pattern(&st.pattern, &egds, cfg.egd_chase)? {
             EgdChaseOutcome::Success { pattern, .. } => pattern,
-            EgdChaseOutcome::Failed { .. } => {
-                return Ok(RepresentativeOutcome::ChaseFailed)
-            }
+            EgdChaseOutcome::Failed { .. } => return Ok(RepresentativeOutcome::ChaseFailed),
         }
     };
     Ok(RepresentativeOutcome::Representative(
@@ -241,10 +234,8 @@ mod tests {
     #[test]
     fn pair_accepts_genuine_solutions() {
         let rep = rep_2_2();
-        let g1 = Graph::parse(
-            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
-        )
-        .unwrap();
+        let g1 = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
+            .unwrap();
         assert!(rep.pattern_admits(&g1));
         assert!(rep.admits(&g1).unwrap());
     }
@@ -268,8 +259,7 @@ mod tests {
         .unwrap();
         let schema = setting.source.clone();
         let inst = Instance::parse(schema, "R(u1, s); R(u2, s);").unwrap();
-        let out =
-            chase_representative(&inst, &setting, &SolverConfig::default()).unwrap();
+        let out = chase_representative(&inst, &setting, &SolverConfig::default()).unwrap();
         assert!(matches!(out, RepresentativeOutcome::ChaseFailed));
     }
 
@@ -312,20 +302,15 @@ mod tests {
                    -> exists y : (x2, f.f*, y), (y, h, x4), (y, f.f*, x3);",
         )
         .unwrap();
-        let out = chase_representative(
-            &Instance::example_2_2(),
-            &setting,
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let out =
+            chase_representative(&Instance::example_2_2(), &setting, &SolverConfig::default())
+                .unwrap();
         let RepresentativeOutcome::Representative(rep) = out else {
             panic!("no egds: chase cannot fail")
         };
         assert_eq!(rep.pattern.null_count(), 3, "Figure 3 pattern");
-        let g1 = Graph::parse(
-            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
-        )
-        .unwrap();
+        let g1 = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
+            .unwrap();
         assert_eq!(rep.pattern_admits(&g1), rep.admits(&g1).unwrap());
     }
 }

@@ -37,11 +37,7 @@ pub fn is_solution(instance: &Instance, setting: &Setting, graph: &Graph) -> Res
 }
 
 /// `(I, G) ⊨ M_st`?
-pub fn st_tgds_satisfied(
-    instance: &Instance,
-    setting: &Setting,
-    graph: &Graph,
-) -> Result<bool> {
+pub fn st_tgds_satisfied(instance: &Instance, setting: &Setting, graph: &Graph) -> Result<bool> {
     let mut cache = EvalCache::new();
     for tgd in &setting.st_tgds {
         let triggers = eval_cq(instance, &tgd.body)?;
@@ -92,18 +88,13 @@ pub fn target_constraints_satisfied(setting: &Setting, graph: &Graph) -> Result<
             TargetConstraint::Tgd(tgd) => {
                 let matches = evaluate_with_cache(graph, &tgd.body, &mut cache)?;
                 let vars: Vec<Symbol> = matches.vars().to_vec();
-                let rows: Vec<Vec<NodeId>> =
-                    matches.rows().iter().map(|r| r.to_vec()).collect();
+                let rows: Vec<Vec<NodeId>> = matches.rows().iter().map(|r| r.to_vec()).collect();
                 for rowv in rows {
                     let seed: FxHashMap<Symbol, NodeId> = tgd
                         .head
                         .variables()
                         .into_iter()
-                        .filter_map(|v| {
-                            vars.iter()
-                                .position(|&bv| bv == v)
-                                .map(|i| (v, rowv[i]))
-                        })
+                        .filter_map(|v| vars.iter().position(|&bv| bv == v).map(|i| (v, rowv[i])))
                         .collect();
                     let answers = evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?;
                     if answers.is_empty() {
@@ -127,10 +118,7 @@ mod tests {
     use super::*;
 
     fn g1() -> Graph {
-        Graph::parse(
-            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
-        )
-        .unwrap()
+        Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);").unwrap()
     }
 
     /// Figure 1(b): G2.
@@ -157,22 +145,12 @@ mod tests {
 
     #[test]
     fn fig1_g1_is_solution_under_egd_setting() {
-        assert!(is_solution(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &g1()
-        )
-        .unwrap());
+        assert!(is_solution(&Instance::example_2_2(), &Setting::example_2_2_egd(), &g1()).unwrap());
     }
 
     #[test]
     fn fig1_g2_is_solution_under_egd_setting() {
-        assert!(is_solution(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &g2()
-        )
-        .unwrap());
+        assert!(is_solution(&Instance::example_2_2(), &Setting::example_2_2_egd(), &g2()).unwrap());
     }
 
     #[test]
@@ -185,12 +163,9 @@ mod tests {
              (c1, h, hx); (c3, h, hy);",
         )
         .unwrap();
-        assert!(!is_solution(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &fig7
-        )
-        .unwrap());
+        assert!(
+            !is_solution(&Instance::example_2_2(), &Setting::example_2_2_egd(), &fig7).unwrap()
+        );
     }
 
     #[test]
@@ -217,25 +192,16 @@ mod tests {
         // …but not under the egd setting (N1 and N2 share hy without being
         // merged — wait, in G3 hy is shared by N1 and N2, so the egd would
         // force N1=N2; G3 keeps them distinct).
-        assert!(!is_solution(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &g3()
-        )
-        .unwrap());
+        assert!(
+            !is_solution(&Instance::example_2_2(), &Setting::example_2_2_egd(), &g3()).unwrap()
+        );
     }
 
     #[test]
     fn missing_st_witness_rejected() {
         // Drop hy entirely: the (01, hy) trigger has no witness.
-        let g = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx);")
-            .unwrap();
-        assert!(!is_solution(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &g
-        )
-        .unwrap());
+        let g = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx);").unwrap();
+        assert!(!is_solution(&Instance::example_2_2(), &Setting::example_2_2_egd(), &g).unwrap());
     }
 
     #[test]
@@ -245,18 +211,12 @@ mod tests {
              (c1, bogus, c2);",
         )
         .unwrap();
-        assert!(!is_solution(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &g
-        )
-        .unwrap());
+        assert!(!is_solution(&Instance::example_2_2(), &Setting::example_2_2_egd(), &g).unwrap());
     }
 
     #[test]
     fn empty_instance_trivial_solution() {
-        let schema = gdx_relational::Schema::from_relations([("Flight", 3), ("Hotel", 2)])
-            .unwrap();
+        let schema = gdx_relational::Schema::from_relations([("Flight", 3), ("Hotel", 2)]).unwrap();
         let empty = Instance::new(schema);
         let g = Graph::new();
         assert!(is_solution(&empty, &Setting::example_2_2_egd(), &g).unwrap());

@@ -22,7 +22,10 @@ fn arb_cnf() -> impl Strategy<Value = Cnf> {
         for c in clauses {
             f.add_clause(
                 c.into_iter()
-                    .map(|(v, pos)| Lit { var: v, positive: pos })
+                    .map(|(v, pos)| Lit {
+                        var: v,
+                        positive: pos,
+                    })
                     .collect(),
             );
         }

@@ -15,6 +15,8 @@
 //!   B4: NRE evaluation scaling).
 
 use gdx_graph::Graph;
+use gdx_mapping::TargetTgd;
+use gdx_query::Cnre;
 use gdx_relational::{Instance, Schema};
 use gdx_sat::{Cnf, Lit};
 use rand::rngs::StdRng;
@@ -90,8 +92,7 @@ impl Default for FlightsHotelsParams {
 /// `example_3_1()`. Fewer hotels relative to flights ⇒ more hotel sharing
 /// ⇒ more egd merges in the adapted chase.
 pub fn flights_hotels(p: FlightsHotelsParams, rng: &mut StdRng) -> Instance {
-    let schema = Schema::from_relations([("Flight", 3), ("Hotel", 2)])
-        .expect("static schema");
+    let schema = Schema::from_relations([("Flight", 3), ("Hotel", 2)]).expect("static schema");
     let mut inst = Instance::new(schema);
     for f in 0..p.flights {
         let fid = format!("fl{f}");
@@ -110,14 +111,35 @@ pub fn flights_hotels(p: FlightsHotelsParams, rng: &mut StdRng) -> Instance {
     inst
 }
 
+/// A depth-`k` chain of target tgds over fresh labels `l0 … lk`: every
+/// `h`-edge demands an `l0`-successor, and every `l{i}`-edge an
+/// `l{i+1}`-successor (`i < k-1`). Chasing a Flight/Hotel graph with this
+/// set takes `k` rounds of cascading firings — the workload the
+/// `chase_scaling` bench uses to compare the naive round-robin chase
+/// against the semi-naive worklist engine.
+pub fn chain_target_tgds(depth: usize) -> Vec<TargetTgd> {
+    assert!(depth >= 1);
+    let tgd = |body: &str, head: &str| TargetTgd {
+        body: Cnre::parse(body).expect("static body"),
+        existential: vec![gdx_common::Symbol::new("z")],
+        head: Cnre::parse(head).expect("static head"),
+    };
+    let mut out = vec![tgd("(x, h, y)", "(y, l0, z)")];
+    for i in 0..depth.saturating_sub(1) {
+        out.push(tgd(
+            &format!("(x, l{i}, y)"),
+            &format!("(y, l{}, z)", i + 1),
+        ));
+    }
+    out
+}
+
 /// A uniform random edge-labeled graph over constant nodes `n0 … n{nodes-1}`
 /// and labels `l0 … l{labels-1}`.
 pub fn random_graph(nodes: usize, edges: usize, labels: usize, rng: &mut StdRng) -> Graph {
     assert!(nodes > 0 && labels > 0);
     let mut g = Graph::new();
-    let ids: Vec<_> = (0..nodes)
-        .map(|i| g.add_const(&format!("n{i}")))
-        .collect();
+    let ids: Vec<_> = (0..nodes).map(|i| g.add_const(&format!("n{i}"))).collect();
     let mut added = 0usize;
     let mut attempts = 0usize;
     while added < edges && attempts < edges * 20 {
@@ -164,14 +186,11 @@ mod tests {
         // mostly UNSAT; check the trend with the brute-force oracle.
         let n = 12u32;
         let sat_low: usize = (0..10)
-            .filter(|&s| {
-                brute_force(&random_3cnf(n, (n as usize) * 2, &mut rng(s))).is_some()
-            })
+            .filter(|&s| brute_force(&random_3cnf(n, (n as usize) * 2, &mut rng(s))).is_some())
             .count();
         let sat_high: usize = (0..10)
             .filter(|&s| {
-                brute_force(&random_3cnf(n, (n as usize) * 7, &mut rng(100 + s)))
-                    .is_some()
+                brute_force(&random_3cnf(n, (n as usize) * 7, &mut rng(100 + s))).is_some()
             })
             .count();
         assert!(sat_low >= 8, "ratio 2.0 should be mostly satisfiable");
@@ -198,6 +217,19 @@ mod tests {
         )
         .unwrap();
         assert!(out.pattern.node_count() > 0);
+    }
+
+    #[test]
+    fn chain_tgds_chase_in_depth_rounds() {
+        let tgds = chain_target_tgds(3);
+        assert_eq!(tgds.len(), 3);
+        let mut g = Graph::new();
+        g.add_edge_consts("n", "h", "hx");
+        let out =
+            gdx_chase::chase_target_tgds(&g, &tgds, gdx_chase::TgdChaseConfig::default()).unwrap();
+        // h → l0 → l1 → l2: one firing per chain level.
+        assert_eq!(out.steps, 3);
+        assert_eq!(out.graph.edge_count(), 4);
     }
 
     #[test]

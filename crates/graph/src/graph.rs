@@ -1,4 +1,12 @@
 //! Directed, edge-labeled graphs over constants and labeled nulls.
+//!
+//! Graphs are *monotone* stores for the chase: nodes and edges are only
+//! ever added (merging happens by [`Graph::quotient`], which builds a new
+//! graph). This makes a cheap delta protocol possible: the edge vector
+//! doubles as an append-only log, an [`Epoch`] is a watermark into it, and
+//! [`Graph::edges_since`] / [`Graph::nodes_since`] answer "what changed
+//! since I last looked" in O(Δ) — the foundation of the semi-naive chase
+//! layers in `gdx-nre`, `gdx-query`, and `gdx-chase`.
 
 use gdx_common::lexer::{TokenCursor, TokenKind};
 use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol};
@@ -40,13 +48,82 @@ impl Node {
             Node::Const(s) | Node::Null(s) => *s,
         }
     }
+}
 
-    /// A globally fresh null (names `~0`, `~1`, …; `~` never lexes as an
-    /// identifier, so fresh nulls cannot collide with parsed ones).
-    pub fn fresh_null() -> Node {
-        static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        Node::Null(Symbol::new(&format!("~{n}")))
+/// Deterministic source of fresh labeled nulls (names `~0`, `~1`, …; `~`
+/// never lexes as an identifier, so fresh nulls cannot collide with parsed
+/// ones).
+///
+/// Each chase run owns its own factory, so null names depend only on the
+/// run itself — not on how many chases executed earlier in the process
+/// (the previous design used a process-global counter, which made output
+/// names depend on test execution order). Collisions with nulls already
+/// present in the target store are avoided by the `taken` probe: names
+/// already in use are skipped, so interleaving several factories over one
+/// graph stays sound.
+#[derive(Debug, Clone, Default)]
+pub struct NullFactory {
+    next: u64,
+}
+
+impl NullFactory {
+    /// A factory starting at `~0`.
+    pub fn new() -> NullFactory {
+        NullFactory::default()
+    }
+
+    /// The next fresh null not rejected by `taken`.
+    pub fn fresh_where(&mut self, mut taken: impl FnMut(Node) -> bool) -> Node {
+        loop {
+            let node = Node::Null(Symbol::new(&format!("~{}", self.next)));
+            self.next += 1;
+            if !taken(node) {
+                return node;
+            }
+        }
+    }
+
+    /// Adds a fresh null to `graph`, returning its id.
+    pub fn fresh_in(&mut self, graph: &mut Graph) -> NodeId {
+        let node = self.fresh_where(|n| graph.node_id(n).is_some());
+        graph.add_node(node)
+    }
+}
+
+/// Identity of one [`Graph`] value, used by incremental caches to detect
+/// that "their" graph was swapped out underneath them (clones and
+/// quotients get fresh ids). Ids never repeat within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphId(u64);
+
+fn next_graph_id() -> GraphId {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    GraphId(COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+/// A watermark into a [`Graph`]'s append-only node and edge logs.
+///
+/// Epochs from different graphs (different [`Graph::id`]) must not be
+/// mixed; [`Graph::edges_since`] panics when handed a watermark from the
+/// future.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    nodes: usize,
+    edges: usize,
+}
+
+impl Epoch {
+    /// The epoch of the empty graph: everything is a delta against it.
+    pub const ZERO: Epoch = Epoch { nodes: 0, edges: 0 };
+
+    /// Number of nodes the graph had at this epoch.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of edges the graph had at this epoch.
+    pub fn edges(&self) -> usize {
+        self.edges
     }
 }
 
@@ -76,8 +153,9 @@ pub type NodeId = u32;
 /// g.add_edge_labelled(c1, "f", c2);
 /// assert!(g.has_edge_labelled(c1, "f", c2));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Graph {
+    id: GraphId,
     nodes: Vec<Node>,
     ids: FxHashMap<Node, NodeId>,
     edges: Vec<(NodeId, Symbol, NodeId)>,
@@ -85,12 +163,75 @@ pub struct Graph {
     out: FxHashMap<(NodeId, Symbol), Vec<NodeId>>,
     inc: FxHashMap<(NodeId, Symbol), Vec<NodeId>>,
     labels: FxHashSet<Symbol>,
+    /// Per-graph counter backing [`Graph::add_fresh_null`]; cloned with
+    /// the graph so null naming is a function of the graph's history, not
+    /// of process-global state.
+    null_counter: u64,
+}
+
+impl Default for Graph {
+    fn default() -> Graph {
+        Graph {
+            id: next_graph_id(),
+            nodes: Vec::new(),
+            ids: FxHashMap::default(),
+            edges: Vec::new(),
+            edge_set: FxHashSet::default(),
+            out: FxHashMap::default(),
+            inc: FxHashMap::default(),
+            labels: FxHashSet::default(),
+            null_counter: 0,
+        }
+    }
+}
+
+impl Clone for Graph {
+    /// Clones get a fresh [`GraphId`]: incremental caches watermarked
+    /// against the original must not mistake the clone for it once the
+    /// two diverge.
+    fn clone(&self) -> Graph {
+        Graph {
+            id: next_graph_id(),
+            nodes: self.nodes.clone(),
+            ids: self.ids.clone(),
+            edges: self.edges.clone(),
+            edge_set: self.edge_set.clone(),
+            out: self.out.clone(),
+            inc: self.inc.clone(),
+            labels: self.labels.clone(),
+            null_counter: self.null_counter,
+        }
+    }
 }
 
 impl Graph {
     /// An empty graph.
     pub fn new() -> Graph {
         Graph::default()
+    }
+
+    /// This graph value's identity (fresh per clone/quotient).
+    pub fn id(&self) -> GraphId {
+        self.id
+    }
+
+    /// The current watermark: everything added later is "since" it.
+    pub fn epoch(&self) -> Epoch {
+        Epoch {
+            nodes: self.nodes.len(),
+            edges: self.edges.len(),
+        }
+    }
+
+    /// The edges added since `since` (in insertion order).
+    pub fn edges_since(&self, since: Epoch) -> &[(NodeId, Symbol, NodeId)] {
+        &self.edges[since.edges..]
+    }
+
+    /// The node ids added since `since`.
+    pub fn nodes_since(&self, since: Epoch) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert!(since.nodes <= self.nodes.len());
+        since.nodes as NodeId..self.nodes.len() as NodeId
     }
 
     /// Number of nodes.
@@ -119,9 +260,17 @@ impl Graph {
         self.add_node(Node::cst(name))
     }
 
-    /// Adds a fresh null node.
+    /// Adds a fresh null node, named by this graph's own counter (`~0`,
+    /// `~1`, …, skipping names already present). Deterministic: the name
+    /// depends only on this graph's history.
     pub fn add_fresh_null(&mut self) -> NodeId {
-        self.add_node(Node::fresh_null())
+        loop {
+            let node = Node::Null(Symbol::new(&format!("~{}", self.null_counter)));
+            self.null_counter += 1;
+            if self.node_id(node).is_none() {
+                return self.add_node(node);
+            }
+        }
     }
 
     /// The node behind a dense id.
@@ -359,10 +508,8 @@ mod tests {
     #[test]
     fn parse_fig1_g1() {
         // Figure 1(a): G1.
-        let g = Graph::parse(
-            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
-        )
-        .unwrap();
+        let g = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
+            .unwrap();
         assert_eq!(g.node_count(), 6);
         assert_eq!(g.edge_count(), 5);
         let n = g.node_id(Node::null("N")).unwrap();
@@ -419,11 +566,64 @@ mod tests {
     }
 
     #[test]
-    fn fresh_nulls_are_distinct() {
-        let a = Node::fresh_null();
-        let b = Node::fresh_null();
+    fn fresh_nulls_are_distinct_and_deterministic() {
+        let mut g = Graph::new();
+        let a = g.add_fresh_null();
+        let b = g.add_fresh_null();
         assert_ne!(a, b);
-        assert!(!a.is_const());
+        assert!(!g.node(a).is_const());
+        // Per-graph naming: a second graph reuses the same names.
+        let mut h = Graph::new();
+        let (ha, hb) = (h.add_fresh_null(), h.add_fresh_null());
+        assert_eq!(h.node(ha), g.node(a));
+        assert_eq!(h.node(hb), g.node(b));
+    }
+
+    #[test]
+    fn fresh_nulls_skip_taken_names() {
+        let mut g = Graph::new();
+        g.add_node(Node::null("~0"));
+        g.add_node(Node::null("~2"));
+        let a = g.add_fresh_null();
+        assert_eq!(g.node(a), Node::null("~1"));
+        let b = g.add_fresh_null();
+        assert_eq!(g.node(b), Node::null("~3"));
+    }
+
+    #[test]
+    fn null_factory_is_deterministic_and_collision_free() {
+        let mut g = Graph::new();
+        g.add_node(Node::null("~1"));
+        let mut f = NullFactory::new();
+        let a = f.fresh_in(&mut g);
+        let b = f.fresh_in(&mut g);
+        assert_eq!(g.node(a), Node::null("~0"));
+        assert_eq!(g.node(b), Node::null("~2"), "~1 was taken");
+    }
+
+    #[test]
+    fn epochs_track_deltas() {
+        let mut g = Graph::new();
+        let a = g.add_const("a");
+        let e0 = g.epoch();
+        assert_eq!(g.edges_since(e0), &[]);
+        let b = g.add_const("b");
+        g.add_edge_labelled(a, "f", b);
+        g.add_edge_labelled(a, "f", b); // duplicate: not logged twice
+        let e1 = g.epoch();
+        assert_eq!(g.edges_since(e0).len(), 1);
+        assert_eq!(g.nodes_since(e0).collect::<Vec<_>>(), vec![b]);
+        assert_eq!(g.edges_since(e1), &[]);
+        assert_eq!(g.nodes_since(e1).count(), 0);
+        assert_eq!(g.edges_since(Epoch::ZERO).len(), g.edge_count());
+    }
+
+    #[test]
+    fn clones_get_fresh_ids() {
+        let g = Graph::parse("(a, f, b);").unwrap();
+        let h = g.clone();
+        assert_ne!(g.id(), h.id());
+        assert_eq!(g.epoch(), h.epoch());
     }
 
     #[test]

@@ -37,10 +37,7 @@ pub fn find_homomorphism(g: &Graph, h: &Graph) -> Option<FxHashMap<NodeId, NodeI
         *degree.entry(s).or_insert(0) += 1;
         *degree.entry(d).or_insert(0) += 1;
     }
-    let mut nulls: Vec<NodeId> = g
-        .node_ids()
-        .filter(|&id| !g.node(id).is_const())
-        .collect();
+    let mut nulls: Vec<NodeId> = g.node_ids().filter(|&id| !g.node(id).is_const()).collect();
     nulls.sort_by_key(|id| std::cmp::Reverse(degree.get(id).copied().unwrap_or(0)));
 
     if search(g, h, &nulls, 0, &mut assign, false) {
@@ -69,10 +66,7 @@ pub fn is_isomorphic(g: &Graph, h: &Graph) -> bool {
             }
         }
     }
-    let mut nulls: Vec<NodeId> = g
-        .node_ids()
-        .filter(|&id| !g.node(id).is_const())
-        .collect();
+    let mut nulls: Vec<NodeId> = g.node_ids().filter(|&id| !g.node(id).is_const()).collect();
     // Most-constrained first.
     let mut degree: FxHashMap<NodeId, usize> = FxHashMap::default();
     for &(s, _, d) in g.edges() {
@@ -136,8 +130,7 @@ fn search(
             }
         }
         assign.insert(u, cand);
-        if consistent_so_far(g, h, assign) && search(g, h, nulls, depth + 1, assign, injective)
-        {
+        if consistent_so_far(g, h, assign) && search(g, h, nulls, depth + 1, assign, injective) {
             return true;
         }
         assign.remove(&u);

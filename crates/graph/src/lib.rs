@@ -14,8 +14,13 @@
 //!   on constants), used to compare chase outputs against the paper's
 //!   figures "up to null renaming".
 
+//! * [`graph::Epoch`] / [`Graph::edges_since`] — watermarks into the
+//!   graph's append-only node/edge logs, the delta protocol behind the
+//!   semi-naive chase;
+//! * [`graph::NullFactory`] — deterministic per-run fresh-null naming.
+
 pub mod graph;
 pub mod hom;
 
-pub use graph::{Graph, Node, NodeId};
+pub use graph::{Epoch, Graph, GraphId, Node, NodeId, NullFactory};
 pub use hom::{find_homomorphism, is_isomorphic};

@@ -314,7 +314,10 @@ mod tests {
         s.validate(&target()).unwrap();
         let t = s.as_target_tgd();
         assert_eq!(t.head.atoms.len(), 1);
-        assert_eq!(t.head.atoms[0].nre, gdx_nre::Nre::Label(crate::same_as_symbol()));
+        assert_eq!(
+            t.head.atoms[0].nre,
+            gdx_nre::Nre::Label(crate::same_as_symbol())
+        );
         assert!(t.existential.is_empty());
     }
 
@@ -325,9 +328,6 @@ mod tests {
             lhs: Symbol::new("x1"),
             rhs: Symbol::new("x2"),
         };
-        assert_eq!(
-            egd.to_string(),
-            "egd (x1, h, x3), (x2, h, x3) -> x1 = x2;"
-        );
+        assert_eq!(egd.to_string(), "egd (x1, h, x3), (x2, h, x3) -> x1 = x2;");
     }
 }

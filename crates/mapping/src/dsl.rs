@@ -88,9 +88,9 @@ pub fn parse_setting(input: &str) -> Result<Setting> {
             cur.expect(&TokenKind::Semi, "sameas")?;
             constraints.push(TargetConstraint::SameAs(SameAs { body, lhs, rhs }));
         } else {
-            return Err(cur.error(
-                "expected one of `source`, `target`, `sttgd`, `tgd`, `egd`, `sameas`",
-            ));
+            return Err(
+                cur.error("expected one of `source`, `target`, `sttgd`, `tgd`, `egd`, `sameas`")
+            );
         }
     }
 
@@ -163,10 +163,10 @@ mod tests {
 
     #[test]
     fn commas_or_semis_in_target() {
-        let a = parse_setting("source { R/1 } target { a, b, c } sttgd R(x) -> (x, a, x);")
-            .unwrap();
-        let b = parse_setting("source { R/1 } target { a; b; c } sttgd R(x) -> (x, a, x);")
-            .unwrap();
+        let a =
+            parse_setting("source { R/1 } target { a, b, c } sttgd R(x) -> (x, a, x);").unwrap();
+        let b =
+            parse_setting("source { R/1 } target { a; b; c } sttgd R(x) -> (x, a, x);").unwrap();
         assert_eq!(a.target, b.target);
     }
 
@@ -192,9 +192,7 @@ mod tests {
     #[test]
     fn validation_runs_on_parse() {
         // Head uses alphabet symbol `z` that is not declared.
-        let r = parse_setting(
-            "source { R/1 } target { a } sttgd R(x) -> (x, z, x);",
-        );
+        let r = parse_setting("source { R/1 } target { a } sttgd R(x) -> (x, z, x);");
         assert!(r.is_err());
     }
 

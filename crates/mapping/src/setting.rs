@@ -160,8 +160,8 @@ impl Setting {
 
     /// The Example 5.2 setting: chase succeeds yet no solution exists.
     pub fn example_5_2() -> Setting {
-        crate::dsl::parse_setting
-            ("source { R/1; P/1 }
+        crate::dsl::parse_setting(
+            "source { R/1; P/1 }
              target { a; b; c }
              sttgd R(x), P(y) -> (x, a.(b*+c*).a, y);
              egd (x, a+b+c, y) -> x = y;",

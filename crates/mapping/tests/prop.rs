@@ -15,10 +15,8 @@ fn arb_nre() -> impl Strategy<Value = Nre> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
             inner.clone().prop_map(|x| Nre::Star(Box::new(x))),
             inner.prop_map(|x| Nre::Test(Box::new(x))),
         ]
@@ -30,11 +28,7 @@ fn arb_nre() -> impl Strategy<Value = Nre> {
 fn arb_setting() -> impl Strategy<Value = Setting> {
     let head_atom = (0u8..2, arb_nre(), 0u8..3).prop_map(|(l, r, rt)| {
         let vars = ["x", "y", "z"]; // z is existential
-        CnreAtom::new(
-            Term::var(vars[l as usize]),
-            r,
-            Term::var(vars[rt as usize]),
-        )
+        CnreAtom::new(Term::var(vars[l as usize]), r, Term::var(vars[rt as usize]))
     });
     let constraint = (arb_nre(), any::<bool>()).prop_map(|(r, egd)| {
         let body = Cnre::new(vec![CnreAtom::new(Term::var("u"), r, Term::var("v"))]);
@@ -66,7 +60,11 @@ fn arb_setting() -> impl Strategy<Value = Setting> {
                     Symbol::new("R"),
                     vec![Term::var("x"), Term::var("y")],
                 )]),
-                existential: if uses_z { vec![Symbol::new("z")] } else { vec![] },
+                existential: if uses_z {
+                    vec![Symbol::new("z")]
+                } else {
+                    vec![]
+                },
                 head: Cnre::new(head_atoms),
             };
             Setting::new(

@@ -48,9 +48,7 @@ impl Nre {
 
     /// Concatenation of a sequence.
     pub fn concat_all(parts: impl IntoIterator<Item = Nre>) -> Nre {
-        parts
-            .into_iter()
-            .fold(Nre::Epsilon, |acc, r| acc.concat(r))
+        parts.into_iter().fold(Nre::Epsilon, |acc, r| acc.concat(r))
     }
 
     /// Union with local simplification of identical operands.
@@ -153,9 +151,7 @@ impl Nre {
             Nre::Label(a) => Nre::Inverse(*a),
             Nre::Inverse(a) => Nre::Label(*a),
             Nre::Union(x, y) => Nre::Union(Box::new(x.reversed()), Box::new(y.reversed())),
-            Nre::Concat(x, y) => {
-                Nre::Concat(Box::new(y.reversed()), Box::new(x.reversed()))
-            }
+            Nre::Concat(x, y) => Nre::Concat(Box::new(y.reversed()), Box::new(x.reversed())),
             Nre::Star(x) => Nre::Star(Box::new(x.reversed())),
             Nre::Test(x) => Nre::Test(x.clone()),
         }
@@ -285,16 +281,15 @@ mod tests {
     fn forward_detection() {
         assert!(Nre::label("a").concat(Nre::label("b")).is_forward());
         assert!(!Nre::inverse("a").is_forward());
-        assert!(!Nre::label("a").concat(Nre::inverse("b").test()).is_forward());
+        assert!(!Nre::label("a")
+            .concat(Nre::inverse("b").test())
+            .is_forward());
     }
 
     #[test]
     fn reversed_inverts_relations() {
         use crate::eval::eval;
-        let g = gdx_graph::Graph::parse(
-            "(a, f, b); (b, g, c); (c, f, d); (b, h, x);",
-        )
-        .unwrap();
+        let g = gdx_graph::Graph::parse("(a, f, b); (b, g, c); (c, f, d); (b, h, x);").unwrap();
         for expr in ["f", "f-", "f.g", "(f+g)*", "f.[h].g", "eps"] {
             let r = crate::parse::parse_nre(expr).unwrap();
             let fwd = eval(&g, &r);
@@ -314,7 +309,9 @@ mod tests {
             .concat(Nre::inverse("f"))
             .concat(Nre::inverse("f").star());
         assert_eq!(q.to_string(), "f.f*.[h].f-.(f-)*");
-        let u = Nre::label("a").union(Nre::label("b")).concat(Nre::label("c"));
+        let u = Nre::label("a")
+            .union(Nre::label("b"))
+            .concat(Nre::label("c"));
         assert_eq!(u.to_string(), "(a+b).c");
         let s = Nre::label("a").union(Nre::label("b")).star();
         assert_eq!(s.to_string(), "(a+b)*");

@@ -10,9 +10,15 @@ use gdx_common::{FxHashMap, FxHashSet, Symbol};
 use gdx_graph::{Graph, NodeId};
 
 /// A binary relation over graph nodes with a forward adjacency index.
+///
+/// Insertions are deduplicated and *logged*: [`BinRel::mark`] returns a
+/// watermark into the insertion log, and [`BinRel::pairs_since`] returns
+/// exactly the pairs added after a watermark — the delta protocol used by
+/// the incremental evaluator and the semi-naive join.
 #[derive(Debug, Clone, Default)]
 pub struct BinRel {
     pairs: FxHashSet<(NodeId, NodeId)>,
+    log: Vec<(NodeId, NodeId)>,
     fwd: FxHashMap<NodeId, Vec<NodeId>>,
     rev: FxHashMap<NodeId, Vec<NodeId>>,
 }
@@ -26,6 +32,7 @@ impl BinRel {
     /// Inserts a pair; returns `true` when new.
     pub fn insert(&mut self, u: NodeId, v: NodeId) -> bool {
         if self.pairs.insert((u, v)) {
+            self.log.push((u, v));
             self.fwd.entry(u).or_default().push(v);
             self.rev.entry(v).or_default().push(u);
             true
@@ -39,9 +46,19 @@ impl BinRel {
         self.pairs.contains(&(u, v))
     }
 
-    /// All pairs.
+    /// All pairs, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.pairs.iter().copied()
+        self.log.iter().copied()
+    }
+
+    /// Watermark into the insertion log (`== len()`).
+    pub fn mark(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The pairs inserted since a [`BinRel::mark`] watermark.
+    pub fn pairs_since(&self, mark: usize) -> &[(NodeId, NodeId)] {
+        &self.log[mark..]
     }
 
     /// Successors of `u` in the relation.
@@ -188,10 +205,7 @@ pub fn eval_from_set(graph: &Graph, r: &Nre, srcs: &FxHashSet<NodeId>) -> FxHash
             let mut frontier: FxHashSet<NodeId> = srcs.clone();
             while !frontier.is_empty() {
                 let next = eval_from_set(graph, inner, &frontier);
-                frontier = next
-                    .into_iter()
-                    .filter(|v| reached.insert(*v))
-                    .collect();
+                frontier = next.into_iter().filter(|v| reached.insert(*v)).collect();
             }
             reached
         }
@@ -232,6 +246,18 @@ impl EvalCache {
         self.cache
             .entry(r.clone())
             .or_insert_with(|| eval(graph, r))
+    }
+
+    /// Materializes `r` without returning it — pair with [`EvalCache::get`]
+    /// when several relations must be borrowed simultaneously.
+    pub fn ensure(&mut self, graph: &Graph, r: &Nre) {
+        self.eval(graph, r);
+    }
+
+    /// The cached relation, if [`EvalCache::eval`]/[`EvalCache::ensure`]
+    /// ran for `r`.
+    pub fn get(&self, r: &Nre) -> Option<&BinRel> {
+        self.cache.get(r)
     }
 }
 
@@ -329,25 +355,19 @@ mod tests {
     #[test]
     fn papers_query_on_g1() {
         // Figure 1(a): G1, query Q = f.f*.[h].f-.(f-)*.
-        let g = Graph::parse(
-            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
-        )
-        .unwrap();
+        let g = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
+            .unwrap();
         let q = parse_nre("f.f*.[h].f-.(f-)*").unwrap();
         let rel = eval(&g, &q);
         let sel: FxHashSet<(String, String)> = rel
             .iter()
             .map(|(u, v)| (g.node(u).to_string(), g.node(v).to_string()))
             .collect();
-        let expected: FxHashSet<(String, String)> = [
-            ("c1", "c1"),
-            ("c1", "c3"),
-            ("c3", "c1"),
-            ("c3", "c3"),
-        ]
-        .iter()
-        .map(|&(a, b)| (a.to_string(), b.to_string()))
-        .collect();
+        let expected: FxHashSet<(String, String)> =
+            [("c1", "c1"), ("c1", "c3"), ("c3", "c1"), ("c3", "c3")]
+                .iter()
+                .map(|&(a, b)| (a.to_string(), b.to_string()))
+                .collect();
         assert_eq!(sel, expected, "JQK_G1 from Example 2.2");
     }
 
@@ -377,17 +397,17 @@ mod tests {
 
     #[test]
     fn eval_from_matches_full_eval() {
-        let g = Graph::parse(
-            "(a, f, b); (b, f, c); (c, g, a); (b, h, d); (d, g, b);",
-        )
-        .unwrap();
+        let g = Graph::parse("(a, f, b); (b, f, c); (c, g, a); (b, h, d); (d, g, b);").unwrap();
         for expr in ["f", "f-", "f.f", "f*", "(f+g)*", "[h]", "f.[h].f-", "eps"] {
             let r = parse_nre(expr).unwrap();
             let full = eval(&g, &r);
             for u in g.node_ids() {
                 let from = eval_from(&g, &r, u);
-                let expected: FxHashSet<NodeId> =
-                    full.iter().filter(|&(s, _)| s == u).map(|(_, v)| v).collect();
+                let expected: FxHashSet<NodeId> = full
+                    .iter()
+                    .filter(|&(s, _)| s == u)
+                    .map(|(_, v)| v)
+                    .collect();
                 assert_eq!(from, expected, "expr {expr} src {}", g.node(u));
             }
         }

@@ -22,6 +22,9 @@
 //!   restrictions under which the paper's hardness results already hold;
 //! * [`mod@eval`] — `⟦r⟧_G` by bottom-up relational evaluation with BFS-based
 //!   Kleene closure, plus single-source variants;
+//! * [`incremental`] — delta-driven evaluation: per-subexpression
+//!   materialized relations advanced by consuming the graph's epoch logs,
+//!   with frontier-style Kleene closure ([`incremental::eval_delta`]);
 //! * [`witness`] — bounded enumeration of *witness paths* (words with
 //!   nested test branches) and their materialization into graphs: the
 //!   engine behind canonical instantiation of graph patterns.
@@ -29,6 +32,7 @@
 pub mod ast;
 pub mod classify;
 pub mod eval;
+pub mod incremental;
 pub mod parse;
 pub mod simplify;
 pub mod witness;
@@ -36,4 +40,5 @@ pub mod witness;
 pub use ast::Nre;
 pub use classify::Fragment;
 pub use eval::{eval, eval_from, BinRel};
+pub use incremental::{eval_delta, EvalMark, IncrementalCache};
 pub use witness::{PathStep, Witness};

@@ -158,10 +158,7 @@ mod tests {
 
     #[test]
     fn semantics_preserved_on_examples() {
-        let g = Graph::parse(
-            "(a, f, b); (b, h, c); (c, f, a); (b, f, b);",
-        )
-        .unwrap();
+        let g = Graph::parse("(a, f, b); (b, h, c); (c, f, a); (b, f, b);").unwrap();
         for expr in [
             "eps.f",
             "f+f",

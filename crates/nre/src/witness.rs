@@ -204,12 +204,7 @@ fn enum_rec(r: &Nre, cfg: &EnumConfig) -> Vec<Witness> {
 /// the witness has an empty main path but `src ≠ dst` — such a witness can
 /// only be realized by *merging* the endpoints, a decision that belongs to
 /// the caller (the solution-existence search).
-pub fn materialize(
-    graph: &mut Graph,
-    witness: &Witness,
-    src: NodeId,
-    dst: NodeId,
-) -> Result<()> {
+pub fn materialize(graph: &mut Graph, witness: &Witness, src: NodeId, dst: NodeId) -> Result<()> {
     if witness.main_len() == 0 && src != dst {
         return Err(GdxError::unsupported(
             "epsilon-shaped witness between distinct nodes requires a merge",
@@ -277,7 +272,9 @@ mod tests {
         assert!(shortest_nonempty(&parse_nre("eps").unwrap()).is_none());
         assert!(shortest_nonempty(&parse_nre("[a]").unwrap()).is_none());
         assert_eq!(
-            shortest_nonempty(&parse_nre("a*").unwrap()).unwrap().main_len(),
+            shortest_nonempty(&parse_nre("a*").unwrap())
+                .unwrap()
+                .main_len(),
             1
         );
         assert_eq!(
@@ -365,10 +362,7 @@ mod tests {
     #[test]
     fn enumerate_dedups() {
         // a + a yields one distinct witness.
-        let r = Nre::Union(
-            Box::new(Nre::label("a")),
-            Box::new(Nre::label("a")),
-        );
+        let r = Nre::Union(Box::new(Nre::label("a")), Box::new(Nre::label("a")));
         let ws = enumerate(&r, EnumConfig::default());
         assert_eq!(ws.len(), 1);
     }

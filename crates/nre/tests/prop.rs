@@ -18,10 +18,8 @@ fn arb_nre() -> impl Strategy<Value = Nre> {
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
             inner.clone().prop_map(|x| Nre::Star(Box::new(x))),
             inner.prop_map(|x| Nre::Test(Box::new(x))),
         ]
@@ -154,6 +152,35 @@ proptest! {
         }
         for (a, b) in eval(&g, &y).iter() {
             prop_assert!(u.contains(a, b));
+        }
+    }
+
+    /// The incremental evaluator agrees with the naive one under every
+    /// random edge-insertion schedule, and its deltas are disjoint.
+    #[test]
+    fn incremental_eval_agrees_with_naive(
+        r in arb_nre(),
+        edges in proptest::collection::vec((0u32..6, 0u8..3, 0u32..6), 1..15),
+    ) {
+        use gdx_nre::incremental::{eval_delta, EvalMark, IncrementalCache};
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> =
+            (0..6).map(|i| g.add_const(&format!("v{i}"))).collect();
+        let mut cache = IncrementalCache::new();
+        let mut mark = EvalMark::ZERO;
+        let mut acc: std::collections::BTreeSet<(NodeId, NodeId)> =
+            Default::default();
+        for (s, l, d) in edges {
+            let label = ["a", "b", "c"][l as usize];
+            g.add_edge_labelled(nodes[s as usize], label, nodes[d as usize]);
+            let (delta, next) = eval_delta(&g, &r, mark, &mut cache);
+            for &p in delta {
+                prop_assert!(acc.insert(p), "duplicate delta pair {:?} for {}", p, r);
+            }
+            mark = next;
+            let naive: std::collections::BTreeSet<(NodeId, NodeId)> =
+                eval(&g, &r).iter().collect();
+            prop_assert_eq!(&acc, &naive, "incremental diverged for {}", r);
         }
     }
 }

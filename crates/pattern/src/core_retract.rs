@@ -24,10 +24,7 @@ pub fn retract_core(pattern: &GraphPattern) -> (GraphPattern, usize) {
     let mut p = pattern.clone();
     let mut folds = 0usize;
     'outer: loop {
-        let nulls: Vec<PNodeId> = p
-            .node_ids()
-            .filter(|&id| !p.node(id).is_const())
-            .collect();
+        let nulls: Vec<PNodeId> = p.node_ids().filter(|&id| !p.node(id).is_const()).collect();
         let candidates: Vec<PNodeId> = p.node_ids().collect();
         for &n in &nulls {
             for &m in &candidates {
@@ -132,10 +129,8 @@ mod tests {
 
     #[test]
     fn retract_preserves_rep() {
-        let p = GraphPattern::parse(
-            "(a, f.f*, _N1); (_N1, h, b); (a, f.f*, _N2); (_N2, h, b);",
-        )
-        .unwrap();
+        let p = GraphPattern::parse("(a, f.f*, _N1); (_N1, h, b); (a, f.f*, _N2); (_N2, h, b);")
+            .unwrap();
         let (core, folds) = retract_core(&p);
         assert_eq!(folds, 1);
         // Rep(core) == Rep(p): both directions via canonical instantiations.

@@ -48,7 +48,13 @@ pub fn find_pattern_homomorphism(
         let mut cand: Option<FxHashSet<NodeId>> = None;
         for (ei, (s, _, d)) in pattern.edges().iter().enumerate() {
             let filter: Option<FxHashSet<NodeId>> = if *s == id && *d == id {
-                Some(rels[ei].iter().filter(|(u, v)| u == v).map(|(u, _)| u).collect())
+                Some(
+                    rels[ei]
+                        .iter()
+                        .filter(|(u, v)| u == v)
+                        .map(|(u, _)| u)
+                        .collect(),
+                )
             } else if *s == id {
                 Some(rels[ei].domain().collect())
             } else if *d == id {
@@ -153,10 +159,8 @@ mod tests {
     #[test]
     fn g1_is_represented_by_fig3() {
         // Figure 1(a): all three nulls fold onto the single null N.
-        let g1 = Graph::parse(
-            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
-        )
-        .unwrap();
+        let g1 = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
+            .unwrap();
         assert!(represents(&fig3(), &g1));
     }
 
@@ -173,16 +177,14 @@ mod tests {
 
     #[test]
     fn missing_hotel_edge_breaks_hom() {
-        let g = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx);")
-            .unwrap();
+        let g = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx);").unwrap();
         // No h-edge to hy anywhere: N1's (N1, h, hy) constraint fails.
         assert!(!represents(&fig3(), &g));
     }
 
     #[test]
     fn missing_constant_breaks_hom() {
-        let g = Graph::parse("(c1, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
-            .unwrap();
+        let g = Graph::parse("(c1, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);").unwrap();
         // c3 absent from G.
         assert!(!represents(&fig3(), &g));
     }

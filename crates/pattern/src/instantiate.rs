@@ -115,9 +115,7 @@ fn pick_witness(r: &Nre, self_loop: bool) -> Result<Witness> {
     let shortest = witness::shortest(r);
     if shortest.main_len() == 0 && !self_loop {
         witness::shortest_nonempty(r).ok_or_else(|| {
-            GdxError::Internal(
-                "ε-only edge survived resolve_epsilon_edges".to_owned(),
-            )
+            GdxError::Internal("ε-only edge survived resolve_epsilon_edges".to_owned())
         })
     } else {
         Ok(shortest)

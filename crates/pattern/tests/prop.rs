@@ -17,10 +17,8 @@ fn arb_nre() -> impl Strategy<Value = Nre> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
             inner.clone().prop_map(|x| Nre::Star(Box::new(x))),
             inner.prop_map(|x| Nre::Test(Box::new(x))),
         ]

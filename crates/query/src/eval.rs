@@ -58,6 +58,10 @@ impl NodeBindings {
     pub fn contains_row(&self, row: &[NodeId]) -> bool {
         self.rows.iter().any(|r| &**r == row)
     }
+
+    pub(crate) fn from_parts(vars: Vec<Symbol>, rows: Vec<Box<[NodeId]>>) -> NodeBindings {
+        NodeBindings { vars, rows }
+    }
 }
 
 /// Evaluates `query` over `graph` with a fresh relation cache.
@@ -88,42 +92,88 @@ pub fn evaluate_seeded(
     cache: &mut EvalCache,
     seed: &FxHashMap<Symbol, NodeId>,
 ) -> Result<NodeBindings> {
+    // Two-phase borrow: materialize every distinct NRE, then collect the
+    // shared references (no per-call relation clones).
+    for atom in &query.atoms {
+        cache.ensure(graph, &atom.nre);
+    }
+    let rels: Vec<&BinRel> = query
+        .atoms
+        .iter()
+        .map(|a| cache.get(&a.nre).expect("ensured"))
+        .collect();
+    evaluate_with_rels(graph, query, &rels, seed)
+}
+
+/// Evaluates `query` against caller-provided per-atom relations (the
+/// shared core behind the cached, seeded, and incremental entry points).
+pub(crate) fn evaluate_with_rels(
+    graph: &Graph,
+    query: &Cnre,
+    rels: &[&BinRel],
+    seed: &FxHashMap<Symbol, NodeId>,
+) -> Result<NodeBindings> {
     query.validate(None)?;
     let vars = query.variables();
 
-    // Materialize every distinct NRE once.
-    let mut rels: Vec<BinRel> = Vec::with_capacity(query.atoms.len());
-    for atom in &query.atoms {
-        rels.push(cache.eval(graph, &atom.nre).clone());
-    }
+    let Some(slots) = resolve_slots(graph, query) else {
+        return Ok(NodeBindings {
+            vars,
+            rows: Vec::new(),
+        });
+    };
 
-    // Resolve constant terms to node ids; a missing constant means no
-    // answers (the node does not exist in the graph).
+    let bound: FxHashSet<Symbol> = seed.keys().copied().collect();
+    let order = greedy_order(query, rels, bound, None);
+
+    let mut rows = Vec::new();
+    let mut binding: FxHashMap<Symbol, NodeId> = seed.iter().map(|(&v, &id)| (v, id)).collect();
+    // A seeded variable that never occurs in the query must not panic the
+    // row builder; restrict the seed to query variables.
+    binding.retain(|v, _| vars.contains(v));
+    join(
+        query,
+        rels,
+        &slots,
+        &order,
+        0,
+        &mut binding,
+        &vars,
+        &mut rows,
+    );
+    let mut seen: FxHashSet<Box<[NodeId]>> = FxHashSet::default();
+    rows.retain(|r| seen.insert(r.clone()));
+    Ok(NodeBindings { vars, rows })
+}
+
+/// Resolves every atom's terms to slots; `None` when a constant is absent
+/// from the graph (no atom can match, hence no answers).
+pub(crate) fn resolve_slots(graph: &Graph, query: &Cnre) -> Option<Vec<(TermSlot, TermSlot)>> {
     let resolve = |t: &Term| -> Option<TermSlot> {
         match t {
             Term::Var(v) => Some(TermSlot::Var(*v)),
             Term::Const(c) => graph.node_id(Node::Const(*c)).map(TermSlot::Fixed),
         }
     };
-    let mut slots: Vec<(TermSlot, TermSlot)> = Vec::with_capacity(query.atoms.len());
-    for atom in &query.atoms {
-        match (resolve(&atom.left), resolve(&atom.right)) {
-            (Some(l), Some(r)) => slots.push((l, r)),
-            _ => {
-                return Ok(NodeBindings {
-                    vars,
-                    rows: Vec::new(),
-                })
-            }
-        }
-    }
+    query
+        .atoms
+        .iter()
+        .map(|atom| Some((resolve(&atom.left)?, resolve(&atom.right)?)))
+        .collect()
+}
 
-    // Greedy atom order: prefer atoms whose variables are already bound,
-    // then smaller relations.
+/// Greedy atom order: prefer atoms whose variables are already bound (or
+/// constant), then smaller relations. `exclude` removes one atom from the
+/// ordering (the semi-naive driver places its delta atom first itself).
+pub(crate) fn greedy_order(
+    query: &Cnre,
+    rels: &[&BinRel],
+    mut bound: FxHashSet<Symbol>,
+    exclude: Option<usize>,
+) -> Vec<usize> {
     let n = query.atoms.len();
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut bound: FxHashSet<Symbol> = seed.keys().copied().collect();
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| Some(i) != exclude).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(remaining.len());
     while !remaining.is_empty() {
         let (pos, &best) = remaining
             .iter()
@@ -131,10 +181,7 @@ pub fn evaluate_seeded(
             .max_by_key(|(_, &i)| {
                 let a = &query.atoms[i];
                 let shared = a.variables().filter(|v| bound.contains(v)).count();
-                let fixed = [&a.left, &a.right]
-                    .iter()
-                    .filter(|t| !t.is_var())
-                    .count();
+                let fixed = [&a.left, &a.right].iter().filter(|t| !t.is_var()).count();
                 (shared + fixed, usize::MAX - rels[i].len())
             })
             .expect("non-empty remaining");
@@ -142,31 +189,19 @@ pub fn evaluate_seeded(
         bound.extend(query.atoms[best].variables());
         remaining.swap_remove(pos);
     }
-
-    let mut rows = Vec::new();
-    let mut binding: FxHashMap<Symbol, NodeId> =
-        seed.iter().map(|(&v, &id)| (v, id)).collect();
-    // A seeded variable that never occurs in the query must not panic the
-    // row builder; restrict the seed to query variables.
-    binding.retain(|v, _| vars.contains(v));
-    join(
-        query, &rels, &slots, &order, 0, &mut binding, &vars, &mut rows,
-    );
-    let mut seen: FxHashSet<Box<[NodeId]>> = FxHashSet::default();
-    rows.retain(|r| seen.insert(r.clone()));
-    Ok(NodeBindings { vars, rows })
+    order
 }
 
 #[derive(Clone, Copy)]
-enum TermSlot {
+pub(crate) enum TermSlot {
     Var(Symbol),
     Fixed(NodeId),
 }
 
 #[allow(clippy::too_many_arguments)]
-fn join(
+pub(crate) fn join(
     query: &Cnre,
-    rels: &[BinRel],
+    rels: &[&BinRel],
     slots: &[(TermSlot, TermSlot)],
     order: &[usize],
     depth: usize,
@@ -179,7 +214,7 @@ fn join(
         return;
     }
     let ai = order[depth];
-    let rel = &rels[ai];
+    let rel = rels[ai];
     let _atom: &CnreAtom = &query.atoms[ai];
     let (l, r) = slots[ai];
     let lv = match l {
@@ -197,7 +232,9 @@ fn join(
             }
         }
         (Some(u), None) => {
-            let TermSlot::Var(rvar) = r else { unreachable!() };
+            let TermSlot::Var(rvar) = r else {
+                unreachable!()
+            };
             for &w in rel.image(u) {
                 binding.insert(rvar, w);
                 join(query, rels, slots, order, depth + 1, binding, vars, rows);
@@ -205,7 +242,9 @@ fn join(
             binding.remove(&rvar);
         }
         (None, Some(w)) => {
-            let TermSlot::Var(lvar) = l else { unreachable!() };
+            let TermSlot::Var(lvar) = l else {
+                unreachable!()
+            };
             for &u in rel.preimage(w) {
                 binding.insert(lvar, u);
                 join(query, rels, slots, order, depth + 1, binding, vars, rows);
@@ -213,8 +252,12 @@ fn join(
             binding.remove(&lvar);
         }
         (None, None) => {
-            let TermSlot::Var(lvar) = l else { unreachable!() };
-            let TermSlot::Var(rvar) = r else { unreachable!() };
+            let TermSlot::Var(lvar) = l else {
+                unreachable!()
+            };
+            let TermSlot::Var(rvar) = r else {
+                unreachable!()
+            };
             if lvar == rvar {
                 // Self-join on one variable: diagonal pairs only.
                 for (u, w) in rel.iter() {
@@ -243,8 +286,7 @@ mod tests {
 
     fn g1() -> Graph {
         // Figure 1(a).
-        Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
-            .unwrap()
+        Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);").unwrap()
     }
 
     #[test]
@@ -342,10 +384,7 @@ mod tests {
     #[test]
     fn egd_body_from_example_2_2() {
         // (x1, h, x3), (x2, h, x3): pairs of cities sharing a hotel.
-        let g = Graph::parse(
-            "(_N1, h, hy); (_N2, h, hx); (_N3, h, hx);",
-        )
-        .unwrap();
+        let g = Graph::parse("(_N1, h, hy); (_N2, h, hx); (_N3, h, hx);").unwrap();
         let q = Cnre::parse("(x1, h, x3), (x2, h, x3)").unwrap();
         let b = evaluate(&g, &q).unwrap();
         // Pairs over hy: (N1,N1). Over hx: (N2,N2),(N2,N3),(N3,N2),(N3,N3).

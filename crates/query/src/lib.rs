@@ -14,10 +14,16 @@
 //!   `(x1, f.f*, y), (y, h, x4)` (quoted names are constants);
 //! * [`evaluate`] — join-based evaluation with per-NRE relation
 //!   materialization, smallest-relation-first ordering and residual-pair
-//!   propagation.
+//!   propagation;
+//! * [`seminaive`] — delta-driven evaluation for the chase:
+//!   [`SemiNaiveState::delta_matches`] returns only the matches that did
+//!   not exist at the previous call, via `⋃ᵢ (Δᵢ ⋈ full others)` on top of
+//!   the incremental NRE evaluator.
 
 pub mod cnre;
 pub mod eval;
+pub mod seminaive;
 
 pub use cnre::{Cnre, CnreAtom};
 pub use eval::{evaluate, evaluate_seeded, evaluate_with_cache, NodeBindings};
+pub use seminaive::{evaluate_seeded_incremental, SemiNaiveState};

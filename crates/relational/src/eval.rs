@@ -52,13 +52,9 @@ impl Bindings {
 
     /// Iterates rows as `(var, value)` maps.
     pub fn iter_maps(&self) -> impl Iterator<Item = FxHashMap<Symbol, Symbol>> + '_ {
-        self.rows.iter().map(move |row| {
-            self.vars
-                .iter()
-                .copied()
-                .zip(row.iter().copied())
-                .collect()
-        })
+        self.rows
+            .iter()
+            .map(move |row| self.vars.iter().copied().zip(row.iter().copied()).collect())
     }
 }
 
@@ -179,15 +175,7 @@ pub fn evaluate(instance: &Instance, query: &ConjunctiveQuery) -> Result<Binding
     // Depth-first join.
     let mut rows: Vec<Box<[Symbol]>> = Vec::new();
     let mut binding: FxHashMap<Symbol, Symbol> = FxHashMap::default();
-    join(
-        instance,
-        query,
-        &plans,
-        0,
-        &mut binding,
-        &vars,
-        &mut rows,
-    );
+    join(instance, query, &plans, 0, &mut binding, &vars, &mut rows);
 
     // Deduplicate (repeated atoms can produce duplicate rows).
     let mut seen: FxHashSet<Box<[Symbol]>> = FxHashSet::default();
@@ -311,11 +299,7 @@ mod tests {
     #[test]
     fn triangle_join() {
         let schema = Schema::from_relations([("E", 2)]).unwrap();
-        let i = Instance::parse(
-            schema,
-            "E(a,b); E(b,c); E(c,a); E(b,a); E(x,y);",
-        )
-        .unwrap();
+        let i = Instance::parse(schema, "E(a,b); E(b,c); E(c,a); E(b,a); E(x,y);").unwrap();
         let q = ConjunctiveQuery::parse("E(x, y), E(y, z), E(z, x)").unwrap();
         let b = evaluate(&i, &q).unwrap();
         // Triangles: (a,b,c) rotations ×1 orientation = 3, plus a-b-a style?
@@ -329,8 +313,7 @@ mod tests {
     fn constants_in_programmatic_atoms() {
         use crate::cq::Atom;
         let schema = Schema::from_relations([("Hotel", 2)]).unwrap();
-        let i = Instance::parse(schema, "Hotel(01, hx); Hotel(01, hy); Hotel(02, hx);")
-            .unwrap();
+        let i = Instance::parse(schema, "Hotel(01, hx); Hotel(01, hy); Hotel(02, hx);").unwrap();
         let q = ConjunctiveQuery::new(vec![Atom::new(
             Symbol::new("Hotel"),
             vec![Term::cst("01"), Term::var("h")],

@@ -85,11 +85,7 @@ impl Instance {
                 tuple.len()
             )));
         }
-        Ok(self
-            .data
-            .entry(relation)
-            .or_default()
-            .insert(tuple.into()))
+        Ok(self.data.entry(relation).or_default().insert(tuple.into()))
     }
 
     /// String-friendly insertion.
@@ -163,8 +159,7 @@ impl Instance {
     /// The paper's running example instance (Example 2.2): two flights and
     /// three hotel stays.
     pub fn example_2_2() -> Instance {
-        let schema = Schema::from_relations([("Flight", 3), ("Hotel", 2)])
-            .expect("static schema");
+        let schema = Schema::from_relations([("Flight", 3), ("Hotel", 2)]).expect("static schema");
         Instance::parse(
             schema,
             "Flight(01, c1, c2); Flight(02, c3, c2);

@@ -18,6 +18,6 @@ pub mod instance;
 pub mod schema;
 
 pub use cq::{Atom, ConjunctiveQuery};
-pub use eval::{Bindings, evaluate};
+pub use eval::{evaluate, Bindings};
 pub use instance::Instance;
 pub use schema::Schema;

@@ -1,7 +1,7 @@
 //! Relational schemas: finite collections of relation symbols with arities.
 
-use gdx_common::{FxHashMap, GdxError, Result, Symbol};
 use gdx_common::lexer::{TokenCursor, TokenKind};
+use gdx_common::{FxHashMap, GdxError, Result, Symbol};
 use std::fmt;
 
 /// A source schema `R`: relation symbols, each with a positive arity.
@@ -24,9 +24,7 @@ impl Schema {
     /// let r = Schema::from_relations([("Flight", 3), ("Hotel", 2)]).unwrap();
     /// assert_eq!(r.arity_of_str("Flight"), Some(3));
     /// ```
-    pub fn from_relations<'a>(
-        rels: impl IntoIterator<Item = (&'a str, usize)>,
-    ) -> Result<Schema> {
+    pub fn from_relations<'a>(rels: impl IntoIterator<Item = (&'a str, usize)>) -> Result<Schema> {
         let mut s = Schema::new();
         for (name, arity) in rels {
             s.add_relation(Symbol::new(name), arity)?;

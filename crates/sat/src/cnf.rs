@@ -121,10 +121,9 @@ impl Cnf {
 
     /// Evaluates under a total assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| assignment[l.var as usize] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var as usize] == l.positive))
     }
 
     /// The variables actually mentioned.

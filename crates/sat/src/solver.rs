@@ -77,11 +77,7 @@ pub fn solve(cnf: &Cnf, cfg: SolverConfig) -> (SatResult, SolverStats) {
     };
     let res = match s.search() {
         Some(true) => {
-            let model: Vec<bool> = s
-                .assignment
-                .iter()
-                .map(|a| a.unwrap_or(false))
-                .collect();
+            let model: Vec<bool> = s.assignment.iter().map(|a| a.unwrap_or(false)).collect();
             debug_assert!(cnf.eval(&model));
             SatResult::Sat(model)
         }
@@ -360,12 +356,16 @@ mod tests {
                     if a == b {
                         continue;
                     }
-                    for (pa, pb) in
-                        [(true, true), (true, false), (false, true), (false, false)]
-                    {
+                    for (pa, pb) in [(true, true), (true, false), (false, true), (false, false)] {
                         p.push(vec![
-                            Lit { var: a, positive: pa },
-                            Lit { var: b, positive: pb },
+                            Lit {
+                                var: a,
+                                positive: pa,
+                            },
+                            Lit {
+                                var: b,
+                                positive: pb,
+                            },
                         ]);
                     }
                 }

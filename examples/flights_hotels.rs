@@ -63,7 +63,10 @@ fn main() -> Result<()> {
             // A couple of sanity queries on the target graph.
             let q = gdx::query::Cnre::parse("(x, f, y), (y, h, z)")?;
             let hits = gdx::query::evaluate(&g, &q)?;
-            println!("(city) -f-> (hotel city) -h-> (hotel) matches: {}", hits.len());
+            println!(
+                "(city) -f-> (hotel city) -h-> (hotel) matches: {}",
+                hits.len()
+            );
         }
         gdx::chase::EgdChaseOutcome::Failed { constants, .. } => {
             println!(

@@ -4,8 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use gdx::prelude::*;
 use gdx::exchange::representative::RepresentativeOutcome;
+use gdx::prelude::*;
 use gdx_common::Term;
 
 fn main() -> Result<()> {
@@ -44,9 +44,7 @@ fn main() -> Result<()> {
     assert!(ex.is_solution(witness)?);
 
     // 5. Checking a hand-written graph: Figure 1(a)'s G1.
-    let g1 = Graph::parse(
-        "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);",
-    )?;
+    let g1 = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")?;
     println!("G1 is a solution: {}", ex.is_solution(&g1)?);
 
     // 6. Certain answers of the paper's query
@@ -56,12 +54,8 @@ fn main() -> Result<()> {
         gdx::nre::parse::parse_nre("f.f*.[h].f-.(f-)*")?,
         Term::var("x2"),
     );
-    let (answers, exact) = gdx::exchange::certain::certain_answers(
-        &instance,
-        &setting,
-        &q,
-        &SolverConfig::default(),
-    )?;
+    let (answers, exact) =
+        gdx::exchange::certain::certain_answers(&instance, &setting, &q, &SolverConfig::default())?;
     println!(
         "cert_Ω(Q, I){}:",
         if exact { "" } else { " (within bounds)" }

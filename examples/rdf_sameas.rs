@@ -20,11 +20,7 @@ fn main() -> Result<()> {
 
     // Solutions under Ω′ always exist and are built in polynomial time:
     // instantiate the chased pattern, then saturate sameAs edges.
-    let g = construct_solution_no_egds(
-        &instance,
-        &sameas_setting,
-        &SolverConfig::default(),
-    )?;
+    let g = construct_solution_no_egds(&instance, &sameas_setting, &SolverConfig::default())?;
     println!("A solution under Ω′ (sameAs edges included):\n{g}");
 
     // Saturation is idempotent.

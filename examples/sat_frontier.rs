@@ -26,7 +26,11 @@ fn main() -> Result<()> {
     // Figure 4's solution encodes the valuation t,t,f,f.
     let fig4 = red.solution_from_valuation(&[true, true, false, false]);
     println!("Figure 4 solution:\n{fig4}");
-    assert!(gdx::exchange::is_solution(&red.instance, &red.setting, &fig4)?);
+    assert!(gdx::exchange::is_solution(
+        &red.instance,
+        &red.setting,
+        &fig4
+    )?);
 
     // Decide existence across the clause/variable ratio sweep — the
     // solution-existence frontier is the SAT phase transition.

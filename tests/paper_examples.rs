@@ -10,8 +10,7 @@ use gdx::prelude::*;
 use gdx_common::Term;
 
 fn g1() -> Graph {
-    Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
-        .unwrap()
+    Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);").unwrap()
 }
 
 /// Figure 1(b) — yields the nine query answers the paper lists.
@@ -51,7 +50,10 @@ fn e1_figure_1_solution_status() {
 
     assert!(ex_egd.is_solution(&g1()).unwrap());
     assert!(ex_egd.is_solution(&g2()).unwrap());
-    assert!(!ex_egd.is_solution(&g3()).unwrap(), "sameAs label + unmerged");
+    assert!(
+        !ex_egd.is_solution(&g3()).unwrap(),
+        "sameAs label + unmerged"
+    );
     assert!(ex_sa.is_solution(&g3()).unwrap());
     assert!(!ex_sa.is_solution(&g1()).unwrap(), "missing sameAs edges");
 }
@@ -74,11 +76,9 @@ fn e2_certain_answers_under_both_settings() {
     let i = Instance::example_2_2();
     let cfg = SolverConfig::default();
     let q = paper_query();
-    let (egd_rows, _) =
-        certain_answers(&i, &Setting::example_2_2_egd(), &q, &cfg).unwrap();
+    let (egd_rows, _) = certain_answers(&i, &Setting::example_2_2_egd(), &q, &cfg).unwrap();
     assert_eq!(egd_rows.len(), 4);
-    let (sa_rows, _) =
-        certain_answers(&i, &Setting::example_2_2_sameas(), &q, &cfg).unwrap();
+    let (sa_rows, _) = certain_answers(&i, &Setting::example_2_2_sameas(), &q, &cfg).unwrap();
     let names: Vec<(String, String)> = sa_rows
         .iter()
         .map(|r| (r[0].to_string(), r[1].to_string()))
@@ -178,9 +178,7 @@ fn e9_example_5_2_chase_succeeds_but_no_solution() {
 fn e10_figure_7_breaks_pattern_universality() {
     let i = Instance::example_2_2();
     let ex = Exchange::new(Setting::example_2_2_egd(), i);
-    let RepresentativeOutcome::Representative(rep) =
-        ex.universal_representative().unwrap()
-    else {
+    let RepresentativeOutcome::Representative(rep) = ex.universal_representative().unwrap() else {
         panic!("chase succeeds");
     };
     let fig7 = Graph::parse(

@@ -78,8 +78,7 @@ fn generated_workload_end_to_end() {
         },
         &mut rng(5),
     );
-    let g = construct_solution_no_egds(&inst, &setting, &SolverConfig::default())
-        .unwrap();
+    let g = construct_solution_no_egds(&inst, &setting, &SolverConfig::default()).unwrap();
     assert!(gdx::exchange::is_solution(&inst, &setting, &g).unwrap());
 }
 
@@ -124,9 +123,7 @@ fn chase_variants_produce_equivalent_representatives() {
     // Canonical instantiations of both satisfy the s-t tgds.
     for pattern in [&obl.pattern, &res.pattern] {
         let g = gdx::pattern::instantiate_shortest(pattern).unwrap();
-        assert!(
-            gdx::exchange::solution::st_tgds_satisfied(&inst, &setting, &g).unwrap()
-        );
+        assert!(gdx::exchange::solution::st_tgds_satisfied(&inst, &setting, &g).unwrap());
     }
 }
 

@@ -32,9 +32,12 @@ fn e5_randomized_existence_agreement() {
                 let truth = brute_force(&cnf).is_some();
                 let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
 
-                let search =
-                    solution_exists(&red.instance, &red.setting, &config_for(n)).unwrap();
-                assert_eq!(search.exists(), truth, "search solver, n={n} m={m} s={seed}");
+                let search = solution_exists(&red.instance, &red.setting, &config_for(n)).unwrap();
+                assert_eq!(
+                    search.exists(),
+                    truth,
+                    "search solver, n={n} m={m} s={seed}"
+                );
                 if let Existence::Exists(g) = &search {
                     assert!(is_solution(&red.instance, &red.setting, g).unwrap());
                     let val = red.valuation_from_solution(g).unwrap();
@@ -91,12 +94,8 @@ fn e7_randomized_sameas_agreement() {
         let red = Reduction::from_cnf(&cnf, ReductionFlavor::SameAs).unwrap();
 
         // Existence is trivial (Proposition 4.3).
-        let g = construct_solution_no_egds(
-            &red.instance,
-            &red.setting,
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let g = construct_solution_no_egds(&red.instance, &red.setting, &SolverConfig::default())
+            .unwrap();
         assert!(is_solution(&red.instance, &red.setting, &g).unwrap());
 
         // Certain answering of `sameAs` mirrors unsatisfiability.
@@ -135,10 +134,8 @@ fn reduction_inverse_recovers_formula() {
 fn reduction_instance_is_fixed() {
     // The hardness is in *query* complexity: the source schema and
     // instance never change across formulas.
-    let a = Reduction::from_cnf(&random_3cnf(4, 10, &mut rng(1)), ReductionFlavor::Egd)
-        .unwrap();
-    let b = Reduction::from_cnf(&random_3cnf(9, 40, &mut rng(2)), ReductionFlavor::Egd)
-        .unwrap();
+    let a = Reduction::from_cnf(&random_3cnf(4, 10, &mut rng(1)), ReductionFlavor::Egd).unwrap();
+    let b = Reduction::from_cnf(&random_3cnf(9, 40, &mut rng(2)), ReductionFlavor::Egd).unwrap();
     assert_eq!(a.instance.to_string(), b.instance.to_string());
     assert_eq!(a.setting.source, b.setting.source);
     assert_ne!(a.setting.target.len(), b.setting.target.len());
