@@ -5,6 +5,7 @@
 //! a transition for every letter), which makes complementation a flip of
 //! the accept set.
 
+use crate::eval_nfa::EvalNfa;
 use crate::letter::Letter;
 use crate::nfa::{Nfa, StateId};
 use gdx_common::{FxHashMap, FxHashSet, Result};
@@ -42,42 +43,41 @@ impl Dfa {
     /// Subset construction. The result is complete: missing transitions go
     /// to an (implicit, possibly unreachable) empty subset acting as sink.
     pub fn determinize(nfa: &Nfa, alphabet: &[Letter]) -> Dfa {
+        Dfa::determinize_eval(&EvalNfa::from_nfa(nfa), alphabet)
+    }
+
+    /// Subset construction over the ε-free [`EvalNfa`] form: targets are
+    /// pre-closed, so each step is a plain sorted union.
+    pub fn determinize_eval(nfa: &EvalNfa, alphabet: &[Letter]) -> Dfa {
         let mut subsets: FxHashMap<Vec<StateId>, u32> = FxHashMap::default();
         let mut trans: Vec<Vec<u32>> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
         let mut queue: VecDeque<Vec<StateId>> = VecDeque::new();
 
-        let canon = |set: &FxHashSet<StateId>| {
-            let mut v: Vec<StateId> = set.iter().copied().collect();
-            v.sort_unstable();
-            v
-        };
+        let is_accepting = |key: &[StateId]| key.iter().any(|&s| nfa.accept[s as usize]);
 
-        let mut start_set = FxHashSet::default();
-        start_set.insert(nfa.start);
-        let start_key = canon(&nfa.eps_closure(&start_set));
+        let start_key = nfa.start.clone();
         subsets.insert(start_key.clone(), 0);
         trans.push(vec![u32::MAX; alphabet.len()]);
-        accept.push(start_key.iter().any(|s| nfa.accept.contains(s)));
+        accept.push(is_accepting(&start_key));
         queue.push_back(start_key);
 
         while let Some(key) = queue.pop_front() {
             let sid = subsets[&key];
-            for (li, letter) in alphabet.iter().enumerate() {
-                let mut next = FxHashSet::default();
+            for (li, &letter) in alphabet.iter().enumerate() {
+                let mut next_key: Vec<StateId> = Vec::new();
                 for &s in &key {
-                    if let Some(ts) = nfa.trans[s as usize].get(letter) {
-                        next.extend(ts.iter().copied());
-                    }
+                    next_key.extend(nfa.step(s, letter).iter().copied());
                 }
-                let next_key = canon(&nfa.eps_closure(&next));
+                next_key.sort_unstable();
+                next_key.dedup();
                 let nid = match subsets.get(&next_key) {
                     Some(&id) => id,
                     None => {
                         let id = trans.len() as u32;
                         subsets.insert(next_key.clone(), id);
                         trans.push(vec![u32::MAX; alphabet.len()]);
-                        accept.push(next_key.iter().any(|s| nfa.accept.contains(s)));
+                        accept.push(is_accepting(&next_key));
                         queue.push_back(next_key);
                         id
                     }

@@ -1,0 +1,230 @@
+//! The evaluation automaton: a dense, ε-free NFA for *running* test-free
+//! NREs over graphs, rather than deciding language questions about them.
+//!
+//! [`Nfa::from_nre`] produces a Thompson automaton riddled with
+//! ε-transitions — fine for subset construction, wasteful for the
+//! product-reachability evaluation that demand-driven NRE evaluation
+//! performs (`G × A` BFS visits every ε-edge per graph node otherwise).
+//! [`EvalNfa`] eliminates the ε-transitions once, at build time:
+//!
+//! * state ids stay dense (`0..state_count`), so product-BFS visited sets
+//!   can pack `(node, state)` into a single integer key;
+//! * transitions are indexed per [`Letter`], targets pre-closed under ε,
+//!   sorted, and deduplicated;
+//! * [`EvalNfa::reversed`] flips every transition structurally, swapping
+//!   the start set with the accept set — the machine a *backward* run
+//!   (reachability into a set of target nodes) drives.
+//!
+//! The subset construction ([`crate::Dfa::determinize`]) is rewired over
+//! this form too: pre-closed targets make each step a plain union.
+
+use crate::letter::Letter;
+use crate::nfa::{Nfa, StateId};
+use gdx_common::{FxHashMap, Result};
+use gdx_nre::Nre;
+
+/// A dense, ε-free NFA over [`Letter`]s with a start *set* and per-letter
+/// indexed transitions whose targets are pre-closed under ε.
+#[derive(Debug, Clone)]
+pub struct EvalNfa {
+    /// ε-closure of the original start state, sorted.
+    pub start: Vec<StateId>,
+    /// Per-state acceptance flags.
+    pub accept: Vec<bool>,
+    /// `trans[state]` — per-letter target lists (ε-closed, sorted, dedup).
+    pub trans: Vec<FxHashMap<Letter, Vec<StateId>>>,
+}
+
+impl EvalNfa {
+    /// Compiles a test-free NRE ([`crate::nfa::Nfa::from_nre`] then
+    /// ε-elimination). Fails on nesting tests.
+    pub fn from_nre(r: &Nre) -> Result<EvalNfa> {
+        Ok(EvalNfa::from_nfa(&Nfa::from_nre(r)?))
+    }
+
+    /// ε-eliminates a Thompson automaton: the start set is the ε-closure
+    /// of its start, every letter target list is closed under ε.
+    pub fn from_nfa(nfa: &Nfa) -> EvalNfa {
+        let n = nfa.state_count as usize;
+        // Per-state ε-closures, as sorted id lists.
+        let closures: Vec<Vec<StateId>> = (0..n as StateId)
+            .map(|s| {
+                let mut set = gdx_common::FxHashSet::default();
+                set.insert(s);
+                let mut v: Vec<StateId> = nfa.eps_closure(&set).into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let mut trans: Vec<FxHashMap<Letter, Vec<StateId>>> = vec![FxHashMap::default(); n];
+        for (row, nfa_row) in trans.iter_mut().zip(&nfa.trans) {
+            for (&letter, targets) in nfa_row {
+                let merged = row.entry(letter).or_default();
+                for &t in targets {
+                    merged.extend(closures[t as usize].iter().copied());
+                }
+            }
+            for targets in row.values_mut() {
+                targets.sort_unstable();
+                targets.dedup();
+            }
+        }
+        EvalNfa {
+            start: closures[nfa.start as usize].clone(),
+            accept: (0..n as StateId).map(|s| nfa.accept.contains(&s)).collect(),
+            trans,
+        }
+    }
+
+    /// Number of states (dense ids `0..state_count`).
+    pub fn state_count(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Targets of `state` on `letter` (ε-closed; empty when undefined).
+    pub fn step(&self, state: StateId, letter: Letter) -> &[StateId] {
+        self.trans[state as usize]
+            .get(&letter)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The structurally reversed machine: every transition `s —a→ t`
+    /// becomes `t —a→ s`, the start set becomes the accept set and vice
+    /// versa. A word `w` is accepted by the reversal iff `reverse(w)` is
+    /// accepted by `self` — the machine for running an expression from its
+    /// *target* endpoint backward.
+    pub fn reversed(&self) -> EvalNfa {
+        let n = self.state_count();
+        let mut trans: Vec<FxHashMap<Letter, Vec<StateId>>> = vec![FxHashMap::default(); n];
+        for s in 0..n {
+            for (&letter, targets) in &self.trans[s] {
+                for &t in targets {
+                    trans[t as usize]
+                        .entry(letter)
+                        .or_default()
+                        .push(s as StateId);
+                }
+            }
+        }
+        for row in &mut trans {
+            for targets in row.values_mut() {
+                targets.sort_unstable();
+                targets.dedup();
+            }
+        }
+        let start: Vec<StateId> = (0..n as StateId)
+            .filter(|&s| self.accept[s as usize])
+            .collect();
+        let mut accept = vec![false; n];
+        for &s in &self.start {
+            accept[s as usize] = true;
+        }
+        EvalNfa {
+            start,
+            accept,
+            trans,
+        }
+    }
+
+    /// Word acceptance (reference semantics for tests).
+    pub fn accepts(&self, word: &[Letter]) -> bool {
+        let mut cur: Vec<StateId> = self.start.clone();
+        for &letter in word {
+            let mut next: Vec<StateId> = Vec::new();
+            for &s in &cur {
+                next.extend(self.step(s, letter).iter().copied());
+            }
+            next.sort_unstable();
+            next.dedup();
+            cur = next;
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.iter().any(|&s| self.accept[s as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_common::Symbol;
+    use gdx_nre::parse::parse_nre;
+
+    fn w(text: &str) -> Vec<Letter> {
+        text.split_whitespace()
+            .map(|t| {
+                if let Some(sym) = t.strip_suffix('-') {
+                    Letter::bwd(Symbol::new(sym))
+                } else {
+                    Letter::fwd(Symbol::new(t))
+                }
+            })
+            .collect()
+    }
+
+    fn accepts(expr: &str, word: &str) -> bool {
+        EvalNfa::from_nre(&parse_nre(expr).unwrap())
+            .unwrap()
+            .accepts(&w(word))
+    }
+
+    #[test]
+    fn agrees_with_thompson_nfa() {
+        for (expr, word, expect) in [
+            ("a", "a", true),
+            ("a", "b", false),
+            ("a", "", false),
+            ("eps", "", true),
+            ("a-", "a-", true),
+            ("a.b", "a b", true),
+            ("a+b", "b", true),
+            ("a*", "", true),
+            ("a*", "a a a", true),
+            ("a.a*", "", false),
+            ("a.(b*+c*).a", "a c c a", true),
+            ("a.(b*+c*).a", "a b c a", false),
+        ] {
+            assert_eq!(accepts(expr, word), expect, "{expr} on {word:?}");
+        }
+    }
+
+    #[test]
+    fn tests_rejected() {
+        assert!(EvalNfa::from_nre(&parse_nre("[a]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn reversal_accepts_reversed_words() {
+        for (expr, word) in [
+            ("a.b", "a b"),
+            ("a.(b*+c*).a", "a c c a"),
+            ("a.b-.c", "a b- c"),
+            ("a*", "a a"),
+            ("eps", ""),
+        ] {
+            let auto = EvalNfa::from_nre(&parse_nre(expr).unwrap()).unwrap();
+            let rev = auto.reversed();
+            let mut letters = w(word);
+            assert!(auto.accepts(&letters), "{expr} accepts {word:?}");
+            letters.reverse();
+            assert!(rev.accepts(&letters), "rev({expr}) accepts reversed");
+            assert!(!rev.accepts(&w("zzz")));
+        }
+    }
+
+    #[test]
+    fn double_reversal_preserves_language() {
+        for expr in ["a.b", "a*", "a.(b*+c*).a", "a+b.c", "a-.b"] {
+            let auto = EvalNfa::from_nre(&parse_nre(expr).unwrap()).unwrap();
+            let back = auto.reversed().reversed();
+            for word in ["", "a", "a b", "a b a", "a c a", "a- b", "b c"] {
+                assert_eq!(
+                    auto.accepts(&w(word)),
+                    back.accepts(&w(word)),
+                    "{expr} on {word:?}"
+                );
+            }
+        }
+    }
+}

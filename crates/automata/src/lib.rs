@@ -11,6 +11,11 @@
 //! `L(r₁·…·r_k) ⊆ L(s)`. This crate provides exactly that:
 //!
 //! * [`Nfa`] — Thompson construction from test-free NREs;
+//! * [`EvalNfa`] — the ε-free *evaluation* form (dense states, per-letter
+//!   transition index, structural reversal) behind the subset
+//!   construction; `gdx_nre::demand` mirrors the same construction (with
+//!   guard transitions) for product-reachability evaluation, since this
+//!   crate sits above `gdx-nre` in the dependency graph;
 //! * [`Dfa`] — subset construction, completion, complement, product,
 //!   emptiness, shortest accepted word, Moore minimization;
 //! * [`included`] / [`equivalent`] — language inclusion and equivalence.
@@ -20,10 +25,12 @@
 //! (DESIGN.md §5 item 3).
 
 pub mod dfa;
+pub mod eval_nfa;
 pub mod letter;
 pub mod nfa;
 
 pub use dfa::Dfa;
+pub use eval_nfa::EvalNfa;
 pub use letter::Letter;
 pub use nfa::Nfa;
 

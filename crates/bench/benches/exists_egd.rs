@@ -5,9 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gdx_bench::solver_config_for_reduction;
+use gdx_common::FxHashMap;
 use gdx_datagen::{random_3cnf, rng};
 use gdx_exchange::exists::{construct_solution_no_egds, SolverConfig};
 use gdx_exchange::reduction::{Reduction, ReductionFlavor};
+use gdx_nre::eval::EvalCache;
+use gdx_query::{evaluate_seeded_mode, Cnre, PlannerMode};
 
 fn bench_exists(c: &mut Criterion) {
     let mut group = c.benchmark_group("exists_egd_search");
@@ -40,6 +43,39 @@ fn bench_exists(c: &mut Criterion) {
                     .exists()
             })
         });
+    }
+    group.finish();
+
+    // The certain-answer probe shape (Corollary 4.2): *both* endpoints
+    // constant. Reduction graphs are node-minimal (two constants), so the
+    // probe runs over candidate solutions of datagen Flight/Hotel
+    // instances instead — the demand-driven planner answers by product-BFS
+    // from city0 alone; the baseline materializes the full paper-query
+    // relation per check. (Capped at 500 flights: the baseline is already
+    // ~12 s per evaluation there.)
+    let mut group = c.benchmark_group("demand_driven");
+    group.sample_size(10);
+    let probe = Cnre::parse(&format!(
+        "(\"city0\", {}, \"city1\")",
+        gdx_bench::PAPER_QUERY
+    ))
+    .unwrap();
+    for flights in [100usize, 300, 500] {
+        let g = gdx_bench::paper_flight_graph(flights);
+        let seed = FxHashMap::default();
+        for (label, mode) in [
+            ("product_bfs", PlannerMode::Auto),
+            ("materialize", PlannerMode::Materialize),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, flights), &flights, |b, _| {
+                b.iter(|| {
+                    let mut cache = EvalCache::new();
+                    evaluate_seeded_mode(&g, &probe, &mut cache, &seed, mode)
+                        .unwrap()
+                        .len()
+                })
+            });
+        }
     }
     group.finish();
 

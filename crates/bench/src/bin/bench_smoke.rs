@@ -1,0 +1,131 @@
+//! Quick bench profile for CI: times the demand-driven (product-BFS)
+//! access path against the materializing baseline on the PR-2 workloads
+//! and writes a machine-readable JSON report (`BENCH_pr2.json` by
+//! default), so the perf trajectory is tracked from PR 2 onward.
+//!
+//! Usage: `cargo run --release -p gdx-bench --bin bench_smoke [-- out.json]`
+
+use gdx_bench::{paper_flight_graph, PAPER_QUERY};
+use gdx_common::{FxHashMap, Symbol};
+use gdx_graph::Node;
+use gdx_nre::eval::EvalCache;
+use gdx_query::{evaluate_seeded_mode, Cnre, PlannerMode};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall time of `samples` runs of `body`, in nanoseconds.
+fn median_ns(samples: usize, mut body: impl FnMut()) -> u128 {
+    // One warm-up run; each sample reconstructs its own caches, so this
+    // only pages code in.
+    body();
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            body();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Row {
+    group: String,
+    size: usize,
+    materialize_ns: u128,
+    demand_ns: u128,
+}
+
+fn seeded_query_rows(rows: &mut Vec<Row>) {
+    let query = Cnre::parse(&format!("(x, {PAPER_QUERY}, y)")).expect("static query");
+    // 500 is the ceiling for the *baseline*, not the demand path: the
+    // materializing evaluator is already ~12 s per run there (its cost is
+    // the point of this comparison), and a smoke job must stay quick.
+    for flights in [100usize, 300, 500] {
+        let g = paper_flight_graph(flights);
+        let city = g.node_id(Node::cst("city0")).expect("city0 present");
+        let mut seed = FxHashMap::default();
+        seed.insert(Symbol::new("x"), city);
+        let time_mode = |mode: PlannerMode| {
+            let t = Instant::now();
+            let ns = median_ns(3, || {
+                let mut cache = EvalCache::new();
+                let b = evaluate_seeded_mode(&g, &query, &mut cache, &seed, mode).expect("eval");
+                std::hint::black_box(b.len());
+            });
+            eprintln!(
+                "  chase_scaling/demand_driven size {flights} {mode:?}: median {ns} ns \
+                 (stage took {:?})",
+                t.elapsed()
+            );
+            ns
+        };
+        rows.push(Row {
+            group: "chase_scaling/demand_driven".to_owned(),
+            size: flights,
+            materialize_ns: time_mode(PlannerMode::Materialize),
+            demand_ns: time_mode(PlannerMode::Auto),
+        });
+    }
+}
+
+fn certain_probe_rows(rows: &mut Vec<Row>) {
+    // The Corollary 4.2 probe shape: *both* endpoints constant. Same
+    // candidate-solution graphs as the seeded group (reduction graphs are
+    // node-minimal, so they cannot exhibit the gap), different access
+    // pattern: one membership probe instead of an image enumeration.
+    let probe =
+        Cnre::parse(&format!("(\"city0\", {PAPER_QUERY}, \"city1\")")).expect("static probe");
+    for flights in [100usize, 300, 500] {
+        let g = paper_flight_graph(flights);
+        let seed = FxHashMap::default();
+        let time_mode = |mode: PlannerMode| {
+            median_ns(3, || {
+                let mut cache = EvalCache::new();
+                let b = evaluate_seeded_mode(&g, &probe, &mut cache, &seed, mode).expect("eval");
+                std::hint::black_box(b.len());
+            })
+        };
+        rows.push(Row {
+            group: "exists_egd/demand_driven".to_owned(),
+            size: flights,
+            materialize_ns: time_mode(PlannerMode::Materialize),
+            demand_ns: time_mode(PlannerMode::Auto),
+        });
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_owned());
+    let mut rows = Vec::new();
+    seeded_query_rows(&mut rows);
+    certain_probe_rows(&mut rows);
+
+    let mut json = String::from("{\n  \"pr\": 2,\n  \"groups\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.materialize_ns as f64 / r.demand_ns.max(1) as f64;
+        let _ = write!(
+            json,
+            "    {{\"group\": \"{}\", \"size\": {}, \"median_ns_materialize\": {}, \
+             \"median_ns_demand\": {}, \"speedup\": {:.2}}}",
+            r.group, r.size, r.materialize_ns, r.demand_ns, speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+
+    println!("{json}");
+    for r in &rows {
+        println!(
+            "{:<32} size {:>5}: materialize {:>12} ns, demand {:>12} ns, speedup {:>8.2}x",
+            r.group,
+            r.size,
+            r.materialize_ns,
+            r.demand_ns,
+            r.materialize_ns as f64 / r.demand_ns.max(1) as f64
+        );
+    }
+}

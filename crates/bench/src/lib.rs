@@ -17,6 +17,31 @@ use gdx_relational::Instance;
 use gdx_sat::{solve, SatResult, SolverConfig as SatConfig};
 use std::time::Instant;
 
+/// The paper's query from Example 2.2 — the NRE the demand-driven bench
+/// groups evaluate with bound endpoints.
+pub const PAPER_QUERY: &str = "f.f*.[h].f-.(f-)*";
+
+/// The shared fixture of the PR-2 `demand_driven` bench groups: the
+/// instantiated chase graph of a Flight/Hotel instance with `flights`
+/// flights over `flights/5` cities and hotels (seed 42). One definition,
+/// so the cross-bench speedup comparisons in `BENCH_pr2.json` cannot
+/// drift apart.
+pub fn paper_flight_graph(flights: usize) -> gdx_graph::Graph {
+    use gdx_chase::{chase_st, StChaseVariant};
+    let setting = Setting::example_2_2_egd();
+    let inst = flights_hotels(
+        FlightsHotelsParams {
+            flights,
+            cities: (flights / 5).max(4),
+            hotels: flights / 5,
+            stays_per_flight: 2,
+        },
+        &mut rng(42),
+    );
+    let st = chase_st(&inst, &setting, StChaseVariant::Oblivious).expect("st chase");
+    gdx_pattern::instantiate_shortest(&st.pattern).expect("instantiation")
+}
+
 /// Raises the candidate-family caps so the search solver is exact for a
 /// reduction over `n` variables (family size `2^n`).
 pub fn solver_config_for_reduction(n: u32) -> SolverConfig {

@@ -47,7 +47,7 @@ use gdx_nre::eval::EvalCache;
 use gdx_nre::witness;
 use gdx_nre::IncrementalCache;
 use gdx_query::{
-    evaluate_seeded, evaluate_seeded_incremental, evaluate_with_cache, SemiNaiveState,
+    evaluate_seeded_exists, evaluate_seeded_incremental_exists, evaluate_with_cache, SemiNaiveState,
 };
 
 /// Body-evaluation strategy of the target-tgd chase.
@@ -341,7 +341,10 @@ pub fn chase_target_tgds(
 }
 
 /// Does the head hold under the body match (some assignment of the
-/// existential variables)? Naive-mode variant: cold cache per check.
+/// existential variables)? Naive-mode variant: cold cache per check. The
+/// frontier seed bounds the head atoms' endpoints, so the access-path
+/// planner answers by seeded product-BFS with an early exit instead of
+/// materializing head relations.
 fn head_witnessed(
     graph: &Graph,
     tgd: &TargetTgd,
@@ -349,12 +352,12 @@ fn head_witnessed(
 ) -> Result<bool> {
     let mut cache = EvalCache::new();
     let seed = head_seed(tgd, body_match);
-    let answers = evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?;
-    Ok(!answers.is_empty())
+    evaluate_seeded_exists(graph, &tgd.head, &mut cache, &seed)
 }
 
-/// Incremental variant: the per-rule head cache advances by graph deltas
-/// instead of rebuilding the head relations per check.
+/// Incremental variant: the per-rule head cache (materialized relations
+/// advanced by graph deltas, plus memoized demand evaluators) persists
+/// across checks.
 fn head_witnessed_incremental(
     graph: &Graph,
     tgd: &TargetTgd,
@@ -362,8 +365,7 @@ fn head_witnessed_incremental(
     cache: &mut IncrementalCache,
 ) -> Result<bool> {
     let seed = head_seed(tgd, body_match);
-    let answers = evaluate_seeded_incremental(graph, &tgd.head, cache, &seed)?;
-    Ok(!answers.is_empty())
+    evaluate_seeded_incremental_exists(graph, &tgd.head, cache, &seed)
 }
 
 /// Frontier variables of the head, seeded from the body match.

@@ -53,6 +53,17 @@ impl Symbol {
         Symbol(id)
     }
 
+    /// The symbol of `s` **if it was ever interned**, without interning.
+    ///
+    /// Probe loops (e.g. fresh-null naming) use this to test candidate
+    /// names against existing state: a name that was never interned cannot
+    /// occur in any graph or schema, so a `None` here proves freshness
+    /// without growing the intern table.
+    pub fn lookup(s: &str) -> Option<Symbol> {
+        let g = interner().lock().expect("interner poisoned");
+        g.map.get(s).copied().map(Symbol)
+    }
+
     /// The interned text.
     pub fn as_str(self) -> &'static str {
         let g = interner().lock().expect("interner poisoned");
@@ -103,6 +114,14 @@ mod tests {
     #[test]
     fn different_strings_differ() {
         assert_ne!(Symbol::new("x1"), Symbol::new("x2"));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(Symbol::lookup("never-interned-name-xyzzy"), None);
+        let s = Symbol::new("interned-name-xyzzy");
+        assert_eq!(Symbol::lookup("interned-name-xyzzy"), Some(s));
+        assert_eq!(Symbol::lookup("never-interned-name-xyzzy"), None);
     }
 
     #[test]

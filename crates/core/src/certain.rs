@@ -19,10 +19,13 @@ use gdx_common::{Result, Term};
 use gdx_graph::{Graph, Node};
 use gdx_mapping::Setting;
 use gdx_nre::Nre;
-use gdx_query::{evaluate, Cnre};
+use gdx_query::{evaluate, evaluate_exists, Cnre};
 use gdx_relational::Instance;
 
 /// Outcome of a certain-answer test.
+// The counterexample graph *is* the evidence callers want; boxing it
+// would only shuffle one allocation around.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum CertainAnswer {
     /// The tuple holds in every solution (exactly decided).
@@ -78,8 +81,10 @@ pub fn certain_boolean(
         };
     }
     for g in &solutions {
-        let answers = evaluate(g, query)?;
-        if answers.is_empty() {
+        // Constants-only query: both endpoints of every atom are bound,
+        // so the probe runs by seeded product-BFS — no `⟦r⟧_G`
+        // materialization per candidate solution.
+        if !evaluate_exists(g, query)? {
             return Ok(CertainAnswer::NotCertain(g.clone()));
         }
     }

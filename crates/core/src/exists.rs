@@ -45,6 +45,9 @@ pub struct SolverConfig {
 }
 
 /// Outcome of the existence decision.
+// The witness graph *is* the payload of the variant; boxing it would
+// only shuffle one allocation around.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Existence {
     /// A solution exists; one is attached as the witness.

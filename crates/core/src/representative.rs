@@ -113,7 +113,7 @@ impl SettingView<'_> {
         use gdx_common::{FxHashMap, Symbol};
         use gdx_graph::NodeId;
         use gdx_nre::eval::EvalCache;
-        use gdx_query::{evaluate_seeded, evaluate_with_cache};
+        use gdx_query::{evaluate_seeded_exists, evaluate_with_cache};
         let mut cache = EvalCache::new();
         for c in self.constraints {
             match c {
@@ -139,7 +139,7 @@ impl SettingView<'_> {
                                 vars.iter().position(|&bv| bv == v).map(|i| (v, row[i]))
                             })
                             .collect();
-                        if evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?.is_empty() {
+                        if !evaluate_seeded_exists(graph, &tgd.head, &mut cache, &seed)? {
                             return Ok(false);
                         }
                     }

@@ -10,7 +10,7 @@ use gdx_common::{FxHashMap, Result, Symbol};
 use gdx_graph::{Graph, Node, NodeId};
 use gdx_mapping::{SameAs, Setting, TargetConstraint};
 use gdx_nre::eval::EvalCache;
-use gdx_query::{evaluate_seeded, evaluate_with_cache};
+use gdx_query::{evaluate_seeded_exists, evaluate_with_cache};
 use gdx_relational::{evaluate as eval_cq, Instance};
 
 /// Exact membership test for `Sol_Ω(I)`.
@@ -60,8 +60,10 @@ pub fn st_tgds_satisfied(instance: &Instance, setting: &Setting, graph: &Graph) 
             if missing {
                 return Ok(false);
             }
-            let answers = evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?;
-            if answers.is_empty() {
+            // Frontier variables are seeded: the planner probes the head
+            // by product-BFS from the bound endpoints, early-exiting at
+            // the first witness.
+            if !evaluate_seeded_exists(graph, &tgd.head, &mut cache, &seed)? {
                 return Ok(false);
             }
         }
@@ -96,8 +98,7 @@ pub fn target_constraints_satisfied(setting: &Setting, graph: &Graph) -> Result<
                         .into_iter()
                         .filter_map(|v| vars.iter().position(|&bv| bv == v).map(|i| (v, rowv[i])))
                         .collect();
-                    let answers = evaluate_seeded(graph, &tgd.head, &mut cache, &seed)?;
-                    if answers.is_empty() {
+                    if !evaluate_seeded_exists(graph, &tgd.head, &mut cache, &seed)? {
                         return Ok(false);
                     }
                 }

@@ -66,6 +66,24 @@ pub struct NullFactory {
     next: u64,
 }
 
+/// Formats `~{n}` into a stack buffer, returning the borrowed text —
+/// the probe loops below run once per chase firing, so the per-probe
+/// `format!` heap allocation they used to pay is measurable.
+fn null_name(buf: &mut [u8; 21], mut n: u64) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    i -= 1;
+    buf[i] = b'~';
+    std::str::from_utf8(&buf[i..]).expect("ASCII digits")
+}
+
 impl NullFactory {
     /// A factory starting at `~0`.
     pub fn new() -> NullFactory {
@@ -73,10 +91,20 @@ impl NullFactory {
     }
 
     /// The next fresh null not rejected by `taken`.
+    ///
+    /// Candidate names are formatted into a stack buffer and interned only
+    /// when actually used: a name [`Symbol::lookup`] has never seen cannot
+    /// be rejected as a duplicate by any graph, so rejected probes leave
+    /// the intern table untouched.
     pub fn fresh_where(&mut self, mut taken: impl FnMut(Node) -> bool) -> Node {
+        let mut buf = [0u8; 21];
         loop {
-            let node = Node::Null(Symbol::new(&format!("~{}", self.next)));
+            let name = null_name(&mut buf, self.next);
             self.next += 1;
+            let node = match Symbol::lookup(name) {
+                Some(sym) => Node::Null(sym),
+                None => Node::Null(Symbol::new(name)),
+            };
             if !taken(node) {
                 return node;
             }
@@ -163,6 +191,10 @@ pub struct Graph {
     out: FxHashMap<(NodeId, Symbol), Vec<NodeId>>,
     inc: FxHashMap<(NodeId, Symbol), Vec<NodeId>>,
     labels: FxHashSet<Symbol>,
+    /// Per-label edge counts, maintained by [`Graph::add_edge`] — the
+    /// selectivity statistics the query planner's access-path cost model
+    /// reads ([`Graph::label_stats`]).
+    label_counts: FxHashMap<Symbol, usize>,
     /// Per-graph counter backing [`Graph::add_fresh_null`]; cloned with
     /// the graph so null naming is a function of the graph's history, not
     /// of process-global state.
@@ -180,6 +212,7 @@ impl Default for Graph {
             out: FxHashMap::default(),
             inc: FxHashMap::default(),
             labels: FxHashSet::default(),
+            label_counts: FxHashMap::default(),
             null_counter: 0,
         }
     }
@@ -199,6 +232,7 @@ impl Clone for Graph {
             out: self.out.clone(),
             inc: self.inc.clone(),
             labels: self.labels.clone(),
+            label_counts: self.label_counts.clone(),
             null_counter: self.null_counter,
         }
     }
@@ -262,13 +296,17 @@ impl Graph {
 
     /// Adds a fresh null node, named by this graph's own counter (`~0`,
     /// `~1`, …, skipping names already present). Deterministic: the name
-    /// depends only on this graph's history.
+    /// depends only on this graph's history. Candidate names probe via
+    /// [`Symbol::lookup`] from a stack buffer and intern only on success.
     pub fn add_fresh_null(&mut self) -> NodeId {
+        let mut buf = [0u8; 21];
         loop {
-            let node = Node::Null(Symbol::new(&format!("~{}", self.null_counter)));
+            let name = null_name(&mut buf, self.null_counter);
             self.null_counter += 1;
-            if self.node_id(node).is_none() {
-                return self.add_node(node);
+            match Symbol::lookup(name) {
+                Some(sym) if self.node_id(Node::Null(sym)).is_some() => continue,
+                Some(sym) => return self.add_node(Node::Null(sym)),
+                None => return self.add_node(Node::Null(Symbol::new(name))),
             }
         }
     }
@@ -304,6 +342,7 @@ impl Graph {
         self.out.entry((src, label)).or_default().push(dst);
         self.inc.entry((dst, label)).or_default().push(src);
         self.labels.insert(label);
+        *self.label_counts.entry(label).or_insert(0) += 1;
         true
     }
 
@@ -347,6 +386,19 @@ impl Graph {
     /// All edge labels that occur in the graph.
     pub fn labels(&self) -> impl Iterator<Item = Symbol> + '_ {
         self.labels.iter().copied()
+    }
+
+    /// Number of edges carrying `label` — the selectivity statistic the
+    /// access-path planner uses to choose between materializing `⟦r⟧_G`
+    /// and seeded product-BFS.
+    pub fn label_count(&self, label: Symbol) -> usize {
+        self.label_counts.get(&label).copied().unwrap_or(0)
+    }
+
+    /// Per-label edge counts, maintained incrementally by
+    /// [`Graph::add_edge`].
+    pub fn label_stats(&self) -> &FxHashMap<Symbol, usize> {
+        &self.label_counts
     }
 
     /// All `(src, dst)` pairs of `label`-edges.
@@ -624,6 +676,29 @@ mod tests {
         let h = g.clone();
         assert_ne!(g.id(), h.id());
         assert_eq!(g.epoch(), h.epoch());
+    }
+
+    #[test]
+    fn label_stats_track_edge_counts() {
+        let g = Graph::parse("(a, f, b); (b, f, c); (a, h, c);").unwrap();
+        assert_eq!(g.label_count(Symbol::new("f")), 2);
+        assert_eq!(g.label_count(Symbol::new("h")), 1);
+        assert_eq!(g.label_count(Symbol::new("absent")), 0);
+        assert_eq!(g.label_stats().values().sum::<usize>(), g.edge_count());
+        // Clones and quotients keep the stats consistent.
+        let c = g.clone();
+        assert_eq!(c.label_count(Symbol::new("f")), 2);
+        let q = g.quotient(|id| id);
+        assert_eq!(q.label_count(Symbol::new("f")), 2);
+    }
+
+    #[test]
+    fn null_name_formatting() {
+        let mut buf = [0u8; 21];
+        assert_eq!(null_name(&mut buf, 0), "~0");
+        assert_eq!(null_name(&mut buf, 7), "~7");
+        assert_eq!(null_name(&mut buf, 12345), "~12345");
+        assert_eq!(null_name(&mut buf, u64::MAX), format!("~{}", u64::MAX));
     }
 
     #[test]

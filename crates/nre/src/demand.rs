@@ -1,0 +1,767 @@
+//! Demand-driven NRE evaluation: BFS over the product `G × A` of the
+//! graph with the expression's automaton, from seeded endpoints only.
+//!
+//! The paper's workloads — existence-of-solutions probes, certain-answer
+//! checks, egd premise matching — overwhelmingly evaluate NREs with one or
+//! both endpoints already bound. The bottom-up evaluator
+//! ([`crate::eval::eval`]) still materializes the full relation `⟦r⟧_G`
+//! first (worst case `O(|V|²)` pairs). This module answers the seeded
+//! question directly, in the classic RPQ style: compile `r` into a small
+//! automaton, then explore only the `(node, state)` pairs reachable from
+//! the seeds.
+//!
+//! # The guarded automaton
+//!
+//! The test-free fragment compiles to an ordinary ε-free NFA over directed
+//! letters — the same construction as `gdx_automata::EvalNfa` (that crate
+//! sits *above* this one in the dependency graph, so the few lines of
+//! Thompson construction are repeated here rather than imported). Nesting
+//! tests `[t]` become **guard transitions**: ε-like edges that fire at a
+//! graph node `u` only when `∃v. (u, v) ∈ ⟦t⟧` — decided on demand by a
+//! recursive, seeded sub-evaluation of `t` from exactly `u`, memoized per
+//! node. Backward runs ([`DemandEvaluator::preimage`]) use the automaton
+//! of the reversed expression ([`Nre::reversed`]), under which guards stay
+//! in place as node predicates.
+//!
+//! Expressions beyond [`MAX_STATES`] automaton states fall outside the
+//! supported fragment; [`eval_from`] / [`eval_into`] then fall back to the
+//! materializing evaluator restricted to the seeds. The naive evaluator
+//! stays the semantics of record either way — the property tests in
+//! `tests/prop.rs` assert agreement on random NREs × graphs.
+//!
+//! [`DemandStats`] counts the `(node, state)` pairs actually expanded, so
+//! regression tests can assert that seeded evaluation visits a small
+//! fraction of what full materialization enumerates.
+
+use crate::ast::Nre;
+use crate::eval::{eval, BinRel};
+use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol};
+use gdx_graph::{Graph, GraphId, NodeId};
+use std::rc::Rc;
+
+/// Automaton state id (dense).
+type State = u32;
+
+/// Automata larger than this fall back to materializing evaluation: a
+/// giant expression amortizes bottom-up evaluation across its shared
+/// subterms better than a per-seed product walk would.
+pub const MAX_STATES: usize = 4096;
+
+/// One transition action of the guarded automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Action {
+    /// Traverse one `a`-edge forward.
+    Fwd(Symbol),
+    /// Traverse one `a`-edge backward.
+    Bwd(Symbol),
+    /// Stay in place; fires only when the guard predicate holds at the
+    /// current node (index into [`GuardedNfa::guards`]).
+    Guard(u32),
+}
+
+/// A dense, ε-free NFA over graph-traversal actions, with guard
+/// transitions for nesting tests. Targets are pre-closed under ε.
+#[derive(Debug)]
+struct GuardedNfa {
+    /// ε-closure of the start state.
+    start: Vec<State>,
+    /// Per-state acceptance.
+    accept: Vec<bool>,
+    /// Per-state transitions, targets ε-closed, sorted, deduplicated.
+    trans: Vec<Vec<(Action, Vec<State>)>>,
+    /// Test subexpressions referenced by [`Action::Guard`].
+    guards: Vec<Nre>,
+}
+
+/// Thompson-style builder with explicit ε-edges, eliminated at the end.
+#[derive(Default)]
+struct Builder {
+    eps: Vec<Vec<State>>,
+    trans: Vec<Vec<(Action, State)>>,
+    guards: Vec<Nre>,
+    guard_ids: FxHashMap<Nre, u32>,
+}
+
+impl Builder {
+    fn add_state(&mut self) -> State {
+        let id = self.eps.len() as State;
+        self.eps.push(Vec::new());
+        self.trans.push(Vec::new());
+        id
+    }
+
+    fn build(&mut self, r: &Nre) -> (State, State) {
+        match r {
+            Nre::Epsilon => {
+                let (s, f) = (self.add_state(), self.add_state());
+                self.eps[s as usize].push(f);
+                (s, f)
+            }
+            Nre::Label(a) => {
+                let (s, f) = (self.add_state(), self.add_state());
+                self.trans[s as usize].push((Action::Fwd(*a), f));
+                (s, f)
+            }
+            Nre::Inverse(a) => {
+                let (s, f) = (self.add_state(), self.add_state());
+                self.trans[s as usize].push((Action::Bwd(*a), f));
+                (s, f)
+            }
+            Nre::Union(x, y) => {
+                let (sx, fx) = self.build(x);
+                let (sy, fy) = self.build(y);
+                let (s, f) = (self.add_state(), self.add_state());
+                self.eps[s as usize].extend([sx, sy]);
+                self.eps[fx as usize].push(f);
+                self.eps[fy as usize].push(f);
+                (s, f)
+            }
+            Nre::Concat(x, y) => {
+                let (sx, fx) = self.build(x);
+                let (sy, fy) = self.build(y);
+                self.eps[fx as usize].push(sy);
+                (sx, fy)
+            }
+            Nre::Star(x) => {
+                let (sx, fx) = self.build(x);
+                let (s, f) = (self.add_state(), self.add_state());
+                self.eps[s as usize].extend([sx, f]);
+                self.eps[fx as usize].extend([sx, f]);
+                (s, f)
+            }
+            Nre::Test(x) => {
+                let gi = match self.guard_ids.get(x.as_ref()) {
+                    Some(&gi) => gi,
+                    None => {
+                        let gi = self.guards.len() as u32;
+                        self.guards.push((**x).clone());
+                        self.guard_ids.insert((**x).clone(), gi);
+                        gi
+                    }
+                };
+                let (s, f) = (self.add_state(), self.add_state());
+                self.trans[s as usize].push((Action::Guard(gi), f));
+                (s, f)
+            }
+        }
+    }
+
+    /// ε-closure of one state, as a sorted id list.
+    fn closure(&self, s: State) -> Vec<State> {
+        let mut seen: FxHashSet<State> = FxHashSet::default();
+        let mut stack = vec![s];
+        seen.insert(s);
+        while let Some(q) = stack.pop() {
+            for &t in &self.eps[q as usize] {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        let mut v: Vec<State> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl GuardedNfa {
+    /// Compiles `r`, failing when the automaton exceeds [`MAX_STATES`].
+    fn compile(r: &Nre) -> Result<GuardedNfa> {
+        let mut b = Builder::default();
+        let (start, accept) = b.build(r);
+        let n = b.eps.len();
+        if n > MAX_STATES {
+            return Err(GdxError::limit(format!(
+                "NRE compiles to {n} automaton states (> {MAX_STATES}); \
+                 demand evaluation falls back to materialization"
+            )));
+        }
+        let mut trans: Vec<Vec<(Action, Vec<State>)>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut by_action: FxHashMap<Action, Vec<State>> = FxHashMap::default();
+            for &(action, t) in &b.trans[s] {
+                by_action.entry(action).or_default().extend(b.closure(t));
+            }
+            let mut row: Vec<(Action, Vec<State>)> = by_action.into_iter().collect();
+            for (_, targets) in &mut row {
+                targets.sort_unstable();
+                targets.dedup();
+            }
+            // Deterministic transition order (hash-map iteration is not).
+            row.sort_by_key(|(a, _)| *a);
+            trans.push(row);
+        }
+        let mut accept_flags = vec![false; n];
+        accept_flags[accept as usize] = true;
+        Ok(GuardedNfa {
+            start: b.closure(start),
+            accept: accept_flags,
+            trans,
+            guards: b.guards,
+        })
+    }
+}
+
+/// Work counters of a [`DemandEvaluator`] — cumulative across calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DemandStats {
+    /// `(node, state)` product pairs expanded by BFS.
+    pub visited: usize,
+    /// Product-BFS runs started (one per uncached seed).
+    pub bfs_runs: usize,
+    /// Guard-predicate decisions requested (memoized hits included).
+    pub guard_checks: usize,
+}
+
+/// Run direction over the product.
+#[derive(Clone, Copy)]
+enum Dir {
+    Fwd,
+    Bwd,
+}
+
+/// Early-exit policy of one product BFS.
+#[derive(Clone, Copy)]
+enum BfsStop {
+    /// Collect the full image.
+    Exhaust,
+    /// Stop at the first accepting pair (existence probes, guards).
+    FirstAccept,
+    /// Stop once this node is reached in an accepting state (membership
+    /// probes).
+    Node(NodeId),
+}
+
+/// A compiled, memoizing demand evaluator for one NRE.
+///
+/// Holds the forward automaton of `r` and the automaton of `rev(r)` for
+/// backward runs, plus per-node memo tables for images, preimages and
+/// guard decisions. Memos are pinned to one graph value via
+/// [`Graph::id`]; handing the evaluator a different graph (clone,
+/// quotient) resets them transparently. Guard predicates recurse into
+/// nested [`DemandEvaluator`]s, one per distinct test subexpression.
+///
+/// ```
+/// use gdx_graph::Graph;
+/// use gdx_nre::parse::parse_nre;
+/// use gdx_nre::demand::DemandEvaluator;
+/// let g = Graph::parse("(a, f, b); (b, f, c);").unwrap();
+/// let mut ev = DemandEvaluator::try_new(&parse_nre("f.f").unwrap()).unwrap();
+/// let a = g.node_id(gdx_graph::Node::cst("a")).unwrap();
+/// let c = g.node_id(gdx_graph::Node::cst("c")).unwrap();
+/// assert_eq!(ev.image(&g, a), &[c]);
+/// ```
+#[derive(Debug)]
+pub struct DemandEvaluator {
+    fwd: Rc<GuardedNfa>,
+    bwd: Rc<GuardedNfa>,
+    /// The graph *version* the memos are valid for: value identity plus
+    /// epoch. Chase engines grow one graph value in place; growth adds
+    /// reachable pairs, so memos from an older epoch would under-report.
+    graph: Option<(GraphId, gdx_graph::Epoch)>,
+    fwd_images: FxHashMap<NodeId, Vec<NodeId>>,
+    bwd_images: FxHashMap<NodeId, Vec<NodeId>>,
+    /// Guard-style memo: does *any* node lie in the forward image?
+    nonempty: FxHashMap<NodeId, bool>,
+    /// Membership-probe memo, keyed by the packed `(u, v)` pair —
+    /// target-early-exited runs are not full images, so they memoize here
+    /// instead of in `fwd_images`.
+    pair_memo: FxHashMap<u64, bool>,
+    /// Recursive evaluators for test subexpressions, shared between the
+    /// forward and backward automata (guards are direction-independent).
+    guard_evals: FxHashMap<Nre, Box<DemandEvaluator>>,
+    stats: DemandStats,
+}
+
+#[inline]
+fn pack(node: NodeId, state: State) -> u64 {
+    (u64::from(node) << 32) | u64::from(state)
+}
+
+impl DemandEvaluator {
+    /// Compiles an evaluator for `r`. Errors when the expression — or any
+    /// of its nesting-test subexpressions, whose sub-evaluators are built
+    /// eagerly here — falls outside the supported fragment
+    /// ([`MAX_STATES`]); callers then fall back to the materializing
+    /// evaluator instead of discovering an uncompilable guard mid-run.
+    pub fn try_new(r: &Nre) -> Result<DemandEvaluator> {
+        let fwd = Rc::new(GuardedNfa::compile(r)?);
+        let bwd = Rc::new(GuardedNfa::compile(&r.reversed())?);
+        let mut guard_evals: FxHashMap<Nre, Box<DemandEvaluator>> = FxHashMap::default();
+        for guard in fwd.guards.iter().chain(&bwd.guards) {
+            if !guard_evals.contains_key(guard) {
+                guard_evals.insert(guard.clone(), Box::new(DemandEvaluator::try_new(guard)?));
+            }
+        }
+        Ok(DemandEvaluator {
+            fwd,
+            bwd,
+            graph: None,
+            fwd_images: FxHashMap::default(),
+            bwd_images: FxHashMap::default(),
+            nonempty: FxHashMap::default(),
+            pair_memo: FxHashMap::default(),
+            guard_evals,
+            stats: DemandStats::default(),
+        })
+    }
+
+    /// Cumulative work counters (survive graph resets).
+    pub fn stats(&self) -> DemandStats {
+        self.stats
+    }
+
+    /// Drops memos when the graph value — or its epoch — changed since
+    /// the last call.
+    fn sync(&mut self, graph: &Graph) {
+        let version = (graph.id(), graph.epoch());
+        if self.graph != Some(version) {
+            self.fwd_images.clear();
+            self.bwd_images.clear();
+            self.nonempty.clear();
+            self.pair_memo.clear();
+            self.graph = Some(version);
+        }
+    }
+
+    /// `{v | (u, v) ∈ ⟦r⟧_G}`, memoized per `u`.
+    pub fn image(&mut self, graph: &Graph, u: NodeId) -> &[NodeId] {
+        self.sync(graph);
+        if !self.fwd_images.contains_key(&u) {
+            let list = self.bfs(graph, Dir::Fwd, u, BfsStop::Exhaust);
+            self.fwd_images.insert(u, list);
+        }
+        &self.fwd_images[&u]
+    }
+
+    /// `{u | (u, v) ∈ ⟦r⟧_G}`, memoized per `v` (backward product run).
+    pub fn preimage(&mut self, graph: &Graph, v: NodeId) -> &[NodeId] {
+        self.sync(graph);
+        if !self.bwd_images.contains_key(&v) {
+            let list = self.bfs(graph, Dir::Bwd, v, BfsStop::Exhaust);
+            self.bwd_images.insert(v, list);
+        }
+        &self.bwd_images[&v]
+    }
+
+    /// Does `(u, v) ∈ ⟦r⟧_G` hold? Uses whichever memo already exists;
+    /// otherwise runs a forward BFS that stops as soon as `v` is reached
+    /// in an accepting state — the constant-tuple probe shape never pays
+    /// for the full image.
+    pub fn contains(&mut self, graph: &Graph, u: NodeId, v: NodeId) -> bool {
+        self.sync(graph);
+        if let Some(list) = self.fwd_images.get(&u) {
+            return list.contains(&v);
+        }
+        if let Some(list) = self.bwd_images.get(&v) {
+            return list.contains(&u);
+        }
+        let key = pack(u, v);
+        if let Some(&b) = self.pair_memo.get(&key) {
+            return b;
+        }
+        let out = self.bfs(graph, Dir::Fwd, u, BfsStop::Node(v));
+        let found = out.contains(&v);
+        if found {
+            self.pair_memo.insert(key, true);
+        } else {
+            // The target was never reached, so the BFS ran to exhaustion
+            // and `out` is the complete image of `u` — memoize it so
+            // further probes from `u` are lookups, not re-runs.
+            self.fwd_images.insert(u, out);
+        }
+        found
+    }
+
+    /// Does *some* `v` with `(u, v) ∈ ⟦r⟧_G` exist? Early-exits the BFS
+    /// at the first accepting pair; the guard checks of enclosing
+    /// evaluators run through this.
+    pub fn has_any_successor(&mut self, graph: &Graph, u: NodeId) -> bool {
+        self.sync(graph);
+        if let Some(list) = self.fwd_images.get(&u) {
+            return !list.is_empty();
+        }
+        if let Some(&b) = self.nonempty.get(&u) {
+            return b;
+        }
+        let found = !self
+            .bfs(graph, Dir::Fwd, u, BfsStop::FirstAccept)
+            .is_empty();
+        self.nonempty.insert(u, found);
+        found
+    }
+
+    /// Product BFS from `(src, start-states)`; collects the graph nodes
+    /// reached in an accepting automaton state, stopping early per `stop`.
+    /// Only [`BfsStop::Exhaust`] results are complete images fit for
+    /// memoization as such.
+    fn bfs(&mut self, graph: &Graph, dir: Dir, src: NodeId, stop: BfsStop) -> Vec<NodeId> {
+        let auto = match dir {
+            Dir::Fwd => Rc::clone(&self.fwd),
+            Dir::Bwd => Rc::clone(&self.bwd),
+        };
+        self.stats.bfs_runs += 1;
+        let mut out: Vec<NodeId> = Vec::new();
+        let mut out_seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut visited: FxHashSet<u64> = FxHashSet::default();
+        // FIFO order matters for the early exits: a breadth-first frontier
+        // reaches a target at graph distance d before touching anything at
+        // distance d+1, so `FirstAccept`/`Node` probes stay local.
+        let mut queue: std::collections::VecDeque<(NodeId, State)> =
+            std::collections::VecDeque::new();
+        for &q in &auto.start {
+            if visited.insert(pack(src, q)) {
+                queue.push_back((src, q));
+            }
+        }
+        while let Some((u, q)) = queue.pop_front() {
+            self.stats.visited += 1;
+            if auto.accept[q as usize] && out_seen.insert(u) {
+                out.push(u);
+                match stop {
+                    BfsStop::FirstAccept => return out,
+                    BfsStop::Node(t) if u == t => return out,
+                    _ => {}
+                }
+            }
+            for (action, targets) in &auto.trans[q as usize] {
+                match *action {
+                    Action::Fwd(a) => {
+                        for &v in graph.successors(u, a) {
+                            for &q2 in targets {
+                                if visited.insert(pack(v, q2)) {
+                                    queue.push_back((v, q2));
+                                }
+                            }
+                        }
+                    }
+                    Action::Bwd(a) => {
+                        for &v in graph.predecessors(u, a) {
+                            for &q2 in targets {
+                                if visited.insert(pack(v, q2)) {
+                                    queue.push_back((v, q2));
+                                }
+                            }
+                        }
+                    }
+                    Action::Guard(gi) => {
+                        if self.guard_holds(graph, &auto.guards[gi as usize], u) {
+                            for &q2 in targets {
+                                if visited.insert(pack(u, q2)) {
+                                    queue.push_back((u, q2));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decides the guard `[t]` at node `u` by seeded sub-evaluation of
+    /// `t` from exactly `u`, through the nested evaluator compiled
+    /// eagerly by [`DemandEvaluator::try_new`].
+    fn guard_holds(&mut self, graph: &Graph, guard: &Nre, u: NodeId) -> bool {
+        self.stats.guard_checks += 1;
+        let sub = self
+            .guard_evals
+            .get_mut(guard)
+            .expect("every guard is compiled at construction");
+        let before = sub.stats.visited;
+        let held = sub.has_any_successor(graph, u);
+        // Fold the nested run's work into this evaluator's counters so
+        // regression tests see the full cost of a seeded evaluation.
+        let delta = sub.stats.visited - before;
+        self.stats.visited += delta;
+        held
+    }
+}
+
+/// A pool of compiled [`DemandEvaluator`]s keyed by NRE — the demand-side
+/// companion of the materializing caches ([`crate::eval::EvalCache`],
+/// [`crate::incremental::IncrementalCache`]). Compile failures (outside
+/// the supported fragment) are memoized as `None`, so the planner's
+/// fallback to materialization costs one lookup.
+///
+/// Evaluators sit behind `RefCell` so that several atoms of one query can
+/// hold the pool by shared reference while borrowing their (possibly
+/// shared) evaluator mutably one probe at a time.
+#[derive(Debug, Default)]
+pub struct DemandPool {
+    evals: FxHashMap<Nre, Option<Box<std::cell::RefCell<DemandEvaluator>>>>,
+}
+
+impl DemandPool {
+    /// An empty pool.
+    pub fn new() -> DemandPool {
+        DemandPool::default()
+    }
+
+    /// Compiles (or finds) the evaluator for `r`; `false` when `r` is
+    /// outside the supported fragment.
+    pub fn ensure(&mut self, r: &Nre) -> bool {
+        self.evals
+            .entry(r.clone())
+            .or_insert_with(|| {
+                DemandEvaluator::try_new(r)
+                    .ok()
+                    .map(|e| Box::new(std::cell::RefCell::new(e)))
+            })
+            .is_some()
+    }
+
+    /// The compiled evaluator, if [`DemandPool::ensure`] succeeded for `r`.
+    pub fn get(&self, r: &Nre) -> Option<&std::cell::RefCell<DemandEvaluator>> {
+        self.evals.get(r).and_then(|e| e.as_deref())
+    }
+}
+
+/// `⟦r⟧_G` restricted to the given source nodes: the pairs
+/// `{(u, v) | u ∈ sources, (u, v) ∈ ⟦r⟧_G}`, computed by product-BFS from
+/// the sources only. Falls back to the materializing evaluator when `r`
+/// is outside the supported fragment.
+pub fn eval_from(graph: &Graph, r: &Nre, sources: &[NodeId]) -> BinRel {
+    match DemandEvaluator::try_new(r) {
+        Ok(mut ev) => {
+            let mut out = BinRel::new();
+            for &u in sources {
+                for &v in ev.image(graph, u) {
+                    out.insert(u, v);
+                }
+            }
+            out
+        }
+        Err(_) => {
+            let full = eval(graph, r);
+            let set: FxHashSet<NodeId> = sources.iter().copied().collect();
+            let mut out = BinRel::new();
+            for (u, v) in full.iter() {
+                if set.contains(&u) {
+                    out.insert(u, v);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// `⟦r⟧_G` restricted to the given target nodes: the pairs
+/// `{(u, v) | v ∈ targets, (u, v) ∈ ⟦r⟧_G}`, computed by backward
+/// product-BFS from the targets only.
+pub fn eval_into(graph: &Graph, r: &Nre, targets: &[NodeId]) -> BinRel {
+    match DemandEvaluator::try_new(r) {
+        Ok(mut ev) => {
+            let mut out = BinRel::new();
+            for &v in targets {
+                for &u in ev.preimage(graph, v) {
+                    out.insert(u, v);
+                }
+            }
+            out
+        }
+        Err(_) => {
+            let full = eval(graph, r);
+            let set: FxHashSet<NodeId> = targets.iter().copied().collect();
+            let mut out = BinRel::new();
+            for (u, v) in full.iter() {
+                if set.contains(&v) {
+                    out.insert(u, v);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_nre;
+    use gdx_graph::Node;
+
+    fn id(g: &Graph, name: &str) -> NodeId {
+        g.node_id(Node::cst(name))
+            .or_else(|| g.node_id(Node::null(name)))
+            .unwrap_or_else(|| panic!("no node {name}"))
+    }
+
+    fn check_restriction(g: &Graph, expr: &str) {
+        let r = parse_nre(expr).unwrap();
+        let full = eval(g, &r);
+        let all: Vec<NodeId> = g.node_ids().collect();
+        for &u in &all {
+            let from = eval_from(g, &r, &[u]);
+            for (a, b) in full.iter().filter(|&(s, _)| s == u) {
+                assert!(from.contains(a, b), "{expr}: missing ({a},{b}) from {u}");
+            }
+            assert_eq!(
+                from.len(),
+                full.iter().filter(|&(s, _)| s == u).count(),
+                "{expr} from {u}"
+            );
+            let into = eval_into(g, &r, &[u]);
+            assert_eq!(
+                into.len(),
+                full.iter().filter(|&(_, d)| d == u).count(),
+                "{expr} into {u}"
+            );
+            for (a, b) in into.iter() {
+                assert!(full.contains(a, b), "{expr}: spurious ({a},{b}) into {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_paper_graph() {
+        let g = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")
+            .unwrap();
+        for expr in [
+            "f",
+            "f-",
+            "f.f",
+            "f*",
+            "(f+h)*",
+            "[h]",
+            "f.[h].f-",
+            "f.f*.[h].f-.(f-)*",
+            "eps",
+            "[[h]]",
+            "[h-]",
+        ] {
+            check_restriction(&g, expr);
+        }
+    }
+
+    #[test]
+    fn seeded_run_visits_local_slice_only() {
+        // A long f-chain: BFS from the head visits the chain, not |V|².
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..100).map(|i| g.add_const(&format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge_labelled(w[0], "f", w[1]);
+        }
+        let r = parse_nre("f.f").unwrap();
+        let mut ev = DemandEvaluator::try_new(&r).unwrap();
+        assert_eq!(ev.image(&g, ids[0]), &[ids[2]]);
+        let visited = ev.stats().visited;
+        assert!(
+            visited <= 16,
+            "two-hop probe must stay local, visited {visited}"
+        );
+    }
+
+    #[test]
+    fn memoization_and_graph_reset() {
+        let g = Graph::parse("(a, f, b); (b, f, c);").unwrap();
+        let r = parse_nre("f*").unwrap();
+        let mut ev = DemandEvaluator::try_new(&r).unwrap();
+        let a = id(&g, "a");
+        let first = ev.image(&g, a).to_vec();
+        let runs = ev.stats().bfs_runs;
+        let again = ev.image(&g, a).to_vec();
+        assert_eq!(first, again);
+        assert_eq!(ev.stats().bfs_runs, runs, "memoized: no second run");
+        // A clone is a different graph value: memos reset.
+        let g2 = g.clone();
+        let _ = ev.image(&g2, a);
+        assert_eq!(ev.stats().bfs_runs, runs + 1);
+    }
+
+    #[test]
+    fn in_place_growth_invalidates_memos() {
+        // The chase grows one graph value in place; a memo from an older
+        // epoch must not under-report the new witnesses.
+        let mut g = Graph::parse("(a, f, b);").unwrap();
+        let r = parse_nre("f.f").unwrap();
+        let mut ev = DemandEvaluator::try_new(&r).unwrap();
+        let a = id(&g, "a");
+        assert!(ev.image(&g, a).is_empty());
+        let b = id(&g, "b");
+        let c = g.add_const("c");
+        g.add_edge_labelled(b, "f", c);
+        assert_eq!(ev.image(&g, a), &[c]);
+    }
+
+    #[test]
+    fn contains_and_existence_probes() {
+        let g = Graph::parse("(a, f, b); (b, h, x);").unwrap();
+        let r = parse_nre("f.[h]").unwrap();
+        let mut ev = DemandEvaluator::try_new(&r).unwrap();
+        assert!(ev.contains(&g, id(&g, "a"), id(&g, "b")));
+        assert!(!ev.contains(&g, id(&g, "b"), id(&g, "a")));
+        assert!(ev.has_any_successor(&g, id(&g, "a")));
+        assert!(!ev.has_any_successor(&g, id(&g, "x")));
+    }
+
+    #[test]
+    fn contains_early_exits_and_memoizes() {
+        // A membership probe must stop at the target, not enumerate the
+        // image, and repeated probes must hit the pair memo.
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..200).map(|i| g.add_const(&format!("c{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge_labelled(w[0], "f", w[1]);
+        }
+        let r = parse_nre("f.f*").unwrap();
+        let mut ev = DemandEvaluator::try_new(&r).unwrap();
+        assert!(ev.contains(&g, ids[0], ids[1]));
+        let after_first = ev.stats().visited;
+        assert!(
+            after_first < 50,
+            "probe to an adjacent node explored {after_first} pairs"
+        );
+        let runs = ev.stats().bfs_runs;
+        assert!(ev.contains(&g, ids[0], ids[1]));
+        assert_eq!(ev.stats().bfs_runs, runs, "second probe hits the memo");
+        assert!(!ev.contains(&g, ids[199], ids[0]), "chain is one-way");
+    }
+
+    #[test]
+    fn oversized_expression_falls_back() {
+        // A balanced concat tree of 2^12 labels compiles to 2^13 states —
+        // over the budget; the public entry points must still answer, via
+        // the materializing fallback. (Balanced, not left-deep: the naive
+        // evaluator recurses by tree depth.)
+        fn balanced_concat(depth: u32) -> Nre {
+            if depth == 0 {
+                Nre::label("f")
+            } else {
+                Nre::Concat(
+                    Box::new(balanced_concat(depth - 1)),
+                    Box::new(balanced_concat(depth - 1)),
+                )
+            }
+        }
+        let big = balanced_concat(12);
+        assert!(DemandEvaluator::try_new(&big).is_err());
+        let g = Graph::parse("(a, f, a); (b, g, a);").unwrap();
+        let a = id(&g, "a");
+        let from = eval_from(&g, &big, &[a]);
+        assert_eq!(from.len(), 1, "f^4096 on the self-loop is {{(a,a)}}");
+        assert!(from.contains(a, a));
+        let into = eval_into(&g, &big, &[a]);
+        assert_eq!(into.len(), 1);
+        assert!(into.contains(a, a));
+
+        // An oversized expression *inside a nesting test* must surface at
+        // construction time too (the outer automaton alone is tiny), so
+        // the fallback fires instead of a mid-run guard failure.
+        let guarded = Nre::Test(Box::new(big));
+        assert!(DemandEvaluator::try_new(&guarded).is_err());
+        let from = eval_from(&g, &guarded, &[a]);
+        assert_eq!(from.len(), 1, "[f^4096] holds at the self-loop node");
+        assert!(from.contains(a, a));
+        assert!(eval_into(&g, &guarded, &[a]).contains(a, a));
+    }
+
+    #[test]
+    fn multi_seed_eval_from() {
+        let g = Graph::parse("(a, f, b); (c, f, d); (e, g, a);").unwrap();
+        let r = parse_nre("f").unwrap();
+        let rel = eval_from(&g, &r, &[id(&g, "a"), id(&g, "c"), id(&g, "e")]);
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(id(&g, "a"), id(&g, "b")));
+        assert!(rel.contains(id(&g, "c"), id(&g, "d")));
+    }
+}

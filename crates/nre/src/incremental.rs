@@ -87,11 +87,14 @@ impl EvalMark {
     }
 }
 
-/// Persistent, per-subexpression incremental evaluation cache.
+/// Persistent, per-subexpression incremental evaluation cache. Carries a
+/// [`DemandPool`](crate::demand::DemandPool) so planned evaluation can mix
+/// incrementally materialized relations with seeded product-BFS.
 #[derive(Debug, Default)]
 pub struct IncrementalCache {
     graph: Option<GraphId>,
     entries: FxHashMap<Nre, Entry>,
+    demand: crate::demand::DemandPool,
 }
 
 impl IncrementalCache {
@@ -128,6 +131,22 @@ impl IncrementalCache {
     /// against the current graph.
     pub fn get(&self, r: &Nre) -> Option<&BinRel> {
         self.entries.get(r).map(|e| &e.rel)
+    }
+
+    /// Compiles (or finds) a demand evaluator for `r`; `false` when `r`
+    /// falls outside the demand-evaluable fragment. (Demand evaluators pin
+    /// their memos to the graph value themselves.)
+    pub fn demand_ensure(&mut self, r: &Nre) -> bool {
+        self.demand.ensure(r)
+    }
+
+    /// The demand evaluator, if [`IncrementalCache::demand_ensure`]
+    /// succeeded.
+    pub fn demand_get(
+        &self,
+        r: &Nre,
+    ) -> Option<&std::cell::RefCell<crate::demand::DemandEvaluator>> {
+        self.demand.get(r)
     }
 
     /// Recursively advances the entry for `r` to the graph's epoch.

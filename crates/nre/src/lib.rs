@@ -22,6 +22,9 @@
 //!   restrictions under which the paper's hardness results already hold;
 //! * [`mod@eval`] — `⟦r⟧_G` by bottom-up relational evaluation with BFS-based
 //!   Kleene closure, plus single-source variants;
+//! * [`demand`] — demand-driven evaluation: product-automaton BFS from
+//!   seeded endpoints only ([`demand::eval_from`] / [`demand::eval_into`]),
+//!   with nesting tests decided by recursive seeded sub-evaluation;
 //! * [`incremental`] — delta-driven evaluation: per-subexpression
 //!   materialized relations advanced by consuming the graph's epoch logs,
 //!   with frontier-style Kleene closure ([`incremental::eval_delta`]);
@@ -31,6 +34,7 @@
 
 pub mod ast;
 pub mod classify;
+pub mod demand;
 pub mod eval;
 pub mod incremental;
 pub mod parse;
@@ -39,6 +43,7 @@ pub mod witness;
 
 pub use ast::Nre;
 pub use classify::Fragment;
+pub use demand::{DemandEvaluator, DemandPool, DemandStats};
 pub use eval::{eval, eval_from, BinRel};
 pub use incremental::{eval_delta, EvalMark, IncrementalCache};
 pub use witness::{PathStep, Witness};

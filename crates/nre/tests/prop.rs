@@ -155,6 +155,72 @@ proptest! {
         }
     }
 
+    /// Product-BFS demand evaluation from a seed set agrees with the
+    /// naive evaluator restricted to the seeds — sources and targets.
+    /// `arb_nre` generates nesting tests, so this also exercises the
+    /// recursive guard boundary of the guarded automaton.
+    #[test]
+    fn demand_eval_agrees_with_naive_on_seeds(
+        r in arb_nre(),
+        g in arb_graph(),
+        seed_mask in 0u64..64,
+    ) {
+        use gdx_nre::demand::{eval_from, eval_into};
+        let seeds: Vec<NodeId> = g
+            .node_ids()
+            .filter(|&v| seed_mask & (1 << (v % 64)) != 0)
+            .collect();
+        let full = eval(&g, &r);
+        let from = eval_from(&g, &r, &seeds);
+        let expected_from: std::collections::BTreeSet<(NodeId, NodeId)> = full
+            .iter()
+            .filter(|(u, _)| seeds.contains(u))
+            .collect();
+        let got_from: std::collections::BTreeSet<(NodeId, NodeId)> = from.iter().collect();
+        prop_assert_eq!(&got_from, &expected_from, "eval_from diverged for {}", r);
+
+        let into = eval_into(&g, &r, &seeds);
+        let expected_into: std::collections::BTreeSet<(NodeId, NodeId)> = full
+            .iter()
+            .filter(|(_, v)| seeds.contains(v))
+            .collect();
+        let got_into: std::collections::BTreeSet<(NodeId, NodeId)> = into.iter().collect();
+        prop_assert_eq!(&got_into, &expected_into, "eval_into diverged for {}", r);
+    }
+
+    /// A memoizing [`DemandEvaluator`] answers image/preimage/contains
+    /// queries consistently with the naive relation, across repeated and
+    /// interleaved probes.
+    #[test]
+    fn demand_evaluator_probes_agree(r in arb_nre(), g in arb_graph()) {
+        use gdx_nre::demand::DemandEvaluator;
+        let Ok(mut ev) = DemandEvaluator::try_new(&r) else {
+            return Ok(()); // outside the supported fragment: covered above
+        };
+        let full = eval(&g, &r);
+        for u in g.node_ids() {
+            let img: std::collections::BTreeSet<NodeId> =
+                ev.image(&g, u).iter().copied().collect();
+            let expect: std::collections::BTreeSet<NodeId> = full
+                .iter()
+                .filter(|&(s, _)| s == u)
+                .map(|(_, v)| v)
+                .collect();
+            prop_assert_eq!(&img, &expect, "image({}) for {}", u, r);
+            let pre: std::collections::BTreeSet<NodeId> =
+                ev.preimage(&g, u).iter().copied().collect();
+            let expect_pre: std::collections::BTreeSet<NodeId> = full
+                .iter()
+                .filter(|&(_, d)| d == u)
+                .map(|(s, _)| s)
+                .collect();
+            prop_assert_eq!(&pre, &expect_pre, "preimage({}) for {}", u, r);
+        }
+        for (u, v) in full.iter() {
+            prop_assert!(ev.contains(&g, u, v));
+        }
+    }
+
     /// The incremental evaluator agrees with the naive one under every
     /// random edge-insertion schedule, and its deltas are disjoint.
     #[test]

@@ -1,14 +1,21 @@
 //! CNRE evaluation over graphs.
 //!
-//! Each distinct NRE is materialized once into a [`BinRel`] (memoized in an
-//! [`EvalCache`]); atoms are then joined in a greedy order — constants and
-//! already-bound variables first, smallest relations preferred.
+//! Evaluation is a join over per-atom *access paths*: each atom is served
+//! either by a materialized [`BinRel`] (memoized in an [`EvalCache`] or
+//! [`IncrementalCache`](gdx_nre::IncrementalCache)) or by a seeded
+//! product-BFS [`DemandEvaluator`] — chosen per query by the cost model in
+//! [`crate::plan`]. Atoms are joined in a greedy order: constants and
+//! already-bound variables first, smaller (estimated or actual) relations
+//! preferred.
 
-use crate::cnre::{Cnre, CnreAtom};
+use crate::cnre::Cnre;
+use crate::plan::{plan_query, AccessChoice, PlannerMode};
 use gdx_common::{FxHashMap, FxHashSet, Result, Symbol, Term};
 use gdx_graph::{Graph, Node, NodeId};
+use gdx_nre::demand::DemandEvaluator;
 use gdx_nre::eval::EvalCache;
-use gdx_nre::BinRel;
+use gdx_nre::{BinRel, Nre};
+use std::cell::RefCell;
 
 /// Evaluation result: named columns over graph node ids.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,10 +71,68 @@ impl NodeBindings {
     }
 }
 
+/// The cache interface planned evaluation draws on: materialized
+/// relations plus compiled demand evaluators. Implemented by the cold
+/// [`EvalCache`] and the epoch-advancing
+/// [`IncrementalCache`](gdx_nre::IncrementalCache).
+pub(crate) trait RelCache {
+    fn ensure(&mut self, graph: &Graph, r: &Nre);
+    fn get(&self, r: &Nre) -> Option<&BinRel>;
+    fn demand_ensure(&mut self, r: &Nre) -> bool;
+    fn demand_get(&self, r: &Nre) -> Option<&RefCell<DemandEvaluator>>;
+}
+
+impl RelCache for EvalCache {
+    fn ensure(&mut self, graph: &Graph, r: &Nre) {
+        EvalCache::ensure(self, graph, r);
+    }
+    fn get(&self, r: &Nre) -> Option<&BinRel> {
+        EvalCache::get(self, r)
+    }
+    fn demand_ensure(&mut self, r: &Nre) -> bool {
+        EvalCache::demand_ensure(self, r)
+    }
+    fn demand_get(&self, r: &Nre) -> Option<&RefCell<DemandEvaluator>> {
+        EvalCache::demand_get(self, r)
+    }
+}
+
+impl RelCache for gdx_nre::IncrementalCache {
+    fn ensure(&mut self, graph: &Graph, r: &Nre) {
+        gdx_nre::IncrementalCache::ensure(self, graph, r);
+    }
+    fn get(&self, r: &Nre) -> Option<&BinRel> {
+        gdx_nre::IncrementalCache::get(self, r)
+    }
+    fn demand_ensure(&mut self, r: &Nre) -> bool {
+        gdx_nre::IncrementalCache::demand_ensure(self, r)
+    }
+    fn demand_get(&self, r: &Nre) -> Option<&RefCell<DemandEvaluator>> {
+        gdx_nre::IncrementalCache::demand_get(self, r)
+    }
+}
+
 /// Evaluates `query` over `graph` with a fresh relation cache.
 pub fn evaluate(graph: &Graph, query: &Cnre) -> Result<NodeBindings> {
     let mut cache = EvalCache::new();
     evaluate_with_cache(graph, query, &mut cache)
+}
+
+/// Is `query` satisfiable over `graph`? Early-exits at the first answer
+/// row; with a constants-only query this is the certain-answer probe shape
+/// (both endpoints bound), which the planner serves by seeded product-BFS
+/// instead of materializing any relation.
+pub fn evaluate_exists(graph: &Graph, query: &Cnre) -> Result<bool> {
+    let mut cache = EvalCache::new();
+    let b = planned_eval(
+        graph,
+        query,
+        &mut cache,
+        &FxHashMap::default(),
+        PlannerMode::Auto,
+        Some(1),
+    )?;
+    Ok(!b.is_empty())
 }
 
 /// Evaluates `query` over `graph`, reusing `cache` across calls (the chase
@@ -92,54 +157,102 @@ pub fn evaluate_seeded(
     cache: &mut EvalCache,
     seed: &FxHashMap<Symbol, NodeId>,
 ) -> Result<NodeBindings> {
-    // Two-phase borrow: materialize every distinct NRE, then collect the
-    // shared references (no per-call relation clones).
-    for atom in &query.atoms {
-        cache.ensure(graph, &atom.nre);
-    }
-    let rels: Vec<&BinRel> = query
-        .atoms
-        .iter()
-        .map(|a| cache.get(&a.nre).expect("ensured"))
-        .collect();
-    evaluate_with_rels(graph, query, &rels, seed)
+    planned_eval(graph, query, cache, seed, PlannerMode::Auto, None)
 }
 
-/// Evaluates `query` against caller-provided per-atom relations (the
-/// shared core behind the cached, seeded, and incremental entry points).
-pub(crate) fn evaluate_with_rels(
+/// [`evaluate_seeded`] with an explicit planner mode —
+/// [`PlannerMode::Materialize`] forces the pre-planner single-strategy
+/// behaviour (the baseline the benches and equivalence tests compare
+/// against).
+pub fn evaluate_seeded_mode(
     graph: &Graph,
     query: &Cnre,
-    rels: &[&BinRel],
+    cache: &mut EvalCache,
     seed: &FxHashMap<Symbol, NodeId>,
+    mode: PlannerMode,
+) -> Result<NodeBindings> {
+    planned_eval(graph, query, cache, seed, mode, None)
+}
+
+/// Existence probe under a seed: early-exits at the first satisfying row.
+pub fn evaluate_seeded_exists(
+    graph: &Graph,
+    query: &Cnre,
+    cache: &mut EvalCache,
+    seed: &FxHashMap<Symbol, NodeId>,
+) -> Result<bool> {
+    Ok(!planned_eval(graph, query, cache, seed, PlannerMode::Auto, Some(1))?.is_empty())
+}
+
+/// The planned evaluation core: pick access paths, ensure the chosen
+/// backing (materialized relation or compiled demand evaluator) per atom,
+/// then run the mixed join. `limit` stops the join after that many rows
+/// (existence probes pass 1).
+pub(crate) fn planned_eval<C: RelCache>(
+    graph: &Graph,
+    query: &Cnre,
+    cache: &mut C,
+    seed: &FxHashMap<Symbol, NodeId>,
+    mode: PlannerMode,
+    limit: Option<usize>,
 ) -> Result<NodeBindings> {
     query.validate(None)?;
     let vars = query.variables();
-
     let Some(slots) = resolve_slots(graph, query) else {
         return Ok(NodeBindings {
             vars,
             rows: Vec::new(),
         });
     };
+    let bound: FxHashSet<Symbol> = seed.keys().copied().filter(|v| vars.contains(v)).collect();
+    let mut plan = plan_query(graph, query, &bound, mode);
+    for (i, atom) in query.atoms.iter().enumerate() {
+        match plan.access[i] {
+            AccessChoice::Demand => {
+                // Outside the demand-evaluable fragment: flip back.
+                if !cache.demand_ensure(&atom.nre) {
+                    plan.access[i] = AccessChoice::Materialize;
+                    cache.ensure(graph, &atom.nre);
+                }
+            }
+            AccessChoice::Materialize => cache.ensure(graph, &atom.nre),
+        }
+    }
+    let cache = &*cache;
+    let access: Vec<AtomAccess> = query
+        .atoms
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match plan.access[i] {
+            AccessChoice::Materialize => AtomAccess::Mat(cache.get(&a.nre).expect("ensured")),
+            AccessChoice::Demand => AtomAccess::Demand(cache.demand_get(&a.nre).expect("ensured")),
+        })
+        .collect();
+    if mode == PlannerMode::Materialize {
+        // The baseline mode reproduces the pre-planner behaviour exactly:
+        // every relation is materialized above, so order by *actual*
+        // relation sizes rather than the estimates.
+        let rels: Vec<&BinRel> = query
+            .atoms
+            .iter()
+            .map(|a| cache.get(&a.nre).expect("ensured"))
+            .collect();
+        plan.order = greedy_order(query, &rels, bound, None);
+    }
 
-    let bound: FxHashSet<Symbol> = seed.keys().copied().collect();
-    let order = greedy_order(query, rels, bound, None);
-
-    let mut rows = Vec::new();
     let mut binding: FxHashMap<Symbol, NodeId> = seed.iter().map(|(&v, &id)| (v, id)).collect();
-    // A seeded variable that never occurs in the query must not panic the
-    // row builder; restrict the seed to query variables.
     binding.retain(|v, _| vars.contains(v));
-    join(
-        query,
-        rels,
+    let mut rows = Vec::new();
+    join_access(
+        graph,
+        &access,
         &slots,
-        &order,
+        &plan.order,
         0,
         &mut binding,
         &vars,
         &mut rows,
+        limit,
     );
     let mut seen: FxHashSet<Box<[NodeId]>> = FxHashSet::default();
     rows.retain(|r| seen.insert(r.clone()));
@@ -198,24 +311,32 @@ pub(crate) enum TermSlot {
     Fixed(NodeId),
 }
 
+/// One atom's backing during a join: a materialized relation, or a
+/// memoizing demand evaluator probed from whichever endpoint is bound.
+pub(crate) enum AtomAccess<'a> {
+    Mat(&'a BinRel),
+    Demand(&'a RefCell<DemandEvaluator>),
+}
+
+/// The mixed-access join. Returns `true` when `limit` rows were collected
+/// (early exit for existence probes).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn join(
-    query: &Cnre,
-    rels: &[&BinRel],
+pub(crate) fn join_access(
+    graph: &Graph,
+    access: &[AtomAccess],
     slots: &[(TermSlot, TermSlot)],
     order: &[usize],
     depth: usize,
     binding: &mut FxHashMap<Symbol, NodeId>,
     vars: &[Symbol],
     rows: &mut Vec<Box<[NodeId]>>,
-) {
+    limit: Option<usize>,
+) -> bool {
     if depth == order.len() {
         rows.push(vars.iter().map(|v| binding[v]).collect());
-        return;
+        return limit.is_some_and(|l| rows.len() >= l);
     }
     let ai = order[depth];
-    let rel = rels[ai];
-    let _atom: &CnreAtom = &query.atoms[ai];
     let (l, r) = slots[ai];
     let lv = match l {
         TermSlot::Fixed(id) => Some(id),
@@ -225,31 +346,89 @@ pub(crate) fn join(
         TermSlot::Fixed(id) => Some(id),
         TermSlot::Var(v) => binding.get(&v).copied(),
     };
+    macro_rules! recurse {
+        () => {
+            join_access(
+                graph,
+                access,
+                slots,
+                order,
+                depth + 1,
+                binding,
+                vars,
+                rows,
+                limit,
+            )
+        };
+    }
     match (lv, rv) {
         (Some(u), Some(w)) => {
-            if rel.contains(u, w) {
-                join(query, rels, slots, order, depth + 1, binding, vars, rows);
+            let hit = match &access[ai] {
+                AtomAccess::Mat(rel) => rel.contains(u, w),
+                AtomAccess::Demand(ev) => ev.borrow_mut().contains(graph, u, w),
+            };
+            if hit {
+                return recurse!();
             }
+            false
         }
         (Some(u), None) => {
             let TermSlot::Var(rvar) = r else {
                 unreachable!()
             };
-            for &w in rel.image(u) {
-                binding.insert(rvar, w);
-                join(query, rels, slots, order, depth + 1, binding, vars, rows);
+            match &access[ai] {
+                AtomAccess::Mat(rel) => {
+                    for &w in rel.image(u) {
+                        binding.insert(rvar, w);
+                        if recurse!() {
+                            binding.remove(&rvar);
+                            return true;
+                        }
+                    }
+                }
+                AtomAccess::Demand(ev) => {
+                    // Copy the memoized slice so the evaluator is free for
+                    // re-borrowing inside the recursion.
+                    let cand: Vec<NodeId> = ev.borrow_mut().image(graph, u).to_vec();
+                    for w in cand {
+                        binding.insert(rvar, w);
+                        if recurse!() {
+                            binding.remove(&rvar);
+                            return true;
+                        }
+                    }
+                }
             }
             binding.remove(&rvar);
+            false
         }
         (None, Some(w)) => {
             let TermSlot::Var(lvar) = l else {
                 unreachable!()
             };
-            for &u in rel.preimage(w) {
-                binding.insert(lvar, u);
-                join(query, rels, slots, order, depth + 1, binding, vars, rows);
+            match &access[ai] {
+                AtomAccess::Mat(rel) => {
+                    for &u in rel.preimage(w) {
+                        binding.insert(lvar, u);
+                        if recurse!() {
+                            binding.remove(&lvar);
+                            return true;
+                        }
+                    }
+                }
+                AtomAccess::Demand(ev) => {
+                    let cand: Vec<NodeId> = ev.borrow_mut().preimage(graph, w).to_vec();
+                    for u in cand {
+                        binding.insert(lvar, u);
+                        if recurse!() {
+                            binding.remove(&lvar);
+                            return true;
+                        }
+                    }
+                }
             }
             binding.remove(&lvar);
+            false
         }
         (None, None) => {
             let TermSlot::Var(lvar) = l else {
@@ -258,24 +437,47 @@ pub(crate) fn join(
             let TermSlot::Var(rvar) = r else {
                 unreachable!()
             };
+            // The planner only assigns the demand path to atoms with a
+            // bound endpoint, so a doubly-free atom is materialized; the
+            // defensive arm below keeps the join total regardless.
+            let pairs: Box<dyn Iterator<Item = (NodeId, NodeId)> + '_> = match &access[ai] {
+                AtomAccess::Mat(rel) => Box::new(rel.iter()),
+                AtomAccess::Demand(ev) => {
+                    debug_assert!(false, "planner bound-endpoint invariant violated");
+                    let mut all: Vec<(NodeId, NodeId)> = Vec::new();
+                    for u in graph.node_ids() {
+                        for &v in ev.borrow_mut().image(graph, u) {
+                            all.push((u, v));
+                        }
+                    }
+                    Box::new(all.into_iter())
+                }
+            };
             if lvar == rvar {
                 // Self-join on one variable: diagonal pairs only.
-                for (u, w) in rel.iter() {
+                for (u, w) in pairs {
                     if u == w {
                         binding.insert(lvar, u);
-                        join(query, rels, slots, order, depth + 1, binding, vars, rows);
+                        let done = recurse!();
                         binding.remove(&lvar);
+                        if done {
+                            return true;
+                        }
                     }
                 }
             } else {
-                for (u, w) in rel.iter() {
+                for (u, w) in pairs {
                     binding.insert(lvar, u);
                     binding.insert(rvar, w);
-                    join(query, rels, slots, order, depth + 1, binding, vars, rows);
+                    let done = recurse!();
                     binding.remove(&rvar);
                     binding.remove(&lvar);
+                    if done {
+                        return true;
+                    }
                 }
             }
+            false
         }
     }
 }
@@ -379,6 +581,49 @@ mod tests {
         seed.insert(Symbol::new("unused"), c1);
         let b2 = crate::eval::evaluate_seeded(&g, &q, &mut cache, &seed).unwrap();
         assert_eq!(b2.len(), 2);
+    }
+
+    #[test]
+    fn planner_modes_agree() {
+        // Demand-eligible shapes (constants, seeds) and materialize-only
+        // shapes (all-free) must produce identical answer sets.
+        let g = g1();
+        let row_set = |b: &NodeBindings| -> FxHashSet<Vec<NodeId>> {
+            b.rows().iter().map(|r| r.to_vec()).collect()
+        };
+        for (query, seed_var) in [
+            ("(\"c1\", f.f, \"c2\")", None),
+            ("(x, f, y), (y, h, z)", Some("x")),
+            ("(x1, f.f*.[h].f-.(f-)*, x2)", None),
+            ("(x1, f.f*.[h].f-.(f-)*, x2)", Some("x1")),
+            ("(x, f, y), (y, h, \"hx\")", None),
+        ] {
+            let q = Cnre::parse(query).unwrap();
+            let mut seed = FxHashMap::default();
+            if let Some(v) = seed_var {
+                seed.insert(Symbol::new(v), g.node_id(Node::cst("c1")).unwrap());
+            }
+            let mut c1 = EvalCache::new();
+            let auto = evaluate_seeded_mode(&g, &q, &mut c1, &seed, PlannerMode::Auto).unwrap();
+            let mut c2 = EvalCache::new();
+            let mat =
+                evaluate_seeded_mode(&g, &q, &mut c2, &seed, PlannerMode::Materialize).unwrap();
+            assert_eq!(row_set(&auto), row_set(&mat), "{query} seed {seed_var:?}");
+            let mut c3 = EvalCache::new();
+            assert_eq!(
+                evaluate_seeded_exists(&g, &q, &mut c3, &seed).unwrap(),
+                !mat.is_empty(),
+                "{query}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_exists_probes_constants() {
+        let g = g1();
+        assert!(evaluate_exists(&g, &Cnre::parse("(\"c1\", f.f, \"c2\")").unwrap()).unwrap());
+        assert!(!evaluate_exists(&g, &Cnre::parse("(\"c2\", f, \"c1\")").unwrap()).unwrap());
+        assert!(!evaluate_exists(&g, &Cnre::parse("(\"nope\", f, x)").unwrap()).unwrap());
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //!
 //! * [`Cnre`] / [`CnreAtom`] — the query type with a text format
 //!   `(x1, f.f*, y), (y, h, x4)` (quoted names are constants);
-//! * [`evaluate`] — join-based evaluation with per-NRE relation
-//!   materialization, smallest-relation-first ordering and residual-pair
-//!   propagation;
+//! * [`evaluate`] — join-based evaluation over per-atom *access paths*:
+//!   materialized relations or seeded product-BFS, chosen by the cost
+//!   model in [`plan`] (bound endpoints and label selectivity from
+//!   [`gdx_graph::Graph::label_stats`]);
 //! * [`seminaive`] — delta-driven evaluation for the chase:
 //!   [`SemiNaiveState::delta_matches`] returns only the matches that did
 //!   not exist at the previous call, via `⋃ᵢ (Δᵢ ⋈ full others)` on top of
@@ -22,8 +23,15 @@
 
 pub mod cnre;
 pub mod eval;
+pub mod plan;
 pub mod seminaive;
 
 pub use cnre::{Cnre, CnreAtom};
-pub use eval::{evaluate, evaluate_seeded, evaluate_with_cache, NodeBindings};
-pub use seminaive::{evaluate_seeded_incremental, SemiNaiveState};
+pub use eval::{
+    evaluate, evaluate_exists, evaluate_seeded, evaluate_seeded_exists, evaluate_seeded_mode,
+    evaluate_with_cache, NodeBindings,
+};
+pub use plan::PlannerMode;
+pub use seminaive::{
+    evaluate_seeded_incremental, evaluate_seeded_incremental_exists, SemiNaiveState,
+};

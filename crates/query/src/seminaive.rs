@@ -20,7 +20,10 @@
 //! evaluation — never to a silently truncated delta.
 
 use crate::cnre::Cnre;
-use crate::eval::{evaluate_with_rels, greedy_order, join, resolve_slots, NodeBindings};
+use crate::eval::{
+    greedy_order, join_access, planned_eval, resolve_slots, AtomAccess, NodeBindings,
+};
+use crate::plan::PlannerMode;
 use gdx_common::{FxHashMap, FxHashSet, Result, Symbol};
 use gdx_graph::{Graph, NodeId};
 use gdx_nre::incremental::{EvalMark, IncrementalCache};
@@ -105,16 +108,18 @@ impl SemiNaiveState {
             let mut order = Vec::with_capacity(n);
             order.push(i);
             order.extend(greedy_order(query, &term_rels, bound, Some(i)));
+            let access: Vec<AtomAccess> = term_rels.iter().map(|r| AtomAccess::Mat(r)).collect();
             let mut binding: FxHashMap<Symbol, NodeId> = FxHashMap::default();
-            join(
-                query,
-                &term_rels,
+            join_access(
+                graph,
+                &access,
                 &slots,
                 &order,
                 0,
                 &mut binding,
                 &vars,
                 &mut rows,
+                None,
             );
         }
         self.marks = new_marks;
@@ -133,22 +138,28 @@ impl SemiNaiveState {
 /// Seeded evaluation backed by an [`IncrementalCache`] — the incremental
 /// sibling of [`crate::evaluate_seeded`], used by the chase for
 /// head-satisfaction checks so repeated checks advance materialized
-/// relations instead of rebuilding them.
+/// relations instead of rebuilding them. Atoms the planner routes to the
+/// demand path skip materialization entirely (product-BFS from the seeded
+/// endpoint, memoized in the cache's demand pool).
 pub fn evaluate_seeded_incremental(
     graph: &Graph,
     query: &Cnre,
     cache: &mut IncrementalCache,
     seed: &FxHashMap<Symbol, NodeId>,
 ) -> Result<NodeBindings> {
-    for atom in &query.atoms {
-        cache.ensure(graph, &atom.nre);
-    }
-    let rels: Vec<&BinRel> = query
-        .atoms
-        .iter()
-        .map(|a| cache.get(&a.nre).expect("ensured"))
-        .collect();
-    evaluate_with_rels(graph, query, &rels, seed)
+    planned_eval(graph, query, cache, seed, PlannerMode::Auto, None)
+}
+
+/// Existence probe under a seed against an [`IncrementalCache`]:
+/// early-exits at the first satisfying row — the shape of the tgd chase's
+/// head-satisfaction checks.
+pub fn evaluate_seeded_incremental_exists(
+    graph: &Graph,
+    query: &Cnre,
+    cache: &mut IncrementalCache,
+    seed: &FxHashMap<Symbol, NodeId>,
+) -> Result<bool> {
+    Ok(!planned_eval(graph, query, cache, seed, PlannerMode::Auto, Some(1))?.is_empty())
 }
 
 #[cfg(test)]
