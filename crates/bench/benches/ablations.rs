@@ -94,7 +94,9 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("search", |b| {
         b.iter(|| {
-            gdx_exchange::solution_exists(&red.instance, &red.setting, &cfg)
+            gdx_exchange::ExchangeSession::new(red.setting.clone(), red.instance.clone())
+                .with_options(cfg)
+                .solution_exists()
                 .unwrap()
                 .exists()
         })

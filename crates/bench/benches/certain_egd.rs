@@ -5,9 +5,8 @@
 //! verification of every candidate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gdx_bench::solver_config_for_reduction;
+use gdx_bench::reduction_session;
 use gdx_datagen::{random_3cnf, rng};
-use gdx_exchange::certain_pair;
 use gdx_exchange::reduction::{Reduction, ReductionFlavor};
 
 fn bench_certain(c: &mut Criterion) {
@@ -18,20 +17,16 @@ fn bench_certain(c: &mut Criterion) {
             let m = ((n as f64) * ratio).round() as usize;
             let cnf = random_3cnf(n, m, &mut rng(n as u64 * 17 + ratio as u64));
             let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
-            let cfg = solver_config_for_reduction(n);
             let id = format!("n{n}_r{ratio:.1}");
             group.bench_with_input(BenchmarkId::from_parameter(id), &n, |b, _| {
+                // A fresh session per decision: this bench pins the *cold*
+                // one-shot cost (the session_reuse smoke group pins the
+                // warm path).
                 b.iter(|| {
-                    certain_pair(
-                        &red.instance,
-                        &red.setting,
-                        &Reduction::certain_query_egd(),
-                        "c1",
-                        "c2",
-                        &cfg,
-                    )
-                    .unwrap()
-                    .is_certain()
+                    reduction_session(&red, n)
+                        .certain_pair(&Reduction::certain_query_egd(), "c1", "c2")
+                        .unwrap()
+                        .is_certain()
                 })
             });
         }
@@ -45,19 +40,12 @@ fn bench_certain(c: &mut Criterion) {
         let m = ((n as f64) * 4.3).round() as usize;
         let cnf = random_3cnf(n, m, &mut rng(300 + n as u64));
         let red = Reduction::from_cnf(&cnf, ReductionFlavor::SameAs).unwrap();
-        let cfg = solver_config_for_reduction(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                certain_pair(
-                    &red.instance,
-                    &red.setting,
-                    &Reduction::certain_query_sameas(),
-                    "c1",
-                    "c2",
-                    &cfg,
-                )
-                .unwrap()
-                .is_certain()
+                reduction_session(&red, n)
+                    .certain_pair(&Reduction::certain_query_sameas(), "c1", "c2")
+                    .unwrap()
+                    .is_certain()
             })
         });
     }

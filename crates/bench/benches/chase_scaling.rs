@@ -12,7 +12,7 @@ use gdx_common::{FxHashMap, Symbol};
 use gdx_datagen::{chain_target_tgds, flights_hotels, rng, FlightsHotelsParams};
 use gdx_mapping::Setting;
 use gdx_nre::eval::EvalCache;
-use gdx_query::{evaluate_seeded_mode, Cnre, PlannerMode};
+use gdx_query::{Cnre, PlannerMode, PreparedQuery};
 
 fn bench_chase(c: &mut Criterion) {
     let setting = Setting::example_2_2_egd();
@@ -127,10 +127,11 @@ fn bench_chase(c: &mut Criterion) {
         ] {
             group.bench_with_input(BenchmarkId::new(label, flights), &flights, |b, _| {
                 b.iter(|| {
-                    // Fresh cache per iteration: measure the cold seeded
-                    // query, not cache amortization.
+                    // Fresh cache and query per iteration: measure the
+                    // cold seeded query, not cache amortization.
                     let mut cache = EvalCache::new();
-                    evaluate_seeded_mode(&g, &query, &mut cache, &seed, mode)
+                    PreparedQuery::new(query.clone())
+                        .evaluate_seeded_mode(&g, &mut cache, &seed, mode)
                         .unwrap()
                         .len()
                 })

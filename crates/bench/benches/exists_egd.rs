@@ -4,13 +4,14 @@
 //! sameAs-flavor construction (Proposition 4.3) stays polynomial.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gdx_bench::solver_config_for_reduction;
+use gdx_bench::reduction_session;
 use gdx_common::FxHashMap;
 use gdx_datagen::{random_3cnf, rng};
-use gdx_exchange::exists::{construct_solution_no_egds, SolverConfig};
+use gdx_exchange::exists::construct_solution_no_egds;
 use gdx_exchange::reduction::{Reduction, ReductionFlavor};
+use gdx_exchange::Options;
 use gdx_nre::eval::EvalCache;
-use gdx_query::{evaluate_seeded_mode, Cnre, PlannerMode};
+use gdx_query::{Cnre, PlannerMode, PreparedQuery};
 
 fn bench_exists(c: &mut Criterion) {
     let mut group = c.benchmark_group("exists_egd_search");
@@ -19,10 +20,10 @@ fn bench_exists(c: &mut Criterion) {
         let m = ((n as f64) * 4.3).round() as usize;
         let cnf = random_3cnf(n, m, &mut rng(n as u64));
         let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
-        let cfg = solver_config_for_reduction(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                gdx_exchange::solution_exists(&red.instance, &red.setting, &cfg)
+                reduction_session(&red, n)
+                    .solution_exists()
                     .unwrap()
                     .exists()
             })
@@ -70,7 +71,8 @@ fn bench_exists(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(label, flights), &flights, |b, _| {
                 b.iter(|| {
                     let mut cache = EvalCache::new();
-                    evaluate_seeded_mode(&g, &probe, &mut cache, &seed, mode)
+                    PreparedQuery::new(probe.clone())
+                        .evaluate_seeded_mode(&g, &mut cache, &seed, mode)
                         .unwrap()
                         .len()
                 })
@@ -87,7 +89,7 @@ fn bench_exists(c: &mut Criterion) {
         let red = Reduction::from_cnf(&cnf, ReductionFlavor::SameAs).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                construct_solution_no_egds(&red.instance, &red.setting, &SolverConfig::default())
+                construct_solution_no_egds(&red.instance, &red.setting, &Options::default())
                     .unwrap()
                     .edge_count()
             })

@@ -27,7 +27,13 @@ fn bench_nre(c: &mut Criterion) {
         let g = random_graph(nodes, nodes * 3, 3, &mut rng(6));
         let q = Cnre::parse("(x, l0, y), (y, l1, z), (z, l2, x)").unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
-            b.iter(|| gdx_query::evaluate(&g, &q).unwrap().len())
+            // Prepared fresh per iteration: cold-evaluation semantics.
+            b.iter(|| {
+                gdx_query::PreparedQuery::new(q.clone())
+                    .evaluate(&g)
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -1,15 +1,21 @@
-//! Quick bench profile for CI: times the demand-driven (product-BFS)
+//! Quick bench profile for CI: times (a) the demand-driven (product-BFS)
 //! access path against the materializing baseline on the PR-2 workloads
-//! and writes a machine-readable JSON report (`BENCH_pr2.json` by
-//! default), so the perf trajectory is tracked from PR 2 onward.
+//! and (b) the PR-3 session-reuse contrast — N certain-answer queries on
+//! one `ExchangeSession` vs N cold one-shot calls — and writes a
+//! machine-readable JSON report (`BENCH_pr3.json` by default), so the perf
+//! trajectory is tracked across PRs.
 //!
 //! Usage: `cargo run --release -p gdx-bench --bin bench_smoke [-- out.json]`
 
 use gdx_bench::{paper_flight_graph, PAPER_QUERY};
 use gdx_common::{FxHashMap, Symbol};
+use gdx_exchange::ExchangeSession;
 use gdx_graph::Node;
+use gdx_mapping::Setting;
 use gdx_nre::eval::EvalCache;
-use gdx_query::{evaluate_seeded_mode, Cnre, PlannerMode};
+use gdx_nre::parse::parse_nre;
+use gdx_query::{Cnre, PlannerMode, PreparedQuery};
+use gdx_relational::Instance;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -32,8 +38,8 @@ fn median_ns(samples: usize, mut body: impl FnMut()) -> u128 {
 struct Row {
     group: String,
     size: usize,
-    materialize_ns: u128,
-    demand_ns: u128,
+    baseline_ns: u128,
+    fast_ns: u128,
 }
 
 fn seeded_query_rows(rows: &mut Vec<Row>) {
@@ -49,8 +55,11 @@ fn seeded_query_rows(rows: &mut Vec<Row>) {
         let time_mode = |mode: PlannerMode| {
             let t = Instant::now();
             let ns = median_ns(3, || {
+                // Fresh cache and query per sample: cold semantics.
                 let mut cache = EvalCache::new();
-                let b = evaluate_seeded_mode(&g, &query, &mut cache, &seed, mode).expect("eval");
+                let b = PreparedQuery::new(query.clone())
+                    .evaluate_seeded_mode(&g, &mut cache, &seed, mode)
+                    .expect("eval");
                 std::hint::black_box(b.len());
             });
             eprintln!(
@@ -63,8 +72,8 @@ fn seeded_query_rows(rows: &mut Vec<Row>) {
         rows.push(Row {
             group: "chase_scaling/demand_driven".to_owned(),
             size: flights,
-            materialize_ns: time_mode(PlannerMode::Materialize),
-            demand_ns: time_mode(PlannerMode::Auto),
+            baseline_ns: time_mode(PlannerMode::Materialize),
+            fast_ns: time_mode(PlannerMode::Auto),
         });
     }
 }
@@ -82,15 +91,75 @@ fn certain_probe_rows(rows: &mut Vec<Row>) {
         let time_mode = |mode: PlannerMode| {
             median_ns(3, || {
                 let mut cache = EvalCache::new();
-                let b = evaluate_seeded_mode(&g, &probe, &mut cache, &seed, mode).expect("eval");
+                let b = PreparedQuery::new(probe.clone())
+                    .evaluate_seeded_mode(&g, &mut cache, &seed, mode)
+                    .expect("eval");
                 std::hint::black_box(b.len());
             })
         };
         rows.push(Row {
             group: "exists_egd/demand_driven".to_owned(),
             size: flights,
-            materialize_ns: time_mode(PlannerMode::Materialize),
-            demand_ns: time_mode(PlannerMode::Auto),
+            baseline_ns: time_mode(PlannerMode::Materialize),
+            fast_ns: time_mode(PlannerMode::Auto),
+        });
+    }
+}
+
+/// PR-3 group: the 2nd..Nth certain-answer query on a warm session vs the
+/// same queries as cold one-shot calls (each building the representative,
+/// the candidate family, and every per-atom automaton from scratch).
+fn session_reuse_rows(rows: &mut Vec<Row>) {
+    let setting = Setting::example_2_2_egd();
+    let instance = Instance::example_2_2();
+    let queries: Vec<(&str, gdx_nre::Nre)> = vec![
+        ("paper", parse_nre(PAPER_QUERY).expect("paper query")),
+        ("reach", parse_nre("f.f*").expect("reach query")),
+    ];
+    let pairs = [
+        ("c1", "c1"),
+        ("c1", "c2"),
+        ("c1", "c3"),
+        ("c2", "c1"),
+        ("c2", "c2"),
+        ("c3", "c1"),
+        ("c3", "c2"),
+        ("c3", "c3"),
+    ];
+    for (name, nre) in &queries {
+        // Cold baseline: a fresh session per query — exactly what the
+        // deprecated one-shot functions do under the hood.
+        let cold_per_query = median_ns(3, || {
+            for (a, b) in pairs {
+                let verdict = ExchangeSession::new(setting.clone(), instance.clone())
+                    .certain_pair(nre, a, b)
+                    .expect("certain");
+                std::hint::black_box(matches!(verdict, gdx_exchange::CertainAnswer::Certain));
+            }
+        }) / pairs.len() as u128;
+
+        // Warm path: one session; the first query pays for enumeration,
+        // the 2nd..Nth reuse the memoized family and per-graph caches.
+        let mut session = ExchangeSession::new(setting.clone(), instance.clone());
+        session
+            .certain_pair(nre, pairs[0].0, pairs[0].1)
+            .expect("warm-up query");
+        let warm_per_query = median_ns(3, || {
+            for (a, b) in &pairs[1..] {
+                let verdict = session.certain_pair(nre, a, b).expect("certain");
+                std::hint::black_box(matches!(verdict, gdx_exchange::CertainAnswer::Certain));
+            }
+        }) / (pairs.len() - 1) as u128;
+
+        eprintln!(
+            "  session_reuse/{name}: cold {cold_per_query} ns/query, \
+             warm {warm_per_query} ns/query"
+        );
+        rows.push(Row {
+            group: format!("session_reuse/{name}"),
+            size: pairs.len(),
+            baseline_ns: cold_per_query,
+            fast_ns: warm_per_query,
         });
     }
 }
@@ -98,19 +167,20 @@ fn certain_probe_rows(rows: &mut Vec<Row>) {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr2.json".to_owned());
+        .unwrap_or_else(|| "BENCH_pr3.json".to_owned());
     let mut rows = Vec::new();
     seeded_query_rows(&mut rows);
     certain_probe_rows(&mut rows);
+    session_reuse_rows(&mut rows);
 
-    let mut json = String::from("{\n  \"pr\": 2,\n  \"groups\": [\n");
+    let mut json = String::from("{\n  \"pr\": 3,\n  \"groups\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        let speedup = r.materialize_ns as f64 / r.demand_ns.max(1) as f64;
+        let speedup = r.baseline_ns as f64 / r.fast_ns.max(1) as f64;
         let _ = write!(
             json,
-            "    {{\"group\": \"{}\", \"size\": {}, \"median_ns_materialize\": {}, \
-             \"median_ns_demand\": {}, \"speedup\": {:.2}}}",
-            r.group, r.size, r.materialize_ns, r.demand_ns, speedup
+            "    {{\"group\": \"{}\", \"size\": {}, \"median_ns_baseline\": {}, \
+             \"median_ns_fast\": {}, \"speedup\": {:.2}}}",
+            r.group, r.size, r.baseline_ns, r.fast_ns, speedup
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -120,12 +190,12 @@ fn main() {
     println!("{json}");
     for r in &rows {
         println!(
-            "{:<32} size {:>5}: materialize {:>12} ns, demand {:>12} ns, speedup {:>8.2}x",
+            "{:<32} size {:>5}: baseline {:>12} ns, fast {:>12} ns, speedup {:>8.2}x",
             r.group,
             r.size,
-            r.materialize_ns,
-            r.demand_ns,
-            r.materialize_ns as f64 / r.demand_ns.max(1) as f64
+            r.baseline_ns,
+            r.fast_ns,
+            r.baseline_ns as f64 / r.fast_ns.max(1) as f64
         );
     }
 }

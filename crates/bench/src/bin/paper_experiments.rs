@@ -6,16 +6,16 @@
 
 use gdx_bench::{
     certain_sweep, chase_sweep, example_2_2, example_5_2, exists_sweep, mean_us, print_table,
-    solver_config_for_reduction,
+    reduction_session,
 };
 use gdx_common::Term;
-use gdx_exchange::exists::{construct_solution_no_egds, SolverConfig};
+use gdx_exchange::exists::construct_solution_no_egds;
 use gdx_exchange::reduction::{Reduction, ReductionFlavor};
 use gdx_exchange::representative::RepresentativeOutcome;
-use gdx_exchange::{certain_pair, is_solution, CertainAnswer, Exchange, Existence};
+use gdx_exchange::{is_solution, CertainAnswer, ExchangeSession, Existence, Options};
 use gdx_graph::Graph;
 use gdx_nre::parse::parse_nre;
-use gdx_query::{evaluate, Cnre};
+use gdx_query::{Cnre, PreparedQuery};
 use gdx_sat::{Cnf, Lit};
 
 fn check(id: &str, what: &str, ok: bool) {
@@ -110,19 +110,23 @@ fn e2_example_2_2_query_answers() {
         parse_nre("f.f*.[h].f-.(f-)*").unwrap(),
         Term::var("x2"),
     );
-    let a1 = evaluate(&g1(), &q).unwrap();
+    let pq = PreparedQuery::new(q.clone());
+    let a1 = pq.evaluate(&g1()).unwrap();
     check("E2", "|JQK_G1| = 4", a1.len() == 4);
-    let a2 = evaluate(&g2(), &q).unwrap();
+    let a2 = pq.evaluate(&g2()).unwrap();
     check("E2", "|JQK_G2| = 9 (paper lists 9 pairs)", a2.len() == 9);
 
-    let cfg = SolverConfig::default();
-    let (cert_egd, _) = gdx_exchange::certain::certain_answers(&i, &egd, &q, &cfg).unwrap();
+    let (cert_egd, _) = ExchangeSession::new(egd.clone(), i.clone())
+        .certain_answers(&pq)
+        .unwrap();
     check(
         "E2",
         "cert_Ω(Q, I) = {(c1,c1),(c1,c3),(c3,c1),(c3,c3)}",
         cert_egd.len() == 4,
     );
-    let (cert_sa, _) = gdx_exchange::certain::certain_answers(&i, &sameas, &q, &cfg).unwrap();
+    let (cert_sa, _) = ExchangeSession::new(sameas.clone(), i.clone())
+        .certain_answers(&pq)
+        .unwrap();
     check(
         "E2",
         "cert_Ω′(Q, I) = {(c1,c1),(c3,c3)}",
@@ -193,8 +197,7 @@ fn e5_theorem_4_1() {
         "Figure 4 graph (t1,t2,f3,f4 loops) is a solution for Ω_ρ0",
         is_solution(&red.instance, &red.setting, &fig4).unwrap(),
     );
-    let mut ex = Exchange::new(red.setting.clone(), red.instance.clone());
-    ex.config = solver_config_for_reduction(4);
+    let mut ex = reduction_session(&red, 4);
     let got = ex.solution_exists().unwrap();
     let val = red.valuation_from_solution(got.witness().unwrap()).unwrap();
     check(
@@ -209,12 +212,7 @@ fn e5_theorem_4_1() {
     unsat.add_clause(vec![Lit::neg(0), Lit::pos(1)]);
     unsat.add_clause(vec![Lit::neg(1)]);
     let red_u = Reduction::from_cnf(&unsat, ReductionFlavor::Egd).unwrap();
-    let got = gdx_exchange::solution_exists(
-        &red_u.instance,
-        &red_u.setting,
-        &solver_config_for_reduction(3),
-    )
-    .unwrap();
+    let got = reduction_session(&red_u, 3).solution_exists().unwrap();
     check(
         "E5",
         "unsatisfiable formula ⇒ NoSolution",
@@ -228,15 +226,9 @@ fn e5_theorem_4_1() {
 fn e6_corollary_4_2() {
     println!("-- E6: Corollary 4.2 — cert(a·a) ⇔ unsatisfiability --");
     let red = Reduction::from_cnf(&rho0(), ReductionFlavor::Egd).unwrap();
-    let ans = certain_pair(
-        &red.instance,
-        &red.setting,
-        &Reduction::certain_query_egd(),
-        "c1",
-        "c2",
-        &solver_config_for_reduction(4),
-    )
-    .unwrap();
+    let ans = reduction_session(&red, 4)
+        .certain_pair(&Reduction::certain_query_egd(), "c1", "c2")
+        .unwrap();
     check(
         "E6",
         "ρ0 satisfiable ⇒ (c1,c2) ∉ cert(a·a)",
@@ -248,15 +240,9 @@ fn e6_corollary_4_2() {
     unsat.add_clause(vec![Lit::neg(0), Lit::pos(1)]);
     unsat.add_clause(vec![Lit::neg(1)]);
     let red_u = Reduction::from_cnf(&unsat, ReductionFlavor::Egd).unwrap();
-    let ans = certain_pair(
-        &red_u.instance,
-        &red_u.setting,
-        &Reduction::certain_query_egd(),
-        "c1",
-        "c2",
-        &solver_config_for_reduction(3),
-    )
-    .unwrap();
+    let ans = reduction_session(&red_u, 3)
+        .certain_pair(&Reduction::certain_query_egd(), "c1", "c2")
+        .unwrap();
     check(
         "E6",
         "unsatisfiable ⇒ (c1,c2) ∈ cert(a·a)",
@@ -274,22 +260,15 @@ fn e7_proposition_4_3() {
     unsat.add_clause(vec![Lit::neg(0), Lit::pos(1)]);
     unsat.add_clause(vec![Lit::neg(1)]);
     let red = Reduction::from_cnf(&unsat, ReductionFlavor::SameAs).unwrap();
-    let g =
-        construct_solution_no_egds(&red.instance, &red.setting, &SolverConfig::default()).unwrap();
+    let g = construct_solution_no_egds(&red.instance, &red.setting, &Options::default()).unwrap();
     check(
         "E7",
         "solutions exist even for unsatisfiable ρ (poly construction)",
         is_solution(&red.instance, &red.setting, &g).unwrap(),
     );
-    let ans = certain_pair(
-        &red.instance,
-        &red.setting,
-        &Reduction::certain_query_sameas(),
-        "c1",
-        "c2",
-        &solver_config_for_reduction(3),
-    )
-    .unwrap();
+    let ans = reduction_session(&red, 3)
+        .certain_pair(&Reduction::certain_query_sameas(), "c1", "c2")
+        .unwrap();
     check(
         "E7",
         "unsatisfiable ⇒ (c1,c2) ∈ cert(sameAs)",
@@ -297,15 +276,9 @@ fn e7_proposition_4_3() {
     );
 
     let red_s = Reduction::from_cnf(&rho0(), ReductionFlavor::SameAs).unwrap();
-    let ans = certain_pair(
-        &red_s.instance,
-        &red_s.setting,
-        &Reduction::certain_query_sameas(),
-        "c1",
-        "c2",
-        &solver_config_for_reduction(4),
-    )
-    .unwrap();
+    let ans = reduction_session(&red_s, 4)
+        .certain_pair(&Reduction::certain_query_sameas(), "c1", "c2")
+        .unwrap();
     check(
         "E7",
         "satisfiable ⇒ (c1,c2) ∉ cert(sameAs)",
@@ -336,14 +309,13 @@ fn e8_figure_5() {
 fn e9_example_5_2() {
     println!("-- E9: Example 5.2 — successful chase, yet no solution --");
     let (i, setting) = example_5_2();
-    let cfg = SolverConfig::default();
-    let chased = gdx_exchange::exists::chased_pattern(&i, &setting, &cfg).unwrap();
-    check(
-        "E9",
-        "the adapted chase succeeds (Figure 6a)",
-        chased.succeeded(),
+    let mut session = ExchangeSession::new(setting.clone(), i.clone());
+    let chased = matches!(
+        session.representative().unwrap(),
+        RepresentativeOutcome::Representative(_)
     );
-    let ex = gdx_exchange::solution_exists(&i, &setting, &cfg).unwrap();
+    check("E9", "the adapted chase succeeds (Figure 6a)", chased);
+    let ex = session.solution_exists().unwrap();
     check(
         "E9",
         "yet the solver finds no solution (NoSolution/Unknown, never Exists)",
@@ -364,8 +336,8 @@ fn e9_example_5_2() {
 fn e10_proposition_5_3() {
     println!("-- E10: Prop. 5.3 / Figure 7 — patterns are not universal --");
     let (i, egd, _) = example_2_2();
-    let ex = Exchange::new(egd.clone(), i.clone());
-    let RepresentativeOutcome::Representative(rep) = ex.universal_representative().unwrap() else {
+    let mut ex = ExchangeSession::new(egd.clone(), i.clone());
+    let RepresentativeOutcome::Representative(rep) = ex.representative().unwrap().clone() else {
         panic!("chase succeeds on Example 2.2");
     };
     let fig7 = Graph::parse(
@@ -534,7 +506,7 @@ fn t5_ablations() {
     println!("-- T5 (B5): ablations --");
     use gdx_chase::{chase_egds_on_pattern, chase_st, EgdChaseConfig, StChaseVariant};
     use gdx_datagen::{flights_hotels, rng, FlightsHotelsParams};
-    use gdx_sat::{solve, SolverConfig as SatConfig};
+    use gdx_sat::{solve, SatConfig};
     use std::time::Instant;
 
     // (i) oblivious vs restricted s-t chase.
@@ -617,9 +589,8 @@ fn t5_ablations() {
     // (iv) search solver vs SAT-encoding solver on one mid-size reduction.
     let cnf = gdx_datagen::random_3cnf(10, 43, &mut rng(3));
     let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
-    let cfg = solver_config_for_reduction(10);
     let t = Instant::now();
-    let a = gdx_exchange::solution_exists(&red.instance, &red.setting, &cfg).unwrap();
+    let a = reduction_session(&red, 10).solution_exists().unwrap();
     let search_us = t.elapsed().as_micros();
     let t = Instant::now();
     let b2 = gdx_exchange::encode::solution_exists_sat(&red.instance, &red.setting).unwrap();

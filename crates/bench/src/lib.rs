@@ -8,13 +8,12 @@
 //! paper artifacts, `B*`/`T*` are the empirical complexity experiments.
 
 use gdx_datagen::{flights_hotels, random_3cnf, rng, FlightsHotelsParams};
-use gdx_exchange::exists::{enumerate_minimal_solutions, SolverConfig};
 use gdx_exchange::reduction::{Reduction, ReductionFlavor};
-use gdx_exchange::{certain_pair, encode, CertainAnswer, Existence};
+use gdx_exchange::{encode, CertainAnswer, ExchangeSession, Existence, Options};
 use gdx_mapping::Setting;
 use gdx_pattern::InstantiationConfig;
 use gdx_relational::Instance;
-use gdx_sat::{solve, SatResult, SolverConfig as SatConfig};
+use gdx_sat::{solve, SatConfig, SatResult};
 use std::time::Instant;
 
 /// The paper's query from Example 2.2 — the NRE the demand-driven bench
@@ -44,15 +43,21 @@ pub fn paper_flight_graph(flights: usize) -> gdx_graph::Graph {
 
 /// Raises the candidate-family caps so the search solver is exact for a
 /// reduction over `n` variables (family size `2^n`).
-pub fn solver_config_for_reduction(n: u32) -> SolverConfig {
+pub fn solver_config_for_reduction(n: u32) -> Options {
     let cap = 1usize << n.min(20);
-    SolverConfig {
+    Options {
         instantiation: InstantiationConfig {
             max_graphs: cap.saturating_add(8),
             ..InstantiationConfig::default()
         },
-        ..SolverConfig::default()
+        ..Options::default()
     }
+}
+
+/// A session over a reduction with exact bounds for `n` variables.
+pub fn reduction_session(red: &Reduction, n: u32) -> ExchangeSession {
+    ExchangeSession::new(red.setting.clone(), red.instance.clone())
+        .with_options(solver_config_for_reduction(n))
 }
 
 /// One row of the existence sweep (T1).
@@ -95,9 +100,9 @@ pub fn exists_sweep(
                 let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).expect("3-CNF reduction");
 
                 let search_us = if n <= search_cutoff_n {
-                    let cfg = solver_config_for_reduction(n);
                     let t = Instant::now();
-                    let ex = gdx_exchange::solution_exists(&red.instance, &red.setting, &cfg)
+                    let ex = reduction_session(&red, n)
+                        .solution_exists()
                         .expect("search solver");
                     let us = t.elapsed().as_micros();
                     assert_eq!(
@@ -122,7 +127,7 @@ pub fn exists_sweep(
                 let g = gdx_exchange::exists::construct_solution_no_egds(
                     &red_sa.instance,
                     &red_sa.setting,
-                    &SolverConfig::default(),
+                    &Options::default(),
                 )
                 .expect("sameAs solutions always exist");
                 let sameas_us = t.elapsed().as_micros();
@@ -170,17 +175,10 @@ pub fn certain_sweep(ns: &[u32], ratios: &[f64], seeds: u64) -> Vec<CertainRow> 
                 let (sat_res, _) = solve(&cnf, SatConfig::default());
                 let unsat = matches!(sat_res, SatResult::Unsat);
                 let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).expect("3-CNF reduction");
-                let cfg = solver_config_for_reduction(n);
                 let t = Instant::now();
-                let ans = certain_pair(
-                    &red.instance,
-                    &red.setting,
-                    &Reduction::certain_query_egd(),
-                    "c1",
-                    "c2",
-                    &cfg,
-                )
-                .expect("certain decision");
+                let ans = reduction_session(&red, n)
+                    .certain_pair(&Reduction::certain_query_egd(), "c1", "c2")
+                    .expect("certain decision");
                 let certain_us = t.elapsed().as_micros();
                 let verdict = matches!(ans, CertainAnswer::Certain);
                 assert_eq!(
@@ -323,15 +321,18 @@ pub fn example_5_2() -> (Instance, Setting) {
 /// Count of minimal solutions for a reduction (≙ number of satisfying
 /// valuation-shaped candidates) — used by the ablation bench.
 pub fn reduction_solution_count(red: &Reduction, n: u32) -> usize {
-    let cfg = solver_config_for_reduction(n);
-    let (sols, _exact) =
-        enumerate_minimal_solutions(&red.instance, &red.setting, &cfg, false).expect("enumeration");
-    sols.len()
+    let mut session = reduction_session(red, n);
+    let stream = session.solutions().expect("enumeration");
+    stream.inspect(|g| assert!(g.is_ok(), "candidate")).count()
 }
 
 /// Existence via the search solver, panicking on `Unknown` (bench-only).
-pub fn must_decide(instance: &Instance, setting: &Setting, cfg: &SolverConfig) -> bool {
-    match gdx_exchange::solution_exists(instance, setting, cfg).expect("solver") {
+pub fn must_decide(instance: &Instance, setting: &Setting, cfg: &Options) -> bool {
+    let verdict = ExchangeSession::new(setting.clone(), instance.clone())
+        .with_options(*cfg)
+        .solution_exists()
+        .expect("solver");
+    match verdict {
         Existence::Exists(_) => true,
         Existence::NoSolution => false,
         Existence::Unknown(r) => panic!("expected exact decision, got Unknown: {r}"),

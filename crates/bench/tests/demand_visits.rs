@@ -12,7 +12,7 @@ use gdx_mapping::Setting;
 use gdx_nre::demand::DemandEvaluator;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::parse::parse_nre;
-use gdx_query::{evaluate_seeded_mode, Cnre, PlannerMode};
+use gdx_query::{PlannerMode, PreparedQuery};
 
 #[test]
 fn seeded_certain_check_visits_under_ten_percent() {
@@ -43,20 +43,15 @@ fn seeded_certain_check_visits_under_ten_percent() {
     // both endpoints constant. Read the visit counter out of the cache's
     // demand pool afterwards.
     let city0 = g.node_id(Node::cst("city0")).expect("city0 present");
-    let probe = Cnre::parse("(\"city0\", f.f*.[h].f-.(f-)*, \"city1\")").expect("probe");
+    let probe = PreparedQuery::parse("(\"city0\", f.f*.[h].f-.(f-)*, \"city1\")").expect("probe");
     let mut cache = EvalCache::new();
-    let seeded = evaluate_seeded_mode(
-        &g,
-        &probe,
-        &mut cache,
-        &Default::default(),
-        PlannerMode::Auto,
-    )
-    .expect("seeded eval");
-    let ev = cache
-        .demand_get(&r)
-        .expect("planner chose the demand path for the bound-endpoint atom");
-    let seeded_visits = ev.borrow().stats().visited;
+    let seeded = probe
+        .evaluate_seeded_mode(&g, &mut cache, &Default::default(), PlannerMode::Auto)
+        .expect("seeded eval");
+    let seeded_visits = probe
+        .demand_stats(&r)
+        .expect("planner chose the demand path for the bound-endpoint atom")
+        .visited;
 
     assert!(seeded_visits > 0, "the probe must have run");
     assert!(
@@ -67,14 +62,14 @@ fn seeded_certain_check_visits_under_ten_percent() {
 
     // And the probe's verdict agrees with the materializing baseline.
     let mut mat_cache = EvalCache::new();
-    let mat = evaluate_seeded_mode(
-        &g,
-        &probe,
-        &mut mat_cache,
-        &Default::default(),
-        PlannerMode::Materialize,
-    )
-    .expect("materialized eval");
+    let mat = probe
+        .evaluate_seeded_mode(
+            &g,
+            &mut mat_cache,
+            &Default::default(),
+            PlannerMode::Materialize,
+        )
+        .expect("materialized eval");
     assert_eq!(seeded.is_empty(), mat.is_empty());
 
     // Cross-check the counter against ground truth: the seeded visit

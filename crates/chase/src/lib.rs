@@ -28,7 +28,7 @@ pub mod weak_acyclicity;
 
 pub use egd_pattern::{chase_egds_on_pattern, EgdChaseConfig, EgdChaseOutcome};
 pub use sameas::{saturate_same_as, SameAsEngine};
-pub use st::{chase_st, StChaseResult, StChaseVariant};
+pub use st::{chase_st, chase_st_with_nulls, StChaseResult, StChaseVariant};
 pub use tgd::{
     chase_target_tgds, ChaseStats, TgdChaseConfig, TgdChaseEngine, TgdChaseMode, TgdChaseResult,
 };

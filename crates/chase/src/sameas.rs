@@ -19,7 +19,7 @@ use gdx_common::{GdxError, Result};
 use gdx_graph::Graph;
 use gdx_mapping::{same_as_symbol, SameAs};
 use gdx_nre::eval::EvalCache;
-use gdx_query::{evaluate_with_cache, SemiNaiveState};
+use gdx_query::{PreparedQuery, SemiNaiveState};
 
 /// Restartable semi-naive sameAs saturator: per-constraint delta states
 /// that persist across rounds and across calls on the same graph value
@@ -91,7 +91,7 @@ pub fn same_as_satisfied(graph: &Graph, constraints: &[SameAs]) -> Result<bool> 
     let sa = same_as_symbol();
     let mut cache = EvalCache::new();
     for c in constraints {
-        let matches = evaluate_with_cache(graph, &c.body, &mut cache)?;
+        let matches = PreparedQuery::new(c.body.clone()).matches(graph, &mut cache)?;
         let vars = matches.vars();
         let li = vars.iter().position(|&v| v == c.lhs);
         let ri = vars.iter().position(|&v| v == c.rhs);

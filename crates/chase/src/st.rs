@@ -57,11 +57,22 @@ pub fn chase_st(
     setting: &Setting,
     variant: StChaseVariant,
 ) -> Result<StChaseResult> {
-    setting.validate()?;
-    let mut pattern = GraphPattern::new();
     // One null factory per chase run: null names are deterministic per
     // (instance, setting) regardless of what else ran in the process.
-    let mut nulls = NullFactory::new();
+    chase_st_with_nulls(instance, setting, variant, NullFactory::new())
+}
+
+/// [`chase_st`] with a caller-supplied null factory — sessions use this to
+/// seed fresh-null names ([`NullFactory::starting_at`]) so several chases
+/// in one namespace get disjoint, reproducible null ranges.
+pub fn chase_st_with_nulls(
+    instance: &Instance,
+    setting: &Setting,
+    variant: StChaseVariant,
+    mut nulls: NullFactory,
+) -> Result<StChaseResult> {
+    setting.validate()?;
+    let mut pattern = GraphPattern::new();
     let mut triggers = 0;
     let mut fired = 0;
     for tgd in &setting.st_tgds {

@@ -46,9 +46,7 @@ use gdx_mapping::TargetTgd;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::witness;
 use gdx_nre::IncrementalCache;
-use gdx_query::{
-    evaluate_seeded_exists, evaluate_seeded_incremental_exists, evaluate_with_cache, SemiNaiveState,
-};
+use gdx_query::{evaluate_seeded_incremental_exists, PreparedQuery, SemiNaiveState};
 
 /// Body-evaluation strategy of the target-tgd chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +113,11 @@ struct RuleState {
     body: SemiNaiveState,
     /// Incremental relations for head-satisfaction checks.
     head: IncrementalCache,
+    /// Body and head compiled once per engine (naive mode evaluates from
+    /// cold caches every round; the automata need not be rebuilt with
+    /// them).
+    body_q: PreparedQuery,
+    head_q: PreparedQuery,
     /// Alphabet symbols of the body NREs: an edge with a foreign label
     /// cannot create a body match.
     symbols: FxHashSet<Symbol>,
@@ -135,6 +138,8 @@ impl RuleState {
             tgd: tgd.clone(),
             body: SemiNaiveState::new(),
             head: IncrementalCache::new(),
+            body_q: PreparedQuery::new(tgd.body.clone()),
+            head_q: PreparedQuery::new(tgd.head.clone()),
             symbols,
             nullable_atom,
             dirty: true,
@@ -284,10 +289,9 @@ impl TgdChaseEngine {
                 // Body matches are computed against the current graph from
                 // a cold cache; firing invalidates it, so matches are
                 // collected first.
-                let tgd = &self.rules[ri].tgd;
                 let matches: Vec<FxHashMap<Symbol, NodeId>> = {
-                    let mut cache = EvalCache::new();
-                    let b = evaluate_with_cache(graph, &tgd.body, &mut cache)?;
+                    let rule = &self.rules[ri];
+                    let b = rule.body_q.matches(graph, &mut EvalCache::new())?;
                     let vars: Vec<Symbol> = b.vars().to_vec();
                     b.rows()
                         .iter()
@@ -296,10 +300,11 @@ impl TgdChaseEngine {
                 };
                 self.stats.body_rows += matches.len();
                 for m in matches {
-                    let tgd = &self.rules[ri].tgd;
-                    if head_witnessed(graph, tgd, &m)? {
+                    let rule = &self.rules[ri];
+                    if head_witnessed(graph, &rule.tgd, &rule.head_q, &m)? {
                         continue;
                     }
+                    let tgd = &self.rules[ri].tgd;
                     fire(graph, tgd, &m, &mut self.nulls)?;
                     self.stats.steps += 1;
                     self.steps_in_graph += 1;
@@ -348,11 +353,12 @@ pub fn chase_target_tgds(
 fn head_witnessed(
     graph: &Graph,
     tgd: &TargetTgd,
+    head_q: &PreparedQuery,
     body_match: &FxHashMap<Symbol, NodeId>,
 ) -> Result<bool> {
     let mut cache = EvalCache::new();
     let seed = head_seed(tgd, body_match);
-    evaluate_seeded_exists(graph, &tgd.head, &mut cache, &seed)
+    head_q.evaluate_seeded_exists(graph, &mut cache, &seed)
 }
 
 /// Incremental variant: the per-rule head cache (materialized relations

@@ -138,9 +138,10 @@ proptest! {
     /// the solver agrees there is no solution.
     #[test]
     fn solver_witnesses_verify(inst in arb_instance()) {
-        use gdx_exchange::exists::{solution_exists, SolverConfig};
+        use gdx_exchange::ExchangeSession;
         let setting = Setting::example_2_2_egd();
-        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        let mut session = ExchangeSession::new(setting.clone(), inst.clone());
+        let ex = session.solution_exists().unwrap();
         if let Some(g) = ex.witness() {
             prop_assert!(gdx_exchange::is_solution(&inst, &setting, g).unwrap());
         }

@@ -1,15 +1,17 @@
-//! Subcommand implementations.
+//! Subcommand implementations, built on the session API: each invocation
+//! parses the setting/instance once into an [`ExchangeSession`] and runs
+//! every step of the command against it, so multi-stage commands (chase +
+//! solve, enumerate + verify) share the memoized representative and
+//! engine caches.
 
 use crate::args::{read_file, Args};
-use gdx_chase::{chase_st, EgdChaseOutcome, StChaseVariant};
+use gdx_chase::{chase_st_with_nulls, StChaseVariant};
 use gdx_common::{GdxError, Result};
-use gdx_exchange::exists::{chased_pattern, SolverConfig};
-use gdx_exchange::reduction::{Reduction, ReductionFlavor};
-use gdx_exchange::{certain_pair, is_solution, solution_exists, CertainAnswer, Existence};
-use gdx_graph::Graph;
-use gdx_mapping::Setting;
+use gdx_exchange::representative::RepresentativeOutcome;
+use gdx_exchange::{CertainAnswer, ExchangeSession, Existence, Options};
+use gdx_graph::{Graph, NullFactory};
 use gdx_pattern::InstantiationConfig;
-use gdx_query::Cnre;
+use gdx_query::{PlannerMode, PreparedQuery};
 use gdx_relational::{Instance, Schema};
 use gdx_sat::Cnf;
 
@@ -17,15 +19,23 @@ const USAGE: &str = "\
 gdx — relational-to-graph data exchange with target constraints
 
 USAGE:
-  gdx chase   --setting S.gdx --instance I.facts [--skip-egds] [--dot]
-  gdx solve   --setting S.gdx --instance I.facts [--max-graphs N]
-  gdx check   --setting S.gdx --instance I.facts --graph G.graph
-  gdx certain --setting S.gdx --instance I.facts --nre EXPR --pair C1,C2
-              [--max-graphs N]
+  gdx chase     --setting S.gdx --instance I.facts [--skip-egds] [--dot]
+  gdx solve     --setting S.gdx --instance I.facts [--max-graphs N]
+  gdx solutions --setting S.gdx --instance I.facts [--limit N]
+                [--max-graphs N]
+  gdx check     --setting S.gdx --instance I.facts --graph G.graph
+  gdx certain   --setting S.gdx --instance I.facts --nre EXPR --pair C1,C2
+                [--max-graphs N]
   gdx cert-query --setting S.gdx --instance I.facts --cnre QUERY
-  gdx reduce  --dimacs F.cnf [--sameas]
-  gdx direct  --schema DECLS --instance I.facts [--reify]
+  gdx reduce    --dimacs F.cnf [--sameas]
+  gdx direct    --schema DECLS --instance I.facts [--reify]
   gdx help
+
+SHARED OPTIONS (every solver command):
+  --max-graphs N    candidate-instantiation cap (default 256)
+  --materialize     force the materializing baseline for certain-answer
+                    evaluation (certain / cert-query)
+  --null-seed N     first fresh-null name (~N) used by the chase
 
 FILE FORMATS:
   settings: the DSL (source{..} target{..} sttgd.. egd.. tgd.. sameas..)
@@ -44,6 +54,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
     match cmd.as_str() {
         "chase" => cmd_chase(rest),
         "solve" => cmd_solve(rest),
+        "solutions" => cmd_solutions(rest),
         "check" => cmd_check(rest),
         "certain" => cmd_certain(rest),
         "cert-query" => cmd_cert_query(rest),
@@ -59,38 +70,54 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
     }
 }
 
-fn load_setting_instance(a: &Args) -> Result<(Setting, Instance)> {
-    let setting = gdx_mapping::dsl::parse_setting(&read_file(a.require("setting")?)?)?;
-    let instance = Instance::parse(setting.source.clone(), &read_file(a.require("instance")?)?)?;
-    Ok((setting, instance))
-}
+/// Boolean flags shared by the session-backed solver subcommands.
+const SOLVER_FLAGS: &[&str] = &["materialize"];
 
-fn config(a: &Args) -> Result<SolverConfig> {
-    Ok(SolverConfig {
+fn options(a: &Args) -> Result<Options> {
+    Ok(Options {
         instantiation: InstantiationConfig {
             max_graphs: a.get_usize("max-graphs", 256)?,
             ..InstantiationConfig::default()
         },
-        ..SolverConfig::default()
+        planner: if a.has("materialize") {
+            PlannerMode::Materialize
+        } else {
+            PlannerMode::Auto
+        },
+        null_seed: a.get_usize("null-seed", 0)? as u64,
+        ..Options::default()
     })
 }
 
+fn load_session(a: &Args) -> Result<ExchangeSession> {
+    let setting = gdx_mapping::dsl::parse_setting(&read_file(a.require("setting")?)?)?;
+    let instance = Instance::parse(setting.source.clone(), &read_file(a.require("instance")?)?)?;
+    Ok(ExchangeSession::new(setting, instance).with_options(options(a)?))
+}
+
 fn cmd_chase(argv: &[String]) -> Result<()> {
-    let a = Args::parse(argv, &["skip-egds", "dot"])?;
-    let (setting, instance) = load_setting_instance(&a)?;
+    let a = Args::parse(argv, &["materialize", "skip-egds", "dot"])?;
+    let mut session = load_session(&a)?;
     let pattern = if a.has("skip-egds") {
-        chase_st(&instance, &setting, StChaseVariant::Oblivious)?.pattern
+        chase_st_with_nulls(
+            session.instance(),
+            session.setting(),
+            StChaseVariant::Oblivious,
+            NullFactory::starting_at(session.options().null_seed),
+        )?
+        .pattern
     } else {
-        match chased_pattern(&instance, &setting, &config(&a)?)? {
-            EgdChaseOutcome::Success { pattern, merges } => {
-                eprintln!("egd phase: {merges} merges");
-                pattern
+        let outcome = session.representative()?.clone();
+        match outcome {
+            RepresentativeOutcome::Representative(rep) => {
+                eprintln!("egd phase: {} merges", session.representative_merges());
+                rep.pattern
             }
-            EgdChaseOutcome::Failed { constants, .. } => {
-                println!(
-                    "CHASE FAILED: constants {} and {} forced equal — no solution",
-                    constants.0, constants.1
-                );
+            RepresentativeOutcome::ChaseFailed => {
+                let ((c1, c2), _) = session
+                    .representative_failure()
+                    .expect("failed chase records its clash");
+                println!("CHASE FAILED: constants {c1} and {c2} forced equal — no solution");
                 return Ok(());
             }
         }
@@ -104,9 +131,9 @@ fn cmd_chase(argv: &[String]) -> Result<()> {
 }
 
 fn cmd_solve(argv: &[String]) -> Result<()> {
-    let a = Args::parse(argv, &[])?;
-    let (setting, instance) = load_setting_instance(&a)?;
-    match solution_exists(&instance, &setting, &config(&a)?)? {
+    let a = Args::parse(argv, SOLVER_FLAGS)?;
+    let mut session = load_session(&a)?;
+    match session.solution_exists()? {
         Existence::Exists(g) => {
             println!("EXISTS");
             print!("{g}");
@@ -117,11 +144,45 @@ fn cmd_solve(argv: &[String]) -> Result<()> {
     Ok(())
 }
 
+fn cmd_solutions(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, SOLVER_FLAGS)?;
+    let limit = a.get_usize("limit", usize::MAX)?;
+    let mut session = load_session(&a)?;
+    let mut count = 0usize;
+    let mut exhausted = false;
+    let mut stream = session.solutions()?;
+    while count < limit {
+        let Some(g) = stream.next() else {
+            exhausted = true;
+            break;
+        };
+        let g = g?;
+        count += 1;
+        println!("-- solution {count} --");
+        print!("{g}");
+    }
+    if count == 0 && !exhausted {
+        println!("no solutions requested (--limit 0)");
+    } else if count == 0 {
+        println!(
+            "no solutions within bounds{}",
+            if stream.exact() {
+                " (provably none)"
+            } else {
+                ""
+            }
+        );
+    } else if exhausted && stream.exact() {
+        println!("-- family exhausted: these are all minimal solutions --");
+    }
+    Ok(())
+}
+
 fn cmd_check(argv: &[String]) -> Result<()> {
-    let a = Args::parse(argv, &[])?;
-    let (setting, instance) = load_setting_instance(&a)?;
+    let a = Args::parse(argv, SOLVER_FLAGS)?;
+    let mut session = load_session(&a)?;
     let graph = Graph::parse(&read_file(a.require("graph")?)?)?;
-    if is_solution(&instance, &setting, &graph)? {
+    if session.is_solution(&graph)? {
         println!("SOLUTION");
     } else {
         println!("NOT A SOLUTION");
@@ -130,21 +191,14 @@ fn cmd_check(argv: &[String]) -> Result<()> {
 }
 
 fn cmd_certain(argv: &[String]) -> Result<()> {
-    let a = Args::parse(argv, &[])?;
-    let (setting, instance) = load_setting_instance(&a)?;
+    let a = Args::parse(argv, SOLVER_FLAGS)?;
+    let mut session = load_session(&a)?;
     let nre = gdx_nre::parse::parse_nre(a.require("nre")?)?;
     let pair = a.require("pair")?;
     let (c1, c2) = pair
         .split_once(',')
         .ok_or_else(|| GdxError::schema(format!("--pair expects `c1,c2`, got `{pair}`")))?;
-    match certain_pair(
-        &instance,
-        &setting,
-        &nre,
-        c1.trim(),
-        c2.trim(),
-        &config(&a)?,
-    )? {
+    match session.certain_pair(&nre, c1.trim(), c2.trim())? {
         CertainAnswer::Certain => println!("CERTAIN"),
         CertainAnswer::NotCertain(g) => {
             println!("NOT CERTAIN — counterexample solution:");
@@ -156,19 +210,18 @@ fn cmd_certain(argv: &[String]) -> Result<()> {
 }
 
 fn cmd_cert_query(argv: &[String]) -> Result<()> {
-    let a = Args::parse(argv, &[])?;
-    let (setting, instance) = load_setting_instance(&a)?;
-    let query = Cnre::parse(a.require("cnre")?)?;
-    let (rows, exact) =
-        gdx_exchange::certain::certain_answers(&instance, &setting, &query, &config(&a)?)?;
+    let a = Args::parse(argv, SOLVER_FLAGS)?;
+    let mut session = load_session(&a)?;
+    let query = PreparedQuery::parse(a.require("cnre")?)?;
+    let (rows, exact) = session.certain_answers(&query)?;
     println!(
         "{} certain answer(s){}:",
         rows.len(),
         if exact { "" } else { " (within bounds)" }
     );
-    let vars = query.variables();
     for row in rows {
-        let cells: Vec<String> = vars
+        let cells: Vec<String> = query
+            .variables()
             .iter()
             .zip(&row)
             .map(|(v, n)| format!("{v}={n}"))
@@ -182,11 +235,11 @@ fn cmd_reduce(argv: &[String]) -> Result<()> {
     let a = Args::parse(argv, &["sameas"])?;
     let cnf = Cnf::from_dimacs(&read_file(a.require("dimacs")?)?)?;
     let flavor = if a.has("sameas") {
-        ReductionFlavor::SameAs
+        gdx_exchange::reduction::ReductionFlavor::SameAs
     } else {
-        ReductionFlavor::Egd
+        gdx_exchange::reduction::ReductionFlavor::Egd
     };
-    let red = Reduction::from_cnf(&cnf, flavor)?;
+    let red = gdx_exchange::Reduction::from_cnf(&cnf, flavor)?;
     println!(
         "# Theorem 4.1 reduction of {} ({} vars, {} clauses)",
         a.require("dimacs")?,
@@ -262,6 +315,21 @@ mod tests {
     }
 
     #[test]
+    fn solutions_stream_runs() {
+        let (s, i) = example_files("solutions");
+        dispatch(&v(&[
+            "solutions",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--limit",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
     fn check_accepts_g1() {
         let (s, i) = example_files("check");
         let g = write_tmp(
@@ -303,6 +371,7 @@ mod tests {
             &i,
             "--cnre",
             "(x, f.f*, y)",
+            "--materialize",
         ]))
         .unwrap();
     }

@@ -1,0 +1,217 @@
+//! End-to-end CLI tests: run the real `gdx` binary on the quickstart
+//! setting (Example 2.2) and assert on its stdout, one test per
+//! subcommand. `CARGO_BIN_EXE_gdx` points at the binary Cargo built for
+//! this test run.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SETTING: &str = "source { Flight/3; Hotel/2 }
+target { f; h }
+sttgd Flight(x1, x2, x3), Hotel(x1, x4)
+      -> exists y : (x2, f.f*, y), (y, h, x4), (y, f.f*, x3);
+egd (x1, h, x3), (x2, h, x3) -> x1 = x2;";
+
+const INSTANCE: &str = "Flight(01, c1, c2); Flight(02, c3, c2);
+Hotel(01, hx); Hotel(01, hy); Hotel(02, hx);";
+
+const G1: &str = "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);";
+
+/// Writes the quickstart fixture files under a per-test temp directory.
+fn fixture(tag: &str) -> (String, String) {
+    let dir = std::env::temp_dir().join(format!("gdx-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, contents: &str| -> String {
+        let p: PathBuf = dir.join(name);
+        std::fs::write(&p, contents).unwrap();
+        p.to_string_lossy().into_owned()
+    };
+    (
+        write("setting.gdx", SETTING),
+        write("instance.facts", INSTANCE),
+    )
+}
+
+fn gdx(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gdx"))
+        .args(args)
+        .output()
+        .expect("spawn gdx binary")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = gdx(args);
+    assert!(
+        out.status.success(),
+        "gdx {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn chase_prints_figure_5_pattern() {
+    let (s, i) = fixture("chase");
+    let out = stdout_of(&["chase", "--setting", &s, "--instance", &i]);
+    // Figure 5: the two hx stays collapse; both city constants and both
+    // hotels survive in the chased pattern.
+    for name in ["c1", "c2", "c3", "hx", "hy"] {
+        assert!(out.contains(name), "pattern must mention {name}:\n{out}");
+    }
+    assert!(out.contains("f.f*"), "NRE edges survive the chase:\n{out}");
+    // The --dot variant emits graphviz.
+    let dot = stdout_of(&["chase", "--setting", &s, "--instance", &i, "--dot"]);
+    assert!(dot.contains("digraph"), "dot output expected:\n{dot}");
+}
+
+#[test]
+fn solve_reports_exists_with_witness() {
+    let (s, i) = fixture("solve");
+    let out = stdout_of(&["solve", "--setting", &s, "--instance", &i]);
+    assert!(
+        out.starts_with("EXISTS"),
+        "quickstart has solutions:\n{out}"
+    );
+    assert!(out.contains("(c1, f"), "witness graph printed:\n{out}");
+}
+
+#[test]
+fn solutions_streams_verified_graphs() {
+    let (s, i) = fixture("solutions");
+    let out = stdout_of(&[
+        "solutions",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--limit",
+        "2",
+    ]);
+    assert!(out.contains("-- solution 1 --"), "{out}");
+    assert!(out.contains("-- solution 2 --"), "{out}");
+    assert!(!out.contains("-- solution 3 --"), "limit respected:\n{out}");
+}
+
+#[test]
+fn check_judges_g1_and_a_broken_graph() {
+    let (s, i) = fixture("check");
+    let dir = std::env::temp_dir();
+    let good = dir.join("gdx-e2e-g1.graph");
+    std::fs::write(&good, G1).unwrap();
+    let out = stdout_of(&[
+        "check",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--graph",
+        good.to_str().unwrap(),
+    ]);
+    assert_eq!(out.trim(), "SOLUTION");
+
+    let bad = dir.join("gdx-e2e-bad.graph");
+    std::fs::write(&bad, "(c1, f, c2);").unwrap();
+    let out = stdout_of(&[
+        "check",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--graph",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(out.trim(), "NOT A SOLUTION");
+}
+
+#[test]
+fn certain_decides_both_verdicts() {
+    let (s, i) = fixture("certain");
+    // (c1, f.f*, c2) is provably certain via the pattern-level proof.
+    let out = stdout_of(&[
+        "certain",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--nre",
+        "f.f*",
+        "--pair",
+        "c1,c2",
+    ]);
+    assert_eq!(out.trim(), "CERTAIN");
+    // The reverse pair has a counterexample solution.
+    let out = stdout_of(&[
+        "certain",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--nre",
+        "f.f*",
+        "--pair",
+        "c2,c1",
+    ]);
+    assert!(out.starts_with("NOT CERTAIN"), "{out}");
+}
+
+#[test]
+fn cert_query_lists_the_paper_answers() {
+    let (s, i) = fixture("cert-query");
+    let out = stdout_of(&[
+        "cert-query",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--cnre",
+        "(x1, f.f*.[h].f-.(f-)*, x2)",
+    ]);
+    assert!(
+        out.starts_with("4 certain answer(s)"),
+        "the paper's four certain pairs:\n{out}"
+    );
+    for pair in [
+        "x1=c1, x2=c1",
+        "x1=c1, x2=c3",
+        "x1=c3, x2=c1",
+        "x1=c3, x2=c3",
+    ] {
+        assert!(out.contains(pair), "missing {pair}:\n{out}");
+    }
+}
+
+#[test]
+fn reduce_emits_a_setting_and_instance() {
+    let dir = std::env::temp_dir();
+    let cnf = dir.join("gdx-e2e.cnf");
+    std::fs::write(&cnf, "p cnf 3 2\n1 -2 3 0\n-1 2 -3 0\n").unwrap();
+    let out = stdout_of(&["reduce", "--dimacs", cnf.to_str().unwrap()]);
+    assert!(out.contains("3 vars, 2 clauses"), "{out}");
+    assert!(out.contains("sttgd"), "reduction emits s-t tgds:\n{out}");
+    assert!(out.contains("I_ρ"), "fixed instance header:\n{out}");
+}
+
+#[test]
+fn direct_maps_binary_relations() {
+    let dir = std::env::temp_dir();
+    let facts = dir.join("gdx-e2e-direct.facts");
+    std::fs::write(&facts, "knows(a, b); knows(b, c);").unwrap();
+    let out = stdout_of(&[
+        "direct",
+        "--schema",
+        "knows/2",
+        "--instance",
+        facts.to_str().unwrap(),
+    ]);
+    assert!(out.contains("(a, knows, b)"), "{out}");
+    assert!(out.contains("(b, knows, c)"), "{out}");
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    let out = gdx(&["bogus"]);
+    assert!(!out.status.success());
+    let out = gdx(&["solve", "--setting", "/nonexistent"]);
+    assert!(!out.status.success());
+}

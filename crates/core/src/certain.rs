@@ -2,9 +2,9 @@
 //!
 //! The decision procedure exploits positivity: CNREs (and NREs) are
 //! preserved under homomorphisms, so if *any* solution fails to select a
-//! tuple, some homomorphism-minimal solution fails too. The candidate
-//! family of [`crate::exists::enumerate_minimal_solutions`] therefore
-//! doubles as the counterexample pool:
+//! tuple, some homomorphism-minimal solution fails too. The verified
+//! minimal-solution family of [`crate::ExchangeSession::solutions`]
+//! therefore doubles as the counterexample pool:
 //!
 //! * a candidate solution **not** selecting the tuple is a counterexample
 //!   (`NotCertain`) — always sound;
@@ -13,13 +13,23 @@
 //! * when no solution exists at all, everything is (vacuously) `Certain` —
 //!   the convention Corollary 4.2 relies on;
 //! * otherwise `Unknown`.
+//!
+//! The decisions live on [`crate::ExchangeSession`] ([`certain`],
+//! [`certain_pair`][crate::ExchangeSession::certain_pair],
+//! [`certain_answers`][crate::ExchangeSession::certain_answers]) so the
+//! enumerated family, the chased representative, and per-solution
+//! evaluation caches are shared across queries. The free functions here
+//! are deprecated one-shot wrappers over a throwaway session.
+//!
+//! [`certain`]: crate::ExchangeSession::certain
 
-use crate::exists::{enumerate_minimal_solutions, SolverConfig};
-use gdx_common::{Result, Term};
+use crate::options::Options;
+use crate::session::ExchangeSession;
+use gdx_common::Result;
 use gdx_graph::{Graph, Node};
 use gdx_mapping::Setting;
 use gdx_nre::Nre;
-use gdx_query::{evaluate, evaluate_exists, Cnre};
+use gdx_query::{Cnre, PreparedQuery};
 use gdx_relational::Instance;
 
 /// Outcome of a certain-answer test.
@@ -45,102 +55,71 @@ impl CertainAnswer {
 
 /// Is `(c1, c2)` a certain answer of the single-NRE query `r`?
 /// (The shape of the paper's query answering problem.)
+#[deprecated(
+    note = "use `ExchangeSession::certain_pair` — a session shares the enumerated \
+                     solution family across queries"
+)]
 pub fn certain_pair(
     instance: &Instance,
     setting: &Setting,
     r: &Nre,
     c1: &str,
     c2: &str,
-    cfg: &SolverConfig,
+    cfg: &Options,
 ) -> Result<CertainAnswer> {
-    let query = Cnre::single(Term::cst(c1), r.clone(), Term::cst(c2));
-    certain_boolean(instance, setting, &query, cfg)
+    ExchangeSession::new(setting.clone(), instance.clone())
+        .with_options(*cfg)
+        .certain_pair(r, c1, c2)
 }
 
 /// Is the Boolean (constants-only) CNRE query certain?
+#[deprecated(note = "use `ExchangeSession::certain` with a `PreparedQuery`")]
 pub fn certain_boolean(
     instance: &Instance,
     setting: &Setting,
     query: &Cnre,
-    cfg: &SolverConfig,
+    cfg: &Options,
 ) -> Result<CertainAnswer> {
-    if !query.variables().is_empty() {
-        return Err(gdx_common::GdxError::unsupported(
-            "certain_boolean expects a constants-only query",
-        ));
-    }
-    let (solutions, exact) = enumerate_minimal_solutions(instance, setting, cfg, false)?;
-    if solutions.is_empty() {
-        return if exact {
-            // Sol_Ω(I) = ∅ ⇒ the intersection is everything.
-            Ok(CertainAnswer::Certain)
-        } else {
-            Ok(CertainAnswer::Unknown(
-                "no candidate solutions within bounds".to_owned(),
-            ))
-        };
-    }
-    for g in &solutions {
-        // Constants-only query: both endpoints of every atom are bound,
-        // so the probe runs by seeded product-BFS — no `⟦r⟧_G`
-        // materialization per candidate solution.
-        if !evaluate_exists(g, query)? {
-            return Ok(CertainAnswer::NotCertain(g.clone()));
-        }
-    }
-    if exact {
-        return Ok(CertainAnswer::Certain);
-    }
-    // Outside the exact fragment, a pattern-level entailment proof can
-    // still establish certainty (sound lower bound on cert — see
-    // `representative::certain_answer_lower_bound`).
-    if let crate::representative::RepresentativeOutcome::Representative(rep) =
-        crate::representative::chase_representative(instance, setting, cfg)?
-    {
-        let proven = rep.certain_answer_lower_bound(query, cfg)?;
-        // A constants-only query has one empty answer row when proven.
-        if query.variables().is_empty() && !proven.is_empty() {
-            return Ok(CertainAnswer::Certain);
-        }
-    }
-    Ok(CertainAnswer::Unknown(
-        "all bounded candidates select the tuple, but the family may be \
-         incomplete"
-            .to_owned(),
-    ))
+    ExchangeSession::new(setting.clone(), instance.clone())
+        .with_options(*cfg)
+        .certain(&PreparedQuery::new(query.clone()))
 }
 
 /// The full certain-answer *set* of a query over constants appearing in
 /// the enumerated solutions: the intersection of constant-only answer
 /// rows. Returns `(rows, exact)`; with `exact == false` the set is an
 /// over-approximation restricted to the bounded family.
+#[deprecated(note = "use `ExchangeSession::certain_answers` with a `PreparedQuery`")]
 pub fn certain_answers(
     instance: &Instance,
     setting: &Setting,
     query: &Cnre,
-    cfg: &SolverConfig,
+    cfg: &Options,
 ) -> Result<(Vec<Vec<Node>>, bool)> {
-    let (solutions, exact) = enumerate_minimal_solutions(instance, setting, cfg, false)?;
-    let mut iter = solutions.iter();
-    let Some(first) = iter.next() else {
-        return Ok((Vec::new(), exact));
-    };
-    let mut inter = evaluate(first, query)?.constant_rows(first);
-    for g in iter {
-        let rows = evaluate(g, query)?.constant_rows(g);
-        inter.retain(|r| rows.contains(r));
-    }
-    let mut rows: Vec<Vec<Node>> = inter.into_iter().collect();
-    rows.sort_by_key(|r| r.iter().map(|n| n.name().as_str()).collect::<Vec<_>>());
-    Ok((rows, exact))
+    ExchangeSession::new(setting.clone(), instance.clone())
+        .with_options(*cfg)
+        .certain_answers(&PreparedQuery::new(query.clone()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::reduction::{Reduction, ReductionFlavor};
+    use gdx_common::Term;
     use gdx_nre::parse::parse_nre;
     use gdx_sat::{Cnf, Lit};
+
+    fn session(instance: &Instance, setting: &Setting) -> ExchangeSession {
+        ExchangeSession::new(setting.clone(), instance.clone())
+    }
+
+    fn reduction_session(red: &Reduction, n: u32) -> ExchangeSession {
+        // Raise the candidate-family cap so the search is exact for a
+        // reduction over `n` variables (family size `2^n`).
+        let cap = 1usize << n.min(20);
+        ExchangeSession::new(red.setting.clone(), red.instance.clone())
+            .with_options(Options::default().with_max_graphs(cap.saturating_add(8)))
+    }
 
     #[test]
     fn corollary_4_2_on_satisfiable_formula() {
@@ -149,15 +128,10 @@ mod tests {
         f.add_clause(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]);
         f.add_clause(vec![Lit::neg(0), Lit::pos(2), Lit::neg(3)]);
         let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
-        let ans = certain_pair(
-            &r.instance,
-            &r.setting,
-            &Reduction::certain_query_egd(),
-            "c1",
-            "c2",
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let mut s = reduction_session(&r, 4);
+        let ans = s
+            .certain_pair(&Reduction::certain_query_egd(), "c1", "c2")
+            .unwrap();
         match ans {
             CertainAnswer::NotCertain(g) => {
                 // The counterexample must be a genuine solution.
@@ -174,15 +148,9 @@ mod tests {
         f.add_clause(vec![Lit::pos(0)]);
         f.add_clause(vec![Lit::neg(0)]);
         let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
-        let ans = certain_pair(
-            &r.instance,
-            &r.setting,
-            &Reduction::certain_query_egd(),
-            "c1",
-            "c2",
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let ans = reduction_session(&r, 1)
+            .certain_pair(&Reduction::certain_query_egd(), "c1", "c2")
+            .unwrap();
         assert!(ans.is_certain());
     }
 
@@ -192,15 +160,9 @@ mod tests {
         let mut sat = Cnf::new(2);
         sat.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
         let r = Reduction::from_cnf(&sat, ReductionFlavor::SameAs).unwrap();
-        let ans = certain_pair(
-            &r.instance,
-            &r.setting,
-            &Reduction::certain_query_sameas(),
-            "c1",
-            "c2",
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let ans = reduction_session(&r, 2)
+            .certain_pair(&Reduction::certain_query_sameas(), "c1", "c2")
+            .unwrap();
         assert!(matches!(ans, CertainAnswer::NotCertain(_)));
 
         // Unsatisfiable ⇒ every valuation falsifies some clause ⇒ the
@@ -209,33 +171,23 @@ mod tests {
         unsat.add_clause(vec![Lit::pos(0)]);
         unsat.add_clause(vec![Lit::neg(0)]);
         let r = Reduction::from_cnf(&unsat, ReductionFlavor::SameAs).unwrap();
-        let ans = certain_pair(
-            &r.instance,
-            &r.setting,
-            &Reduction::certain_query_sameas(),
-            "c1",
-            "c2",
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let ans = reduction_session(&r, 1)
+            .certain_pair(&Reduction::certain_query_sameas(), "c1", "c2")
+            .unwrap();
         assert!(ans.is_certain(), "got {ans:?}");
     }
 
     #[test]
     fn example_2_2_certain_answers() {
         // cert_Ω(Q, I) = {(c1,c1),(c1,c3),(c3,c1),(c3,c3)} per the paper.
-        let q = Cnre::single(
+        let q = PreparedQuery::single(
             Term::var("x1"),
             parse_nre("f.f*.[h].f-.(f-)*").unwrap(),
             Term::var("x2"),
         );
-        let (rows, _exact) = certain_answers(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &q,
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let (rows, _exact) = session(&Instance::example_2_2(), &Setting::example_2_2_egd())
+            .certain_answers(&q)
+            .unwrap();
         let set: std::collections::BTreeSet<(String, String)> = rows
             .iter()
             .map(|r| (r[0].to_string(), r[1].to_string()))
@@ -251,18 +203,14 @@ mod tests {
     #[test]
     fn example_2_2_sameas_certain_answers_differ() {
         // Under Ω′ the certain answers shrink to {(c1,c1),(c3,c3)}.
-        let q = Cnre::single(
+        let q = PreparedQuery::single(
             Term::var("x1"),
             parse_nre("f.f*.[h].f-.(f-)*").unwrap(),
             Term::var("x2"),
         );
-        let (rows, _exact) = certain_answers(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_sameas(),
-            &q,
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let (rows, _exact) = session(&Instance::example_2_2(), &Setting::example_2_2_sameas())
+            .certain_answers(&q)
+            .unwrap();
         let set: std::collections::BTreeSet<(String, String)> = rows
             .iter()
             .map(|r| (r[0].to_string(), r[1].to_string()))
@@ -280,38 +228,56 @@ mod tests {
         // enumeration alone cannot *prove* certainty — but the
         // pattern-level entailment can: (c1, f.f*, c2) follows from the
         // chased pattern's f.f* path through N1.
-        let ans = certain_pair(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &parse_nre("f.f*").unwrap(),
-            "c1",
-            "c2",
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let mut s = session(&Instance::example_2_2(), &Setting::example_2_2_egd());
+        let ans = s
+            .certain_pair(&parse_nre("f.f*").unwrap(), "c1", "c2")
+            .unwrap();
         assert!(ans.is_certain(), "got {ans:?}");
         // A pair that no solution selects stays NotCertain.
-        let ans = certain_pair(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &parse_nre("f.f*").unwrap(),
-            "c2",
-            "c1",
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let ans = s
+            .certain_pair(&parse_nre("f.f*").unwrap(), "c2", "c1")
+            .unwrap();
         assert!(matches!(ans, CertainAnswer::NotCertain(_)));
     }
 
     #[test]
-    fn non_boolean_query_rejected_by_certain_boolean() {
-        let q = Cnre::parse("(x, f, y)").unwrap();
-        let r = certain_boolean(
+    fn non_boolean_query_rejected_by_certain() {
+        let q = PreparedQuery::parse("(x, f, y)").unwrap();
+        let r = session(&Instance::example_2_2(), &Setting::example_2_2_egd()).certain(&q);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_delegate() {
+        #![allow(deprecated)]
+        let cfg = Options::default();
+        let ans = certain_pair(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_egd(),
+            &parse_nre("f.f*").unwrap(),
+            "c1",
+            "c2",
+            &cfg,
+        )
+        .unwrap();
+        assert!(ans.is_certain());
+        let q = Cnre::parse("(x, f.f*, y)").unwrap();
+        let (rows, _) = certain_answers(
             &Instance::example_2_2(),
             &Setting::example_2_2_egd(),
             &q,
-            &SolverConfig::default(),
-        );
-        assert!(r.is_err());
+            &cfg,
+        )
+        .unwrap();
+        assert!(!rows.is_empty());
+        let boolean = Cnre::parse("(\"c1\", f.f*, \"c2\")").unwrap();
+        assert!(certain_boolean(
+            &Instance::example_2_2(),
+            &Setting::example_2_2_egd(),
+            &boolean,
+            &cfg
+        )
+        .unwrap()
+        .is_certain());
     }
 }

@@ -72,8 +72,12 @@ pub fn direct_map_reified(instance: &Instance) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gdx_query::Cnre;
+    use gdx_query::{Cnre, PreparedQuery};
     use gdx_relational::Schema;
+
+    fn evaluate(g: &gdx_graph::Graph, q: &Cnre) -> gdx_query::NodeBindings {
+        PreparedQuery::new(q.clone()).evaluate(g).unwrap()
+    }
 
     #[test]
     fn binary_mapping_builds_edges() {
@@ -86,7 +90,7 @@ mod tests {
         let g = direct_map_binary(&inst).unwrap();
         assert_eq!(g.edge_count(), 3);
         let q = Cnre::parse("(x, knows.knows, y)").unwrap();
-        let hits = gdx_query::evaluate(&g, &q).unwrap();
+        let hits = evaluate(&g, &q);
         assert_eq!(hits.len(), 1, "alice -knows²-> carol");
     }
 
@@ -109,7 +113,7 @@ mod tests {
             "(t, Flight_2, \"c1\"), (t, Flight_1, id), (s, Hotel_1, id), (s, Hotel_2, \"hx\")",
         )
         .unwrap();
-        let hits = gdx_query::evaluate(&g, &q).unwrap();
+        let hits = evaluate(&g, &q);
         assert_eq!(hits.len(), 1, "flight 01 stayed at hx");
     }
 
@@ -118,7 +122,7 @@ mod tests {
         let inst = Instance::example_2_2();
         let g = direct_map_reified(&inst);
         let q = Cnre::parse("(t, rdf_type, \"Flight\")").unwrap();
-        assert_eq!(gdx_query::evaluate(&g, &q).unwrap().len(), 2);
+        assert_eq!(evaluate(&g, &q).len(), 2);
     }
 
     #[test]
@@ -131,7 +135,7 @@ mod tests {
         let relational = gdx_relational::evaluate(&inst, &cq).unwrap();
         let g = direct_map_reified(&inst);
         let cnre = Cnre::parse("(t, Flight_1, id), (s, Hotel_1, id)").unwrap();
-        let graphy = gdx_query::evaluate(&g, &cnre).unwrap();
+        let graphy = evaluate(&g, &cnre);
         assert_eq!(relational.len(), graphy.len());
     }
 }

@@ -205,15 +205,22 @@ pub fn decode(enc: &Encoding, model: &[bool]) -> Graph {
     g
 }
 
-/// End-to-end: encode, solve, decode. Exact within the fragment.
-pub fn solution_exists_sat(instance: &Instance, setting: &Setting) -> Result<Existence> {
-    let enc = encode_existence(instance, setting)?;
+/// Solves a built encoding and decodes the verdict — the per-call half of
+/// the SAT backend ([`crate::ExchangeSession::solution_exists_sat`]
+/// memoizes the encoding and calls this).
+pub fn solve_encoding(enc: &Encoding) -> Result<Existence> {
     let (res, _stats) = solve(&enc.cnf, SatConfig::default());
     Ok(match res {
-        SatResult::Sat(model) => Existence::Exists(decode(&enc, &model)),
+        SatResult::Sat(model) => Existence::Exists(decode(enc, &model)),
         SatResult::Unsat => Existence::NoSolution,
         SatResult::Unknown => Existence::Unknown("SAT budget exhausted".to_owned()),
     })
+}
+
+/// End-to-end: encode, solve, decode. Exact within the fragment.
+pub fn solution_exists_sat(instance: &Instance, setting: &Setting) -> Result<Existence> {
+    let enc = encode_existence(instance, setting)?;
+    solve_encoding(&enc)
 }
 
 #[cfg(test)]
@@ -326,7 +333,7 @@ mod tests {
 
     #[test]
     fn sat_and_search_solvers_agree() {
-        use crate::exists::{solution_exists, SolverConfig};
+        use crate::session::ExchangeSession;
         let pool: Vec<Vec<Lit>> = vec![
             vec![Lit::pos(0), Lit::pos(1)],
             vec![Lit::neg(0), Lit::neg(1)],
@@ -341,8 +348,9 @@ mod tests {
                 f.add_clause(pool[j].clone());
                 let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
                 let via_sat = solution_exists_sat(&r.instance, &r.setting).unwrap();
-                let via_search =
-                    solution_exists(&r.instance, &r.setting, &SolverConfig::default()).unwrap();
+                let via_search = ExchangeSession::new(r.setting.clone(), r.instance.clone())
+                    .solution_exists()
+                    .unwrap();
                 assert_eq!(via_sat.exists(), via_search.exists(), "on {f}");
             }
         }

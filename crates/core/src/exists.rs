@@ -19,30 +19,32 @@
 //!      (star-free, non-nullable s-t heads; no target tgds) where the
 //!      candidate family provably covers all homomorphism-minimal
 //!      solutions — otherwise `Unknown` (see DESIGN.md §5).
+//!
+//! The search itself lives in [`crate::session`]: candidates stream out of
+//! [`crate::ExchangeSession::solutions`] lazily, so existence stops at the
+//! first verified witness. The free functions here are deprecated one-shot
+//! wrappers over a throwaway session. This module keeps the shared
+//! machinery: the [`Existence`] outcome, the exact-fragment test, and the
+//! concrete-graph egd repair used both by the solver and by callers
+//! patching graphs by hand.
 
-use gdx_chase::{
-    chase_egds_on_pattern, chase_st, chase_target_tgds, saturate_same_as, EgdChaseConfig,
-    EgdChaseOutcome, SameAsEngine, StChaseVariant, TgdChaseConfig, TgdChaseEngine,
-};
+use crate::options::Options;
+use crate::session::ExchangeSession;
+use gdx_chase::{chase_st, chase_target_tgds, saturate_same_as, EgdChaseOutcome, StChaseVariant};
 use gdx_common::{GdxError, Result, UnionFind};
 use gdx_graph::{Graph, NodeId};
 use gdx_mapping::{Egd, Setting};
 use gdx_nre::eval::EvalCache;
 use gdx_nre::Nre;
-use gdx_pattern::{instantiation_family, InstantiationConfig};
-use gdx_query::evaluate_with_cache;
+use gdx_query::PreparedQuery;
 use gdx_relational::Instance;
 
-/// Solver bounds shared by existence and certain-answer search.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SolverConfig {
-    /// Canonical-instantiation bounds.
-    pub instantiation: InstantiationConfig,
-    /// Adapted-chase bounds.
-    pub egd_chase: EgdChaseConfig,
-    /// Target-tgd chase bounds.
-    pub tgd_chase: TgdChaseConfig,
-}
+/// The former name of [`Options`], kept so downstream code compiles.
+#[deprecated(
+    note = "renamed to `gdx_exchange::Options` (the sat solver's config is re-exported \
+                     as `gdx_sat::SatConfig`)"
+)]
+pub type SolverConfig = Options;
 
 /// Outcome of the existence decision.
 // The witness graph *is* the payload of the variant; boxing it would
@@ -74,22 +76,14 @@ impl Existence {
 }
 
 /// Decides whether `Sol_Ω(I) ≠ ∅`.
-pub fn solution_exists(
-    instance: &Instance,
-    setting: &Setting,
-    cfg: &SolverConfig,
-) -> Result<Existence> {
-    let (candidates, exact) = enumerate_minimal_solutions(instance, setting, cfg, true)?;
-    if let Some(g) = candidates.into_iter().next() {
-        return Ok(Existence::Exists(g));
-    }
-    if exact {
-        Ok(Existence::NoSolution)
-    } else {
-        Ok(Existence::Unknown(
-            "bounded candidate search exhausted outside the exact fragment".to_owned(),
-        ))
-    }
+#[deprecated(
+    note = "use `ExchangeSession::solution_exists` — a session reuses the chased \
+                     representative and engine caches across calls"
+)]
+pub fn solution_exists(instance: &Instance, setting: &Setting, cfg: &Options) -> Result<Existence> {
+    ExchangeSession::new(setting.clone(), instance.clone())
+        .with_options(*cfg)
+        .solution_exists()
 }
 
 /// Enumerates verified solutions from the canonical candidate family.
@@ -101,93 +95,27 @@ pub fn solution_exists(
 ///   in *every* listed solution.
 ///
 /// With `first_only`, stops at the first verified solution.
+#[deprecated(
+    note = "use `ExchangeSession::solutions` — the session streams verified solutions \
+                     lazily instead of materializing the whole family"
+)]
 pub fn enumerate_minimal_solutions(
     instance: &Instance,
     setting: &Setting,
-    cfg: &SolverConfig,
+    cfg: &Options,
     first_only: bool,
 ) -> Result<(Vec<Graph>, bool)> {
-    setting.validate()?;
-    let st = chase_st(instance, setting, StChaseVariant::Oblivious)?;
-    let mut exact = exact_fragment(setting);
-
-    // Adapted chase (Section 5): failure is a sound no-solution proof.
-    let egds: Vec<Egd> = setting.egds().cloned().collect();
-    let pattern = if egds.is_empty() {
-        st.pattern
-    } else {
-        match chase_egds_on_pattern(&st.pattern, &egds, cfg.egd_chase)? {
-            EgdChaseOutcome::Success { pattern, .. } => pattern,
-            EgdChaseOutcome::Failed { .. } => return Ok((Vec::new(), true)),
-        }
-    };
-
-    // Candidate family: bounded canonical instantiations.
-    let family = match instantiation_family(&pattern, cfg.instantiation) {
-        Ok(f) => f,
-        // Bounds left some edge without a realization: inconclusive.
-        Err(GdxError::LimitExceeded(_)) => return Ok((Vec::new(), false)),
-        Err(e) => return Err(e),
-    };
-    if family.len() >= cfg.instantiation.max_graphs {
-        // The cap truncated the family: coverage is no longer provable.
-        exact = false;
-    }
-
-    let same_as: Vec<_> = setting.same_as_constraints().cloned().collect();
-    let target_tgds: Vec<_> = setting.target_tgds().cloned().collect();
-
-    // The enforcement engines persist across rounds *and* candidates:
-    // within a candidate they mutate the graph in place, so their
-    // delta caches survive the fixpoint rounds (the chase restarts
-    // instead of re-chasing from scratch); switching to the next
-    // candidate — or an egd quotient replacing the graph value — resets
-    // them via graph-identity detection.
-    let mut sameas_engine = (!same_as.is_empty()).then(|| SameAsEngine::new(&same_as));
-    let mut tgd_engine =
-        (!target_tgds.is_empty()).then(|| TgdChaseEngine::new(&target_tgds, cfg.tgd_chase));
-
-    let mut solutions = Vec::new();
-    'candidates: for mut g in family {
-        // Enforce the three constraint kinds to a joint fixpoint: egd
-        // merges can create new sameAs/tgd obligations and vice versa.
-        // Each enforcement is monotone (adds edges or merges nodes), so a
-        // handful of rounds suffices; the final is_solution check keeps
-        // Exists sound regardless of the round cap.
-        for _round in 0..8 {
-            if let Some(engine) = &mut sameas_engine {
-                engine.saturate(&mut g)?;
-            }
-            if let Some(engine) = &mut tgd_engine {
-                match engine.run(&mut g) {
-                    Ok(()) => {}
-                    Err(GdxError::LimitExceeded(_)) => {
-                        exact = false;
-                        continue 'candidates;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            // Concrete egd repair: merge forced violations; a constant
-            // clash kills the candidate. Violation-free rounds keep the
-            // graph value (and hence the engine caches) intact.
-            if !repair_egds_in_place(&mut g, &egds)? {
-                continue 'candidates;
-            }
-            if crate::solution::is_solution(instance, setting, &g)? {
-                solutions.push(g);
-                if first_only {
-                    return Ok((solutions, exact));
-                }
-                continue 'candidates;
-            }
-            if same_as.is_empty() && target_tgds.is_empty() {
-                // Nothing else can change: the candidate is dead.
-                continue 'candidates;
-            }
+    let mut session = ExchangeSession::new(setting.clone(), instance.clone()).with_options(*cfg);
+    let mut stream = session.solutions()?;
+    let mut out = Vec::new();
+    for g in &mut stream {
+        out.push(g?);
+        if first_only {
+            break;
         }
     }
-    Ok((solutions, exact))
+    let exact = stream.exact();
+    Ok((out, exact))
 }
 
 /// The fragment where the candidate family is provably complete: egds with
@@ -222,19 +150,17 @@ pub fn repair_egds(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>> {
     if egds.is_empty() {
         return Ok(Some(graph.clone()));
     }
+    let prepared: Vec<PreparedEgd> = egds.iter().map(PreparedEgd::new).collect();
     let mut g = graph.clone();
     loop {
         let mut merge: Option<(NodeId, NodeId)> = None;
         {
             let mut cache = EvalCache::new();
-            'outer: for egd in egds {
-                let matches = evaluate_with_cache(&g, &egd.body, &mut cache)?;
-                let vars = matches.vars();
-                let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
-                let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
+            'outer: for egd in &prepared {
+                let matches = egd.body.matches(&g, &mut cache)?;
                 for row in matches.rows() {
-                    if row[li] != row[ri] {
-                        merge = Some((row[li], row[ri]));
+                    if row[egd.li] != row[egd.ri] {
+                        merge = Some((row[egd.li], row[egd.ri]));
                         break 'outer;
                     }
                 }
@@ -270,44 +196,81 @@ pub fn repair_egds_batched(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>>
 /// exists, the graph value is left untouched — its [`gdx_graph::GraphId`]
 /// survives, so incremental engines watching the graph keep their caches.
 pub fn repair_egds_in_place(g: &mut Graph, egds: &[Egd]) -> Result<bool> {
-    if egds.is_empty() {
-        return Ok(true);
+    EgdRepairer::new(egds).repair(g)
+}
+
+/// One egd with its body query compiled and the columns of the equated
+/// variables resolved.
+struct PreparedEgd {
+    body: PreparedQuery,
+    li: usize,
+    ri: usize,
+}
+
+impl PreparedEgd {
+    fn new(egd: &Egd) -> PreparedEgd {
+        let body = PreparedQuery::new(egd.body.clone());
+        let vars = body.variables();
+        let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
+        let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
+        PreparedEgd { body, li, ri }
     }
-    loop {
-        let mut uf = UnionFind::new(g.node_count());
-        let mut any = false;
-        {
-            let mut cache = EvalCache::new();
-            for egd in egds {
-                let matches = evaluate_with_cache(g, &egd.body, &mut cache)?;
-                let vars = matches.vars();
-                let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
-                let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
-                for row in matches.rows() {
-                    let (a, b) = (row[li], row[ri]);
-                    if uf.find(a) == uf.find(b) {
-                        continue;
-                    }
-                    any = true;
-                    let (ra, rb) = (uf.find(a), uf.find(b));
-                    let ca = g.node(ra).is_const();
-                    let cb = g.node(rb).is_const();
-                    match (ca, cb) {
-                        (true, true) => return Ok(false),
-                        (true, false) => {
-                            uf.union_into(ra, rb);
+}
+
+/// The concrete-graph egd repair with its queries compiled once — the
+/// session holds one of these and runs it on every candidate (per repair
+/// round), so the per-candidate cost is evaluation only.
+pub(crate) struct EgdRepairer {
+    egds: Vec<PreparedEgd>,
+}
+
+impl EgdRepairer {
+    pub(crate) fn new(egds: &[Egd]) -> EgdRepairer {
+        EgdRepairer {
+            egds: egds.iter().map(PreparedEgd::new).collect(),
+        }
+    }
+
+    /// Merges all forced violations to fixpoint (batched via union-find),
+    /// returning `false` on a constant clash. Violation-free graphs keep
+    /// their value (and [`gdx_graph::GraphId`]) untouched.
+    pub(crate) fn repair(&self, g: &mut Graph) -> Result<bool> {
+        if self.egds.is_empty() {
+            return Ok(true);
+        }
+        loop {
+            let mut uf = UnionFind::new(g.node_count());
+            let mut any = false;
+            {
+                let mut cache = EvalCache::new();
+                for egd in &self.egds {
+                    let matches = egd.body.matches(g, &mut cache)?;
+                    for row in matches.rows() {
+                        let (a, b) = (row[egd.li], row[egd.ri]);
+                        if uf.find(a) == uf.find(b) {
+                            continue;
                         }
-                        _ => {
-                            uf.union_into(rb, ra);
+                        any = true;
+                        let (ra, rb) = (uf.find(a), uf.find(b));
+                        let ca = g.node(ra).is_const();
+                        let cb = g.node(rb).is_const();
+                        match (ca, cb) {
+                            (true, true) => return Ok(false),
+                            (true, false) => {
+                                uf.union_into(ra, rb);
+                            }
+                            _ => {
+                                uf.union_into(rb, ra);
+                            }
                         }
                     }
                 }
             }
+            if !any {
+                return Ok(true);
+            }
+            *g = g.quotient(|id| uf.find_const(id));
         }
-        if !any {
-            return Ok(true);
-        }
-        *g = g.quotient(|id| uf.find_const(id));
     }
 }
 
@@ -316,7 +279,7 @@ pub fn repair_egds_in_place(g: &mut Graph, egds: &[Egd]) -> Result<bool> {
 pub fn construct_solution_no_egds(
     instance: &Instance,
     setting: &Setting,
-    cfg: &SolverConfig,
+    cfg: &Options,
 ) -> Result<Graph> {
     if setting.has_egds() {
         return Err(GdxError::unsupported(
@@ -341,53 +304,54 @@ pub fn construct_solution_no_egds(
 
 /// Exposes the chased pattern for inspection (and for the representative
 /// module).
+#[deprecated(
+    note = "use `ExchangeSession::representative` — the session memoizes the chased \
+                     pattern across calls"
+)]
 pub fn chased_pattern(
     instance: &Instance,
     setting: &Setting,
-    cfg: &SolverConfig,
+    cfg: &Options,
 ) -> Result<EgdChaseOutcome> {
-    let st = chase_st(instance, setting, StChaseVariant::Oblivious)?;
-    let egds: Vec<Egd> = setting.egds().cloned().collect();
-    if egds.is_empty() {
-        return Ok(EgdChaseOutcome::Success {
-            pattern: st.pattern,
-            merges: 0,
-        });
-    }
-    chase_egds_on_pattern(&st.pattern, &egds, cfg.egd_chase)
+    use crate::representative::RepresentativeOutcome;
+    let mut session = ExchangeSession::new(setting.clone(), instance.clone()).with_options(*cfg);
+    Ok(match session.representative()? {
+        RepresentativeOutcome::Representative(rep) => EgdChaseOutcome::Success {
+            pattern: rep.pattern.clone(),
+            merges: session.representative_merges(),
+        },
+        RepresentativeOutcome::ChaseFailed => {
+            let (constants, merges) = session
+                .representative_failure()
+                .expect("ChaseFailed records its clash");
+            EgdChaseOutcome::Failed { constants, merges }
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::ExchangeSession;
     use gdx_common::Symbol;
+
+    fn session(instance: &Instance, setting: &Setting) -> ExchangeSession {
+        ExchangeSession::new(setting.clone(), instance.clone())
+    }
 
     #[test]
     fn example_2_2_has_solution() {
-        let ex = solution_exists(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let mut s = session(&Instance::example_2_2(), &Setting::example_2_2_egd());
+        let ex = s.solution_exists().unwrap();
         let g = ex.witness().expect("solution exists");
-        assert!(crate::solution::is_solution(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            g
-        )
-        .unwrap());
+        assert!(s.is_solution(g).unwrap());
     }
 
     #[test]
     fn sameas_setting_has_solution_fast_path() {
         let setting = Setting::example_2_2_sameas();
-        let g = construct_solution_no_egds(
-            &Instance::example_2_2(),
-            &setting,
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let g = construct_solution_no_egds(&Instance::example_2_2(), &setting, &Options::default())
+            .unwrap();
         assert!(crate::solution::is_solution(&Instance::example_2_2(), &setting, &g).unwrap());
     }
 
@@ -397,13 +361,19 @@ mod tests {
         let setting = Setting::example_5_2();
         let schema = setting.source.clone();
         let inst = Instance::parse(schema, "R(c1); P(c2);").unwrap();
+        let mut s = session(&inst, &setting);
         // 1. The adapted chase succeeds…
-        let chased = chased_pattern(&inst, &setting, &SolverConfig::default()).unwrap();
-        assert!(chased.succeeded(), "Example 5.2: chase must succeed");
+        assert!(
+            matches!(
+                s.representative().unwrap(),
+                crate::representative::RepresentativeOutcome::Representative(_)
+            ),
+            "Example 5.2: chase must succeed"
+        );
         // 2. …yet the solver proves nothing satisfies both constraints?
         // The setting's heads contain stars (b*+c*), so it is OUTSIDE the
         // exact fragment; the solver must answer Unknown, not Exists.
-        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        let ex = s.solution_exists().unwrap();
         match ex {
             Existence::Unknown(_) => {}
             Existence::NoSolution => {}
@@ -425,8 +395,35 @@ mod tests {
         .unwrap();
         let schema = setting.source.clone();
         let inst = Instance::parse(schema, "R(u1, shared); R(u2, shared);").unwrap();
-        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        let ex = session(&inst, &setting).solution_exists().unwrap();
         assert!(matches!(ex, Existence::NoSolution));
+    }
+
+    #[test]
+    fn egd_failure_is_no_solution_outside_exact_fragment() {
+        // A failed adapted chase proves emptiness in *every* fragment: the
+        // star head puts this setting outside the exact fragment, yet the
+        // constant clash must still yield NoSolution (not Unknown), with
+        // certainty vacuous — the Corollary 4.2 convention.
+        let setting = gdx_mapping::dsl::parse_setting(
+            "source { R/2 }
+             target { h; g }
+             sttgd R(x, y) -> (x, h, y), (x, g.g*, y);
+             egd (x1, h, x3), (x2, h, x3) -> x1 = x2;",
+        )
+        .unwrap();
+        assert!(!exact_fragment(&setting), "g.g* head has a star");
+        let schema = setting.source.clone();
+        let inst = Instance::parse(schema, "R(u1, shared); R(u2, shared);").unwrap();
+        let mut s = session(&inst, &setting);
+        assert!(matches!(
+            s.solution_exists().unwrap(),
+            Existence::NoSolution
+        ));
+        let ((c1, c2), _) = s.representative_failure().expect("clash recorded");
+        assert_ne!(c1, c2);
+        let probe = gdx_query::PreparedQuery::parse("(\"u1\", h, \"shared\")").unwrap();
+        assert!(s.certain(&probe).unwrap().is_certain(), "vacuously certain");
     }
 
     #[test]
@@ -442,7 +439,7 @@ mod tests {
         .unwrap();
         let schema = setting.source.clone();
         let inst = Instance::parse(schema, "R1(c1); R2(c2);").unwrap();
-        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        let ex = session(&inst, &setting).solution_exists().unwrap();
         let g = ex.witness().expect("f-loop solution exists");
         let c1 = g.node_id(gdx_graph::Node::cst("c1")).unwrap();
         assert!(g.has_edge_labelled(c1, "f", c1));
@@ -461,7 +458,7 @@ mod tests {
         .unwrap();
         let schema = setting.source.clone();
         let inst = Instance::parse(schema, "R1(c1); R2(c2);").unwrap();
-        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        let ex = session(&inst, &setting).solution_exists().unwrap();
         assert!(
             matches!(ex, Existence::NoSolution),
             "exact fragment: search exhaustion proves emptiness, got {ex:?}"
@@ -530,7 +527,22 @@ mod tests {
         .unwrap();
         let schema = setting.source.clone();
         let inst = Instance::parse(schema, "R(a, b); R(b, c);").unwrap();
-        let ex = solution_exists(&inst, &setting, &SolverConfig::default()).unwrap();
+        let ex = session(&inst, &setting).solution_exists().unwrap();
         assert!(ex.exists());
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_delegate() {
+        // The compatibility surface: old one-shot functions answer exactly
+        // like a fresh session.
+        #![allow(deprecated)]
+        let inst = Instance::example_2_2();
+        let setting = Setting::example_2_2_egd();
+        let cfg = Options::default();
+        let ex = solution_exists(&inst, &setting, &cfg).unwrap();
+        assert!(ex.exists());
+        let (sols, _exact) = enumerate_minimal_solutions(&inst, &setting, &cfg, false).unwrap();
+        assert!(!sols.is_empty());
+        assert!(chased_pattern(&inst, &setting, &cfg).unwrap().succeeded());
     }
 }

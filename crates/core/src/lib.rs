@@ -18,9 +18,27 @@
 //!    with egds (Corollary 4.2) and already with sameAs constraints
 //!    (Proposition 4.3).
 //!
+//! **The entry point is [`ExchangeSession`]**: a stateful handle over one
+//! `(setting, instance)` pair that memoizes the expensive artifacts — the
+//! chased universal representative, the verified minimal-solution family,
+//! the SAT encoding, the chase engines — and exposes the whole workload
+//! surface as methods ([`is_solution`][ExchangeSession::is_solution],
+//! [`solution_exists`][ExchangeSession::solution_exists],
+//! [`solutions`][ExchangeSession::solutions] (lazy streaming),
+//! [`certain`][ExchangeSession::certain] /
+//! [`certain_pair`][ExchangeSession::certain_pair] /
+//! [`certain_answers`][ExchangeSession::certain_answers],
+//! [`representative`][ExchangeSession::representative]). Every method
+//! observes the session's [`Options`]. The per-module free functions are
+//! deprecated one-shot wrappers kept for downstream code.
+//!
 //! Supporting modules:
 //!
-//! * [`solution`] — the `Sol_Ω(I)` membership check;
+//! * [`session`] — the stateful session and its streaming solution
+//!   iterator;
+//! * [`options`] — the single knob surface ([`Options`]);
+//! * [`solution`] — the `Sol_Ω(I)` membership check (and its compiled
+//!   [`solution::SolutionChecker`] form);
 //! * [`reduction`] — the Theorem 4.1 reduction (3SAT → setting) and its
 //!   inverse;
 //! * [`encode`] — SAT encoding of existence for the restricted fragment;
@@ -31,18 +49,34 @@ pub mod certain;
 pub mod direct;
 pub mod encode;
 pub mod exists;
+pub mod options;
 pub mod reduction;
 pub mod representative;
+pub mod session;
 pub mod solution;
 
-pub use certain::{certain_pair, CertainAnswer};
-pub use exists::{enumerate_minimal_solutions, solution_exists, Existence, SolverConfig};
+#[allow(deprecated)]
+pub use certain::certain_pair;
+pub use certain::CertainAnswer;
+pub use exists::Existence;
+#[allow(deprecated)]
+pub use exists::{enumerate_minimal_solutions, solution_exists, SolverConfig};
+pub use options::Options;
 pub use reduction::Reduction;
 pub use representative::UniversalRepresentative;
-pub use solution::is_solution;
+pub use session::{ExchangeSession, SolutionStream};
+pub use solution::{is_solution, SolutionChecker};
 
 /// Facade bundling an instance with a setting, exposing the main
 /// operations with shared defaults.
+///
+/// Superseded by [`ExchangeSession`]: the facade is stateless, so every
+/// call re-chases and re-plans from cold state. It is kept (deprecated)
+/// because its `&self` methods and public fields are part of the old API.
+#[deprecated(
+    note = "use `ExchangeSession`, which memoizes the representative, the solution \
+                     family, and the engine caches across calls"
+)]
 #[derive(Debug, Clone)]
 pub struct Exchange {
     /// The data exchange setting `Ω`.
@@ -50,34 +84,46 @@ pub struct Exchange {
     /// The source instance `I`.
     pub instance: gdx_relational::Instance,
     /// Solver bounds.
-    pub config: SolverConfig,
+    pub config: Options,
 }
 
+#[allow(deprecated)]
 impl Exchange {
     /// Creates a facade with default solver bounds.
     pub fn new(setting: gdx_mapping::Setting, instance: gdx_relational::Instance) -> Exchange {
         Exchange {
             setting,
             instance,
-            config: SolverConfig::default(),
+            config: Options::default(),
         }
+    }
+
+    /// A session over the same pair — the migration path.
+    pub fn into_session(self) -> ExchangeSession {
+        ExchangeSession::new(self.setting, self.instance).with_options(self.config)
+    }
+
+    fn session(&self) -> ExchangeSession {
+        ExchangeSession::new(self.setting.clone(), self.instance.clone()).with_options(self.config)
     }
 
     /// `G ∈ Sol_Ω(I)`?
     pub fn is_solution(&self, graph: &gdx_graph::Graph) -> gdx_common::Result<bool> {
-        solution::is_solution(&self.instance, &self.setting, graph)
+        self.session().is_solution(graph)
     }
 
     /// Decides existence of solutions.
     pub fn solution_exists(&self) -> gdx_common::Result<Existence> {
-        exists::solution_exists(&self.instance, &self.setting, &self.config)
+        self.session().solution_exists()
     }
 
     /// The chased universal representative `(pattern, constraints)`.
     pub fn universal_representative(
         &self,
     ) -> gdx_common::Result<representative::RepresentativeOutcome> {
-        representative::chase_representative(&self.instance, &self.setting, &self.config)
+        let mut s = self.session();
+        let outcome = s.representative()?.clone();
+        Ok(outcome)
     }
 
     /// Is `(c1, c2)` a certain answer of the single-NRE query `r`?
@@ -87,6 +133,6 @@ impl Exchange {
         c1: &str,
         c2: &str,
     ) -> gdx_common::Result<CertainAnswer> {
-        certain::certain_pair(&self.instance, &self.setting, r, c1, c2, &self.config)
+        self.session().certain_pair(r, c1, c2)
     }
 }

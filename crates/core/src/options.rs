@@ -1,0 +1,66 @@
+//! The single knob surface of the exchange stack.
+//!
+//! Every session entry point observes one [`Options`] value (absorbing the
+//! former `SolverConfig`): the candidate-instantiation bounds, the two
+//! chase configurations, the query planner mode, answer/solution caps, and
+//! the fresh-null name seed. One struct, threaded everywhere — no method
+//! gets to pick its own defaults behind the caller's back.
+
+use gdx_chase::{EgdChaseConfig, TgdChaseConfig};
+use gdx_pattern::InstantiationConfig;
+use gdx_query::PlannerMode;
+
+/// Solver and evaluation knobs shared by every [`crate::ExchangeSession`]
+/// entry point (and, via the deprecated free-function wrappers, the
+/// one-shot API).
+///
+/// The default value reproduces the historical `SolverConfig::default()`
+/// behaviour exactly: bounded candidate search, automatic access-path
+/// planning, no extra caps, null names from `~0`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Options {
+    /// Canonical-instantiation bounds (witness enumeration per pattern
+    /// edge, candidate-family cap).
+    pub instantiation: InstantiationConfig,
+    /// Adapted-chase bounds (egd steps on graph patterns).
+    pub egd_chase: EgdChaseConfig,
+    /// Target-tgd chase bounds and evaluation mode.
+    pub tgd_chase: TgdChaseConfig,
+    /// Access-path planner mode for the session's *query-answering*
+    /// evaluations (the `certain*` family).
+    /// [`PlannerMode::Materialize`] forces the single-strategy baseline
+    /// there. The internal enforcement engines (solution checking, chase,
+    /// egd repair) always use the cost-based planner — their baseline is
+    /// reachable directly via
+    /// [`PreparedQuery::evaluate_seeded_mode`](gdx_query::PreparedQuery::evaluate_seeded_mode).
+    pub planner: PlannerMode,
+    /// Cap on the number of rows returned by answer-set computations
+    /// (e.g. [`crate::ExchangeSession::certain_answers`] truncates its
+    /// result to this many rows). `None` = unbounded.
+    pub row_limit: Option<usize>,
+    /// Cap on the number of solutions yielded by
+    /// [`crate::ExchangeSession::solutions`]. Stopping at the cap leaves
+    /// candidates unexamined, so exactness claims are withdrawn
+    /// (`exact() == false`). `None` = bounded only by the candidate
+    /// family.
+    pub solution_cap: Option<usize>,
+    /// First fresh-null name used by the session's source-to-target chase
+    /// (`~{seed}`, see [`gdx_graph::NullFactory::starting_at`]) — lets
+    /// co-hosted sessions keep disjoint, reproducible null namespaces.
+    pub null_seed: u64,
+}
+
+impl Options {
+    /// Options with a different candidate-family cap — the most common
+    /// adjustment (exactness over reductions needs `2^n` candidates).
+    pub fn with_max_graphs(mut self, max_graphs: usize) -> Options {
+        self.instantiation.max_graphs = max_graphs;
+        self
+    }
+
+    /// Options with a fixed planner mode.
+    pub fn with_planner(mut self, planner: PlannerMode) -> Options {
+        self.planner = planner;
+        self
+    }
+}

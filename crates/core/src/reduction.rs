@@ -252,8 +252,21 @@ fn word_index(s: Symbol) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exists::{solution_exists, Existence, SolverConfig};
-    use gdx_sat::{brute_force, solve, SatResult, SolverConfig as SatConfig};
+    use crate::exists::Existence;
+    use crate::options::Options;
+    use crate::session::ExchangeSession;
+    use gdx_sat::{brute_force, solve, SatConfig, SatResult};
+
+    fn solution_exists(
+        instance: &gdx_relational::Instance,
+        setting: &gdx_mapping::Setting,
+        cfg: &Options,
+    ) -> Existence {
+        ExchangeSession::new(setting.clone(), instance.clone())
+            .with_options(*cfg)
+            .solution_exists()
+            .unwrap()
+    }
 
     /// ρ₀ = (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x3 ∨ ¬x4).
     fn rho0() -> Cnf {
@@ -296,7 +309,7 @@ mod tests {
     #[test]
     fn existence_matches_sat_on_rho0() {
         let r = Reduction::from_cnf(&rho0(), ReductionFlavor::Egd).unwrap();
-        let ex = solution_exists(&r.instance, &r.setting, &SolverConfig::default()).unwrap();
+        let ex = solution_exists(&r.instance, &r.setting, &Options::default());
         assert!(ex.exists(), "ρ₀ is satisfiable");
         let val = r
             .valuation_from_solution(ex.witness().unwrap())
@@ -313,7 +326,7 @@ mod tests {
         f.add_clause(vec![Lit::neg(1)]);
         assert!(brute_force(&f).is_none());
         let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
-        let ex = solution_exists(&r.instance, &r.setting, &SolverConfig::default()).unwrap();
+        let ex = solution_exists(&r.instance, &r.setting, &Options::default());
         assert!(matches!(ex, Existence::NoSolution));
     }
 
@@ -329,14 +342,14 @@ mod tests {
             vec![Lit::neg(0)],
             vec![Lit::pos(0)],
         ];
-        let cfg = SolverConfig::default();
+        let cfg = Options::default();
         for i in 0..pool.len() {
             for j in i..pool.len() {
                 let mut f = Cnf::new(3);
                 f.add_clause(pool[i].clone());
                 f.add_clause(pool[j].clone());
                 let r = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
-                let ex = solution_exists(&r.instance, &r.setting, &cfg).unwrap();
+                let ex = solution_exists(&r.instance, &r.setting, &cfg);
                 let sat = brute_force(&f).is_some();
                 match (sat, &ex) {
                     (true, Existence::Exists(_)) | (false, Existence::NoSolution) => {}
@@ -353,12 +366,9 @@ mod tests {
         f.add_clause(vec![Lit::pos(0)]);
         f.add_clause(vec![Lit::neg(0)]);
         let r = Reduction::from_cnf(&f, ReductionFlavor::SameAs).unwrap();
-        let g = crate::exists::construct_solution_no_egds(
-            &r.instance,
-            &r.setting,
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let g =
+            crate::exists::construct_solution_no_egds(&r.instance, &r.setting, &Options::default())
+                .unwrap();
         assert!(crate::solution::is_solution(&r.instance, &r.setting, &g).unwrap());
     }
 

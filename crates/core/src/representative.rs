@@ -15,11 +15,10 @@
 //! constraints)*: `Sol = {G | π → G and G ⊨ M_t}` — implemented here as
 //! [`UniversalRepresentative`].
 
-use crate::exists::SolverConfig;
-use gdx_chase::{chase_egds_on_pattern, chase_st, EgdChaseOutcome, StChaseVariant};
+use crate::options::Options;
 use gdx_common::Result;
 use gdx_graph::Graph;
-use gdx_mapping::{Egd, Setting, TargetConstraint};
+use gdx_mapping::{Setting, TargetConstraint};
 use gdx_pattern::{represents, GraphPattern};
 use gdx_relational::Instance;
 
@@ -64,7 +63,7 @@ impl UniversalRepresentative {
     pub fn certain_answer_lower_bound(
         &self,
         query: &gdx_query::Cnre,
-        cfg: &SolverConfig,
+        cfg: &Options,
     ) -> Result<Vec<Vec<gdx_graph::Node>>> {
         use gdx_chase::egd_pattern::certain_matches;
         let mut cache = gdx_common::FxHashMap::default();
@@ -113,12 +112,13 @@ impl SettingView<'_> {
         use gdx_common::{FxHashMap, Symbol};
         use gdx_graph::NodeId;
         use gdx_nre::eval::EvalCache;
-        use gdx_query::{evaluate_seeded_exists, evaluate_with_cache};
+        use gdx_query::PreparedQuery;
         let mut cache = EvalCache::new();
         for c in self.constraints {
             match c {
                 TargetConstraint::Egd(egd) => {
-                    let m = evaluate_with_cache(graph, &egd.body, &mut cache)?;
+                    let body = PreparedQuery::new(egd.body.clone());
+                    let m = body.matches(graph, &mut cache)?;
                     let vars = m.vars();
                     let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
                     let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
@@ -127,7 +127,9 @@ impl SettingView<'_> {
                     }
                 }
                 TargetConstraint::Tgd(tgd) => {
-                    let m = evaluate_with_cache(graph, &tgd.body, &mut cache)?;
+                    let body = PreparedQuery::new(tgd.body.clone());
+                    let head = PreparedQuery::new(tgd.head.clone());
+                    let m = body.matches(graph, &mut cache)?;
                     let vars: Vec<Symbol> = m.vars().to_vec();
                     let rows: Vec<Vec<NodeId>> = m.rows().iter().map(|r| r.to_vec()).collect();
                     for row in rows {
@@ -139,7 +141,7 @@ impl SettingView<'_> {
                                 vars.iter().position(|&bv| bv == v).map(|i| (v, row[i]))
                             })
                             .collect();
-                        if !evaluate_seeded_exists(graph, &tgd.head, &mut cache, &seed)? {
+                        if !head.evaluate_seeded_exists(graph, &mut cache, &seed)? {
                             return Ok(false);
                         }
                     }
@@ -157,41 +159,32 @@ impl SettingView<'_> {
 
 /// Runs the adapted chase (s-t phase + egd phase) and packages the result
 /// as a `(pattern, constraints)` representative.
+#[deprecated(note = "use `ExchangeSession::representative` — the session memoizes the chase")]
 pub fn chase_representative(
     instance: &Instance,
     setting: &Setting,
-    cfg: &SolverConfig,
+    cfg: &Options,
 ) -> Result<RepresentativeOutcome> {
-    let st = chase_st(instance, setting, StChaseVariant::Oblivious)?;
-    let egds: Vec<Egd> = setting.egds().cloned().collect();
-    let pattern = if egds.is_empty() {
-        st.pattern
-    } else {
-        match chase_egds_on_pattern(&st.pattern, &egds, cfg.egd_chase)? {
-            EgdChaseOutcome::Success { pattern, .. } => pattern,
-            EgdChaseOutcome::Failed { .. } => return Ok(RepresentativeOutcome::ChaseFailed),
-        }
-    };
-    Ok(RepresentativeOutcome::Representative(
-        UniversalRepresentative {
-            pattern,
-            constraints: setting.target_constraints.clone(),
-        },
-    ))
+    let mut session =
+        crate::session::ExchangeSession::new(setting.clone(), instance.clone()).with_options(*cfg);
+    let outcome = session.representative()?.clone();
+    Ok(outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::ExchangeSession;
+
+    fn rep_of(instance: &Instance, setting: &Setting) -> RepresentativeOutcome {
+        ExchangeSession::new(setting.clone(), instance.clone())
+            .representative()
+            .unwrap()
+            .clone()
+    }
 
     fn rep_2_2() -> UniversalRepresentative {
-        match chase_representative(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &SolverConfig::default(),
-        )
-        .unwrap()
-        {
+        match rep_of(&Instance::example_2_2(), &Setting::example_2_2_egd()) {
             RepresentativeOutcome::Representative(r) => r,
             RepresentativeOutcome::ChaseFailed => panic!("chase must succeed"),
         }
@@ -259,7 +252,7 @@ mod tests {
         .unwrap();
         let schema = setting.source.clone();
         let inst = Instance::parse(schema, "R(u1, s); R(u2, s);").unwrap();
-        let out = chase_representative(&inst, &setting, &SolverConfig::default()).unwrap();
+        let out = rep_of(&inst, &setting);
         assert!(matches!(out, RepresentativeOutcome::ChaseFailed));
     }
 
@@ -271,7 +264,7 @@ mod tests {
         let rep = rep_2_2();
         let q = gdx_query::Cnre::parse("(x, f.f*, y)").unwrap();
         let rows = rep
-            .certain_answer_lower_bound(&q, &SolverConfig::default())
+            .certain_answer_lower_bound(&q, &Options::default())
             .unwrap();
         let names: Vec<(String, String)> = rows
             .iter()
@@ -280,13 +273,9 @@ mod tests {
         assert!(names.contains(&("c1".to_string(), "c2".to_string())));
         assert!(names.contains(&("c3".to_string(), "c2".to_string())));
         // Soundness against the enumeration-based computation.
-        let (full, _) = crate::certain::certain_answers(
-            &Instance::example_2_2(),
-            &Setting::example_2_2_egd(),
-            &q,
-            &SolverConfig::default(),
-        )
-        .unwrap();
+        let (full, _) = ExchangeSession::new(Setting::example_2_2_egd(), Instance::example_2_2())
+            .certain_answers(&gdx_query::PreparedQuery::new(q.clone()))
+            .unwrap();
         for row in &rows {
             assert!(full.contains(row), "{row:?} must be certain");
         }
@@ -302,9 +291,7 @@ mod tests {
                    -> exists y : (x2, f.f*, y), (y, h, x4), (y, f.f*, x3);",
         )
         .unwrap();
-        let out =
-            chase_representative(&Instance::example_2_2(), &setting, &SolverConfig::default())
-                .unwrap();
+        let out = rep_of(&Instance::example_2_2(), &setting);
         let RepresentativeOutcome::Representative(rep) = out else {
             panic!("no egds: chase cannot fail")
         };

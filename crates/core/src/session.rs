@@ -1,0 +1,922 @@
+//! The stateful exchange session: build expensive artifacts once, answer
+//! many questions.
+//!
+//! The paper's workloads are multi-shot — chase one universal
+//! representative, then answer many certain-answer queries against it;
+//! enumerate solutions lazily until a witness suffices. [`ExchangeSession`]
+//! is the surface for that shape: it owns a setting and an instance and
+//! lazily computes and memoizes
+//!
+//! * the chased **universal representative** (s-t chase + adapted egd
+//!   chase) — [`ExchangeSession::representative`];
+//! * the verified **minimal-solution family** (the counterexample pool of
+//!   every certain-answer decision) plus one materialization cache per
+//!   solution graph — filled by draining
+//!   [`ExchangeSession::solutions`];
+//! * the **SAT encoding** of existence for the restricted fragment —
+//!   [`ExchangeSession::solution_exists_sat`];
+//! * the **chase engines** (sameAs saturator, target-tgd engine), the
+//!   compiled egd repairer, and the compiled solution checker, which
+//!   persist across candidates *and* across calls.
+//!
+//! Everything observes the session's [`Options`] — chase bounds, planner
+//! mode, caps, null seed. Replacing the options
+//! ([`ExchangeSession::set_options`]) invalidates every memoized artifact;
+//! nothing else does (the setting and instance are immutable once the
+//! session is built).
+//!
+//! ```
+//! use gdx_exchange::ExchangeSession;
+//! use gdx_mapping::Setting;
+//! use gdx_query::PreparedQuery;
+//! use gdx_relational::Instance;
+//!
+//! let mut session = ExchangeSession::new(Setting::example_2_2_egd(), Instance::example_2_2());
+//! // Existence stops at the first verified witness…
+//! assert!(session.solution_exists().unwrap().exists());
+//! // …and certain-answer queries share the memoized solution family.
+//! let q = PreparedQuery::parse("(\"c1\", f.f*, \"c2\")").unwrap();
+//! assert!(session.certain(&q).unwrap().is_certain());
+//! let q2 = PreparedQuery::parse("(\"c2\", f, \"c1\")").unwrap();
+//! assert!(!session.certain(&q2).unwrap().is_certain());
+//! ```
+
+use crate::certain::CertainAnswer;
+use crate::encode::{self, Encoding};
+use crate::exists::{exact_fragment, EgdRepairer, Existence};
+use crate::options::Options;
+use crate::representative::{RepresentativeOutcome, UniversalRepresentative};
+use crate::solution::SolutionChecker;
+use gdx_chase::{
+    chase_egds_on_pattern, chase_st_with_nulls, ChaseStats, EgdChaseOutcome, SameAsEngine,
+    StChaseVariant, TgdChaseEngine,
+};
+use gdx_common::{FxHashMap, GdxError, Result, Symbol, Term};
+use gdx_graph::{Graph, GraphId, Node, NullFactory};
+use gdx_mapping::{Egd, SameAs, Setting, TargetTgd};
+use gdx_nre::eval::EvalCache;
+use gdx_nre::Nre;
+use gdx_pattern::InstantiationFamily;
+use gdx_query::PreparedQuery;
+use gdx_relational::Instance;
+
+/// A stateful exchange session over one `(setting, instance)` pair.
+///
+/// See the [module docs](self) for what is memoized and when it is
+/// invalidated. All methods take `&mut self`: they may fill memos or
+/// advance engine caches. Results are value types — clone them out if the
+/// borrow gets in the way.
+pub struct ExchangeSession {
+    setting: Setting,
+    instance: Instance,
+    options: Options,
+    // Split views of the setting, computed once.
+    egds: Vec<Egd>,
+    same_as: Vec<SameAs>,
+    target_tgds: Vec<TargetTgd>,
+    // Memoized artifacts.
+    representative: Option<RepresentativeOutcome>,
+    representative_merges: usize,
+    /// On a failed egd chase: the clashing constant pair and the merges
+    /// performed before the failure (diagnostics the unit-variant
+    /// `RepresentativeOutcome::ChaseFailed` does not carry).
+    chase_failure: Option<((Symbol, Symbol), usize)>,
+    encoding: Option<std::result::Result<Encoding, GdxError>>,
+    solutions_memo: Option<SolutionsMemo>,
+    /// A partially-consumed live enumeration, stashed when a
+    /// [`SolutionStream`] is dropped mid-family: the next stream resumes
+    /// here instead of re-examining candidates from scratch.
+    pending: Option<PendingEnumeration>,
+    /// Prepared constant-pair probes, keyed by `(r, c1, c2)` — repeated
+    /// `certain_pair` calls reuse the compiled automaton.
+    probe_cache: FxHashMap<(Nre, Symbol, Symbol), PreparedQuery>,
+    // Compiled helpers and engines, lazily built, persistent.
+    checker: Option<SolutionChecker>,
+    repairer: Option<EgdRepairer>,
+    engines_ready: bool,
+    sameas_engine: Option<SameAsEngine>,
+    tgd_engine: Option<TgdChaseEngine>,
+    /// Materialization caches for the *frozen* graphs of the solution
+    /// memo, keyed by graph identity — certain-answer queries over the
+    /// same solution reuse each other's relations. Never used for graphs
+    /// that still mutate (the candidate loop builds cold caches instead).
+    graph_caches: FxHashMap<GraphId, EvalCache>,
+    candidates_examined: usize,
+}
+
+/// The fully-enumerated verified-solution family.
+struct SolutionsMemo {
+    graphs: Vec<Graph>,
+    exact: bool,
+}
+
+/// A live enumeration paused mid-family (stream dropped before
+/// exhaustion): the candidate iterator plus the verified prefix.
+struct PendingEnumeration {
+    family: Box<InstantiationFamily>,
+    collected: Vec<Graph>,
+    exact: bool,
+}
+
+impl ExchangeSession {
+    /// A session with default [`Options`].
+    pub fn new(setting: Setting, instance: Instance) -> ExchangeSession {
+        let egds = setting.egds().cloned().collect();
+        let same_as = setting.same_as_constraints().cloned().collect();
+        let target_tgds = setting.target_tgds().cloned().collect();
+        ExchangeSession {
+            setting,
+            instance,
+            options: Options::default(),
+            egds,
+            same_as,
+            target_tgds,
+            representative: None,
+            representative_merges: 0,
+            chase_failure: None,
+            encoding: None,
+            solutions_memo: None,
+            pending: None,
+            probe_cache: FxHashMap::default(),
+            checker: None,
+            repairer: None,
+            engines_ready: false,
+            sameas_engine: None,
+            tgd_engine: None,
+            graph_caches: FxHashMap::default(),
+            candidates_examined: 0,
+        }
+    }
+
+    /// Builder-style options override (typically right after
+    /// [`ExchangeSession::new`]).
+    pub fn with_options(mut self, options: Options) -> ExchangeSession {
+        self.set_options(options);
+        self
+    }
+
+    /// Replaces the options, invalidating every memoized artifact (they
+    /// were computed under the old bounds).
+    pub fn set_options(&mut self, options: Options) {
+        self.options = options;
+        self.representative = None;
+        self.representative_merges = 0;
+        self.chase_failure = None;
+        self.encoding = None;
+        self.solutions_memo = None;
+        self.pending = None;
+        self.probe_cache.clear();
+        self.checker = None;
+        self.repairer = None;
+        self.engines_ready = false;
+        self.sameas_engine = None;
+        self.tgd_engine = None;
+        self.graph_caches.clear();
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// The data exchange setting `Ω`.
+    pub fn setting(&self) -> &Setting {
+        &self.setting
+    }
+
+    /// The source instance `I`.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Cumulative target-tgd chase effort across every candidate this
+    /// session examined — the counters that let tests pin "streaming did
+    /// strictly less work than exhaustive enumeration".
+    pub fn chase_stats(&self) -> ChaseStats {
+        self.tgd_engine
+            .as_ref()
+            .map(TgdChaseEngine::stats)
+            .unwrap_or_default()
+    }
+
+    /// Candidate instantiations examined so far (across all
+    /// [`ExchangeSession::solutions`] streams).
+    pub fn candidates_examined(&self) -> usize {
+        self.candidates_examined
+    }
+
+    /// `G ∈ Sol_Ω(I)`? Exact; the compiled checker persists across calls.
+    pub fn is_solution(&mut self, graph: &Graph) -> Result<bool> {
+        if self.checker.is_none() {
+            self.checker = Some(SolutionChecker::new(&self.setting));
+        }
+        self.checker
+            .as_ref()
+            .expect("just filled")
+            .is_solution(&self.instance, graph)
+    }
+
+    /// The chased universal representative `(pattern, constraints)` of
+    /// Section 5, memoized: the s-t chase and the adapted egd chase run at
+    /// most once per session.
+    pub fn representative(&mut self) -> Result<&RepresentativeOutcome> {
+        if self.representative.is_none() {
+            let st = chase_st_with_nulls(
+                &self.instance,
+                &self.setting,
+                StChaseVariant::Oblivious,
+                NullFactory::starting_at(self.options.null_seed),
+            )?;
+            let outcome = if self.egds.is_empty() {
+                RepresentativeOutcome::Representative(UniversalRepresentative {
+                    pattern: st.pattern,
+                    constraints: self.setting.target_constraints.clone(),
+                })
+            } else {
+                match chase_egds_on_pattern(&st.pattern, &self.egds, self.options.egd_chase)? {
+                    EgdChaseOutcome::Success { pattern, merges } => {
+                        self.representative_merges = merges;
+                        RepresentativeOutcome::Representative(UniversalRepresentative {
+                            pattern,
+                            constraints: self.setting.target_constraints.clone(),
+                        })
+                    }
+                    EgdChaseOutcome::Failed { constants, merges } => {
+                        self.chase_failure = Some((constants, merges));
+                        RepresentativeOutcome::ChaseFailed
+                    }
+                }
+            };
+            self.representative = Some(outcome);
+        }
+        Ok(self.representative.as_ref().expect("just filled"))
+    }
+
+    /// Node merges performed by the representative's egd phase (0 until
+    /// [`ExchangeSession::representative`] ran, or when it failed).
+    pub fn representative_merges(&self) -> usize {
+        self.representative_merges
+    }
+
+    /// When the representative's egd chase failed: the two constants
+    /// forced equal (the no-solution witness) and the merges performed
+    /// before the failure. `None` while the chase hasn't run or succeeded.
+    pub fn representative_failure(&self) -> Option<((Symbol, Symbol), usize)> {
+        self.chase_failure
+    }
+
+    /// Decides whether `Sol_Ω(I) ≠ ∅`. Streams candidates and stops at the
+    /// first verified witness; a previously memoized solution family
+    /// answers without any new work.
+    pub fn solution_exists(&mut self) -> Result<Existence> {
+        if let Some(memo) = &self.solutions_memo {
+            return Ok(match memo.graphs.first() {
+                Some(g) => Existence::Exists(g.clone()),
+                None if memo.exact => Existence::NoSolution,
+                None => Existence::Unknown(
+                    "bounded candidate search exhausted outside the exact fragment".to_owned(),
+                ),
+            });
+        }
+        let mut stream = self.solutions()?;
+        match stream.next() {
+            Some(g) => Ok(Existence::Exists(g?)),
+            None => {
+                if stream.exact() {
+                    Ok(Existence::NoSolution)
+                } else {
+                    Ok(Existence::Unknown(
+                        "bounded candidate search exhausted outside the exact fragment".to_owned(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Existence via the memoized SAT encoding (exact within the
+    /// single-symbol/union-of-symbols fragment, `Unsupported` outside it).
+    /// The encoding is built once; only the solve runs per call.
+    pub fn solution_exists_sat(&mut self) -> Result<Existence> {
+        if self.encoding.is_none() {
+            self.encoding = Some(encode::encode_existence(&self.instance, &self.setting));
+        }
+        match self.encoding.as_ref().expect("just filled") {
+            Ok(enc) => encode::solve_encoding(enc),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Lazily streams the **verified minimal solutions** of the session:
+    /// candidates come one by one out of the bounded instantiation family,
+    /// each is repaired/chased to a fixpoint and verified, and verified
+    /// graphs are yielded as they are found. Taking one witness costs one
+    /// (successful) candidate's work, not the whole family's.
+    ///
+    /// Draining the stream memoizes the family: later calls replay the
+    /// memo (cloning each graph), and certain-answer methods reuse it as
+    /// their counterexample pool. [`SolutionStream::exact`] reports, after
+    /// exhaustion, whether the family provably covered all
+    /// homomorphism-minimal solutions.
+    pub fn solutions(&mut self) -> Result<SolutionStream<'_>> {
+        if self.solutions_memo.is_some() {
+            return Ok(SolutionStream {
+                session: self,
+                mode: StreamMode::Replay(0),
+                exact: true, // read from the memo in `exact()`
+                yielded: 0,
+                collected: Vec::new(),
+                finished: false,
+                cap_stopped: false,
+            });
+        }
+        if let Some(pending) = self.pending.take() {
+            // Resume a paused enumeration: replay the verified prefix,
+            // then continue pulling candidates where the last stream
+            // stopped.
+            self.ensure_engines();
+            return Ok(SolutionStream {
+                session: self,
+                mode: StreamMode::Live {
+                    family: pending.family,
+                    prefix: 0,
+                },
+                exact: pending.exact,
+                yielded: 0,
+                collected: pending.collected,
+                finished: false,
+                cap_stopped: false,
+            });
+        }
+        let inst_cfg = self.options.instantiation;
+        let mut exact = exact_fragment(&self.setting);
+        let mode = match self.representative()? {
+            RepresentativeOutcome::ChaseFailed => {
+                // A failed adapted chase is a sound no-solution proof in
+                // *every* fragment: the empty family is provably complete.
+                exact = true;
+                StreamMode::Empty
+            }
+            RepresentativeOutcome::Representative(rep) => {
+                match InstantiationFamily::new(&rep.pattern, inst_cfg) {
+                    Ok(family) => StreamMode::Live {
+                        family: Box::new(family),
+                        prefix: 0,
+                    },
+                    // Bounds left some edge without a realization:
+                    // inconclusive.
+                    Err(GdxError::LimitExceeded(_)) => {
+                        exact = false;
+                        StreamMode::Empty
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        self.ensure_engines();
+        Ok(SolutionStream {
+            session: self,
+            mode,
+            exact,
+            yielded: 0,
+            collected: Vec::new(),
+            finished: false,
+            cap_stopped: false,
+        })
+    }
+
+    /// Is the Boolean (constants-only) prepared query certain —
+    /// `cert_Ω(Q, I)` contains its (empty) answer tuple?
+    ///
+    /// The first call enumerates and memoizes the minimal-solution family;
+    /// every further call reuses it, plus one shared materialization cache
+    /// per solution graph, so the marginal cost of a query is evaluation
+    /// only.
+    pub fn certain(&mut self, query: &PreparedQuery) -> Result<CertainAnswer> {
+        if !query.variables().is_empty() {
+            return Err(GdxError::unsupported(
+                "certain expects a constants-only (Boolean) query",
+            ));
+        }
+        self.ensure_solutions()?;
+        let planner = self.options.planner;
+        {
+            let memo = self.solutions_memo.as_ref().expect("ensured");
+            for g in &memo.graphs {
+                let cache = self.graph_caches.entry(g.id()).or_default();
+                // Constants-only query: both endpoints of every atom are
+                // bound, so the probe runs by seeded product-BFS — no
+                // `⟦r⟧_G` materialization per candidate solution.
+                let holds = !query
+                    .evaluate_limited(g, cache, &FxHashMap::default(), planner, Some(1))?
+                    .is_empty();
+                if !holds {
+                    return Ok(CertainAnswer::NotCertain(g.clone()));
+                }
+            }
+            if memo.graphs.is_empty() {
+                if memo.exact {
+                    // Sol_Ω(I) = ∅ ⇒ the intersection is everything.
+                    return Ok(CertainAnswer::Certain);
+                }
+                return Ok(CertainAnswer::Unknown(
+                    "no candidate solutions within bounds".to_owned(),
+                ));
+            }
+            if memo.exact {
+                return Ok(CertainAnswer::Certain);
+            }
+        }
+        // Outside the exact fragment, a pattern-level entailment proof can
+        // still establish certainty (sound lower bound on cert — see
+        // `representative::certain_answer_lower_bound`).
+        let options = self.options;
+        if let RepresentativeOutcome::Representative(rep) = self.representative()? {
+            let proven = rep.certain_answer_lower_bound(query.cnre(), &options)?;
+            // A constants-only query has one empty answer row when proven.
+            if !proven.is_empty() {
+                return Ok(CertainAnswer::Certain);
+            }
+        }
+        Ok(CertainAnswer::Unknown(
+            "all bounded candidates select the tuple, but the family may be \
+             incomplete"
+                .to_owned(),
+        ))
+    }
+
+    /// Is `(c1, c2)` a certain answer of the single-NRE query `r`? (The
+    /// shape of the paper's query answering problem.) Prepared probes are
+    /// cached per `(r, c1, c2)`, so repeated calls skip recompilation.
+    pub fn certain_pair(&mut self, r: &Nre, c1: &str, c2: &str) -> Result<CertainAnswer> {
+        let key = (r.clone(), Symbol::new(c1), Symbol::new(c2));
+        // Take the probe out of the cache for the duration of the call
+        // (certain() needs `&mut self`), then put it back.
+        let query = self
+            .probe_cache
+            .remove(&key)
+            .unwrap_or_else(|| PreparedQuery::single(Term::cst(c1), r.clone(), Term::cst(c2)));
+        let verdict = self.certain(&query);
+        // Bound the cache: a service probing unboundedly many distinct
+        // triples must not grow the session without limit.
+        if self.probe_cache.len() >= 1024 {
+            self.probe_cache.clear();
+        }
+        self.probe_cache.insert(key, query);
+        verdict
+    }
+
+    /// The full certain-answer *set* of a query over constants appearing
+    /// in the enumerated solutions: the intersection of constant-only
+    /// answer rows. Returns `(rows, exact)`; with `exact == false` the set
+    /// is not provably complete — either the candidate family was bounded,
+    /// or `Options::row_limit` cut rows off the returned set.
+    pub fn certain_answers(&mut self, query: &PreparedQuery) -> Result<(Vec<Vec<Node>>, bool)> {
+        self.ensure_solutions()?;
+        let planner = self.options.planner;
+        let memo = self.solutions_memo.as_ref().expect("ensured");
+        let mut iter = memo.graphs.iter();
+        let Some(first) = iter.next() else {
+            return Ok((Vec::new(), memo.exact));
+        };
+        let cache = self.graph_caches.entry(first.id()).or_default();
+        let mut inter = query
+            .evaluate_limited(first, cache, &FxHashMap::default(), planner, None)?
+            .constant_rows(first);
+        for g in iter {
+            let cache = self.graph_caches.entry(g.id()).or_default();
+            let rows = query
+                .evaluate_limited(g, cache, &FxHashMap::default(), planner, None)?
+                .constant_rows(g);
+            inter.retain(|r| rows.contains(r));
+        }
+        let mut rows: Vec<Vec<Node>> = inter.into_iter().collect();
+        rows.sort_by_key(|r| r.iter().map(|n| n.name().as_str()).collect::<Vec<_>>());
+        let mut exact = memo.exact;
+        if let Some(cap) = self.options.row_limit {
+            if rows.len() > cap {
+                rows.truncate(cap);
+                // A truncated answer set is no longer provably the full
+                // intersection.
+                exact = false;
+            }
+        }
+        Ok((rows, exact))
+    }
+
+    /// Fills the solution memo by draining a stream (no-op when already
+    /// filled).
+    fn ensure_solutions(&mut self) -> Result<()> {
+        if self.solutions_memo.is_some() {
+            return Ok(());
+        }
+        {
+            let mut stream = self.solutions()?;
+            for g in &mut stream {
+                g?;
+            }
+        }
+        // Exhausting the live stream stored the memo.
+        debug_assert!(self.solutions_memo.is_some());
+        Ok(())
+    }
+
+    fn ensure_engines(&mut self) {
+        if !self.engines_ready {
+            self.sameas_engine =
+                (!self.same_as.is_empty()).then(|| SameAsEngine::new(&self.same_as));
+            self.tgd_engine = (!self.target_tgds.is_empty())
+                .then(|| TgdChaseEngine::new(&self.target_tgds, self.options.tgd_chase));
+            self.repairer = Some(EgdRepairer::new(&self.egds));
+            if self.checker.is_none() {
+                self.checker = Some(SolutionChecker::new(&self.setting));
+            }
+            self.engines_ready = true;
+        }
+    }
+}
+
+/// Which source a [`SolutionStream`] draws from.
+enum StreamMode {
+    /// Clone out of the memoized family.
+    Replay(usize),
+    /// Drive candidates out of the lazy instantiation family; `prefix`
+    /// indexes into the already-verified `collected` graphs served before
+    /// fresh candidates (non-zero progress when resuming a paused
+    /// enumeration).
+    Live {
+        family: Box<InstantiationFamily>,
+        prefix: usize,
+    },
+    /// No candidates at all (failed chase, or instantiation bounds).
+    Empty,
+}
+
+/// Lazy iterator over the session's verified minimal solutions — see
+/// [`ExchangeSession::solutions`].
+pub struct SolutionStream<'s> {
+    session: &'s mut ExchangeSession,
+    mode: StreamMode,
+    exact: bool,
+    yielded: usize,
+    /// Verified solutions seen by a live stream, memoized on exhaustion.
+    collected: Vec<Graph>,
+    finished: bool,
+    /// Iteration ended at `Options::solution_cap`, not at family
+    /// exhaustion.
+    cap_stopped: bool,
+}
+
+impl SolutionStream<'_> {
+    /// After exhaustion: did the candidate family provably cover all
+    /// homomorphism-minimal solutions (so "no solution yielded" proves
+    /// `Sol_Ω(I) = ∅` and "every solution selects the tuple" proves
+    /// certainty)? Mid-stream the value reflects the evidence so far.
+    pub fn exact(&self) -> bool {
+        if let StreamMode::Replay(_) = self.mode {
+            return !self.cap_stopped
+                && self
+                    .session
+                    .solutions_memo
+                    .as_ref()
+                    .map(|m| m.exact)
+                    .unwrap_or(false);
+        }
+        self.exact
+    }
+
+    fn advance(&mut self) -> Result<Option<Graph>> {
+        if self.finished {
+            return Ok(None);
+        }
+        if let Some(cap) = self.session.options.solution_cap {
+            if self.yielded >= cap {
+                // Stopping early leaves candidates unexamined; the capped
+                // prefix is still a sound counterexample pool, so a live
+                // stream memoizes it (as inexact).
+                self.exact = false;
+                self.cap_stopped = true;
+                self.finish_live();
+                return Ok(None);
+            }
+        }
+        match &mut self.mode {
+            StreamMode::Empty => {
+                self.finish_live();
+                Ok(None)
+            }
+            StreamMode::Replay(i) => {
+                let memo = self.session.solutions_memo.as_ref().expect("replay mode");
+                if let Some(g) = memo.graphs.get(*i) {
+                    *i += 1;
+                    self.yielded += 1;
+                    Ok(Some(g.clone()))
+                } else {
+                    self.finished = true;
+                    Ok(None)
+                }
+            }
+            StreamMode::Live { .. } => self.advance_live(),
+        }
+    }
+
+    /// The ported candidate loop of the bounded search (formerly
+    /// `enumerate_minimal_solutions`): pull one candidate at a time,
+    /// enforce the three constraint kinds to a joint fixpoint, verify, and
+    /// yield. The enforcement engines live on the session and persist
+    /// across candidates *and* streams: within a candidate they mutate the
+    /// graph in place, so their delta caches survive the fixpoint rounds;
+    /// switching candidates — or an egd quotient replacing the graph
+    /// value — resets them via graph-identity detection.
+    fn advance_live(&mut self) -> Result<Option<Graph>> {
+        // A resumed stream serves the already-verified prefix first, so
+        // every stream yields the family from its beginning.
+        if let StreamMode::Live { prefix, .. } = &mut self.mode {
+            if *prefix < self.collected.len() {
+                let g = self.collected[*prefix].clone();
+                *prefix += 1;
+                self.yielded += 1;
+                return Ok(Some(g));
+            }
+        }
+        'candidates: loop {
+            let StreamMode::Live { family, .. } = &mut self.mode else {
+                unreachable!("advance_live called off a live stream")
+            };
+            let Some(candidate) = family.next() else {
+                if family.truncated() {
+                    // The cap truncated the family: coverage is no longer
+                    // provable.
+                    self.exact = false;
+                }
+                self.finish_live();
+                return Ok(None);
+            };
+            let mut g = candidate?;
+            self.session.candidates_examined += 1;
+            // Enforce the three constraint kinds to a joint fixpoint: egd
+            // merges can create new sameAs/tgd obligations and vice versa.
+            // Each enforcement is monotone (adds edges or merges nodes),
+            // so a handful of rounds suffices; the final is_solution check
+            // keeps Exists sound regardless of the round cap.
+            for _round in 0..8 {
+                if let Some(engine) = &mut self.session.sameas_engine {
+                    engine.saturate(&mut g)?;
+                }
+                if let Some(engine) = &mut self.session.tgd_engine {
+                    match engine.run(&mut g) {
+                        Ok(()) => {}
+                        Err(GdxError::LimitExceeded(_)) => {
+                            self.exact = false;
+                            continue 'candidates;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                // Concrete egd repair: merge forced violations; a constant
+                // clash kills the candidate. Violation-free rounds keep
+                // the graph value (and hence the engine caches) intact.
+                if !self
+                    .session
+                    .repairer
+                    .as_ref()
+                    .expect("engines ready")
+                    .repair(&mut g)?
+                {
+                    continue 'candidates;
+                }
+                let verified = self
+                    .session
+                    .checker
+                    .as_ref()
+                    .expect("engines ready")
+                    .is_solution(&self.session.instance, &g)?;
+                if verified {
+                    self.collected.push(g.clone());
+                    if let StreamMode::Live { prefix, .. } = &mut self.mode {
+                        // Keep the prefix cursor past the fresh yield so a
+                        // pause/resume never serves it twice.
+                        *prefix = self.collected.len();
+                    }
+                    self.yielded += 1;
+                    return Ok(Some(g));
+                }
+                if self.session.same_as.is_empty() && self.session.target_tgds.is_empty() {
+                    // Nothing else can change: the candidate is dead.
+                    continue 'candidates;
+                }
+            }
+        }
+    }
+
+    /// Ends a live stream, memoizing the family when it was fully drained.
+    fn finish_live(&mut self) {
+        self.finished = true;
+        if matches!(self.mode, StreamMode::Live { .. } | StreamMode::Empty)
+            && self.session.solutions_memo.is_none()
+        {
+            self.session.solutions_memo = Some(SolutionsMemo {
+                graphs: std::mem::take(&mut self.collected),
+                exact: self.exact,
+            });
+        }
+    }
+}
+
+impl Drop for SolutionStream<'_> {
+    /// A live stream dropped mid-family pauses the enumeration on the
+    /// session instead of discarding it: the verified prefix and the
+    /// candidate iterator resume on the next [`ExchangeSession::solutions`]
+    /// call (taking one witness, then asking a certain-answer query, never
+    /// re-examines candidate 1).
+    fn drop(&mut self) {
+        if self.finished || self.session.solutions_memo.is_some() {
+            return;
+        }
+        if let StreamMode::Live { family, .. } =
+            std::mem::replace(&mut self.mode, StreamMode::Empty)
+        {
+            self.session.pending = Some(PendingEnumeration {
+                family,
+                collected: std::mem::take(&mut self.collected),
+                exact: self.exact,
+            });
+        }
+    }
+}
+
+impl Iterator for SolutionStream<'_> {
+    type Item = Result<Graph>;
+
+    fn next(&mut self) -> Option<Result<Graph>> {
+        match self.advance() {
+            Ok(Some(g)) => Some(Ok(g)),
+            Ok(None) => None,
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_nre::parse::parse_nre;
+
+    fn session_2_2() -> ExchangeSession {
+        ExchangeSession::new(Setting::example_2_2_egd(), Instance::example_2_2())
+    }
+
+    #[test]
+    fn representative_is_memoized() {
+        let mut s = session_2_2();
+        let nodes = match s.representative().unwrap() {
+            RepresentativeOutcome::Representative(rep) => rep.pattern.node_count(),
+            RepresentativeOutcome::ChaseFailed => panic!("chase succeeds"),
+        };
+        assert_eq!(nodes, 7, "Figure 5 pattern");
+        // Second call must hand back the same memo (merges stick around).
+        let merges = s.representative_merges();
+        s.representative().unwrap();
+        assert_eq!(s.representative_merges(), merges);
+    }
+
+    #[test]
+    fn first_witness_examines_one_candidate() {
+        let mut s = session_2_2();
+        let mut stream = s.solutions().unwrap();
+        let g = stream.next().unwrap().unwrap();
+        drop(stream);
+        assert_eq!(s.candidates_examined(), 1, "lazy: one candidate pulled");
+        assert!(s.is_solution(&g).unwrap());
+    }
+
+    #[test]
+    fn drained_stream_memoizes_and_replays() {
+        let mut s = session_2_2();
+        let all: Vec<Graph> = s.solutions().unwrap().map(|g| g.unwrap()).collect();
+        assert!(!all.is_empty());
+        let examined = s.candidates_examined();
+        // Replay: same family, no new candidate work.
+        let again: Vec<Graph> = s.solutions().unwrap().map(|g| g.unwrap()).collect();
+        assert_eq!(again.len(), all.len());
+        assert_eq!(s.candidates_examined(), examined);
+    }
+
+    #[test]
+    fn certain_pair_matches_paper() {
+        let mut s = session_2_2();
+        // (c1, f.f*, c2) is provably certain (pattern-level entailment);
+        // the reverse pair has a counterexample solution.
+        let r = parse_nre("f.f*").unwrap();
+        assert!(s.certain_pair(&r, "c1", "c2").unwrap().is_certain());
+        assert!(matches!(
+            s.certain_pair(&r, "c2", "c1").unwrap(),
+            CertainAnswer::NotCertain(_)
+        ));
+    }
+
+    #[test]
+    fn certain_rejects_non_boolean_queries() {
+        let mut s = session_2_2();
+        let q = PreparedQuery::parse("(x, f, y)").unwrap();
+        assert!(s.certain(&q).is_err());
+    }
+
+    #[test]
+    fn certain_answers_shared_family() {
+        let mut s = session_2_2();
+        let q = PreparedQuery::parse("(x1, f.f*.[h].f-.(f-)*, x2)").unwrap();
+        let (rows, _exact) = s.certain_answers(&q).unwrap();
+        assert_eq!(rows.len(), 4, "the paper's four certain pairs");
+        let examined = s.candidates_examined();
+        // A second query reuses the memoized family.
+        let q2 = PreparedQuery::parse("(x, f.f*, y)").unwrap();
+        let (rows2, _exact) = s.certain_answers(&q2).unwrap();
+        assert!(!rows2.is_empty());
+        assert_eq!(s.candidates_examined(), examined);
+    }
+
+    #[test]
+    fn dropped_stream_resumes_instead_of_restarting() {
+        // Take one witness, drop the stream, then run the rest of the
+        // workload: candidate 1 must never be re-examined.
+        let mut s = session_2_2();
+        let first = {
+            let mut stream = s.solutions().unwrap();
+            stream.next().expect("solutions exist").unwrap()
+        };
+        assert_eq!(s.candidates_examined(), 1);
+        // solution_exists resumes the paused enumeration (prefix replay).
+        assert!(s.solution_exists().unwrap().exists());
+        assert_eq!(s.candidates_examined(), 1, "no candidate re-examined");
+        // A full drain continues from candidate 2 onwards and includes the
+        // witness already verified.
+        let all: Vec<Graph> = s.solutions().unwrap().map(|g| g.unwrap()).collect();
+        assert!(all.iter().any(|g| gdx_graph::is_isomorphic(g, &first)));
+        let examined = s.candidates_examined();
+        let q = PreparedQuery::parse("(\"c1\", f.f*, \"c2\")").unwrap();
+        s.certain(&q).unwrap();
+        assert_eq!(s.candidates_examined(), examined, "memo answers certain()");
+    }
+
+    #[test]
+    fn solution_cap_is_observed() {
+        let mut s = session_2_2().with_options(Options {
+            solution_cap: Some(1),
+            ..Options::default()
+        });
+        let sols: Vec<_> = s.solutions().unwrap().collect();
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn row_limit_is_observed() {
+        let mut s = session_2_2().with_options(Options {
+            row_limit: Some(2),
+            ..Options::default()
+        });
+        let q = PreparedQuery::parse("(x1, f.f*.[h].f-.(f-)*, x2)").unwrap();
+        let (rows, exact) = s.certain_answers(&q).unwrap();
+        assert_eq!(rows.len(), 2, "row_limit truncates the certain set");
+        assert!(!exact, "a truncated answer set is not provably complete");
+    }
+
+    #[test]
+    fn null_seed_is_observed() {
+        let mut base = session_2_2();
+        let mut seeded = session_2_2().with_options(Options {
+            null_seed: 1000,
+            ..Options::default()
+        });
+        let name_of = |s: &mut ExchangeSession| match s.representative().unwrap() {
+            RepresentativeOutcome::Representative(rep) => rep
+                .pattern
+                .node_ids()
+                .map(|id| rep.pattern.node(id))
+                .filter(|n| !n.is_const())
+                .map(|n| n.name().to_string())
+                .collect::<Vec<_>>(),
+            RepresentativeOutcome::ChaseFailed => panic!("chase succeeds"),
+        };
+        let base_nulls = name_of(&mut base);
+        let seeded_nulls = name_of(&mut seeded);
+        assert!(!base_nulls.is_empty());
+        assert!(seeded_nulls.iter().all(|n| n.contains("100")));
+        assert_ne!(base_nulls, seeded_nulls);
+    }
+
+    #[test]
+    fn sat_backend_is_memoized_and_agrees() {
+        use crate::reduction::{Reduction, ReductionFlavor};
+        use gdx_sat::{Cnf, Lit};
+        let mut f = Cnf::new(2);
+        f.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        let red = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
+        let mut s = ExchangeSession::new(red.setting.clone(), red.instance.clone());
+        assert!(s.solution_exists_sat().unwrap().exists());
+        // Second call reuses the memoized encoding.
+        assert!(s.solution_exists_sat().unwrap().exists());
+    }
+}

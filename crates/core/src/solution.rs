@@ -4,16 +4,27 @@
 //! `(I, G) ⊨ M_st` (every s-t tgd trigger has a head witness in `G`) and
 //! `G ⊨ M_t` (every egd / target tgd / sameAs constraint holds).
 //! Everything here is exact — no bounds, no approximation.
+//!
+//! [`SolutionChecker`] is the compiled form: every s-t tgd head and every
+//! constraint body/head is a [`PreparedQuery`] built once per setting, so
+//! the candidate loops of the solver (which call the check per candidate,
+//! per repair round) pay for automaton compilation once per session
+//! instead of once per call. The free functions remain as one-shot
+//! wrappers with identical semantics.
 
 use gdx_chase::sameas::same_as_satisfied;
 use gdx_common::{FxHashMap, Result, Symbol};
 use gdx_graph::{Graph, Node, NodeId};
-use gdx_mapping::{SameAs, Setting, TargetConstraint};
+use gdx_mapping::{SameAs, Setting, TargetConstraint, TargetTgd};
 use gdx_nre::eval::EvalCache;
-use gdx_query::{evaluate_seeded_exists, evaluate_with_cache};
+use gdx_query::PreparedQuery;
 use gdx_relational::{evaluate as eval_cq, Instance};
 
 /// Exact membership test for `Sol_Ω(I)`.
+///
+/// One-shot wrapper around [`SolutionChecker`]; callers testing many
+/// graphs against one setting (the solver, a session) should build the
+/// checker once.
 ///
 /// ```
 /// use gdx_exchange::is_solution;
@@ -27,91 +38,169 @@ use gdx_relational::{evaluate as eval_cq, Instance};
 /// assert!(is_solution(&Instance::example_2_2(), &Setting::example_2_2_egd(), &g1).unwrap());
 /// ```
 pub fn is_solution(instance: &Instance, setting: &Setting, graph: &Graph) -> Result<bool> {
-    if !setting.graph_conforms(graph) {
-        return Ok(false);
-    }
-    if !st_tgds_satisfied(instance, setting, graph)? {
-        return Ok(false);
-    }
-    target_constraints_satisfied(setting, graph)
+    SolutionChecker::new(setting).is_solution(instance, graph)
 }
 
 /// `(I, G) ⊨ M_st`?
 pub fn st_tgds_satisfied(instance: &Instance, setting: &Setting, graph: &Graph) -> Result<bool> {
-    let mut cache = EvalCache::new();
-    for tgd in &setting.st_tgds {
-        let triggers = eval_cq(instance, &tgd.body)?;
-        for row in triggers.iter_maps() {
-            // Frontier variables must map to *existing* constant nodes.
-            let mut seed: FxHashMap<Symbol, NodeId> = FxHashMap::default();
-            let mut missing = false;
-            for v in tgd.frontier() {
-                let Some(&c) = row.get(&v) else { continue };
-                match graph.node_id(Node::Const(c)) {
-                    Some(id) => {
-                        seed.insert(v, id);
-                    }
-                    None => {
-                        missing = true;
-                        break;
-                    }
-                }
-            }
-            if missing {
-                return Ok(false);
-            }
-            // Frontier variables are seeded: the planner probes the head
-            // by product-BFS from the bound endpoints, early-exiting at
-            // the first witness.
-            if !evaluate_seeded_exists(graph, &tgd.head, &mut cache, &seed)? {
-                return Ok(false);
-            }
-        }
-    }
-    Ok(true)
+    SolutionChecker::new(setting).st_tgds_satisfied(instance, graph)
 }
 
 /// `G ⊨ M_t`?
 pub fn target_constraints_satisfied(setting: &Setting, graph: &Graph) -> Result<bool> {
-    let mut cache = EvalCache::new();
-    for c in &setting.target_constraints {
-        match c {
-            TargetConstraint::Egd(egd) => {
-                let matches = evaluate_with_cache(graph, &egd.body, &mut cache)?;
-                let vars = matches.vars();
-                let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
-                let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
-                for rowv in matches.rows() {
-                    if rowv[li] != rowv[ri] {
-                        return Ok(false);
+    SolutionChecker::new(setting).target_constraints_satisfied(graph)
+}
+
+/// One target constraint with its queries compiled.
+enum PreparedConstraint {
+    /// Egd body plus the column positions of its two equated variables.
+    Egd {
+        body: PreparedQuery,
+        li: usize,
+        ri: usize,
+    },
+    /// Target tgd body and head.
+    Tgd {
+        tgd: TargetTgd,
+        body: PreparedQuery,
+        head: PreparedQuery,
+    },
+    /// sameAs constraints go through the dedicated saturation checker.
+    SameAs(SameAs),
+}
+
+/// The compiled `Sol_Ω(I)` membership test for one setting: per s-t tgd a
+/// prepared head query, per target constraint prepared body/head queries.
+/// Graph-independent — one checker serves any number of candidate graphs
+/// (the compiled automata re-pin their memo tables per graph and epoch).
+pub struct SolutionChecker {
+    setting: Setting,
+    /// Prepared heads, aligned with `setting.st_tgds`.
+    st_heads: Vec<PreparedQuery>,
+    constraints: Vec<PreparedConstraint>,
+}
+
+impl SolutionChecker {
+    /// Compiles the checker for `setting`.
+    pub fn new(setting: &Setting) -> SolutionChecker {
+        let st_heads = setting
+            .st_tgds
+            .iter()
+            .map(|tgd| PreparedQuery::new(tgd.head.clone()))
+            .collect();
+        let constraints = setting
+            .target_constraints
+            .iter()
+            .map(|c| match c {
+                TargetConstraint::Egd(egd) => {
+                    let body = PreparedQuery::new(egd.body.clone());
+                    let vars = body.variables();
+                    let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
+                    let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
+                    PreparedConstraint::Egd { body, li, ri }
+                }
+                TargetConstraint::Tgd(tgd) => PreparedConstraint::Tgd {
+                    tgd: tgd.clone(),
+                    body: PreparedQuery::new(tgd.body.clone()),
+                    head: PreparedQuery::new(tgd.head.clone()),
+                },
+                TargetConstraint::SameAs(sa) => PreparedConstraint::SameAs(sa.clone()),
+            })
+            .collect();
+        SolutionChecker {
+            setting: setting.clone(),
+            st_heads,
+            constraints,
+        }
+    }
+
+    /// Exact membership test for `Sol_Ω(I)`.
+    pub fn is_solution(&self, instance: &Instance, graph: &Graph) -> Result<bool> {
+        if !self.setting.graph_conforms(graph) {
+            return Ok(false);
+        }
+        if !self.st_tgds_satisfied(instance, graph)? {
+            return Ok(false);
+        }
+        self.target_constraints_satisfied(graph)
+    }
+
+    /// `(I, G) ⊨ M_st`?
+    pub fn st_tgds_satisfied(&self, instance: &Instance, graph: &Graph) -> Result<bool> {
+        let mut cache = EvalCache::new();
+        for (tgd, head) in self.setting.st_tgds.iter().zip(&self.st_heads) {
+            let triggers = eval_cq(instance, &tgd.body)?;
+            for row in triggers.iter_maps() {
+                // Frontier variables must map to *existing* constant nodes.
+                let mut seed: FxHashMap<Symbol, NodeId> = FxHashMap::default();
+                let mut missing = false;
+                for v in tgd.frontier() {
+                    let Some(&c) = row.get(&v) else { continue };
+                    match graph.node_id(Node::Const(c)) {
+                        Some(id) => {
+                            seed.insert(v, id);
+                        }
+                        None => {
+                            missing = true;
+                            break;
+                        }
                     }
                 }
-            }
-            TargetConstraint::Tgd(tgd) => {
-                let matches = evaluate_with_cache(graph, &tgd.body, &mut cache)?;
-                let vars: Vec<Symbol> = matches.vars().to_vec();
-                let rows: Vec<Vec<NodeId>> = matches.rows().iter().map(|r| r.to_vec()).collect();
-                for rowv in rows {
-                    let seed: FxHashMap<Symbol, NodeId> = tgd
-                        .head
-                        .variables()
-                        .into_iter()
-                        .filter_map(|v| vars.iter().position(|&bv| bv == v).map(|i| (v, rowv[i])))
-                        .collect();
-                    if !evaluate_seeded_exists(graph, &tgd.head, &mut cache, &seed)? {
-                        return Ok(false);
-                    }
+                if missing {
+                    return Ok(false);
                 }
-            }
-            TargetConstraint::SameAs(sa) => {
-                let single: [SameAs; 1] = [sa.clone()];
-                if !same_as_satisfied(graph, &single)? {
+                // Frontier variables are seeded: the planner probes the
+                // head by product-BFS from the bound endpoints,
+                // early-exiting at the first witness.
+                if !head.evaluate_seeded_exists(graph, &mut cache, &seed)? {
                     return Ok(false);
                 }
             }
         }
+        Ok(true)
     }
-    Ok(true)
+
+    /// `G ⊨ M_t`?
+    pub fn target_constraints_satisfied(&self, graph: &Graph) -> Result<bool> {
+        let mut cache = EvalCache::new();
+        for c in &self.constraints {
+            match c {
+                PreparedConstraint::Egd { body, li, ri } => {
+                    let matches = body.matches(graph, &mut cache)?;
+                    for rowv in matches.rows() {
+                        if rowv[*li] != rowv[*ri] {
+                            return Ok(false);
+                        }
+                    }
+                }
+                PreparedConstraint::Tgd { tgd, body, head } => {
+                    let matches = body.matches(graph, &mut cache)?;
+                    let vars: Vec<Symbol> = matches.vars().to_vec();
+                    let rows: Vec<Vec<NodeId>> =
+                        matches.rows().iter().map(|r| r.to_vec()).collect();
+                    for rowv in rows {
+                        let seed: FxHashMap<Symbol, NodeId> = tgd
+                            .head
+                            .variables()
+                            .into_iter()
+                            .filter_map(|v| {
+                                vars.iter().position(|&bv| bv == v).map(|i| (v, rowv[i]))
+                            })
+                            .collect();
+                        if !head.evaluate_seeded_exists(graph, &mut cache, &seed)? {
+                            return Ok(false);
+                        }
+                    }
+                }
+                PreparedConstraint::SameAs(sa) => {
+                    if !same_as_satisfied(graph, std::slice::from_ref(sa))? {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -238,5 +327,16 @@ mod tests {
         assert!(!is_solution(&inst, &setting, &without).unwrap());
         let with = Graph::parse("(a, e, b); (b, g, _Z);").unwrap();
         assert!(is_solution(&inst, &setting, &with).unwrap());
+    }
+
+    #[test]
+    fn checker_is_reusable_across_graphs() {
+        let checker = SolutionChecker::new(&Setting::example_2_2_egd());
+        let inst = Instance::example_2_2();
+        assert!(checker.is_solution(&inst, &g1()).unwrap());
+        assert!(checker.is_solution(&inst, &g2()).unwrap());
+        assert!(!checker
+            .is_solution(&inst, &Graph::parse("(c1, f, c2);").unwrap())
+            .unwrap());
     }
 }

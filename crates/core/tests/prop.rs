@@ -3,9 +3,8 @@
 //! decode to models, and certain answering respects Corollary 4.2.
 
 use gdx_exchange::encode::solution_exists_sat;
-use gdx_exchange::exists::{solution_exists, SolverConfig};
 use gdx_exchange::reduction::{Reduction, ReductionFlavor};
-use gdx_exchange::{certain_pair, is_solution};
+use gdx_exchange::{is_solution, ExchangeSession, Options};
 use gdx_pattern::InstantiationConfig;
 use gdx_sat::{brute_force, Cnf, Lit};
 use proptest::prelude::*;
@@ -33,14 +32,18 @@ fn arb_cnf() -> impl Strategy<Value = Cnf> {
     })
 }
 
-fn cfg() -> SolverConfig {
-    SolverConfig {
+fn cfg() -> Options {
+    Options {
         instantiation: InstantiationConfig {
             max_graphs: 64,
             ..InstantiationConfig::default()
         },
-        ..SolverConfig::default()
+        ..Options::default()
     }
+}
+
+fn session(red: &Reduction) -> ExchangeSession {
+    ExchangeSession::new(red.setting.clone(), red.instance.clone()).with_options(cfg())
 }
 
 proptest! {
@@ -53,7 +56,7 @@ proptest! {
         let truth = brute_force(&f).is_some();
         let red = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
 
-        let search = solution_exists(&red.instance, &red.setting, &cfg()).unwrap();
+        let search = session(&red).solution_exists().unwrap();
         prop_assert_eq!(search.exists(), truth, "search backend on {}", f);
         if let Some(g) = search.witness() {
             prop_assert!(is_solution(&red.instance, &red.setting, g).unwrap());
@@ -70,15 +73,9 @@ proptest! {
     fn certain_matches_unsatisfiability(f in arb_cnf()) {
         let unsat = brute_force(&f).is_none();
         let red = Reduction::from_cnf(&f, ReductionFlavor::Egd).unwrap();
-        let ans = certain_pair(
-            &red.instance,
-            &red.setting,
-            &Reduction::certain_query_egd(),
-            "c1",
-            "c2",
-            &cfg(),
-        )
-        .unwrap();
+        let ans = session(&red)
+            .certain_pair(&Reduction::certain_query_egd(), "c1", "c2")
+            .unwrap();
         prop_assert_eq!(ans.is_certain(), unsat, "on {}", f);
     }
 
@@ -91,19 +88,13 @@ proptest! {
         let g = gdx_exchange::exists::construct_solution_no_egds(
             &red.instance,
             &red.setting,
-            &SolverConfig::default(),
+            &Options::default(),
         )
         .unwrap();
         prop_assert!(is_solution(&red.instance, &red.setting, &g).unwrap());
-        let ans = certain_pair(
-            &red.instance,
-            &red.setting,
-            &Reduction::certain_query_sameas(),
-            "c1",
-            "c2",
-            &cfg(),
-        )
-        .unwrap();
+        let ans = session(&red)
+            .certain_pair(&Reduction::certain_query_sameas(), "c1", "c2")
+            .unwrap();
         prop_assert_eq!(ans.is_certain(), unsat, "on {}", f);
     }
 

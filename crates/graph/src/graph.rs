@@ -90,6 +90,13 @@ impl NullFactory {
         NullFactory::default()
     }
 
+    /// A factory whose first candidate is `~{seed}` — lets callers that
+    /// interleave several chases over one namespace (or want stable,
+    /// non-overlapping null names per session) pick disjoint ranges.
+    pub fn starting_at(seed: u64) -> NullFactory {
+        NullFactory { next: seed }
+    }
+
     /// The next fresh null not rejected by `taken`.
     ///
     /// Candidate names are formatted into a stack buffer and interned only

@@ -511,9 +511,28 @@ impl DemandPool {
             .is_some()
     }
 
+    /// A pool pre-compiled for every expression in `exprs` — the
+    /// construction path of prepared queries, which pay the automaton
+    /// compilation once and reuse the pool across graphs and epochs
+    /// (each evaluator re-pins its memo to the `(GraphId, Epoch)` it is
+    /// probed against).
+    pub fn prepared<'a>(exprs: impl IntoIterator<Item = &'a Nre>) -> DemandPool {
+        let mut pool = DemandPool::new();
+        for r in exprs {
+            pool.ensure(r);
+        }
+        pool
+    }
+
     /// The compiled evaluator, if [`DemandPool::ensure`] succeeded for `r`.
     pub fn get(&self, r: &Nre) -> Option<&std::cell::RefCell<DemandEvaluator>> {
         self.evals.get(r).and_then(|e| e.as_deref())
+    }
+
+    /// Whether `r` was seen by [`DemandPool::ensure`] and compiled
+    /// successfully — a lookup, never a compilation.
+    pub fn compiled(&self, r: &Nre) -> bool {
+        self.evals.get(r).is_some_and(Option::is_some)
     }
 }
 

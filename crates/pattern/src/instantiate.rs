@@ -125,60 +125,117 @@ fn pick_witness(r: &Nre, self_loop: bool) -> Result<Witness> {
 /// A bounded family of instantiations of `pattern`: the cartesian product
 /// of per-edge witness families, capped at `cfg.max_graphs`, shortest
 /// combination first. Every returned graph is in `Rep_Σ(pattern)`.
+///
+/// Materializing wrapper around [`InstantiationFamily`]; callers that can
+/// stop early (the solver's first-witness search, the streaming solution
+/// enumerator) should iterate the family lazily instead.
 pub fn instantiation_family(
     pattern: &GraphPattern,
     cfg: InstantiationConfig,
 ) -> Result<Vec<Graph>> {
-    let pattern = resolve_epsilon_edges(pattern)?;
-    let per_edge: Vec<Vec<Witness>> = pattern
-        .edges()
-        .iter()
-        .map(|(s, r, d)| {
-            witness::enumerate(r, cfg.witnesses)
-                .into_iter()
-                .filter(|w| w.main_len() > 0 || s == d)
-                .collect::<Vec<_>>()
+    InstantiationFamily::new(pattern, cfg)?.collect()
+}
+
+/// Lazy iterator over the bounded instantiation family of a pattern.
+///
+/// Construction resolves ε-edges and enumerates the per-edge witness
+/// families (cheap: per-NRE, not per-graph); each [`Iterator::next`] call
+/// materializes exactly one candidate graph, so a caller that finds what
+/// it wants after `k` candidates pays for `k` graphs, not for
+/// `cfg.max_graphs`.
+#[derive(Debug)]
+pub struct InstantiationFamily {
+    pattern: GraphPattern,
+    per_edge: Vec<Vec<Witness>>,
+    counters: Vec<usize>,
+    produced: usize,
+    cfg: InstantiationConfig,
+    done: bool,
+}
+
+impl InstantiationFamily {
+    /// Prepares the family. Fails with [`GdxError::LimitExceeded`] when
+    /// the witness bounds leave some edge without any realization.
+    pub fn new(pattern: &GraphPattern, cfg: InstantiationConfig) -> Result<InstantiationFamily> {
+        let pattern = resolve_epsilon_edges(pattern)?;
+        let per_edge: Vec<Vec<Witness>> = pattern
+            .edges()
+            .iter()
+            .map(|(s, r, d)| {
+                witness::enumerate(r, cfg.witnesses)
+                    .into_iter()
+                    .filter(|w| w.main_len() > 0 || s == d)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if per_edge.iter().any(Vec::is_empty) {
+            // An edge admits no usable witness within bounds (ε-only
+            // between distinct nodes was already resolved, so this is a
+            // bounds issue).
+            return Err(GdxError::limit(
+                "witness enumeration bounds left an edge without realizations",
+            ));
+        }
+        let counters = vec![0usize; per_edge.len()];
+        Ok(InstantiationFamily {
+            pattern,
+            per_edge,
+            counters,
+            produced: 0,
+            cfg,
+            done: false,
         })
-        .collect();
-    if per_edge.iter().any(Vec::is_empty) {
-        // An edge admits no usable witness within bounds (ε-only between
-        // distinct nodes was already resolved, so this is a bounds issue).
-        return Err(GdxError::limit(
-            "witness enumeration bounds left an edge without realizations",
-        ));
     }
 
-    let mut graphs = Vec::new();
-    let mut counters = vec![0usize; per_edge.len()];
-    'outer: loop {
+    /// True once iteration stopped because the `max_graphs` cap tripped —
+    /// the family is then a strict prefix of the full cartesian product,
+    /// and exactness arguments based on "all candidates examined" no
+    /// longer hold.
+    pub fn truncated(&self) -> bool {
+        self.done && self.produced >= self.cfg.max_graphs
+    }
+}
+
+impl Iterator for InstantiationFamily {
+    type Item = Result<Graph>;
+
+    fn next(&mut self) -> Option<Result<Graph>> {
+        if self.done {
+            return None;
+        }
         let mut g = Graph::new();
         let mut node_map: FxHashMap<PNodeId, NodeId> = FxHashMap::default();
-        for id in pattern.node_ids() {
-            node_map.insert(id, g.add_node(pattern.node(id)));
+        for id in self.pattern.node_ids() {
+            node_map.insert(id, g.add_node(self.pattern.node(id)));
         }
-        for (ei, (s, _, d)) in pattern.edges().iter().enumerate() {
-            let w = &per_edge[ei][counters[ei]];
-            witness::materialize(&mut g, w, node_map[s], node_map[d])?;
+        for (ei, (s, _, d)) in self.pattern.edges().iter().enumerate() {
+            let w = &self.per_edge[ei][self.counters[ei]];
+            if let Err(e) = witness::materialize(&mut g, w, node_map[s], node_map[d]) {
+                self.done = true;
+                return Some(Err(e));
+            }
         }
-        graphs.push(g);
-        if graphs.len() >= cfg.max_graphs {
-            break;
+        self.produced += 1;
+        if self.produced >= self.cfg.max_graphs {
+            self.done = true;
+            return Some(Ok(g));
         }
         // Odometer increment.
         let mut i = 0;
         loop {
-            if i == counters.len() {
-                break 'outer;
-            }
-            counters[i] += 1;
-            if counters[i] < per_edge[i].len() {
+            if i == self.counters.len() {
+                self.done = true;
                 break;
             }
-            counters[i] = 0;
+            self.counters[i] += 1;
+            if self.counters[i] < self.per_edge[i].len() {
+                break;
+            }
+            self.counters[i] = 0;
             i += 1;
         }
+        Some(Ok(g))
     }
-    Ok(graphs)
 }
 
 #[cfg(test)]

@@ -25,5 +25,7 @@ pub mod pattern;
 
 pub use core_retract::{is_retract_minimal, retract_core};
 pub use hom::{find_pattern_homomorphism, represents};
-pub use instantiate::{instantiate_shortest, instantiation_family, InstantiationConfig};
+pub use instantiate::{
+    instantiate_shortest, instantiation_family, InstantiationConfig, InstantiationFamily,
+};
 pub use pattern::{GraphPattern, PNodeId};

@@ -113,15 +113,26 @@ impl RelCache for gdx_nre::IncrementalCache {
 }
 
 /// Evaluates `query` over `graph` with a fresh relation cache.
+#[deprecated(note = "prepare the query once with `PreparedQuery::new` and call \
+                     `PreparedQuery::evaluate`")]
 pub fn evaluate(graph: &Graph, query: &Cnre) -> Result<NodeBindings> {
     let mut cache = EvalCache::new();
-    evaluate_with_cache(graph, query, &mut cache)
+    planned_eval(
+        graph,
+        query,
+        &mut cache,
+        &FxHashMap::default(),
+        PlannerMode::Auto,
+        None,
+    )
 }
 
 /// Is `query` satisfiable over `graph`? Early-exits at the first answer
 /// row; with a constants-only query this is the certain-answer probe shape
 /// (both endpoints bound), which the planner serves by seeded product-BFS
 /// instead of materializing any relation.
+#[deprecated(note = "prepare the query once with `PreparedQuery::new` and call \
+                     `PreparedQuery::evaluate_exists`")]
 pub fn evaluate_exists(graph: &Graph, query: &Cnre) -> Result<bool> {
     let mut cache = EvalCache::new();
     let b = planned_eval(
@@ -137,12 +148,21 @@ pub fn evaluate_exists(graph: &Graph, query: &Cnre) -> Result<bool> {
 
 /// Evaluates `query` over `graph`, reusing `cache` across calls (the chase
 /// evaluates the same constraint bodies repeatedly).
+#[deprecated(note = "prepare the query once with `PreparedQuery::new` and call \
+                     `PreparedQuery::matches`")]
 pub fn evaluate_with_cache(
     graph: &Graph,
     query: &Cnre,
     cache: &mut EvalCache,
 ) -> Result<NodeBindings> {
-    evaluate_seeded(graph, query, cache, &FxHashMap::default())
+    planned_eval(
+        graph,
+        query,
+        cache,
+        &FxHashMap::default(),
+        PlannerMode::Auto,
+        None,
+    )
 }
 
 /// Evaluates `query` with some variables pre-bound to graph nodes.
@@ -151,6 +171,8 @@ pub fn evaluate_with_cache(
 /// satisfied under a body match: frontier variables are seeded, existential
 /// variables are left free. Seeded variables appear in the output columns
 /// with their fixed values.
+#[deprecated(note = "prepare the query once with `PreparedQuery::new` and call \
+                     `PreparedQuery::evaluate_seeded`")]
 pub fn evaluate_seeded(
     graph: &Graph,
     query: &Cnre,
@@ -164,6 +186,8 @@ pub fn evaluate_seeded(
 /// [`PlannerMode::Materialize`] forces the pre-planner single-strategy
 /// behaviour (the baseline the benches and equivalence tests compare
 /// against).
+#[deprecated(note = "prepare the query once with `PreparedQuery::new` and call \
+                     `PreparedQuery::evaluate_seeded_mode`")]
 pub fn evaluate_seeded_mode(
     graph: &Graph,
     query: &Cnre,
@@ -175,6 +199,8 @@ pub fn evaluate_seeded_mode(
 }
 
 /// Existence probe under a seed: early-exits at the first satisfying row.
+#[deprecated(note = "prepare the query once with `PreparedQuery::new` and call \
+                     `PreparedQuery::evaluate_seeded_exists`")]
 pub fn evaluate_seeded_exists(
     graph: &Graph,
     query: &Cnre,
@@ -484,6 +510,11 @@ pub(crate) fn join_access(
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the behaviour of the deprecated one-shot wrappers
+    // (downstream code still compiles against them); new code should go
+    // through `PreparedQuery`, tested in `crate::prepared`.
+    #![allow(deprecated)]
+
     use super::*;
 
     fn g1() -> Graph {

@@ -12,10 +12,14 @@
 //!
 //! * [`Cnre`] / [`CnreAtom`] — the query type with a text format
 //!   `(x1, f.f*, y), (y, h, x4)` (quoted names are constants);
-//! * [`evaluate`] — join-based evaluation over per-atom *access paths*:
-//!   materialized relations or seeded product-BFS, chosen by the cost
-//!   model in [`plan`] (bound endpoints and label selectivity from
-//!   [`gdx_graph::Graph::label_stats`]);
+//! * [`PreparedQuery`] — parse + validate once, pre-compile the demand
+//!   automata, evaluate many times (across graphs and epochs); the
+//!   primary evaluation surface;
+//! * [`eval`] — the join core over per-atom *access paths*: materialized
+//!   relations or seeded product-BFS, chosen by the cost model in
+//!   [`plan`] (bound endpoints and label selectivity from
+//!   [`gdx_graph::Graph::label_stats`]). The free `evaluate*` functions
+//!   are deprecated one-shot wrappers kept for downstream code;
 //! * [`seminaive`] — delta-driven evaluation for the chase:
 //!   [`SemiNaiveState::delta_matches`] returns only the matches that did
 //!   not exist at the previous call, via `⋃ᵢ (Δᵢ ⋈ full others)` on top of
@@ -24,14 +28,18 @@
 pub mod cnre;
 pub mod eval;
 pub mod plan;
+pub mod prepared;
 pub mod seminaive;
 
 pub use cnre::{Cnre, CnreAtom};
+pub use eval::NodeBindings;
+#[allow(deprecated)]
 pub use eval::{
     evaluate, evaluate_exists, evaluate_seeded, evaluate_seeded_exists, evaluate_seeded_mode,
-    evaluate_with_cache, NodeBindings,
+    evaluate_with_cache,
 };
 pub use plan::PlannerMode;
+pub use prepared::PreparedQuery;
 pub use seminaive::{
     evaluate_seeded_incremental, evaluate_seeded_incremental_exists, SemiNaiveState,
 };

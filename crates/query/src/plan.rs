@@ -9,9 +9,9 @@
 //! when the join funnels thousands of bindings through an atom whose full
 //! relation is small.
 //!
-//! [`plan_query`] therefore walks the atoms greedily (bound endpoints
+//! `plan_query` therefore walks the atoms greedily (bound endpoints
 //! first, selective atoms early — mirroring the materializing join order)
-//! and picks one [`AccessChoice`] per atom from a small cost model over
+//! and picks one `AccessChoice` per atom from a small cost model over
 //! [`Graph::label_stats`]:
 //!
 //! * `est_pairs(r)` — Σ label counts of `r`'s symbols, plus `|V|` when `r`

@@ -1,0 +1,333 @@
+//! Prepared CNRE queries: parse, validate, and compile once — evaluate
+//! many times.
+//!
+//! The free evaluation functions of [`crate::eval`] pay per call for work
+//! that only depends on the *query*: validation, and compilation of the
+//! guarded product-automata behind the demand access path (each fresh
+//! [`EvalCache`] carries an empty demand pool). The paper's workloads ask
+//! the same CNREs over and over — constraint bodies per chase round,
+//! certain-answer probes per candidate solution — so [`PreparedQuery`]
+//! hoists that work into construction:
+//!
+//! * the query text is parsed and validated once ([`PreparedQuery::parse`]);
+//! * every atom's NRE is compiled into a demand evaluator up front
+//!   ([`gdx_nre::DemandPool::prepared`]); atoms outside the demand
+//!   fragment are remembered as materialize-only, so planning never
+//!   re-attempts compilation;
+//! * the variable list (the output schema) is computed once.
+//!
+//! Evaluation itself still takes the graph *and* a materialization cache:
+//! relations are per-graph artifacts, while the compiled automata are
+//! graph-independent (the demand evaluators re-pin their memo tables to
+//! the `(GraphId, Epoch)` they are probed against, so one prepared query
+//! serves many graphs and many epochs of one growing graph).
+//!
+//! ```
+//! use gdx_graph::Graph;
+//! use gdx_nre::eval::EvalCache;
+//! use gdx_query::PreparedQuery;
+//!
+//! let q = PreparedQuery::parse("(\"c1\", f.f, \"c2\")").unwrap();
+//! let g1 = Graph::parse("(c1, f, _N); (_N, f, c2);").unwrap();
+//! let g2 = Graph::parse("(c1, f, c2);").unwrap();
+//! // One compiled query, probed against two different graphs.
+//! assert!(q.evaluate_exists(&g1).unwrap());
+//! assert!(!q.evaluate_exists(&g2).unwrap());
+//! // Callers with a cache keep materialized relations warm across calls.
+//! let mut cache = EvalCache::new();
+//! let rows = q.matches(&g1, &mut cache).unwrap();
+//! assert_eq!(rows.len(), 1, "Boolean query: one empty witness row");
+//! ```
+
+use crate::cnre::Cnre;
+use crate::eval::{planned_eval, NodeBindings, RelCache};
+use crate::plan::PlannerMode;
+use gdx_common::{FxHashMap, Result, Symbol, Term};
+use gdx_graph::{Graph, NodeId};
+use gdx_nre::demand::DemandEvaluator;
+use gdx_nre::eval::EvalCache;
+use gdx_nre::{BinRel, DemandPool, Nre};
+use std::cell::RefCell;
+
+/// A parsed, validated CNRE with pre-compiled demand automata and its
+/// output schema — reusable across graphs and epochs.
+///
+/// Construct once per query shape (per constraint body, per user query),
+/// then call the evaluation methods freely; see the [module docs](self)
+/// for what is hoisted into construction.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    query: Cnre,
+    vars: Vec<Symbol>,
+    pool: DemandPool,
+}
+
+impl PreparedQuery {
+    /// Prepares a query from its text form, validating it first.
+    ///
+    /// ```
+    /// use gdx_query::PreparedQuery;
+    /// let q = PreparedQuery::parse("(x, f.f*, y), (y, h, \"hx\")").unwrap();
+    /// assert_eq!(q.variables().len(), 2);
+    /// assert!(PreparedQuery::parse("(x, , y)").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<PreparedQuery> {
+        let query = Cnre::parse(text)?;
+        query.validate(None)?;
+        Ok(PreparedQuery::new(query))
+    }
+
+    /// Prepares an already-built query. Compilation cannot fail (atoms
+    /// outside the demand fragment simply materialize); shape validation
+    /// happens on evaluation, exactly like the free functions.
+    pub fn new(query: Cnre) -> PreparedQuery {
+        let vars = query.variables();
+        let pool = DemandPool::prepared(query.atoms.iter().map(|a| &a.nre));
+        PreparedQuery { query, vars, pool }
+    }
+
+    /// Prepares the single-atom query `(left, r, right)` — the shape of
+    /// the paper's query answering problem.
+    pub fn single(left: Term, nre: Nre, right: Term) -> PreparedQuery {
+        PreparedQuery::new(Cnre::single(left, nre, right))
+    }
+
+    /// The underlying query.
+    pub fn cnre(&self) -> &Cnre {
+        &self.query
+    }
+
+    /// Output schema: distinct variables in first-occurrence order.
+    pub fn variables(&self) -> &[Symbol] {
+        &self.vars
+    }
+
+    /// Evaluates over `graph` with a private, throwaway materialization
+    /// cache. Callers issuing several calls against one graph should use
+    /// [`PreparedQuery::matches`] with a shared [`EvalCache`].
+    pub fn evaluate(&self, graph: &Graph) -> Result<NodeBindings> {
+        self.matches(graph, &mut EvalCache::new())
+    }
+
+    /// Is the query satisfiable over `graph`? Early-exits at the first
+    /// answer row; with a constants-only query this is the certain-answer
+    /// probe shape, served by seeded product-BFS.
+    pub fn evaluate_exists(&self, graph: &Graph) -> Result<bool> {
+        let mut cache = EvalCache::new();
+        Ok(!self
+            .eval_planned(
+                graph,
+                &mut cache,
+                &FxHashMap::default(),
+                PlannerMode::Auto,
+                Some(1),
+            )?
+            .is_empty())
+    }
+
+    /// All matches over `graph`, with materialized relations drawn from
+    /// (and left in) `cache` for reuse across calls on the same graph.
+    pub fn matches(&self, graph: &Graph, cache: &mut EvalCache) -> Result<NodeBindings> {
+        self.evaluate_seeded(graph, cache, &FxHashMap::default())
+    }
+
+    /// Evaluates with some variables pre-bound to graph nodes — the tgd
+    /// head-satisfaction shape (frontier variables seeded, existential
+    /// variables free). Seeded variables appear in the output columns with
+    /// their fixed values.
+    pub fn evaluate_seeded(
+        &self,
+        graph: &Graph,
+        cache: &mut EvalCache,
+        seed: &FxHashMap<Symbol, NodeId>,
+    ) -> Result<NodeBindings> {
+        self.eval_planned(graph, cache, seed, PlannerMode::Auto, None)
+    }
+
+    /// [`PreparedQuery::evaluate_seeded`] with an explicit planner mode —
+    /// [`PlannerMode::Materialize`] forces the single-strategy baseline
+    /// the benches and equivalence tests compare against.
+    pub fn evaluate_seeded_mode(
+        &self,
+        graph: &Graph,
+        cache: &mut EvalCache,
+        seed: &FxHashMap<Symbol, NodeId>,
+        mode: PlannerMode,
+    ) -> Result<NodeBindings> {
+        self.eval_planned(graph, cache, seed, mode, None)
+    }
+
+    /// Existence probe under a seed: early-exits at the first satisfying
+    /// row.
+    pub fn evaluate_seeded_exists(
+        &self,
+        graph: &Graph,
+        cache: &mut EvalCache,
+        seed: &FxHashMap<Symbol, NodeId>,
+    ) -> Result<bool> {
+        Ok(!self
+            .eval_planned(graph, cache, seed, PlannerMode::Auto, Some(1))?
+            .is_empty())
+    }
+
+    /// Probe counters of the compiled demand evaluator for `r` (an atom's
+    /// NRE), when `r` is in the demand fragment and was compiled at
+    /// construction — observability for tests and benches.
+    pub fn demand_stats(&self, r: &Nre) -> Option<gdx_nre::DemandStats> {
+        self.pool.get(r).map(|ev| ev.borrow().stats())
+    }
+
+    /// The full-control entry point: planner mode and an answer-row cap
+    /// (`limit`) in one call — the shape session-level `Options` map onto.
+    pub fn evaluate_limited(
+        &self,
+        graph: &Graph,
+        cache: &mut EvalCache,
+        seed: &FxHashMap<Symbol, NodeId>,
+        mode: PlannerMode,
+        limit: Option<usize>,
+    ) -> Result<NodeBindings> {
+        self.eval_planned(graph, cache, seed, mode, limit)
+    }
+
+    fn eval_planned(
+        &self,
+        graph: &Graph,
+        cache: &mut EvalCache,
+        seed: &FxHashMap<Symbol, NodeId>,
+        mode: PlannerMode,
+        limit: Option<usize>,
+    ) -> Result<NodeBindings> {
+        let mut backed = PreparedRelCache {
+            inner: cache,
+            pool: &self.pool,
+        };
+        planned_eval(graph, &self.query, &mut backed, seed, mode, limit)
+    }
+}
+
+/// [`RelCache`] adapter splitting the two cache roles: materialized
+/// relations live in the caller's per-graph [`EvalCache`], compiled demand
+/// evaluators come from the prepared query's own pool (`demand_ensure`
+/// becomes a lookup — the pool was populated at construction, so nothing
+/// compiles on the evaluation path).
+struct PreparedRelCache<'a> {
+    inner: &'a mut EvalCache,
+    pool: &'a DemandPool,
+}
+
+impl RelCache for PreparedRelCache<'_> {
+    fn ensure(&mut self, graph: &Graph, r: &Nre) {
+        EvalCache::ensure(self.inner, graph, r);
+    }
+    fn get(&self, r: &Nre) -> Option<&BinRel> {
+        EvalCache::get(self.inner, r)
+    }
+    fn demand_ensure(&mut self, r: &Nre) -> bool {
+        self.pool.compiled(r)
+    }
+    fn demand_get(&self, r: &Nre) -> Option<&RefCell<DemandEvaluator>> {
+        self.pool.get(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_common::FxHashSet;
+    use gdx_graph::Node;
+
+    fn g1() -> Graph {
+        Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);").unwrap()
+    }
+
+    fn row_set(b: &NodeBindings) -> FxHashSet<Vec<NodeId>> {
+        b.rows().iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn prepared_agrees_with_free_evaluation_across_shapes() {
+        let g = g1();
+        for text in [
+            "(x, h, y)",
+            "(x1, f.f*.[h].f-.(f-)*, x2)",
+            "(x, f, y), (y, h, \"hx\")",
+            "(\"c1\", f.f, \"c2\")",
+        ] {
+            let q = PreparedQuery::parse(text).unwrap();
+            #[allow(deprecated)]
+            let free = crate::evaluate(&g, q.cnre()).unwrap();
+            assert_eq!(row_set(&q.evaluate(&g).unwrap()), row_set(&free), "{text}");
+            assert_eq!(q.evaluate_exists(&g).unwrap(), !free.is_empty(), "{text}");
+        }
+    }
+
+    #[test]
+    fn one_prepared_query_serves_many_graphs() {
+        let q = PreparedQuery::parse("(x, f, y), (y, h, z)").unwrap();
+        let with = g1();
+        let without = Graph::parse("(a, f, b);").unwrap();
+        assert_eq!(q.evaluate(&with).unwrap().len(), 4);
+        assert!(q.evaluate(&without).unwrap().is_empty());
+        // …and the same graph again after it grew (epoch advance).
+        let mut grown = without;
+        let b = grown.node_id(Node::cst("b")).unwrap();
+        let p = grown.add_const("p");
+        grown.add_edge_labelled(b, "h", p);
+        assert_eq!(q.evaluate(&grown).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn seeded_and_mode_variants_agree() {
+        let g = g1();
+        let q = PreparedQuery::parse("(x, f, y), (y, h, z)").unwrap();
+        let c1 = g.node_id(Node::cst("c1")).unwrap();
+        let mut seed = FxHashMap::default();
+        seed.insert(Symbol::new("x"), c1);
+        let mut cache = EvalCache::new();
+        let auto = q.evaluate_seeded(&g, &mut cache, &seed).unwrap();
+        let mut cache2 = EvalCache::new();
+        let mat = q
+            .evaluate_seeded_mode(&g, &mut cache2, &seed, PlannerMode::Materialize)
+            .unwrap();
+        assert_eq!(row_set(&auto), row_set(&mat));
+        assert_eq!(auto.len(), 2);
+        let mut cache3 = EvalCache::new();
+        assert!(q.evaluate_seeded_exists(&g, &mut cache3, &seed).unwrap());
+    }
+
+    #[test]
+    fn limit_caps_answer_rows() {
+        let g = g1();
+        let q = PreparedQuery::parse("(x, h, y)").unwrap();
+        let mut cache = EvalCache::new();
+        let capped = q
+            .evaluate_limited(
+                &g,
+                &mut cache,
+                &FxHashMap::default(),
+                PlannerMode::Auto,
+                Some(1),
+            )
+            .unwrap();
+        assert_eq!(capped.len(), 1);
+        assert_eq!(q.matches(&g, &mut cache).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_validates_eagerly() {
+        assert!(PreparedQuery::parse("(x, f y)").is_err());
+        assert!(PreparedQuery::parse("").is_err());
+    }
+
+    #[test]
+    fn single_matches_paper_shape() {
+        let q = PreparedQuery::single(
+            Term::cst("c1"),
+            gdx_nre::parse::parse_nre("f.f").unwrap(),
+            Term::cst("c2"),
+        );
+        assert!(q.evaluate_exists(&g1()).unwrap());
+        assert!(q.variables().is_empty());
+    }
+}

@@ -165,11 +165,15 @@ pub fn evaluate_seeded_incremental_exists(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluate;
+    use crate::prepared::PreparedQuery;
     use gdx_common::FxHashSet;
 
     fn row_set(b: &NodeBindings) -> FxHashSet<Vec<NodeId>> {
         b.rows().iter().map(|r| r.to_vec()).collect()
+    }
+
+    fn evaluate(graph: &Graph, query: &Cnre) -> Result<NodeBindings> {
+        PreparedQuery::new(query.clone()).evaluate(graph)
     }
 
     #[test]
@@ -265,7 +269,9 @@ mod tests {
         );
         let a = evaluate_seeded_incremental(&g, &q, &mut inc, &seed).unwrap();
         let mut cache = gdx_nre::eval::EvalCache::new();
-        let b = crate::evaluate_seeded(&g, &q, &mut cache, &seed).unwrap();
+        let b = PreparedQuery::new(q.clone())
+            .evaluate_seeded(&g, &mut cache, &seed)
+            .unwrap();
         assert_eq!(row_set(&a), row_set(&b));
         assert_eq!(a.len(), 2);
     }

@@ -6,7 +6,7 @@ use gdx_common::{FxHashMap, Symbol, Term};
 use gdx_graph::{Graph, NodeId};
 use gdx_nre::ast::Nre;
 use gdx_nre::eval::eval;
-use gdx_query::{evaluate, Cnre, CnreAtom};
+use gdx_query::{Cnre, CnreAtom, PreparedQuery};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -95,7 +95,7 @@ proptest! {
     /// Join-based CNRE evaluation ≡ naive assignment enumeration.
     #[test]
     fn cnre_join_matches_naive(g in arb_graph(), q in arb_query()) {
-        let fast = evaluate(&g, &q).unwrap();
+        let fast = PreparedQuery::new(q.clone()).evaluate(&g).unwrap();
         let mut fast_rows: Vec<Vec<NodeId>> =
             fast.rows().iter().map(|r| r.to_vec()).collect();
         fast_rows.sort();
@@ -107,13 +107,14 @@ proptest! {
     /// the property certain-answer counterexample search relies on.
     #[test]
     fn cnre_monotone(g in arb_graph(), q in arb_query()) {
-        let before = evaluate(&g, &q).unwrap();
+        let pq = PreparedQuery::new(q.clone());
+        let before = pq.evaluate(&g).unwrap();
         let mut bigger = g.clone();
         if bigger.node_count() >= 2 {
             bigger.add_edge_labelled(0, "f", 1);
             bigger.add_edge_labelled(1, "h", 0);
         }
-        let after = evaluate(&bigger, &q).unwrap();
+        let after = pq.evaluate(&bigger).unwrap();
         for row in before.rows() {
             prop_assert!(after.contains_row(row));
         }

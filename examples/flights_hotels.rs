@@ -1,16 +1,16 @@
 //! A scaled Flight/Hotel scenario: generate a few thousand facts, chase
-//! them into a graph pattern, apply the egd phase, and inspect what the
-//! "a hotel is in exactly one city" constraint does to the target graph.
+//! them through a session into a universal representative, inspect what
+//! the "a hotel is in exactly one city" constraint does to the target
+//! graph, and query the canonical solution with a prepared query.
 //!
 //! ```text
 //! cargo run --release --example flights_hotels
 //! ```
 
-use gdx::chase::{chase_egds_on_pattern, chase_st, EgdChaseConfig, StChaseVariant};
 use gdx::datagen::{flights_hotels, rng, FlightsHotelsParams};
-use gdx::mapping::Setting;
+use gdx::exchange::representative::RepresentativeOutcome;
 use gdx::pattern::instantiate_shortest;
-use gdx_common::Result;
+use gdx::prelude::*;
 use std::time::Instant;
 
 fn main() -> Result<()> {
@@ -29,50 +29,42 @@ fn main() -> Result<()> {
         instance.relation_str("Hotel").unwrap().len()
     );
 
-    // Source-to-target chase.
+    // One session runs the whole pipeline: s-t chase + adapted egd chase,
+    // memoized behind `representative()`.
+    let mut session = ExchangeSession::new(setting, instance);
     let t = Instant::now();
-    let st = chase_st(&instance, &setting, StChaseVariant::Oblivious)?;
-    println!(
-        "s-t chase: {} triggers -> pattern with {} nodes / {} edges ({:?})",
-        st.triggers,
-        st.pattern.node_count(),
-        st.pattern.edge_count(),
-        t.elapsed()
-    );
-
-    // Adapted egd chase (Section 5): hotels shared across triggers force
-    // their cities to merge.
-    let egds: Vec<_> = setting.egds().cloned().collect();
-    let t = Instant::now();
-    let outcome = chase_egds_on_pattern(&st.pattern, &egds, EgdChaseConfig::default())?;
-    match &outcome {
-        gdx::chase::EgdChaseOutcome::Success { pattern, merges } => {
+    match session.representative()?.clone() {
+        RepresentativeOutcome::Representative(rep) => {
             println!(
-                "egd chase: {merges} merges -> {} nodes / {} edges ({:?})",
-                pattern.node_count(),
-                pattern.edge_count(),
+                "adapted chase: {} merges -> {} nodes / {} edges ({:?})",
+                session.representative_merges(),
+                rep.pattern.node_count(),
+                rep.pattern.edge_count(),
                 t.elapsed()
             );
+            // A second call is free — the chase is memoized.
+            let t2 = Instant::now();
+            session.representative()?;
+            println!("memoized representative fetch: {:?}", t2.elapsed());
+
             // Materialize a concrete target graph.
-            let g = instantiate_shortest(pattern)?;
+            let g = instantiate_shortest(&rep.pattern)?;
             println!(
                 "canonical solution: {} nodes / {} edges",
                 g.node_count(),
                 g.edge_count()
             );
-            // A couple of sanity queries on the target graph.
-            let q = gdx::query::Cnre::parse("(x, f, y), (y, h, z)")?;
-            let hits = gdx::query::evaluate(&g, &q)?;
+            // A couple of sanity queries on the target graph, prepared
+            // once and evaluated against the instantiation.
+            let q = PreparedQuery::parse("(x, f, y), (y, h, z)")?;
+            let hits = q.evaluate(&g)?;
             println!(
                 "(city) -f-> (hotel city) -h-> (hotel) matches: {}",
                 hits.len()
             );
         }
-        gdx::chase::EgdChaseOutcome::Failed { constants, .. } => {
-            println!(
-                "egd chase failed: constants {} and {} forced equal — no solution",
-                constants.0, constants.1
-            );
+        RepresentativeOutcome::ChaseFailed => {
+            println!("egd chase failed: constants forced equal — no solution");
         }
     }
     Ok(())

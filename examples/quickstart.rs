@@ -1,4 +1,7 @@
-//! Quickstart: the paper's running example (Example 2.2) end to end.
+//! Quickstart: the paper's running example (Example 2.2) end to end, on
+//! the session API — one `ExchangeSession` carries every step, so the
+//! chased representative and the enumerated solution family are computed
+//! once and reused.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -6,7 +9,6 @@
 
 use gdx::exchange::representative::RepresentativeOutcome;
 use gdx::prelude::*;
-use gdx_common::Term;
 
 fn main() -> Result<()> {
     // 1. A data exchange setting Ω = (R, Σ, M_st, M_t), written in the DSL.
@@ -26,36 +28,35 @@ fn main() -> Result<()> {
     )?;
     println!("Instance:\n{instance}");
 
-    let ex = Exchange::new(setting.clone(), instance.clone());
+    // 3. The session: owns the pair, memoizes everything expensive.
+    let mut session = ExchangeSession::new(setting, instance);
 
-    // 3. Chase a universal representative: the (pattern, egds) pair of
+    // 4. Chase a universal representative: the (pattern, egds) pair of
     //    Section 5 — the pattern is Figure 5 of the paper.
-    match ex.universal_representative()? {
+    match session.representative()? {
         RepresentativeOutcome::Representative(rep) => {
             println!("Chased pattern (Figure 5):\n{}", rep.pattern);
         }
         RepresentativeOutcome::ChaseFailed => unreachable!("Example 2.2 chases fine"),
     }
 
-    // 4. Existence of solutions (NP-hard in general; easy here).
-    let existence = ex.solution_exists()?;
-    let witness = existence.witness().expect("Example 2.2 has solutions");
+    // 5. Stream solutions lazily: taking the first witness examines one
+    //    candidate, not the whole family.
+    let witness = session
+        .solutions()?
+        .next()
+        .expect("Example 2.2 has solutions")?;
     println!("One solution:\n{witness}");
-    assert!(ex.is_solution(witness)?);
+    assert!(session.is_solution(&witness)?);
 
-    // 5. Checking a hand-written graph: Figure 1(a)'s G1.
-    let g1 = Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);")?;
-    println!("G1 is a solution: {}", ex.is_solution(&g1)?);
+    // 6. Checking a hand-written graph: Figure 1(a)'s G1.
+    let g1 = Graph::parse("(c1, f, _N); (_N, f, c2); (c3, f, _N); (_N, h, hx); (_N, h, hy);")?;
+    println!("G1 is a solution: {}", session.is_solution(&g1)?);
 
-    // 6. Certain answers of the paper's query
-    //    Q = (x1, f.f*.[h].f-.(f-)*, x2).
-    let q = Cnre::single(
-        Term::var("x1"),
-        gdx::nre::parse::parse_nre("f.f*.[h].f-.(f-)*")?,
-        Term::var("x2"),
-    );
-    let (answers, exact) =
-        gdx::exchange::certain::certain_answers(&instance, &setting, &q, &SolverConfig::default())?;
+    // 7. Certain answers of the paper's query
+    //    Q = (x1, f.f*.[h].f-.(f-)*, x2) — prepared once, reusable.
+    let q = PreparedQuery::parse("(x1, f.f*.[h].f-.(f-)*, x2)")?;
+    let (answers, exact) = session.certain_answers(&q)?;
     println!(
         "cert_Ω(Q, I){}:",
         if exact { "" } else { " (within bounds)" }
@@ -64,5 +65,13 @@ fn main() -> Result<()> {
         println!("  ({}, {})", row[0], row[1]);
     }
     assert_eq!(answers.len(), 4, "the paper's four certain pairs");
+
+    // 8. Boolean probes on the same session are marginal-cost: the
+    //    solution family is already memoized.
+    let probe = PreparedQuery::parse("(\"c1\", f.f*, \"c2\")")?;
+    println!(
+        "(c1, f.f*, c2) certain: {}",
+        session.certain(&probe)?.is_certain()
+    );
     Ok(())
 }

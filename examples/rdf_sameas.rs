@@ -1,17 +1,15 @@
 //! The RDF-inspired sameAs relaxation (Section 4.2): same mapping as the
 //! quickstart, but the "hotel in exactly one city" constraint adds
 //! `sameAs` edges instead of merging nodes. Existence becomes trivial;
-//! certain answers change.
+//! certain answers change. One session per setting answers both queries.
 //!
 //! ```text
 //! cargo run --example rdf_sameas
 //! ```
 
 use gdx::chase::saturate_same_as;
-use gdx::exchange::certain::certain_answers;
 use gdx::exchange::exists::construct_solution_no_egds;
 use gdx::prelude::*;
-use gdx_common::Term;
 
 fn main() -> Result<()> {
     let egd_setting = Setting::example_2_2_egd();
@@ -20,7 +18,7 @@ fn main() -> Result<()> {
 
     // Solutions under Ω′ always exist and are built in polynomial time:
     // instantiate the chased pattern, then saturate sameAs edges.
-    let g = construct_solution_no_egds(&instance, &sameas_setting, &SolverConfig::default())?;
+    let g = construct_solution_no_egds(&instance, &sameas_setting, &Options::default())?;
     println!("A solution under Ω′ (sameAs edges included):\n{g}");
 
     // Saturation is idempotent.
@@ -29,24 +27,23 @@ fn main() -> Result<()> {
     assert_eq!(saturate_same_as(&mut g2, &constraints)?, 0);
 
     // The paper's query does not mention sameAs, so some certain answers
-    // are lost relative to the egd setting (end of Example 2.2).
-    let q = Cnre::single(
-        Term::var("x1"),
-        gdx::nre::parse::parse_nre("f.f*.[h].f-.(f-)*")?,
-        Term::var("x2"),
-    );
-    let cfg = SolverConfig::default();
-    let (egd_answers, _) = certain_answers(&instance, &egd_setting, &q, &cfg)?;
-    let (sa_answers, _) = certain_answers(&instance, &sameas_setting, &q, &cfg)?;
+    // are lost relative to the egd setting (end of Example 2.2). One
+    // session per setting; the prepared query is shared between them.
+    let q = PreparedQuery::parse("(x1, f.f*.[h].f-.(f-)*, x2)")?;
+    let mut egd_session = ExchangeSession::new(egd_setting, instance.clone());
+    let mut sa_session = ExchangeSession::new(sameas_setting, instance);
+    let (egd_answers, _) = egd_session.certain_answers(&q)?;
+    let (sa_answers, _) = sa_session.certain_answers(&q)?;
     println!("cert under Ω  (egds):   {} answers", egd_answers.len());
     println!("cert under Ω′ (sameAs): {} answers", sa_answers.len());
     assert_eq!(egd_answers.len(), 4);
     assert_eq!(sa_answers.len(), 2);
 
     // A query that *does* exploit sameAs recovers the connection: cities
-    // sharing a hotel, up to sameAs.
-    let q_sa = Cnre::parse("(x, h, z), (x, sameAs, y)")?;
-    let (sa_aware, _) = certain_answers(&instance, &sameas_setting, &q_sa, &cfg)?;
+    // sharing a hotel, up to sameAs. Same session — the solution family
+    // is already memoized, so this query costs evaluation only.
+    let q_sa = PreparedQuery::parse("(x, h, z), (x, sameAs, y)")?;
+    let (sa_aware, _) = sa_session.certain_answers(&q_sa)?;
     println!("sameAs-aware query certain answers: {}", sa_aware.len());
     Ok(())
 }

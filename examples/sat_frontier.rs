@@ -1,16 +1,16 @@
 //! The Theorem 4.1 reduction in action: encode 3SAT instances as data
 //! exchange settings and watch existence-of-solutions inherit the SAT
-//! phase transition.
+//! phase transition. Sessions drive the SAT-encoding backend (the
+//! encoding is memoized per session).
 //!
 //! ```text
 //! cargo run --release --example sat_frontier
 //! ```
 
 use gdx::datagen::{random_3cnf, rng};
-use gdx::exchange::encode::solution_exists_sat;
 use gdx::exchange::reduction::{Reduction, ReductionFlavor};
+use gdx::prelude::*;
 use gdx::sat::{Cnf, Lit};
-use gdx_common::Result;
 use std::time::Instant;
 
 fn main() -> Result<()> {
@@ -26,11 +26,13 @@ fn main() -> Result<()> {
     // Figure 4's solution encodes the valuation t,t,f,f.
     let fig4 = red.solution_from_valuation(&[true, true, false, false]);
     println!("Figure 4 solution:\n{fig4}");
-    assert!(gdx::exchange::is_solution(
-        &red.instance,
-        &red.setting,
-        &fig4
-    )?);
+    let mut session = ExchangeSession::new(red.setting.clone(), red.instance.clone());
+    assert!(session.is_solution(&fig4)?);
+
+    // The same session answers existence via the memoized SAT encoding:
+    // a second call re-solves without re-encoding.
+    assert!(session.solution_exists_sat()?.exists());
+    assert!(session.solution_exists_sat()?.exists());
 
     // Decide existence across the clause/variable ratio sweep — the
     // solution-existence frontier is the SAT phase transition.
@@ -45,7 +47,8 @@ fn main() -> Result<()> {
         for seed in 0..runs {
             let cnf = random_3cnf(n, m, &mut rng(seed + (ratio * 1000.0) as u64));
             let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd)?;
-            if solution_exists_sat(&red.instance, &red.setting)?.exists() {
+            let mut s = ExchangeSession::new(red.setting, red.instance);
+            if s.solution_exists_sat()?.exists() {
                 exists_count += 1;
             }
         }

@@ -13,8 +13,12 @@
 //!
 //! * [`mapping::Setting`] — a data exchange setting `Ω = (R, Σ, M_st, M_t)`,
 //!   parsed from the mapping DSL or built programmatically;
-//! * [`exchange::Exchange`] — solution checking, the chase, existence of
-//!   solutions, certain answers, universal representatives;
+//! * [`exchange::ExchangeSession`] — the stateful session: solution
+//!   checking, the chase, existence of solutions, streaming solution
+//!   enumeration, certain answers, universal representatives — with the
+//!   expensive artifacts memoized across calls;
+//! * [`query::PreparedQuery`] — parse/compile a CNRE once, evaluate many
+//!   times;
 //! * [`exchange::reduction`] — the Theorem 4.1 reduction from 3SAT.
 
 pub use gdx_automata as automata;
@@ -33,11 +37,13 @@ pub use gdx_sat as sat;
 /// Curated prelude: the types most programs need.
 pub mod prelude {
     pub use gdx_common::{GdxError, Result, Symbol};
-    pub use gdx_exchange::{CertainAnswer, Exchange, Existence, SolverConfig};
+    pub use gdx_exchange::{CertainAnswer, ExchangeSession, Existence, Options};
+    #[allow(deprecated)]
+    pub use gdx_exchange::{Exchange, SolverConfig};
     pub use gdx_graph::{Graph, Node};
     pub use gdx_mapping::{Setting, SourceToTargetTgd, TargetConstraint};
     pub use gdx_nre::Nre;
     pub use gdx_pattern::GraphPattern;
-    pub use gdx_query::Cnre;
+    pub use gdx_query::{Cnre, PreparedQuery};
     pub use gdx_relational::{Instance, Schema};
 }

@@ -4,10 +4,8 @@
 
 use gdx::chase::egd_pattern::adapted_chase;
 use gdx::chase::{chase_st, EgdChaseConfig, StChaseVariant};
-use gdx::exchange::certain::certain_answers;
 use gdx::exchange::representative::RepresentativeOutcome;
 use gdx::prelude::*;
-use gdx_common::Term;
 
 fn g1() -> Graph {
     Graph::parse("(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);").unwrap()
@@ -32,12 +30,8 @@ fn g3() -> Graph {
     .unwrap()
 }
 
-fn paper_query() -> Cnre {
-    Cnre::single(
-        Term::var("x1"),
-        gdx::nre::parse::parse_nre("f.f*.[h].f-.(f-)*").unwrap(),
-        Term::var("x2"),
-    )
+fn paper_query() -> PreparedQuery {
+    PreparedQuery::parse("(x1, f.f*.[h].f-.(f-)*, x2)").unwrap()
 }
 
 #[test]
@@ -45,8 +39,8 @@ fn e1_figure_1_solution_status() {
     let i = Instance::example_2_2();
     let egd = Setting::example_2_2_egd();
     let sameas = Setting::example_2_2_sameas();
-    let ex_egd = Exchange::new(egd, i.clone());
-    let ex_sa = Exchange::new(sameas, i);
+    let mut ex_egd = ExchangeSession::new(egd, i.clone());
+    let mut ex_sa = ExchangeSession::new(sameas, i);
 
     assert!(ex_egd.is_solution(&g1()).unwrap());
     assert!(ex_egd.is_solution(&g2()).unwrap());
@@ -62,11 +56,11 @@ fn e1_figure_1_solution_status() {
 fn e2_query_answer_sets_match_paper() {
     let q = paper_query();
     // JQK_G1 — exactly the four constant pairs.
-    let a1 = gdx::query::evaluate(&g1(), &q).unwrap();
+    let a1 = q.evaluate(&g1()).unwrap();
     assert_eq!(a1.len(), 4);
     assert_eq!(a1.constant_rows(&g1()).len(), 4);
     // JQK_G2 — nine pairs, four of them constant-only.
-    let a2 = gdx::query::evaluate(&g2(), &q).unwrap();
+    let a2 = q.evaluate(&g2()).unwrap();
     assert_eq!(a2.len(), 9);
     assert_eq!(a2.constant_rows(&g2()).len(), 4);
 }
@@ -74,11 +68,14 @@ fn e2_query_answer_sets_match_paper() {
 #[test]
 fn e2_certain_answers_under_both_settings() {
     let i = Instance::example_2_2();
-    let cfg = SolverConfig::default();
     let q = paper_query();
-    let (egd_rows, _) = certain_answers(&i, &Setting::example_2_2_egd(), &q, &cfg).unwrap();
+    let (egd_rows, _) = ExchangeSession::new(Setting::example_2_2_egd(), i.clone())
+        .certain_answers(&q)
+        .unwrap();
     assert_eq!(egd_rows.len(), 4);
-    let (sa_rows, _) = certain_answers(&i, &Setting::example_2_2_sameas(), &q, &cfg).unwrap();
+    let (sa_rows, _) = ExchangeSession::new(Setting::example_2_2_sameas(), i)
+        .certain_answers(&q)
+        .unwrap();
     let names: Vec<(String, String)> = sa_rows
         .iter()
         .map(|r| (r[0].to_string(), r[1].to_string()))
@@ -166,19 +163,20 @@ fn e8_figure_5_adapted_chase() {
 fn e9_example_5_2_chase_succeeds_but_no_solution() {
     let setting = Setting::example_5_2();
     let i = Instance::parse(setting.source.clone(), "R(c1); P(c2);").unwrap();
-    let cfg = SolverConfig::default();
-    assert!(gdx::exchange::exists::chased_pattern(&i, &setting, &cfg)
-        .unwrap()
-        .succeeded());
-    let ex = gdx::exchange::solution_exists(&i, &setting, &cfg).unwrap();
+    let mut session = ExchangeSession::new(setting, i);
+    assert!(matches!(
+        session.representative().unwrap(),
+        RepresentativeOutcome::Representative(_)
+    ));
+    let ex = session.solution_exists().unwrap();
     assert!(!ex.exists(), "Example 5.2 has no solution; got {ex:?}");
 }
 
 #[test]
 fn e10_figure_7_breaks_pattern_universality() {
     let i = Instance::example_2_2();
-    let ex = Exchange::new(Setting::example_2_2_egd(), i);
-    let RepresentativeOutcome::Representative(rep) = ex.universal_representative().unwrap() else {
+    let mut ex = ExchangeSession::new(Setting::example_2_2_egd(), i);
+    let RepresentativeOutcome::Representative(rep) = ex.representative().unwrap().clone() else {
         panic!("chase succeeds");
     };
     let fig7 = Graph::parse(

@@ -4,7 +4,7 @@
 
 use gdx::chase::{chase_st, is_weakly_acyclic, StChaseVariant};
 use gdx::datagen::{flights_hotels, rng, FlightsHotelsParams};
-use gdx::exchange::exists::{construct_solution_no_egds, SolverConfig};
+use gdx::exchange::exists::construct_solution_no_egds;
 use gdx::prelude::*;
 
 #[test]
@@ -22,13 +22,13 @@ fn dsl_to_solution_with_target_tgds() {
     assert!(is_weakly_acyclic(&tgds).unwrap(), "chase terminates");
 
     let inst = Instance::parse(setting.source.clone(), "Hop(a, b); Hop(b, c);").unwrap();
-    let ex = Exchange::new(setting.clone(), inst.clone());
+    let mut ex = ExchangeSession::new(setting.clone(), inst.clone());
     let sol = ex.solution_exists().unwrap();
     let g = sol.witness().expect("weakly acyclic tgds: solution exists");
     assert!(ex.is_solution(g).unwrap());
     // b and c must both carry svc edges.
-    let q = Cnre::parse("(\"b\", svc, s)").unwrap();
-    assert!(!gdx::query::evaluate(g, &q).unwrap().is_empty());
+    let q = PreparedQuery::parse("(\"b\", svc, s)").unwrap();
+    assert!(q.evaluate_exists(g).unwrap());
 }
 
 #[test]
@@ -57,13 +57,13 @@ fn mixed_egd_and_sameas_setting() {
          sameas (x, f, z), (y, f, z) -> (x, y);",
     )
     .unwrap();
-    let ex = Exchange::new(setting, Instance::example_2_2());
+    let mut ex = ExchangeSession::new(setting, Instance::example_2_2());
     let sol = ex.solution_exists().unwrap();
     let g = sol.witness().expect("solution exists");
     assert!(ex.is_solution(g).unwrap());
     // Both hx-stays collapse to one city, linked to itself by sameAs.
-    let q = Cnre::parse("(x, sameAs, y)").unwrap();
-    assert!(!gdx::query::evaluate(g, &q).unwrap().is_empty());
+    let q = PreparedQuery::parse("(x, sameAs, y)").unwrap();
+    assert!(q.evaluate_exists(g).unwrap());
 }
 
 #[test]
@@ -78,7 +78,7 @@ fn generated_workload_end_to_end() {
         },
         &mut rng(5),
     );
-    let g = construct_solution_no_egds(&inst, &setting, &SolverConfig::default()).unwrap();
+    let g = construct_solution_no_egds(&inst, &setting, &Options::default()).unwrap();
     assert!(gdx::exchange::is_solution(&inst, &setting, &g).unwrap());
 }
 
@@ -94,7 +94,7 @@ fn generated_workload_egd_chase_then_verify() {
         },
         &mut rng(9),
     );
-    let ex = Exchange::new(setting, inst);
+    let mut ex = ExchangeSession::new(setting, inst);
     let sol = ex.solution_exists().unwrap();
     // Hotel/city collisions among *constants* can make solutions
     // impossible; whatever the verdict, an Exists witness must verify.

@@ -5,20 +5,24 @@
 
 use gdx::datagen::{random_3cnf, rng};
 use gdx::exchange::encode::solution_exists_sat;
-use gdx::exchange::exists::{construct_solution_no_egds, SolverConfig};
+use gdx::exchange::exists::construct_solution_no_egds;
 use gdx::exchange::reduction::{Reduction, ReductionFlavor};
-use gdx::exchange::{certain_pair, is_solution, solution_exists, CertainAnswer, Existence};
+use gdx::exchange::{is_solution, CertainAnswer, ExchangeSession, Existence, Options};
 use gdx::pattern::InstantiationConfig;
 use gdx::sat::{brute_force, Cnf, Lit};
 
-fn config_for(n: u32) -> SolverConfig {
-    SolverConfig {
+fn config_for(n: u32) -> Options {
+    Options {
         instantiation: InstantiationConfig {
             max_graphs: (1usize << n) + 8,
             ..InstantiationConfig::default()
         },
-        ..SolverConfig::default()
+        ..Options::default()
     }
+}
+
+fn session_for(red: &Reduction, n: u32) -> ExchangeSession {
+    ExchangeSession::new(red.setting.clone(), red.instance.clone()).with_options(config_for(n))
 }
 
 #[test]
@@ -32,7 +36,7 @@ fn e5_randomized_existence_agreement() {
                 let truth = brute_force(&cnf).is_some();
                 let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
 
-                let search = solution_exists(&red.instance, &red.setting, &config_for(n)).unwrap();
+                let search = session_for(&red, n).solution_exists().unwrap();
                 assert_eq!(
                     search.exists(),
                     truth,
@@ -63,15 +67,9 @@ fn e6_randomized_certain_agreement() {
                 let cnf = random_3cnf(n, m, &mut rng(seed * 97 + n as u64));
                 let unsat = brute_force(&cnf).is_none();
                 let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
-                let ans = certain_pair(
-                    &red.instance,
-                    &red.setting,
-                    &Reduction::certain_query_egd(),
-                    "c1",
-                    "c2",
-                    &config_for(n),
-                )
-                .unwrap();
+                let ans = session_for(&red, n)
+                    .certain_pair(&Reduction::certain_query_egd(), "c1", "c2")
+                    .unwrap();
                 assert_eq!(
                     ans.is_certain(),
                     unsat,
@@ -94,20 +92,14 @@ fn e7_randomized_sameas_agreement() {
         let red = Reduction::from_cnf(&cnf, ReductionFlavor::SameAs).unwrap();
 
         // Existence is trivial (Proposition 4.3).
-        let g = construct_solution_no_egds(&red.instance, &red.setting, &SolverConfig::default())
-            .unwrap();
+        let g =
+            construct_solution_no_egds(&red.instance, &red.setting, &Options::default()).unwrap();
         assert!(is_solution(&red.instance, &red.setting, &g).unwrap());
 
         // Certain answering of `sameAs` mirrors unsatisfiability.
-        let ans = certain_pair(
-            &red.instance,
-            &red.setting,
-            &Reduction::certain_query_sameas(),
-            "c1",
-            "c2",
-            &config_for(n),
-        )
-        .unwrap();
+        let ans = session_for(&red, n)
+            .certain_pair(&Reduction::certain_query_sameas(), "c1", "c2")
+            .unwrap();
         assert_eq!(ans.is_certain(), unsat, "Proposition 4.3, seed={seed}");
     }
 }
@@ -154,14 +146,12 @@ fn solution_count_equals_model_count() {
             })
             .count();
         let red = Reduction::from_cnf(&cnf, ReductionFlavor::Egd).unwrap();
-        let (sols, exact) = gdx::exchange::enumerate_minimal_solutions(
-            &red.instance,
-            &red.setting,
-            &config_for(n),
-            false,
-        )
-        .unwrap();
-        assert!(exact);
+        let mut session = session_for(&red, n);
+        let stream = session.solutions().unwrap();
+        let sols: Vec<_> = stream.map(|g| g.unwrap()).collect();
+        let mut replay = session.solutions().unwrap();
+        assert_eq!(replay.by_ref().count(), sols.len());
+        assert!(replay.exact());
         assert_eq!(sols.len(), models, "seed={seed}");
     }
 }
