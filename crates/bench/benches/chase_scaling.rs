@@ -94,6 +94,7 @@ fn bench_chase(c: &mut Criterion) {
                         TgdChaseConfig {
                             max_steps: 1_000_000,
                             mode,
+                            ..TgdChaseConfig::default()
                         },
                     )
                     .unwrap()

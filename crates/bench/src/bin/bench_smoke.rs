@@ -1,21 +1,30 @@
 //! Quick bench profile for CI: times (a) the demand-driven (product-BFS)
-//! access path against the materializing baseline on the PR-2 workloads
-//! and (b) the PR-3 session-reuse contrast — N certain-answer queries on
-//! one `ExchangeSession` vs N cold one-shot calls — and writes a
-//! machine-readable JSON report (`BENCH_pr3.json` by default), so the perf
-//! trajectory is tracked across PRs.
+//! access path against the materializing baseline on the PR-2 workloads,
+//! (b) the PR-3 session-reuse contrast — N certain-answer queries on
+//! one `ExchangeSession` vs N cold one-shot calls — and (c) the PR-4
+//! `parallel_speedup` contrast: 1 vs 4 `gdx-runtime` workers on the
+//! 500-flight chase and certain-answer sweep. Writes a machine-readable
+//! JSON report (`BENCH_pr4.json` by default), so the perf trajectory is
+//! tracked across PRs.
+//!
+//! The parallel rows measure real wall-clock on whatever hardware runs
+//! the job; the report records `detected_parallelism` so a ~1.0× ratio on
+//! a single-core container is interpretable (4 workers cannot beat 1 on
+//! one core — the determinism tests still exercise the parallel paths
+//! there).
 //!
 //! Usage: `cargo run --release -p gdx-bench --bin bench_smoke [-- out.json]`
 
 use gdx_bench::{paper_flight_graph, PAPER_QUERY};
 use gdx_common::{FxHashMap, Symbol};
-use gdx_exchange::ExchangeSession;
+use gdx_exchange::{ExchangeSession, Options};
 use gdx_graph::Node;
 use gdx_mapping::Setting;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::parse::parse_nre;
 use gdx_query::{Cnre, PlannerMode, PreparedQuery};
 use gdx_relational::Instance;
+use gdx_runtime::{Runtime, Threads};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -164,16 +173,139 @@ fn session_reuse_rows(rows: &mut Vec<Row>) {
     }
 }
 
+/// PR-4 group: identical workloads at 1 vs 4 `gdx-runtime` workers.
+/// `baseline_ns` = 1 worker, `fast_ns` = 4 workers; the outputs are
+/// byte-identical by construction (pinned by `tests/parallel_determinism`),
+/// so this measures pure wall-clock.
+fn parallel_speedup_rows(rows: &mut Vec<Row>) {
+    // (a) NRE materialization: the paper query evaluated free-free over
+    // the 500-flight graph — the planner materializes, and eval_rt
+    // partitions the star closures and compositions across workers.
+    let g = paper_flight_graph(500);
+    let query =
+        PreparedQuery::new(Cnre::parse(&format!("(x, {PAPER_QUERY}, y)")).expect("static query"));
+    let time_workers = |n: usize| {
+        let rt = Runtime::with_workers(n);
+        median_ns(3, || {
+            let mut cache = gdx_nre::eval::EvalCache::new();
+            let b = query
+                .evaluate_limited_rt(
+                    &g,
+                    &mut cache,
+                    &FxHashMap::default(),
+                    PlannerMode::Auto,
+                    None,
+                    &rt,
+                )
+                .expect("eval");
+            std::hint::black_box(b.len());
+        })
+    };
+    let t1 = time_workers(1);
+    let t4 = time_workers(4);
+    eprintln!("  parallel_speedup/nre_eval size 500: 1w {t1} ns, 4w {t4} ns");
+    rows.push(Row {
+        group: "parallel_speedup/nre_eval".to_owned(),
+        size: 500,
+        baseline_ns: t1,
+        fast_ns: t4,
+    });
+
+    // (b) The 500-flight tgd chase: a join-dense rule (pairs of flights
+    // into the same destination) whose delta joins shard across workers
+    // and whose head checks run through the speculative pre-filter.
+    let chase_graph = {
+        use gdx_chase::{chase_st, StChaseVariant};
+        let setting = Setting::example_2_2_egd();
+        let inst = gdx_datagen::flights_hotels(
+            gdx_datagen::FlightsHotelsParams {
+                flights: 500,
+                cities: 20,
+                hotels: 100,
+                stays_per_flight: 2,
+            },
+            &mut gdx_datagen::rng(42),
+        );
+        let st = chase_st(&inst, &setting, StChaseVariant::Oblivious).expect("st chase");
+        gdx_pattern::instantiate_shortest(&st.pattern).expect("instantiation")
+    };
+    let rules = [gdx_mapping::TargetTgd {
+        body: Cnre::parse("(x, f, y), (z, f, y)").expect("static body"),
+        existential: Vec::new(),
+        head: Cnre::parse("(x, f.f*, z)").expect("static head"),
+    }];
+    let time_chase = |n: usize| {
+        median_ns(3, || {
+            let out = gdx_chase::chase_target_tgds(
+                &chase_graph,
+                &rules,
+                gdx_chase::TgdChaseConfig {
+                    max_steps: 1_000_000,
+                    threads: Threads::Fixed(n),
+                    ..gdx_chase::TgdChaseConfig::default()
+                },
+            )
+            .expect("chase");
+            std::hint::black_box(out.steps);
+        })
+    };
+    let c1 = time_chase(1);
+    let c4 = time_chase(4);
+    eprintln!("  parallel_speedup/chase size 500: 1w {c1} ns, 4w {c4} ns");
+    rows.push(Row {
+        group: "parallel_speedup/chase".to_owned(),
+        size: 500,
+        baseline_ns: c1,
+        fast_ns: c4,
+    });
+
+    // (c) The full certain-answer sweep: cold session over the 500-flight
+    // instance — chase, candidate verification, then the paper query's
+    // certain answers over the solution family.
+    let setting = Setting::example_2_2_egd();
+    let inst = gdx_datagen::flights_hotels(
+        gdx_datagen::FlightsHotelsParams {
+            flights: 500,
+            cities: 100,
+            hotels: 100,
+            stays_per_flight: 2,
+        },
+        &mut gdx_datagen::rng(42),
+    );
+    let sweep =
+        PreparedQuery::new(Cnre::parse(&format!("(x1, {PAPER_QUERY}, x2)")).expect("static query"));
+    let time_sweep = |n: usize| {
+        let t = Instant::now();
+        let mut session = ExchangeSession::new(setting.clone(), inst.clone())
+            .with_options(Options::default().with_threads(Threads::Fixed(n)));
+        let (rows, _exact) = session.certain_answers(&sweep).expect("sweep");
+        std::hint::black_box(rows.len());
+        t.elapsed().as_nanos()
+    };
+    let s1 = time_sweep(1);
+    let s4 = time_sweep(4);
+    eprintln!("  parallel_speedup/certain_sweep size 500: 1w {s1} ns, 4w {s4} ns");
+    rows.push(Row {
+        group: "parallel_speedup/certain_sweep".to_owned(),
+        size: 500,
+        baseline_ns: s1,
+        fast_ns: s4,
+    });
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr3.json".to_owned());
+        .unwrap_or_else(|| "BENCH_pr4.json".to_owned());
     let mut rows = Vec::new();
     seeded_query_rows(&mut rows);
     certain_probe_rows(&mut rows);
     session_reuse_rows(&mut rows);
+    parallel_speedup_rows(&mut rows);
 
-    let mut json = String::from("{\n  \"pr\": 3,\n  \"groups\": [\n");
+    let detected = Threads::Auto.resolve();
+    let mut json =
+        format!("{{\n  \"pr\": 4,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.baseline_ns as f64 / r.fast_ns.max(1) as f64;
         let _ = write!(

@@ -46,7 +46,11 @@ use gdx_mapping::TargetTgd;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::witness;
 use gdx_nre::IncrementalCache;
-use gdx_query::{evaluate_seeded_incremental_exists, PreparedQuery, SemiNaiveState};
+use gdx_query::{
+    evaluate_seeded_incremental_exists, evaluate_with_scratch, PlannerMode, PreparedQuery,
+    SemiNaiveState,
+};
+use gdx_runtime::{Runtime, Threads};
 
 /// Body-evaluation strategy of the target-tgd chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +70,12 @@ pub struct TgdChaseConfig {
     pub max_steps: usize,
     /// Body-evaluation strategy.
     pub mode: TgdChaseMode,
+    /// Worker pool for the semi-naive engine's delta joins and the
+    /// speculative head pre-filter. The chase result — graph, firing
+    /// order, fresh-null names, [`ChaseStats`] — is byte-identical at any
+    /// worker count; threads only change wall-clock. Naive mode (the
+    /// oracle) ignores this and stays strictly sequential.
+    pub threads: Threads,
 }
 
 impl Default for TgdChaseConfig {
@@ -73,13 +83,15 @@ impl Default for TgdChaseConfig {
         TgdChaseConfig {
             max_steps: 10_000,
             mode: TgdChaseMode::default(),
+            threads: Threads::Auto,
         }
     }
 }
 
 /// Evaluation-effort counters, for regression tests and the scaling bench
-/// (naive vs semi-naive).
-#[derive(Debug, Clone, Copy, Default)]
+/// (naive vs semi-naive). `PartialEq` so determinism tests can pin the
+/// N-worker counters against the 1-worker run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChaseStats {
     /// Tgd firings.
     pub steps: usize,
@@ -156,6 +168,8 @@ impl RuleState {
 #[derive(Debug)]
 pub struct TgdChaseEngine {
     cfg: TgdChaseConfig,
+    /// Worker pool resolved once from `cfg.threads`.
+    runtime: Runtime,
     rules: Vec<RuleState>,
     nulls: NullFactory,
     /// The graph value the caches are valid for.
@@ -170,6 +184,7 @@ impl TgdChaseEngine {
     pub fn new(tgds: &[TargetTgd], cfg: TgdChaseConfig) -> TgdChaseEngine {
         TgdChaseEngine {
             cfg,
+            runtime: Runtime::new(cfg.threads),
             rules: tgds.iter().map(RuleState::new).collect(),
             nulls: NullFactory::new(),
             graph: None,
@@ -235,6 +250,7 @@ impl TgdChaseEngine {
             self.stats.turns += 1;
             let turn_start = graph.epoch();
 
+            let rt = self.runtime;
             let matches = {
                 let rule = &mut self.rules[ri];
                 if rule.primed {
@@ -243,12 +259,26 @@ impl TgdChaseEngine {
                     self.stats.full_evals += 1;
                     rule.primed = true;
                 }
-                rule.body.delta_matches(graph, &rule.tgd.body)?
+                rule.body.delta_matches_rt(graph, &rule.tgd.body, &rt)?
             };
             self.stats.body_rows += matches.len();
 
             let vars: Vec<Symbol> = matches.vars().to_vec();
-            for row in matches.rows() {
+            // Speculative parallel head pre-filter: check every match's
+            // head against the *batch-start* graph across workers. Heads
+            // are positive and the tgd chase only grows the graph, so a
+            // "witnessed" verdict is monotone — those rows can never fire
+            // and are skipped outright. "Unwitnessed" verdicts are only
+            // hints: the sequential loop below re-checks them against the
+            // current graph (earlier firings in this batch may have
+            // produced the witness), in exactly the order and with
+            // exactly the outcomes of a 1-worker run.
+            let spec_witnessed =
+                speculative_head_filter(graph, &self.rules[ri].tgd, &vars, matches.rows(), &rt)?;
+            for (row, &witnessed_at_start) in matches.rows().iter().zip(&spec_witnessed) {
+                if witnessed_at_start {
+                    continue;
+                }
                 let m: FxHashMap<Symbol, NodeId> =
                     vars.iter().copied().zip(row.iter().copied()).collect();
                 let rule = &mut self.rules[ri];
@@ -359,6 +389,65 @@ fn head_witnessed(
     let mut cache = EvalCache::new();
     let seed = head_seed(tgd, body_match);
     head_q.evaluate_seeded_exists(graph, &mut cache, &seed)
+}
+
+/// Minimum match rows in a batch before the head pre-filter fans out.
+const SPEC_MIN_ROWS: usize = 512;
+
+/// Speculatively head-checks a batch of body matches against the current
+/// graph, one worker chunk at a time, each worker with its own scratch
+/// [`EvalCache`] (a `PreparedQuery`'s demand pool cannot cross threads —
+/// see [`gdx_query::evaluate_with_scratch`]). Returns one flag per row:
+/// `true` = head witnessed *now*, which by monotonicity (positive heads,
+/// growing graph) remains witnessed through all later firings, so the
+/// row can be skipped without affecting the firing sequence. `false` is
+/// merely "recheck sequentially".
+///
+/// Sequential runtimes (or small batches) skip the speculation entirely
+/// and report all-`false`. Speculation bounds the extra work at one
+/// redundant head check per row that ends up firing (re-checked
+/// sequentially against the current graph), spread over the workers — a
+/// net win whenever a meaningful share of the batch is already
+/// witnessed, and at worst ~2/N of the sequential head-check time.
+fn speculative_head_filter(
+    graph: &Graph,
+    tgd: &TargetTgd,
+    vars: &[Symbol],
+    rows: &[Box<[NodeId]>],
+    rt: &Runtime,
+) -> Result<Vec<bool>> {
+    if !rt.is_parallel() || rows.len() < SPEC_MIN_ROWS {
+        return Ok(vec![false; rows.len()]);
+    }
+    // About two chunks per worker: each chunk pays one scratch-cache
+    // compilation, so coarse chunks amortize it.
+    let chunk = rows.len().div_ceil(rt.workers() * 2).max(64);
+    let chunks = rt.par_chunks(rows, chunk, |_, chunk| -> Result<Vec<bool>> {
+        let mut cache = EvalCache::new();
+        chunk
+            .iter()
+            .map(|row| {
+                let m: FxHashMap<Symbol, NodeId> =
+                    vars.iter().copied().zip(row.iter().copied()).collect();
+                let seed = head_seed(tgd, &m);
+                Ok(!evaluate_with_scratch(
+                    graph,
+                    &tgd.head,
+                    &mut cache,
+                    &seed,
+                    PlannerMode::Auto,
+                    Some(1),
+                    &Runtime::sequential(),
+                )?
+                .is_empty())
+            })
+            .collect()
+    });
+    let mut flags = Vec::with_capacity(rows.len());
+    for chunk in chunks {
+        flags.extend(chunk?);
+    }
+    Ok(flags)
 }
 
 /// Incremental variant: the per-rule head cache (materialized relations
@@ -493,6 +582,7 @@ mod tests {
                 TgdChaseConfig {
                     max_steps: 50,
                     mode,
+                    ..TgdChaseConfig::default()
                 },
             );
             assert!(matches!(err, Err(GdxError::LimitExceeded(_))));

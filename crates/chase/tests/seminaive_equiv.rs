@@ -98,6 +98,7 @@ fn run(g: &Graph, tgds: &[TargetTgd], mode: TgdChaseMode) -> Result<Graph, GdxEr
         TgdChaseConfig {
             max_steps: 300,
             mode,
+            ..TgdChaseConfig::default()
         },
     )
     .map(|out| out.graph)
@@ -193,10 +194,12 @@ fn semi_naive_halves_body_match_work_on_datagen_instances() {
     let cfg_semi = TgdChaseConfig {
         max_steps: 100_000,
         mode: TgdChaseMode::SemiNaive,
+        ..TgdChaseConfig::default()
     };
     let cfg_naive = TgdChaseConfig {
         max_steps: 100_000,
         mode: TgdChaseMode::Naive,
+        ..TgdChaseConfig::default()
     };
     let semi = chase_target_tgds(&g, &tgds, cfg_semi).unwrap();
     let naive = chase_target_tgds(&g, &tgds, cfg_naive).unwrap();

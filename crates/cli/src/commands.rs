@@ -13,6 +13,7 @@ use gdx_graph::{Graph, NullFactory};
 use gdx_pattern::InstantiationConfig;
 use gdx_query::{PlannerMode, PreparedQuery};
 use gdx_relational::{Instance, Schema};
+use gdx_runtime::Threads;
 use gdx_sat::Cnf;
 
 const USAGE: &str = "\
@@ -29,9 +30,13 @@ USAGE:
   gdx cert-query --setting S.gdx --instance I.facts --cnre QUERY
   gdx reduce    --dimacs F.cnf [--sameas]
   gdx direct    --schema DECLS --instance I.facts [--reify]
+  gdx info
   gdx help
 
-SHARED OPTIONS (every solver command):
+SHARED OPTIONS (every subcommand):
+  --threads N       worker threads for the parallel runtime (default:
+                    GDX_THREADS env, else the machine's parallelism);
+                    results are identical at any worker count
   --max-graphs N    candidate-instantiation cap (default 256)
   --materialize     force the materializing baseline for certain-answer
                     evaluation (certain / cert-query)
@@ -60,6 +65,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         "cert-query" => cmd_cert_query(rest),
         "reduce" => cmd_reduce(rest),
         "direct" => cmd_direct(rest),
+        "info" => cmd_info(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -73,6 +79,16 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
 /// Boolean flags shared by the session-backed solver subcommands.
 const SOLVER_FLAGS: &[&str] = &["materialize"];
 
+/// `--threads N` (explicit worker count); absent = [`Threads::Auto`],
+/// which honours the `GDX_THREADS` environment variable before falling
+/// back to the machine's available parallelism.
+fn threads_flag(a: &Args) -> Result<Threads> {
+    Ok(match a.get("threads") {
+        None => Threads::Auto,
+        Some(_) => Threads::Fixed(a.get_usize("threads", 0)?.max(1)),
+    })
+}
+
 fn options(a: &Args) -> Result<Options> {
     Ok(Options {
         instantiation: InstantiationConfig {
@@ -85,6 +101,7 @@ fn options(a: &Args) -> Result<Options> {
             PlannerMode::Auto
         },
         null_seed: a.get_usize("null-seed", 0)? as u64,
+        threads: threads_flag(a)?,
         ..Options::default()
     })
 }
@@ -265,6 +282,22 @@ fn cmd_direct(argv: &[String]) -> Result<()> {
     Ok(())
 }
 
+fn cmd_info(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &[])?;
+    let configured = threads_flag(&a)?;
+    println!("gdx {}", env!("CARGO_PKG_VERSION"));
+    println!(
+        "detected parallelism: {}",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    match std::env::var("GDX_THREADS") {
+        Ok(v) => println!("GDX_THREADS: {v}"),
+        Err(_) => println!("GDX_THREADS: (unset)"),
+    }
+    println!("effective workers: {}", configured.resolve());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,5 +437,34 @@ mod tests {
         dispatch(&[]).unwrap();
         assert!(dispatch(&v(&["bogus"])).is_err());
         assert!(dispatch(&v(&["solve", "--setting", "/nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn info_and_threads_flag() {
+        dispatch(&v(&["info"])).unwrap();
+        dispatch(&v(&["info", "--threads", "2"])).unwrap();
+        let (s, i) = example_files("threads");
+        for n in ["1", "2"] {
+            dispatch(&v(&[
+                "solve",
+                "--setting",
+                &s,
+                "--instance",
+                &i,
+                "--threads",
+                n,
+            ]))
+            .unwrap();
+        }
+        assert!(dispatch(&v(&[
+            "solve",
+            "--threads",
+            "x",
+            "--setting",
+            &s,
+            "--instance",
+            &i
+        ]))
+        .is_err());
     }
 }

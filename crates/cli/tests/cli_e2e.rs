@@ -215,3 +215,56 @@ fn errors_exit_nonzero() {
     let out = gdx(&["solve", "--setting", "/nonexistent"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn info_reports_parallelism() {
+    let out = stdout_of(&["info"]);
+    assert!(out.contains("gdx 0."), "version line expected:\n{out}");
+    assert!(
+        out.contains("detected parallelism:"),
+        "parallelism line expected:\n{out}"
+    );
+    let out = stdout_of(&["info", "--threads", "3"]);
+    assert!(
+        out.contains("effective workers: 3"),
+        "--threads overrides the worker count:\n{out}"
+    );
+}
+
+#[test]
+fn thread_counts_do_not_change_output() {
+    // The CLI-level determinism check: identical stdout at 1 and 4
+    // workers across the session-backed subcommands.
+    let (s, i) = fixture("threads");
+    for cmd in [
+        vec!["solve", "--setting", &s, "--instance", &i],
+        vec![
+            "solutions",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--limit",
+            "3",
+        ],
+        vec![
+            "cert-query",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--cnre",
+            "(x, f.f*, y)",
+        ],
+    ] {
+        let mut one = cmd.clone();
+        one.extend(["--threads", "1"]);
+        let mut four = cmd.clone();
+        four.extend(["--threads", "4"]);
+        assert_eq!(
+            stdout_of(&one),
+            stdout_of(&four),
+            "{cmd:?} must print identical output at 1 and 4 workers"
+        );
+    }
+}

@@ -2,12 +2,26 @@
 //!
 //! Every name in the system — relation symbols, edge labels, constants,
 //! variables — is interned into a [`Symbol`] (a `u32`). All hot-path
-//! comparisons, joins and adjacency lookups then work on integers. The
-//! interner is a process-global table behind a mutex; interning happens at
-//! parse/build time, never inside evaluation loops.
+//! comparisons, joins and adjacency lookups then work on integers.
+//!
+//! # Sharding
+//!
+//! The table is split into 16 independently-locked shards, keyed
+//! by the FxHash of the string: parallel parse/build phases (the
+//! `gdx-runtime` worker pools) intern concurrently without serializing on
+//! one process-global mutex. Ids are allocated from **shard-striped
+//! ranges** — shard `s` hands out `s, s + SHARDS, s + 2·SHARDS, …` (the
+//! shard index lives in the low bits) — so every shard owns an unbounded,
+//! disjoint id space and [`Symbol::as_str`] decodes the owning shard from
+//! the id alone, with no cross-shard coordination on either path.
+//!
+//! Interning stays idempotent and deterministic per insertion sequence;
+//! ids are *process-local* handles either way (never serialized), and no
+//! output of the system depends on their numeric values.
 
 use crate::hash::FxHashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, OnceLock};
 
 /// An interned string. Cheap to copy, compare, and hash.
@@ -22,32 +36,47 @@ use std::sync::{Mutex, OnceLock};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Symbol(u32);
 
-struct Interner {
+/// Number of interner shards (a power of two; the shard index occupies
+/// `SHARD_BITS` low bits of every id).
+const SHARD_BITS: u32 = 4;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+#[derive(Default)]
+struct Shard {
     map: FxHashMap<&'static str, u32>,
+    /// Strings of this shard, indexed by the id's high bits (`id >> SHARD_BITS`).
     strings: Vec<&'static str>,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            map: FxHashMap::default(),
-            strings: Vec::new(),
-        })
-    })
+fn shards() -> &'static [Mutex<Shard>; SHARDS] {
+    static INTERNER: OnceLock<[Mutex<Shard>; SHARDS]> = OnceLock::new();
+    INTERNER.get_or_init(|| std::array::from_fn(|_| Mutex::new(Shard::default())))
+}
+
+/// The shard owning `s`, by FxHash of its bytes.
+fn shard_of(s: &str) -> usize {
+    let mut h = crate::hash::FxHasher::default();
+    s.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
 }
 
 impl Symbol {
     /// Interns `s`, returning its symbol. Idempotent.
     pub fn new(s: &str) -> Symbol {
-        let mut g = interner().lock().expect("interner poisoned");
+        let si = shard_of(s);
+        let mut g = shards()[si].lock().expect("interner poisoned");
         if let Some(&id) = g.map.get(s) {
             return Symbol(id);
         }
         // Interned strings live for the program's lifetime; leaking is the
         // standard trade for handing out `&'static str` without unsafe code.
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = u32::try_from(g.strings.len()).expect("interner overflow");
+        let local = u32::try_from(g.strings.len()).expect("interner shard overflow");
+        let id = local
+            .checked_shl(SHARD_BITS)
+            .filter(|&v| (v >> SHARD_BITS) == local)
+            .expect("interner shard overflow")
+            | si as u32;
         g.strings.push(leaked);
         g.map.insert(leaked, id);
         Symbol(id)
@@ -60,17 +89,21 @@ impl Symbol {
     /// occur in any graph or schema, so a `None` here proves freshness
     /// without growing the intern table.
     pub fn lookup(s: &str) -> Option<Symbol> {
-        let g = interner().lock().expect("interner poisoned");
+        let g = shards()[shard_of(s)].lock().expect("interner poisoned");
         g.map.get(s).copied().map(Symbol)
     }
 
     /// The interned text.
     pub fn as_str(self) -> &'static str {
-        let g = interner().lock().expect("interner poisoned");
-        g.strings[self.0 as usize]
+        let si = (self.0 as usize) & (SHARDS - 1);
+        let g = shards()[si].lock().expect("interner poisoned");
+        g.strings[(self.0 >> SHARD_BITS) as usize]
     }
 
-    /// The raw id. Stable within a process run; useful for dense indexing.
+    /// The raw id. Stable within a process run. Ids are striped across
+    /// interner shards (low bits = shard index), so they
+    /// are unique and hash-friendly but **not dense** — index maps, not
+    /// arrays, with them.
     #[inline]
     pub fn id(self) -> u32 {
         self.0
@@ -142,7 +175,41 @@ mod tests {
     fn ordering_is_consistent() {
         let a = Symbol::new("ord-a");
         let b = Symbol::new("ord-b");
-        // Interned order, not lexicographic — but must be a total order.
+        // Interned order per shard, not lexicographic — but a total order.
         assert_eq!(a.cmp(&b), a.id().cmp(&b.id()));
+    }
+
+    #[test]
+    fn ids_identify_their_shard() {
+        // Striped allocation: two symbols of the same shard differ in the
+        // high bits; the low bits always name the owning shard.
+        for name in ["s0", "s1", "s2", "stripe-longer-name", "ß-unicode"] {
+            let sym = Symbol::new(name);
+            assert_eq!((sym.id() as usize) & (SHARDS - 1), shard_of(name), "{name}");
+            assert_eq!(sym.as_str(), name);
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        // Many threads intern overlapping name sets; every thread must
+        // observe identical string→id bindings, and every id must decode
+        // back to its string.
+        let names: Vec<String> = (0..256).map(|i| format!("conc-{i}")).collect();
+        let ids: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let names = &names;
+                    scope.spawn(move || names.iter().map(|n| Symbol::new(n).id()).collect())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "all threads agree on every id");
+        }
+        for (name, &id) in names.iter().zip(&ids[0]) {
+            assert_eq!(Symbol::lookup(name).map(Symbol::id), Some(id));
+        }
     }
 }

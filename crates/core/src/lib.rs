@@ -61,6 +61,7 @@ pub use certain::CertainAnswer;
 pub use exists::Existence;
 #[allow(deprecated)]
 pub use exists::{enumerate_minimal_solutions, solution_exists, SolverConfig};
+pub use gdx_runtime::{Runtime, Threads};
 pub use options::Options;
 pub use reduction::Reduction;
 pub use representative::UniversalRepresentative;

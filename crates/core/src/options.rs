@@ -9,6 +9,7 @@
 use gdx_chase::{EgdChaseConfig, TgdChaseConfig};
 use gdx_pattern::InstantiationConfig;
 use gdx_query::PlannerMode;
+use gdx_runtime::{Runtime, Threads};
 
 /// Solver and evaluation knobs shared by every [`crate::ExchangeSession`]
 /// entry point (and, via the deprecated free-function wrappers, the
@@ -48,6 +49,15 @@ pub struct Options {
     /// (`~{seed}`, see [`gdx_graph::NullFactory::starting_at`]) — lets
     /// co-hosted sessions keep disjoint, reproducible null namespaces.
     pub null_seed: u64,
+    /// Worker count for the session's parallel layers (the `gdx-runtime`
+    /// pool): sharded chase delta joins, the speculative head pre-filter,
+    /// partitioned NRE materialization, and the certain-answer fan-out
+    /// over the solution family. Defaults to [`Threads::Auto`]
+    /// (`GDX_THREADS` env, else the machine's available parallelism).
+    /// Every session result is byte-identical at any worker count —
+    /// threads only change wall-clock. This knob also governs the
+    /// engines' pools, overriding `tgd_chase.threads`.
+    pub threads: Threads,
 }
 
 impl Options {
@@ -62,5 +72,16 @@ impl Options {
     pub fn with_planner(mut self, planner: PlannerMode) -> Options {
         self.planner = planner;
         self
+    }
+
+    /// Options with a fixed worker count.
+    pub fn with_threads(mut self, threads: Threads) -> Options {
+        self.threads = threads;
+        self
+    }
+
+    /// The runtime handle these options denote (resolved now).
+    pub fn runtime(&self) -> Runtime {
+        Runtime::new(self.threads)
     }
 }

@@ -57,8 +57,9 @@ use gdx_mapping::{Egd, SameAs, Setting, TargetTgd};
 use gdx_nre::eval::EvalCache;
 use gdx_nre::Nre;
 use gdx_pattern::InstantiationFamily;
-use gdx_query::PreparedQuery;
+use gdx_query::{evaluate_with_scratch, PreparedQuery};
 use gdx_relational::Instance;
+use gdx_runtime::Runtime;
 
 /// A stateful exchange session over one `(setting, instance)` pair.
 ///
@@ -208,7 +209,8 @@ impl ExchangeSession {
     /// `G ∈ Sol_Ω(I)`? Exact; the compiled checker persists across calls.
     pub fn is_solution(&mut self, graph: &Graph) -> Result<bool> {
         if self.checker.is_none() {
-            self.checker = Some(SolutionChecker::new(&self.setting));
+            self.checker =
+                Some(SolutionChecker::new(&self.setting).with_runtime(self.options.runtime()));
         }
         self.checker
             .as_ref()
@@ -398,20 +400,19 @@ impl ExchangeSession {
             ));
         }
         self.ensure_solutions()?;
-        let planner = self.options.planner;
         {
-            let memo = self.solutions_memo.as_ref().expect("ensured");
-            for g in &memo.graphs {
-                let cache = self.graph_caches.entry(g.id()).or_default();
-                // Constants-only query: both endpoints of every atom are
-                // bound, so the probe runs by seeded product-BFS — no
-                // `⟦r⟧_G` materialization per candidate solution.
-                let holds = !query
-                    .evaluate_limited(g, cache, &FxHashMap::default(), planner, Some(1))?
-                    .is_empty();
-                if !holds {
-                    return Ok(CertainAnswer::NotCertain(g.clone()));
-                }
+            // Fan the probe out across the memoized solution family —
+            // speculative with a parallel runtime (whole family probed
+            // ahead), first-failure early exit with a sequential one —
+            // but the verdict always picks the lowest-index failure, so
+            // both are identical to the PR-3 sequential scan.
+            let memo = self.solutions_memo.take().expect("ensured");
+            let holds_res = self.family_probe(&memo.graphs, query, Some(1), true);
+            self.solutions_memo = Some(memo);
+            let holds = holds_res?;
+            let memo = self.solutions_memo.as_ref().expect("just restored");
+            if let Some(i) = holds.iter().position(|b| b.is_empty()) {
+                return Ok(CertainAnswer::NotCertain(memo.graphs[i].clone()));
             }
             if memo.graphs.is_empty() {
                 if memo.exact {
@@ -472,21 +473,25 @@ impl ExchangeSession {
     /// or `Options::row_limit` cut rows off the returned set.
     pub fn certain_answers(&mut self, query: &PreparedQuery) -> Result<(Vec<Vec<Node>>, bool)> {
         self.ensure_solutions()?;
-        let planner = self.options.planner;
-        let memo = self.solutions_memo.as_ref().expect("ensured");
-        let mut iter = memo.graphs.iter();
-        let Some(first) = iter.next() else {
+        // Full evaluations fan out across the solution family (one
+        // worker per graph, each with its own cache); a single-graph
+        // family instead parallelizes *inside* its evaluation. The
+        // intersection is set-valued, so the fan-out order cannot leak
+        // into the answer.
+        let memo = self.solutions_memo.take().expect("ensured");
+        let per_graph_res = self.family_probe(&memo.graphs, query, None, false);
+        self.solutions_memo = Some(memo);
+        let per_graph = per_graph_res?;
+        let memo = self.solutions_memo.as_ref().expect("just restored");
+        let mut sets = memo
+            .graphs
+            .iter()
+            .zip(&per_graph)
+            .map(|(g, b)| b.constant_rows(g));
+        let Some(mut inter) = sets.next() else {
             return Ok((Vec::new(), memo.exact));
         };
-        let cache = self.graph_caches.entry(first.id()).or_default();
-        let mut inter = query
-            .evaluate_limited(first, cache, &FxHashMap::default(), planner, None)?
-            .constant_rows(first);
-        for g in iter {
-            let cache = self.graph_caches.entry(g.id()).or_default();
-            let rows = query
-                .evaluate_limited(g, cache, &FxHashMap::default(), planner, None)?
-                .constant_rows(g);
+        for rows in sets {
             inter.retain(|r| rows.contains(r));
         }
         let mut rows: Vec<Vec<Node>> = inter.into_iter().collect();
@@ -501,6 +506,73 @@ impl ExchangeSession {
             }
         }
         Ok((rows, exact))
+    }
+
+    /// Evaluates `query` over every graph of the (temporarily detached)
+    /// solution family, returning one result per graph in family order.
+    ///
+    /// With a parallel runtime and several graphs, evaluations fan out
+    /// one graph per worker: each graph's persistent materialization
+    /// cache leaves `graph_caches`, is owned exclusively by its worker
+    /// (the per-worker-scratch pattern — demand automata compile into the
+    /// worker's cache, since a `PreparedQuery`'s pool cannot cross
+    /// threads), and merges back at the barrier. A single-graph family
+    /// keeps the prepared path and moves the parallelism *inside* the
+    /// evaluation instead.
+    ///
+    /// `stop_at_first_empty` restores the sequential scan's
+    /// first-counterexample early exit: the returned vector may then be a
+    /// prefix of the family, ending at its first empty result. The
+    /// parallel fan-out ignores it (probing past the first failure is the
+    /// point of speculation); callers must only rely on the *lowest-index*
+    /// empty entry, which both paths agree on.
+    fn family_probe(
+        &mut self,
+        graphs: &[Graph],
+        query: &PreparedQuery,
+        limit: Option<usize>,
+        stop_at_first_empty: bool,
+    ) -> Result<Vec<gdx_query::NodeBindings>> {
+        let planner = self.options.planner;
+        let rt = self.options.runtime();
+        if !rt.is_parallel() || graphs.len() <= 1 {
+            let mut out = Vec::with_capacity(graphs.len());
+            for g in graphs {
+                let cache = self.graph_caches.entry(g.id()).or_default();
+                out.push(query.evaluate_limited_rt(
+                    g,
+                    cache,
+                    &FxHashMap::default(),
+                    planner,
+                    limit,
+                    &rt,
+                )?);
+                if stop_at_first_empty && out.last().is_some_and(|b| b.is_empty()) {
+                    break;
+                }
+            }
+            return Ok(out);
+        }
+        let cnre = query.cnre().clone();
+        let mut units: Vec<EvalCache> = graphs
+            .iter()
+            .map(|g| self.graph_caches.remove(&g.id()).unwrap_or_default())
+            .collect();
+        let results = rt.par_map_mut(&mut units, |i, cache| {
+            evaluate_with_scratch(
+                &graphs[i],
+                &cnre,
+                cache,
+                &FxHashMap::default(),
+                planner,
+                limit,
+                &Runtime::sequential(),
+            )
+        });
+        for (g, cache) in graphs.iter().zip(units) {
+            self.graph_caches.insert(g.id(), cache);
+        }
+        results.into_iter().collect()
     }
 
     /// Fills the solution memo by draining a stream (no-op when already
@@ -524,11 +596,18 @@ impl ExchangeSession {
         if !self.engines_ready {
             self.sameas_engine =
                 (!self.same_as.is_empty()).then(|| SameAsEngine::new(&self.same_as));
+            // `Options::threads` is the session-level knob: it overrides
+            // whatever the embedded chase config carries.
+            let tgd_cfg = gdx_chase::TgdChaseConfig {
+                threads: self.options.threads,
+                ..self.options.tgd_chase
+            };
             self.tgd_engine = (!self.target_tgds.is_empty())
-                .then(|| TgdChaseEngine::new(&self.target_tgds, self.options.tgd_chase));
+                .then(|| TgdChaseEngine::new(&self.target_tgds, tgd_cfg));
             self.repairer = Some(EgdRepairer::new(&self.egds));
             if self.checker.is_none() {
-                self.checker = Some(SolutionChecker::new(&self.setting));
+                self.checker =
+                    Some(SolutionChecker::new(&self.setting).with_runtime(self.options.runtime()));
             }
             self.engines_ready = true;
         }

@@ -17,8 +17,13 @@ use gdx_common::{FxHashMap, Result, Symbol};
 use gdx_graph::{Graph, Node, NodeId};
 use gdx_mapping::{SameAs, Setting, TargetConstraint, TargetTgd};
 use gdx_nre::eval::EvalCache;
-use gdx_query::PreparedQuery;
+use gdx_query::{evaluate_with_scratch, Cnre, PlannerMode, PreparedQuery};
 use gdx_relational::{evaluate as eval_cq, Instance};
+use gdx_runtime::Runtime;
+
+/// Minimum obligations (triggers / body matches) before a verification
+/// pass fans out across workers.
+const PAR_MIN_OBLIGATIONS: usize = 64;
 
 /// Exact membership test for `Sol_Ω(I)`.
 ///
@@ -78,6 +83,9 @@ pub struct SolutionChecker {
     /// Prepared heads, aligned with `setting.st_tgds`.
     st_heads: Vec<PreparedQuery>,
     constraints: Vec<PreparedConstraint>,
+    /// Worker pool for fanning witness obligations out (see
+    /// [`SolutionChecker::with_runtime`]); sequential by default.
+    runtime: Runtime,
 }
 
 impl SolutionChecker {
@@ -111,7 +119,77 @@ impl SolutionChecker {
             setting: setting.clone(),
             st_heads,
             constraints,
+            runtime: Runtime::sequential(),
         }
+    }
+
+    /// A checker that verifies its witness obligations (s-t tgd triggers,
+    /// target-tgd body matches) speculatively across the runtime's
+    /// workers: a 1-worker check stops at the first violated obligation,
+    /// a parallel one checks whole batches ahead of that point — the
+    /// verdict is identical, only wall-clock differs. Sessions build
+    /// their checker with their `Options::threads` pool.
+    pub fn with_runtime(mut self, runtime: Runtime) -> SolutionChecker {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Checks one batch of seeded head-witness obligations, fanning out
+    /// across workers (each with its own scratch [`EvalCache`] — the
+    /// prepared query's demand pool cannot cross threads) when the batch
+    /// clears [`PAR_MIN_OBLIGATIONS`]. `prepared` serves the sequential
+    /// path so its compiled automata are not rebuilt per call.
+    fn witnesses_all(
+        &self,
+        graph: &Graph,
+        head: &Cnre,
+        prepared: &PreparedQuery,
+        cache: &mut EvalCache,
+        seeds: &[FxHashMap<Symbol, NodeId>],
+    ) -> Result<bool> {
+        if !self.runtime.is_parallel() || seeds.len() < PAR_MIN_OBLIGATIONS {
+            for seed in seeds {
+                if !prepared.evaluate_seeded_exists(graph, cache, seed)? {
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        }
+        // About two chunks per worker: each chunk pays for one scratch
+        // cache (automaton compilation / head materialization), so
+        // fewer, larger chunks amortize it better than fine-grained
+        // stealing would.
+        let chunk = seeds
+            .len()
+            .div_ceil(self.runtime.workers() * 2)
+            .max(PAR_MIN_OBLIGATIONS / 4);
+        let verdicts = self
+            .runtime
+            .par_chunks(seeds, chunk, |_, chunk| -> Result<bool> {
+                let mut scratch = EvalCache::new();
+                for seed in chunk {
+                    let witnessed = !evaluate_with_scratch(
+                        graph,
+                        head,
+                        &mut scratch,
+                        seed,
+                        PlannerMode::Auto,
+                        Some(1),
+                        &Runtime::sequential(),
+                    )?
+                    .is_empty();
+                    if !witnessed {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            });
+        for v in verdicts {
+            if !v? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// Exact membership test for `Sol_Ω(I)`.
@@ -130,31 +208,28 @@ impl SolutionChecker {
         let mut cache = EvalCache::new();
         for (tgd, head) in self.setting.st_tgds.iter().zip(&self.st_heads) {
             let triggers = eval_cq(instance, &tgd.body)?;
+            // Frontier variables must map to *existing* constant nodes;
+            // a missing constant already refutes membership.
+            let mut seeds: Vec<FxHashMap<Symbol, NodeId>> = Vec::new();
             for row in triggers.iter_maps() {
-                // Frontier variables must map to *existing* constant nodes.
                 let mut seed: FxHashMap<Symbol, NodeId> = FxHashMap::default();
-                let mut missing = false;
                 for v in tgd.frontier() {
                     let Some(&c) = row.get(&v) else { continue };
                     match graph.node_id(Node::Const(c)) {
                         Some(id) => {
                             seed.insert(v, id);
                         }
-                        None => {
-                            missing = true;
-                            break;
-                        }
+                        None => return Ok(false),
                     }
                 }
-                if missing {
-                    return Ok(false);
-                }
-                // Frontier variables are seeded: the planner probes the
-                // head by product-BFS from the bound endpoints,
-                // early-exiting at the first witness.
-                if !head.evaluate_seeded_exists(graph, &mut cache, &seed)? {
-                    return Ok(false);
-                }
+                seeds.push(seed);
+            }
+            // Frontier variables are seeded: the planner probes each head
+            // by product-BFS from the bound endpoints, early-exiting at
+            // the first witness — across workers when the trigger batch
+            // is large.
+            if !self.witnesses_all(graph, &tgd.head, head, &mut cache, &seeds)? {
+                return Ok(false);
             }
         }
         Ok(true)
@@ -176,20 +251,21 @@ impl SolutionChecker {
                 PreparedConstraint::Tgd { tgd, body, head } => {
                     let matches = body.matches(graph, &mut cache)?;
                     let vars: Vec<Symbol> = matches.vars().to_vec();
-                    let rows: Vec<Vec<NodeId>> =
-                        matches.rows().iter().map(|r| r.to_vec()).collect();
-                    for rowv in rows {
-                        let seed: FxHashMap<Symbol, NodeId> = tgd
-                            .head
-                            .variables()
-                            .into_iter()
-                            .filter_map(|v| {
-                                vars.iter().position(|&bv| bv == v).map(|i| (v, rowv[i]))
-                            })
-                            .collect();
-                        if !head.evaluate_seeded_exists(graph, &mut cache, &seed)? {
-                            return Ok(false);
-                        }
+                    let seeds: Vec<FxHashMap<Symbol, NodeId>> = matches
+                        .rows()
+                        .iter()
+                        .map(|rowv| {
+                            tgd.head
+                                .variables()
+                                .into_iter()
+                                .filter_map(|v| {
+                                    vars.iter().position(|&bv| bv == v).map(|i| (v, rowv[i]))
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    if !self.witnesses_all(graph, &tgd.head, head, &mut cache, &seeds)? {
+                        return Ok(false);
                     }
                 }
                 PreparedConstraint::SameAs(sa) => {

@@ -37,7 +37,7 @@ use crate::ast::Nre;
 use crate::eval::{eval, BinRel};
 use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol};
 use gdx_graph::{Graph, GraphId, NodeId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Automaton state id (dense).
 type State = u32;
@@ -253,8 +253,8 @@ enum BfsStop {
 /// ```
 #[derive(Debug)]
 pub struct DemandEvaluator {
-    fwd: Rc<GuardedNfa>,
-    bwd: Rc<GuardedNfa>,
+    fwd: Arc<GuardedNfa>,
+    bwd: Arc<GuardedNfa>,
     /// The graph *version* the memos are valid for: value identity plus
     /// epoch. Chase engines grow one graph value in place; growth adds
     /// reachable pairs, so memos from an older epoch would under-report.
@@ -285,8 +285,8 @@ impl DemandEvaluator {
     /// ([`MAX_STATES`]); callers then fall back to the materializing
     /// evaluator instead of discovering an uncompilable guard mid-run.
     pub fn try_new(r: &Nre) -> Result<DemandEvaluator> {
-        let fwd = Rc::new(GuardedNfa::compile(r)?);
-        let bwd = Rc::new(GuardedNfa::compile(&r.reversed())?);
+        let fwd = Arc::new(GuardedNfa::compile(r)?);
+        let bwd = Arc::new(GuardedNfa::compile(&r.reversed())?);
         let mut guard_evals: FxHashMap<Nre, Box<DemandEvaluator>> = FxHashMap::default();
         for guard in fwd.guards.iter().chain(&bwd.guards) {
             if !guard_evals.contains_key(guard) {
@@ -397,8 +397,8 @@ impl DemandEvaluator {
     /// memoization as such.
     fn bfs(&mut self, graph: &Graph, dir: Dir, src: NodeId, stop: BfsStop) -> Vec<NodeId> {
         let auto = match dir {
-            Dir::Fwd => Rc::clone(&self.fwd),
-            Dir::Bwd => Rc::clone(&self.bwd),
+            Dir::Fwd => Arc::clone(&self.fwd),
+            Dir::Bwd => Arc::clone(&self.bwd),
         };
         self.stats.bfs_runs += 1;
         let mut out: Vec<NodeId> = Vec::new();

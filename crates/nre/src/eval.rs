@@ -8,6 +8,7 @@
 use crate::ast::Nre;
 use gdx_common::{FxHashMap, FxHashSet, Symbol};
 use gdx_graph::{Graph, NodeId};
+use gdx_runtime::Runtime;
 
 /// A binary relation over graph nodes with a forward adjacency index.
 ///
@@ -126,33 +127,49 @@ impl BinRel {
     /// Relation composition `self ; other`.
     pub fn compose(&self, other: &BinRel) -> BinRel {
         let mut out = BinRel::new();
-        for &(u, m) in &self.log {
-            for &v in other.image(m) {
-                out.insert(u, v);
-            }
-        }
+        compose_into(&self.log, other, &mut out);
         out
     }
 
     /// Reflexive-transitive closure over the node universe of `graph`.
     pub fn star(&self, graph: &Graph) -> BinRel {
         let mut out = BinRel::new();
-        for src in graph.node_ids() {
-            // BFS from src over the relation's adjacency.
-            let mut frontier = vec![src];
-            let mut seen: FxHashSet<NodeId> = FxHashSet::default();
-            seen.insert(src);
-            out.insert(src, src);
-            while let Some(u) = frontier.pop() {
-                for &v in self.image(u) {
-                    if seen.insert(v) {
-                        out.insert(src, v);
-                        frontier.push(v);
-                    }
+        let sources: Vec<NodeId> = graph.node_ids().collect();
+        star_into(self, &sources, &mut out);
+        out
+    }
+}
+
+/// Composition restricted to the given outer pairs, appended to `out`.
+/// Shared by [`BinRel::compose`] and the chunked [`compose_rt`] so the two
+/// paths cannot drift apart (the insertion-log order is part of the delta
+/// protocol's correctness).
+fn compose_into(outer: &[(NodeId, NodeId)], b: &BinRel, out: &mut BinRel) {
+    for &(u, m) in outer {
+        for &v in b.image(m) {
+            out.insert(u, v);
+        }
+    }
+}
+
+/// Star closure restricted to the given BFS sources, appended to `out`.
+/// Shared by [`BinRel::star`] and the chunked [`star_rt`] — one traversal
+/// definition, so log order is identical at any chunking.
+fn star_into(inner: &BinRel, sources: &[NodeId], out: &mut BinRel) {
+    for &src in sources {
+        // DFS-order expansion from src over the relation's adjacency.
+        let mut frontier = vec![src];
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        seen.insert(src);
+        out.insert(src, src);
+        while let Some(u) = frontier.pop() {
+            for &v in inner.image(u) {
+                if seen.insert(v) {
+                    out.insert(src, v);
+                    frontier.push(v);
                 }
             }
         }
-        out
     }
 }
 
@@ -170,6 +187,22 @@ impl BinRel {
 /// assert_eq!(r.len(), 1);
 /// ```
 pub fn eval(graph: &Graph, r: &Nre) -> BinRel {
+    eval_rt(graph, r, &Runtime::sequential())
+}
+
+/// Minimum BFS sources per worker chunk before a star closure fans out.
+const PAR_MIN_SOURCES: usize = 64;
+/// Minimum outer pairs per worker chunk before a composition fans out.
+const PAR_MIN_PAIRS: usize = 1024;
+
+/// [`eval`] with an explicit [`Runtime`]: the expensive constructors —
+/// Kleene-star closures (independent per-source BFS) and compositions
+/// (independent per-outer-pair probes) — partition their work across the
+/// runtime's workers. Per-chunk partial relations are merged **in chunk
+/// order**, so the result (including the insertion log driving
+/// [`BinRel::pairs_since`] deltas) is byte-identical to the sequential
+/// evaluation at any worker count.
+pub fn eval_rt(graph: &Graph, r: &Nre, rt: &Runtime) -> BinRel {
     match r {
         Nre::Epsilon => BinRel::from_pairs(
             graph.node_count(),
@@ -187,20 +220,68 @@ pub fn eval(graph: &Graph, r: &Nre) -> BinRel {
             graph.label_pairs(*a).map(|(u, v)| (v, u)),
         ),
         Nre::Union(x, y) => {
-            let mut rel = eval(graph, x);
-            for (u, v) in eval(graph, y).iter() {
+            let mut rel = eval_rt(graph, x, rt);
+            for (u, v) in eval_rt(graph, y, rt).iter() {
                 rel.insert(u, v);
             }
             rel
         }
-        Nre::Concat(x, y) => eval(graph, x).compose(&eval(graph, y)),
-        Nre::Star(inner) => eval(graph, inner).star(graph),
+        Nre::Concat(x, y) => compose_rt(&eval_rt(graph, x, rt), &eval_rt(graph, y, rt), rt),
+        Nre::Star(inner) => star_rt(&eval_rt(graph, inner, rt), graph, rt),
         Nre::Test(inner) => {
-            let rel = eval(graph, inner);
+            let rel = eval_rt(graph, inner, rt);
             let hint = rel.len().min(graph.node_count());
             BinRel::from_pairs(hint, hint, rel.domain().map(|u| (u, u)))
         }
     }
+}
+
+/// Merges per-chunk partial relations in chunk order. Re-inserting pair
+/// by pair keeps global first-occurrence dedup — the merged insertion log
+/// equals the one the sequential loop would have produced.
+fn merge_chunks(parts: Vec<BinRel>) -> BinRel {
+    let mut it = parts.into_iter();
+    let Some(mut acc) = it.next() else {
+        return BinRel::new();
+    };
+    for part in it {
+        for (u, v) in part.iter() {
+            acc.insert(u, v);
+        }
+    }
+    acc
+}
+
+/// `a ; b` with the outer pair scan partitioned into chunks — across
+/// workers when the runtime has them, but chunked even sequentially:
+/// deduplicating candidates against small per-chunk sets and merging once
+/// is several times faster than probing one giant pair set per candidate
+/// (hierarchical dedup), independent of thread count.
+fn compose_rt(a: &BinRel, b: &BinRel, rt: &Runtime) -> BinRel {
+    let outer = a.pairs_since(0);
+    if outer.len() < PAR_MIN_PAIRS * 2 {
+        return a.compose(b);
+    }
+    merge_chunks(rt.chunked(outer, PAR_MIN_PAIRS, |_, chunk| {
+        let mut out = BinRel::new();
+        compose_into(chunk, b, &mut out);
+        out
+    }))
+}
+
+/// Reflexive-transitive closure with the per-source BFS partitioned
+/// across workers. Sources never collide (the closure's pairs are keyed
+/// by source), so chunk outputs are disjoint and the merge is exact.
+fn star_rt(inner: &BinRel, graph: &Graph, rt: &Runtime) -> BinRel {
+    if graph.node_count() < PAR_MIN_SOURCES * 2 {
+        return inner.star(graph);
+    }
+    let sources: Vec<NodeId> = graph.node_ids().collect();
+    merge_chunks(rt.chunked(&sources, PAR_MIN_SOURCES, |_, chunk| {
+        let mut out = BinRel::new();
+        star_into(inner, chunk, &mut out);
+        out
+    }))
 }
 
 /// Nodes reachable from `src` via `r`: `{v | (src, v) ∈ ⟦r⟧_G}`.
@@ -290,15 +371,27 @@ impl EvalCache {
     /// Evaluates with memoization on the NRE (top level only — inner
     /// subexpressions recurse through [`eval`]).
     pub fn eval<'a>(&'a mut self, graph: &Graph, r: &Nre) -> &'a BinRel {
+        self.eval_rt(graph, r, &Runtime::sequential())
+    }
+
+    /// [`EvalCache::eval`] with an explicit [`Runtime`]: a cache miss
+    /// materializes through the partitioned evaluator ([`eval_rt`]); the
+    /// cached relation is byte-identical at any worker count.
+    pub fn eval_rt<'a>(&'a mut self, graph: &Graph, r: &Nre, rt: &Runtime) -> &'a BinRel {
         self.cache
             .entry(r.clone())
-            .or_insert_with(|| eval(graph, r))
+            .or_insert_with(|| eval_rt(graph, r, rt))
     }
 
     /// Materializes `r` without returning it — pair with [`EvalCache::get`]
     /// when several relations must be borrowed simultaneously.
     pub fn ensure(&mut self, graph: &Graph, r: &Nre) {
         self.eval(graph, r);
+    }
+
+    /// [`EvalCache::ensure`] with an explicit [`Runtime`].
+    pub fn ensure_rt(&mut self, graph: &Graph, r: &Nre, rt: &Runtime) {
+        self.eval_rt(graph, r, rt);
     }
 
     /// The cached relation, if [`EvalCache::eval`]/[`EvalCache::ensure`]
@@ -483,6 +576,24 @@ mod tests {
     }
 
     #[test]
+    fn caches_are_send_for_per_worker_scratch() {
+        // The PR-4 interior-mutability audit in type form: scratch caches
+        // (and the demand evaluators inside them, whose guard automata
+        // are Arc-shared) move *into* runtime workers, so they must be
+        // `Send`; they deliberately stay `!Sync` (RefCell demand pools),
+        // which is what forces the per-worker-scratch pattern at compile
+        // time. Graphs and relations are shared read-only across workers
+        // and must be `Sync`.
+        fn is_send<T: Send>() {}
+        fn is_sync<T: Sync>() {}
+        is_send::<EvalCache>();
+        is_send::<crate::demand::DemandEvaluator>();
+        is_send::<crate::IncrementalCache>();
+        is_sync::<Graph>();
+        is_sync::<BinRel>();
+    }
+
+    #[test]
     fn cache_reuses_results() {
         let g = Graph::parse("(a, f, b);").unwrap();
         let mut cache = EvalCache::new();
@@ -490,6 +601,34 @@ mod tests {
         let n1 = cache.eval(&g, &r).len();
         let n2 = cache.eval(&g, &r).len();
         assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn parallel_eval_is_byte_identical() {
+        // Big enough to clear the PAR_MIN_* thresholds; the insertion
+        // *logs* (not just the pair sets) must coincide, since delta
+        // consumers read them positionally.
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..400).map(|i| g.add_const(&format!("pn{i}"))).collect();
+        for i in 0..400usize {
+            g.add_edge(ids[i], Symbol::new("f"), ids[(i + 1) % 400]);
+            g.add_edge(ids[i], Symbol::new("f"), ids[(i * 7 + 3) % 400]);
+            if i % 3 == 0 {
+                g.add_edge(ids[i], Symbol::new("h"), ids[(i * 5) % 400]);
+            }
+        }
+        for expr in ["f*", "f.f", "f.f*.[h].f-", "(f+h)*", "f-.(f-)*"] {
+            let r = parse_nre(expr).unwrap();
+            let seq = eval(&g, &r);
+            for workers in [2usize, 4] {
+                let par = eval_rt(&g, &r, &Runtime::with_workers(workers));
+                assert_eq!(
+                    seq.iter().collect::<Vec<_>>(),
+                    par.iter().collect::<Vec<_>>(),
+                    "{expr} at {workers} workers: insertion logs must coincide"
+                );
+            }
+        }
     }
 
     #[test]

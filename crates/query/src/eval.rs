@@ -15,6 +15,7 @@ use gdx_graph::{Graph, Node, NodeId};
 use gdx_nre::demand::DemandEvaluator;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::{BinRel, Nre};
+use gdx_runtime::Runtime;
 use std::cell::RefCell;
 
 /// Evaluation result: named columns over graph node ids.
@@ -76,15 +77,19 @@ impl NodeBindings {
 /// [`EvalCache`] and the epoch-advancing
 /// [`IncrementalCache`](gdx_nre::IncrementalCache).
 pub(crate) trait RelCache {
-    fn ensure(&mut self, graph: &Graph, r: &Nre);
+    /// Materializes `r`. The runtime partitions expensive constructions
+    /// (star closures, compositions) across workers where the backing
+    /// cache supports it; the cached relation is byte-identical either
+    /// way.
+    fn ensure(&mut self, graph: &Graph, r: &Nre, rt: &Runtime);
     fn get(&self, r: &Nre) -> Option<&BinRel>;
     fn demand_ensure(&mut self, r: &Nre) -> bool;
     fn demand_get(&self, r: &Nre) -> Option<&RefCell<DemandEvaluator>>;
 }
 
 impl RelCache for EvalCache {
-    fn ensure(&mut self, graph: &Graph, r: &Nre) {
-        EvalCache::ensure(self, graph, r);
+    fn ensure(&mut self, graph: &Graph, r: &Nre, rt: &Runtime) {
+        EvalCache::ensure_rt(self, graph, r, rt);
     }
     fn get(&self, r: &Nre) -> Option<&BinRel> {
         EvalCache::get(self, r)
@@ -98,7 +103,10 @@ impl RelCache for EvalCache {
 }
 
 impl RelCache for gdx_nre::IncrementalCache {
-    fn ensure(&mut self, graph: &Graph, r: &Nre) {
+    // The incremental cache advances by log deltas (cheap by
+    // construction), so it ignores the runtime rather than parallelize
+    // per-delta work that rarely clears a chunk threshold.
+    fn ensure(&mut self, graph: &Graph, r: &Nre, _rt: &Runtime) {
         gdx_nre::IncrementalCache::ensure(self, graph, r);
     }
     fn get(&self, r: &Nre) -> Option<&BinRel> {
@@ -124,6 +132,7 @@ pub fn evaluate(graph: &Graph, query: &Cnre) -> Result<NodeBindings> {
         &FxHashMap::default(),
         PlannerMode::Auto,
         None,
+        &Runtime::sequential(),
     )
 }
 
@@ -142,6 +151,7 @@ pub fn evaluate_exists(graph: &Graph, query: &Cnre) -> Result<bool> {
         &FxHashMap::default(),
         PlannerMode::Auto,
         Some(1),
+        &Runtime::sequential(),
     )?;
     Ok(!b.is_empty())
 }
@@ -162,6 +172,7 @@ pub fn evaluate_with_cache(
         &FxHashMap::default(),
         PlannerMode::Auto,
         None,
+        &Runtime::sequential(),
     )
 }
 
@@ -179,7 +190,15 @@ pub fn evaluate_seeded(
     cache: &mut EvalCache,
     seed: &FxHashMap<Symbol, NodeId>,
 ) -> Result<NodeBindings> {
-    planned_eval(graph, query, cache, seed, PlannerMode::Auto, None)
+    planned_eval(
+        graph,
+        query,
+        cache,
+        seed,
+        PlannerMode::Auto,
+        None,
+        &Runtime::sequential(),
+    )
 }
 
 /// [`evaluate_seeded`] with an explicit planner mode —
@@ -195,7 +214,15 @@ pub fn evaluate_seeded_mode(
     seed: &FxHashMap<Symbol, NodeId>,
     mode: PlannerMode,
 ) -> Result<NodeBindings> {
-    planned_eval(graph, query, cache, seed, mode, None)
+    planned_eval(
+        graph,
+        query,
+        cache,
+        seed,
+        mode,
+        None,
+        &Runtime::sequential(),
+    )
 }
 
 /// Existence probe under a seed: early-exits at the first satisfying row.
@@ -207,13 +234,53 @@ pub fn evaluate_seeded_exists(
     cache: &mut EvalCache,
     seed: &FxHashMap<Symbol, NodeId>,
 ) -> Result<bool> {
-    Ok(!planned_eval(graph, query, cache, seed, PlannerMode::Auto, Some(1))?.is_empty())
+    Ok(!planned_eval(
+        graph,
+        query,
+        cache,
+        seed,
+        PlannerMode::Auto,
+        Some(1),
+        &Runtime::sequential(),
+    )?
+    .is_empty())
+}
+
+/// Planned evaluation against a caller-owned [`EvalCache`] — the
+/// **per-worker-scratch** entry point of the parallel layers.
+///
+/// [`crate::PreparedQuery`] carries its compiled demand pool behind a
+/// `RefCell`, so a prepared query cannot be shared across the
+/// `gdx-runtime` worker threads. Parallel consumers (the chase's
+/// speculative head pre-filter, the session's certain-answer fan-out over
+/// the solution family) instead hand every worker the plain [`Cnre`] plus
+/// that worker's own scratch cache: demand evaluators compile *into the
+/// cache* on first use and stay warm for the worker's (or the graph's)
+/// lifetime. Results are identical to the `PreparedQuery` methods — only
+/// where the compiled automata live differs.
+pub fn evaluate_with_scratch(
+    graph: &Graph,
+    query: &Cnre,
+    cache: &mut EvalCache,
+    seed: &FxHashMap<Symbol, NodeId>,
+    mode: PlannerMode,
+    limit: Option<usize>,
+    rt: &Runtime,
+) -> Result<NodeBindings> {
+    planned_eval(graph, query, cache, seed, mode, limit, rt)
 }
 
 /// The planned evaluation core: pick access paths, ensure the chosen
 /// backing (materialized relation or compiled demand evaluator) per atom,
 /// then run the mixed join. `limit` stops the join after that many rows
 /// (existence probes pass 1).
+///
+/// The runtime parallelizes two layers: relation materialization (through
+/// [`RelCache::ensure`]) and — for unlimited, fully-materialized joins —
+/// the outer loop of the join itself, partitioning the first atom's
+/// candidate bindings across workers ([`parallel_outer_join`]). Both are
+/// merged in input order, so the answer rows are byte-identical to a
+/// 1-worker evaluation.
 pub(crate) fn planned_eval<C: RelCache>(
     graph: &Graph,
     query: &Cnre,
@@ -221,6 +288,7 @@ pub(crate) fn planned_eval<C: RelCache>(
     seed: &FxHashMap<Symbol, NodeId>,
     mode: PlannerMode,
     limit: Option<usize>,
+    rt: &Runtime,
 ) -> Result<NodeBindings> {
     query.validate(None)?;
     let vars = query.variables();
@@ -238,10 +306,10 @@ pub(crate) fn planned_eval<C: RelCache>(
                 // Outside the demand-evaluable fragment: flip back.
                 if !cache.demand_ensure(&atom.nre) {
                     plan.access[i] = AccessChoice::Materialize;
-                    cache.ensure(graph, &atom.nre);
+                    cache.ensure(graph, &atom.nre, rt);
                 }
             }
-            AccessChoice::Materialize => cache.ensure(graph, &atom.nre),
+            AccessChoice::Materialize => cache.ensure(graph, &atom.nre, rt),
         }
     }
     let cache = &*cache;
@@ -268,21 +336,178 @@ pub(crate) fn planned_eval<C: RelCache>(
 
     let mut binding: FxHashMap<Symbol, NodeId> = seed.iter().map(|(&v, &id)| (v, id)).collect();
     binding.retain(|v, _| vars.contains(v));
-    let mut rows = Vec::new();
-    join_access(
+    let mut rows = match parallel_outer_join(
         graph,
         &access,
         &slots,
         &plan.order,
-        0,
-        &mut binding,
+        &binding,
         &vars,
-        &mut rows,
         limit,
-    );
+        rt,
+    ) {
+        Some(rows) => rows,
+        None => {
+            let mut rows = Vec::new();
+            join_access(
+                graph,
+                &access,
+                &slots,
+                &plan.order,
+                0,
+                &mut binding,
+                &vars,
+                &mut rows,
+                limit,
+            );
+            rows
+        }
+    };
     let mut seen: FxHashSet<Box<[NodeId]>> = FxHashSet::default();
     rows.retain(|r| seen.insert(r.clone()));
     Ok(NodeBindings { vars, rows })
+}
+
+/// Minimum depth-0 candidates before the join outer loop fans out.
+const PAR_MIN_OUTER: usize = 256;
+/// Candidates per worker chunk once it does.
+const PAR_OUTER_CHUNK: usize = 64;
+
+/// One depth-0 extension of the join: the variable bindings the first
+/// ordered atom contributes before recursion continues at depth 1.
+enum OuterCand {
+    One(Symbol, NodeId),
+    Two(Symbol, NodeId, Symbol, NodeId),
+}
+
+/// Partitions the outer (depth-0) candidate set of a fully-materialized,
+/// unlimited join across workers; each worker replays the exact recursion
+/// the sequential join would run under its candidates, and per-chunk rows
+/// concatenate in candidate order — byte-identical output.
+///
+/// Returns `None` (caller falls back to the sequential join) when: a
+/// `limit` demands early exit, any atom took the demand access path (its
+/// memoizing evaluator is deliberately single-threaded scratch), both
+/// endpoints of the outer atom are already bound, or the candidate count
+/// is below [`PAR_MIN_OUTER`].
+#[allow(clippy::too_many_arguments)]
+fn parallel_outer_join(
+    graph: &Graph,
+    access: &[AtomAccess],
+    slots: &[(TermSlot, TermSlot)],
+    order: &[usize],
+    binding: &FxHashMap<Symbol, NodeId>,
+    vars: &[Symbol],
+    limit: Option<usize>,
+    rt: &Runtime,
+) -> Option<Vec<Box<[NodeId]>>> {
+    if limit.is_some() || !rt.is_parallel() || order.is_empty() {
+        return None;
+    }
+    // `AtomAccess` as a *type* cannot cross threads (its demand variant
+    // holds a `RefCell`), so extract the all-materialized view first and
+    // let each worker rebuild its own access vector from the Sync
+    // relations.
+    let mats: Vec<&BinRel> = access
+        .iter()
+        .map(|a| match a {
+            AtomAccess::Mat(rel) => Some(*rel),
+            AtomAccess::Demand(_) => None,
+        })
+        .collect::<Option<_>>()?;
+    let ai = order[0];
+    let (l, r) = slots[ai];
+    let lv = match l {
+        TermSlot::Fixed(id) => Some(id),
+        TermSlot::Var(v) => binding.get(&v).copied(),
+    };
+    let rv = match r {
+        TermSlot::Fixed(id) => Some(id),
+        TermSlot::Var(v) => binding.get(&v).copied(),
+    };
+    let rel = mats[ai];
+    let cands: Vec<OuterCand> = match (lv, rv) {
+        (Some(_), Some(_)) => return None,
+        (Some(u), None) => {
+            let TermSlot::Var(rvar) = r else {
+                unreachable!()
+            };
+            rel.image(u)
+                .iter()
+                .map(|&w| OuterCand::One(rvar, w))
+                .collect()
+        }
+        (None, Some(w)) => {
+            let TermSlot::Var(lvar) = l else {
+                unreachable!()
+            };
+            rel.preimage(w)
+                .iter()
+                .map(|&u| OuterCand::One(lvar, u))
+                .collect()
+        }
+        (None, None) => {
+            let (TermSlot::Var(lvar), TermSlot::Var(rvar)) = (l, r) else {
+                unreachable!()
+            };
+            if lvar == rvar {
+                rel.iter()
+                    .filter(|(u, w)| u == w)
+                    .map(|(u, _)| OuterCand::One(lvar, u))
+                    .collect()
+            } else {
+                rel.iter()
+                    .map(|(u, w)| OuterCand::Two(lvar, u, rvar, w))
+                    .collect()
+            }
+        }
+    };
+    if cands.len() < PAR_MIN_OUTER {
+        return None;
+    }
+    let chunk_rows = rt.par_chunks(&cands, PAR_OUTER_CHUNK, |_, chunk| {
+        let worker_access: Vec<AtomAccess> = mats.iter().map(|r| AtomAccess::Mat(r)).collect();
+        let mut b = binding.clone();
+        let mut rows = Vec::new();
+        for cand in chunk {
+            match *cand {
+                OuterCand::One(v, id) => {
+                    b.insert(v, id);
+                    join_access(
+                        graph,
+                        &worker_access,
+                        slots,
+                        order,
+                        1,
+                        &mut b,
+                        vars,
+                        &mut rows,
+                        None,
+                    );
+                    b.remove(&v);
+                }
+                OuterCand::Two(lv, lid, rv, rid) => {
+                    b.insert(lv, lid);
+                    b.insert(rv, rid);
+                    join_access(
+                        graph,
+                        &worker_access,
+                        slots,
+                        order,
+                        1,
+                        &mut b,
+                        vars,
+                        &mut rows,
+                        None,
+                    );
+                    b.remove(&rv);
+                    b.remove(&lv);
+                }
+            }
+        }
+        rows
+    });
+    Some(chunk_rows.into_iter().flatten().collect())
 }
 
 /// Resolves every atom's terms to slots; `None` when a constant is absent

@@ -32,12 +32,12 @@ pub mod prepared;
 pub mod seminaive;
 
 pub use cnre::{Cnre, CnreAtom};
-pub use eval::NodeBindings;
 #[allow(deprecated)]
 pub use eval::{
     evaluate, evaluate_exists, evaluate_seeded, evaluate_seeded_exists, evaluate_seeded_mode,
     evaluate_with_cache,
 };
+pub use eval::{evaluate_with_scratch, NodeBindings};
 pub use plan::PlannerMode;
 pub use prepared::PreparedQuery;
 pub use seminaive::{

@@ -47,6 +47,7 @@ use gdx_graph::{Graph, NodeId};
 use gdx_nre::demand::DemandEvaluator;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::{BinRel, DemandPool, Nre};
+use gdx_runtime::Runtime;
 use std::cell::RefCell;
 
 /// A parsed, validated CNRE with pre-compiled demand automata and its
@@ -121,6 +122,7 @@ impl PreparedQuery {
                 &FxHashMap::default(),
                 PlannerMode::Auto,
                 Some(1),
+                &Runtime::sequential(),
             )?
             .is_empty())
     }
@@ -141,7 +143,14 @@ impl PreparedQuery {
         cache: &mut EvalCache,
         seed: &FxHashMap<Symbol, NodeId>,
     ) -> Result<NodeBindings> {
-        self.eval_planned(graph, cache, seed, PlannerMode::Auto, None)
+        self.eval_planned(
+            graph,
+            cache,
+            seed,
+            PlannerMode::Auto,
+            None,
+            &Runtime::sequential(),
+        )
     }
 
     /// [`PreparedQuery::evaluate_seeded`] with an explicit planner mode —
@@ -154,7 +163,7 @@ impl PreparedQuery {
         seed: &FxHashMap<Symbol, NodeId>,
         mode: PlannerMode,
     ) -> Result<NodeBindings> {
-        self.eval_planned(graph, cache, seed, mode, None)
+        self.eval_planned(graph, cache, seed, mode, None, &Runtime::sequential())
     }
 
     /// Existence probe under a seed: early-exits at the first satisfying
@@ -166,7 +175,14 @@ impl PreparedQuery {
         seed: &FxHashMap<Symbol, NodeId>,
     ) -> Result<bool> {
         Ok(!self
-            .eval_planned(graph, cache, seed, PlannerMode::Auto, Some(1))?
+            .eval_planned(
+                graph,
+                cache,
+                seed,
+                PlannerMode::Auto,
+                Some(1),
+                &Runtime::sequential(),
+            )?
             .is_empty())
     }
 
@@ -187,7 +203,29 @@ impl PreparedQuery {
         mode: PlannerMode,
         limit: Option<usize>,
     ) -> Result<NodeBindings> {
-        self.eval_planned(graph, cache, seed, mode, limit)
+        self.eval_planned(graph, cache, seed, mode, limit, &Runtime::sequential())
+    }
+
+    /// [`PreparedQuery::evaluate_limited`] with an explicit [`Runtime`]:
+    /// relation materialization and (for unlimited, fully-materialized
+    /// joins) the join's outer loop partition across the runtime's
+    /// workers. Answers are byte-identical at any worker count.
+    ///
+    /// The prepared query itself still evaluates from one calling thread
+    /// (its compiled demand pool is single-threaded scratch); the
+    /// parallelism here is *inside* the evaluation. To fan whole
+    /// evaluations out across threads, give each worker its own scratch
+    /// cache via [`crate::evaluate_with_scratch`].
+    pub fn evaluate_limited_rt(
+        &self,
+        graph: &Graph,
+        cache: &mut EvalCache,
+        seed: &FxHashMap<Symbol, NodeId>,
+        mode: PlannerMode,
+        limit: Option<usize>,
+        rt: &Runtime,
+    ) -> Result<NodeBindings> {
+        self.eval_planned(graph, cache, seed, mode, limit, rt)
     }
 
     fn eval_planned(
@@ -197,12 +235,13 @@ impl PreparedQuery {
         seed: &FxHashMap<Symbol, NodeId>,
         mode: PlannerMode,
         limit: Option<usize>,
+        rt: &Runtime,
     ) -> Result<NodeBindings> {
         let mut backed = PreparedRelCache {
             inner: cache,
             pool: &self.pool,
         };
-        planned_eval(graph, &self.query, &mut backed, seed, mode, limit)
+        planned_eval(graph, &self.query, &mut backed, seed, mode, limit, rt)
     }
 }
 
@@ -217,8 +256,8 @@ struct PreparedRelCache<'a> {
 }
 
 impl RelCache for PreparedRelCache<'_> {
-    fn ensure(&mut self, graph: &Graph, r: &Nre) {
-        EvalCache::ensure(self.inner, graph, r);
+    fn ensure(&mut self, graph: &Graph, r: &Nre, rt: &Runtime) {
+        EvalCache::ensure_rt(self.inner, graph, r, rt);
     }
     fn get(&self, r: &Nre) -> Option<&BinRel> {
         EvalCache::get(self.inner, r)

@@ -28,6 +28,10 @@ use gdx_common::{FxHashMap, FxHashSet, Result, Symbol};
 use gdx_graph::{Graph, NodeId};
 use gdx_nre::incremental::{EvalMark, IncrementalCache};
 use gdx_nre::BinRel;
+use gdx_runtime::Runtime;
+
+/// Minimum delta pairs per worker chunk before a delta join fans out.
+const PAR_MIN_DELTA: usize = 512;
 
 /// Persistent semi-naive evaluation state for one rule body.
 ///
@@ -51,6 +55,21 @@ impl SemiNaiveState {
     /// previous call (first call: all matches). Works in O(Δ ⋈ …) rather
     /// than re-evaluating the full body.
     pub fn delta_matches(&mut self, graph: &Graph, query: &Cnre) -> Result<NodeBindings> {
+        self.delta_matches_rt(graph, query, &Runtime::sequential())
+    }
+
+    /// [`SemiNaiveState::delta_matches`] with an explicit [`Runtime`]:
+    /// each atom's delta window is sharded into contiguous pair chunks and
+    /// the `Δᵢ ⋈ full others` join runs once per chunk on its own worker.
+    /// Chunk results concatenate in window order, so the returned rows —
+    /// order included — are byte-identical to the 1-worker join (the
+    /// chase's firing order and fresh-null naming depend on this).
+    pub fn delta_matches_rt(
+        &mut self,
+        graph: &Graph,
+        query: &Cnre,
+        rt: &Runtime,
+    ) -> Result<NodeBindings> {
         query.validate(None)?;
         let vars = query.variables();
         let n = query.atoms.len();
@@ -96,31 +115,45 @@ impl SemiNaiveState {
             if from >= to {
                 continue;
             }
-            // Δᵢ as a relation of its own, swapped in for atom i.
-            let mut delta_rel = BinRel::new();
-            for &(u, v) in &rels[i].pairs_since(from)[..to - from] {
-                delta_rel.insert(u, v);
-            }
-            let mut term_rels: Vec<&BinRel> = rels.clone();
-            term_rels[i] = &delta_rel;
-            // Delta atom first, the rest greedily.
+            let window = &rels[i].pairs_since(from)[..to - from];
+            // Delta atom first, the rest greedily. The order is
+            // chunk-independent: `greedy_order` excludes atom `i`, so it
+            // only consults the *other* atoms' full relations.
             let bound: FxHashSet<Symbol> = query.atoms[i].variables().collect();
             let mut order = Vec::with_capacity(n);
             order.push(i);
-            order.extend(greedy_order(query, &term_rels, bound, Some(i)));
-            let access: Vec<AtomAccess> = term_rels.iter().map(|r| AtomAccess::Mat(r)).collect();
-            let mut binding: FxHashMap<Symbol, NodeId> = FxHashMap::default();
-            join_access(
-                graph,
-                &access,
-                &slots,
-                &order,
-                0,
-                &mut binding,
-                &vars,
-                &mut rows,
-                None,
-            );
+            order.extend(greedy_order(query, &rels, bound, Some(i)));
+            // Δᵢ ⋈ full others, one shard per contiguous pair chunk. A
+            // match's position only depends on its triggering pair's
+            // window position, so in-order concatenation reproduces the
+            // single-shard row order exactly.
+            let chunk_rows = rt.par_chunks(window, PAR_MIN_DELTA, |_, chunk| {
+                let mut delta_rel = BinRel::new();
+                for &(u, v) in chunk {
+                    delta_rel.insert(u, v);
+                }
+                let mut term_rels: Vec<&BinRel> = rels.clone();
+                term_rels[i] = &delta_rel;
+                let access: Vec<AtomAccess> =
+                    term_rels.iter().map(|r| AtomAccess::Mat(r)).collect();
+                let mut binding: FxHashMap<Symbol, NodeId> = FxHashMap::default();
+                let mut shard_rows: Vec<Box<[NodeId]>> = Vec::new();
+                join_access(
+                    graph,
+                    &access,
+                    &slots,
+                    &order,
+                    0,
+                    &mut binding,
+                    &vars,
+                    &mut shard_rows,
+                    None,
+                );
+                shard_rows
+            });
+            for shard in chunk_rows {
+                rows.extend(shard);
+            }
         }
         self.marks = new_marks;
 
@@ -147,7 +180,15 @@ pub fn evaluate_seeded_incremental(
     cache: &mut IncrementalCache,
     seed: &FxHashMap<Symbol, NodeId>,
 ) -> Result<NodeBindings> {
-    planned_eval(graph, query, cache, seed, PlannerMode::Auto, None)
+    planned_eval(
+        graph,
+        query,
+        cache,
+        seed,
+        PlannerMode::Auto,
+        None,
+        &Runtime::sequential(),
+    )
 }
 
 /// Existence probe under a seed against an [`IncrementalCache`]:
@@ -159,7 +200,16 @@ pub fn evaluate_seeded_incremental_exists(
     cache: &mut IncrementalCache,
     seed: &FxHashMap<Symbol, NodeId>,
 ) -> Result<bool> {
-    Ok(!planned_eval(graph, query, cache, seed, PlannerMode::Auto, Some(1))?.is_empty())
+    Ok(!planned_eval(
+        graph,
+        query,
+        cache,
+        seed,
+        PlannerMode::Auto,
+        Some(1),
+        &Runtime::sequential(),
+    )?
+    .is_empty())
 }
 
 #[cfg(test)]

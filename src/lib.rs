@@ -32,6 +32,7 @@ pub use gdx_nre as nre;
 pub use gdx_pattern as pattern;
 pub use gdx_query as query;
 pub use gdx_relational as relational;
+pub use gdx_runtime as runtime;
 pub use gdx_sat as sat;
 
 /// Curated prelude: the types most programs need.
@@ -46,4 +47,5 @@ pub mod prelude {
     pub use gdx_pattern::GraphPattern;
     pub use gdx_query::{Cnre, PreparedQuery};
     pub use gdx_relational::{Instance, Schema};
+    pub use gdx_runtime::{Runtime, Threads};
 }

@@ -1,0 +1,198 @@
+//! Determinism is an invariant, not best-effort: N-worker runs must
+//! produce results **byte-identical** to 1-worker runs — same chased
+//! graph text (hence same firing order and fresh-null names), same
+//! `ChaseStats`, same certain answers, same `solutions()` order.
+//!
+//! The large structured cases are sized past the runtime's granularity
+//! thresholds (512-pair delta shards, 512-row speculative head batches,
+//! 256-candidate outer joins), so the parallel code paths genuinely run;
+//! the randomized sweep guards the plumbing across many small shapes.
+
+use gdx::chase::{chase_target_tgds, TgdChaseConfig};
+use gdx::common::Symbol;
+use gdx::datagen::{flights_hotels, rng, FlightsHotelsParams};
+use gdx::prelude::*;
+use gdx_mapping::TargetTgd;
+use gdx_query::Cnre;
+use rand::Rng;
+
+fn tgd(body: &str, existential: &[&str], head: &str) -> TargetTgd {
+    TargetTgd {
+        body: Cnre::parse(body).unwrap(),
+        existential: existential.iter().map(|s| Symbol::new(s)).collect(),
+        head: Cnre::parse(head).unwrap(),
+    }
+}
+
+fn chase_fingerprint(g: &Graph, tgds: &[TargetTgd], workers: usize) -> (String, String) {
+    let out = chase_target_tgds(
+        g,
+        tgds,
+        TgdChaseConfig {
+            threads: Threads::Fixed(workers),
+            ..TgdChaseConfig::default()
+        },
+    )
+    .unwrap();
+    (out.graph.to_string(), format!("{:?}", out.stats))
+}
+
+/// A dense two-layer graph: 40×40 = 1600 `f`-edges, which clears both the
+/// delta-shard and the speculative-head-batch thresholds in one round.
+fn dense_bipartite() -> Graph {
+    let mut g = Graph::new();
+    let left: Vec<_> = (0..40).map(|i| g.add_const(&format!("l{i}"))).collect();
+    let right: Vec<_> = (0..40).map(|i| g.add_const(&format!("r{i}"))).collect();
+    for &u in &left {
+        for &v in &right {
+            g.add_edge(u, Symbol::new("f"), v);
+        }
+    }
+    g
+}
+
+#[test]
+fn dense_chase_is_byte_identical_across_worker_counts() {
+    let g = dense_bipartite();
+    // 1600 body rows in the first batch; one firing per distinct y, with
+    // later rows witnessed by earlier firings of the same batch — the
+    // exact interaction the speculative pre-filter must not disturb.
+    let rules = [
+        tgd("(x, f, y)", &["z"], "(y, h, z)"),
+        tgd("(x, h, y)", &["w"], "(y, g0, w)"),
+    ];
+    let baseline = chase_fingerprint(&g, &rules, 1);
+    for workers in [2, 4] {
+        assert_eq!(
+            chase_fingerprint(&g, &rules, workers),
+            baseline,
+            "{workers}-worker chase must be byte-identical (graph text, stats)"
+        );
+    }
+}
+
+#[test]
+fn randomized_chases_are_byte_identical_across_worker_counts() {
+    // Property-style sweep: random small graphs and rule sets. Mostly
+    // below the parallel thresholds — this pins that threshold decisions
+    // themselves can never leak into results.
+    let mut r = rng(0xd17e);
+    for case in 0..24 {
+        let mut g = Graph::new();
+        let n = 4 + r.gen_range(0usize..8);
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_const(&format!("c{case}_{i}")))
+            .collect();
+        let labels = ["f", "h", "g0"];
+        for _ in 0..(2 * n) {
+            let u = ids[r.gen_range(0usize..n)];
+            let v = ids[r.gen_range(0usize..n)];
+            let l = labels[r.gen_range(0usize..labels.len())];
+            g.add_edge(u, Symbol::new(l), v);
+        }
+        let rules = [
+            tgd("(x, f, y)", &["z"], "(y, h, z)"),
+            tgd("(x, h, y), (y, h, z)", &[], "(x, g0, z)"),
+        ];
+        let baseline = chase_fingerprint(&g, &rules, 1);
+        assert_eq!(
+            chase_fingerprint(&g, &rules, 3),
+            baseline,
+            "case {case}: 3-worker chase diverged"
+        );
+    }
+}
+
+/// End-to-end session pin: representative, solution stream order, chase
+/// stats, certain answers and certain pairs all coincide at 1 and 4
+/// workers.
+#[test]
+fn session_outputs_identical_across_worker_counts() {
+    let setting = Setting::example_2_2_egd();
+    let instance = flights_hotels(
+        FlightsHotelsParams {
+            flights: 40,
+            cities: 8,
+            hotels: 8,
+            stays_per_flight: 2,
+        },
+        &mut rng(7),
+    );
+    let run = |workers: usize| {
+        let mut s = ExchangeSession::new(setting.clone(), instance.clone())
+            .with_options(Options::default().with_threads(Threads::Fixed(workers)));
+        let rep = match s.representative().unwrap() {
+            gdx::exchange::representative::RepresentativeOutcome::Representative(rep) => {
+                rep.pattern.to_string()
+            }
+            gdx::exchange::representative::RepresentativeOutcome::ChaseFailed => {
+                "CHASE FAILED".to_owned()
+            }
+        };
+        let sols: Vec<String> = s
+            .solutions()
+            .unwrap()
+            .map(|g| g.unwrap().to_string())
+            .collect();
+        let stats = format!("{:?}", s.chase_stats());
+        let q = PreparedQuery::parse("(x1, f.f*.[h].f-.(f-)*, x2)").unwrap();
+        let (rows, exact) = s.certain_answers(&q).unwrap();
+        let answers = format!("{rows:?} exact={exact}");
+        let r = gdx::nre::parse::parse_nre("f.f*").unwrap();
+        let pair = format!(
+            "{:?}/{:?}",
+            s.certain_pair(&r, "city0", "city1").unwrap().is_certain(),
+            s.certain_pair(&r, "city1", "city0").unwrap().is_certain(),
+        );
+        (rep, sols, stats, answers, pair)
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.0, four.0, "representative pattern");
+    assert_eq!(one.1, four.1, "solutions() order and graph text");
+    assert_eq!(one.2, four.2, "ChaseStats");
+    assert_eq!(one.3, four.3, "certain_answers rows + exactness");
+    assert_eq!(one.4, four.4, "certain_pair verdicts");
+}
+
+/// Sessions whose solution family has several members exercise the
+/// across-family fan-out of `certain`/`certain_answers`.
+#[test]
+fn multi_solution_family_certainty_is_identical_across_worker_counts() {
+    let setting = gdx::mapping::dsl::parse_setting(
+        "source { R1/1; R2/1 }
+         target { a; t; f; svc }
+         sttgd R1(x), R2(y) -> (x, a, y), (x, t+f, x);
+         tgd (x, a, y) -> exists z : (y, svc, z);",
+    )
+    .unwrap();
+    let instance = Instance::parse(setting.source.clone(), "R1(c1); R2(c2);").unwrap();
+    let run = |workers: usize| {
+        let mut s = ExchangeSession::new(setting.clone(), instance.clone())
+            .with_options(Options::default().with_threads(Threads::Fixed(workers)));
+        let sols: Vec<String> = s
+            .solutions()
+            .unwrap()
+            .map(|g| g.unwrap().to_string())
+            .collect();
+        assert!(sols.len() > 1, "fixture must yield a multi-graph family");
+        let q = PreparedQuery::parse("(\"c1\", a, \"c2\")").unwrap();
+        let not_q = PreparedQuery::parse("(\"c1\", t, \"c1\")").unwrap();
+        let qa = PreparedQuery::parse("(x, a, y)").unwrap();
+        let (rows, exact) = s.certain_answers(&qa).unwrap();
+        // Counterexample verdicts carry the refuting graph; fingerprint
+        // its *text* (GraphId is a process-global counter, so Debug would
+        // differ between any two runs in one process).
+        let counterexample = match s.certain(&not_q).unwrap() {
+            CertainAnswer::NotCertain(g) => format!("not-certain:\n{g}"),
+            other => format!("{other:?}"),
+        };
+        (
+            sols,
+            s.certain(&q).unwrap().is_certain(),
+            counterexample,
+            format!("{rows:?} exact={exact}"),
+        )
+    };
+    assert_eq!(run(1), run(4));
+}
