@@ -1,0 +1,118 @@
+//! Allocation-count regression test for the cache-conscious data plane.
+//!
+//! Counts heap allocations (via a counting wrapper around the system
+//! allocator) performed by the 500-flight paper-query evaluation workload:
+//! one cold seeded image enumeration (the `chase_scaling/demand_driven`
+//! bench shape) plus a sweep of constant-pair membership probes (the
+//! `exists_egd/demand_driven` shape). Allocation count, unlike wall time,
+//! is deterministic per build, so it makes a sharp CI guard: the PR-5 data
+//! plane (frozen CSR snapshots, arena-backed `BinRel` adjacency, reusable
+//! bitset scratch in the product-BFS) must keep the count at ≤ 25% of what
+//! the PR-4 hash-map data plane allocated on the same workload.
+//!
+//! At PR 4 the count was dominated by one boxed row plus one dedup clone
+//! per answer (1096 answers here) and per-BFS hash sets; the flat
+//! row-major `NodeBindings` and the evaluator's reusable scratch remove
+//! both, which is what the budget polices.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every `alloc`/`realloc`; frees are not interesting here.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `body` (this test binary runs nothing else
+/// concurrently, so the delta is attributable).
+fn allocations_during(body: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    body();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// The PR-4 data plane allocated this many times on this exact workload
+/// (measured with this harness at the PR-4 tree; the PR-5 data plane
+/// measures 381 on the same build profile — 12.9%).
+const PR4_ALLOCATIONS: u64 = 2962;
+
+#[test]
+fn paper_query_eval_allocation_budget() {
+    use gdx_bench::{paper_flight_graph, PAPER_QUERY};
+    use gdx_common::{FxHashMap, Symbol};
+    use gdx_graph::Node;
+    use gdx_nre::eval::EvalCache;
+    use gdx_query::{Cnre, PreparedQuery};
+
+    let query = Cnre::parse(&format!("(x, {PAPER_QUERY}, y)")).expect("static query");
+    let g = paper_flight_graph(500);
+    let city = |i: usize| {
+        g.node_id(Node::cst(&format!("city{i}")))
+            .expect("city present")
+    };
+    let mut seed = FxHashMap::default();
+    seed.insert(Symbol::new("x"), city(0));
+
+    // One throwaway evaluation first: interning, lazy statics and the
+    // graph's frozen snapshot warm up outside the measured window, exactly
+    // like the bench harness's warm-up run.
+    let prepared = PreparedQuery::new(query);
+    let mut warmup_cache = EvalCache::new();
+    let warm = prepared
+        .evaluate_seeded(&g, &mut warmup_cache, &seed)
+        .expect("eval");
+    assert!(!warm.is_empty(), "paper query has answers from city0");
+
+    // Cold-cache semantics per sample, matching the bench: caches (and
+    // their demand evaluators' memo tables) are rebuilt inside the
+    // measured window; only the prepared query's compiled automata are
+    // warm, as they are for every bench sample.
+    let count = allocations_during(|| {
+        let mut cache = EvalCache::new();
+        let b = prepared
+            .evaluate_seeded(&g, &mut cache, &seed)
+            .expect("eval");
+        std::hint::black_box(b.len());
+        // The Corollary-4.2 probe shape: both endpoints bound, sixteen
+        // city pairs, one cold cache each.
+        for a in 0..4 {
+            for b in 0..4 {
+                let mut probe_seed = FxHashMap::default();
+                probe_seed.insert(Symbol::new("x"), city(a));
+                probe_seed.insert(Symbol::new("y"), city(b));
+                let mut cache = EvalCache::new();
+                let hit = prepared
+                    .evaluate_seeded_exists(&g, &mut cache, &probe_seed)
+                    .expect("probe");
+                std::hint::black_box(hit);
+            }
+        }
+    });
+
+    eprintln!(
+        "500-flight paper-query eval workload: {count} allocations (PR-4: {PR4_ALLOCATIONS})"
+    );
+    assert!(
+        count * 4 <= PR4_ALLOCATIONS,
+        "data-plane regression: {count} allocations > 25% of the PR-4 count {PR4_ALLOCATIONS}"
+    );
+}

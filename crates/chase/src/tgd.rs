@@ -274,8 +274,8 @@ impl TgdChaseEngine {
             // produced the witness), in exactly the order and with
             // exactly the outcomes of a 1-worker run.
             let spec_witnessed =
-                speculative_head_filter(graph, &self.rules[ri].tgd, &vars, matches.rows(), &rt)?;
-            for (row, &witnessed_at_start) in matches.rows().iter().zip(&spec_witnessed) {
+                speculative_head_filter(graph, &self.rules[ri].tgd, &vars, &matches, &rt)?;
+            for (row, &witnessed_at_start) in matches.rows().zip(&spec_witnessed) {
                 if witnessed_at_start {
                     continue;
                 }
@@ -324,7 +324,6 @@ impl TgdChaseEngine {
                     let b = rule.body_q.matches(graph, &mut EvalCache::new())?;
                     let vars: Vec<Symbol> = b.vars().to_vec();
                     b.rows()
-                        .iter()
                         .map(|row| vars.iter().copied().zip(row.iter().copied()).collect())
                         .collect()
                 };
@@ -413,16 +412,18 @@ fn speculative_head_filter(
     graph: &Graph,
     tgd: &TargetTgd,
     vars: &[Symbol],
-    rows: &[Box<[NodeId]>],
+    matches: &gdx_query::NodeBindings,
     rt: &Runtime,
 ) -> Result<Vec<bool>> {
-    if !rt.is_parallel() || rows.len() < SPEC_MIN_ROWS {
-        return Ok(vec![false; rows.len()]);
+    if !rt.is_parallel() || matches.len() < SPEC_MIN_ROWS {
+        return Ok(vec![false; matches.len()]);
     }
+    // Row slices into the flat bindings buffer, so chunks stay slices.
+    let rows: Vec<&[NodeId]> = matches.rows().collect();
     // About two chunks per worker: each chunk pays one scratch-cache
     // compilation, so coarse chunks amortize it.
     let chunk = rows.len().div_ceil(rt.workers() * 2).max(64);
-    let chunks = rt.par_chunks(rows, chunk, |_, chunk| -> Result<Vec<bool>> {
+    let chunks = rt.par_chunks(&rows, chunk, |_, chunk| -> Result<Vec<bool>> {
         let mut cache = EvalCache::new();
         chunk
             .iter()

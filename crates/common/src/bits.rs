@@ -1,0 +1,150 @@
+//! Dense bitsets over small integer universes.
+//!
+//! The evaluation inner loops (star-closure BFS, the demand evaluator's
+//! `(node, state)` product-BFS) need a visited set over a universe that is
+//! known and dense — node ids are `u32` handles packed from 0, automaton
+//! states likewise. A hash set pays a hash, a probe sequence and a heap
+//! allocation per BFS for what one bit per element represents exactly;
+//! [`ScratchBits`] is that bit array, plus a *touched-word* list so a
+//! reused scratch set resets in time proportional to what the last run
+//! actually visited instead of the universe size.
+
+/// A reusable dense bitset: one bit per element of `0..universe`.
+///
+/// Designed as long-lived *scratch*: [`ScratchBits::reset`] clears only
+/// the words the previous run dirtied, so a tiny BFS over a huge universe
+/// pays for its own footprint only. The backing words grow on demand and
+/// never shrink.
+#[derive(Debug, Default, Clone)]
+pub struct ScratchBits {
+    words: Vec<u64>,
+    /// Indices of words with at least one set bit (each recorded once).
+    touched: Vec<u32>,
+}
+
+impl ScratchBits {
+    /// An empty scratch set (no capacity reserved yet).
+    pub fn new() -> ScratchBits {
+        ScratchBits::default()
+    }
+
+    /// A scratch set pre-sized for `universe` elements.
+    pub fn with_universe(universe: usize) -> ScratchBits {
+        let mut s = ScratchBits::new();
+        s.ensure(universe);
+        s
+    }
+
+    /// Grows the backing words to cover `universe` elements (no-op when
+    /// already large enough).
+    pub fn ensure(&mut self, universe: usize) {
+        let need = universe.div_ceil(64);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Sets bit `i`; returns `true` when it was previously clear. Grows
+    /// the universe as needed.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[w];
+        if *word & mask != 0 {
+            return false;
+        }
+        if *word == 0 {
+            self.touched.push(w as u32);
+        }
+        *word |= mask;
+        true
+    }
+
+    /// Is bit `i` set?
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Clears every set bit in O(touched words), keeping the capacity.
+    pub fn reset(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// True when no bit is set.
+    pub fn is_clear(&self) -> bool {
+        self.touched.iter().all(|&w| self.words[w as usize] == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_reset() {
+        let mut b = ScratchBits::with_universe(200);
+        assert!(!b.contains(5));
+        assert!(b.insert(5));
+        assert!(!b.insert(5), "second insert reports already-present");
+        assert!(b.contains(5));
+        assert!(b.insert(64), "word boundary");
+        assert!(b.insert(199));
+        b.reset();
+        assert!(b.is_clear());
+        for i in [5, 64, 199] {
+            assert!(!b.contains(i), "bit {i} survived reset");
+        }
+        assert!(b.insert(5), "reusable after reset");
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut b = ScratchBits::new();
+        assert!(!b.contains(1_000_000), "out of range reads are false");
+        assert!(b.insert(1_000_000));
+        assert!(b.contains(1_000_000));
+    }
+
+    #[test]
+    fn reset_is_proportional_to_touched() {
+        let mut b = ScratchBits::with_universe(1 << 20);
+        b.insert(3);
+        b.insert(1 << 19);
+        assert_eq!(b.touched.len(), 2);
+        b.reset();
+        assert!(b.touched.is_empty());
+    }
+
+    #[test]
+    fn matches_hash_set_on_random_ops() {
+        // Deterministic pseudo-random mixed workload against the obvious
+        // reference.
+        let mut bits = ScratchBits::new();
+        let mut reference = crate::FxHashSet::default();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for step in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % 4096) as usize;
+            if step % 257 == 0 {
+                bits.reset();
+                reference.clear();
+            } else if step % 3 == 0 {
+                assert_eq!(bits.contains(i), reference.contains(&i), "step {step}");
+            } else {
+                assert_eq!(bits.insert(i), reference.insert(i), "step {step}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Galloping (exponential) search over sorted slices.
+//!
+//! The frozen data-plane views ([`FrozenGraph`], flat sorted `BinRel`
+//! snapshots) keep adjacency as sorted arrays; membership and
+//! intersection then run by galloping — exponential probing followed by a
+//! binary search on the bracketed range. Galloping is `O(log d)` like a
+//! plain binary search, but when the needle is near the cursor (the
+//! common case when intersecting two sorted lists in lockstep) it touches
+//! `O(log gap)` cache lines instead of `O(log n)`.
+//!
+//! [`FrozenGraph`]: https://docs.rs/gdx-graph
+
+/// Index of the first element of `sorted` that is `>= x` (== `sorted.len()`
+/// when every element is smaller). `sorted` must be sorted ascending.
+#[inline]
+pub fn gallop_ge<T: Ord + Copy>(sorted: &[T], x: T) -> usize {
+    // Exponential probe: bracket the answer in [lo, hi).
+    let n = sorted.len();
+    if n == 0 || sorted[0] >= x {
+        return 0;
+    }
+    let mut step = 1usize;
+    let mut lo = 0usize;
+    while lo + step < n && sorted[lo + step] < x {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(n);
+    // Binary search within the bracket; lo's element is known `< x`.
+    lo + 1 + sorted[lo + 1..hi].partition_point(|&v| v < x)
+}
+
+/// Membership in a sorted slice by galloping.
+#[inline]
+pub fn contains_sorted<T: Ord + Copy>(sorted: &[T], x: T) -> bool {
+    let i = gallop_ge(sorted, x);
+    i < sorted.len() && sorted[i] == x
+}
+
+/// Appends the intersection of two sorted, duplicate-free slices to `out`
+/// by galloping merge: the cursor on each side jumps over runs the other
+/// side skips, so a tiny list intersected with a huge one costs
+/// `O(small · log(huge/small))` rather than `O(huge)`.
+pub fn intersect_sorted<'a, T: Ord + Copy>(mut a: &'a [T], mut b: &'a [T], out: &mut Vec<T>) {
+    // Keep the shorter slice in `a`: it drives the galloping.
+    if a.len() > b.len() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    for &x in a {
+        let i = gallop_ge(b, x);
+        if i == b.len() {
+            return;
+        }
+        if b[i] == x {
+            out.push(x);
+        }
+        b = &b[i..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallop_ge_agrees_with_partition_point() {
+        let mut v: Vec<u32> = Vec::new();
+        let mut x: u64 = 7;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            v.push((x % 1000) as u32);
+        }
+        v.sort_unstable();
+        v.dedup();
+        for probe in 0..1001u32 {
+            assert_eq!(
+                gallop_ge(&v, probe),
+                v.partition_point(|&e| e < probe),
+                "probe {probe}"
+            );
+        }
+        assert_eq!(gallop_ge::<u32>(&[], 3), 0);
+    }
+
+    #[test]
+    fn contains_matches_binary_search() {
+        let v: Vec<u32> = (0..500).map(|i| i * 3).collect();
+        for probe in 0..1500u32 {
+            assert_eq!(
+                contains_sorted(&v, probe),
+                v.binary_search(&probe).is_ok(),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_agrees_with_naive() {
+        let a: Vec<u32> = (0..400).map(|i| i * 2).collect(); // evens
+        let b: Vec<u32> = (0..300).map(|i| i * 3).collect(); // multiples of 3
+        let mut out = Vec::new();
+        intersect_sorted(&a, &b, &mut out);
+        let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+        assert_eq!(out, naive, "multiples of 6");
+        // Argument order must not matter.
+        let mut flipped = Vec::new();
+        intersect_sorted(&b, &a, &mut flipped);
+        assert_eq!(out, flipped);
+        // Disjoint and empty cases.
+        let mut none = Vec::new();
+        intersect_sorted(&[1u32, 5, 9], &[2, 4, 8], &mut none);
+        assert!(none.is_empty());
+        intersect_sorted(&a, &[], &mut none);
+        assert!(none.is_empty());
+    }
+}

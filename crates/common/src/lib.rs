@@ -9,6 +9,10 @@
 //! * [`hash`] — a hand-rolled Fx-style hasher plus [`FxHashMap`]/[`FxHashSet`]
 //!   aliases. Integer-keyed maps dominate this workspace; SipHash is wasted
 //!   on them.
+//! * [`bits`] — dense reusable bitsets ([`ScratchBits`]) for the BFS
+//!   visited sets of the evaluation inner loops.
+//! * [`gallop`] — galloping search and intersection over the sorted
+//!   adjacency slices of the frozen data-plane views.
 //! * [`UnionFind`] — path-compressed union-find used by the egd chase when
 //!   merging graph-pattern nodes.
 //! * [`lexer`] — a single tokenizer shared by every text format in the
@@ -16,13 +20,16 @@
 //!   separate).
 //! * [`GdxError`] — the workspace-wide error type.
 
+pub mod bits;
 pub mod error;
+pub mod gallop;
 pub mod hash;
 pub mod intern;
 pub mod lexer;
 pub mod term;
 pub mod union_find;
 
+pub use bits::ScratchBits;
 pub use error::{GdxError, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::Symbol;

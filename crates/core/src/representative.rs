@@ -122,7 +122,7 @@ impl SettingView<'_> {
                     let vars = m.vars();
                     let li = vars.iter().position(|&v| v == egd.lhs).expect("validated");
                     let ri = vars.iter().position(|&v| v == egd.rhs).expect("validated");
-                    if m.rows().iter().any(|r| r[li] != r[ri]) {
+                    if m.rows().any(|r| r[li] != r[ri]) {
                         return Ok(false);
                     }
                 }
@@ -131,7 +131,7 @@ impl SettingView<'_> {
                     let head = PreparedQuery::new(tgd.head.clone());
                     let m = body.matches(graph, &mut cache)?;
                     let vars: Vec<Symbol> = m.vars().to_vec();
-                    let rows: Vec<Vec<NodeId>> = m.rows().iter().map(|r| r.to_vec()).collect();
+                    let rows: Vec<Vec<NodeId>> = m.rows().map(|r| r.to_vec()).collect();
                     for row in rows {
                         let seed: FxHashMap<Symbol, NodeId> = tgd
                             .head

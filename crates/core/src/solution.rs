@@ -253,7 +253,6 @@ impl SolutionChecker {
                     let vars: Vec<Symbol> = matches.vars().to_vec();
                     let seeds: Vec<FxHashMap<Symbol, NodeId>> = matches
                         .rows()
-                        .iter()
                         .map(|rowv| {
                             tgd.head
                                 .variables()

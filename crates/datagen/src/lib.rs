@@ -138,7 +138,7 @@ pub fn chain_target_tgds(depth: usize) -> Vec<TargetTgd> {
 /// and labels `l0 … l{labels-1}`.
 pub fn random_graph(nodes: usize, edges: usize, labels: usize, rng: &mut StdRng) -> Graph {
     assert!(nodes > 0 && labels > 0);
-    let mut g = Graph::new();
+    let mut g = Graph::with_capacity(nodes, edges);
     let ids: Vec<_> = (0..nodes).map(|i| g.add_const(&format!("n{i}"))).collect();
     let mut added = 0usize;
     let mut attempts = 0usize;

@@ -1,0 +1,262 @@
+//! Frozen CSR snapshots of a [`Graph`]'s adjacency.
+//!
+//! The mutable [`Graph`] indexes adjacency as
+//! `FxHashMap<(NodeId, Symbol), Vec<NodeId>>` — the right shape for a
+//! monotone store that is written once per edge, but every read pays a
+//! hash of an 8-byte key, a probe walk over a large table, and a pointer
+//! chase into a per-key heap `Vec`. The evaluation inner loops (the demand
+//! evaluator's product-BFS above all) read adjacency millions of times
+//! between writes, so this module provides the read-optimized view: a
+//! [`FrozenGraph`] holds, per label and per direction, a compressed
+//! sparse row (CSR) layout — one offsets array indexed by node id and one
+//! flat, *sorted* targets array. A successor lookup is two array reads;
+//! membership is a galloping search; intersection of two candidate sets
+//! is a galloping merge over two sorted slices.
+//!
+//! Snapshots are built in one pass over the edge log and memoized on the
+//! graph per `(GraphId, Epoch)` ([`Graph::freeze`]): chase engines that
+//! grow the graph in place re-freeze only when the epoch actually moved,
+//! and readers between two growth steps share one `Arc`.
+
+use crate::graph::{Epoch, Graph, GraphId, NodeId};
+use gdx_common::{gallop, FxHashMap, Symbol};
+
+/// One direction's adjacency for one label, in CSR form.
+///
+/// `offsets` has `nodes + 1` entries; node `u`'s neighbors are
+/// `targets[offsets[u] .. offsets[u + 1]]`, sorted ascending.
+#[derive(Debug)]
+struct LabelCsr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl LabelCsr {
+    #[inline]
+    fn slice(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        match self.offsets.get(u..u + 2) {
+            Some(w) => &self.targets[w[0] as usize..w[1] as usize],
+            None => &[],
+        }
+    }
+}
+
+/// Builds one direction's CSRs: `key(edge)` is the indexed endpoint,
+/// `val(edge)` the stored neighbor.
+fn build_csrs(
+    g: &Graph,
+    labels: &FxHashMap<Symbol, u32>,
+    key: impl Fn(&(NodeId, Symbol, NodeId)) -> NodeId,
+    val: impl Fn(&(NodeId, Symbol, NodeId)) -> NodeId,
+) -> Vec<LabelCsr> {
+    let n = g.node_count();
+    let mut csrs: Vec<LabelCsr> = (0..labels.len())
+        .map(|_| LabelCsr {
+            offsets: vec![0u32; n + 1],
+            targets: Vec::new(),
+        })
+        .collect();
+    // Degree counting pass (offsets[u + 1] accumulates u's degree).
+    for e in g.edges() {
+        let lid = labels[&e.1] as usize;
+        csrs[lid].offsets[key(e) as usize + 1] += 1;
+    }
+    // Degrees sit at `offsets[u + 1]`, so an inclusive scan leaves
+    // `offsets[u]` = start of node `u`'s bucket. Then a cursor-filling
+    // pass places each neighbor.
+    let mut cursors: Vec<Vec<u32>> = Vec::with_capacity(csrs.len());
+    for csr in &mut csrs {
+        let mut acc = 0u32;
+        for o in csr.offsets.iter_mut() {
+            acc += *o;
+            *o = acc;
+        }
+        csr.targets.resize(acc as usize, 0);
+        cursors.push(csr.offsets.clone());
+    }
+    for e in g.edges() {
+        let lid = labels[&e.1] as usize;
+        let cursor = &mut cursors[lid][key(e) as usize];
+        csrs[lid].targets[*cursor as usize] = val(e);
+        *cursor += 1;
+    }
+    // Sort each node's bucket: membership and intersection gallop.
+    for csr in &mut csrs {
+        for u in 0..n {
+            let (s, e) = (csr.offsets[u] as usize, csr.offsets[u + 1] as usize);
+            csr.targets[s..e].sort_unstable();
+        }
+    }
+    csrs
+}
+
+/// An immutable CSR snapshot of one [`Graph`] at one [`Epoch`].
+///
+/// Obtained via [`Graph::freeze`]; see the module docs for the layout.
+/// Neighbor slices are **sorted ascending** — callers that need the
+/// graph's insertion order must read the mutable [`Graph`] instead.
+#[derive(Debug)]
+pub struct FrozenGraph {
+    id: GraphId,
+    epoch: Epoch,
+    nodes: usize,
+    /// Label → dense CSR index, in edge-log first-occurrence order.
+    labels: FxHashMap<Symbol, u32>,
+    out: Vec<LabelCsr>,
+    inc: Vec<LabelCsr>,
+}
+
+impl FrozenGraph {
+    /// Snapshots `g` now. Prefer [`Graph::freeze`], which memoizes.
+    pub(crate) fn build(g: &Graph) -> FrozenGraph {
+        let mut labels: FxHashMap<Symbol, u32> = FxHashMap::default();
+        for &(_, l, _) in g.edges() {
+            let next = labels.len() as u32;
+            labels.entry(l).or_insert(next);
+        }
+        FrozenGraph {
+            id: g.id(),
+            epoch: g.epoch(),
+            nodes: g.node_count(),
+            out: build_csrs(g, &labels, |e| e.0, |e| e.2),
+            inc: build_csrs(g, &labels, |e| e.2, |e| e.0),
+            labels,
+        }
+    }
+
+    /// Identity of the graph value this snapshot was taken from.
+    pub fn id(&self) -> GraphId {
+        self.id
+    }
+
+    /// The epoch the snapshot covers.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Number of nodes at snapshot time.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Successors of `u` along `label`-edges, sorted ascending.
+    #[inline]
+    pub fn successors(&self, u: NodeId, label: Symbol) -> &[NodeId] {
+        match self.labels.get(&label) {
+            Some(&lid) => self.out[lid as usize].slice(u),
+            None => &[],
+        }
+    }
+
+    /// Predecessors of `v` along `label`-edges, sorted ascending.
+    #[inline]
+    pub fn predecessors(&self, v: NodeId, label: Symbol) -> &[NodeId] {
+        match self.labels.get(&label) {
+            Some(&lid) => self.inc[lid as usize].slice(v),
+            None => &[],
+        }
+    }
+
+    /// Edge membership by galloping search over the sorted successor
+    /// slice.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, label: Symbol, v: NodeId) -> bool {
+        gallop::contains_sorted(self.successors(u, label), v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdx_common::FxHashSet;
+
+    #[test]
+    fn frozen_matches_hash_adjacency() {
+        let g = Graph::parse(
+            "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy); (c2, f, c1);",
+        )
+        .unwrap();
+        let fz = g.freeze();
+        assert_eq!(fz.node_count(), g.node_count());
+        for u in g.node_ids() {
+            for label in g.labels() {
+                let mut expect = g.successors(u, label).to_vec();
+                expect.sort_unstable();
+                assert_eq!(fz.successors(u, label), expect, "out {u} {label}");
+                let mut expect = g.predecessors(u, label).to_vec();
+                expect.sort_unstable();
+                assert_eq!(fz.predecessors(u, label), expect, "in {u} {label}");
+                for v in g.node_ids() {
+                    assert_eq!(fz.has_edge(u, label, v), g.has_edge(u, label, v));
+                }
+            }
+        }
+        assert!(fz.successors(0, Symbol::new("absent")).is_empty());
+        assert!(fz.predecessors(0, Symbol::new("absent")).is_empty());
+    }
+
+    #[test]
+    fn freeze_is_memoized_per_epoch() {
+        let mut g = Graph::parse("(a, f, b);").unwrap();
+        let f1 = g.freeze();
+        let f2 = g.freeze();
+        assert!(
+            std::sync::Arc::ptr_eq(&f1, &f2),
+            "same epoch: shared snapshot"
+        );
+        assert_eq!(f1.id(), g.id());
+        assert_eq!(f1.epoch(), g.epoch());
+        // Growth moves the epoch: a fresh snapshot that sees the new edge.
+        let a = g.node_id(crate::Node::cst("a")).unwrap();
+        let c = g.add_const("c");
+        g.add_edge_labelled(a, "f", c);
+        let f3 = g.freeze();
+        assert!(!std::sync::Arc::ptr_eq(&f1, &f3));
+        assert_eq!(f3.successors(a, Symbol::new("f")).len(), 2);
+        assert_eq!(f1.successors(a, Symbol::new("f")).len(), 1, "old view");
+    }
+
+    #[test]
+    fn isolated_and_out_of_range_nodes() {
+        let mut g = Graph::parse("(a, f, b); node(iso);").unwrap();
+        let fz = g.freeze();
+        let iso = g.node_id(crate::Node::cst("iso")).unwrap();
+        assert!(fz.successors(iso, Symbol::new("f")).is_empty());
+        // A node added after the snapshot: the old view reports it bare.
+        let late = g.add_const("late");
+        assert!(fz.successors(late, Symbol::new("f")).is_empty());
+        assert!(fz.predecessors(late, Symbol::new("f")).is_empty());
+    }
+
+    #[test]
+    fn dense_random_graph_agrees() {
+        // A deterministic pseudo-random graph; every (node, label) bucket
+        // must coincide with the hash index as a set and be sorted.
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..60).map(|i| g.add_const(&format!("n{i}"))).collect();
+        let mut x: u64 = 42;
+        for _ in 0..600 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let s = ids[(x >> 33) as usize % 60];
+            let d = ids[(x >> 13) as usize % 60];
+            let l = format!("l{}", x % 4);
+            g.add_edge_labelled(s, &l, d);
+        }
+        let fz = g.freeze();
+        for u in g.node_ids() {
+            for label in g.labels() {
+                let frozen = fz.successors(u, label);
+                assert!(frozen.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+                let hash: FxHashSet<NodeId> = g.successors(u, label).iter().copied().collect();
+                assert_eq!(frozen.iter().copied().collect::<FxHashSet<_>>(), hash);
+                let frozen_in: FxHashSet<NodeId> =
+                    fz.predecessors(u, label).iter().copied().collect();
+                let hash_in: FxHashSet<NodeId> = g.predecessors(u, label).iter().copied().collect();
+                assert_eq!(frozen_in, hash_in);
+            }
+        }
+    }
+}

@@ -8,10 +8,12 @@
 //! since I last looked" in O(Δ) — the foundation of the semi-naive chase
 //! layers in `gdx-nre`, `gdx-query`, and `gdx-chase`.
 
+use crate::frozen::FrozenGraph;
 use gdx_common::lexer::{TokenCursor, TokenKind};
 use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A graph node id: a constant from the shared domain `𝒱`, or a labeled
 /// null from `𝒩`.
@@ -206,29 +208,28 @@ pub struct Graph {
     /// the graph so null naming is a function of the graph's history, not
     /// of process-global state.
     null_counter: u64,
+    /// Memoized CSR snapshot ([`Graph::freeze`]), valid while its epoch
+    /// matches the graph's. Behind a `Mutex` (not a `RefCell`) so graphs
+    /// stay `Sync` — evaluation workers share them read-only; the lock is
+    /// touched only on `freeze`, never on plain reads.
+    frozen: Mutex<Option<Arc<FrozenGraph>>>,
 }
 
 impl Default for Graph {
     fn default() -> Graph {
-        Graph {
-            id: next_graph_id(),
-            nodes: Vec::new(),
-            ids: FxHashMap::default(),
-            edges: Vec::new(),
-            edge_set: FxHashSet::default(),
-            out: FxHashMap::default(),
-            inc: FxHashMap::default(),
-            labels: FxHashSet::default(),
-            label_counts: FxHashMap::default(),
-            null_counter: 0,
-        }
+        Graph::with_capacity(0, 0)
     }
 }
 
 impl Clone for Graph {
     /// Clones get a fresh [`GraphId`]: incremental caches watermarked
     /// against the original must not mistake the clone for it once the
-    /// two diverge.
+    /// two diverge. Field clones keep the copy pre-sized for the chase's
+    /// candidate loop (which clones graphs it then grows): hash-table
+    /// clones copy the raw table at the source's bucket count — no
+    /// rehashing, no shrink — and the log vectors land exactly at their
+    /// lengths. The frozen-snapshot memo is *not* carried over; the clone
+    /// re-freezes on first use against its own id.
     fn clone(&self) -> Graph {
         Graph {
             id: next_graph_id(),
@@ -241,6 +242,7 @@ impl Clone for Graph {
             labels: self.labels.clone(),
             label_counts: self.label_counts.clone(),
             null_counter: self.null_counter,
+            frozen: Mutex::new(None),
         }
     }
 }
@@ -249,6 +251,41 @@ impl Graph {
     /// An empty graph.
     pub fn new() -> Graph {
         Graph::default()
+    }
+
+    /// An empty graph with pre-sized node and edge indexes — for loaders
+    /// and generators that know the target size up front (one allocation
+    /// per index instead of a doubling ladder).
+    pub fn with_capacity(nodes: usize, edges: usize) -> Graph {
+        Graph {
+            id: next_graph_id(),
+            nodes: Vec::with_capacity(nodes),
+            ids: FxHashMap::with_capacity_and_hasher(nodes, Default::default()),
+            edges: Vec::with_capacity(edges),
+            edge_set: FxHashSet::with_capacity_and_hasher(edges, Default::default()),
+            out: FxHashMap::with_capacity_and_hasher(edges, Default::default()),
+            inc: FxHashMap::with_capacity_and_hasher(edges, Default::default()),
+            labels: FxHashSet::default(),
+            label_counts: FxHashMap::default(),
+            null_counter: 0,
+            frozen: Mutex::new(None),
+        }
+    }
+
+    /// The CSR snapshot of the graph at its current epoch, memoized per
+    /// `(GraphId, Epoch)`: repeated calls between two growth steps share
+    /// one `Arc`; any node or edge added since the last call triggers one
+    /// rebuild. See [`FrozenGraph`] for the layout and the read API.
+    pub fn freeze(&self) -> Arc<FrozenGraph> {
+        let mut slot = self.frozen.lock().expect("freeze lock poisoned");
+        match &*slot {
+            Some(f) if f.epoch() == self.epoch() => Arc::clone(f),
+            _ => {
+                let f = Arc::new(FrozenGraph::build(self));
+                *slot = Some(Arc::clone(&f));
+                f
+            }
+        }
     }
 
     /// This graph value's identity (fresh per clone/quotient).
@@ -428,7 +465,8 @@ impl Graph {
     /// This is how the egd chase merges nodes without fighting the borrow
     /// checker: compute classes in a union-find, then rebuild.
     pub fn quotient(&self, mut rep: impl FnMut(NodeId) -> NodeId) -> Graph {
-        let mut g = Graph::new();
+        // Merging only shrinks, so the source sizes are an upper bound.
+        let mut g = Graph::with_capacity(self.nodes.len(), self.edges.len());
         let mut remap: FxHashMap<NodeId, NodeId> = FxHashMap::default();
         for id in self.node_ids() {
             let r = rep(id);

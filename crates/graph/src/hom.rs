@@ -10,6 +10,7 @@
 //! the tests use to compare chase outputs against the paper's figures "up
 //! to null renaming".
 
+use crate::frozen::FrozenGraph;
 use crate::graph::{Graph, NodeId};
 use gdx_common::{FxHashMap, FxHashSet};
 
@@ -40,7 +41,11 @@ pub fn find_homomorphism(g: &Graph, h: &Graph) -> Option<FxHashMap<NodeId, NodeI
     let mut nulls: Vec<NodeId> = g.node_ids().filter(|&id| !g.node(id).is_const()).collect();
     nulls.sort_by_key(|id| std::cmp::Reverse(degree.get(id).copied().unwrap_or(0)));
 
-    if search(g, h, &nulls, 0, &mut assign, false) {
+    // The search probes h's edges once per (candidate, edge) pair — the
+    // frozen CSR serves those probes by galloping over sorted neighbor
+    // slices instead of hashing into the mutable edge set.
+    let hf = h.freeze();
+    if search(g, h, &hf, &nulls, 0, &mut assign, false) {
         Some(assign)
     } else {
         None
@@ -74,7 +79,7 @@ pub fn is_isomorphic(g: &Graph, h: &Graph) -> bool {
         *degree.entry(d).or_insert(0) += 1;
     }
     nulls.sort_by_key(|id| std::cmp::Reverse(degree.get(id).copied().unwrap_or(0)));
-    search(g, h, &nulls, 0, &mut assign, true)
+    search(g, h, &h.freeze(), &nulls, 0, &mut assign, true)
 }
 
 /// Backtracking search assigning `nulls[depth..]`. When `injective` is set,
@@ -85,13 +90,14 @@ pub fn is_isomorphic(g: &Graph, h: &Graph) -> bool {
 fn search(
     g: &Graph,
     h: &Graph,
+    hf: &FrozenGraph,
     nulls: &[NodeId],
     depth: usize,
     assign: &mut FxHashMap<NodeId, NodeId>,
     injective: bool,
 ) -> bool {
     if depth == nulls.len() {
-        if !check_full(g, h, assign) {
+        if !check_full(g, hf, assign) {
             return false;
         }
         if injective {
@@ -130,7 +136,8 @@ fn search(
             }
         }
         assign.insert(u, cand);
-        if consistent_so_far(g, h, assign) && search(g, h, nulls, depth + 1, assign, injective) {
+        if consistent_so_far(g, hf, assign) && search(g, h, hf, nulls, depth + 1, assign, injective)
+        {
             return true;
         }
         assign.remove(&u);
@@ -139,7 +146,7 @@ fn search(
 }
 
 /// Checks edges whose endpoints are both assigned.
-fn consistent_so_far(g: &Graph, h: &Graph, assign: &FxHashMap<NodeId, NodeId>) -> bool {
+fn consistent_so_far(g: &Graph, h: &FrozenGraph, assign: &FxHashMap<NodeId, NodeId>) -> bool {
     for &(s, l, d) in g.edges() {
         if let (Some(&hs), Some(&hd)) = (assign.get(&s), assign.get(&d)) {
             if !h.has_edge(hs, l, hd) {
@@ -150,7 +157,7 @@ fn consistent_so_far(g: &Graph, h: &Graph, assign: &FxHashMap<NodeId, NodeId>) -
     true
 }
 
-fn check_full(g: &Graph, h: &Graph, assign: &FxHashMap<NodeId, NodeId>) -> bool {
+fn check_full(g: &Graph, h: &FrozenGraph, assign: &FxHashMap<NodeId, NodeId>) -> bool {
     g.edges()
         .iter()
         .all(|&(s, l, d)| h.has_edge(assign[&s], l, assign[&d]))

@@ -17,10 +17,16 @@
 //! * [`graph::Epoch`] / [`Graph::edges_since`] — watermarks into the
 //!   graph's append-only node/edge logs, the delta protocol behind the
 //!   semi-naive chase;
-//! * [`graph::NullFactory`] — deterministic per-run fresh-null naming.
+//! * [`graph::NullFactory`] — deterministic per-run fresh-null naming;
+//! * [`frozen::FrozenGraph`] — per-label CSR snapshots with sorted
+//!   neighbor slices, memoized per `(GraphId, Epoch)` by
+//!   [`Graph::freeze`] — the read-optimized data plane the evaluation
+//!   inner loops run on.
 
+pub mod frozen;
 pub mod graph;
 pub mod hom;
 
+pub use frozen::FrozenGraph;
 pub use graph::{Epoch, Graph, GraphId, Node, NodeId, NullFactory};
 pub use hom::{find_homomorphism, is_isomorphic};

@@ -32,11 +32,21 @@
 //! [`DemandStats`] counts the `(node, state)` pairs actually expanded, so
 //! regression tests can assert that seeded evaluation visits a small
 //! fraction of what full materialization enumerates.
+//!
+//! The BFS inner loop runs on the cache-conscious data plane: once a
+//! `(GraphId, Epoch)` version proves read-heavy (second BFS), adjacency
+//! comes from the graph's frozen CSR snapshot ([`Graph::freeze`]) — the
+//! first probe of a version reads the mutable index, so chase loops that
+//! grow the graph between probes never pay per-epoch snapshot rebuilds.
+//! The visited/output sets are dense bitsets held by the evaluator and
+//! reset in time proportional to the previous probe's reach — a probe
+//! allocates nothing once its evaluator is warm.
 
 use crate::ast::Nre;
 use crate::eval::{eval, BinRel};
-use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol};
-use gdx_graph::{Graph, GraphId, NodeId};
+use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, ScratchBits, Symbol};
+use gdx_graph::{FrozenGraph, Graph, GraphId, NodeId};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Automaton state id (dense).
@@ -259,6 +269,28 @@ pub struct DemandEvaluator {
     /// epoch. Chase engines grow one graph value in place; growth adds
     /// reachable pairs, so memos from an older epoch would under-report.
     graph: Option<(GraphId, gdx_graph::Epoch)>,
+    /// CSR snapshot of the pinned graph version: once present, the
+    /// product-BFS reads adjacency from here (two array lookups per
+    /// step) instead of the mutable graph's hash index. Built **lazily**
+    /// on the second BFS within one `(GraphId, Epoch)` version: chase
+    /// loops that fire (moving the epoch) after every probe never pay an
+    /// O(V+E) snapshot rebuild per firing — they keep reading the
+    /// mutable index, exactly as cheaply as before — while read-heavy
+    /// phases (certain sweeps, solution checks against a settled graph)
+    /// freeze once and amortize it over every subsequent probe. The
+    /// snapshot itself is memoized on the graph, so all evaluators
+    /// probing one version share a single rebuild.
+    frozen: Option<Arc<FrozenGraph>>,
+    /// BFS runs since the last version change — the lazy-freeze trigger.
+    probes_in_version: u32,
+    /// BFS scratch, reused across runs: visited bits over the dense
+    /// `(node, state)` product (`node · |states| + state`), accept-output
+    /// bits over nodes, and the FIFO frontier. Reset costs are
+    /// proportional to the previous run's reach ([`ScratchBits::reset`]),
+    /// so a tiny probe never pays for the universe.
+    visited: ScratchBits,
+    out_seen: ScratchBits,
+    queue: VecDeque<(NodeId, State)>,
     fwd_images: FxHashMap<NodeId, Vec<NodeId>>,
     bwd_images: FxHashMap<NodeId, Vec<NodeId>>,
     /// Guard-style memo: does *any* node lie in the forward image?
@@ -297,6 +329,11 @@ impl DemandEvaluator {
             fwd,
             bwd,
             graph: None,
+            frozen: None,
+            probes_in_version: 0,
+            visited: ScratchBits::new(),
+            out_seen: ScratchBits::new(),
+            queue: VecDeque::new(),
             fwd_images: FxHashMap::default(),
             bwd_images: FxHashMap::default(),
             nonempty: FxHashMap::default(),
@@ -312,7 +349,9 @@ impl DemandEvaluator {
     }
 
     /// Drops memos when the graph value — or its epoch — changed since
-    /// the last call.
+    /// the last call. The frozen snapshot is dropped too but *not*
+    /// rebuilt here: [`DemandEvaluator::bfs`] re-freezes only once the
+    /// version proves read-heavy (see the `frozen` field docs).
     fn sync(&mut self, graph: &Graph) {
         let version = (graph.id(), graph.epoch());
         if self.graph != Some(version) {
@@ -320,6 +359,8 @@ impl DemandEvaluator {
             self.bwd_images.clear();
             self.nonempty.clear();
             self.pair_memo.clear();
+            self.frozen = None;
+            self.probes_in_version = 0;
             self.graph = Some(version);
         }
     }
@@ -395,50 +436,76 @@ impl DemandEvaluator {
     /// reached in an accepting automaton state, stopping early per `stop`.
     /// Only [`BfsStop::Exhaust`] results are complete images fit for
     /// memoization as such.
+    ///
+    /// Adjacency comes from the frozen CSR snapshot once the graph
+    /// version has seen a second BFS (sorted neighbor slices — two array
+    /// reads per step; the first run reads the mutable index so
+    /// fire-probe-fire chase loops never rebuild snapshots). The visited
+    /// and accept sets are dense bitsets over `(node, state)` and
+    /// `node`, taken out of `self` for the duration of the run (guard
+    /// checks re-borrow `self` mutably) and restored afterwards for
+    /// reuse.
     fn bfs(&mut self, graph: &Graph, dir: Dir, src: NodeId, stop: BfsStop) -> Vec<NodeId> {
         let auto = match dir {
             Dir::Fwd => Arc::clone(&self.fwd),
             Dir::Bwd => Arc::clone(&self.bwd),
         };
+        self.probes_in_version += 1;
+        if self.frozen.is_none() && self.probes_in_version >= 2 {
+            self.frozen = Some(graph.freeze());
+        }
+        let frozen = self.frozen.clone();
         self.stats.bfs_runs += 1;
+        let states = auto.trans.len();
+        let mut visited = std::mem::take(&mut self.visited);
+        let mut out_seen = std::mem::take(&mut self.out_seen);
+        let mut queue = std::mem::take(&mut self.queue);
+        visited.reset();
+        out_seen.reset();
+        queue.clear();
         let mut out: Vec<NodeId> = Vec::new();
-        let mut out_seen: FxHashSet<NodeId> = FxHashSet::default();
-        let mut visited: FxHashSet<u64> = FxHashSet::default();
-        // FIFO order matters for the early exits: a breadth-first frontier
-        // reaches a target at graph distance d before touching anything at
-        // distance d+1, so `FirstAccept`/`Node` probes stay local.
-        let mut queue: std::collections::VecDeque<(NodeId, State)> =
-            std::collections::VecDeque::new();
+        let idx = |node: NodeId, q: State| node as usize * states + q as usize;
         for &q in &auto.start {
-            if visited.insert(pack(src, q)) {
+            if visited.insert(idx(src, q)) {
                 queue.push_back((src, q));
             }
         }
-        while let Some((u, q)) = queue.pop_front() {
+        // FIFO order matters for the early exits: a breadth-first frontier
+        // reaches a target at graph distance d before touching anything at
+        // distance d+1, so `FirstAccept`/`Node` probes stay local.
+        'run: while let Some((u, q)) = queue.pop_front() {
             self.stats.visited += 1;
-            if auto.accept[q as usize] && out_seen.insert(u) {
+            if auto.accept[q as usize] && out_seen.insert(u as usize) {
                 out.push(u);
                 match stop {
-                    BfsStop::FirstAccept => return out,
-                    BfsStop::Node(t) if u == t => return out,
+                    BfsStop::FirstAccept => break 'run,
+                    BfsStop::Node(t) if u == t => break 'run,
                     _ => {}
                 }
             }
             for (action, targets) in &auto.trans[q as usize] {
                 match *action {
                     Action::Fwd(a) => {
-                        for &v in graph.successors(u, a) {
+                        let succ = match &frozen {
+                            Some(f) => f.successors(u, a),
+                            None => graph.successors(u, a),
+                        };
+                        for &v in succ {
                             for &q2 in targets {
-                                if visited.insert(pack(v, q2)) {
+                                if visited.insert(idx(v, q2)) {
                                     queue.push_back((v, q2));
                                 }
                             }
                         }
                     }
                     Action::Bwd(a) => {
-                        for &v in graph.predecessors(u, a) {
+                        let pred = match &frozen {
+                            Some(f) => f.predecessors(u, a),
+                            None => graph.predecessors(u, a),
+                        };
+                        for &v in pred {
                             for &q2 in targets {
-                                if visited.insert(pack(v, q2)) {
+                                if visited.insert(idx(v, q2)) {
                                     queue.push_back((v, q2));
                                 }
                             }
@@ -447,7 +514,7 @@ impl DemandEvaluator {
                     Action::Guard(gi) => {
                         if self.guard_holds(graph, &auto.guards[gi as usize], u) {
                             for &q2 in targets {
-                                if visited.insert(pack(u, q2)) {
+                                if visited.insert(idx(u, q2)) {
                                     queue.push_back((u, q2));
                                 }
                             }
@@ -456,6 +523,9 @@ impl DemandEvaluator {
                 }
             }
         }
+        self.visited = visited;
+        self.out_seen = out_seen;
+        self.queue = queue;
         out
     }
 

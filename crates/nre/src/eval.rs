@@ -1,31 +1,127 @@
 //! Evaluation of NREs over graphs: `⟦r⟧_G ⊆ V × V`.
 //!
-//! Bottom-up relational evaluation. Composition is a hash join on the
-//! middle node; Kleene star is a per-source BFS over the closure of the
-//! inner relation, which keeps the worst case at `O(|V|·(|V|+|R|))` instead
-//! of cubic matrix iteration.
+//! Bottom-up relational evaluation. Composition joins on the middle node
+//! through [`BinRel`]'s flat (arena-indexed) adjacency; Kleene star is a
+//! per-source BFS over the closure of the inner relation with a dense
+//! bitset visited set, which keeps the worst case at
+//! `O(|V|·(|V|+|R|))` instead of cubic matrix iteration.
 
 use crate::ast::Nre;
-use gdx_common::{FxHashMap, FxHashSet, Symbol};
+use gdx_common::{FxHashMap, FxHashSet, ScratchBits, Symbol};
 use gdx_graph::{Graph, NodeId};
 use gdx_runtime::Runtime;
 
-/// A binary relation over graph nodes with a forward adjacency index.
+/// Flat, arena-backed adjacency: every key's neighbor block lives in one
+/// shared backing array, addressed *directly* by the dense `NodeId` — no
+/// hashing, no per-key heap `Vec`. A lookup is one slot read plus one
+/// slice into the arena; an append is amortized O(1) (blocks relocate to
+/// the arena end with doubled capacity when full, and a block already at
+/// the end grows in place — the common case for bulk per-key runs like
+/// the star closure's per-source BFS output).
+///
+/// Neighbor order within a block is **insertion order**: the evaluation
+/// row order — and through it the chase's firing order and fresh-null
+/// names — depends on image enumeration order, so the flat layout must
+/// reproduce exactly what the old hash-map-of-`Vec`s produced.
+#[derive(Debug, Clone, Default)]
+struct AdjList {
+    slots: Vec<Slot>,
+    arena: Vec<NodeId>,
+}
+
+/// One key's block descriptor.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+impl AdjList {
+    fn with_capacity(keys: usize, vals: usize) -> AdjList {
+        AdjList {
+            slots: Vec::with_capacity(keys),
+            arena: Vec::with_capacity(vals),
+        }
+    }
+
+    /// Appends `val` to `key`'s block (no dedup — [`BinRel::insert`]
+    /// dedups via the packed pair set before calling this).
+    fn push(&mut self, key: NodeId, val: NodeId) {
+        let k = key as usize;
+        if k >= self.slots.len() {
+            self.slots.resize(k + 1, Slot::default());
+        }
+        let slot = self.slots[k];
+        if slot.len == slot.cap {
+            let new_cap = if slot.cap == 0 { 2 } else { slot.cap * 2 };
+            if u64::from(slot.start) + u64::from(slot.cap) == self.arena.len() as u64 {
+                // Block ends the arena: grow in place.
+                self.arena.resize(slot.start as usize + new_cap as usize, 0);
+            } else {
+                let new_start = u32::try_from(self.arena.len()).expect("arena overflow");
+                let s = slot.start as usize;
+                self.arena.extend_from_within(s..s + slot.len as usize);
+                self.arena.resize(new_start as usize + new_cap as usize, 0);
+                self.slots[k].start = new_start;
+            }
+            self.slots[k].cap = new_cap;
+        }
+        let slot = self.slots[k];
+        self.arena[(slot.start + slot.len) as usize] = val;
+        self.slots[k].len += 1;
+    }
+
+    #[inline]
+    fn slice(&self, key: NodeId) -> &[NodeId] {
+        match self.slots.get(key as usize) {
+            Some(s) => &self.arena[s.start as usize..(s.start + s.len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Keys with a non-empty block, ascending.
+    fn keys(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.len > 0)
+            .map(|(i, _)| i as NodeId)
+    }
+}
+
+/// A binary relation over graph nodes with flat forward/backward
+/// adjacency.
 ///
 /// Insertions are deduplicated and *logged*: [`BinRel::mark`] returns a
 /// watermark into the insertion log, and [`BinRel::pairs_since`] returns
 /// exactly the pairs added after a watermark — the delta protocol used by
 /// the incremental evaluator and the semi-naive join.
 ///
-/// The dedup set stores each pair packed into one `u64`
-/// (`src << 32 | dst`): hashing a single integer instead of a tuple shaves
-/// cost off every insert in the innermost chase loops.
+/// The data plane is cache-conscious: adjacency lives in two `AdjList`
+/// arenas indexed directly by dense node id (image/preimage are two array
+/// reads — no hash, no per-key `Vec`), and the only hash structure left
+/// is the membership index of pairs packed into single `u64`s
+/// (`src << 32 | dst`). That index is maintained **lazily**: the bulk
+/// constructors of the materializing evaluator (star closure,
+/// composition) prove uniqueness structurally — a per-source/per-group
+/// bitset — and append hash-free via `push_new`; the pair index is then
+/// *sealed* (built in one pass over the log) the first time something
+/// actually needs membership — an [`BinRel::insert`], or the public
+/// constructors before handing the relation out. [`BinRel::contains`]
+/// stays exact on an unsealed relation by scanning the unhashed log
+/// tail. Insertion order is preserved everywhere it is observable — the
+/// log, and each node's image/preimage slice — because row order, chase
+/// firing order and fresh-null names all derive from it.
 #[derive(Debug, Clone, Default)]
 pub struct BinRel {
     pairs: FxHashSet<u64>,
+    /// Log entries `[..hashed]` are reflected in `pairs`; the tail was
+    /// appended by `push_new` and awaits `seal_pairs`.
+    hashed: usize,
     log: Vec<(NodeId, NodeId)>,
-    fwd: FxHashMap<NodeId, Vec<NodeId>>,
-    rev: FxHashMap<NodeId, Vec<NodeId>>,
+    fwd: AdjList,
+    rev: AdjList,
 }
 
 /// The packed hash key of a pair.
@@ -40,36 +136,62 @@ impl BinRel {
         BinRel::default()
     }
 
-    /// An empty relation with pre-sized pair set/log and adjacency maps —
-    /// for callers that know roughly how many pairs and distinct
+    /// An empty relation with pre-sized pair set/log and adjacency
+    /// arenas — for callers that know roughly how many pairs and distinct
     /// endpoints are coming, e.g. label relations sized from
     /// [`Graph::label_count`](gdx_graph::Graph) with endpoints bounded by
-    /// the node count (the maps hold one entry per distinct endpoint, not
-    /// per pair).
+    /// the node count (the slot tables hold one entry per endpoint, the
+    /// arenas one per pair).
     pub fn with_capacity(pairs: usize, endpoints: usize) -> BinRel {
         BinRel {
             pairs: FxHashSet::with_capacity_and_hasher(pairs, Default::default()),
+            hashed: 0,
             log: Vec::with_capacity(pairs),
-            fwd: FxHashMap::with_capacity_and_hasher(endpoints, Default::default()),
-            rev: FxHashMap::with_capacity_and_hasher(endpoints, Default::default()),
+            fwd: AdjList::with_capacity(endpoints, pairs),
+            rev: AdjList::with_capacity(endpoints, pairs),
         }
     }
 
-    /// Inserts a pair; returns `true` when new.
+    /// Appends a pair the caller has *proved* absent (e.g. via a BFS
+    /// visited bitset) — log, arenas, no hash. The pair index picks the
+    /// entry up at the next [`BinRel::seal_pairs`].
+    fn push_new(&mut self, u: NodeId, v: NodeId) {
+        self.log.push((u, v));
+        self.fwd.push(u, v);
+        self.rev.push(v, u);
+    }
+
+    /// Brings the packed pair index up to date with the log (idempotent,
+    /// O(unsealed tail)).
+    fn seal_pairs(&mut self) {
+        for &(u, v) in &self.log[self.hashed..] {
+            self.pairs.insert(pack(u, v));
+        }
+        self.hashed = self.log.len();
+    }
+
+    /// Inserts a pair; returns `true` when new. Seals the pair index
+    /// first when bulk constructors left it behind the log.
     pub fn insert(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.hashed < self.log.len() {
+            self.seal_pairs();
+        }
         if self.pairs.insert(pack(u, v)) {
             self.log.push((u, v));
-            self.fwd.entry(u).or_default().push(v);
-            self.rev.entry(v).or_default().push(u);
+            self.fwd.push(u, v);
+            self.rev.push(v, u);
+            self.hashed = self.log.len();
             true
         } else {
             false
         }
     }
 
-    /// Membership test.
+    /// Membership test: one probe of the packed pair index, plus a scan
+    /// of the unsealed log tail (empty on every relation the public
+    /// constructors hand out).
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
-        self.pairs.contains(&pack(u, v))
+        self.pairs.contains(&pack(u, v)) || self.log[self.hashed..].contains(&(u, v))
     }
 
     /// All pairs, in insertion order.
@@ -87,47 +209,66 @@ impl BinRel {
         &self.log[mark..]
     }
 
-    /// Successors of `u` in the relation.
+    /// Successors of `u` in the relation, in insertion order.
     pub fn image(&self, u: NodeId) -> &[NodeId] {
-        self.fwd.get(&u).map_or(&[], Vec::as_slice)
+        self.fwd.slice(u)
     }
 
-    /// Predecessors of `v` in the relation.
+    /// Predecessors of `v` in the relation, in insertion order.
     pub fn preimage(&self, v: NodeId) -> &[NodeId] {
-        self.rev.get(&v).map_or(&[], Vec::as_slice)
+        self.rev.slice(v)
     }
 
-    /// Number of pairs.
+    /// Number of pairs (the log is duplicate-free by construction).
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.log.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.log.is_empty()
     }
 
-    /// The set of first components.
+    /// The set of first components, in ascending node-id order.
     pub fn domain(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.fwd.keys().copied()
+        self.fwd.keys()
     }
 
-    fn from_pairs(
+    /// The set of second components, in ascending node-id order — with
+    /// [`BinRel::domain`], the sorted unary projections that candidate
+    /// pruning intersects by galloping merge.
+    pub fn codomain(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.rev.keys()
+    }
+
+    /// Builds a relation from pairs the caller guarantees distinct (an
+    /// edge log filtered to one label, a node id range) — hash-free.
+    fn from_unique_pairs(
         pairs_hint: usize,
         endpoints_hint: usize,
         pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
     ) -> BinRel {
         let mut r = BinRel::with_capacity(pairs_hint, endpoints_hint);
         for (u, v) in pairs {
-            r.insert(u, v);
+            r.push_new(u, v);
         }
         r
     }
 
+    /// Appends every pair of `part` — callers guarantee disjointness
+    /// (merging per-source star chunks, per-group composition chunks).
+    fn append_disjoint(&mut self, part: &BinRel) {
+        for (u, v) in part.iter() {
+            self.push_new(u, v);
+        }
+    }
+
     /// Relation composition `self ; other`.
     pub fn compose(&self, other: &BinRel) -> BinRel {
+        let keys: Vec<NodeId> = self.domain().collect();
         let mut out = BinRel::new();
-        compose_into(&self.log, other, &mut out);
+        compose_keys(&keys, self, other, &mut out);
+        out.seal_pairs();
         out
     }
 
@@ -136,18 +277,28 @@ impl BinRel {
         let mut out = BinRel::new();
         let sources: Vec<NodeId> = graph.node_ids().collect();
         star_into(self, &sources, &mut out);
+        out.seal_pairs();
         out
     }
 }
 
-/// Composition restricted to the given outer pairs, appended to `out`.
+/// Composition restricted to the given source keys, appended to `out`.
 /// Shared by [`BinRel::compose`] and the chunked [`compose_rt`] so the two
 /// paths cannot drift apart (the insertion-log order is part of the delta
-/// protocol's correctness).
-fn compose_into(outer: &[(NodeId, NodeId)], b: &BinRel, out: &mut BinRel) {
-    for &(u, m) in outer {
-        for &v in b.image(m) {
-            out.insert(u, v);
+/// protocol's correctness). Iterating *grouped by source* is what makes
+/// the construction hash-free: within one source, a dense bitset dedups
+/// the candidate targets; across sources (and so across worker chunks)
+/// pairs cannot collide at all.
+fn compose_keys(keys: &[NodeId], a: &BinRel, b: &BinRel, out: &mut BinRel) {
+    let mut seen = ScratchBits::new();
+    for &u in keys {
+        seen.reset();
+        for &m in a.image(u) {
+            for &v in b.image(m) {
+                if seen.insert(v as usize) {
+                    out.push_new(u, v);
+                }
+            }
         }
     }
 }
@@ -155,17 +306,25 @@ fn compose_into(outer: &[(NodeId, NodeId)], b: &BinRel, out: &mut BinRel) {
 /// Star closure restricted to the given BFS sources, appended to `out`.
 /// Shared by [`BinRel::star`] and the chunked [`star_rt`] — one traversal
 /// definition, so log order is identical at any chunking.
+///
+/// The visited set is a dense bitset over node ids, reset (in time
+/// proportional to the previous source's reach) rather than reallocated
+/// between sources: the closure loop runs once per node of the graph, so
+/// per-source hash-set churn used to dominate its cost.
 fn star_into(inner: &BinRel, sources: &[NodeId], out: &mut BinRel) {
+    let mut seen = ScratchBits::new();
+    let mut frontier: Vec<NodeId> = Vec::new();
     for &src in sources {
         // DFS-order expansion from src over the relation's adjacency.
-        let mut frontier = vec![src];
-        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
-        seen.insert(src);
-        out.insert(src, src);
+        seen.reset();
+        frontier.clear();
+        frontier.push(src);
+        seen.insert(src as usize);
+        out.push_new(src, src);
         while let Some(u) = frontier.pop() {
             for &v in inner.image(u) {
-                if seen.insert(v) {
-                    out.insert(src, v);
+                if seen.insert(v as usize) {
+                    out.push_new(src, v);
                     frontier.push(v);
                 }
             }
@@ -197,74 +356,94 @@ const PAR_MIN_PAIRS: usize = 1024;
 
 /// [`eval`] with an explicit [`Runtime`]: the expensive constructors —
 /// Kleene-star closures (independent per-source BFS) and compositions
-/// (independent per-outer-pair probes) — partition their work across the
-/// runtime's workers. Per-chunk partial relations are merged **in chunk
-/// order**, so the result (including the insertion log driving
+/// (independent per-source candidate scans) — partition their work across
+/// the runtime's workers. Partitions are keyed by source node, so chunk
+/// outputs are pairwise disjoint and merge by plain concatenation **in
+/// chunk order** — the result (including the insertion log driving
 /// [`BinRel::pairs_since`] deltas) is byte-identical to the sequential
-/// evaluation at any worker count.
+/// evaluation at any worker count. The returned relation is sealed; the
+/// intermediate subexpression relations live and die inside this call
+/// without ever paying for a pair index.
 pub fn eval_rt(graph: &Graph, r: &Nre, rt: &Runtime) -> BinRel {
+    let mut rel = eval_unsealed(graph, r, rt);
+    rel.seal_pairs();
+    rel
+}
+
+/// The recursive evaluation core; results may have an unsealed pair
+/// index (exact for everything but O(1) `contains`, which the pipeline
+/// itself never calls).
+fn eval_unsealed(graph: &Graph, r: &Nre, rt: &Runtime) -> BinRel {
     match r {
-        Nre::Epsilon => BinRel::from_pairs(
+        Nre::Epsilon => BinRel::from_unique_pairs(
             graph.node_count(),
             graph.node_count(),
             graph.node_ids().map(|v| (v, v)),
         ),
-        Nre::Label(a) => BinRel::from_pairs(
+        Nre::Label(a) => BinRel::from_unique_pairs(
             graph.label_count(*a),
             graph.label_count(*a).min(graph.node_count()),
             graph.label_pairs(*a),
         ),
-        Nre::Inverse(a) => BinRel::from_pairs(
+        Nre::Inverse(a) => BinRel::from_unique_pairs(
             graph.label_count(*a),
             graph.label_count(*a).min(graph.node_count()),
             graph.label_pairs(*a).map(|(u, v)| (v, u)),
         ),
         Nre::Union(x, y) => {
-            let mut rel = eval_rt(graph, x, rt);
-            for (u, v) in eval_rt(graph, y, rt).iter() {
+            // `insert` needs membership, so the union target seals once.
+            let mut rel = eval_unsealed(graph, x, rt);
+            for (u, v) in eval_unsealed(graph, y, rt).iter() {
                 rel.insert(u, v);
             }
             rel
         }
-        Nre::Concat(x, y) => compose_rt(&eval_rt(graph, x, rt), &eval_rt(graph, y, rt), rt),
-        Nre::Star(inner) => star_rt(&eval_rt(graph, inner, rt), graph, rt),
+        Nre::Concat(x, y) => compose_rt(
+            &eval_unsealed(graph, x, rt),
+            &eval_unsealed(graph, y, rt),
+            rt,
+        ),
+        Nre::Star(inner) => star_rt(&eval_unsealed(graph, inner, rt), graph, rt),
         Nre::Test(inner) => {
-            let rel = eval_rt(graph, inner, rt);
+            let rel = eval_unsealed(graph, inner, rt);
             let hint = rel.len().min(graph.node_count());
-            BinRel::from_pairs(hint, hint, rel.domain().map(|u| (u, u)))
+            BinRel::from_unique_pairs(hint, hint, rel.domain().map(|u| (u, u)))
         }
     }
 }
 
-/// Merges per-chunk partial relations in chunk order. Re-inserting pair
-/// by pair keeps global first-occurrence dedup — the merged insertion log
-/// equals the one the sequential loop would have produced.
-fn merge_chunks(parts: Vec<BinRel>) -> BinRel {
+/// Concatenates per-chunk partial relations in chunk order. Chunks are
+/// keyed by disjoint source-node ranges, so no dedup is needed and the
+/// merged insertion log equals the one the sequential loop would have
+/// produced.
+fn merge_disjoint_chunks(parts: Vec<BinRel>) -> BinRel {
     let mut it = parts.into_iter();
     let Some(mut acc) = it.next() else {
         return BinRel::new();
     };
     for part in it {
-        for (u, v) in part.iter() {
-            acc.insert(u, v);
-        }
+        acc.append_disjoint(&part);
     }
     acc
 }
 
-/// `a ; b` with the outer pair scan partitioned into chunks — across
-/// workers when the runtime has them, but chunked even sequentially:
-/// deduplicating candidates against small per-chunk sets and merging once
-/// is several times faster than probing one giant pair set per candidate
-/// (hierarchical dedup), independent of thread count.
+/// `a ; b`, the candidate scan grouped by source node ([`compose_keys`])
+/// and partitioned across workers when the expected candidate volume
+/// clears the granularity threshold. Grouping by source is what keeps
+/// the whole pipeline hash-free: per-source bitsets dedup within a
+/// chunk, and cross-chunk duplicates cannot exist.
 fn compose_rt(a: &BinRel, b: &BinRel, rt: &Runtime) -> BinRel {
-    let outer = a.pairs_since(0);
-    if outer.len() < PAR_MIN_PAIRS * 2 {
-        return a.compose(b);
-    }
-    merge_chunks(rt.chunked(outer, PAR_MIN_PAIRS, |_, chunk| {
+    let keys: Vec<NodeId> = a.domain().collect();
+    if !rt.is_parallel() || a.len() < PAR_MIN_PAIRS * 2 {
         let mut out = BinRel::new();
-        compose_into(chunk, b, &mut out);
+        compose_keys(&keys, a, b, &mut out);
+        return out;
+    }
+    // Size chunks so each carries roughly PAR_MIN_PAIRS outer pairs.
+    let min_keys = (keys.len() * PAR_MIN_PAIRS / a.len().max(1)).max(16);
+    merge_disjoint_chunks(rt.par_chunks(&keys, min_keys, |_, chunk| {
+        let mut out = BinRel::new();
+        compose_keys(chunk, a, b, &mut out);
         out
     }))
 }
@@ -273,11 +452,13 @@ fn compose_rt(a: &BinRel, b: &BinRel, rt: &Runtime) -> BinRel {
 /// across workers. Sources never collide (the closure's pairs are keyed
 /// by source), so chunk outputs are disjoint and the merge is exact.
 fn star_rt(inner: &BinRel, graph: &Graph, rt: &Runtime) -> BinRel {
-    if graph.node_count() < PAR_MIN_SOURCES * 2 {
-        return inner.star(graph);
-    }
     let sources: Vec<NodeId> = graph.node_ids().collect();
-    merge_chunks(rt.chunked(&sources, PAR_MIN_SOURCES, |_, chunk| {
+    if !rt.is_parallel() || graph.node_count() < PAR_MIN_SOURCES * 2 {
+        let mut out = BinRel::new();
+        star_into(inner, &sources, &mut out);
+        return out;
+    }
+    merge_disjoint_chunks(rt.par_chunks(&sources, PAR_MIN_SOURCES, |_, chunk| {
         let mut out = BinRel::new();
         star_into(inner, chunk, &mut out);
         out

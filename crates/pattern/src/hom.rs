@@ -11,7 +11,7 @@
 //! on chase-produced patterns (few nulls, many constants).
 
 use crate::pattern::{GraphPattern, PNodeId};
-use gdx_common::{FxHashMap, FxHashSet};
+use gdx_common::{gallop, FxHashMap};
 use gdx_graph::{Graph, NodeId};
 use gdx_nre::eval::EvalCache;
 use gdx_nre::BinRel;
@@ -39,35 +39,42 @@ pub fn find_pattern_homomorphism(
     }
 
     // Candidate sets for nulls: intersect unary projections of incident
-    // edge relations.
-    let mut candidates: FxHashMap<PNodeId, FxHashSet<NodeId>> = FxHashMap::default();
+    // edge relations. Projections come out sorted ascending (the flat
+    // `BinRel` keys its adjacency arenas by dense node id), so the
+    // intersection is a galloping merge over sorted slices instead of
+    // hash-set intersection.
+    let mut candidates: FxHashMap<PNodeId, Vec<NodeId>> = FxHashMap::default();
     for id in pattern.node_ids() {
         if pattern.node(id).is_const() {
             continue;
         }
-        let mut cand: Option<FxHashSet<NodeId>> = None;
+        let mut cand: Option<Vec<NodeId>> = None;
         for (ei, (s, _, d)) in pattern.edges().iter().enumerate() {
-            let filter: Option<FxHashSet<NodeId>> = if *s == id && *d == id {
-                Some(
-                    rels[ei]
-                        .iter()
-                        .filter(|(u, v)| u == v)
-                        .map(|(u, _)| u)
-                        .collect(),
-                )
+            let filter: Option<Vec<NodeId>> = if *s == id && *d == id {
+                let mut diag: Vec<NodeId> = rels[ei]
+                    .iter()
+                    .filter(|(u, v)| u == v)
+                    .map(|(u, _)| u)
+                    .collect();
+                diag.sort_unstable();
+                Some(diag)
             } else if *s == id {
                 Some(rels[ei].domain().collect())
             } else if *d == id {
-                Some(rels[ei].iter().map(|(_, v)| v).collect())
+                Some(rels[ei].codomain().collect())
             } else {
                 None
             };
             if let Some(f) = filter {
                 cand = Some(match cand {
                     None => f,
-                    Some(c) => c.intersection(&f).copied().collect(),
+                    Some(c) => {
+                        let mut out = Vec::new();
+                        gallop::intersect_sorted(&c, &f, &mut out);
+                        out
+                    }
                 });
-                if cand.as_ref().is_some_and(FxHashSet::is_empty) {
+                if cand.as_ref().is_some_and(Vec::is_empty) {
                     return None;
                 }
             }
@@ -109,7 +116,7 @@ fn search(
     rels: &[BinRel],
     nulls: &[PNodeId],
     depth: usize,
-    candidates: &FxHashMap<PNodeId, FxHashSet<NodeId>>,
+    candidates: &FxHashMap<PNodeId, Vec<NodeId>>,
     assign: &mut FxHashMap<PNodeId, NodeId>,
 ) -> bool {
     if depth == nulls.len() {

@@ -99,7 +99,9 @@ fn resolve_epsilon_edges(pattern: &GraphPattern) -> Result<GraphPattern> {
 /// distinct endpoints).
 pub fn instantiate_shortest(pattern: &GraphPattern) -> Result<Graph> {
     let pattern = resolve_epsilon_edges(pattern)?;
-    let mut g = Graph::new();
+    // Witness paths may add a few nulls beyond the pattern's nodes; the
+    // pattern sizes are the right ballpark for presizing either way.
+    let mut g = Graph::with_capacity(pattern.node_count(), pattern.edge_count());
     let mut node_map: FxHashMap<PNodeId, NodeId> = FxHashMap::default();
     for id in pattern.node_ids() {
         node_map.insert(id, g.add_node(pattern.node(id)));
@@ -203,7 +205,7 @@ impl Iterator for InstantiationFamily {
         if self.done {
             return None;
         }
-        let mut g = Graph::new();
+        let mut g = Graph::with_capacity(self.pattern.node_count(), self.pattern.edge_count());
         let mut node_map: FxHashMap<PNodeId, NodeId> = FxHashMap::default();
         for id in self.pattern.node_ids() {
             node_map.insert(id, g.add_node(self.pattern.node(id)));

@@ -18,11 +18,143 @@ use gdx_nre::{BinRel, Nre};
 use gdx_runtime::Runtime;
 use std::cell::RefCell;
 
-/// Evaluation result: named columns over graph node ids.
+/// A flat, row-major buffer of answer rows — the data-plane half of
+/// [`NodeBindings`], also used as the join's output sink.
+///
+/// All rows live in one `Vec<NodeId>` (`arity` values per row): pushing a
+/// row is `arity` appends to one array instead of a boxed-slice
+/// allocation per row, which matters because the chase materializes
+/// millions of body-match rows per run. The row count is tracked
+/// separately from the data length: a constants-only (Boolean) query has
+/// arity 0 yet one (empty) row when satisfied.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct RowBuf {
+    arity: usize,
+    len: usize,
+    data: Vec<NodeId>,
+}
+
+impl RowBuf {
+    pub(crate) fn new(arity: usize) -> RowBuf {
+        RowBuf {
+            arity,
+            len: 0,
+            data: Vec::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Appends one row, reading each column's value from `binding`.
+    pub(crate) fn push_from(&mut self, vars: &[Symbol], binding: &FxHashMap<Symbol, NodeId>) {
+        debug_assert_eq!(vars.len(), self.arity);
+        self.data.extend(vars.iter().map(|v| binding[v]));
+        self.len += 1;
+    }
+
+    /// Concatenates `other`'s rows (same arity) after this buffer's.
+    pub(crate) fn append(&mut self, other: RowBuf) {
+        debug_assert_eq!(self.arity, other.arity);
+        self.data.extend_from_slice(&other.data);
+        self.len += other.len;
+    }
+
+    pub(crate) fn rows(&self) -> Rows<'_> {
+        Rows {
+            data: &self.data,
+            arity: self.arity,
+            remaining: self.len,
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[NodeId] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Removes duplicate rows, keeping each row's **first** occurrence in
+    /// place — the same visible semantics as the old
+    /// `retain(|r| seen.insert(r))` hash dedup, without one hash probe
+    /// and one boxed clone per row. Sorts an index array (ties broken by
+    /// position, so the run leader *is* the first occurrence), then
+    /// compacts the flat data in original order.
+    pub(crate) fn dedup_preserving_order(&mut self) {
+        if self.len <= 1 {
+            return;
+        }
+        if self.arity == 0 {
+            // Every row is the empty row.
+            self.len = 1;
+            return;
+        }
+        let mut idx: Vec<u32> = (0..self.len as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            self.row(a as usize)
+                .cmp(self.row(b as usize))
+                .then(a.cmp(&b))
+        });
+        let mut keep = vec![false; self.len];
+        let mut i = 0;
+        while i < idx.len() {
+            keep[idx[i] as usize] = true;
+            let mut j = i + 1;
+            while j < idx.len() && self.row(idx[j] as usize) == self.row(idx[i] as usize) {
+                j += 1;
+            }
+            i = j;
+        }
+        let mut write = 0usize;
+        let mut kept = 0usize;
+        for (r, &keep_row) in keep.iter().enumerate() {
+            if keep_row {
+                self.data
+                    .copy_within(r * self.arity..(r + 1) * self.arity, write);
+                write += self.arity;
+                kept += 1;
+            }
+        }
+        self.data.truncate(write);
+        self.len = kept;
+    }
+}
+
+/// Iterator over the rows of a [`NodeBindings`], yielding one
+/// `&[NodeId]` slice per answer (aligned with [`NodeBindings::vars`]).
+#[derive(Debug, Clone)]
+pub struct Rows<'a> {
+    data: &'a [NodeId],
+    arity: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [NodeId];
+
+    fn next(&mut self) -> Option<&'a [NodeId]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (head, tail) = self.data.split_at(self.arity);
+        self.data = tail;
+        Some(head)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+/// Evaluation result: named columns over graph node ids, stored row-major
+/// in one flat array (`vars.len()` ids per answer — no per-row boxing).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeBindings {
     vars: Vec<Symbol>,
-    rows: Vec<Box<[NodeId]>>,
+    rows: RowBuf,
 }
 
 impl NodeBindings {
@@ -31,9 +163,15 @@ impl NodeBindings {
         &self.vars
     }
 
-    /// Rows aligned with [`NodeBindings::vars`].
-    pub fn rows(&self) -> &[Box<[NodeId]>] {
-        &self.rows
+    /// The answer rows, each aligned with [`NodeBindings::vars`].
+    pub fn rows(&self) -> Rows<'_> {
+        self.rows.rows()
+    }
+
+    /// The `i`-th answer row.
+    pub fn row(&self, i: usize) -> &[NodeId] {
+        debug_assert!(i < self.rows.len());
+        self.rows.row(i)
     }
 
     /// Number of answers.
@@ -44,13 +182,12 @@ impl NodeBindings {
     /// True when no answer exists. For a constants-only (Boolean) query,
     /// `is_empty() == false` means *satisfied* (one empty row).
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.rows.len() == 0
     }
 
     /// Rows translated to [`Node`]s via `graph`.
     pub fn node_rows<'a>(&'a self, graph: &'a Graph) -> impl Iterator<Item = Vec<Node>> + 'a {
-        self.rows
-            .iter()
+        self.rows()
             .map(move |r| r.iter().map(|&id| graph.node(id)).collect())
     }
 
@@ -64,10 +201,16 @@ impl NodeBindings {
 
     /// Membership of a full assignment.
     pub fn contains_row(&self, row: &[NodeId]) -> bool {
-        self.rows.iter().any(|r| &**r == row)
+        self.rows().any(|r| r == row)
     }
 
-    pub(crate) fn from_parts(vars: Vec<Symbol>, rows: Vec<Box<[NodeId]>>) -> NodeBindings {
+    pub(crate) fn from_parts(vars: Vec<Symbol>, rows: RowBuf) -> NodeBindings {
+        debug_assert_eq!(rows.arity, vars.len());
+        NodeBindings { vars, rows }
+    }
+
+    pub(crate) fn empty(vars: Vec<Symbol>) -> NodeBindings {
+        let rows = RowBuf::new(vars.len());
         NodeBindings { vars, rows }
     }
 }
@@ -293,10 +436,7 @@ pub(crate) fn planned_eval<C: RelCache>(
     query.validate(None)?;
     let vars = query.variables();
     let Some(slots) = resolve_slots(graph, query) else {
-        return Ok(NodeBindings {
-            vars,
-            rows: Vec::new(),
-        });
+        return Ok(NodeBindings::empty(vars));
     };
     let bound: FxHashSet<Symbol> = seed.keys().copied().filter(|v| vars.contains(v)).collect();
     let mut plan = plan_query(graph, query, &bound, mode);
@@ -348,7 +488,7 @@ pub(crate) fn planned_eval<C: RelCache>(
     ) {
         Some(rows) => rows,
         None => {
-            let mut rows = Vec::new();
+            let mut rows = RowBuf::new(vars.len());
             join_access(
                 graph,
                 &access,
@@ -363,9 +503,8 @@ pub(crate) fn planned_eval<C: RelCache>(
             rows
         }
     };
-    let mut seen: FxHashSet<Box<[NodeId]>> = FxHashSet::default();
-    rows.retain(|r| seen.insert(r.clone()));
-    Ok(NodeBindings { vars, rows })
+    rows.dedup_preserving_order();
+    Ok(NodeBindings::from_parts(vars, rows))
 }
 
 /// Minimum depth-0 candidates before the join outer loop fans out.
@@ -400,7 +539,7 @@ fn parallel_outer_join(
     vars: &[Symbol],
     limit: Option<usize>,
     rt: &Runtime,
-) -> Option<Vec<Box<[NodeId]>>> {
+) -> Option<RowBuf> {
     if limit.is_some() || !rt.is_parallel() || order.is_empty() {
         return None;
     }
@@ -468,7 +607,7 @@ fn parallel_outer_join(
     let chunk_rows = rt.par_chunks(&cands, PAR_OUTER_CHUNK, |_, chunk| {
         let worker_access: Vec<AtomAccess> = mats.iter().map(|r| AtomAccess::Mat(r)).collect();
         let mut b = binding.clone();
-        let mut rows = Vec::new();
+        let mut rows = RowBuf::new(vars.len());
         for cand in chunk {
             match *cand {
                 OuterCand::One(v, id) => {
@@ -507,7 +646,11 @@ fn parallel_outer_join(
         }
         rows
     });
-    Some(chunk_rows.into_iter().flatten().collect())
+    let mut out = RowBuf::new(vars.len());
+    for chunk in chunk_rows {
+        out.append(chunk);
+    }
+    Some(out)
 }
 
 /// Resolves every atom's terms to slots; `None` when a constant is absent
@@ -580,11 +723,11 @@ pub(crate) fn join_access(
     depth: usize,
     binding: &mut FxHashMap<Symbol, NodeId>,
     vars: &[Symbol],
-    rows: &mut Vec<Box<[NodeId]>>,
+    rows: &mut RowBuf,
     limit: Option<usize>,
 ) -> bool {
     if depth == order.len() {
-        rows.push(vars.iter().map(|v| binding[v]).collect());
+        rows.push_from(vars, binding);
         return limit.is_some_and(|l| rows.len() >= l);
     }
     let ai = order[depth];
@@ -844,9 +987,8 @@ mod tests {
         // Demand-eligible shapes (constants, seeds) and materialize-only
         // shapes (all-free) must produce identical answer sets.
         let g = g1();
-        let row_set = |b: &NodeBindings| -> FxHashSet<Vec<NodeId>> {
-            b.rows().iter().map(|r| r.to_vec()).collect()
-        };
+        let row_set =
+            |b: &NodeBindings| -> FxHashSet<Vec<NodeId>> { b.rows().map(|r| r.to_vec()).collect() };
         for (query, seed_var) in [
             ("(\"c1\", f.f, \"c2\")", None),
             ("(x, f, y), (y, h, z)", Some("x")),

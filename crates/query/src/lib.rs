@@ -37,7 +37,7 @@ pub use eval::{
     evaluate, evaluate_exists, evaluate_seeded, evaluate_seeded_exists, evaluate_seeded_mode,
     evaluate_with_cache,
 };
-pub use eval::{evaluate_with_scratch, NodeBindings};
+pub use eval::{evaluate_with_scratch, NodeBindings, Rows};
 pub use plan::PlannerMode;
 pub use prepared::PreparedQuery;
 pub use seminaive::{

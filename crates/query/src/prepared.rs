@@ -281,7 +281,7 @@ mod tests {
     }
 
     fn row_set(b: &NodeBindings) -> FxHashSet<Vec<NodeId>> {
-        b.rows().iter().map(|r| r.to_vec()).collect()
+        b.rows().map(|r| r.to_vec()).collect()
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::cnre::Cnre;
 use crate::eval::{
-    greedy_order, join_access, planned_eval, resolve_slots, AtomAccess, NodeBindings,
+    greedy_order, join_access, planned_eval, resolve_slots, AtomAccess, NodeBindings, RowBuf,
 };
 use crate::plan::PlannerMode;
 use gdx_common::{FxHashMap, FxHashSet, Result, Symbol};
@@ -106,10 +106,10 @@ impl SemiNaiveState {
         // arrives in a later delta window.
         let Some(slots) = resolve_slots(graph, query) else {
             self.marks = new_marks;
-            return Ok(NodeBindings::from_parts(vars, Vec::new()));
+            return Ok(NodeBindings::empty(vars));
         };
 
-        let mut rows: Vec<Box<[NodeId]>> = Vec::new();
+        let mut rows = RowBuf::new(vars.len());
         for i in 0..n {
             let (from, to) = windows[i];
             if from >= to {
@@ -137,7 +137,7 @@ impl SemiNaiveState {
                 let access: Vec<AtomAccess> =
                     term_rels.iter().map(|r| AtomAccess::Mat(r)).collect();
                 let mut binding: FxHashMap<Symbol, NodeId> = FxHashMap::default();
-                let mut shard_rows: Vec<Box<[NodeId]>> = Vec::new();
+                let mut shard_rows = RowBuf::new(vars.len());
                 join_access(
                     graph,
                     &access,
@@ -152,7 +152,7 @@ impl SemiNaiveState {
                 shard_rows
             });
             for shard in chunk_rows {
-                rows.extend(shard);
+                rows.append(shard);
             }
         }
         self.marks = new_marks;
@@ -162,8 +162,7 @@ impl SemiNaiveState {
         // reappear: every term forces at least one pair from a delta
         // window, and a match all of whose pairs predate the window was
         // already reported.
-        let mut seen: FxHashSet<Box<[NodeId]>> = FxHashSet::default();
-        rows.retain(|r| seen.insert(r.clone()));
+        rows.dedup_preserving_order();
         Ok(NodeBindings::from_parts(vars, rows))
     }
 }
@@ -219,7 +218,7 @@ mod tests {
     use gdx_common::FxHashSet;
 
     fn row_set(b: &NodeBindings) -> FxHashSet<Vec<NodeId>> {
-        b.rows().iter().map(|r| r.to_vec()).collect()
+        b.rows().map(|r| r.to_vec()).collect()
     }
 
     fn evaluate(graph: &Graph, query: &Cnre) -> Result<NodeBindings> {

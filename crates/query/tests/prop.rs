@@ -97,7 +97,7 @@ proptest! {
     fn cnre_join_matches_naive(g in arb_graph(), q in arb_query()) {
         let fast = PreparedQuery::new(q.clone()).evaluate(&g).unwrap();
         let mut fast_rows: Vec<Vec<NodeId>> =
-            fast.rows().iter().map(|r| r.to_vec()).collect();
+            fast.rows().map(|r| r.to_vec()).collect();
         fast_rows.sort();
         let slow = naive_eval(&g, &q);
         prop_assert_eq!(fast_rows, slow, "query {}", q);

@@ -43,9 +43,18 @@
 //! Thread-count resolution ([`Threads::resolve`]): an explicit
 //! [`Threads::Fixed`] wins; [`Threads::Auto`] honours the `GDX_THREADS`
 //! environment variable and falls back to
-//! [`std::thread::available_parallelism`]. One worker (or input below the
-//! caller's granularity threshold) short-circuits to an inline sequential
-//! loop — no threads, no locks, no overhead.
+//! [`std::thread::available_parallelism`]. Both are clamped to the
+//! machine's detected parallelism: on a single-core host a requested
+//! 4-worker pool resolves to **one** effective worker, so every `par_*`
+//! call — and the consumers gated on [`Runtime::is_parallel`], like the
+//! chase's speculative head pre-filter and the join's parallel outer
+//! loop — takes the inline sequential path instead of paying thread and
+//! speculation overhead that cannot be bought back (the PR-4 bench
+//! recorded 0.91× on exactly that configuration). One worker (or input
+//! below the caller's granularity threshold) short-circuits to an inline
+//! sequential loop — no threads, no locks, no overhead. Tests that must
+//! exercise real thread interleavings regardless of the host use
+//! [`Runtime::with_workers`], which deliberately skips the clamp.
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
@@ -64,25 +73,34 @@ pub enum Threads {
     /// parallelism.
     #[default]
     Auto,
-    /// Exactly this many workers (0 is clamped to 1).
+    /// This many workers, clamped to `[1, detected parallelism]`.
     Fixed(usize),
 }
 
+/// The machine's detected parallelism (1 when undetectable).
+fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 impl Threads {
-    /// The concrete worker count this configuration denotes right now.
+    /// The concrete *effective* worker count this configuration denotes
+    /// right now: the requested count clamped to the detected
+    /// parallelism. More workers than cores cannot run concurrently —
+    /// they only add scheduling overhead and enable speculation (head
+    /// pre-filters, sharded merges) that a serial machine must then pay
+    /// for without any parallel payoff.
     pub fn resolve(self) -> usize {
-        match self {
+        let requested = match self {
             Threads::Fixed(n) => n.max(1),
             Threads::Auto => std::env::var("GDX_THREADS")
                 .ok()
                 .and_then(|s| s.trim().parse::<usize>().ok())
                 .filter(|&n| n >= 1)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(NonZeroUsize::get)
-                        .unwrap_or(1)
-                }),
-        }
+                .unwrap_or_else(detected_parallelism),
+        };
+        requested.min(detected_parallelism())
     }
 }
 
@@ -116,7 +134,11 @@ impl Runtime {
         Runtime::new(Threads::Auto)
     }
 
-    /// A runtime with exactly `n` workers (0 is clamped to 1).
+    /// A runtime with exactly `n` workers (0 is clamped to 1),
+    /// **ignoring** the detected-parallelism clamp of
+    /// [`Threads::resolve`] — the escape hatch for determinism tests that
+    /// must drive real multi-worker schedules even on a serial host.
+    /// Production configuration goes through [`Threads`].
     pub fn with_workers(n: usize) -> Runtime {
         Runtime { workers: n.max(1) }
     }
@@ -306,12 +328,22 @@ mod tests {
 
     #[test]
     fn threads_resolution() {
-        assert_eq!(Threads::Fixed(3).resolve(), 3);
+        let detected = detected_parallelism();
+        assert_eq!(Threads::Fixed(3).resolve(), 3.min(detected));
         assert_eq!(Threads::Fixed(0).resolve(), 1);
         assert!(Threads::Auto.resolve() >= 1);
+        assert!(
+            Threads::Fixed(usize::MAX).resolve() <= detected,
+            "requests beyond the hardware clamp to effective workers"
+        );
         assert_eq!(Runtime::sequential().workers(), 1);
         assert!(!Runtime::sequential().is_parallel());
         assert_eq!(Runtime::with_workers(0).workers(), 1);
+        assert_eq!(
+            Runtime::with_workers(7).workers(),
+            7,
+            "with_workers skips the clamp for determinism tests"
+        );
     }
 
     #[test]
