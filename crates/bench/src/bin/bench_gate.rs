@@ -1,0 +1,444 @@
+//! Perf-trajectory gate: diffs two `bench_smoke` reports and fails CI
+//! when the current PR regresses a benchmark group.
+//!
+//! Usage: `cargo run --release -p gdx-bench --bin bench_gate -- \
+//!           BENCH_pr5.json BENCH_pr6.json`
+//!
+//! The first argument is the committed baseline report (previous PR),
+//! the second the freshly produced one. Rows are matched per
+//! `(group, size)` key and compared on `median_ns_fast` — the shipping
+//! configuration's median. A row fails when it is **both** more than
+//! 20% slower than the baseline **and** more than 100µs slower in
+//! absolute terms: micro-rows (a few µs) jitter far beyond 20% on
+//! shared CI hardware, and macro-rows can absorb 100µs without a real
+//! regression, so only the conjunction is a signal.
+//!
+//! Reports carry `detected_parallelism`; when the two reports were
+//! produced on differently-shaped hosts the wall-clock columns are not
+//! comparable, so the gate prints a note and exits 0 (skipped), rather
+//! than failing on a hardware change. Rows present only in the current
+//! report are new benchmarks (noted, never failing); rows present only
+//! in the baseline mean coverage was dropped, which fails the gate.
+//!
+//! The parser is a minimal recursive-descent JSON reader for the exact
+//! report schema — the workspace is network-less, so no serde.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Just enough JSON: objects, arrays, strings, numbers.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        // The report writer never emits escapes; reject rather than
+        // silently mis-parse if that ever changes.
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8 in string"))?
+                        .to_owned();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => return Err(self.error("escape sequences unsupported")),
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.error("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("malformed number"))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// One report: `(group, size) -> median_ns_fast`, plus the host shape.
+struct Report {
+    detected_parallelism: u64,
+    rows: BTreeMap<(String, u64), f64>,
+}
+
+fn load_report(label: &str, text: &str) -> Result<Report, String> {
+    let root = parse_json(text).map_err(|e| format!("{label}: {e}"))?;
+    let field = |name: &str| {
+        root.get(name)
+            .ok_or_else(|| format!("{label}: missing top-level field \"{name}\""))
+    };
+    let detected = field("detected_parallelism")?
+        .as_f64()
+        .ok_or_else(|| format!("{label}: detected_parallelism is not a number"))?
+        as u64;
+    let groups = match field("groups")? {
+        Json::Array(items) => items,
+        _ => return Err(format!("{label}: \"groups\" is not an array")),
+    };
+    let mut rows = BTreeMap::new();
+    for (i, row) in groups.iter().enumerate() {
+        let group = row
+            .get("group")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: groups[{i}] has no string \"group\""))?;
+        let size = row
+            .get("size")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{label}: groups[{i}] has no numeric \"size\""))?
+            as u64;
+        let fast = row
+            .get("median_ns_fast")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{label}: groups[{i}] has no numeric \"median_ns_fast\""))?;
+        if rows.insert((group.to_owned(), size), fast).is_some() {
+            return Err(format!("{label}: duplicate row ({group}, {size})"));
+        }
+    }
+    Ok(Report {
+        detected_parallelism: detected,
+        rows,
+    })
+}
+
+/// A row regresses when it is both >20% and >100µs slower.
+const MAX_RATIO: f64 = 1.20;
+const MIN_ABS_DELTA_NS: f64 = 100_000.0;
+
+/// Gate verdict over two loaded reports; pure so it is unit-testable.
+/// Returns `Ok(lines)` on pass (lines are the per-row report) or
+/// `Err(failures)` listing every violated row.
+fn gate(baseline: &Report, current: &Report) -> Result<Vec<String>, Vec<String>> {
+    let mut notes = Vec::new();
+    let mut failures = Vec::new();
+    for ((group, size), &base_ns) in &baseline.rows {
+        let key = (group.clone(), *size);
+        match current.rows.get(&key) {
+            None => failures.push(format!(
+                "{group} (size {size}): dropped from the current report — \
+                 coverage must not shrink"
+            )),
+            Some(&cur_ns) => {
+                let ratio = cur_ns / base_ns.max(1.0);
+                let delta = cur_ns - base_ns;
+                let verdict = if ratio > MAX_RATIO && delta > MIN_ABS_DELTA_NS {
+                    failures.push(format!(
+                        "{group} (size {size}): {base_ns:.0} ns -> {cur_ns:.0} ns \
+                         ({ratio:.2}x, +{delta:.0} ns) exceeds the 20%/100µs budget"
+                    ));
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                notes.push(format!(
+                    "  {verdict:<4} {group:<34} size {size:>5}: \
+                     {base_ns:>12.0} ns -> {cur_ns:>12.0} ns ({ratio:.2}x)"
+                ));
+            }
+        }
+    }
+    for (group, size) in current.rows.keys() {
+        if !baseline.rows.contains_key(&(group.clone(), *size)) {
+            notes.push(format!(
+                "  new  {group:<34} size {size:>5}: no baseline, not gated"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(notes)
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() -> ExitCode {
+    // Gate numbers are only meaningful for the shipping profile; refuse
+    // to certify a debug build.
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "bench_gate must run with --release: debug-profile timings do \
+             not gate the shipping configuration"
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut args = std::env::args().skip(1);
+    let (Some(base_path), Some(cur_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    };
+    let read =
+        |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
+    let baseline = match load_report(&base_path, &read(&base_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match load_report(&cur_path, &read(&cur_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.detected_parallelism != current.detected_parallelism {
+        println!(
+            "bench_gate: skipped (hardware mismatch: baseline ran at \
+             detected_parallelism={}, current at {}; wall-clock columns \
+             are not comparable)",
+            baseline.detected_parallelism, current.detected_parallelism
+        );
+        return ExitCode::SUCCESS;
+    }
+    match gate(&baseline, &current) {
+        Ok(notes) => {
+            println!("bench_gate: {base_path} -> {cur_path}");
+            for n in notes {
+                println!("{n}");
+            }
+            println!("bench_gate: pass");
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            println!("bench_gate: {base_path} -> {cur_path}");
+            for f in &failures {
+                println!("  FAIL {f}");
+            }
+            println!(
+                "bench_gate: {} row(s) regressed beyond 20% and 100µs",
+                failures.len()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(parallelism: u64, rows: &[(&str, u64, f64)]) -> Report {
+        Report {
+            detected_parallelism: parallelism,
+            rows: rows
+                .iter()
+                .map(|(g, s, ns)| ((g.to_string(), *s), *ns))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_real_report_shape() {
+        let text = r#"{
+  "pr": 6,
+  "detected_parallelism": 1,
+  "groups": [
+    {"group": "chase_scaling/demand_driven", "size": 100, "median_ns_baseline": 5000, "median_ns_fast": 1000, "speedup": 5.00},
+    {"group": "candidate_family/fork_vs_clone", "size": 500, "median_ns_baseline": 90000, "median_ns_fast": 700, "speedup": 128.57}
+  ]
+}"#;
+        let r = load_report("test", text).unwrap();
+        assert_eq!(r.detected_parallelism, 1);
+        assert_eq!(
+            r.rows[&("chase_scaling/demand_driven".to_string(), 100)],
+            1000.0
+        );
+        assert_eq!(
+            r.rows[&("candidate_family/fork_vs_clone".to_string(), 500)],
+            700.0
+        );
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        // 25% slower but only 25 ns absolute: micro-row jitter, allowed.
+        let base = report(1, &[("g/a", 100, 100.0)]);
+        let cur = report(1, &[("g/a", 100, 125.0)]);
+        assert!(gate(&base, &cur).is_ok());
+        // 150µs slower but only 1.15x: macro-row drift, allowed.
+        let base = report(1, &[("g/b", 500, 1_000_000.0)]);
+        let cur = report(1, &[("g/b", 500, 1_150_000.0)]);
+        assert!(gate(&base, &cur).is_ok());
+    }
+
+    #[test]
+    fn conjunction_of_ratio_and_abs_delta_fails() {
+        let base = report(1, &[("g/a", 100, 1_000_000.0)]);
+        let cur = report(1, &[("g/a", 100, 1_300_000.0)]);
+        let failures = gate(&base, &cur).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("g/a"), "{failures:?}");
+    }
+
+    #[test]
+    fn dropped_coverage_fails() {
+        let base = report(1, &[("g/a", 100, 1000.0), ("g/b", 100, 1000.0)]);
+        let cur = report(1, &[("g/a", 100, 1000.0)]);
+        let failures = gate(&base, &cur).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("dropped"), "{failures:?}");
+    }
+
+    #[test]
+    fn new_rows_are_not_gated() {
+        let base = report(1, &[("g/a", 100, 1000.0)]);
+        let cur = report(1, &[("g/a", 100, 1000.0), ("candidate_family/x", 500, 9e9)]);
+        let notes = gate(&base, &cur).unwrap();
+        assert!(notes.iter().any(|n| n.contains("new")), "{notes:?}");
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(load_report("t", "{").is_err());
+        assert!(load_report("t", r#"{"detected_parallelism": 1}"#).is_err());
+        assert!(load_report(
+            "t",
+            r#"{"detected_parallelism": 1, "groups": [{"size": 1}]}"#
+        )
+        .is_err());
+    }
+}

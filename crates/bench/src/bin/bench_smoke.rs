@@ -6,8 +6,12 @@
 //! 500-flight chase and certain-answer sweep, and (d) the PR-5
 //! `data_plane` contrast: frozen CSR adjacency vs the mutable hash index,
 //! and bitset-visited BFS vs a hash-set-visited reimplementation. Writes
-//! a machine-readable JSON report (`BENCH_pr5.json` by default), so the
-//! perf trajectory is tracked across PRs.
+//! a machine-readable JSON report (`BENCH_pr6.json` by default), so the
+//! perf trajectory is tracked across PRs. PR 6 adds the
+//! `candidate_family` group: per-candidate materialization cost of
+//! copy-on-write forks vs eager `Graph::clone` at 100/300/500 flights,
+//! and a shard-parallel family sweep (K forks sharing one frozen base
+//! CSR) at 1 vs 4 workers.
 //!
 //! The parallel rows measure real wall-clock on whatever hardware runs
 //! the job; the report records `detected_parallelism` so the ratios are
@@ -22,7 +26,7 @@
 use gdx_bench::{paper_flight_graph, PAPER_QUERY};
 use gdx_common::{FxHashMap, FxHashSet, Symbol};
 use gdx_exchange::{ExchangeSession, Options};
-use gdx_graph::Node;
+use gdx_graph::{Graph, Node};
 use gdx_mapping::Setting;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::parse::parse_nre;
@@ -206,7 +210,7 @@ fn ab_samples(
     ratios.sort_by(f64::total_cmp);
     // For even counts the median is the mean of the middle pair (picking
     // `[n/2]` alone would report the max of two samples).
-    fn median_u(sorted: &mut Vec<u128>) -> u128 {
+    fn median_u(sorted: &mut [u128]) -> u128 {
         sorted.sort_unstable();
         let n = sorted.len();
         if n % 2 == 1 {
@@ -497,16 +501,126 @@ fn data_plane_rows(rows: &mut Vec<Row>) {
     });
 }
 
+/// PR-6 group: copy-on-write candidate families.
+///
+/// (a) `candidate_family/fork_vs_clone` — per-candidate materialization
+/// cost of a K-candidate sweep. Baseline: `Graph::clone` per candidate
+/// (the pre-fork eager shape — every adjacency bucket of the base is
+/// copied). Fast: `Graph::fork` per candidate — O(Δ) against the shared
+/// sealed base. Each candidate receives the same small witness-shaped
+/// delta, so the contrast isolates pure copy cost: the fast column
+/// should stay flat across 100/300/500 flights while the baseline
+/// scales with base size.
+///
+/// (b) `candidate_family/shard_sweep` — the paper query evaluated over
+/// K forked shards that all share one frozen base CSR, on 1 vs 4
+/// workers. Reads hit the same `Arc`'d snapshot; only the per-shard
+/// deltas are private, so shards parallelize without copying the base.
+fn candidate_family_rows(rows: &mut Vec<Row>) {
+    const K: usize = 16;
+
+    /// The per-candidate delta: a short private witness path, as
+    /// `InstantiationFamily` materializes per fork.
+    fn grow(g: &mut Graph, i: usize) {
+        let a = g.add_const(&format!("probe{i}a"));
+        let b = g.add_const(&format!("probe{i}b"));
+        let hub = g.add_const("city0");
+        g.add_edge_labelled(hub, "probe", a);
+        g.add_edge_labelled(a, "probe", b);
+        g.add_edge_labelled(b, "probe", hub);
+    }
+
+    for flights in [100usize, 300, 500] {
+        let base = paper_flight_graph(flights);
+        let clone_ns = median_ns(5, || {
+            for i in 0..K {
+                let mut g = base.clone();
+                grow(&mut g, i);
+                std::hint::black_box(g.edge_count());
+            }
+        }) / K as u128;
+        let mut base = base;
+        // First fork seals the base; subsequent forks (and every fork in
+        // the measured window) are O(Δ). Included in the timing, as the
+        // seal is part of what a real family sweep pays exactly once.
+        let fork_ns = median_ns(5, || {
+            for i in 0..K {
+                let mut g = base.fork();
+                grow(&mut g, i);
+                std::hint::black_box(g.edge_count());
+            }
+        }) / K as u128;
+        eprintln!(
+            "  candidate_family/fork_vs_clone size {flights}: clone {clone_ns} ns/candidate, \
+             fork {fork_ns} ns/candidate"
+        );
+        rows.push(Row {
+            group: "candidate_family/fork_vs_clone".to_owned(),
+            size: flights,
+            baseline_ns: clone_ns.max(1),
+            fast_ns: fork_ns.max(1),
+        });
+    }
+
+    // (b) Shard-parallel sweep: K forks of the 500-flight base, each with
+    // a private delta, swept by the paper query. All shards resolve base
+    // reads through the same sealed snapshot and its shared frozen CSR.
+    let mut base = paper_flight_graph(500);
+    let city = base.node_id(Node::cst("city0")).expect("city0 present");
+    let shards: Vec<Graph> = (0..K)
+        .map(|i| {
+            let mut g = base.fork();
+            grow(&mut g, i);
+            // Freeze up front: the first shard to freeze populates the
+            // base's shared CSR slot; the rest reuse it.
+            g.freeze();
+            g
+        })
+        .collect();
+    let query = Cnre::parse(&format!("(x, {PAPER_QUERY}, y)")).expect("static query");
+    let run_shards = |n: usize| {
+        let rt = Runtime::new(Threads::Fixed(n));
+        let t = Instant::now();
+        let total: usize = rt
+            .par_map(&shards, |_, g| {
+                // Per-shard compile: `PreparedQuery` holds worker-local
+                // demand state (not `Sync`), so each shard prepares its
+                // own copy — identical work at 1 and 4 workers.
+                let prepared = PreparedQuery::new(query.clone());
+                let mut cache = EvalCache::new();
+                let mut seed = FxHashMap::default();
+                seed.insert(Symbol::new("x"), city);
+                let b = prepared
+                    .evaluate_seeded_mode(g, &mut cache, &seed, PlannerMode::Auto)
+                    .expect("eval");
+                b.len()
+            })
+            .into_iter()
+            .sum();
+        std::hint::black_box(total);
+        t.elapsed().as_nanos()
+    };
+    let (t1, t4, _) = ab_samples(3, || run_shards(1), || run_shards(4));
+    eprintln!("  candidate_family/shard_sweep size 500: 1w {t1} ns, 4w {t4} ns");
+    rows.push(Row {
+        group: "candidate_family/shard_sweep".to_owned(),
+        size: 500,
+        baseline_ns: t1,
+        fast_ns: t4,
+    });
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr5.json".to_owned());
+        .unwrap_or_else(|| "BENCH_pr6.json".to_owned());
     let mut rows = Vec::new();
     seeded_query_rows(&mut rows);
     certain_probe_rows(&mut rows);
     session_reuse_rows(&mut rows);
     parallel_speedup_rows(&mut rows);
     data_plane_rows(&mut rows);
+    candidate_family_rows(&mut rows);
 
     let detected = Threads::Auto.resolve();
     if detected == 1 {
@@ -518,7 +632,7 @@ fn main() {
         one_worker_parity_guard();
     }
     let mut json =
-        format!("{{\n  \"pr\": 5,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
+        format!("{{\n  \"pr\": 6,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.baseline_ns as f64 / r.fast_ns.max(1) as f64;
         let _ = write!(

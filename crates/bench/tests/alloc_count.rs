@@ -116,3 +116,87 @@ fn paper_query_eval_allocation_budget() {
         "data-plane regression: {count} allocations > 25% of the PR-4 count {PR4_ALLOCATIONS}"
     );
 }
+
+/// Candidate-sweep guard for the PR-6 copy-on-write forks: emitting a
+/// K-candidate family as forks of a shared sealed base must allocate
+/// sublinearly in base size — a small constant per candidate — where the
+/// PR-5 baseline (`Graph::clone` per candidate) allocates one heap block
+/// per adjacency bucket of the base, i.e. thousands per candidate at 500
+/// flights. Each candidate also receives a small private delta, matching
+/// the witness-variation shape of `InstantiationFamily`.
+#[test]
+fn candidate_family_allocation_budget() {
+    use gdx_bench::paper_flight_graph;
+    use gdx_graph::Graph;
+
+    const K: usize = 16;
+
+    /// The per-candidate delta: two fresh nodes and three edges, like a
+    /// short witness path.
+    fn grow(g: &mut Graph, i: usize) {
+        let a = g.add_const(&format!("probe{i}a"));
+        let b = g.add_const(&format!("probe{i}b"));
+        let hub = g.add_const("city0");
+        g.add_edge_labelled(hub, "probe", a);
+        g.add_edge_labelled(a, "probe", b);
+        g.add_edge_labelled(b, "probe", hub);
+    }
+
+    fn sweep_clone(base: &Graph) -> u64 {
+        allocations_during(|| {
+            for i in 0..K {
+                let mut g = base.clone();
+                grow(&mut g, i);
+                std::hint::black_box(g.edge_count());
+            }
+        })
+    }
+
+    fn sweep_fork(base: &mut Graph) -> u64 {
+        allocations_during(|| {
+            for i in 0..K {
+                let mut g = base.fork();
+                grow(&mut g, i);
+                std::hint::black_box(g.edge_count());
+            }
+        })
+    }
+
+    let small = paper_flight_graph(100);
+    let large = paper_flight_graph(500);
+    let clone_small = sweep_clone(&small);
+    let clone_large = sweep_clone(&large);
+    let (mut small, mut large) = (small, large);
+    let fork_small = sweep_fork(&mut small);
+    let fork_large = sweep_fork(&mut large);
+    eprintln!(
+        "candidate sweep (K={K}): clone {clone_small}/{clone_large} allocations \
+         (100/500 flights), fork {fork_small}/{fork_large}"
+    );
+
+    // ≥ 5× fewer allocations than the clone baseline at 500 flights.
+    assert!(
+        fork_large * 5 <= clone_large,
+        "fork sweep allocated {fork_large}, clone baseline {clone_large}: \
+         less than the required 5× saving"
+    );
+    // Per-candidate fork cost is independent of base size: growing the
+    // base 5× must not grow the fork sweep's allocations with it (the
+    // one-off seal is included in both measurements). Clone cost, by
+    // contrast, must visibly scale — that is what makes this guard sharp.
+    assert!(
+        fork_large <= fork_small * 2,
+        "fork sweep scales with base size: {fork_small} → {fork_large}"
+    );
+    assert!(
+        clone_large >= clone_small * 2,
+        "clone baseline did not scale with base size ({clone_small} → \
+         {clone_large}); the guard is no longer measuring what it claims"
+    );
+    // Absolute per-candidate budget: a fork plus a three-edge delta should
+    // stay within a few dozen allocations.
+    assert!(
+        fork_large <= (K as u64) * 64,
+        "per-candidate fork cost exploded: {fork_large} allocations for {K} candidates"
+    );
+}

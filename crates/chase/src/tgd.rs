@@ -295,11 +295,8 @@ impl TgdChaseEngine {
 
             // Dirty every rule the turn's new edges/nodes could affect
             // (including this one: its own firings can feed its body).
-            let added_labels: FxHashSet<Symbol> = graph
-                .edges_since(turn_start)
-                .iter()
-                .map(|&(_, l, _)| l)
-                .collect();
+            let added_labels: FxHashSet<Symbol> =
+                graph.edges_since(turn_start).map(|&(_, l, _)| l).collect();
             let nodes_added = graph.epoch().nodes() > turn_start.nodes();
             if !added_labels.is_empty() || nodes_added {
                 for rule in &mut self.rules {

@@ -105,7 +105,7 @@ mod tests {
         let inst = Instance::example_2_2();
         let g = direct_map_reified(&inst);
         // 5 tuples ⇒ 5 tuple nodes; edges: per Flight 3+1, per Hotel 2+1.
-        let nulls = g.nodes().iter().filter(|n| !n.is_const()).count();
+        let nulls = g.nodes().filter(|n| !n.is_const()).count();
         assert_eq!(nulls, 5);
         assert_eq!(g.edge_count(), 2 * 4 + 3 * 3);
         // Navigate: flights departing c1 with a hotel stay at hx.

@@ -31,7 +31,7 @@
 use crate::options::Options;
 use crate::session::ExchangeSession;
 use gdx_chase::{chase_st, chase_target_tgds, saturate_same_as, EgdChaseOutcome, StChaseVariant};
-use gdx_common::{GdxError, Result, UnionFind};
+use gdx_common::{GdxError, Result};
 use gdx_graph::{Graph, NodeId};
 use gdx_mapping::{Egd, Setting};
 use gdx_nre::eval::EvalCache;
@@ -172,9 +172,10 @@ pub fn repair_egds(graph: &Graph, egds: &[Egd]) -> Result<Option<Graph>> {
         let (na, nb) = (g.node(a), g.node(b));
         match (na.is_const(), nb.is_const()) {
             (true, true) => return Ok(None),
-            (true, false) => g = g.quotient(|id| if id == b { a } else { id }),
-            _ => g = g.quotient(|id| if id == a { b } else { id }),
+            (true, false) => g.record_merge(a, b),
+            _ => g.record_merge(b, a),
         }
+        g.collapse_merges();
     }
 }
 
@@ -231,45 +232,54 @@ impl EgdRepairer {
         }
     }
 
-    /// Merges all forced violations to fixpoint (batched via union-find),
-    /// returning `false` on a constant clash. Violation-free graphs keep
-    /// their value (and [`gdx_graph::GraphId`]) untouched.
+    /// Merges all forced violations to fixpoint, batched through the
+    /// graph's union-find merge overlay ([`Graph::record_merge`]): every
+    /// violation found in one evaluation round is recorded, then
+    /// [`Graph::collapse_merges`] applies them in a single quotient
+    /// rebuild — one rebuild per round, not per merge. Returns `false` on
+    /// a constant clash (any pending merges are discarded, leaving the
+    /// graph unchanged). Violation-free graphs keep their value (and
+    /// [`gdx_graph::GraphId`]) untouched.
     pub(crate) fn repair(&self, g: &mut Graph) -> Result<bool> {
         if self.egds.is_empty() {
             return Ok(true);
         }
         loop {
-            let mut uf = UnionFind::new(g.node_count());
-            let mut any = false;
+            // Evaluation borrows `g`; collect the round's violating pairs
+            // first, then record them through the overlay.
+            let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
             {
                 let mut cache = EvalCache::new();
                 for egd in &self.egds {
                     let matches = egd.body.matches(g, &mut cache)?;
                     for row in matches.rows() {
                         let (a, b) = (row[egd.li], row[egd.ri]);
-                        if uf.find(a) == uf.find(b) {
-                            continue;
-                        }
-                        any = true;
-                        let (ra, rb) = (uf.find(a), uf.find(b));
-                        let ca = g.node(ra).is_const();
-                        let cb = g.node(rb).is_const();
-                        match (ca, cb) {
-                            (true, true) => return Ok(false),
-                            (true, false) => {
-                                uf.union_into(ra, rb);
-                            }
-                            _ => {
-                                uf.union_into(rb, ra);
-                            }
+                        if a != b {
+                            pairs.push((a, b));
                         }
                     }
                 }
             }
-            if !any {
+            if pairs.is_empty() {
                 return Ok(true);
             }
-            *g = g.quotient(|id| uf.find_const(id));
+            for (a, b) in pairs {
+                let (ra, rb) = (g.merge_find(a), g.merge_find(b));
+                if ra == rb {
+                    continue;
+                }
+                let ca = g.node(ra).is_const();
+                let cb = g.node(rb).is_const();
+                match (ca, cb) {
+                    (true, true) => {
+                        g.discard_merges();
+                        return Ok(false);
+                    }
+                    (true, false) => g.record_merge(ra, rb),
+                    _ => g.record_merge(rb, ra),
+                }
+            }
+            g.collapse_merges();
         }
     }
 }

@@ -159,7 +159,6 @@ fn consistent_so_far(g: &Graph, h: &FrozenGraph, assign: &FxHashMap<NodeId, Node
 
 fn check_full(g: &Graph, h: &FrozenGraph, assign: &FxHashMap<NodeId, NodeId>) -> bool {
     g.edges()
-        .iter()
         .all(|&(s, l, d)| h.has_edge(assign[&s], l, assign[&d]))
 }
 

@@ -16,30 +16,72 @@
 //! chase-shaped patterns in this workspace it coincides with the core.
 
 use crate::pattern::{GraphPattern, PNodeId};
-use gdx_common::FxHashSet;
+use gdx_common::{FxHashSet, UnionFind};
+use gdx_nre::Nre;
 
 /// Greedily folds redundant nulls; returns the retract and the number of
 /// folds performed.
+///
+/// Folding happens on a union-find overlay over the input's node ids: the
+/// canonical edge set (edges keyed by current representatives) is rewritten
+/// in place per fold — O(deg) per fold instead of a full pattern rebuild —
+/// and the pattern is quotiented exactly once at the end. The scan order
+/// (nulls in id order × candidates in id order, restart after every fold)
+/// matches the previous rebuild-per-fold implementation, because quotients
+/// preserve the relative order of surviving nodes; fold counts are
+/// identical.
 pub fn retract_core(pattern: &GraphPattern) -> (GraphPattern, usize) {
-    let mut p = pattern.clone();
+    let n = pattern.node_count();
+    let mut uf = UnionFind::new(n);
+    let mut edges: FxHashSet<(PNodeId, Nre, PNodeId)> = pattern.edges().iter().cloned().collect();
     let mut folds = 0usize;
     'outer: loop {
-        let nulls: Vec<PNodeId> = p.node_ids().filter(|&id| !p.node(id).is_const()).collect();
-        let candidates: Vec<PNodeId> = p.node_ids().collect();
-        for &n in &nulls {
-            for &m in &candidates {
-                if m == n {
+        let reps: Vec<PNodeId> = (0..n as PNodeId)
+            .filter(|&id| uf.find_const(id) == id)
+            .collect();
+        for &nl in reps.iter().filter(|&&id| !pattern.node(id).is_const()) {
+            for &m in &reps {
+                if m == nl {
                     continue;
                 }
-                if fold_is_retraction(&p, n, m) {
-                    p = p.quotient(|id| if id == n { m } else { id });
+                if fold_ok(&edges, nl, m) {
+                    // Apply the fold: rewrite edges incident to `nl` onto
+                    // `m` (membership dedups against existing edges).
+                    let incident: Vec<_> = edges
+                        .iter()
+                        .filter(|(s, _, d)| *s == nl || *d == nl)
+                        .cloned()
+                        .collect();
+                    for e in &incident {
+                        edges.remove(e);
+                    }
+                    for (s, r, d) in incident {
+                        let hs = if s == nl { m } else { s };
+                        let hd = if d == nl { m } else { d };
+                        edges.insert((hs, r, hd));
+                    }
+                    uf.union_into(m, nl);
                     folds += 1;
                     continue 'outer;
                 }
             }
         }
-        return (p, folds);
+        let core = pattern.quotient(|id| uf.find_const(id));
+        return (core, folds);
     }
+}
+
+/// Does mapping `n ↦ m` (identity elsewhere) send every canonical edge
+/// onto an existing canonical edge?
+fn fold_ok(edges: &FxHashSet<(PNodeId, Nre, PNodeId)>, n: PNodeId, m: PNodeId) -> bool {
+    edges.iter().all(|(s, r, d)| {
+        if *s != n && *d != n {
+            return true;
+        }
+        let hs = if *s == n { m } else { *s };
+        let hd = if *d == n { m } else { *d };
+        edges.contains(&(hs, r.clone(), hd))
+    })
 }
 
 /// Does mapping `n ↦ m` (identity elsewhere) send every edge onto an

@@ -140,11 +140,15 @@ pub fn instantiation_family(
 
 /// Lazy iterator over the bounded instantiation family of a pattern.
 ///
-/// Construction resolves ε-edges and enumerates the per-edge witness
-/// families (cheap: per-NRE, not per-graph); each [`Iterator::next`] call
-/// materializes exactly one candidate graph, so a caller that finds what
-/// it wants after `k` candidates pays for `k` graphs, not for
-/// `cfg.max_graphs`.
+/// Construction resolves ε-edges, enumerates the per-edge witness families
+/// (cheap: per-NRE, not per-graph), and materializes the *shared skeleton*
+/// once: all pattern nodes plus the witness realizations of every edge
+/// position the bounded odometer can never vary (given `max_graphs`, only
+/// a prefix of edge positions ever cycles). Each [`Iterator::next`] then
+/// emits a copy-on-write fork of that skeleton ([`Graph::fork`]) and
+/// materializes only the varying prefix — per-candidate cost is
+/// O(|witness deltas|), independent of pattern size, and every candidate
+/// shares the skeleton's storage (and frozen CSR) through one `Arc`.
 #[derive(Debug)]
 pub struct InstantiationFamily {
     pattern: GraphPattern,
@@ -153,6 +157,13 @@ pub struct InstantiationFamily {
     produced: usize,
     cfg: InstantiationConfig,
     done: bool,
+    /// Edge positions `[0, vary)` cycle through their witness lists; the
+    /// suffix `[vary, E)` is pinned to witness 0 and lives in `base`.
+    vary: usize,
+    /// The shared skeleton: pattern nodes + witness-0 realization of every
+    /// pinned edge position. Candidates are forks of this graph.
+    base: Graph,
+    node_map: FxHashMap<PNodeId, NodeId>,
 }
 
 impl InstantiationFamily {
@@ -179,6 +190,29 @@ impl InstantiationFamily {
             ));
         }
         let counters = vec![0usize; per_edge.len()];
+        // The odometer increments at most `max_graphs - 1` times, and
+        // position `i` first moves only after Π_{j<i} |family_j| ticks —
+        // so the smallest prefix whose product reaches the cap bounds
+        // everything the enumeration can ever touch. Positions beyond it
+        // stay at witness 0 forever and belong in the shared skeleton.
+        let mut vary = per_edge.len();
+        let mut prefix_product = 1usize;
+        for (i, ws) in per_edge.iter().enumerate() {
+            if prefix_product >= cfg.max_graphs {
+                vary = i;
+                break;
+            }
+            prefix_product = prefix_product.saturating_mul(ws.len());
+        }
+        let mut base = Graph::with_capacity(pattern.node_count(), pattern.edge_count());
+        let mut node_map: FxHashMap<PNodeId, NodeId> = FxHashMap::default();
+        for id in pattern.node_ids() {
+            node_map.insert(id, base.add_node(pattern.node(id)));
+        }
+        for (ei, ws) in per_edge.iter().enumerate().skip(vary) {
+            let (s, _, d) = &pattern.edges()[ei];
+            witness::materialize(&mut base, &ws[0], node_map[s], node_map[d])?;
+        }
         Ok(InstantiationFamily {
             pattern,
             per_edge,
@@ -186,6 +220,9 @@ impl InstantiationFamily {
             produced: 0,
             cfg,
             done: false,
+            vary,
+            base,
+            node_map,
         })
     }
 
@@ -205,14 +242,13 @@ impl Iterator for InstantiationFamily {
         if self.done {
             return None;
         }
-        let mut g = Graph::with_capacity(self.pattern.node_count(), self.pattern.edge_count());
-        let mut node_map: FxHashMap<PNodeId, NodeId> = FxHashMap::default();
-        for id in self.pattern.node_ids() {
-            node_map.insert(id, g.add_node(self.pattern.node(id)));
-        }
-        for (ei, (s, _, d)) in self.pattern.edges().iter().enumerate() {
+        // O(1) fork of the shared skeleton; only the varying witness
+        // prefix is materialized into the candidate's private delta.
+        let mut g = self.base.fork();
+        for ei in 0..self.vary {
+            let (s, _, d) = &self.pattern.edges()[ei];
             let w = &self.per_edge[ei][self.counters[ei]];
-            if let Err(e) = witness::materialize(&mut g, w, node_map[s], node_map[d]) {
+            if let Err(e) = witness::materialize(&mut g, w, self.node_map[s], self.node_map[d]) {
                 self.done = true;
                 return Some(Err(e));
             }
@@ -222,7 +258,8 @@ impl Iterator for InstantiationFamily {
             self.done = true;
             return Some(Ok(g));
         }
-        // Odometer increment.
+        // Odometer increment (never reaches position `vary`, by
+        // construction of the prefix bound).
         let mut i = 0;
         loop {
             if i == self.counters.len() {

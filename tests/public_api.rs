@@ -1,5 +1,6 @@
-//! Public-API snapshot: the `pub` surface of the two API crates
-//! (`gdx-exchange`, `gdx-query`) is extracted from their sources and
+//! Public-API snapshot: the `pub` surface of the API crates
+//! (`gdx-exchange`, `gdx-query`, and — since the PR-6 versioning
+//! primitives — `gdx-graph`) is extracted from their sources and
 //! diffed against a committed item list, so surface changes are always a
 //! deliberate, reviewed diff.
 //!
@@ -10,7 +11,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 const SNAPSHOT: &str = "tests/snapshots/public_api.txt";
-const CRATES: &[&str] = &["crates/core/src", "crates/query/src"];
+const CRATES: &[&str] = &["crates/core/src", "crates/query/src", "crates/graph/src"];
 
 /// `pub` item declarations of one file, in source order: one normalized
 /// line each. `pub(crate)`/`pub(super)` items are internal and excluded;
