@@ -24,6 +24,8 @@
 //! inclusion question; the chase falls back to a syntactic check for them
 //! (DESIGN.md §5 item 3).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod dfa;
 pub mod eval_nfa;
 pub mod letter;

@@ -20,6 +20,8 @@
 //!
 //! [graph pattern]: gdx_pattern::GraphPattern
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod egd_pattern;
 pub mod sameas;
 pub mod st;

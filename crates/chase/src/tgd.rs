@@ -66,7 +66,11 @@ pub enum TgdChaseMode {
 /// Configuration of the target-tgd chase.
 #[derive(Debug, Clone, Copy)]
 pub struct TgdChaseConfig {
-    /// Maximum number of firings before giving up.
+    /// Maximum number of firings before giving up. The budget is
+    /// inclusive: a chase that reaches fixpoint in exactly `max_steps`
+    /// firings succeeds; only a firing *beyond* the budget trips
+    /// [`GdxError::LimitExceeded`]. At `0`, any needed firing trips it,
+    /// while an already-satisfied graph still chases to a clean no-op.
     pub max_steps: usize,
     /// Body-evaluation strategy.
     pub mode: TgdChaseMode,
@@ -285,12 +289,16 @@ impl TgdChaseEngine {
                 if head_witnessed_incremental(graph, &rule.tgd, &m, &mut rule.head)? {
                     continue;
                 }
-                fire(graph, &rule.tgd, &m, &mut self.nulls)?;
-                self.stats.steps += 1;
-                self.steps_in_graph += 1;
+                // Budget check precedes the firing: a chase that reaches
+                // fixpoint in exactly `max_steps` firings succeeds; only
+                // a would-be firing *beyond* the budget trips the limit
+                // (at max_steps = 0, any needed firing trips it).
                 if self.steps_in_graph >= self.cfg.max_steps {
                     return Err(step_limit(self.cfg.max_steps));
                 }
+                fire(graph, &rule.tgd, &m, &mut self.nulls)?;
+                self.stats.steps += 1;
+                self.steps_in_graph += 1;
             }
 
             // Dirty every rule the turn's new edges/nodes could affect
@@ -330,14 +338,17 @@ impl TgdChaseEngine {
                     if head_witnessed(graph, &rule.tgd, &rule.head_q, &m)? {
                         continue;
                     }
+                    // Same pre-firing budget check as the semi-naive
+                    // loop: exactly-max_steps chases succeed, and the
+                    // two modes trip the limit at the same firing count.
+                    if self.steps_in_graph >= self.cfg.max_steps {
+                        return Err(step_limit(self.cfg.max_steps));
+                    }
                     let tgd = &self.rules[ri].tgd;
                     fire(graph, tgd, &m, &mut self.nulls)?;
                     self.stats.steps += 1;
                     self.steps_in_graph += 1;
                     fired_this_round = true;
-                    if self.steps_in_graph >= self.cfg.max_steps {
-                        return Err(step_limit(self.cfg.max_steps));
-                    }
                 }
             }
             if !fired_this_round {
@@ -584,6 +595,38 @@ mod tests {
                 },
             );
             assert!(matches!(err, Err(GdxError::LimitExceeded(_))));
+        }
+    }
+
+    #[test]
+    fn exactly_max_steps_firings_succeed() {
+        // Three f-edges each demand one g-edge: the chase reaches
+        // fixpoint in exactly 3 firings. A budget of exactly 3 must
+        // succeed in both modes; a budget of 2 must trip, and a budget
+        // of 0 trips on the first needed firing.
+        let g = Graph::parse("(a, f, b); (c, f, d); (e, f, q);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
+        for mode in [TgdChaseMode::SemiNaive, TgdChaseMode::Naive] {
+            let cfg = |max_steps| TgdChaseConfig {
+                max_steps,
+                mode,
+                ..TgdChaseConfig::default()
+            };
+            let out = chase_target_tgds(&g, std::slice::from_ref(&t), cfg(3)).unwrap();
+            assert_eq!(out.steps, 3, "{mode:?}");
+            for budget in [0, 2] {
+                assert!(
+                    matches!(
+                        chase_target_tgds(&g, std::slice::from_ref(&t), cfg(budget)),
+                        Err(GdxError::LimitExceeded(_))
+                    ),
+                    "{mode:?} with budget {budget}"
+                );
+            }
+            // An already-satisfied graph needs no firings: even a zero
+            // budget succeeds.
+            let done = chase_target_tgds(&out.graph, std::slice::from_ref(&t), cfg(0)).unwrap();
+            assert_eq!(done.steps, 0, "{mode:?}");
         }
     }
 

@@ -30,8 +30,18 @@ USAGE:
   gdx cert-query --setting S.gdx --instance I.facts --cnre QUERY
   gdx reduce    --dimacs F.cnf [--sameas]
   gdx direct    --schema DECLS --instance I.facts [--reify]
+  gdx sim run   [--seeds N] [--start S] [--oracle NAME] [--out DIR]
+                [--max-failures N]
+  gdx sim replay --file R.repro
   gdx info
   gdx help
+
+SIMULATION (differential fuzzing, see ARCHITECTURE.md):
+  oracles: replay | chase-mode | planner | threads | sat | fork | faults
+           (default: all). Each seed deterministically generates a
+           setting, instance and op trace; failures are auto-shrunk to
+           minimal repro files (written to --out DIR when given).
+  replay exits non-zero while the recorded failure still reproduces.
 
 SHARED OPTIONS (every subcommand):
   --threads N       worker threads for the parallel runtime (default:
@@ -65,6 +75,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         "cert-query" => cmd_cert_query(rest),
         "reduce" => cmd_reduce(rest),
         "direct" => cmd_direct(rest),
+        "sim" => cmd_sim(rest),
         "info" => cmd_info(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -282,6 +293,117 @@ fn cmd_direct(argv: &[String]) -> Result<()> {
     Ok(())
 }
 
+fn cmd_sim(argv: &[String]) -> Result<()> {
+    let Some(sub) = argv.first() else {
+        return Err(GdxError::schema(
+            "`gdx sim` needs a subcommand: run | replay (try `gdx help`)",
+        ));
+    };
+    // Ops execute under catch_unwind and panics are recorded as harness
+    // failures; the default hook would still spam a backtrace per caught
+    // panic, so silence it for the binary (tests keep theirs).
+    if !cfg!(test) {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    match sub.as_str() {
+        "run" => cmd_sim_run(&argv[1..]),
+        "replay" => cmd_sim_replay(&argv[1..]),
+        other => Err(GdxError::schema(format!(
+            "unknown sim subcommand `{other}` (expected run | replay)"
+        ))),
+    }
+}
+
+/// Resolves `--oracle` into the list of oracles to sweep.
+fn sim_oracles(a: &Args) -> Result<Vec<gdx_sim::Oracle>> {
+    match a.get("oracle") {
+        None | Some("all") => Ok(gdx_sim::Oracle::ALL.to_vec()),
+        Some(name) => gdx_sim::Oracle::from_name(name)
+            .map(|o| vec![o])
+            .ok_or_else(|| {
+                GdxError::schema(format!(
+                    "unknown oracle `{name}` (expected replay | chase-mode | planner | \
+                 threads | sat | fork | faults | all)"
+                ))
+            }),
+    }
+}
+
+fn cmd_sim_run(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &[])?;
+    let seeds = a.get_usize("seeds", 100)? as u64;
+    let start = a.get_usize("start", 0)? as u64;
+    let max_failures = a.get_usize("max-failures", 0)?;
+    let out_dir = a.get("out").map(str::to_owned);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| GdxError::schema(format!("cannot create --out {dir}: {e}")))?;
+    }
+    let mut total = 0usize;
+    for oracle in sim_oracles(&a)? {
+        let report = gdx_sim::run_campaign(oracle, start, seeds, max_failures);
+        println!(
+            "oracle {:<10} {:>4} seed(s): {}",
+            oracle.name(),
+            report.seeds_run,
+            if report.failures.is_empty() {
+                "clean".to_owned()
+            } else {
+                format!("{} failure(s)", report.failures.len())
+            }
+        );
+        for f in &report.failures {
+            total += 1;
+            println!("  seed {}: {}", f.seed, f.original.summary());
+            let text = f.repro.to_text();
+            match &out_dir {
+                Some(dir) => {
+                    let path = format!("{dir}/{}-seed{}.repro", oracle.name(), f.seed);
+                    std::fs::write(&path, &text)
+                        .map_err(|e| GdxError::schema(format!("cannot write {path}: {e}")))?;
+                    println!("  shrunk repro written to {path}");
+                }
+                None => print!("{text}"),
+            }
+        }
+    }
+    if total > 0 {
+        return Err(GdxError::Internal(format!(
+            "simulation found {total} failing seed(s) — shrunk repros above"
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_sim_replay(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &[])?;
+    let text = read_file(a.require("file")?)?;
+    match gdx_sim::replay_text(&text).map_err(GdxError::schema)? {
+        gdx_sim::Replayed::Clean { recorded } if recorded == "none" => {
+            println!("CLEAN — scenario passes all checks");
+            Ok(())
+        }
+        gdx_sim::Replayed::Clean { recorded } => {
+            println!("FIXED — recorded failure no longer reproduces:");
+            println!("  recorded: {recorded}");
+            Ok(())
+        }
+        gdx_sim::Replayed::Reproduced(f) => {
+            println!("REPRODUCED — failure matches the recorded summary:");
+            println!("  {}", f.summary());
+            Err(GdxError::Internal(
+                "recorded failure still reproduces".into(),
+            ))
+        }
+        gdx_sim::Replayed::Diverged { recorded, observed } => {
+            println!("DIVERGED — scenario fails differently than recorded:");
+            println!("  recorded: {recorded}");
+            println!("  observed: {}", observed.summary());
+            Err(GdxError::Internal("replay diverged from recording".into()))
+        }
+    }
+}
+
 fn cmd_info(argv: &[String]) -> Result<()> {
     let a = Args::parse(argv, &[])?;
     let configured = threads_flag(&a)?;
@@ -437,6 +559,38 @@ mod tests {
         dispatch(&[]).unwrap();
         assert!(dispatch(&v(&["bogus"])).is_err());
         assert!(dispatch(&v(&["solve", "--setting", "/nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn sim_run_small_campaign_is_clean() {
+        // A handful of seeds per oracle; the dedicated ≥500-seed sweep
+        // lives in gdx-sim's own test suite.
+        dispatch(&v(&["sim", "run", "--seeds", "3"])).unwrap();
+        dispatch(&v(&[
+            "sim", "run", "--seeds", "5", "--start", "7", "--oracle", "replay",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn sim_replay_round_trips_a_generated_scenario() {
+        let repro = gdx_sim::Repro {
+            oracle: gdx_sim::Oracle::Replay,
+            failure: "none".to_owned(),
+            scenario: gdx_sim::generate(3, gdx_sim::Oracle::Replay),
+        };
+        let f = write_tmp("clean.repro", &repro.to_text());
+        dispatch(&v(&["sim", "replay", "--file", &f])).unwrap();
+    }
+
+    #[test]
+    fn sim_rejects_bad_invocations() {
+        assert!(dispatch(&v(&["sim"])).is_err());
+        assert!(dispatch(&v(&["sim", "bogus"])).is_err());
+        assert!(dispatch(&v(&["sim", "run", "--oracle", "tea-leaves"])).is_err());
+        assert!(dispatch(&v(&["sim", "replay", "--file", "/nonexistent"])).is_err());
+        let f = write_tmp("garbage.repro", "not a repro");
+        assert!(dispatch(&v(&["sim", "replay", "--file", &f])).is_err());
     }
 
     #[test]

@@ -274,3 +274,54 @@ fn thread_counts_do_not_change_output() {
         );
     }
 }
+
+#[test]
+fn help_documents_sim() {
+    let out = stdout_of(&["help"]);
+    assert!(out.contains("gdx sim run"), "help lists sim run:\n{out}");
+    assert!(
+        out.contains("gdx sim replay"),
+        "help lists sim replay:\n{out}"
+    );
+    for oracle in [
+        "replay",
+        "chase-mode",
+        "planner",
+        "threads",
+        "sat",
+        "fork",
+        "faults",
+    ] {
+        assert!(
+            out.contains(oracle),
+            "help names the {oracle} oracle:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn sim_run_and_replay_round_trip() {
+    // A two-seed single-oracle campaign is clean and exits zero…
+    let out = stdout_of(&["sim", "run", "--seeds", "2", "--oracle", "planner"]);
+    assert!(out.contains("clean"), "campaign reports clean:\n{out}");
+
+    // …and a repro file written by hand from the harness's canonical
+    // text format replays clean through the binary.
+    let dir = std::env::temp_dir().join(format!("gdx-e2e-simreplay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let repro = gdx_sim::Repro {
+        oracle: gdx_sim::Oracle::Fork,
+        failure: "none".to_owned(),
+        scenario: gdx_sim::generate(11, gdx_sim::Oracle::Fork),
+    };
+    let path = dir.join("clean.repro");
+    std::fs::write(&path, repro.to_text()).unwrap();
+    let out = stdout_of(&["sim", "replay", "--file", &path.to_string_lossy()]);
+    assert!(out.contains("CLEAN"), "replay reports clean:\n{out}");
+
+    // Garbage repro files exit non-zero with a parse diagnostic.
+    let bad = dir.join("garbage.repro");
+    std::fs::write(&bad, "not a repro").unwrap();
+    let out = gdx(&["sim", "replay", "--file", &bad.to_string_lossy()]);
+    assert!(!out.status.success(), "garbage repro must fail");
+}

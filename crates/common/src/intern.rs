@@ -22,7 +22,7 @@
 use crate::hash::FxHashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// An interned string. Cheap to copy, compare, and hash.
 ///
@@ -53,6 +53,15 @@ fn shards() -> &'static [Mutex<Shard>; SHARDS] {
     INTERNER.get_or_init(|| std::array::from_fn(|_| Mutex::new(Shard::default())))
 }
 
+/// Locks shard `si`, recovering from poisoning: shard state is
+/// append-only and every mutation leaves it consistent, so a panic that
+/// unwound through a holder (e.g. one caught and contained by a test or
+/// fuzzing harness) must not condemn every later interning in the
+/// process to a poison panic.
+fn lock_shard(si: usize) -> MutexGuard<'static, Shard> {
+    shards()[si].lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// The shard owning `s`, by FxHash of its bytes.
 fn shard_of(s: &str) -> usize {
     let mut h = crate::hash::FxHasher::default();
@@ -64,14 +73,20 @@ impl Symbol {
     /// Interns `s`, returning its symbol. Idempotent.
     pub fn new(s: &str) -> Symbol {
         let si = shard_of(s);
-        let mut g = shards()[si].lock().expect("interner poisoned");
+        let mut g = lock_shard(si);
         if let Some(&id) = g.map.get(s) {
             return Symbol(id);
         }
         // Interned strings live for the program's lifetime; leaking is the
         // standard trade for handing out `&'static str` without unsafe code.
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        // Capacity invariant, not an input condition: exceeding 2^28
+        // distinct strings per shard would exhaust the striped u32 id
+        // space — unreachable before memory is, so a panic is the honest
+        // report.
+        #[allow(clippy::expect_used)]
         let local = u32::try_from(g.strings.len()).expect("interner shard overflow");
+        #[allow(clippy::expect_used)]
         let id = local
             .checked_shl(SHARD_BITS)
             .filter(|&v| (v >> SHARD_BITS) == local)
@@ -89,14 +104,14 @@ impl Symbol {
     /// occur in any graph or schema, so a `None` here proves freshness
     /// without growing the intern table.
     pub fn lookup(s: &str) -> Option<Symbol> {
-        let g = shards()[shard_of(s)].lock().expect("interner poisoned");
+        let g = lock_shard(shard_of(s));
         g.map.get(s).copied().map(Symbol)
     }
 
     /// The interned text.
     pub fn as_str(self) -> &'static str {
         let si = (self.0 as usize) & (SHARDS - 1);
-        let g = shards()[si].lock().expect("interner poisoned");
+        let g = lock_shard(si);
         g.strings[(self.0 >> SHARD_BITS) as usize]
     }
 

@@ -90,7 +90,10 @@ impl fmt::Display for TokenKind {
     }
 }
 
-fn is_ident_char(c: char) -> bool {
+/// Characters that may appear in a bare (unquoted) identifier. Printers
+/// that emit names decide with this whether a name can be written bare
+/// or needs the quoted `"..."` spelling.
+pub fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_' || c == '\''
 }
 

@@ -20,6 +20,8 @@
 //!   separate).
 //! * [`GdxError`] — the workspace-wide error type.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bits;
 pub mod error;
 pub mod gallop;

@@ -209,6 +209,8 @@ struct PreparedEgd {
 }
 
 impl PreparedEgd {
+    // Validation guarantees lhs/rhs occur in the egd body.
+    #[allow(clippy::expect_used)]
     fn new(egd: &Egd) -> PreparedEgd {
         let body = PreparedQuery::new(egd.body.clone());
         let vars = body.variables();
@@ -331,6 +333,8 @@ pub fn chased_pattern(
             merges: session.representative_merges(),
         },
         RepresentativeOutcome::ChaseFailed => {
+            // A ChaseFailed outcome always records the clashing pair.
+            #[allow(clippy::expect_used)]
             let (constants, merges) = session
                 .representative_failure()
                 .expect("ChaseFailed records its clash");

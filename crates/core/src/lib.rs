@@ -45,6 +45,8 @@
 //! * [`representative`] — universal representatives as
 //!   `(pattern, constraints)` pairs (Section 5).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod certain;
 pub mod direct;
 pub mod encode;

@@ -37,13 +37,16 @@ pub struct Options {
     pub planner: PlannerMode,
     /// Cap on the number of rows returned by answer-set computations
     /// (e.g. [`crate::ExchangeSession::certain_answers`] truncates its
-    /// result to this many rows). `None` = unbounded.
+    /// result to this many rows). `None` = unbounded. `Some(0)` is valid
+    /// and returns no rows; whenever rows were actually withheld the
+    /// accompanying exactness flag is `false`.
     pub row_limit: Option<usize>,
     /// Cap on the number of solutions yielded by
     /// [`crate::ExchangeSession::solutions`]. Stopping at the cap leaves
     /// candidates unexamined, so exactness claims are withdrawn
     /// (`exact() == false`). `None` = bounded only by the candidate
-    /// family.
+    /// family. `Some(0)` is valid: the stream yields nothing, and claims
+    /// exactness only when there were no candidates to examine at all.
     pub solution_cap: Option<usize>,
     /// First fresh-null name used by the session's source-to-target chase
     /// (`~{seed}`, see [`gdx_graph::NullFactory::starting_at`]) — lets
@@ -57,6 +60,8 @@ pub struct Options {
     /// Every session result is byte-identical at any worker count —
     /// threads only change wall-clock. This knob also governs the
     /// engines' pools, overriding `tgd_chase.threads`.
+    /// [`Threads::Fixed`]`(0)` is not an error: worker counts clamp to
+    /// at least one, so it behaves exactly like `Fixed(1)`.
     pub threads: Threads,
 }
 

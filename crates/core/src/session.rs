@@ -207,6 +207,9 @@ impl ExchangeSession {
     }
 
     /// `G ∈ Sol_Ω(I)`? Exact; the compiled checker persists across calls.
+    // The `expect`s below read memos the preceding ensure_* call just
+    // filled; a miss is a session-state bug worth a loud panic.
+    #[allow(clippy::expect_used)]
     pub fn is_solution(&mut self, graph: &Graph) -> Result<bool> {
         if self.checker.is_none() {
             self.checker =
@@ -221,6 +224,9 @@ impl ExchangeSession {
     /// The chased universal representative `(pattern, constraints)` of
     /// Section 5, memoized: the s-t chase and the adapted egd chase run at
     /// most once per session.
+    // The `expect`s below read memos the preceding ensure_* call just
+    // filled; a miss is a session-state bug worth a loud panic.
+    #[allow(clippy::expect_used)]
     pub fn representative(&mut self) -> Result<&RepresentativeOutcome> {
         if self.representative.is_none() {
             let st = chase_st_with_nulls(
@@ -298,6 +304,9 @@ impl ExchangeSession {
     /// Existence via the memoized SAT encoding (exact within the
     /// single-symbol/union-of-symbols fragment, `Unsupported` outside it).
     /// The encoding is built once; only the solve runs per call.
+    // The `expect`s below read memos the preceding ensure_* call just
+    // filled; a miss is a session-state bug worth a loud panic.
+    #[allow(clippy::expect_used)]
     pub fn solution_exists_sat(&mut self) -> Result<Existence> {
         if self.encoding.is_none() {
             self.encoding = Some(encode::encode_existence(&self.instance, &self.setting));
@@ -393,6 +402,9 @@ impl ExchangeSession {
     /// every further call reuses it, plus one shared materialization cache
     /// per solution graph, so the marginal cost of a query is evaluation
     /// only.
+    // The `expect`s below read memos the preceding ensure_* call just
+    // filled; a miss is a session-state bug worth a loud panic.
+    #[allow(clippy::expect_used)]
     pub fn certain(&mut self, query: &PreparedQuery) -> Result<CertainAnswer> {
         if !query.variables().is_empty() {
             return Err(GdxError::unsupported(
@@ -471,6 +483,9 @@ impl ExchangeSession {
     /// answer rows. Returns `(rows, exact)`; with `exact == false` the set
     /// is not provably complete — either the candidate family was bounded,
     /// or `Options::row_limit` cut rows off the returned set.
+    // The `expect`s below read memos the preceding ensure_* call just
+    // filled; a miss is a session-state bug worth a loud panic.
+    #[allow(clippy::expect_used)]
     pub fn certain_answers(&mut self, query: &PreparedQuery) -> Result<(Vec<Vec<Node>>, bool)> {
         self.ensure_solutions()?;
         // Full evaluations fan out across the solution family (one
@@ -663,6 +678,9 @@ impl SolutionStream<'_> {
         self.exact
     }
 
+    // The `expect`s below read memos the preceding ensure_* call just
+    // filled; a miss is a session-state bug worth a loud panic.
+    #[allow(clippy::expect_used)]
     fn advance(&mut self) -> Result<Option<Graph>> {
         if self.finished {
             return Ok(None);
@@ -706,6 +724,9 @@ impl SolutionStream<'_> {
     /// graph in place, so their delta caches survive the fixpoint rounds;
     /// switching candidates — or an egd quotient replacing the graph
     /// value — resets them via graph-identity detection.
+    // The `expect`s below read memos the preceding ensure_* call just
+    // filled; a miss is a session-state bug worth a loud panic.
+    #[allow(clippy::expect_used)]
     fn advance_live(&mut self) -> Result<Option<Graph>> {
         // A resumed stream serves the already-verified prefix first, so
         // every stream yields the family from its beginning.

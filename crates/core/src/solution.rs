@@ -90,6 +90,8 @@ pub struct SolutionChecker {
 
 impl SolutionChecker {
     /// Compiles the checker for `setting`.
+    // Validation guarantees egd lhs/rhs occur in their body.
+    #[allow(clippy::expect_used)]
     pub fn new(setting: &Setting) -> SolutionChecker {
         let st_heads = setting
             .st_tgds

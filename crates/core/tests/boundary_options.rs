@@ -1,0 +1,131 @@
+//! Boundary-Options conformance: the degenerate knob values promised by
+//! the [`Options`] docs — `row_limit = Some(0)`, `solution_cap = Some(0)`,
+//! `tgd_chase.max_steps = 0`, `Threads::Fixed(0)` — behave exactly as
+//! documented: empty-but-inexact results, a typed `LimitExceeded`, or the
+//! single-worker fallback. Never a panic, never a silent wrong answer.
+
+use gdx_chase::TgdChaseConfig;
+use gdx_common::GdxError;
+use gdx_exchange::{ExchangeSession, Existence, Options};
+use gdx_query::PreparedQuery;
+use gdx_relational::Instance;
+use gdx_runtime::Threads;
+
+const SETTING: &str = "source { Flight/3; Hotel/2 }
+target { f; h; g }
+sttgd Flight(x1, x2, x3), Hotel(x1, x4)
+      -> exists y : (x2, f.f*, y), (y, h, x4), (y, f.f*, x3);
+egd (x1, h, x3), (x2, h, x3) -> x1 = x2;
+tgd (x, f, y) -> exists z : (y, g, z);";
+
+const INSTANCE: &str = "Flight(01, c1, c2); Flight(02, c3, c2);
+Hotel(01, hx); Hotel(01, hy); Hotel(02, hx);";
+
+fn session(options: Options) -> ExchangeSession {
+    let setting = gdx_mapping::dsl::parse_setting(SETTING).unwrap();
+    let instance = Instance::parse(setting.source.clone(), INSTANCE).unwrap();
+    ExchangeSession::new(setting, instance).with_options(options)
+}
+
+#[test]
+fn row_limit_zero_returns_no_rows_and_withdraws_exactness() {
+    let query = PreparedQuery::parse("(x, f.f*, y)").unwrap();
+    // Baseline: the quickstart query has certain answers.
+    let (baseline, _) = session(Options::default()).certain_answers(&query).unwrap();
+    assert!(!baseline.is_empty(), "baseline query must have answers");
+
+    let opts = Options {
+        row_limit: Some(0),
+        ..Options::default()
+    };
+    let (rows, exact) = session(opts).certain_answers(&query).unwrap();
+    assert!(rows.is_empty(), "row_limit=0 returns no rows");
+    assert!(!exact, "withheld rows must withdraw the exactness claim");
+}
+
+#[test]
+fn solution_cap_zero_yields_nothing_and_withdraws_exactness() {
+    // Baseline: solutions exist.
+    let mut base = session(Options::default());
+    assert!(base.solutions().unwrap().next().is_some());
+
+    let opts = Options {
+        solution_cap: Some(0),
+        ..Options::default()
+    };
+    let mut s = session(opts);
+    let mut stream = s.solutions().unwrap();
+    assert!(stream.next().is_none(), "solution_cap=0 yields nothing");
+    assert!(
+        !stream.exact(),
+        "candidates were left unexamined, so the family is not provably complete"
+    );
+}
+
+#[test]
+fn max_steps_zero_degrades_to_unknown_never_a_wrong_verdict() {
+    // The target tgd must fire (the st-chase emits f-edges without
+    // g-successors), so a zero firing budget starves every candidate.
+    // The session discards candidates whose chase trips the budget and,
+    // with none left, answers `Unknown` — never an un-chased "solution",
+    // never an unsound `NoSolution`, never a panic.
+    let opts = Options {
+        tgd_chase: TgdChaseConfig {
+            max_steps: 0,
+            ..TgdChaseConfig::default()
+        },
+        ..Options::default()
+    };
+    match session(opts).solution_exists() {
+        Ok(Existence::Unknown(_)) => {}
+        other => panic!("expected a sound Unknown, got {other:?}"),
+    }
+    // A sufficient budget resolves the same setting to Exists: the
+    // Unknown above really was the budget, not the setting.
+    match session(Options::default()).solution_exists() {
+        Ok(Existence::Exists(_)) => {}
+        other => panic!("expected Exists with the default budget, got {other:?}"),
+    }
+    // The raw engine itself reports the starvation as a typed
+    // LimitExceeded — that is what the session's candidate loop absorbs.
+    let setting = gdx_mapping::dsl::parse_setting(SETTING).unwrap();
+    let tgds: Vec<_> = setting
+        .target_constraints
+        .iter()
+        .filter_map(|c| match c {
+            gdx_mapping::TargetConstraint::Tgd(t) => Some(t.clone()),
+            _ => None,
+        })
+        .collect();
+    let chased = gdx_chase::chase_target_tgds(
+        &gdx_graph::Graph::parse("(a, f, b);").unwrap(),
+        &tgds,
+        TgdChaseConfig {
+            max_steps: 0,
+            ..TgdChaseConfig::default()
+        },
+    );
+    assert!(matches!(chased, Err(GdxError::LimitExceeded(_))));
+}
+
+#[test]
+fn threads_fixed_zero_is_the_single_worker_fallback() {
+    let query = PreparedQuery::parse("(x, f.f*, y)").unwrap();
+    let run = |threads: Threads| {
+        let mut s = session(Options {
+            threads,
+            ..Options::default()
+        });
+        let witness = match s.solution_exists().unwrap() {
+            Existence::Exists(g) => g.to_string(),
+            other => panic!("quickstart has solutions, got {other:?}"),
+        };
+        let (rows, exact) = s.certain_answers(&query).unwrap();
+        (witness, rows, exact)
+    };
+    assert_eq!(
+        run(Threads::Fixed(0)),
+        run(Threads::Fixed(1)),
+        "Fixed(0) clamps to one worker, byte-identically"
+    );
+}

@@ -12,7 +12,14 @@
 //!   Example 2.2 setting (experiment B3: chase scaling), with a
 //!   hotel-sharing knob driving egd merge counts;
 //! * [`random_graph`] — uniform random edge-labeled graphs (experiment
-//!   B4: NRE evaluation scaling).
+//!   B4: NRE evaluation scaling);
+//! * [`scenario`] — random *textual* exchange scenarios (settings,
+//!   instances, queries, work graphs) for the `gdx-sim` differential
+//!   fuzzing harness.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod scenario;
 
 use gdx_graph::Graph;
 use gdx_mapping::TargetTgd;
@@ -91,6 +98,9 @@ impl Default for FlightsHotelsParams {
 /// `Setting::example_2_2_egd()` / `example_2_2_sameas()` /
 /// `example_3_1()`. Fewer hotels relative to flights ⇒ more hotel sharing
 /// ⇒ more egd merges in the adapted chase.
+// Static schema and fixed-arity inserts: the `expect`s can only trip
+// on a generator bug.
+#[allow(clippy::expect_used)]
 pub fn flights_hotels(p: FlightsHotelsParams, rng: &mut StdRng) -> Instance {
     let schema = Schema::from_relations([("Flight", 3), ("Hotel", 2)]).expect("static schema");
     let mut inst = Instance::new(schema);
@@ -117,6 +127,8 @@ pub fn flights_hotels(p: FlightsHotelsParams, rng: &mut StdRng) -> Instance {
 /// set takes `k` rounds of cascading firings — the workload the
 /// `chase_scaling` bench uses to compare the naive round-robin chase
 /// against the semi-naive worklist engine.
+// The tgd bodies/heads are static templates that parse by construction.
+#[allow(clippy::expect_used)]
 pub fn chain_target_tgds(depth: usize) -> Vec<TargetTgd> {
     assert!(depth >= 1);
     let tgd = |body: &str, head: &str| TargetTgd {

@@ -1,0 +1,360 @@
+//! Random exchange scenarios for the simulation harness (`gdx-sim`).
+//!
+//! Everything here generates *text* — settings in the mapping DSL,
+//! instances as fact lists, graphs as edge lists, queries in NRE/CNRE
+//! syntax. Text is the contract the harness wants: a scenario embedded in
+//! a repro file round-trips through the same public parsers an end user
+//! exercises, so every generated scenario doubles as a parser fuzz case,
+//! and a shrunk repro stays human-readable and human-editable.
+//!
+//! The generated target tgds are **stratified** (rule `i`'s body reads
+//! only the base alphabet and earlier heads `t0 … t{i-1}`, its head
+//! writes `t{i}` alone), matching the confluence contract of the
+//! semi-naive/naive chase equivalence (see
+//! `crates/chase/tests/seminaive_equiv.rs`): on these sets both chase
+//! modes terminate with isomorphic results, which is exactly what the
+//! differential oracles compare. The [`ScenarioParams::cyclic_tgd`] knob
+//! deliberately breaks termination (a self-feeding existential rule) for
+//! the fault-injection sweeps at the chase-termination boundary.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Knobs of [`random_setting_text`]. The defaults describe the broad
+/// differential-oracle family: every constraint kind allowed, stars
+/// allowed in st-tgd heads (so both the exact and the bounded fragment
+/// arise), no termination hazard.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioParams {
+    /// Number of source-to-target tgds (at least 1).
+    pub st_tgds: usize,
+    /// Number of target constraints (egd/sameas/tgd mix).
+    pub constraints: usize,
+    /// Allow `A.A*` heads in st-tgds (takes the setting outside the
+    /// exact fragment and forces bounded candidate search).
+    pub star_heads: bool,
+    /// Allow egds among the target constraints.
+    pub egds: bool,
+    /// Allow sameAs constraints among the target constraints.
+    pub sameas: bool,
+    /// Allow (stratified) target tgds among the target constraints.
+    pub target_tgds: bool,
+    /// Append a *non-terminating* self-feeding target tgd — the
+    /// chase-termination-boundary scenario for fault injection.
+    pub cyclic_tgd: bool,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> ScenarioParams {
+        ScenarioParams {
+            st_tgds: 2,
+            constraints: 2,
+            star_heads: true,
+            egds: true,
+            sameas: true,
+            target_tgds: true,
+            cyclic_tgd: false,
+        }
+    }
+}
+
+/// Base target labels every scenario draws from.
+const BASE_LABELS: [&str; 3] = ["f", "g", "h"];
+
+/// Maximum stratified target-tgd rules (head labels `t0 … t{N-1}`).
+const MAX_T_RULES: usize = 3;
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A random setting in DSL text. Always parses and validates: the source
+/// schema is fixed (`R/2; S/3`), the target alphabet declares the base
+/// labels plus every tgd head label, and all constraint bodies stay
+/// inside that alphabet.
+pub fn random_setting_text(p: &ScenarioParams, rng: &mut StdRng) -> String {
+    let mut out = String::from("source { R/2; S/3 }\n");
+    out.push_str("target { f; g; h; t0; t1; t2 }\n");
+
+    for _ in 0..p.st_tgds.max(1) {
+        out.push_str(&random_st_tgd(p, rng));
+    }
+
+    // Which constraint kinds are on the table?
+    let mut kinds: Vec<u8> = Vec::new();
+    if p.egds {
+        kinds.push(0);
+    }
+    if p.sameas {
+        kinds.push(1);
+    }
+    if p.target_tgds {
+        kinds.push(2);
+    }
+    let mut t_rules = 0usize;
+    if !kinds.is_empty() {
+        for _ in 0..p.constraints {
+            match kinds[rng.gen_range(0..kinds.len())] {
+                0 => out.push_str(&random_egd(rng)),
+                1 => out.push_str(&random_sameas(rng)),
+                _ if t_rules < MAX_T_RULES => {
+                    out.push_str(&random_target_tgd(t_rules, rng));
+                    t_rules += 1;
+                }
+                _ => out.push_str(&random_egd(rng)),
+            }
+        }
+    }
+    if p.cyclic_tgd {
+        // A feeder so the cycle has fuel, then the self-feeding rule: the
+        // restricted chase on any graph with an f-edge never terminates.
+        out.push_str("tgd (x, f, y) -> exists z : (y, t0, z);\n");
+        out.push_str("tgd (x, t0, y) -> exists z : (y, t0, z);\n");
+    }
+    out
+}
+
+/// One random source-to-target tgd line.
+fn random_st_tgd(p: &ScenarioParams, rng: &mut StdRng) -> String {
+    // (body CQ, variables it binds)
+    let bodies: [(&str, &[&str]); 4] = [
+        ("R(x, y)", &["x", "y"]),
+        ("S(x, y, z)", &["x", "y", "z"]),
+        ("R(x, y), R(y, z)", &["x", "y", "z"]),
+        ("R(x, y), S(y, z, w)", &["x", "y", "z", "w"]),
+    ];
+    let (body, vars) = bodies[rng.gen_range(0..bodies.len())];
+    let use_exists = rng.gen_bool(0.5);
+    let n_atoms = 1 + rng.gen_range(0..2usize);
+    let mut atoms = Vec::new();
+    for i in 0..n_atoms {
+        // The existential (when present) appears in every atom so the
+        // head is connected through it: first as target, then as source.
+        let src = if use_exists && i > 0 {
+            "e0"
+        } else {
+            pick(rng, vars)
+        };
+        let dst = if use_exists && i == 0 {
+            "e0"
+        } else {
+            pick(rng, vars)
+        };
+        atoms.push(format!("({src}, {}, {dst})", random_head_nre(p, rng)));
+    }
+    let head = atoms.join(", ");
+    if use_exists {
+        format!("sttgd {body} -> exists e0 : {head};\n")
+    } else {
+        format!("sttgd {body} -> {head};\n")
+    }
+}
+
+/// A head NRE over the base labels: single label, concat, union, or (when
+/// allowed) the paper's `A.A*` plus-shape.
+fn random_head_nre(p: &ScenarioParams, rng: &mut StdRng) -> String {
+    let a = pick(rng, &BASE_LABELS);
+    let b = pick(rng, &BASE_LABELS);
+    match rng.gen_range(0..if p.star_heads { 4u32 } else { 3u32 }) {
+        0 => a.to_owned(),
+        1 => format!("{a}.{b}"),
+        2 => format!("{a}+{b}"),
+        _ => format!("{a}.{a}*"),
+    }
+}
+
+fn random_egd(rng: &mut StdRng) -> String {
+    let a = pick(rng, &BASE_LABELS);
+    let b = pick(rng, &BASE_LABELS);
+    match rng.gen_range(0..3u32) {
+        // Functionality of a.
+        0 => format!("egd (x, {a}, y), (x, {a}, z) -> y = z;\n"),
+        // Inverse functionality (keys).
+        1 => format!("egd (x, {a}, y), (z, {a}, y) -> x = z;\n"),
+        // Cross-label agreement.
+        _ => format!("egd (x, {a}, y), (x, {b}, z) -> y = z;\n"),
+    }
+}
+
+fn random_sameas(rng: &mut StdRng) -> String {
+    let a = pick(rng, &BASE_LABELS);
+    match rng.gen_range(0..2u32) {
+        0 => format!("sameas (x, {a}, y), (z, {a}, y) -> (x, z);\n"),
+        _ => format!("sameas (x, {a}, y), (x, {a}, z) -> (y, z);\n"),
+    }
+}
+
+/// Stratified rule `i`: body over base labels plus `t0 … t{i-1}`, head
+/// writes `t{i}` only. Every shape's demand is a function of the match
+/// frontier alone (the seminaive_equiv confluence contract).
+fn random_target_tgd(i: usize, rng: &mut StdRng) -> String {
+    let mut pool: Vec<String> = BASE_LABELS.iter().map(|s| (*s).to_owned()).collect();
+    pool.extend((0..i).map(|j| format!("t{j}")));
+    let refs: Vec<&str> = pool.iter().map(String::as_str).collect();
+    let a = pick(rng, &refs);
+    let b = pick(rng, &refs);
+    match rng.gen_range(0..4u32) {
+        0 => format!("tgd (x, {a}, y) -> exists z : (y, t{i}, z);\n"),
+        1 => format!("tgd (x, {a}, y) -> (y, t{i}, x);\n"),
+        2 => format!("tgd (x, {a}.{b}, y) -> (x, t{i}, y);\n"),
+        _ => format!("tgd (x, {a}, y) -> exists z : (y, t{i}, z), (z, t{i}, x);\n"),
+    }
+}
+
+/// A random instance over the fixed `R/2; S/3` schema, as fact text.
+/// Constants come from a small shared pool (`c0 …`), so egd merges and
+/// clashes actually arise.
+pub fn random_instance_text(rng: &mut StdRng) -> String {
+    let consts = rng.gen_range(3..6usize);
+    let facts = rng.gen_range(2..7usize);
+    let c = |rng: &mut StdRng| format!("c{}", rng.gen_range(0..consts));
+    let mut out = String::new();
+    for _ in 0..facts {
+        if rng.gen_bool(0.6) {
+            let (x, y) = (c(rng), c(rng));
+            out.push_str(&format!("R({x}, {y});\n"));
+        } else {
+            let (x, y, z) = (c(rng), c(rng), c(rng));
+            out.push_str(&format!("S({x}, {y}, {z});\n"));
+        }
+    }
+    out
+}
+
+/// A random query NRE (as text) over the scenario's target labels,
+/// including inverses, stars, unions and nested tests. `budget` bounds
+/// the AST size; the text is the canonical `Display` form, so it parses
+/// back to the same tree.
+pub fn random_nre_text(budget: usize, rng: &mut StdRng) -> String {
+    random_nre(budget, rng).to_string()
+}
+
+fn random_nre(budget: usize, rng: &mut StdRng) -> gdx_nre::Nre {
+    use gdx_nre::Nre;
+    let label = |rng: &mut StdRng| pick(rng, &["f", "g", "h", "t0"]).to_owned();
+    if budget <= 1 {
+        let a = label(rng);
+        return if rng.gen_bool(0.25) {
+            Nre::inverse(&a)
+        } else {
+            Nre::label(&a)
+        };
+    }
+    match rng.gen_range(0..6u32) {
+        0 => random_nre(1, rng),
+        1 => random_nre(budget / 2, rng).concat(random_nre(budget / 2, rng)),
+        2 => random_nre(budget / 2, rng).union(random_nre(budget / 2, rng)),
+        3 => random_nre(budget - 1, rng).star(),
+        4 => random_nre(budget - 1, rng).test(),
+        _ => random_nre(1, rng).plus(),
+    }
+}
+
+/// A random Boolean CNRE query text `("ci", nre, "cj")` probing two pool
+/// constants.
+pub fn random_boolean_query_text(rng: &mut StdRng) -> String {
+    let c1 = rng.gen_range(0..5usize);
+    let c2 = rng.gen_range(0..5usize);
+    format!("(\"c{c1}\", {}, \"c{c2}\")", random_nre_text(4, rng))
+}
+
+/// A random open CNRE query text over variables `x`/`y` (1–2 atoms).
+pub fn random_open_query_text(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.7) {
+        format!("(x, {}, y)", random_nre_text(4, rng))
+    } else {
+        format!(
+            "(x, {}, y), (y, {}, z)",
+            random_nre_text(3, rng),
+            random_nre_text(2, rng)
+        )
+    }
+}
+
+/// A random concrete target graph (edge-list text) over the scenario's
+/// constants and base labels — the simulation's mutable working graph.
+pub fn random_work_graph_text(rng: &mut StdRng) -> String {
+    let nodes = rng.gen_range(2..5usize);
+    let edges = rng.gen_range(1..6usize);
+    let mut parts = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let s = rng.gen_range(0..nodes);
+        let d = rng.gen_range(0..nodes);
+        let l = pick(rng, &BASE_LABELS);
+        parts.push(format!("(c{s}, {l}, c{d});"));
+    }
+    let mut out = parts.join(" ");
+    out.push('\n');
+    out
+}
+
+/// A random edge over the pool constants/labels, for incremental
+/// insertion ops: `(src, label, dst)` as plain strings.
+pub fn random_edge(rng: &mut StdRng) -> (String, String, String) {
+    (
+        format!("c{}", rng.gen_range(0..5usize)),
+        pick(rng, &BASE_LABELS).to_owned(),
+        format!("c{}", rng.gen_range(0..5usize)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn settings_parse_and_validate_across_seeds() {
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = ScenarioParams {
+                cyclic_tgd: seed % 17 == 0,
+                ..ScenarioParams::default()
+            };
+            let text = random_setting_text(&p, &mut rng);
+            let setting = gdx_mapping::dsl::parse_setting(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            setting
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        }
+    }
+
+    #[test]
+    fn instances_parse_against_generated_schema() {
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let setting = gdx_mapping::dsl::parse_setting(&random_setting_text(
+                &ScenarioParams::default(),
+                &mut rng,
+            ))
+            .unwrap();
+            let inst_text = random_instance_text(&mut rng);
+            gdx_relational::Instance::parse(setting.source.clone(), &inst_text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{inst_text}"));
+        }
+    }
+
+    #[test]
+    fn queries_and_graphs_parse() {
+        for seed in 0..200u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nre = random_nre_text(5, &mut rng);
+            gdx_nre::parse::parse_nre(&nre).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{nre}"));
+            let bq = random_boolean_query_text(&mut rng);
+            gdx_query::Cnre::parse(&bq).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{bq}"));
+            let oq = random_open_query_text(&mut rng);
+            gdx_query::Cnre::parse(&oq).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{oq}"));
+            let g = random_work_graph_text(&mut rng);
+            gdx_graph::Graph::parse(&g).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{g}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = ScenarioParams::default();
+        let a = random_setting_text(&p, &mut StdRng::seed_from_u64(9));
+        let b = random_setting_text(&p, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -27,7 +27,7 @@ use gdx_common::lexer::{TokenCursor, TokenKind};
 use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol, UnionFind};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A graph node id: a constant from the shared domain `𝒱`, or a labeled
 /// null from `𝒩`.
@@ -85,6 +85,8 @@ pub struct NullFactory {
 /// Formats `~{n}` into a stack buffer, returning the borrowed text —
 /// the probe loops below run once per chase firing, so the per-probe
 /// `format!` heap allocation they used to pay is measurable.
+// The buffer holds only `~` and ASCII digits by construction.
+#[allow(clippy::expect_used)]
 fn null_name(buf: &mut [u8; 21], mut n: u64) -> &str {
     let mut i = buf.len();
     loop {
@@ -433,10 +435,12 @@ impl Graph {
             self.label_counts = label_counts;
         }
         let epoch = self.epoch();
+        // Poison recovery is sound for the freeze memo: the slot only
+        // ever holds a complete snapshot or None, replaced atomically.
         let frozen_memo = self
             .frozen
             .get_mut()
-            .expect("freeze lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
             .filter(|f| f.epoch() == epoch);
         self.base = Some(Arc::new(Sealed {
@@ -480,7 +484,7 @@ impl Graph {
     pub fn freeze(&self) -> Arc<FrozenGraph> {
         if let Some(base) = &self.base {
             if self.delta_is_empty() {
-                let mut slot = base.frozen.lock().expect("freeze lock poisoned");
+                let mut slot = base.frozen.lock().unwrap_or_else(PoisonError::into_inner);
                 return match &*slot {
                     Some(f) => Arc::clone(f),
                     None => {
@@ -491,7 +495,7 @@ impl Graph {
                 };
             }
         }
-        let mut slot = self.frozen.lock().expect("freeze lock poisoned");
+        let mut slot = self.frozen.lock().unwrap_or_else(PoisonError::into_inner);
         match &*slot {
             Some(f) if f.epoch() == self.epoch() => Arc::clone(f),
             _ => {
@@ -557,6 +561,8 @@ impl Graph {
                 return id;
             }
         }
+        // Capacity invariant: u32 node ids run out long after memory.
+        #[allow(clippy::expect_used)]
         let id = u32::try_from(self.node_count()).expect("node id overflow");
         self.nodes.push(node);
         self.ids.insert(node, id);
@@ -588,6 +594,9 @@ impl Graph {
     }
 
     /// The node behind a dense id.
+    // `id < base_node_len()` implies a base graph exists; a miss is a
+    // caller handing ids across graphs — a bug worth a loud panic.
+    #[allow(clippy::expect_used)]
     pub fn node(&self, id: NodeId) -> Node {
         let b = self.base_node_len();
         if (id as usize) < b {

@@ -23,6 +23,8 @@
 //!   [`Graph::freeze`] — the read-optimized data plane the evaluation
 //!   inner loops run on.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod frozen;
 pub mod graph;
 pub mod hom;

@@ -21,6 +21,8 @@
 //! egd (x1, h, x3), (x2, h, x3) -> x1 = x2;
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod constraint;
 pub mod dsl;
 pub mod setting;

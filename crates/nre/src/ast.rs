@@ -61,6 +61,12 @@ impl Nre {
     }
 
     /// Union of a non-empty sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty — there is no empty-language NRE to
+    /// return (the paper's fragment has no `∅`).
+    #[allow(clippy::expect_used)]
     pub fn union_all(parts: impl IntoIterator<Item = Nre>) -> Nre {
         let mut it = parts.into_iter();
         let first = it.next().expect("union of at least one NRE");
@@ -169,14 +175,43 @@ impl Nre {
     }
 }
 
+/// True when `name` can be written bare and re-lex as the same single
+/// label: every char is an identifier char, and the spelling does not
+/// collide with the `eps`/`ε` epsilon literals. Anything else prints in
+/// the quoted `"..."` spelling (labels containing `"` or a newline have
+/// no text form at all — the lexer's strings carry no escapes).
+fn bare_label(name: &str) -> bool {
+    !name.is_empty()
+        && name != "eps"
+        && !name.contains('ε')
+        && name.chars().all(gdx_common::lexer::is_ident_char)
+}
+
+/// Writes one label in whichever spelling round-trips.
+fn write_label(f: &mut fmt::Formatter<'_>, name: &str) -> fmt::Result {
+    if bare_label(name) {
+        write!(f, "{name}")
+    } else {
+        write!(f, "\"{name}\"")
+    }
+}
+
 /// Precedence-aware printing: union (lowest), concat, postfix star/inverse.
+///
+/// The output reparses to a structurally identical tree: binary chains
+/// print flat only where the parser's left fold rebuilds them (left
+/// children), while a right-nested union/concat keeps its parentheses,
+/// and labels that would not re-lex as themselves print quoted.
 impl fmt::Display for Nre {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn go(r: &Nre, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
             match r {
                 Nre::Epsilon => write!(f, "eps"),
-                Nre::Label(a) => write!(f, "{a}"),
-                Nre::Inverse(a) => write!(f, "{a}-"),
+                Nre::Label(a) => write_label(f, a.as_str()),
+                Nre::Inverse(a) => {
+                    write_label(f, a.as_str())?;
+                    write!(f, "-")
+                }
                 Nre::Test(inner) => {
                     write!(f, "[")?;
                     go(inner, f, 0)?;
@@ -195,28 +230,31 @@ impl fmt::Display for Nre {
                     write!(f, "*")
                 }
                 Nre::Concat(a, b) => {
-                    // Concatenation is associative: children print flat.
+                    // Left chains print flat (the parser folds left); a
+                    // concat in right position must keep its parentheses
+                    // or reparsing would re-associate it leftward.
                     let need = prec > 1;
                     if need {
                         write!(f, "(")?;
                     }
                     go(a, f, 1)?;
                     write!(f, ".")?;
-                    go(b, f, 1)?;
+                    go(b, f, 2)?;
                     if need {
                         write!(f, ")")?;
                     }
                     Ok(())
                 }
                 Nre::Union(a, b) => {
-                    // Union is associative: children print flat.
+                    // Same asymmetry as concat: flat on the left, a
+                    // parenthesized union on the right.
                     let need = prec > 0;
                     if need {
                         write!(f, "(")?;
                     }
                     go(a, f, 0)?;
                     write!(f, "+")?;
-                    go(b, f, 0)?;
+                    go(b, f, 1)?;
                     if need {
                         write!(f, ")")?;
                     }

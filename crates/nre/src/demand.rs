@@ -532,6 +532,9 @@ impl DemandEvaluator {
     /// Decides the guard `[t]` at node `u` by seeded sub-evaluation of
     /// `t` from exactly `u`, through the nested evaluator compiled
     /// eagerly by [`DemandEvaluator::try_new`].
+    // `try_new` compiles an evaluator for every guard of the expression
+    // before any query runs; a miss here is a construction bug.
+    #[allow(clippy::expect_used)]
     fn guard_holds(&mut self, graph: &Graph, guard: &Nre, u: NodeId) -> bool {
         self.stats.guard_checks += 1;
         let sub = self

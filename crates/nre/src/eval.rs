@@ -59,6 +59,8 @@ impl AdjList {
                 // Block ends the arena: grow in place.
                 self.arena.resize(slot.start as usize + new_cap as usize, 0);
             } else {
+                // Capacity invariant: u32 arena offsets outlast memory.
+                #[allow(clippy::expect_used)]
                 let new_start = u32::try_from(self.arena.len()).expect("arena overflow");
                 let s = slot.start as usize;
                 self.arena.extend_from_within(s..s + slot.len as usize);

@@ -278,6 +278,8 @@ pub fn eval_delta<'a>(
     cache: &'a mut IncrementalCache,
 ) -> (&'a [(NodeId, NodeId)], EvalMark) {
     cache.ensure(graph, r);
+    // `ensure` just materialized (or refreshed) exactly this entry.
+    #[allow(clippy::expect_used)]
     let rel = cache.get(r).expect("ensure materialized the entry");
     let from = match since.graph {
         Some(id) if id == graph.id() => since.pairs.min(rel.mark()),

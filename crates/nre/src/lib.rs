@@ -32,6 +32,8 @@
 //!   nested test branches) and their materialization into graphs: the
 //!   engine behind canonical instantiation of graph patterns.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod classify;
 pub mod demand;

@@ -7,8 +7,12 @@
 //! union  := concat ('+' concat)*
 //! concat := postfix ('.' postfix)*
 //! postfix:= atom ('*' | '-')*
-//! atom   := 'eps' | 'ε' | label | '(' union ')' | '[' union ']'
+//! atom   := 'eps' | 'ε' | label | '"' label '"'
+//!         | '(' union ')' | '[' union ']'
 //! ```
+//!
+//! The quoted spelling admits labels that are not bare identifiers and
+//! a literal label named `eps` (bare `eps` is always epsilon).
 //!
 //! The paper's query `f · f*[h] · f⁻ · (f⁻)*` is written
 //! `f.f*.[h].f-.(f-)*`.
@@ -79,8 +83,11 @@ fn parse_atom(cur: &mut TokenCursor) -> Result<Nre> {
         cur.expect(&TokenKind::RBracket, "nesting test")?;
         return Ok(Nre::Test(Box::new(r)));
     }
-    let name = cur.expect_ident("NRE atom")?;
-    if name == "eps" {
+    // A label may be spelled bare (`f`) or quoted (`"odd label"`); the
+    // quoted form also disambiguates a literal label named `eps` from
+    // the epsilon keyword.
+    let (name, quoted) = cur.expect_name("NRE atom")?;
+    if !quoted && name == "eps" {
         Ok(Nre::Epsilon)
     } else {
         Ok(Nre::Label(Symbol::new(&name)))
@@ -163,6 +170,51 @@ mod tests {
             let r2 = parse_nre(&r.to_string()).unwrap();
             assert_eq!(r, r2, "roundtrip failed for {text}");
         }
+    }
+
+    #[test]
+    fn right_nested_chains_survive_reparsing() {
+        // Raw right-nested trees (never produced by the left-folding
+        // smart constructors, but reachable through Repro files and
+        // programmatic construction) keep their shape.
+        let r = Nre::Union(
+            Box::new(Nre::label("a")),
+            Box::new(Nre::Union(
+                Box::new(Nre::label("b")),
+                Box::new(Nre::label("c")),
+            )),
+        );
+        assert_eq!(r.to_string(), "a+(b+c)");
+        assert_eq!(parse_nre(&r.to_string()).unwrap(), r);
+        let c = Nre::Concat(
+            Box::new(Nre::label("a")),
+            Box::new(Nre::Concat(
+                Box::new(Nre::label("b")),
+                Box::new(Nre::label("c")),
+            )),
+        );
+        assert_eq!(c.to_string(), "a.(b.c)");
+        assert_eq!(parse_nre(&c.to_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn quoted_labels_round_trip() {
+        // `eps` is reserved bare; a literal label of that name quotes.
+        for name in ["eps", "ε", "a b", "x-y", ""] {
+            let lab = Nre::label(name);
+            assert_eq!(parse_nre(&lab.to_string()).unwrap(), lab, "label {name:?}");
+            let inv = Nre::inverse(name);
+            assert_eq!(
+                parse_nre(&inv.to_string()).unwrap(),
+                inv,
+                "inverse {name:?}"
+            );
+        }
+        assert_eq!(Nre::label("eps").to_string(), "\"eps\"");
+        assert_eq!(parse_nre("\"eps\"").unwrap(), Nre::label("eps"));
+        assert_eq!(parse_nre("eps").unwrap(), Nre::Epsilon);
+        // Plain identifiers still print bare.
+        assert_eq!(Nre::label("f").to_string(), "f");
     }
 
     #[test]

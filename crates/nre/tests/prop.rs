@@ -26,6 +26,34 @@ fn arb_nre() -> impl Strategy<Value = Nre> {
     })
 }
 
+/// Strategy: random NREs whose labels stress the printer's quoting —
+/// epsilon collisions, non-identifier characters, the empty string.
+fn arb_nre_odd_labels() -> impl Strategy<Value = Nre> {
+    let label = prop_oneof![
+        Just("a"),
+        Just("eps"),
+        Just("ε"),
+        Just("a b"),
+        Just("x-y"),
+        Just("x'1"),
+        Just(""),
+        Just("+."),
+    ];
+    let leaf = prop_oneof![
+        Just(Nre::Epsilon),
+        label.clone().prop_map(Nre::label),
+        label.prop_map(Nre::inverse),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Nre::Union(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Nre::Concat(Box::new(x), Box::new(y))),
+            inner.clone().prop_map(|x| Nre::Star(Box::new(x))),
+            inner.prop_map(|x| Nre::Test(Box::new(x))),
+        ]
+    })
+}
+
 /// Strategy: random small graphs over the same alphabet.
 fn arb_graph() -> impl Strategy<Value = Graph> {
     // Up to 6 nodes, up to 12 edges, labels a/b/c.
@@ -43,13 +71,27 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Printing then reparsing yields a syntactically identical tree once
-    /// the printed form is taken as canonical (print∘parse is a fixpoint).
+    /// Printing then reparsing yields the *structurally identical* tree —
+    /// not merely a display fixpoint. This pins the right-associated
+    /// union/concat parenthesization: `a+(b+c)` must not silently
+    /// re-associate to `(a+b)+c` on the way through the printer.
     #[test]
-    fn display_parse_fixpoint(r in arb_nre()) {
+    fn display_parse_roundtrip_is_identity(r in arb_nre()) {
         let printed = r.to_string();
         let reparsed = parse_nre(&printed).expect("printer output parses");
-        prop_assert_eq!(reparsed.to_string(), printed);
+        prop_assert_eq!(&reparsed, &r, "printed as {}", printed);
+    }
+
+    /// The same identity holds when labels need the quoted spelling:
+    /// reserved epsilon spellings (`eps`, `ε`), spaces, dashes, empty —
+    /// anything the lexer cannot re-read bare. (Labels containing `"` or
+    /// a newline have no text form at all and are excluded by design.)
+    #[test]
+    fn display_parse_roundtrip_with_adversarial_labels(r in arb_nre_odd_labels()) {
+        let printed = r.to_string();
+        let reparsed = parse_nre(&printed)
+            .unwrap_or_else(|e| panic!("printer output `{printed}` fails to parse: {e}"));
+        prop_assert_eq!(&reparsed, &r, "printed as {}", printed);
     }
 
     /// The single-source evaluator agrees with the full-relation evaluator

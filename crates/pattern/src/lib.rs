@@ -18,6 +18,8 @@
 //!   search). Every instantiation `G` satisfies `π → G`, i.e. lies in
 //!   `Rep_Σ(π)`.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod core_retract;
 pub mod hom;
 pub mod instantiate;

@@ -424,6 +424,10 @@ pub fn evaluate_with_scratch(
 /// candidate bindings across workers ([`parallel_outer_join`]). Both are
 /// merged in input order, so the answer rows are byte-identical to a
 /// 1-worker evaluation.
+// The `expect("ensured")` cache lookups below follow the ensure pass over
+// the same atoms; a miss is a planner/cache bug that a silent fallback
+// would only hide.
+#[allow(clippy::expect_used)]
 pub(crate) fn planned_eval<C: RelCache>(
     graph: &Graph,
     query: &Cnre,
@@ -681,17 +685,12 @@ pub(crate) fn greedy_order(
     let n = query.atoms.len();
     let mut remaining: Vec<usize> = (0..n).filter(|&i| Some(i) != exclude).collect();
     let mut order: Vec<usize> = Vec::with_capacity(remaining.len());
-    while !remaining.is_empty() {
-        let (pos, &best) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &i)| {
-                let a = &query.atoms[i];
-                let shared = a.variables().filter(|v| bound.contains(v)).count();
-                let fixed = [&a.left, &a.right].iter().filter(|t| !t.is_var()).count();
-                (shared + fixed, usize::MAX - rels[i].len())
-            })
-            .expect("non-empty remaining");
+    while let Some((pos, &best)) = remaining.iter().enumerate().max_by_key(|(_, &i)| {
+        let a = &query.atoms[i];
+        let shared = a.variables().filter(|v| bound.contains(v)).count();
+        let fixed = [&a.left, &a.right].iter().filter(|t| !t.is_var()).count();
+        (shared + fixed, usize::MAX - rels[i].len())
+    }) {
         order.push(best);
         bound.extend(query.atoms[best].variables());
         remaining.swap_remove(pos);

@@ -25,6 +25,8 @@
 //!   not exist at the previous call, via `⋃ᵢ (Δᵢ ⋈ full others)` on top of
 //!   the incremental NRE evaluator.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cnre;
 pub mod eval;
 pub mod plan;

@@ -130,18 +130,13 @@ pub(crate) fn plan_query(
         Term::Var(v) => bound.contains(v),
     };
 
-    while !remaining.is_empty() {
-        let (pos, &best) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &i)| {
-                let a = &query.atoms[i];
-                let b = usize::from(endpoint_bound(&a.left, &bound))
-                    + usize::from(endpoint_bound(&a.right, &bound));
-                let size = est_pairs(graph, &a.nre) as u64;
-                (b, u64::MAX - size)
-            })
-            .expect("non-empty remaining");
+    while let Some((pos, &best)) = remaining.iter().enumerate().max_by_key(|(_, &i)| {
+        let a = &query.atoms[i];
+        let b = usize::from(endpoint_bound(&a.left, &bound))
+            + usize::from(endpoint_bound(&a.right, &bound));
+        let size = est_pairs(graph, &a.nre) as u64;
+        (b, u64::MAX - size)
+    }) {
         let atom = &query.atoms[best];
         let bound_endpoints = usize::from(endpoint_bound(&atom.left, &bound))
             + usize::from(endpoint_bound(&atom.right, &bound));

@@ -83,6 +83,8 @@ impl SemiNaiveState {
         for atom in &query.atoms {
             self.cache.ensure(graph, &atom.nre);
         }
+        // Every atom was ensured in the loop above; a miss is a cache bug.
+        #[allow(clippy::expect_used)]
         let rels: Vec<&BinRel> = query
             .atoms
             .iter()
@@ -115,7 +117,13 @@ impl SemiNaiveState {
             if from >= to {
                 continue;
             }
+            #[cfg(not(feature = "fault-delta-window"))]
             let window = &rels[i].pairs_since(from)[..to - from];
+            // Deliberate off-by-one for the gdx-sim detector-sharpness
+            // self-test: the last delta pair is silently dropped, so the
+            // semi-naive chase misses firings the naive oracle makes.
+            #[cfg(feature = "fault-delta-window")]
+            let window = &rels[i].pairs_since(from)[..(to - from).saturating_sub(1)];
             // Delta atom first, the rest greedily. The order is
             // chunk-independent: `greedy_order` excludes atom `i`, so it
             // only consults the *other* atoms' full relations.

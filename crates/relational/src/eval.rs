@@ -71,19 +71,14 @@ fn order_atoms(instance: &Instance, query: &ConjunctiveQuery) -> Vec<usize> {
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
     let mut bound: FxHashSet<Symbol> = FxHashSet::default();
-    while !remaining.is_empty() {
-        let (pos, &best) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &i)| {
-                let shared = query.atoms[i]
-                    .variables()
-                    .filter(|v| bound.contains(v))
-                    .count();
-                // More shared variables first; among those, smaller relations.
-                (shared, usize::MAX - size(i))
-            })
-            .expect("remaining non-empty");
+    while let Some((pos, &best)) = remaining.iter().enumerate().max_by_key(|(_, &i)| {
+        let shared = query.atoms[i]
+            .variables()
+            .filter(|v| bound.contains(v))
+            .count();
+        // More shared variables first; among those, smaller relations.
+        (shared, usize::MAX - size(i))
+    }) {
         order.push(best);
         bound.extend(query.atoms[best].variables());
         remaining.swap_remove(pos);
@@ -183,6 +178,12 @@ pub fn evaluate(instance: &Instance, query: &ConjunctiveQuery) -> Result<Binding
     Ok(Bindings { vars, rows })
 }
 
+// The expects below document invariants established by query validation
+// and plan construction (every atom's relation exists, every variable a
+// plan reads is bound by an earlier level): on the per-row hot path a
+// fallback would silently mask planner bugs, so a panic is the honest
+// report.
+#[allow(clippy::expect_used)]
 fn join(
     instance: &Instance,
     query: &ConjunctiveQuery,

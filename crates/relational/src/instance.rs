@@ -158,6 +158,9 @@ impl Instance {
 
     /// The paper's running example instance (Example 2.2): two flights and
     /// three hotel stays.
+    // Static literal inputs: a parse failure here is a broken fixture,
+    // caught by every test that touches the running example.
+    #[allow(clippy::expect_used)]
     pub fn example_2_2() -> Instance {
         let schema = Schema::from_relations([("Flight", 3), ("Hotel", 2)]).expect("static schema");
         Instance::parse(

@@ -12,6 +12,8 @@
 //! * [`eval`] — CQ evaluation by hash-join with greedy atom ordering,
 //!   producing all satisfying assignments (the *triggers* of the chase).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cq;
 pub mod eval;
 pub mod instance;

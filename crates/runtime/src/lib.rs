@@ -56,10 +56,12 @@
 //! exercise real thread interleavings regardless of the host use
 //! [`Runtime::with_workers`], which deliberately skips the clamp.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The thread-count *configuration* — `Copy`, so it rides inside the
 /// option structs (`gdx_exchange::Options::threads`,
@@ -190,10 +192,13 @@ impl Runtime {
         // One deque per worker, chunks dealt round-robin.
         let deques: Vec<Mutex<VecDeque<usize>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        // Deque poisoning is recoverable throughout: the deques hold
+        // plain indices and every push/pop leaves them consistent, so a
+        // panic in `f` on another worker must not cascade here.
         for ci in 0..ranges.len() {
             deques[ci % workers]
                 .lock()
-                .expect("deque poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push_back(ci);
         }
         let (ranges, deques, f) = (&ranges, &deques, &f);
@@ -209,13 +214,13 @@ impl Runtime {
                             // means finished.
                             let task = deques[w]
                                 .lock()
-                                .expect("deque poisoned")
+                                .unwrap_or_else(PoisonError::into_inner)
                                 .pop_back()
                                 .or_else(|| {
                                     (1..workers).find_map(|k| {
                                         deques[(w + k) % workers]
                                             .lock()
-                                            .expect("deque poisoned")
+                                            .unwrap_or_else(PoisonError::into_inner)
                                             .pop_front()
                                     })
                                 });
@@ -227,13 +232,26 @@ impl Runtime {
                 })
                 .collect();
             for h in handles {
-                for (ci, r) in h.join().expect("runtime worker panicked") {
-                    out[ci] = Some(r);
+                // A worker panics only when the caller's `f` panicked;
+                // re-raise the original payload instead of masking it
+                // behind a generic join message.
+                match h.join() {
+                    Ok(rs) => {
+                        for (ci, r) in rs {
+                            out[ci] = Some(r);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });
         out.into_iter()
-            .map(|r| r.expect("every chunk completed"))
+            .map(|r| match r {
+                Some(r) => r,
+                // Every chunk index was dealt to a deque and every deque
+                // drained before the scope joined.
+                None => unreachable!("every chunk completed"),
+            })
             .collect()
     }
 
@@ -309,7 +327,9 @@ impl Runtime {
         let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
         let indices: Vec<usize> = (0..cells.len()).collect();
         self.par_map(&indices, |_, &i| {
-            let mut guard = cells[i].lock().expect("scratch cell poisoned");
+            // Claimed exactly once, so never contended — and a panic
+            // elsewhere already propagates through the join above.
+            let mut guard = cells[i].lock().unwrap_or_else(PoisonError::into_inner);
             f(i, &mut guard)
         })
     }
@@ -409,7 +429,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "runtime worker panicked")]
+    // The original payload is rethrown (`resume_unwind`), not wrapped.
+    #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
         let rt = Runtime::with_workers(2);
         let items: Vec<usize> = (0..100).collect();

@@ -15,6 +15,8 @@
 //! * [`brute_force`] — exhaustive check for cross-validation on small
 //!   formulas.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cnf;
 pub mod solver;
 

@@ -174,10 +174,9 @@ impl Dpll<'_> {
             if satisfied {
                 continue;
             }
-            match unassigned_count {
-                0 => return Propagation::Conflict,
-                1 => {
-                    let l = unassigned.expect("one unassigned literal");
+            match (unassigned_count, unassigned) {
+                (0, _) => return Propagation::Conflict,
+                (1, Some(l)) => {
                     self.assignment[l.var as usize] = Some(l.positive);
                     trail.push(l.var);
                     self.stats.propagations += 1;
@@ -238,11 +237,10 @@ impl Dpll<'_> {
                     }
                 }
             }
-            let (best, &c) = count
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, &c)| c)
-                .expect("non-empty count");
+            // A variable-free formula has no literal to branch on
+            // (`count` is empty): fall through to the all-satisfied
+            // check in `search`.
+            let (best, &c) = count.iter().enumerate().max_by_key(|&(_, &c)| c)?;
             if c == 0 {
                 return None;
             }

@@ -1,0 +1,128 @@
+//! Campaign driver: multi-seed sweeps and repro replay.
+
+use crate::exec::{run_scenario, SimFailure};
+use crate::gen::generate;
+use crate::shrink::shrink;
+use crate::trace::Repro;
+use crate::Oracle;
+
+/// One failing seed, with its shrunk repro.
+#[derive(Debug, Clone)]
+pub struct FoundFailure {
+    /// The seed whose scenario failed.
+    pub seed: u64,
+    /// The failure of the original (unshrunk) scenario.
+    pub original: SimFailure,
+    /// The shrunk repro (scenario + recorded failure summary).
+    pub repro: Repro,
+}
+
+/// Outcome of [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The oracle the campaign ran under.
+    pub oracle: Oracle,
+    /// Seeds actually executed (may stop early at `max_failures`).
+    pub seeds_run: u64,
+    /// Every failure found, in seed order.
+    pub failures: Vec<FoundFailure>,
+}
+
+/// Runs `seeds` consecutive seeds starting at `start` under `oracle`;
+/// each failing seed is auto-shrunk to a minimal deterministic repro.
+/// Stops early once `max_failures` failures are collected (0 = no cap).
+pub fn run_campaign(oracle: Oracle, start: u64, seeds: u64, max_failures: usize) -> CampaignReport {
+    let mut report = CampaignReport {
+        oracle,
+        seeds_run: 0,
+        failures: Vec::new(),
+    };
+    for seed in start..start.saturating_add(seeds) {
+        report.seeds_run += 1;
+        let sc = generate(seed, oracle);
+        if let Err(original) = run_scenario(&sc, oracle) {
+            let (shrunk, failure) = shrink(&sc, oracle);
+            report.failures.push(FoundFailure {
+                seed,
+                original,
+                repro: Repro {
+                    oracle,
+                    failure: failure.summary(),
+                    scenario: shrunk,
+                },
+            });
+            if max_failures > 0 && report.failures.len() >= max_failures {
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// What replaying a repro file established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Replayed {
+    /// The scenario passed every check. `recorded` is the failure the
+    /// file captured (`"none"` for corpus scenarios pinned as passing;
+    /// anything else means the recorded bug no longer reproduces).
+    Clean {
+        /// The failure summary recorded in the file.
+        recorded: String,
+    },
+    /// The scenario failed exactly as recorded (byte-identical summary).
+    Reproduced(SimFailure),
+    /// The scenario failed, but differently from the recorded summary.
+    Diverged {
+        /// The failure summary recorded in the file.
+        recorded: String,
+        /// The failure observed now.
+        observed: SimFailure,
+    },
+}
+
+/// Parses and replays a repro file's text.
+pub fn replay_text(text: &str) -> Result<Replayed, String> {
+    let repro = Repro::parse(text)?;
+    match run_scenario(&repro.scenario, repro.oracle) {
+        Ok(()) => Ok(Replayed::Clean {
+            recorded: repro.failure,
+        }),
+        Err(f) => {
+            if f.summary() == repro.failure {
+                Ok(Replayed::Reproduced(f))
+            } else {
+                Ok(Replayed::Diverged {
+                    recorded: repro.failure,
+                    observed: f,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_of_a_passing_scenario_is_clean() {
+        let sc = generate(1, Oracle::Replay);
+        let repro = Repro {
+            oracle: Oracle::Replay,
+            failure: "none".to_owned(),
+            scenario: sc,
+        };
+        let got = replay_text(&repro.to_text()).unwrap();
+        assert_eq!(
+            got,
+            Replayed::Clean {
+                recorded: "none".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn replay_rejects_garbage() {
+        assert!(replay_text("not a repro").is_err());
+    }
+}

@@ -91,10 +91,11 @@ fn tgd_step_bound_is_observed() {
     let setting = union_tgd_setting();
     let instance = union_tgd_instance(&setting);
     // One firing per candidate is required; a zero-step budget trips the
-    // engine on every candidate, so the (inexact) search finds nothing.
+    // engine on every candidate (the budget is inclusive: `max_steps: 1`
+    // would admit the single firing), so the inexact search finds nothing.
     let mut strangled = ExchangeSession::new(setting, instance).with_options(Options {
         tgd_chase: gdx::chase::TgdChaseConfig {
-            max_steps: 1,
+            max_steps: 0,
             ..gdx::chase::TgdChaseConfig::default()
         },
         ..Options::default()
