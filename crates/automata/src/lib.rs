@@ -25,6 +25,7 @@
 //! (DESIGN.md §5 item 3).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod dfa;
 pub mod eval_nfa;

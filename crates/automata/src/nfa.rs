@@ -67,6 +67,7 @@ impl Nfa {
     /// ε-closure of a state set.
     pub fn eps_closure(&self, states: &FxHashSet<StateId>) -> FxHashSet<StateId> {
         let mut out = states.clone();
+        // gdx-lint: allow(hash-iter) — worklist seeding: the closure is a set, so visit order cannot escape
         let mut stack: Vec<StateId> = states.iter().copied().collect();
         while let Some(s) = stack.pop() {
             for &t in &self.eps[s as usize] {
@@ -86,6 +87,7 @@ impl Nfa {
         cur = self.eps_closure(&cur);
         for letter in word {
             let mut next = FxHashSet::default();
+            // gdx-lint: allow(hash-iter) — successor sets are unioned; acceptance is order-free
             for &s in &cur {
                 if let Some(ts) = self.trans[s as usize].get(letter) {
                     next.extend(ts.iter().copied());

@@ -6,7 +6,7 @@
 //! 500-flight chase and certain-answer sweep, and (d) the PR-5
 //! `data_plane` contrast: frozen CSR adjacency vs the mutable hash index,
 //! and bitset-visited BFS vs a hash-set-visited reimplementation. Writes
-//! a machine-readable JSON report (`BENCH_pr6.json` by default), so the
+//! a machine-readable JSON report (`BENCH_pr8.json` by default), so the
 //! perf trajectory is tracked across PRs. PR 6 adds the
 //! `candidate_family` group: per-candidate materialization cost of
 //! copy-on-write forks vs eager `Graph::clone` at 100/300/500 flights,
@@ -613,7 +613,7 @@ fn candidate_family_rows(rows: &mut Vec<Row>) {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr6.json".to_owned());
+        .unwrap_or_else(|| "BENCH_pr8.json".to_owned());
     let mut rows = Vec::new();
     seeded_query_rows(&mut rows);
     certain_probe_rows(&mut rows);
@@ -632,7 +632,7 @@ fn main() {
         one_worker_parity_guard();
     }
     let mut json =
-        format!("{{\n  \"pr\": 6,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
+        format!("{{\n  \"pr\": 8,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.baseline_ns as f64 / r.fast_ns.max(1) as f64;
         let _ = write!(

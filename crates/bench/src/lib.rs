@@ -7,6 +7,8 @@
 //! Experiment ids follow DESIGN.md §4: `E*` are exact reproductions of
 //! paper artifacts, `B*`/`T*` are the empirical complexity experiments.
 
+#![forbid(unsafe_code)]
+
 use gdx_datagen::{flights_hotels, random_3cnf, rng, FlightsHotelsParams};
 use gdx_exchange::reduction::{Reduction, ReductionFlavor};
 use gdx_exchange::{encode, CertainAnswer, ExchangeSession, Existence, Options};

@@ -21,6 +21,7 @@
 //! [graph pattern]: gdx_pattern::GraphPattern
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod egd_pattern;
 pub mod sameas;

@@ -77,7 +77,8 @@ pub fn is_weakly_acyclic(tgds: &[TargetTgd]) -> Result<bool> {
 
     // Weak acyclicity fails iff some special edge lies on a cycle, i.e.
     // both its endpoints are in the same strongly connected component.
-    let node_list: Vec<Position> = nodes.iter().copied().collect();
+    let mut node_list: Vec<Position> = nodes.iter().copied().collect();
+    node_list.sort_unstable();
     let index: FxHashMap<Position, usize> =
         node_list.iter().enumerate().map(|(i, &p)| (p, i)).collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); node_list.len()];

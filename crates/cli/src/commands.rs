@@ -33,8 +33,14 @@ USAGE:
   gdx sim run   [--seeds N] [--start S] [--oracle NAME] [--out DIR]
                 [--max-failures N]
   gdx sim replay --file R.repro
+  gdx lint      [--format text|json] [--warnings] [--root DIR]
   gdx info
   gdx help
+
+LINT (workspace invariant checker, see ARCHITECTURE.md):
+  mechanically enforces the determinism, panic-hygiene and locking
+  contracts over every workspace crate (same engine as `cargo run -p
+  gdx-lint -- check`); exits non-zero on violations or stale allows.
 
 SIMULATION (differential fuzzing, see ARCHITECTURE.md):
   oracles: replay | chase-mode | planner | threads | sat | fork | faults
@@ -76,6 +82,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         "reduce" => cmd_reduce(rest),
         "direct" => cmd_direct(rest),
         "sim" => cmd_sim(rest),
+        "lint" => cmd_lint(rest),
         "info" => cmd_info(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -401,6 +408,44 @@ fn cmd_sim_replay(argv: &[String]) -> Result<()> {
             println!("  observed: {}", observed.summary());
             Err(GdxError::Internal("replay diverged from recording".into()))
         }
+    }
+}
+
+/// `gdx lint` — run the workspace invariant checker (gdx-lint) over
+/// the repository containing the current directory (or `--root DIR`).
+fn cmd_lint(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, &["warnings"])?;
+    let format = a.get("format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(GdxError::schema(format!(
+            "--format expects `text` or `json`, got `{format}`"
+        )));
+    }
+    let root = match a.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| GdxError::schema(format!("current dir: {e}")))?;
+            gdx_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                GdxError::schema("no [workspace] Cargo.toml above the current dir".to_owned())
+            })?
+        }
+    };
+    let report = gdx_lint::check_workspace(&root)
+        .map_err(|e| GdxError::schema(format!("walking {}: {e}", root.display())))?;
+    if format == "json" {
+        print!("{}", gdx_lint::render_json(&report));
+    } else {
+        print!("{}", gdx_lint::render_text(&report, a.has("warnings")));
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(GdxError::schema(format!(
+            "lint: {} error(s), {} stale allow(s)",
+            report.errors(),
+            report.allows.iter().filter(|al| !al.used).count()
+        )))
     }
 }
 

@@ -13,6 +13,8 @@
 //! dependency); every subcommand prints to stdout and exits non-zero on
 //! error.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

@@ -325,3 +325,25 @@ fn sim_run_and_replay_round_trip() {
     let out = gdx(&["sim", "replay", "--file", &bad.to_string_lossy()]);
     assert!(!out.status.success(), "garbage repro must fail");
 }
+
+#[test]
+fn lint_reports_a_clean_workspace() {
+    // The shipped tree must satisfy its own contract; point --root at
+    // the workspace explicitly so the test is cwd-independent.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.to_string_lossy().into_owned();
+    let out = stdout_of(&["lint", "--root", &root]);
+    assert!(out.contains("gdx-lint: clean"), "{out}");
+    assert!(out.contains("0 error(s)"), "{out}");
+
+    let json = stdout_of(&["lint", "--root", &root, "--format", "json"]);
+    assert!(json.contains("\"clean\": true"), "{json}");
+    assert!(json.contains("\"errors\": 0"), "{json}");
+}
+
+#[test]
+fn help_documents_lint() {
+    let out = stdout_of(&["help"]);
+    assert!(out.contains("gdx lint"), "{out}");
+    assert!(out.contains("invariant checker"), "{out}");
+}

@@ -21,6 +21,7 @@
 //! * [`GdxError`] — the workspace-wide error type.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod bits;
 pub mod error;

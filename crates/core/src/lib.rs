@@ -46,6 +46,7 @@
 //!   `(pattern, constraints)` pairs (Section 5).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod certain;
 pub mod direct;

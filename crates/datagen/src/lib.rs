@@ -18,6 +18,7 @@
 //!   fuzzing harness.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod scenario;
 

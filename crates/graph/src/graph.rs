@@ -410,6 +410,7 @@ impl Graph {
             nodes.append(&mut self.nodes);
             self.nodes = nodes;
             let mut ids = base.ids.clone();
+            // gdx-lint: allow(hash-iter) — map-to-map fold: hash order cannot escape
             ids.extend(self.ids.drain());
             self.ids = ids;
             let mut edges = Vec::with_capacity(base.edges.len() + self.edges.len());
@@ -417,18 +418,23 @@ impl Graph {
             edges.append(&mut self.edges);
             self.edges = edges;
             let mut edge_set = base.edge_set.clone();
+            // gdx-lint: allow(hash-iter) — set-to-set fold: hash order cannot escape
             edge_set.extend(self.edge_set.drain());
             self.edge_set = edge_set;
             let mut out = base.out.clone();
+            // gdx-lint: allow(hash-iter) — map-to-map fold: hash order cannot escape
             out.extend(self.out.drain());
             self.out = out;
             let mut inc = base.inc.clone();
+            // gdx-lint: allow(hash-iter) — map-to-map fold: hash order cannot escape
             inc.extend(self.inc.drain());
             self.inc = inc;
             let mut labels = base.labels.clone();
+            // gdx-lint: allow(hash-iter) — set-to-set fold: hash order cannot escape
             labels.extend(self.labels.drain());
             self.labels = labels;
             let mut label_counts = base.label_counts.clone();
+            // gdx-lint: allow(hash-iter) — per-key addition into a map is commutative
             for (l, c) in self.label_counts.drain() {
                 *label_counts.entry(l).or_insert(0) += c;
             }
@@ -705,6 +711,7 @@ impl Graph {
         base.into_iter()
             .flatten()
             .copied()
+            // gdx-lint: allow(hash-iter) — documented unordered iterator; callers aggregate order-insensitively
             .chain(self.labels.iter().copied().filter(move |l| {
                 // Delta re-records labels the base already has; report each
                 // label once.
@@ -730,6 +737,7 @@ impl Graph {
             None => self.label_counts.clone(),
             Some(b) => {
                 let mut stats = b.label_counts.clone();
+                // gdx-lint: allow(hash-iter) — per-key addition into a map is commutative
                 for (l, c) in &self.label_counts {
                     *stats.entry(*l).or_insert(0) += c;
                 }

@@ -117,7 +117,7 @@ fn search(
     }
     let u = nulls[depth];
     let used: FxHashSet<NodeId> = if injective {
-        assign.values().copied().collect()
+        assign.values().copied().collect::<FxHashSet<_>>()
     } else {
         FxHashSet::default()
     };

@@ -24,6 +24,7 @@
 //!   inner loops run on.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod frozen;
 pub mod graph;

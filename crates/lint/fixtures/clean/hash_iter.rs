@@ -1,0 +1,23 @@
+//! Clean twin of `violations/hash_iter.rs`: every iteration is
+//! sanctioned — sorted, re-aggregated into an order-free container, or
+//! consumed by an order-free sink.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn sorted_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+fn reaggregated(s: &HashSet<u32>) -> BTreeMap<u32, u32> {
+    s.iter().map(|&v| (v, v)).collect::<BTreeMap<_, _>>()
+}
+
+fn order_free_sink(m: &HashMap<u32, u32>) -> usize {
+    m.values().filter(|&&v| v > 0).count()
+}
+
+fn hash_to_hash(dst: &mut HashSet<u32>, src: HashSet<u32>) {
+    dst.extend(src.into_iter());
+}

@@ -1,0 +1,17 @@
+//! Clean twin of `violations/lock_unwrap.rs`: poisoning is recovered
+//! with `PoisonError::into_inner` — the data is still consistent, the
+//! panic that poisoned the lock already reported the real failure.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+fn counter(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn peek(l: &RwLock<u64>) -> u64 {
+    *l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn bump(l: &RwLock<u64>) {
+    *l.write().unwrap_or_else(PoisonError::into_inner) += 1;
+}

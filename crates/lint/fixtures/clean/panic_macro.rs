@@ -1,0 +1,10 @@
+//! Clean twin of `violations/panic_macro.rs`: fallible paths return
+//! errors instead of panicking.
+
+fn must_have(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing value".to_owned())
+}
+
+fn finished(x: u32) -> u32 {
+    x.wrapping_add(1)
+}

@@ -1,0 +1,18 @@
+//! Clean twin of `violations/slice_index.rs`: checked accessors,
+//! literal subscripts and full-range reborrows are all exempt.
+
+fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+fn fixed_probe(xs: &[u32; 4]) -> u32 {
+    xs[0]
+}
+
+fn whole(xs: &[u32]) -> &[u32] {
+    &xs[..]
+}
+
+fn checked(xs: &[u32], i: usize) -> u32 {
+    xs.get(i).copied().unwrap_or(0)
+}

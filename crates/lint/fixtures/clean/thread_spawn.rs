@@ -1,0 +1,10 @@
+//! Clean twin of `violations/thread_spawn.rs`: parallelism decisions
+//! are expressed as data (a worker count) and handed to the runtime.
+
+fn worker_count(hint: usize) -> usize {
+    hint.clamp(1, 64)
+}
+
+fn chunk(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers.max(1))
+}

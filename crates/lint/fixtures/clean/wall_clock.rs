@@ -1,0 +1,12 @@
+//! Clean twin of `violations/wall_clock.rs`: time values flow in from
+//! the caller; the library never reads the clock itself.
+
+use std::time::Duration;
+
+fn within_budget(elapsed: Duration, budget: Duration) -> bool {
+    elapsed <= budget
+}
+
+fn double(budget: Duration) -> Duration {
+    budget.saturating_mul(2)
+}

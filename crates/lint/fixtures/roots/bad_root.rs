@@ -1,0 +1,6 @@
+//! Fixture: a library crate root missing both contract attributes —
+//! `#![forbid(unsafe_code)]` and the clippy unwrap/expect deny
+//! preamble. Both findings anchor to line 1 (checked by a dedicated
+//! test, not expect markers).
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! Fixture: a compliant library crate root.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

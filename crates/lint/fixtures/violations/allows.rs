@@ -1,0 +1,15 @@
+//! Fixture: suppression policing. A stale allow (matching no
+//! diagnostic) and a reason-less allow are themselves diagnostics —
+//! suppressions must stay attached to live findings.
+
+fn nothing_to_suppress() -> u32 {
+    // gdx-lint: expect(unused-allow)
+    // gdx-lint: allow(hash-iter) — fixture: there is no hash iteration on the next line
+    41 + 1
+}
+
+fn reason_is_mandatory() -> u32 {
+    // gdx-lint: expect(bad-allow)
+    // gdx-lint: allow(panic-macro)
+    2 + 2
+}

@@ -1,0 +1,36 @@
+//! Fixture: hash-ordered iteration positives. Every line carrying an
+//! expect marker must produce exactly that diagnostic; the allowed
+//! site at the bottom must produce none.
+
+use std::collections::{HashMap, HashSet};
+
+fn keys_leak_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect() // gdx-lint: expect(hash-iter)
+}
+
+fn for_in_leaks_order(s: HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in s { // gdx-lint: expect(hash-iter)
+        out.push(v);
+    }
+    out
+}
+
+struct State {
+    index: HashMap<u32, u32>,
+}
+
+impl State {
+    fn ordered(&self) -> Vec<u32> {
+        self.index.values().copied().collect() // gdx-lint: expect(hash-iter)
+    }
+}
+
+fn allowed_iteration(m: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    // gdx-lint: allow(hash-iter) — fixture: xor-accumulation is commutative, order cannot escape
+    for (&k, &v) in m {
+        acc ^= u64::from(k ^ v);
+    }
+    acc
+}

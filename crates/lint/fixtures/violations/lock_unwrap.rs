@@ -1,0 +1,17 @@
+//! Fixture: `.lock().unwrap()`-family poisoning bombs. One poisoned
+//! panic would condemn every later caller; locks must recover with
+//! `PoisonError::into_inner`.
+
+use std::sync::{Mutex, RwLock};
+
+fn counter(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap() // gdx-lint: expect(lock-unwrap)
+}
+
+fn peek(l: &RwLock<u64>) -> u64 {
+    *l.read().expect("poisoned") // gdx-lint: expect(lock-unwrap)
+}
+
+fn bump(l: &RwLock<u64>) {
+    *l.write().unwrap() += 1; // gdx-lint: expect(lock-unwrap)
+}

@@ -1,0 +1,32 @@
+//! Fixture: panic-family macros in non-test library code. The
+//! `#[cfg(test)]` module at the bottom must NOT fire — tests may
+//! assert by panicking.
+
+fn must_have(v: Option<u32>) -> u32 {
+    match v {
+        Some(x) => x,
+        None => panic!("missing value"), // gdx-lint: expect(panic-macro)
+    }
+}
+
+fn unfinished() {
+    todo!() // gdx-lint: expect(panic-macro)
+}
+
+fn reserved() {
+    unimplemented!() // gdx-lint: expect(panic-macro)
+}
+
+fn leftover_probe(x: u32) -> u32 {
+    dbg!(x) // gdx-lint: expect(panic-macro)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicking_assertions_are_fine_here() {
+        if 1 + 1 != 2 {
+            panic!("arithmetic is broken");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: warn-tier slice indexing with a computed subscript. Not an
+//! error — indexing after a length check is idiomatic — but each site
+//! is a latent panic, so the linter keeps an inventory.
+
+fn pick(xs: &[u32], i: usize) -> u32 {
+    xs[i] // gdx-lint: expect(slice-index)
+}
+
+fn window(xs: &[u32], from: usize) -> &[u32] {
+    &xs[from..] // gdx-lint: expect(slice-index)
+}
+
+fn chained(grid: &[Vec<u32>], r: usize, c: usize) -> u32 {
+    grid[r][c] // gdx-lint: expect(slice-index) — two subscripts, one line: single finding per line
+}

@@ -1,0 +1,10 @@
+//! Fixture: raw thread creation outside the runtime crate.
+
+fn fan_out() -> u32 {
+    let h = std::thread::spawn(|| 1 + 1); // gdx-lint: expect(thread-spawn)
+    h.join().unwrap_or(0)
+}
+
+fn scoped() {
+    std::thread::scope(|_s| {}); // gdx-lint: expect(thread-spawn)
+}

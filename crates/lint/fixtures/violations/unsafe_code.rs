@@ -1,0 +1,13 @@
+//! Fixture: unsafe blocks. Both sites enter the inventory; only the
+//! un-annotated one (no `SAFETY:` comment within the three preceding
+//! comment lines) is a diagnostic.
+
+fn unannotated(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() } // gdx-lint: expect(unsafe-code)
+}
+
+fn annotated(v: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `v` is non-empty, so index 0 is
+    // in-bounds and the pointer read is valid.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads in library code.
+
+use std::time::{Instant, SystemTime};
+
+fn stamp_instant() -> Instant {
+    Instant::now() // gdx-lint: expect(wall-clock)
+}
+
+fn stamp_system() -> u64 {
+    let t = SystemTime::now(); // gdx-lint: expect(wall-clock)
+    t.duration_since(SystemTime::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}

@@ -1,0 +1,334 @@
+//! `gdx-lint` — the workspace invariant checker.
+//!
+//! The engine's correctness contracts (byte-identical outputs across
+//! worker counts, insertion-order-carrying data structures, poison-
+//! recovering mutexes, unwrap-free library crates) live in
+//! ARCHITECTURE.md prose and are guarded after the fact by the sim
+//! oracles. This crate turns them into mechanical lints that fail CI
+//! the moment a contract is broken, instead of costing a sim-campaign
+//! debugging session later.
+//!
+//! # Rule catalog
+//!
+//! Determinism:
+//! * `hash-iter` — iteration over a hash-ordered collection
+//!   (`HashMap`/`HashSet`/`FxHashMap`/`FxHashSet`) in a library crate,
+//!   unless the statement provably re-aggregates order-free (collects
+//!   into another hash/BTree container, feeds an order-insensitive sink
+//!   like `count`/`sum`/`min`/`max`/`any`/`all`, or the collected Vec is
+//!   sorted within the next few lines). Hash order must never leak into
+//!   outputs.
+//! * `wall-clock` — `Instant::now`/`SystemTime::now` outside
+//!   `cli`/`bench`/`sim`: library results must be functions of their
+//!   inputs.
+//! * `thread-spawn` — `thread::spawn`/`thread::scope` outside
+//!   `gdx-runtime`: all parallelism goes through the deterministic pool.
+//!
+//! Panic hygiene:
+//! * `panic-macro` — `panic!`/`todo!`/`unimplemented!`/`dbg!` in
+//!   non-test library code.
+//! * `lock-unwrap` — `.lock().unwrap()` (and `read`/`write`/`try_*`
+//!   variants): shared mutexes must recover from poisoning via
+//!   `PoisonError::into_inner`, so one caught panic cannot condemn
+//!   every later operation.
+//! * `slice-index` — direct indexing `x[i]` in library code
+//!   (warn-tier): prefer `get()` or a justified allow.
+//!
+//! Hygiene:
+//! * `unsafe-code` — every `unsafe` token must carry a `// SAFETY:`
+//!   comment just above it; all sites are inventoried in the report.
+//! * `forbid-unsafe` — every crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//! * `deny-preamble` — every library crate root carries
+//!   `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`.
+//! * `dep-shim` — no non-workspace dependency in any `Cargo.toml`
+//!   without a vendored `shims/` entry (the build environment is
+//!   offline).
+//!
+//! # Suppression
+//!
+//! Explicit and auditable only:
+//!
+//! ```text
+//! // gdx-lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! trailing on the offending line or alone on the line above. The
+//! reason is mandatory (`bad-allow` otherwise) and stale suppressions
+//! fail the run (`unused-allow`), so the allow inventory can never
+//! drift from the code.
+//!
+//! Test code — `tests/`, `benches/`, `examples/` trees and
+//! `#[cfg(test)]`/`#[test]` items — is exempt from the source rules;
+//! the `deny(clippy::unwrap_used)` preamble is deliberately
+//! `not(test)`-gated for the same reason.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod source;
+pub mod workspace;
+
+pub use report::{render_json, render_text};
+pub use workspace::{check_workspace, find_workspace_root};
+
+/// Severity tier of a diagnostic. Only `Error` affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warn,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// The rule catalog. `UnusedAllow`/`BadAllow` police the suppression
+/// mechanism itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    HashIter,
+    WallClock,
+    ThreadSpawn,
+    PanicMacro,
+    LockUnwrap,
+    SliceIndex,
+    UnsafeCode,
+    ForbidUnsafe,
+    DenyPreamble,
+    DepShim,
+    UnusedAllow,
+    BadAllow,
+}
+
+/// Every rule, for catalog listings and sharpness coverage checks.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::HashIter,
+    Rule::WallClock,
+    Rule::ThreadSpawn,
+    Rule::PanicMacro,
+    Rule::LockUnwrap,
+    Rule::SliceIndex,
+    Rule::UnsafeCode,
+    Rule::ForbidUnsafe,
+    Rule::DenyPreamble,
+    Rule::DepShim,
+    Rule::UnusedAllow,
+    Rule::BadAllow,
+];
+
+impl Rule {
+    /// Stable kebab-case id used in output and allow comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::PanicMacro => "panic-macro",
+            Rule::LockUnwrap => "lock-unwrap",
+            Rule::SliceIndex => "slice-index",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::DenyPreamble => "deny-preamble",
+            Rule::DepShim => "dep-shim",
+            Rule::UnusedAllow => "unused-allow",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Inverse of [`Rule::id`]; `None` for unknown ids.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// `slice-index` is advisory; everything else fails the run.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::SliceIndex => Severity::Warn,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One finding: rule, tier, location, human message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub severity: Severity,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// One `unsafe` occurrence (annotated or not) for the inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// Whether a `// SAFETY:` comment annotates the site.
+    pub annotated: bool,
+}
+
+/// One parsed allow comment, with whether it suppressed anything.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub reason: String,
+    pub used: bool,
+}
+
+/// Aggregated result of a workspace (or single-file) run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    pub unsafe_inventory: Vec<UnsafeSite>,
+    pub allows: Vec<AllowRecord>,
+    pub files_checked: usize,
+    pub crates_checked: usize,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Clean = no errors. Warn-tier findings never fail the run.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Canonical ordering for stable output.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.unsafe_inventory
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+}
+
+/// How a crate is classified for rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// Library contract applies in full (determinism + panic hygiene).
+    Library,
+    /// Front-end / harness crates (`gdx-cli`, `gdx-bench`, `gdx-lint`):
+    /// may panic, print and take wall-clock time.
+    Tool,
+}
+
+/// Requirements checked only on a crate's root file (`lib.rs` /
+/// `main.rs`): `#![forbid(unsafe_code)]` always, the clippy deny
+/// preamble when `require_preamble` (library crates).
+#[derive(Debug, Clone, Copy)]
+pub struct RootPolicy {
+    pub require_preamble: bool,
+}
+
+/// Per-file lint context: which crate the file belongs to, and whether
+/// this file is the crate root (attribute requirements apply there).
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    pub crate_name: String,
+    pub kind: CrateKind,
+    pub root: Option<RootPolicy>,
+}
+
+impl FileCtx {
+    pub fn library(name: &str) -> FileCtx {
+        FileCtx {
+            crate_name: name.to_owned(),
+            kind: CrateKind::Library,
+            root: None,
+        }
+    }
+
+    pub fn tool(name: &str) -> FileCtx {
+        FileCtx {
+            crate_name: name.to_owned(),
+            kind: CrateKind::Tool,
+            root: None,
+        }
+    }
+
+    /// Whether `rule` is checked for this crate. The exemption table is
+    /// the contract: tools may use the clock and panic; only the
+    /// runtime crate touches raw threads; the deterministic-sim crate
+    /// is library-class except for the clock (campaign timing).
+    pub fn applies(&self, rule: Rule) -> bool {
+        let lib = self.kind == CrateKind::Library;
+        match rule {
+            Rule::HashIter | Rule::PanicMacro | Rule::SliceIndex => lib,
+            Rule::WallClock => lib && self.crate_name != "gdx-sim",
+            Rule::ThreadSpawn => self.crate_name != "gdx-runtime",
+            Rule::LockUnwrap | Rule::UnsafeCode => true,
+            // Crate-root / manifest rules are not per-file.
+            Rule::ForbidUnsafe | Rule::DenyPreamble | Rule::DepShim => false,
+            Rule::UnusedAllow | Rule::BadAllow => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for &r in ALL_RULES {
+            assert_eq!(Rule::from_id(r.id()), Some(r), "{r:?}");
+        }
+        assert_eq!(Rule::from_id("no-such-rule"), None);
+    }
+
+    #[test]
+    fn applicability_table() {
+        let lib = FileCtx::library("gdx-graph");
+        let sim = FileCtx::library("gdx-sim");
+        let runtime = FileCtx::library("gdx-runtime");
+        let cli = FileCtx::tool("gdx-cli");
+        assert!(lib.applies(Rule::HashIter));
+        assert!(!cli.applies(Rule::HashIter));
+        assert!(lib.applies(Rule::WallClock));
+        assert!(!sim.applies(Rule::WallClock));
+        assert!(sim.applies(Rule::PanicMacro));
+        assert!(lib.applies(Rule::ThreadSpawn));
+        assert!(!runtime.applies(Rule::ThreadSpawn));
+        assert!(cli.applies(Rule::ThreadSpawn));
+        assert!(cli.applies(Rule::LockUnwrap));
+    }
+
+    #[test]
+    fn only_slice_index_is_warn_tier() {
+        for &r in ALL_RULES {
+            let expect = if r == Rule::SliceIndex {
+                Severity::Warn
+            } else {
+                Severity::Error
+            };
+            assert_eq!(r.severity(), expect, "{r:?}");
+        }
+    }
+}

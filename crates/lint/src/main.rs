@@ -1,0 +1,99 @@
+//! `gdx-lint` — standalone entry point for the workspace invariant
+//! checker. The same engine is reachable as `gdx lint` through the CLI.
+//!
+//! ```text
+//! cargo run -p gdx-lint -- check [--format json] [--warnings] [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 contract violations (or stale allows), 2
+//! usage/environment errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gdx-lint — workspace invariant checker (determinism, panic hygiene, locking)
+
+USAGE:
+  gdx-lint check [--format text|json] [--warnings] [--root DIR]
+
+  --format json   machine-readable report (stable, sorted)
+  --warnings      list warn-tier findings (slice-index) individually
+  --root DIR      workspace root (default: walk up from the current dir)
+
+Rules and the allow-comment policy are documented in ARCHITECTURE.md
+(\"Static analysis\"). Suppress a finding with:
+  // gdx-lint: allow(<rule>) — <reason>
+Stale suppressions fail the run.
+";
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format_json = false;
+    let mut show_warnings = false;
+    let mut root: Option<PathBuf> = None;
+    let mut saw_check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" => saw_check = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => format_json = true,
+                    Some("text") => format_json = false,
+                    other => {
+                        return Err(format!("--format expects `text` or `json`, got {other:?}"))
+                    }
+                }
+            }
+            "--warnings" => show_warnings = true,
+            "--root" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| "--root needs a directory".to_owned())?;
+                root = Some(PathBuf::from(dir));
+            }
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    if !saw_check {
+        println!("{USAGE}");
+        return Err("missing subcommand `check`".to_owned());
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            gdx_lint::find_workspace_root(&cwd)
+                .ok_or_else(|| "no [workspace] Cargo.toml above the current dir".to_owned())?
+        }
+    };
+    let report =
+        gdx_lint::check_workspace(&root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    if format_json {
+        print!("{}", gdx_lint::render_json(&report));
+    } else {
+        print!("{}", gdx_lint::render_text(&report, show_warnings));
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("gdx-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Report rendering: human text and machine-readable JSON. The JSON
+//! writer is minimal by design (offline workspace, no serde) and emits
+//! a stable, sorted document suitable for CI artifact diffing.
+
+use crate::{Report, Severity};
+use std::fmt::Write as _;
+
+/// Human-readable report. Warn-tier findings are summarized unless
+/// `show_warnings`; errors and unused allows are always listed.
+pub fn render_text(report: &Report, show_warnings: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "gdx-lint: checked {} files across {} crates",
+        report.files_checked, report.crates_checked
+    );
+    let mut hidden_warns = 0usize;
+    for d in &report.diagnostics {
+        if d.severity == Severity::Warn && !show_warnings {
+            hidden_warns += 1;
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "{}[{}] {}:{}: {}",
+            d.severity.label(),
+            d.rule.id(),
+            d.file,
+            d.line,
+            d.message
+        );
+    }
+    if hidden_warns > 0 {
+        let _ = writeln!(
+            s,
+            "note: {hidden_warns} warn-tier finding(s) hidden (pass --warnings to list)"
+        );
+    }
+    let unused = report.allows.iter().filter(|a| !a.used).count();
+    let annotated = report
+        .unsafe_inventory
+        .iter()
+        .filter(|u| u.annotated)
+        .count();
+    let _ = writeln!(
+        s,
+        "summary: {} error(s), {} warning(s), {} allow(s) ({} unused), \
+         {} unsafe site(s) ({} annotated)",
+        report.errors(),
+        report.warnings(),
+        report.allows.len(),
+        unused,
+        report.unsafe_inventory.len(),
+        annotated,
+    );
+    let _ = writeln!(
+        s,
+        "gdx-lint: {}",
+        if report.is_clean() { "clean" } else { "FAILED" }
+    );
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report (stable field order, sorted rows).
+pub fn render_json(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"files_checked\": {},", report.files_checked);
+    let _ = writeln!(s, "  \"crates_checked\": {},", report.crates_checked);
+    let _ = writeln!(s, "  \"errors\": {},", report.errors());
+    let _ = writeln!(s, "  \"warnings\": {},", report.warnings());
+    let _ = writeln!(s, "  \"clean\": {},", report.is_clean());
+    s.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"message\": \"{}\"}}",
+            d.rule.id(),
+            d.severity.label(),
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message)
+        );
+        s.push_str(if i + 1 < report.diagnostics.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n  \"unsafe_inventory\": [\n");
+    for (i, u) in report.unsafe_inventory.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"file\": \"{}\", \"line\": {}, \"annotated\": {}}}",
+            json_escape(&u.file),
+            u.line,
+            u.annotated
+        );
+        s.push_str(if i + 1 < report.unsafe_inventory.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n  \"allows\": [\n");
+    for (i, a) in report.allows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"used\": {}, \"reason\": \"{}\"}}",
+            a.rule.id(),
+            json_escape(&a.file),
+            a.line,
+            a.used,
+            json_escape(&a.reason)
+        );
+        s.push_str(if i + 1 < report.allows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllowRecord, Diagnostic, Rule, UnsafeSite};
+
+    fn sample() -> Report {
+        let mut r = Report {
+            diagnostics: vec![Diagnostic {
+                rule: Rule::HashIter,
+                severity: Severity::Error,
+                file: "crates/x/src/lib.rs".into(),
+                line: 10,
+                message: "iteration with \"quotes\"".into(),
+            }],
+            unsafe_inventory: vec![UnsafeSite {
+                file: "crates/y/src/lib.rs".into(),
+                line: 3,
+                annotated: true,
+            }],
+            allows: vec![AllowRecord {
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                rule: Rule::SliceIndex,
+                reason: "bounds proven by len check".into(),
+                used: true,
+            }],
+            files_checked: 2,
+            crates_checked: 2,
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn text_report_lists_errors_and_summary() {
+        let t = render_text(&sample(), false);
+        assert!(t.contains("error[hash-iter]"));
+        assert!(t.contains("crates/x/src/lib.rs:10"));
+        assert!(t.contains("1 error(s)"));
+        assert!(t.contains("FAILED"));
+    }
+
+    #[test]
+    fn json_is_parseable_by_the_naive_reader() {
+        // Round-trip through a minimal structural check: balanced
+        // braces/brackets and escaped quotes.
+        let j = render_json(&sample());
+        assert!(j.contains("\"rule\": \"hash-iter\""));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn clean_report_says_clean() {
+        let r = Report {
+            files_checked: 1,
+            ..Report::default()
+        };
+        let t = render_text(&r, false);
+        assert!(t.contains("gdx-lint: clean"));
+        assert!(render_json(&r).contains("\"clean\": true"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The shipped workspace must satisfy its own contract: running the
+//! linter over the repository from any crate directory finds zero
+//! errors, zero stale allows and zero unsafe code. This is the test
+//! that turns the rule catalog from documentation into an invariant.
+
+use gdx_lint::{check_workspace, find_workspace_root, Severity};
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let report = check_workspace(&root).expect("walking the workspace");
+
+    assert!(report.files_checked > 50, "walker saw the whole tree");
+    assert!(report.crates_checked > 15, "walker saw all members + shims");
+
+    let errors: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.rule.id(), d.message))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "workspace violates its own contract:\n{}",
+        errors.join("\n")
+    );
+
+    let stale: Vec<String> = report
+        .allows
+        .iter()
+        .filter(|a| !a.used)
+        .map(|a| format!("{}:{}: allow({})", a.file, a.line, a.rule.id()))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale suppressions:\n{}",
+        stale.join("\n")
+    );
+
+    assert!(
+        report.unsafe_inventory.is_empty(),
+        "unsafe appeared; inventory: {:?}",
+        report.unsafe_inventory
+    );
+    assert!(report.is_clean());
+}

@@ -37,7 +37,7 @@ impl SourceToTargetTgd {
         self.head.validate(Some(target))?;
         let body_vars: FxHashSet<Symbol> = self.body.variables().into_iter().collect();
         let ex: FxHashSet<Symbol> = self.existential.iter().copied().collect();
-        if let Some(v) = ex.iter().find(|v| body_vars.contains(v)) {
+        if let Some(v) = ex.iter().filter(|v| body_vars.contains(v)).min() {
             return Err(GdxError::schema(format!(
                 "existential variable {v} also occurs in the tgd body"
             )));
@@ -124,7 +124,7 @@ impl TargetTgd {
         self.head.validate(Some(target))?;
         let body_vars: FxHashSet<Symbol> = self.body.variables().into_iter().collect();
         let ex: FxHashSet<Symbol> = self.existential.iter().copied().collect();
-        if let Some(v) = ex.iter().find(|v| body_vars.contains(v)) {
+        if let Some(v) = ex.iter().filter(|v| body_vars.contains(v)).min() {
             return Err(GdxError::schema(format!(
                 "existential variable {v} also occurs in the target tgd body"
             )));

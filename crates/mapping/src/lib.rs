@@ -22,6 +22,7 @@
 //! ```
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod constraint;
 pub mod dsl;

@@ -484,6 +484,7 @@ pub fn eval_from_set(graph: &Graph, r: &Nre, srcs: &FxHashSet<NodeId>) -> FxHash
         Nre::Epsilon => srcs.clone(),
         Nre::Label(a) => {
             let mut out = FxHashSet::default();
+            // gdx-lint: allow(hash-iter) — per-source images are unioned into a set
             for &u in srcs {
                 out.extend(graph.successors(u, *a).iter().copied());
             }
@@ -491,6 +492,7 @@ pub fn eval_from_set(graph: &Graph, r: &Nre, srcs: &FxHashSet<NodeId>) -> FxHash
         }
         Nre::Inverse(a) => {
             let mut out = FxHashSet::default();
+            // gdx-lint: allow(hash-iter) — per-source images are unioned into a set
             for &u in srcs {
                 out.extend(graph.predecessors(u, *a).iter().copied());
             }
@@ -523,7 +525,7 @@ pub fn eval_from_set(graph: &Graph, r: &Nre, srcs: &FxHashSet<NodeId>) -> FxHash
                 single.insert(u);
                 !eval_from_set(graph, inner, &single).is_empty()
             })
-            .collect(),
+            .collect::<FxHashSet<_>>(),
     }
 }
 

@@ -33,6 +33,7 @@
 //!   engine behind canonical instantiation of graph patterns.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod ast;
 pub mod classify;

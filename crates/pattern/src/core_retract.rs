@@ -48,6 +48,7 @@ pub fn retract_core(pattern: &GraphPattern) -> (GraphPattern, usize) {
                     // Apply the fold: rewrite edges incident to `nl` onto
                     // `m` (membership dedups against existing edges).
                     let incident: Vec<_> = edges
+                        // gdx-lint: allow(hash-iter) — incident edges are rewritten and re-inserted into the edge set; membership dedup makes order immaterial
                         .iter()
                         .filter(|(s, _, d)| *s == nl || *d == nl)
                         .cloned()
@@ -100,7 +101,7 @@ fn fold_is_retraction(p: &GraphPattern, n: PNodeId, m: PNodeId) -> bool {
 
 /// True when no null can fold — the pattern is its own retract.
 pub fn is_retract_minimal(pattern: &GraphPattern) -> bool {
-    let nulls: FxHashSet<PNodeId> = pattern
+    let nulls: Vec<PNodeId> = pattern
         .node_ids()
         .filter(|&id| !pattern.node(id).is_const())
         .collect();

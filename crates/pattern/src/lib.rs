@@ -19,6 +19,7 @@
 //!   `Rep_Σ(π)`.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod core_retract;
 pub mod hom;

@@ -26,6 +26,7 @@
 //!   the incremental NRE evaluator.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod cnre;
 pub mod eval;

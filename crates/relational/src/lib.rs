@@ -13,6 +13,7 @@
 //!   producing all satisfying assignments (the *triggers* of the chase).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod cq;
 pub mod eval;

@@ -57,6 +57,7 @@
 //! [`Runtime::with_workers`], which deliberately skips the clamp.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;

@@ -16,6 +16,7 @@
 //!   formulas.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod cnf;
 pub mod solver;

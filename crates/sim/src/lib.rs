@@ -37,6 +37,7 @@
 //! [`campaign::run_campaign`] drives multi-seed sweeps (`gdx sim run`).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod campaign;
 pub mod exec;

@@ -21,6 +21,9 @@
 //!   times;
 //! * [`exchange::reduction`] — the Theorem 4.1 reduction from 3SAT.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
+
 pub use gdx_automata as automata;
 pub use gdx_chase as chase;
 pub use gdx_common as common;
