@@ -6,12 +6,16 @@
 //! 500-flight chase and certain-answer sweep, and (d) the PR-5
 //! `data_plane` contrast: frozen CSR adjacency vs the mutable hash index,
 //! and bitset-visited BFS vs a hash-set-visited reimplementation. Writes
-//! a machine-readable JSON report (`BENCH_pr8.json` by default), so the
+//! a machine-readable JSON report (`BENCH_pr9.json` by default), so the
 //! perf trajectory is tracked across PRs. PR 6 adds the
 //! `candidate_family` group: per-candidate materialization cost of
 //! copy-on-write forks vs eager `Graph::clone` at 100/300/500 flights,
 //! and a shard-parallel family sweep (K forks sharing one frozen base
-//! CSR) at 1 vs 4 workers.
+//! CSR) at 1 vs 4 workers. PR 9 additionally dumps the observability
+//! registry of one fully-instrumented session run (`METRICS_pr9.json`
+//! by default, second positional argument): the dump runs at one worker
+//! on the no-op clock, so it is byte-stable and committed alongside the
+//! bench report.
 //!
 //! The parallel rows measure real wall-clock on whatever hardware runs
 //! the job; the report records `detected_parallelism` so the ratios are
@@ -21,7 +25,8 @@
 //! ≥ 0.98×, pinning the PR-4 regression (0.91× chase, 0.97× sweep from
 //! speculation overhead with zero parallel payoff) fixed.
 //!
-//! Usage: `cargo run --release -p gdx-bench --bin bench_smoke [-- out.json]`
+//! Usage: `cargo run --release -p gdx-bench --bin bench_smoke
+//! [-- out.json [metrics.json]]`
 
 use gdx_bench::{paper_flight_graph, PAPER_QUERY};
 use gdx_common::{FxHashMap, FxHashSet, Symbol};
@@ -610,10 +615,32 @@ fn candidate_family_rows(rows: &mut Vec<Row>) {
     });
 }
 
+/// PR-9: one fully-instrumented run of the Example 2.2 session — chase,
+/// candidate verification, and the paper query's certain answers — with
+/// metrics recording on. One worker and the no-op clock keep the dump
+/// free of scheduling-shaped counters and wall-clock histograms, so the
+/// rendered registry is byte-stable across hosts and can be committed as
+/// `METRICS_pr9.json` (a drift in its counters is a semantic change, not
+/// noise).
+fn observability_metrics() -> String {
+    let obs = gdx_obs::Obs::enabled();
+    let mut session = ExchangeSession::new(Setting::example_2_2_egd(), Instance::example_2_2())
+        .with_options(Options::default().with_threads(Threads::Fixed(1)))
+        .with_obs(obs.clone());
+    let query =
+        PreparedQuery::new(Cnre::parse(&format!("(x1, {PAPER_QUERY}, x2)")).expect("static query"));
+    let (rows, _exact) = session.certain_answers(&query).expect("certain answers");
+    std::hint::black_box(rows.len());
+    obs.render_metrics_json()
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr8.json".to_owned());
+        .unwrap_or_else(|| "BENCH_pr9.json".to_owned());
+    let metrics_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "METRICS_pr9.json".to_owned());
     let mut rows = Vec::new();
     seeded_query_rows(&mut rows);
     certain_probe_rows(&mut rows);
@@ -632,7 +659,7 @@ fn main() {
         one_worker_parity_guard();
     }
     let mut json =
-        format!("{{\n  \"pr\": 8,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
+        format!("{{\n  \"pr\": 9,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.baseline_ns as f64 / r.fast_ns.max(1) as f64;
         let _ = write!(
@@ -645,6 +672,10 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write report");
+
+    let metrics = observability_metrics();
+    std::fs::write(&metrics_path, &metrics).expect("write metrics dump");
+    eprintln!("  observability registry ({metrics_path}):\n{metrics}");
 
     println!("{json}");
     for r in &rows {

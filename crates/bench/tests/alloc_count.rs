@@ -117,6 +117,74 @@ fn paper_query_eval_allocation_budget() {
     );
 }
 
+/// Disabled observability is provably free: a disabled `Obs` handle
+/// performs **zero** heap allocations no matter how many recording
+/// calls run through it, and threading one through the 500-flight
+/// paper-query evaluation allocates exactly as much as the plain path
+/// (bit-identical count, not merely "close").
+#[test]
+fn disabled_observability_allocates_nothing() {
+    use gdx_bench::{paper_flight_graph, PAPER_QUERY};
+    use gdx_common::{FxHashMap, Symbol};
+    use gdx_graph::Node;
+    use gdx_nre::eval::EvalCache;
+    use gdx_obs::Obs;
+    use gdx_query::{Cnre, PlannerMode, PreparedQuery};
+    use gdx_runtime::Runtime;
+
+    // (1) The handle itself: every recording entry point early-returns
+    // without touching the heap when the core is absent.
+    let obs = Obs::disabled();
+    let count = allocations_during(|| {
+        for i in 0..10_000u64 {
+            obs.incr("x.counter");
+            obs.add("x.bulk", i);
+            obs.gauge_set("x.gauge", i);
+            obs.observe("x.hist", i);
+            obs.event("x.event", &[("k", i), ("v", i * 2)]);
+            let _span = obs.span_fields("x.span", &[("i", i)]);
+            std::hint::black_box(obs.is_enabled());
+        }
+    });
+    assert_eq!(
+        count, 0,
+        "disabled Obs recorded {count} allocation(s) over 70k calls"
+    );
+
+    // (2) The paper workload: a runtime carrying an explicitly-attached
+    // disabled handle must allocate exactly what the default runtime
+    // does — the disabled path adds zero allocations end to end.
+    let query = Cnre::parse(&format!("(x, {PAPER_QUERY}, y)")).expect("static query");
+    let g = paper_flight_graph(500);
+    let city0 = g.node_id(Node::cst("city0")).expect("city present");
+    let mut seed = FxHashMap::default();
+    seed.insert(Symbol::new("x"), city0);
+    let prepared = PreparedQuery::new(query);
+
+    let run = |rt: &Runtime| {
+        allocations_during(|| {
+            let mut cache = EvalCache::new();
+            let rows = prepared
+                .evaluate_limited_rt(&g, &mut cache, &seed, PlannerMode::Auto, None, rt)
+                .expect("eval");
+            std::hint::black_box(rows.len());
+        })
+    };
+    let plain_rt = Runtime::sequential();
+    let observed_rt = Runtime::sequential().with_obs(Obs::disabled());
+    // Warm-up pass for each runtime (interning, lazy statics), exactly
+    // like the budget test above.
+    run(&plain_rt);
+    run(&observed_rt);
+    let plain = run(&plain_rt);
+    let observed = run(&observed_rt);
+    eprintln!("500-flight workload: plain {plain} vs disabled-obs {observed} allocations");
+    assert_eq!(
+        plain, observed,
+        "disabled observability changed the workload's allocation count"
+    );
+}
+
 /// Candidate-sweep guard for the PR-6 copy-on-write forks: emitting a
 /// K-candidate family as forks of a shared sealed base must allocate
 /// sublinearly in base size — a small constant per candidate — where the

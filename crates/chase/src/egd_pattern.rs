@@ -26,6 +26,7 @@ use gdx_common::{FxHashMap, FxHashSet, GdxError, Result, Symbol, Term, UnionFind
 use gdx_graph::Node;
 use gdx_mapping::Egd;
 use gdx_nre::{BinRel, Nre};
+use gdx_obs::Obs;
 use gdx_pattern::{GraphPattern, PNodeId};
 
 /// Configuration of the egd-on-pattern chase.
@@ -96,11 +97,45 @@ pub fn chase_egds_on_pattern(
     egds: &[Egd],
     cfg: EgdChaseConfig,
 ) -> Result<EgdChaseOutcome> {
+    chase_egds_on_pattern_obs(pattern, egds, cfg, &Obs::disabled())
+}
+
+/// [`chase_egds_on_pattern`] with an observability sink: spans
+/// `egd.run`, counts rounds and merges (`egd.rounds`, `egd.merges`) and
+/// records per-round merge batches into the `egd.merges_per_round`
+/// histogram. Recording never changes the chase outcome.
+pub fn chase_egds_on_pattern_obs(
+    pattern: &GraphPattern,
+    egds: &[Egd],
+    cfg: EgdChaseConfig,
+    obs: &Obs,
+) -> Result<EgdChaseOutcome> {
+    let _span = obs.span_fields("egd.run", &[("egds", egds.len() as u64)]);
+    let result = chase_egds_inner(pattern, egds, cfg, obs);
+    if let Ok(outcome) = &result {
+        let merges = match outcome {
+            EgdChaseOutcome::Success { merges, .. } | EgdChaseOutcome::Failed { merges, .. } => {
+                *merges
+            }
+        };
+        obs.add("egd.merges", merges as u64);
+    }
+    result
+}
+
+fn chase_egds_inner(
+    pattern: &GraphPattern,
+    egds: &[Egd],
+    cfg: EgdChaseConfig,
+    obs: &Obs,
+) -> Result<EgdChaseOutcome> {
     let mut pattern = pattern.clone();
     let mut merges = 0usize;
     let mut incl_cache: FxHashMap<(Vec<Nre>, Nre), bool> = FxHashMap::default();
 
     for _round in 0..cfg.max_rounds {
+        obs.incr("egd.rounds");
+        let merges_at_round_start = merges;
         // The step relations and entailment relations depend only on the
         // pattern (which is stable within a round), not on the egd under
         // consideration: build them once per round and share them across
@@ -139,6 +174,10 @@ pub fn chase_egds_on_pattern(
                     any = true;
                 }
             }
+            obs.observe(
+                "egd.merges_per_round",
+                (merges - merges_at_round_start) as u64,
+            );
             if !any {
                 return Ok(EgdChaseOutcome::Success { pattern, merges });
             }
@@ -176,6 +215,10 @@ pub fn chase_egds_on_pattern(
                     break 'egd_loop;
                 }
             }
+            obs.observe(
+                "egd.merges_per_round",
+                (merges - merges_at_round_start) as u64,
+            );
             if !changed {
                 return Ok(EgdChaseOutcome::Success { pattern, merges });
             }

@@ -29,7 +29,9 @@ pub mod st;
 pub mod tgd;
 pub mod weak_acyclicity;
 
-pub use egd_pattern::{chase_egds_on_pattern, EgdChaseConfig, EgdChaseOutcome};
+pub use egd_pattern::{
+    chase_egds_on_pattern, chase_egds_on_pattern_obs, EgdChaseConfig, EgdChaseOutcome,
+};
 pub use sameas::{saturate_same_as, SameAsEngine};
 pub use st::{chase_st, chase_st_with_nulls, StChaseResult, StChaseVariant};
 pub use tgd::{

@@ -46,6 +46,7 @@ use gdx_mapping::TargetTgd;
 use gdx_nre::eval::EvalCache;
 use gdx_nre::witness;
 use gdx_nre::IncrementalCache;
+use gdx_obs::Obs;
 use gdx_query::{
     evaluate_seeded_incremental_exists, evaluate_with_scratch, PlannerMode, PreparedQuery,
     SemiNaiveState,
@@ -108,6 +109,49 @@ pub struct ChaseStats {
     pub full_evals: usize,
     /// Body evaluations answered from a warm per-rule delta state.
     pub delta_evals: usize,
+    /// Fresh nulls invented by firings (one per existential variable per
+    /// firing).
+    pub null_births: usize,
+}
+
+impl ChaseStats {
+    /// Component-wise difference against an earlier snapshot of the same
+    /// cumulative counters (saturating, so a reset engine yields zeros
+    /// rather than wrapping).
+    pub fn delta_since(&self, earlier: &ChaseStats) -> ChaseStats {
+        ChaseStats {
+            steps: self.steps.saturating_sub(earlier.steps),
+            turns: self.turns.saturating_sub(earlier.turns),
+            body_rows: self.body_rows.saturating_sub(earlier.body_rows),
+            full_evals: self.full_evals.saturating_sub(earlier.full_evals),
+            delta_evals: self.delta_evals.saturating_sub(earlier.delta_evals),
+            null_births: self.null_births.saturating_sub(earlier.null_births),
+        }
+    }
+
+    /// Bridge into the shared registry under the `chase.*` namespace.
+    /// Call with a *delta* (see [`ChaseStats::delta_since`]) — registry
+    /// counters are cumulative, so recording a cumulative snapshot twice
+    /// would double-count.
+    pub fn record_into(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.add("chase.firings", self.steps as u64);
+        obs.add("chase.turns", self.turns as u64);
+        obs.add("chase.body_rows", self.body_rows as u64);
+        obs.add("chase.full_evals", self.full_evals as u64);
+        obs.add("chase.delta_evals", self.delta_evals as u64);
+        obs.add("chase.null_births", self.null_births as u64);
+    }
+
+    /// Stable JSON rendering (fixed field order, no dependencies).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"steps\": {}, \"turns\": {}, \"body_rows\": {}, \"full_evals\": {}, \"delta_evals\": {}, \"null_births\": {}}}",
+            self.steps, self.turns, self.body_rows, self.full_evals, self.delta_evals, self.null_births
+        )
+    }
 }
 
 /// Output of the target-tgd chase.
@@ -181,6 +225,9 @@ pub struct TgdChaseEngine {
     /// Firings charged against `cfg.max_steps`, reset per graph value.
     steps_in_graph: usize,
     stats: ChaseStats,
+    /// Observability sink (disabled by default; see
+    /// [`TgdChaseEngine::set_obs`]).
+    obs: Obs,
 }
 
 impl TgdChaseEngine {
@@ -194,7 +241,26 @@ impl TgdChaseEngine {
             graph: None,
             steps_in_graph: 0,
             stats: ChaseStats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability sink: each [`TgdChaseEngine::run`] spans
+    /// `chase.run`, records its per-turn delta-window sizes into the
+    /// `chase.delta_window` histogram, and flushes the run's
+    /// [`ChaseStats`] delta into `chase.*` counters. The engine's worker
+    /// pool inherits the same sink. Recording never changes the chase
+    /// itself — graph, firing order, null names and stats stay
+    /// byte-identical.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.runtime = self.runtime.clone().with_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Builder form of [`TgdChaseEngine::set_obs`].
+    pub fn with_obs(mut self, obs: Obs) -> TgdChaseEngine {
+        self.set_obs(obs);
+        self
     }
 
     /// Cumulative evaluation-effort counters (across graphs and
@@ -221,10 +287,17 @@ impl TgdChaseEngine {
         for rule in &mut self.rules {
             rule.dirty = true;
         }
+        let _span = self
+            .obs
+            .span_fields("chase.run", &[("rules", self.rules.len() as u64)]);
+        let before = self.stats;
         let result = match self.cfg.mode {
             TgdChaseMode::SemiNaive => self.run_semi_naive(graph),
             TgdChaseMode::Naive => self.run_naive(graph),
         };
+        // Flush this run's effort delta into the registry at the batch
+        // boundary — cumulative counters take deltas, never snapshots.
+        self.stats.delta_since(&before).record_into(&self.obs);
         if result.is_err() {
             // An error abandons the current delta batch mid-flight: the
             // per-rule marks have already advanced past matches that were
@@ -254,7 +327,7 @@ impl TgdChaseEngine {
             self.stats.turns += 1;
             let turn_start = graph.epoch();
 
-            let rt = self.runtime;
+            let rt = self.runtime.clone();
             let matches = {
                 let rule = &mut self.rules[ri];
                 if rule.primed {
@@ -266,6 +339,7 @@ impl TgdChaseEngine {
                 rule.body.delta_matches_rt(graph, &rule.tgd.body, &rt)?
             };
             self.stats.body_rows += matches.len();
+            self.obs.observe("chase.delta_window", matches.len() as u64);
 
             let vars: Vec<Symbol> = matches.vars().to_vec();
             // Speculative parallel head pre-filter: check every match's
@@ -296,8 +370,10 @@ impl TgdChaseEngine {
                 if self.steps_in_graph >= self.cfg.max_steps {
                     return Err(step_limit(self.cfg.max_steps));
                 }
+                let births = rule.tgd.existential.len();
                 fire(graph, &rule.tgd, &m, &mut self.nulls)?;
                 self.stats.steps += 1;
+                self.stats.null_births += births;
                 self.steps_in_graph += 1;
             }
 
@@ -345,8 +421,10 @@ impl TgdChaseEngine {
                         return Err(step_limit(self.cfg.max_steps));
                     }
                     let tgd = &self.rules[ri].tgd;
+                    let births = tgd.existential.len();
                     fire(graph, tgd, &m, &mut self.nulls)?;
                     self.stats.steps += 1;
+                    self.stats.null_births += births;
                     self.steps_in_graph += 1;
                     fired_this_round = true;
                 }
@@ -749,6 +827,58 @@ mod tests {
         engine.run(&mut g2).unwrap();
         assert_eq!(engine.stats().steps, 2);
         assert_eq!(g2.edge_count(), 2);
+    }
+
+    #[test]
+    fn obs_recording_matches_stats_and_never_perturbs_the_chase() {
+        let g = Graph::parse("(a, f, b); (c, f, d);").unwrap();
+        let t = tgd("(x, f, y)", &["z"], "(y, g, z)");
+        let obs = Obs::enabled();
+        let mut observed = g.clone();
+        let mut engine = TgdChaseEngine::new(std::slice::from_ref(&t), TgdChaseConfig::default())
+            .with_obs(obs.clone());
+        engine.run(&mut observed).unwrap();
+
+        let reg = obs.registry().unwrap();
+        let stats = engine.stats();
+        assert_eq!(reg.counter("chase.firings"), stats.steps as u64);
+        assert_eq!(reg.counter("chase.turns"), stats.turns as u64);
+        assert_eq!(reg.counter("chase.null_births"), stats.null_births as u64);
+        assert_eq!(stats.null_births, 2, "one fresh z per firing");
+        let trace = obs.render_trace(16);
+        assert!(trace.contains("enter chase.run rules=1"), "{trace}");
+        assert!(trace.contains("exit chase.run"), "{trace}");
+
+        // The identical chase with recording disabled: same graph, same
+        // counters.
+        let mut plain_graph = g.clone();
+        let mut plain = TgdChaseEngine::new(std::slice::from_ref(&t), TgdChaseConfig::default());
+        plain.run(&mut plain_graph).unwrap();
+        assert_eq!(plain.stats(), stats);
+        assert_eq!(plain_graph.edge_count(), observed.edge_count());
+        assert_eq!(plain_graph.node_count(), observed.node_count());
+    }
+
+    #[test]
+    fn chase_stats_json_is_stable() {
+        let stats = ChaseStats {
+            steps: 1,
+            turns: 2,
+            body_rows: 3,
+            full_evals: 4,
+            delta_evals: 5,
+            null_births: 6,
+        };
+        assert_eq!(
+            stats.render_json(),
+            "{\"steps\": 1, \"turns\": 2, \"body_rows\": 3, \"full_evals\": 4, \"delta_evals\": 5, \"null_births\": 6}"
+        );
+        let earlier = ChaseStats {
+            steps: 1,
+            ..ChaseStats::default()
+        };
+        assert_eq!(stats.delta_since(&earlier).steps, 0);
+        assert_eq!(stats.delta_since(&earlier).turns, 2);
     }
 
     #[test]

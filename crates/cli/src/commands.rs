@@ -10,7 +10,8 @@ use gdx_common::{GdxError, Result};
 use gdx_exchange::representative::RepresentativeOutcome;
 use gdx_exchange::{CertainAnswer, ExchangeSession, Existence, Options};
 use gdx_graph::{Graph, NullFactory};
-use gdx_pattern::InstantiationConfig;
+use gdx_obs::Obs;
+use gdx_pattern::{instantiate_shortest, InstantiationConfig};
 use gdx_query::{PlannerMode, PreparedQuery};
 use gdx_relational::{Instance, Schema};
 use gdx_runtime::Threads;
@@ -28,6 +29,8 @@ USAGE:
   gdx certain   --setting S.gdx --instance I.facts --nre EXPR --pair C1,C2
                 [--max-graphs N]
   gdx cert-query --setting S.gdx --instance I.facts --cnre QUERY
+  gdx explain   --setting S.gdx --instance I.facts --cnre QUERY
+                [--format text|json] [--materialize]
   gdx reduce    --dimacs F.cnf [--sameas]
   gdx direct    --schema DECLS --instance I.facts [--reify]
   gdx sim run   [--seeds N] [--start S] [--oracle NAME] [--out DIR]
@@ -55,8 +58,18 @@ SHARED OPTIONS (every subcommand):
                     results are identical at any worker count
   --max-graphs N    candidate-instantiation cap (default 256)
   --materialize     force the materializing baseline for certain-answer
-                    evaluation (certain / cert-query)
+                    evaluation (certain / cert-query / explain)
   --null-seed N     first fresh-null name (~N) used by the chase
+
+OBSERVABILITY (chase / solutions / certain / cert-query):
+  --metrics FMT     after the result, dump the engine metric registry
+                    (text | json); deterministic — recording never
+                    perturbs outputs or timings the answers depend on
+  --trace N         after the result, print the last N span/trace
+                    events (enter/exit/point, most recent last)
+  explain prints per-atom access-path decisions (materialize vs demand)
+  with the planner's cost estimates, against the canonical instantiation
+  of the chased universal representative.
 
 FILE FORMATS:
   settings: the DSL (source{..} target{..} sttgd.. egd.. tgd.. sameas..)
@@ -79,6 +92,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         "check" => cmd_check(rest),
         "certain" => cmd_certain(rest),
         "cert-query" => cmd_cert_query(rest),
+        "explain" => cmd_explain(rest),
         "reduce" => cmd_reduce(rest),
         "direct" => cmd_direct(rest),
         "sim" => cmd_sim(rest),
@@ -127,7 +141,49 @@ fn options(a: &Args) -> Result<Options> {
 fn load_session(a: &Args) -> Result<ExchangeSession> {
     let setting = gdx_mapping::dsl::parse_setting(&read_file(a.require("setting")?)?)?;
     let instance = Instance::parse(setting.source.clone(), &read_file(a.require("instance")?)?)?;
-    Ok(ExchangeSession::new(setting, instance).with_options(options(a)?))
+    let mut session = ExchangeSession::new(setting, instance).with_options(options(a)?);
+    if let Some(obs) = obs_flags(a)? {
+        session.set_obs(obs);
+    }
+    Ok(session)
+}
+
+/// `--metrics text|json` and `--trace N`: when either is given, returns
+/// an enabled observability handle to attach to the session. The handle
+/// uses the no-op clock, so the dumps are byte-stable across runs and
+/// machines (timestamps would make `--metrics json` output flaky).
+fn obs_flags(a: &Args) -> Result<Option<Obs>> {
+    let metrics = match a.get("metrics") {
+        None | Some("text") | Some("json") => a.get("metrics"),
+        Some(other) => {
+            return Err(GdxError::schema(format!(
+                "--metrics expects `text` or `json`, got `{other}`"
+            )))
+        }
+    };
+    let trace = a
+        .get("trace")
+        .map(|_| a.get_usize("trace", 0))
+        .transpose()?;
+    Ok((metrics.is_some() || trace.is_some()).then(Obs::enabled))
+}
+
+/// Prints the registry dump and/or trace tail requested by the flags.
+/// Runs after the command's own output so results stay script-friendly.
+fn emit_obs(a: &Args, session: &ExchangeSession) -> Result<()> {
+    let obs = session.obs();
+    if !obs.is_enabled() {
+        return Ok(());
+    }
+    match a.get("metrics") {
+        Some("json") => println!("{}", obs.render_metrics_json()),
+        Some(_) => print!("{}", obs.render_metrics_text()),
+        None => {}
+    }
+    if a.has("trace") {
+        print!("{}", obs.render_trace(a.get_usize("trace", 0)?));
+    }
+    Ok(())
 }
 
 fn cmd_chase(argv: &[String]) -> Result<()> {
@@ -162,7 +218,7 @@ fn cmd_chase(argv: &[String]) -> Result<()> {
     } else {
         print!("{pattern}");
     }
-    Ok(())
+    emit_obs(&a, &session)
 }
 
 fn cmd_solve(argv: &[String]) -> Result<()> {
@@ -176,7 +232,7 @@ fn cmd_solve(argv: &[String]) -> Result<()> {
         Existence::NoSolution => println!("NO SOLUTION"),
         Existence::Unknown(why) => println!("UNKNOWN ({why})"),
     }
-    Ok(())
+    emit_obs(&a, &session)
 }
 
 fn cmd_solutions(argv: &[String]) -> Result<()> {
@@ -210,7 +266,8 @@ fn cmd_solutions(argv: &[String]) -> Result<()> {
     } else if exhausted && stream.exact() {
         println!("-- family exhausted: these are all minimal solutions --");
     }
-    Ok(())
+    drop(stream);
+    emit_obs(&a, &session)
 }
 
 fn cmd_check(argv: &[String]) -> Result<()> {
@@ -222,7 +279,7 @@ fn cmd_check(argv: &[String]) -> Result<()> {
     } else {
         println!("NOT A SOLUTION");
     }
-    Ok(())
+    emit_obs(&a, &session)
 }
 
 fn cmd_certain(argv: &[String]) -> Result<()> {
@@ -241,7 +298,7 @@ fn cmd_certain(argv: &[String]) -> Result<()> {
         }
         CertainAnswer::Unknown(why) => println!("UNKNOWN ({why})"),
     }
-    Ok(())
+    emit_obs(&a, &session)
 }
 
 fn cmd_cert_query(argv: &[String]) -> Result<()> {
@@ -263,7 +320,42 @@ fn cmd_cert_query(argv: &[String]) -> Result<()> {
             .collect();
         println!("  {}", cells.join(", "));
     }
-    Ok(())
+    emit_obs(&a, &session)
+}
+
+/// `gdx explain` — show the access-path plan (materialize vs demand,
+/// with the cost estimates behind each choice) the planner picks for a
+/// CNRE over the canonical instantiation of the chased representative.
+fn cmd_explain(argv: &[String]) -> Result<()> {
+    let a = Args::parse(argv, SOLVER_FLAGS)?;
+    let format = a.get("format").unwrap_or("text");
+    if format != "text" && format != "json" {
+        return Err(GdxError::schema(format!(
+            "--format expects `text` or `json`, got `{format}`"
+        )));
+    }
+    let mut session = load_session(&a)?;
+    let query = PreparedQuery::parse(a.require("cnre")?)?;
+    let rep = match session.representative()?.clone() {
+        RepresentativeOutcome::Representative(rep) => rep,
+        RepresentativeOutcome::ChaseFailed => {
+            println!("CHASE FAILED: no solution exists — nothing to plan against");
+            return Ok(());
+        }
+    };
+    let graph = instantiate_shortest(&rep.pattern)?;
+    let explain = query.explain(&graph, session.options().planner);
+    if format == "json" {
+        println!("{}", explain.render_json());
+    } else {
+        println!(
+            "graph: canonical instantiation — {} node(s), {} edge(s)",
+            graph.node_count(),
+            graph.edge_count()
+        );
+        print!("{}", explain.render_text());
+    }
+    emit_obs(&a, &session)
 }
 
 fn cmd_reduce(argv: &[String]) -> Result<()> {
@@ -574,6 +666,74 @@ mod tests {
             "--materialize",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn explain_runs() {
+        let (s, i) = example_files("explain");
+        for fmt in ["text", "json"] {
+            dispatch(&v(&[
+                "explain",
+                "--setting",
+                &s,
+                "--instance",
+                &i,
+                "--cnre",
+                "(x, f.f*, y), (y, h, \"hx\")",
+                "--format",
+                fmt,
+            ]))
+            .unwrap();
+        }
+        assert!(dispatch(&v(&[
+            "explain",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--cnre",
+            "(x, f, y)",
+            "--format",
+            "yaml",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn metrics_and_trace_flags_run() {
+        let (s, i) = example_files("metrics");
+        dispatch(&v(&[
+            "chase",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--metrics",
+            "json",
+            "--trace",
+            "10",
+        ]))
+        .unwrap();
+        dispatch(&v(&[
+            "solve",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--metrics",
+            "text",
+        ]))
+        .unwrap();
+        assert!(dispatch(&v(&[
+            "chase",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--metrics",
+            "csv",
+        ]))
+        .is_err());
     }
 
     #[test]

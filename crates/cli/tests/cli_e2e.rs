@@ -182,6 +182,144 @@ fn cert_query_lists_the_paper_answers() {
 }
 
 #[test]
+fn explain_prints_per_atom_decisions() {
+    let (s, i) = fixture("explain");
+    let out = stdout_of(&[
+        "explain",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--cnre",
+        "(x1, f.f*.[h].f-.(f-)*, x2), (x1, f, z)",
+    ]);
+    assert!(
+        out.contains("plan mode=auto atoms=2"),
+        "plan header expected:\n{out}"
+    );
+    // Every atom line carries its decision and the estimates behind it.
+    for needle in ["est_pairs=", "est_fanout=", "demand_cost=", "-> "] {
+        assert_eq!(
+            out.matches(needle).count(),
+            2,
+            "two per-atom `{needle}` entries expected:\n{out}"
+        );
+    }
+    // The single-label atom over the small representative materializes.
+    assert!(out.contains("-> materialize"), "{out}");
+
+    // JSON rendering is stable: identical across two invocations, and
+    // forced materialization flips every choice.
+    let json_args = [
+        "explain",
+        "--setting",
+        s.as_str(),
+        "--instance",
+        i.as_str(),
+        "--cnre",
+        "(x1, f.f*.[h].f-.(f-)*, x2), (x1, f, z)",
+        "--format",
+        "json",
+    ];
+    let json = stdout_of(&json_args);
+    assert!(
+        json.starts_with("{\"mode\": \"auto\", \"atoms\": ["),
+        "{json}"
+    );
+    assert_eq!(json, stdout_of(&json_args), "explain output must be stable");
+    let mut forced = json_args.to_vec();
+    forced.push("--materialize");
+    let forced_out = stdout_of(&forced);
+    assert!(
+        forced_out.contains("\"mode\": \"materialize\""),
+        "{forced_out}"
+    );
+    assert!(
+        !forced_out.contains("\"choice\": \"demand\""),
+        "{forced_out}"
+    );
+}
+
+#[test]
+fn metrics_dump_is_stable_and_trace_shows_spans() {
+    let (s, i) = fixture("metrics");
+    // --threads 1 pins the runtime gauges (worker count, per-worker task
+    // histogram) so the dump is byte-stable.
+    let args = [
+        "cert-query",
+        "--setting",
+        s.as_str(),
+        "--instance",
+        i.as_str(),
+        "--cnre",
+        "(x1, f.f*.[h].f-.(f-)*, x2)",
+        "--threads",
+        "1",
+        "--metrics",
+        "json",
+    ];
+    let out = stdout_of(&args);
+    assert!(
+        out.starts_with("4 certain answer(s)"),
+        "answers precede the dump:\n{out}"
+    );
+    for metric in [
+        "\"egd.merges\": 1",
+        "\"session.requests\": 1",
+        "\"session.candidates\"",
+        "\"session.phase.chase_us\"",
+        "\"session.phase.verify_us\"",
+    ] {
+        assert!(out.contains(metric), "dump must report {metric}:\n{out}");
+    }
+    // Byte-stable across runs (NoopClock: no wall-clock in the dump).
+    assert_eq!(out, stdout_of(&args), "metrics dump must be reproducible");
+
+    // Text format + trace tail.
+    let out = stdout_of(&[
+        "cert-query",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--cnre",
+        "(x1, f.f*.[h].f-.(f-)*, x2)",
+        "--threads",
+        "1",
+        "--metrics",
+        "text",
+        "--trace",
+        "50",
+    ]);
+    assert!(out.contains("counter session.requests 1"), "{out}");
+    assert!(out.contains("enter session.certain_answers"), "{out}");
+    assert!(out.contains("exit session.certain_answers"), "{out}");
+}
+
+#[test]
+fn metrics_never_perturb_results() {
+    // The observability determinism contract, end to end: stdout up to
+    // the dump is identical with and without recording enabled.
+    let (s, i) = fixture("metrics-inert");
+    let plain = stdout_of(&["solve", "--setting", &s, "--instance", &i, "--threads", "2"]);
+    let observed = stdout_of(&[
+        "solve",
+        "--setting",
+        &s,
+        "--instance",
+        &i,
+        "--threads",
+        "2",
+        "--metrics",
+        "text",
+    ]);
+    assert!(
+        observed.starts_with(&plain),
+        "observed run must print the same result before the dump:\n{observed}"
+    );
+}
+
+#[test]
 fn reduce_emits_a_setting_and_instance() {
     let dir = std::env::temp_dir();
     let cnf = dir.join("gdx-e2e.cnf");

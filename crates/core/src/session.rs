@@ -48,14 +48,15 @@ use crate::options::Options;
 use crate::representative::{RepresentativeOutcome, UniversalRepresentative};
 use crate::solution::SolutionChecker;
 use gdx_chase::{
-    chase_egds_on_pattern, chase_st_with_nulls, ChaseStats, EgdChaseOutcome, SameAsEngine,
+    chase_egds_on_pattern_obs, chase_st_with_nulls, ChaseStats, EgdChaseOutcome, SameAsEngine,
     StChaseVariant, TgdChaseEngine,
 };
 use gdx_common::{FxHashMap, GdxError, Result, Symbol, Term};
 use gdx_graph::{Graph, GraphId, Node, NullFactory};
 use gdx_mapping::{Egd, SameAs, Setting, TargetTgd};
 use gdx_nre::eval::EvalCache;
-use gdx_nre::Nre;
+use gdx_nre::{DemandStats, Nre};
+use gdx_obs::Obs;
 use gdx_pattern::InstantiationFamily;
 use gdx_query::{evaluate_with_scratch, PreparedQuery};
 use gdx_relational::Instance;
@@ -103,6 +104,11 @@ pub struct ExchangeSession {
     /// that still mutate (the candidate loop builds cold caches instead).
     graph_caches: FxHashMap<GraphId, EvalCache>,
     candidates_examined: usize,
+    /// Observability sink threaded into every engine and parallel region
+    /// (disabled by default — see [`ExchangeSession::set_obs`]). This is
+    /// configuration, not a memoized artifact: replacing the options
+    /// keeps it.
+    obs: Obs,
 }
 
 /// The fully-enumerated verified-solution family.
@@ -146,7 +152,43 @@ impl ExchangeSession {
             tgd_engine: None,
             graph_caches: FxHashMap::default(),
             candidates_examined: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Builder form of [`ExchangeSession::set_obs`].
+    pub fn with_obs(mut self, obs: Obs) -> ExchangeSession {
+        self.set_obs(obs);
+        self
+    }
+
+    /// Attaches an observability sink. The session spans its public
+    /// requests, records a freeze/chase/eval/verify phase breakdown
+    /// (`session.phase.*_us` histograms, timestamps from the sink's
+    /// injected clock), and threads the sink into the chase engines, the
+    /// demand evaluators' stat bridges and the runtime pools it builds.
+    /// Recording never changes any result — every output stays
+    /// byte-identical to the disabled run.
+    ///
+    /// Engines compiled before this call keep recording into the
+    /// previously attached sink; attach before the first query for a
+    /// complete picture.
+    pub fn set_obs(&mut self, obs: Obs) {
+        if let Some(engine) = &mut self.tgd_engine {
+            engine.set_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// The session's observability sink (disabled unless
+    /// [`ExchangeSession::set_obs`] attached one).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The session's runtime handle with the observability sink attached.
+    fn runtime(&self) -> Runtime {
+        self.options.runtime().with_obs(self.obs.clone())
     }
 
     /// Builder-style options override (typically right after
@@ -212,13 +254,19 @@ impl ExchangeSession {
     #[allow(clippy::expect_used)]
     pub fn is_solution(&mut self, graph: &Graph) -> Result<bool> {
         if self.checker.is_none() {
-            self.checker =
-                Some(SolutionChecker::new(&self.setting).with_runtime(self.options.runtime()));
+            self.checker = Some(SolutionChecker::new(&self.setting).with_runtime(self.runtime()));
         }
-        self.checker
+        let verify_start = self.obs.now_micros();
+        let verdict = self
+            .checker
             .as_ref()
             .expect("just filled")
-            .is_solution(&self.instance, graph)
+            .is_solution(&self.instance, graph);
+        self.obs.observe(
+            "session.phase.verify_us",
+            self.obs.now_micros().saturating_sub(verify_start),
+        );
+        verdict
     }
 
     /// The chased universal representative `(pattern, constraints)` of
@@ -229,19 +277,34 @@ impl ExchangeSession {
     #[allow(clippy::expect_used)]
     pub fn representative(&mut self) -> Result<&RepresentativeOutcome> {
         if self.representative.is_none() {
+            let _span = self.obs.span("session.representative");
+            // Freeze phase: the s-t chase freezes the source instance
+            // into the representative pattern.
+            let freeze_start = self.obs.now_micros();
             let st = chase_st_with_nulls(
                 &self.instance,
                 &self.setting,
                 StChaseVariant::Oblivious,
                 NullFactory::starting_at(self.options.null_seed),
             )?;
+            self.obs.observe(
+                "session.phase.freeze_us",
+                self.obs.now_micros().saturating_sub(freeze_start),
+            );
+            // Chase phase: the adapted egd chase repairs the pattern.
+            let chase_start = self.obs.now_micros();
             let outcome = if self.egds.is_empty() {
                 RepresentativeOutcome::Representative(UniversalRepresentative {
                     pattern: st.pattern,
                     constraints: self.setting.target_constraints.clone(),
                 })
             } else {
-                match chase_egds_on_pattern(&st.pattern, &self.egds, self.options.egd_chase)? {
+                match chase_egds_on_pattern_obs(
+                    &st.pattern,
+                    &self.egds,
+                    self.options.egd_chase,
+                    &self.obs,
+                )? {
                     EgdChaseOutcome::Success { pattern, merges } => {
                         self.representative_merges = merges;
                         RepresentativeOutcome::Representative(UniversalRepresentative {
@@ -255,6 +318,10 @@ impl ExchangeSession {
                     }
                 }
             };
+            self.obs.observe(
+                "session.phase.chase_us",
+                self.obs.now_micros().saturating_sub(chase_start),
+            );
             self.representative = Some(outcome);
         }
         Ok(self.representative.as_ref().expect("just filled"))
@@ -411,6 +478,8 @@ impl ExchangeSession {
                 "certain expects a constants-only (Boolean) query",
             ));
         }
+        let _span = self.obs.span("session.certain");
+        self.obs.incr("session.requests");
         self.ensure_solutions()?;
         {
             // Fan the probe out across the memoized solution family —
@@ -487,6 +556,8 @@ impl ExchangeSession {
     // filled; a miss is a session-state bug worth a loud panic.
     #[allow(clippy::expect_used)]
     pub fn certain_answers(&mut self, query: &PreparedQuery) -> Result<(Vec<Vec<Node>>, bool)> {
+        let _span = self.obs.span("session.certain_answers");
+        self.obs.incr("session.requests");
         self.ensure_solutions()?;
         // Full evaluations fan out across the solution family (one
         // worker per graph, each with its own cache); a single-graph
@@ -548,8 +619,30 @@ impl ExchangeSession {
         limit: Option<usize>,
         stop_at_first_empty: bool,
     ) -> Result<Vec<gdx_query::NodeBindings>> {
+        let eval_start = self.obs.now_micros();
+        let demand_before = demand_snapshot(query);
+        let result = self.family_probe_inner(graphs, query, limit, stop_at_first_empty);
+        // Eval phase boundary: flush the probe's demand-evaluator effort
+        // delta and the wall time into the registry.
+        demand_snapshot(query)
+            .delta_since(&demand_before)
+            .record_into(&self.obs);
+        self.obs.observe(
+            "session.phase.eval_us",
+            self.obs.now_micros().saturating_sub(eval_start),
+        );
+        result
+    }
+
+    fn family_probe_inner(
+        &mut self,
+        graphs: &[Graph],
+        query: &PreparedQuery,
+        limit: Option<usize>,
+        stop_at_first_empty: bool,
+    ) -> Result<Vec<gdx_query::NodeBindings>> {
         let planner = self.options.planner;
-        let rt = self.options.runtime();
+        let rt = self.runtime();
         if !rt.is_parallel() || graphs.len() <= 1 {
             let mut out = Vec::with_capacity(graphs.len());
             for g in graphs {
@@ -617,16 +710,32 @@ impl ExchangeSession {
                 threads: self.options.threads,
                 ..self.options.tgd_chase
             };
-            self.tgd_engine = (!self.target_tgds.is_empty())
-                .then(|| TgdChaseEngine::new(&self.target_tgds, tgd_cfg));
+            self.tgd_engine = (!self.target_tgds.is_empty()).then(|| {
+                TgdChaseEngine::new(&self.target_tgds, tgd_cfg).with_obs(self.obs.clone())
+            });
             self.repairer = Some(EgdRepairer::new(&self.egds));
             if self.checker.is_none() {
                 self.checker =
-                    Some(SolutionChecker::new(&self.setting).with_runtime(self.options.runtime()));
+                    Some(SolutionChecker::new(&self.setting).with_runtime(self.runtime()));
             }
             self.engines_ready = true;
         }
     }
+}
+
+/// Sums the cumulative [`DemandStats`] of every atom evaluator compiled
+/// into `query`'s demand pool — the session records *deltas* of this
+/// around each probe.
+fn demand_snapshot(query: &PreparedQuery) -> DemandStats {
+    let mut total = DemandStats::default();
+    for atom in &query.cnre().atoms {
+        if let Some(s) = query.demand_stats(&atom.nre) {
+            total.visited += s.visited;
+            total.bfs_runs += s.bfs_runs;
+            total.guard_checks += s.guard_checks;
+        }
+    }
+    total
 }
 
 /// Which source a [`SolutionStream`] draws from.
@@ -753,12 +862,14 @@ impl SolutionStream<'_> {
             };
             let mut g = candidate?;
             self.session.candidates_examined += 1;
+            self.session.obs.incr("session.candidates");
             // Enforce the three constraint kinds to a joint fixpoint: egd
             // merges can create new sameAs/tgd obligations and vice versa.
             // Each enforcement is monotone (adds edges or merges nodes),
             // so a handful of rounds suffices; the final is_solution check
             // keeps Exists sound regardless of the round cap.
             for _round in 0..8 {
+                let chase_start = self.session.obs.now_micros();
                 if let Some(engine) = &mut self.session.sameas_engine {
                     engine.saturate(&mut g)?;
                 }
@@ -772,6 +883,10 @@ impl SolutionStream<'_> {
                         Err(e) => return Err(e),
                     }
                 }
+                self.session.obs.observe(
+                    "session.phase.chase_us",
+                    self.session.obs.now_micros().saturating_sub(chase_start),
+                );
                 // Concrete egd repair: merge forced violations; a constant
                 // clash kills the candidate. Violation-free rounds keep
                 // the graph value (and hence the engine caches) intact.
@@ -784,12 +899,17 @@ impl SolutionStream<'_> {
                 {
                     continue 'candidates;
                 }
+                let verify_start = self.session.obs.now_micros();
                 let verified = self
                     .session
                     .checker
                     .as_ref()
                     .expect("engines ready")
                     .is_solution(&self.session.instance, &g)?;
+                self.session.obs.observe(
+                    "session.phase.verify_us",
+                    self.session.obs.now_micros().saturating_sub(verify_start),
+                );
                 if verified {
                     self.collected.push(g.clone());
                     if let StreamMode::Live { prefix, .. } = &mut self.mode {
@@ -1005,6 +1125,50 @@ mod tests {
         assert!(!base_nulls.is_empty());
         assert!(seeded_nulls.iter().all(|n| n.contains("100")));
         assert_ne!(base_nulls, seeded_nulls);
+    }
+
+    #[test]
+    fn observed_session_matches_plain_session_byte_for_byte() {
+        let obs = Obs::enabled();
+        let mut observed = session_2_2().with_obs(obs.clone());
+        let mut plain = session_2_2();
+        let q = PreparedQuery::parse("(x1, f.f*.[h].f-.(f-)*, x2)").unwrap();
+        let (rows_o, exact_o) = observed.certain_answers(&q).unwrap();
+        let (rows_p, exact_p) = plain.certain_answers(&q).unwrap();
+        assert_eq!(rows_o, rows_p, "recording must never perturb answers");
+        assert_eq!(exact_o, exact_p);
+        assert_eq!(observed.chase_stats(), plain.chase_stats());
+
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter("session.requests"), 1);
+        assert_eq!(
+            reg.counter("session.candidates"),
+            observed.candidates_examined() as u64
+        );
+        assert_eq!(
+            reg.counter("chase.firings"),
+            observed.chase_stats().steps as u64
+        );
+        assert!(reg.counter("egd.merges") >= 1, "Example 2.2 merges a null");
+        let snap = reg.snapshot();
+        let phase = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, h)| h.count)
+                .unwrap_or(0)
+        };
+        for name in [
+            "session.phase.freeze_us",
+            "session.phase.chase_us",
+            "session.phase.eval_us",
+            "session.phase.verify_us",
+        ] {
+            assert!(phase(name) >= 1, "missing phase observation: {name}");
+        }
+        let trace = obs.render_trace(64);
+        assert!(trace.contains("enter session.certain_answers"), "{trace}");
+        assert!(trace.contains("enter session.representative"), "{trace}");
     }
 
     #[test]

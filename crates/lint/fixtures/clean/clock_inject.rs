@@ -1,0 +1,17 @@
+//! Clean twin of `violations/clock_inject.rs`: the clock is injected
+//! by the caller; the library only consumes the trait.
+
+use gdx_obs::{Clock, Obs};
+use std::sync::Arc;
+
+fn observed(clock: Arc<dyn Clock>) -> Obs {
+    Obs::with_clock(clock)
+}
+
+fn stamp(clock: &dyn Clock) -> u64 {
+    clock.now_micros()
+}
+
+fn phase_micros(obs: &Obs) -> u64 {
+    obs.now_micros()
+}

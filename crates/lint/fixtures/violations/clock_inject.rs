@@ -1,0 +1,13 @@
+//! Fixture: a library crate constructing its own monotonic clock
+//! instead of taking the injected `gdx_obs::Clock`.
+
+use gdx_obs::{Clock, MonotonicClock, Obs};
+
+fn observed() -> Obs {
+    Obs::with_clock(std::sync::Arc::new(MonotonicClock::new())) // gdx-lint: expect(clock-inject)
+}
+
+fn stamp() -> u64 {
+    let clock = MonotonicClock::default(); // gdx-lint: expect(clock-inject)
+    clock.now_micros()
+}

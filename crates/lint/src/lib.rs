@@ -19,8 +19,13 @@
 //!   sorted within the next few lines). Hash order must never leak into
 //!   outputs.
 //! * `wall-clock` — `Instant::now`/`SystemTime::now` outside
-//!   `cli`/`bench`/`sim`: library results must be functions of their
+//!   `cli`/`bench`/`sim` and gdx-obs's clock module (the one sanctioned
+//!   wall-clock wrapper): library results must be functions of their
 //!   inputs.
+//! * `clock-inject` — constructing `MonotonicClock` in a library crate:
+//!   time flows in through an injected `gdx_obs::Clock` (`&dyn Clock` /
+//!   `Arc<dyn Clock>`); only entry points (cli/bench/sim) decide which
+//!   clock runs, so library behaviour stays replayable.
 //! * `thread-spawn` — `thread::spawn`/`thread::scope` outside
 //!   `gdx-runtime`: all parallelism goes through the deterministic pool.
 //!
@@ -97,6 +102,7 @@ impl Severity {
 pub enum Rule {
     HashIter,
     WallClock,
+    ClockInject,
     ThreadSpawn,
     PanicMacro,
     LockUnwrap,
@@ -113,6 +119,7 @@ pub enum Rule {
 pub const ALL_RULES: &[Rule] = &[
     Rule::HashIter,
     Rule::WallClock,
+    Rule::ClockInject,
     Rule::ThreadSpawn,
     Rule::PanicMacro,
     Rule::LockUnwrap,
@@ -131,6 +138,7 @@ impl Rule {
         match self {
             Rule::HashIter => "hash-iter",
             Rule::WallClock => "wall-clock",
+            Rule::ClockInject => "clock-inject",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::PanicMacro => "panic-macro",
             Rule::LockUnwrap => "lock-unwrap",
@@ -254,6 +262,9 @@ pub struct FileCtx {
     pub crate_name: String,
     pub kind: CrateKind,
     pub root: Option<RootPolicy>,
+    /// True only for gdx-obs's clock module — the one library file
+    /// allowed to read the wall clock (it *is* the injected clock).
+    pub clock_module: bool,
 }
 
 impl FileCtx {
@@ -262,6 +273,7 @@ impl FileCtx {
             crate_name: name.to_owned(),
             kind: CrateKind::Library,
             root: None,
+            clock_module: false,
         }
     }
 
@@ -270,18 +282,24 @@ impl FileCtx {
             crate_name: name.to_owned(),
             kind: CrateKind::Tool,
             root: None,
+            clock_module: false,
         }
     }
 
     /// Whether `rule` is checked for this crate. The exemption table is
     /// the contract: tools may use the clock and panic; only the
     /// runtime crate touches raw threads; the deterministic-sim crate
-    /// is library-class except for the clock (campaign timing).
+    /// is library-class except for the clock (campaign timing); the
+    /// observability crate's clock module wraps the wall clock for
+    /// everyone else and constructs what others must inject.
     pub fn applies(&self, rule: Rule) -> bool {
         let lib = self.kind == CrateKind::Library;
         match rule {
             Rule::HashIter | Rule::PanicMacro | Rule::SliceIndex => lib,
-            Rule::WallClock => lib && self.crate_name != "gdx-sim",
+            Rule::WallClock => lib && self.crate_name != "gdx-sim" && !self.clock_module,
+            Rule::ClockInject => {
+                lib && self.crate_name != "gdx-obs" && self.crate_name != "gdx-sim"
+            }
             Rule::ThreadSpawn => self.crate_name != "gdx-runtime",
             Rule::LockUnwrap | Rule::UnsafeCode => true,
             // Crate-root / manifest rules are not per-file.
@@ -309,10 +327,19 @@ mod tests {
         let sim = FileCtx::library("gdx-sim");
         let runtime = FileCtx::library("gdx-runtime");
         let cli = FileCtx::tool("gdx-cli");
+        let obs = FileCtx::library("gdx-obs");
+        let mut clock = FileCtx::library("gdx-obs");
+        clock.clock_module = true;
         assert!(lib.applies(Rule::HashIter));
         assert!(!cli.applies(Rule::HashIter));
         assert!(lib.applies(Rule::WallClock));
         assert!(!sim.applies(Rule::WallClock));
+        assert!(obs.applies(Rule::WallClock), "obs outside clock.rs");
+        assert!(!clock.applies(Rule::WallClock), "the clock module itself");
+        assert!(lib.applies(Rule::ClockInject));
+        assert!(!obs.applies(Rule::ClockInject));
+        assert!(!sim.applies(Rule::ClockInject));
+        assert!(!cli.applies(Rule::ClockInject));
         assert!(sim.applies(Rule::PanicMacro));
         assert!(lib.applies(Rule::ThreadSpawn));
         assert!(!runtime.applies(Rule::ThreadSpawn));

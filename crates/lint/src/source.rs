@@ -121,6 +121,9 @@ pub fn lint_source(file: &str, text: &str, ctx: &FileCtx) -> FileOutcome {
     if ctx.applies(Rule::WallClock) {
         check_wall_clock(&toks, &mut raw);
     }
+    if ctx.applies(Rule::ClockInject) {
+        check_clock_inject(&toks, &mut raw);
+    }
     if ctx.applies(Rule::ThreadSpawn) {
         check_thread_spawn(&toks, &mut raw);
     }
@@ -379,6 +382,24 @@ fn check_wall_clock(toks: &[Tok<'_>], out: &mut Vec<(Rule, u32, String)>) {
                      not of the clock (time only in cli/bench/sim)",
                     t.text
                 ),
+            ));
+        }
+    }
+}
+
+fn check_clock_inject(toks: &[Tok<'_>], out: &mut Vec<(Rule, u32, String)>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("MonotonicClock")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            out.push((
+                Rule::ClockInject,
+                t.line,
+                "`MonotonicClock` constructed in a library crate: take an injected \
+                 `gdx_obs::Clock` (`&dyn Clock` / `Arc<dyn Clock>`) instead — only entry \
+                 points (cli/bench/sim) decide which clock runs"
+                    .to_owned(),
             ));
         }
     }
@@ -948,6 +969,20 @@ mod tests {
         assert_eq!(lint_lib(src), vec![(Rule::WallClock, 1)]);
         let tool = lint_source("t.rs", src, &FileCtx::tool("gdx-bench"));
         assert!(tool.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn clock_inject_fires_on_construction_but_not_on_injection() {
+        let src = "fn f() { let c = MonotonicClock::new(); }";
+        assert_eq!(lint_lib(src), vec![(Rule::ClockInject, 1)]);
+        // Taking the trait is the sanctioned idiom.
+        let inject = "fn f(clock: &dyn Clock) -> u64 { clock.now_micros() }";
+        assert!(lint_lib(inject).is_empty());
+        // The defining crate and the sim harness are exempt.
+        for exempt in ["gdx-obs", "gdx-sim"] {
+            let out = lint_source("t.rs", src, &FileCtx::library(exempt));
+            assert!(out.diagnostics.is_empty(), "{exempt}");
+        }
     }
 
     #[test]

@@ -157,6 +157,10 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
                 crate_name: name.clone(),
                 kind,
                 root: None,
+                // The injected-clock implementation itself: the one
+                // library file sanctioned to read the wall clock.
+                clock_module: name == "gdx-obs"
+                    && path.file_name().is_some_and(|f| f == "clock.rs"),
             };
             if crate_root.as_deref() == Some(path.as_path()) {
                 ctx.root = Some(RootPolicy {

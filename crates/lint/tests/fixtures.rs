@@ -62,6 +62,7 @@ fn fired_sites(file: &str, text: &str) -> BTreeSet<(String, u32)> {
 const VIOLATION_FIXTURES: &[&str] = &[
     "violations/hash_iter.rs",
     "violations/wall_clock.rs",
+    "violations/clock_inject.rs",
     "violations/thread_spawn.rs",
     "violations/panic_macro.rs",
     "violations/lock_unwrap.rs",
@@ -73,6 +74,7 @@ const VIOLATION_FIXTURES: &[&str] = &[
 const CLEAN_FIXTURES: &[&str] = &[
     "clean/hash_iter.rs",
     "clean/wall_clock.rs",
+    "clean/clock_inject.rs",
     "clean/thread_spawn.rs",
     "clean/panic_macro.rs",
     "clean/lock_unwrap.rs",

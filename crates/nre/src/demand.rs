@@ -223,6 +223,39 @@ pub struct DemandStats {
     pub guard_checks: usize,
 }
 
+impl DemandStats {
+    /// Component-wise difference against an earlier snapshot of the same
+    /// cumulative counters (saturating).
+    pub fn delta_since(&self, earlier: &DemandStats) -> DemandStats {
+        DemandStats {
+            visited: self.visited.saturating_sub(earlier.visited),
+            bfs_runs: self.bfs_runs.saturating_sub(earlier.bfs_runs),
+            guard_checks: self.guard_checks.saturating_sub(earlier.guard_checks),
+        }
+    }
+
+    /// Bridge into the shared registry under the `demand.*` namespace.
+    /// Call with a *delta* (see [`DemandStats::delta_since`]) — registry
+    /// counters are cumulative, so recording a cumulative snapshot twice
+    /// would double-count.
+    pub fn record_into(&self, obs: &gdx_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.add("demand.visited", self.visited as u64);
+        obs.add("demand.bfs_runs", self.bfs_runs as u64);
+        obs.add("demand.guard_checks", self.guard_checks as u64);
+    }
+
+    /// Stable JSON rendering (fixed field order, no dependencies).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"visited\": {}, \"bfs_runs\": {}, \"guard_checks\": {}}}",
+            self.visited, self.bfs_runs, self.guard_checks
+        )
+    }
+}
+
 /// Run direction over the product.
 #[derive(Clone, Copy)]
 enum Dir {
@@ -855,5 +888,25 @@ mod tests {
         assert_eq!(rel.len(), 2);
         assert!(rel.contains(id(&g, "a"), id(&g, "b")));
         assert!(rel.contains(id(&g, "c"), id(&g, "d")));
+    }
+
+    #[test]
+    fn demand_stats_bridge_and_json() {
+        let g = Graph::parse("(a, f, b); (b, f, c);").unwrap();
+        let mut ev = DemandEvaluator::try_new(&parse_nre("f.f").unwrap()).unwrap();
+        let _ = ev.image(&g, id(&g, "a"));
+        let stats = ev.stats();
+        assert!(stats.bfs_runs >= 1);
+        let obs = gdx_obs::Obs::enabled();
+        stats.record_into(&obs);
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter("demand.visited"), stats.visited as u64);
+        assert_eq!(reg.counter("demand.bfs_runs"), stats.bfs_runs as u64);
+        let json = stats.render_json();
+        assert!(json.starts_with("{\"visited\": "), "{json}");
+        let zero = stats.delta_since(&stats);
+        assert_eq!(zero.visited, 0);
+        assert_eq!(zero.bfs_runs, 0);
+        assert_eq!(zero.guard_checks, 0);
     }
 }

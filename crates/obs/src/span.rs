@@ -1,0 +1,175 @@
+//! Lightweight span tracing into a bounded ring buffer.
+//!
+//! A span is an enter/exit event pair around a named region, optionally
+//! carrying structured `(key, value)` fields; point events record a
+//! single moment. Events land in a fixed-capacity ring — when full, the
+//! oldest events are dropped and counted, so tracing can stay on for a
+//! whole session without unbounded growth. Like the metrics registry,
+//! rendering is hand-rolled and stable: with a [`crate::NoopClock`]
+//! injected, two identical runs produce byte-identical trace dumps.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Default ring capacity (events, not spans — a span is two events).
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Span entry.
+    Enter,
+    /// Span exit.
+    Exit,
+    /// A point event with no matching pair.
+    Point,
+}
+
+impl TraceKind {
+    fn label(self) -> &'static str {
+        match self {
+            TraceKind::Enter => "enter",
+            TraceKind::Exit => "exit",
+            TraceKind::Point => "event",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (never reused, survives ring wrap).
+    pub seq: u64,
+    /// Timestamp from the injected clock, microseconds.
+    pub at_micros: u64,
+    /// Enter / exit / point.
+    pub kind: TraceKind,
+    /// Static instrument name (`"chase.run"`, ...).
+    pub name: &'static str,
+    /// Structured fields attached at record time.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded event ring. Shared behind the same coarse-grained
+/// locking discipline as the registry: recorded at span boundaries,
+/// never per row.
+#[derive(Debug)]
+pub struct Tracer {
+    inner: Mutex<TraceInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer keeping at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Mutex::new(TraceInner {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append one event, evicting the oldest when the ring is full.
+    pub fn record(
+        &self,
+        kind: TraceKind,
+        name: &'static str,
+        at_micros: u64,
+        fields: Vec<(&'static str, u64)>,
+    ) {
+        let mut g = self.lock();
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if g.events.len() == g.capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back(TraceEvent {
+            seq,
+            at_micros,
+            kind,
+            name,
+            fields,
+        });
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let g = self.lock();
+        let skip = g.events.len().saturating_sub(n);
+        g.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Events evicted by ring wrap so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Stable text rendering of the most recent `n` events: one line
+    /// per event — `seq +micros kind name k=v ...`.
+    pub fn render_tail(&self, n: usize) -> String {
+        let mut out = String::new();
+        for ev in self.tail(n) {
+            out.push_str(&format!(
+                "{:>6} +{}us {} {}",
+                ev.seq,
+                ev.at_micros,
+                ev.kind.label(),
+                ev.name
+            ));
+            for (k, v) in &ev.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let t = Tracer::with_capacity(2);
+        t.record(TraceKind::Point, "a", 0, Vec::new());
+        t.record(TraceKind::Point, "b", 1, Vec::new());
+        t.record(TraceKind::Point, "c", 2, Vec::new());
+        let tail = t.tail(10);
+        assert_eq!(tail.iter().map(|e| e.name).collect::<Vec<_>>(), ["b", "c"]);
+        assert_eq!(tail[0].seq, 1, "sequence numbers survive eviction");
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn render_is_stable_and_carries_fields() {
+        let t = Tracer::with_capacity(8);
+        t.record(TraceKind::Enter, "chase.run", 0, vec![("round", 1)]);
+        t.record(TraceKind::Exit, "chase.run", 0, Vec::new());
+        let text = t.render_tail(8);
+        assert!(text.contains("enter chase.run round=1"), "{text}");
+        assert!(text.contains("exit chase.run"), "{text}");
+        assert_eq!(text, t.render_tail(8));
+    }
+}

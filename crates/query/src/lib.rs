@@ -30,6 +30,7 @@
 
 pub mod cnre;
 pub mod eval;
+pub mod explain;
 pub mod plan;
 pub mod prepared;
 pub mod seminaive;
@@ -41,7 +42,8 @@ pub use eval::{
     evaluate_with_cache,
 };
 pub use eval::{evaluate_with_scratch, NodeBindings, Rows};
-pub use plan::PlannerMode;
+pub use explain::{explain_query, AtomExplain, PlanExplain};
+pub use plan::{AccessChoice, PlannerMode};
 pub use prepared::PreparedQuery;
 pub use seminaive::{
     evaluate_seeded_incremental, evaluate_seeded_incremental_exists, SemiNaiveState,

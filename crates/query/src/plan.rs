@@ -30,6 +30,7 @@
 //! materialization at execution time.
 
 use crate::cnre::Cnre;
+use crate::explain::AtomExplain;
 use gdx_common::{FxHashSet, Symbol, Term};
 use gdx_graph::Graph;
 use gdx_nre::Nre;
@@ -47,11 +48,21 @@ pub enum PlannerMode {
 
 /// Per-atom access path chosen by the planner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum AccessChoice {
+pub enum AccessChoice {
     /// Full `⟦r⟧_G` via the (incremental or cold) materializing cache.
     Materialize,
     /// Seeded product-BFS from whichever endpoint is bound.
     Demand,
+}
+
+impl AccessChoice {
+    /// Stable lowercase label used by explain renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessChoice::Materialize => "materialize",
+            AccessChoice::Demand => "demand",
+        }
+    }
 }
 
 /// A join order plus one access choice per atom (indexed by atom
@@ -118,6 +129,19 @@ pub(crate) fn plan_query(
     bound: &FxHashSet<Symbol>,
     mode: PlannerMode,
 ) -> QueryPlan {
+    plan_query_traced(graph, query, bound, mode, None)
+}
+
+/// The planning loop, optionally narrating each placement into `trace`.
+/// `plan_query` passes `None` (no per-decision strings are built on the
+/// hot path); [`crate::explain`] passes a buffer and renders it.
+pub(crate) fn plan_query_traced(
+    graph: &Graph,
+    query: &Cnre,
+    bound: &FxHashSet<Symbol>,
+    mode: PlannerMode,
+    mut trace: Option<&mut Vec<AtomExplain>>,
+) -> QueryPlan {
     let n = query.atoms.len();
     let mut bound = bound.clone();
     let mut remaining: Vec<usize> = (0..n).collect();
@@ -141,15 +165,26 @@ pub(crate) fn plan_query(
         let bound_endpoints = usize::from(endpoint_bound(&atom.left, &bound))
             + usize::from(endpoint_bound(&atom.right, &bound));
         let mat = est_pairs(graph, &atom.nre);
-        if mode == PlannerMode::Auto
-            && bound_endpoints >= 1
-            && demand_cost(graph, &atom.nre, est_rows) < mat
-        {
+        let fanout = est_fanout(graph, &atom.nre);
+        let demand = demand_cost(graph, &atom.nre, est_rows);
+        if mode == PlannerMode::Auto && bound_endpoints >= 1 && demand < mat {
             access[best] = AccessChoice::Demand;
+        }
+        if let Some(out) = trace.as_deref_mut() {
+            out.push(AtomExplain {
+                atom: best,
+                pattern: atom.to_string(),
+                bound_endpoints,
+                est_pairs: mat,
+                est_fanout: fanout,
+                est_rows_in: est_rows,
+                demand_cost: demand,
+                choice: access[best],
+            });
         }
         est_rows = match bound_endpoints {
             2 => est_rows,
-            1 => (est_rows * est_fanout(graph, &atom.nre)).min(EST_CAP),
+            1 => (est_rows * fanout).min(EST_CAP),
             _ => (est_rows * mat).min(EST_CAP),
         };
         bound.extend(atom.variables());

@@ -186,6 +186,14 @@ impl PreparedQuery {
             .is_empty())
     }
 
+    /// Explains the plan evaluation would use over `graph` with no seed:
+    /// the per-atom access-path decisions and the cost estimates behind
+    /// them, in join order. Shares the planner's loop, so the answer can
+    /// never drift from what [`PreparedQuery::evaluate`] actually does.
+    pub fn explain(&self, graph: &Graph, mode: PlannerMode) -> crate::explain::PlanExplain {
+        crate::explain::explain_query(graph, &self.query, &Default::default(), mode)
+    }
+
     /// Probe counters of the compiled demand evaluator for `r` (an atom's
     /// NRE), when `r` is in the demand fragment and was compiled at
     /// construction — observability for tests and benches.

@@ -64,6 +64,8 @@ use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::{Mutex, PoisonError};
 
+pub use gdx_obs::Obs;
+
 /// The thread-count *configuration* — `Copy`, so it rides inside the
 /// option structs (`gdx_exchange::Options::threads`,
 /// `gdx_chase::TgdChaseConfig::threads`) without breaking their `Copy`.
@@ -107,12 +109,14 @@ impl Threads {
     }
 }
 
-/// A resolved worker-pool handle. Cheap to copy and to pass down the
+/// A resolved worker-pool handle. Cheap to clone and to pass down the
 /// evaluation stack; threads are spawned per parallel region (scoped), so
-/// the handle itself holds no OS resources.
-#[derive(Debug, Clone, Copy)]
+/// the handle itself holds no OS resources beyond an optional shared
+/// [`Obs`] registry (disabled by default — see [`Runtime::with_obs`]).
+#[derive(Debug, Clone)]
 pub struct Runtime {
     workers: usize,
+    obs: Obs,
 }
 
 /// How many chunks to cut per worker: a little oversubscription lets the
@@ -124,12 +128,16 @@ impl Runtime {
     pub fn new(threads: Threads) -> Runtime {
         Runtime {
             workers: threads.resolve(),
+            obs: Obs::disabled(),
         }
     }
 
     /// The single-worker runtime: every `par_*` call runs inline.
     pub fn sequential() -> Runtime {
-        Runtime { workers: 1 }
+        Runtime {
+            workers: 1,
+            obs: Obs::disabled(),
+        }
     }
 
     /// Shorthand for `Runtime::new(Threads::Auto)`.
@@ -143,7 +151,24 @@ impl Runtime {
     /// must drive real multi-worker schedules even on a serial host.
     /// Production configuration goes through [`Threads`].
     pub fn with_workers(n: usize) -> Runtime {
-        Runtime { workers: n.max(1) }
+        Runtime {
+            workers: n.max(1),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// The same pool with scheduler observability attached: parallel
+    /// regions record tasks executed, steals, and per-worker task
+    /// spreads into `obs`. A disabled handle (the default) keeps every
+    /// `par_*` call on the exact pre-instrumentation code path.
+    pub fn with_obs(mut self, obs: Obs) -> Runtime {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle this pool records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The resolved worker count.
@@ -203,32 +228,44 @@ impl Runtime {
                 .push_back(ci);
         }
         let (ranges, deques, f) = (&ranges, &deques, &f);
+        // Scheduler tallies, flushed into the (optional) registry once
+        // after the scope joins — never from inside the worker loop.
+        let mut total_tasks = 0u64;
+        let mut total_steals = 0u64;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
                         let mut done: Vec<(usize, R)> = Vec::new();
+                        let mut steals = 0u64;
                         loop {
                             // Own deque from the back; steal from the
                             // front of the neighbours' otherwise. All
                             // tasks exist up front, so empty-everywhere
                             // means finished.
-                            let task = deques[w]
+                            let task = match deques[w]
                                 .lock()
                                 .unwrap_or_else(PoisonError::into_inner)
                                 .pop_back()
-                                .or_else(|| {
-                                    (1..workers).find_map(|k| {
+                            {
+                                Some(ci) => Some(ci),
+                                None => {
+                                    let stolen = (1..workers).find_map(|k| {
                                         deques[(w + k) % workers]
                                             .lock()
                                             .unwrap_or_else(PoisonError::into_inner)
                                             .pop_front()
-                                    })
-                                });
+                                    });
+                                    if stolen.is_some() {
+                                        steals += 1;
+                                    }
+                                    stolen
+                                }
+                            };
                             let Some(ci) = task else { break };
                             done.push((ci, f(ranges[ci].start, &items[ranges[ci].clone()])));
                         }
-                        done
+                        (done, steals)
                     })
                 })
                 .collect();
@@ -237,7 +274,11 @@ impl Runtime {
                 // re-raise the original payload instead of masking it
                 // behind a generic join message.
                 match h.join() {
-                    Ok(rs) => {
+                    Ok((rs, steals)) => {
+                        total_tasks += rs.len() as u64;
+                        total_steals += steals;
+                        self.obs
+                            .observe("runtime.tasks_per_worker", rs.len() as u64);
                         for (ci, r) in rs {
                             out[ci] = Some(r);
                         }
@@ -246,6 +287,10 @@ impl Runtime {
                 }
             }
         });
+        self.obs.incr("runtime.par_scopes");
+        self.obs.add("runtime.tasks", total_tasks);
+        self.obs.add("runtime.steals", total_steals);
+        self.obs.gauge_set("runtime.workers", self.workers as u64);
         out.into_iter()
             .map(|r| match r {
                 Some(r) => r,
@@ -441,6 +486,31 @@ mod tests {
             }
             chunk.len()
         });
+    }
+
+    #[test]
+    fn scheduler_tallies_land_in_the_registry() {
+        let obs = Obs::enabled();
+        let rt = Runtime::with_workers(4).with_obs(obs.clone());
+        let items: Vec<u64> = (0..1000).collect();
+        let chunks = rt.par_chunks(&items, 8, |_, c| c.len());
+        let executed: usize = chunks.iter().sum();
+        assert_eq!(executed, 1000);
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter("runtime.tasks"), chunks.len() as u64);
+        assert_eq!(reg.counter("runtime.par_scopes"), 1);
+        assert_eq!(reg.gauge("runtime.workers"), Some(4));
+        // Steals are schedule-dependent; only their presence is pinned.
+        assert!(reg.counter("runtime.steals") <= reg.counter("runtime.tasks"));
+    }
+
+    #[test]
+    fn disabled_obs_changes_nothing() {
+        let rt = Runtime::with_workers(3);
+        assert!(!rt.obs().is_enabled());
+        let items: Vec<u64> = (0..100).collect();
+        let out: usize = rt.par_chunks(&items, 4, |_, c| c.len()).iter().sum();
+        assert_eq!(out, 100);
     }
 
     #[test]

@@ -511,7 +511,10 @@ pub fn run_scenario(sc: &Scenario, oracle: Oracle) -> std::result::Result<(), Si
 }
 
 /// Long-lived memoizing session vs a cold session replaying the same
-/// state — memoization must never change an answer.
+/// state — memoization must never change an answer. A third cold side
+/// runs with metrics + span tracing recording (on a [`VirtualClock`],
+/// so timestamps are deterministic too) and must render byte-identically
+/// as well: observability is part of the replay contract.
 fn run_replay(sc: &Scenario) -> std::result::Result<(), SimFailure> {
     let mut live = Side::new(sc, Knob::AsIs, false)?;
     for (i, op) in sc.ops.iter().enumerate() {
@@ -521,18 +524,27 @@ fn run_replay(sc: &Scenario) -> std::result::Result<(), SimFailure> {
         check_no_internal(i, &lo)?;
         if op.is_query() {
             let mut fresh = live.fresh();
-            let fo = fresh
-                .apply(op)
-                .map_err(|message| SimFailure::Panic { op: i, message })?;
-            check_no_internal(i, &fo)?;
-            let (l, r) = (lo.render(), fo.render());
-            if l != r {
-                return Err(SimFailure::Mismatch {
-                    op: i,
-                    oracle: "replay",
-                    left: l,
-                    right: r,
-                });
+            let mut observed = live.fresh();
+            observed
+                .session
+                .set_obs(gdx_obs::Obs::with_clock(std::sync::Arc::new(
+                    gdx_obs::VirtualClock::new(),
+                )));
+            for (fresh_side, oracle) in [(&mut fresh, "replay"), (&mut observed, "replay-observed")]
+            {
+                let fo = fresh_side
+                    .apply(op)
+                    .map_err(|message| SimFailure::Panic { op: i, message })?;
+                check_no_internal(i, &fo)?;
+                let (l, r) = (lo.render(), fo.render());
+                if l != r {
+                    return Err(SimFailure::Mismatch {
+                        op: i,
+                        oracle,
+                        left: l,
+                        right: r,
+                    });
+                }
             }
         }
     }

@@ -207,7 +207,7 @@ impl fmt::Display for Op {
 }
 
 impl Op {
-    /// Parses one [`Op::to_string`] line.
+    /// Parses one rendered (`Display`) op line.
     pub fn parse(line: &str) -> Result<Op, String> {
         let line = line.trim();
         let (head, rest) = match line.split_once(' ') {

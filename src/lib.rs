@@ -32,6 +32,7 @@ pub use gdx_exchange as exchange;
 pub use gdx_graph as graph;
 pub use gdx_mapping as mapping;
 pub use gdx_nre as nre;
+pub use gdx_obs as obs;
 pub use gdx_pattern as pattern;
 pub use gdx_query as query;
 pub use gdx_relational as relational;
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use gdx_graph::{Graph, Node};
     pub use gdx_mapping::{Setting, SourceToTargetTgd, TargetConstraint};
     pub use gdx_nre::Nre;
+    pub use gdx_obs::Obs;
     pub use gdx_pattern::GraphPattern;
     pub use gdx_query::{Cnre, PreparedQuery};
     pub use gdx_relational::{Instance, Schema};

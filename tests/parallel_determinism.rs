@@ -155,6 +155,69 @@ fn session_outputs_identical_across_worker_counts() {
     assert_eq!(one.4, four.4, "certain_pair verdicts");
 }
 
+/// Observability must be inert: the same session fingerprint as
+/// [`session_outputs_identical_across_worker_counts`], but with metrics
+/// and tracing recording enabled — outputs must stay byte-identical to
+/// the unobserved 1-worker baseline at every worker count.
+#[test]
+fn observed_sessions_are_byte_identical_to_unobserved() {
+    let setting = Setting::example_2_2_egd();
+    let instance = flights_hotels(
+        FlightsHotelsParams {
+            flights: 40,
+            cities: 8,
+            hotels: 8,
+            stays_per_flight: 2,
+        },
+        &mut rng(7),
+    );
+    let run = |workers: usize, obs: Option<Obs>| {
+        let mut s = ExchangeSession::new(setting.clone(), instance.clone())
+            .with_options(Options::default().with_threads(Threads::Fixed(workers)));
+        if let Some(obs) = obs {
+            s.set_obs(obs);
+        }
+        let rep = match s.representative().unwrap() {
+            gdx::exchange::representative::RepresentativeOutcome::Representative(rep) => {
+                rep.pattern.to_string()
+            }
+            gdx::exchange::representative::RepresentativeOutcome::ChaseFailed => {
+                "CHASE FAILED".to_owned()
+            }
+        };
+        let sols: Vec<String> = s
+            .solutions()
+            .unwrap()
+            .map(|g| g.unwrap().to_string())
+            .collect();
+        let q = PreparedQuery::parse("(x1, f.f*.[h].f-.(f-)*, x2)").unwrap();
+        let (rows, exact) = s.certain_answers(&q).unwrap();
+        (
+            rep,
+            sols,
+            format!("{:?}", s.chase_stats()),
+            format!("{rows:?} exact={exact}"),
+        )
+    };
+    let baseline = run(1, None);
+    for workers in [1, 4] {
+        let observed = run(workers, Some(Obs::enabled()));
+        assert_eq!(
+            observed, baseline,
+            "{workers}-worker observed session must match the unobserved baseline"
+        );
+    }
+    // The observed run actually recorded something — the contract is
+    // "inert", not "disabled". (Scheduling-shaped metrics like
+    // `runtime.steals` may legitimately vary; the *outputs* above are
+    // what must never move.)
+    let obs = Obs::enabled();
+    run(1, Some(obs.clone()));
+    let dump = obs.render_metrics_json();
+    assert!(dump.contains("session.requests"), "{dump}");
+    assert!(dump.contains("egd.merges"), "{dump}");
+}
+
 /// Sessions whose solution family has several members exercise the
 /// across-family fan-out of `certain`/`certain_answers`.
 #[test]
