@@ -1,0 +1,292 @@
+//! Closed-loop load generator for `gdx-server` — the PR-10 tentpole
+//! measurement.
+//!
+//! Boots two in-process servers over the Example 2.2 workload: a *warm*
+//! one (default session pool) and a *cold* one (`max_sessions = 0`, so
+//! every request parses, chases and enumerates from scratch — the
+//! session-per-request baseline). A fixed fleet of closed-loop clients
+//! (each fires its next request only after the previous response is
+//! fully read) drives every endpoint through real sockets and records
+//! per-request wall latency. Per endpoint and mode the report carries
+//! QPS and the p50/p99/p999 latency quantiles.
+//!
+//! The rows are merged into the bench report (`BENCH_pr10.json` by
+//! default — created if absent, so the binary also runs standalone)
+//! using the same `(group, size, median_ns_baseline, median_ns_fast)`
+//! schema `bench_gate` checks; the extra QPS/quantile fields are
+//! ignored by the gate. `baseline` = cold pool, `fast` = warm pool.
+//!
+//! Two probes assert the protocol edges under load: a malformed body
+//! must answer `400`, and a saturated admission queue must shed with
+//! `429` + `Retry-After`. Finally the tentpole claim itself is
+//! asserted: warm-pool throughput on the query endpoints must be at
+//! least 5× the cold baseline.
+//!
+//! Usage: `cargo run --release -p gdx-bench --bin bench_server
+//! [-- out.json]`
+
+use gdx_common::json::{self, Json};
+use gdx_runtime::Runtime;
+use gdx_server::{serve, ServerConfig, ServerHandle};
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const SETTING: &str = "source { Flight/3; Hotel/2 }
+target { f; h }
+sttgd Flight(x1, x2, x3), Hotel(x1, x4)
+      -> exists y : (x2, f.f*, y), (y, h, x4), (y, f.f*, x3);
+egd (x1, h, x3), (x2, h, x3) -> x1 = x2;";
+
+const INSTANCE: &str = "Flight(01, c1, c2); Flight(02, c3, c2);
+Hotel(01, hx); Hotel(01, hy); Hotel(02, hx);";
+
+/// Figure 1's G1 — a known solution, used as the `is_solution` payload.
+const G1: &str = "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);";
+
+/// Closed-loop clients per run.
+const CLIENTS: usize = 4;
+/// Measured requests per endpoint per mode (after warm-up).
+const REQUESTS: usize = 24;
+
+fn boot(max_sessions: usize) -> ServerHandle {
+    let mut config = ServerConfig::new("127.0.0.1:0");
+    config.default_setting = Some(SETTING.into());
+    config.default_instance = Some(INSTANCE.into());
+    config.workers = CLIENTS;
+    config.max_sessions = max_sessions;
+    config.queue_depth = 64;
+    serve(config).expect("bind bench server")
+}
+
+/// One request on a fresh connection; returns (status, whole response).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut response)
+        .expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, response)
+}
+
+/// The mixed-operation endpoint set, each with its request body.
+fn endpoints() -> Vec<(&'static str, &'static str, String)> {
+    let graph_body = json::obj(vec![("graph", json::s(G1))]).render();
+    let certain_body = json::obj(vec![("query", json::s(r#"("c1", f.f*, "c2")"#))]).render();
+    let answers_body = json::obj(vec![("query", json::s("(x, f.f*, y)"))]).render();
+    let binary_body = json::obj(vec![
+        ("query", json::s("(x, f.f*, y)")),
+        ("format", json::s("binary")),
+    ])
+    .render();
+    let solutions_body = json::obj(vec![("limit", json::n(2))]).render();
+    vec![
+        ("is_solution", "/v1/is_solution", graph_body),
+        ("certain", "/v1/certain", certain_body),
+        ("certain_answers", "/v1/certain_answers", answers_body),
+        ("certain_answers_bin", "/v1/certain_answers", binary_body),
+        ("solutions", "/v1/solutions", solutions_body),
+    ]
+}
+
+/// One endpoint's measured run: sorted latencies plus the wall time the
+/// whole closed-loop fleet took.
+struct Measured {
+    latencies_ns: Vec<u128>,
+    wall: Duration,
+}
+
+impl Measured {
+    fn quantile(&self, q: f64) -> u128 {
+        let idx = ((self.latencies_ns.len() as f64 - 1.0) * q).round() as usize;
+        self.latencies_ns[idx.min(self.latencies_ns.len() - 1)]
+    }
+
+    fn qps(&self) -> f64 {
+        self.latencies_ns.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drives `REQUESTS` closed-loop requests at `path` across `CLIENTS`
+/// concurrent clients (each fires its share sequentially).
+fn measure(addr: SocketAddr, path: &str, body: &str) -> Measured {
+    // Warm-up: pays one-time costs (pool fill on the warm server, page-in
+    // everywhere) outside the measured window.
+    for _ in 0..2 {
+        let (status, response) = request(addr, "POST", path, body);
+        assert_eq!(status, 200, "warm-up failed: {response}");
+    }
+    let runtime = Runtime::with_workers(CLIENTS);
+    let mut shares = vec![REQUESTS / CLIENTS; CLIENTS];
+    for share in shares.iter_mut().take(REQUESTS % CLIENTS) {
+        *share += 1;
+    }
+    let started = Instant::now();
+    let per_client: Vec<Vec<u128>> = runtime.par_map(&shares, |_, &share| {
+        (0..share)
+            .map(|_| {
+                let t = Instant::now();
+                let (status, response) = request(addr, "POST", path, body);
+                assert_eq!(status, 200, "request failed: {response}");
+                t.elapsed().as_nanos()
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut latencies_ns: Vec<u128> = per_client.into_iter().flatten().collect();
+    latencies_ns.sort_unstable();
+    Measured { latencies_ns, wall }
+}
+
+/// Saturate a 1-worker / 1-slot server with idle connections, then
+/// assert the next arrival is shed with `429` + `Retry-After`.
+fn overload_probe() {
+    let mut config = ServerConfig::new("127.0.0.1:0");
+    config.default_setting = Some(SETTING.into());
+    config.default_instance = Some(INSTANCE.into());
+    config.workers = 1;
+    config.queue_depth = 1;
+    let server = serve(config).expect("bind probe server");
+    let addr = server.addr();
+    let _worker_holder = TcpStream::connect(addr).expect("holder 1");
+    std::thread::sleep(Duration::from_millis(300));
+    let _queue_holder = TcpStream::connect(addr).expect("holder 2");
+    std::thread::sleep(Duration::from_millis(300));
+    let (status, response) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 429, "saturated server must shed load: {response}");
+    assert!(
+        response.contains("Retry-After:"),
+        "429 must carry Retry-After: {response}"
+    );
+    eprintln!("  overload probe: 429 + Retry-After under saturation");
+    server.stop();
+}
+
+fn malformed_probe(addr: SocketAddr) {
+    let (status, _) = request(addr, "POST", "/v1/certain", "{definitely not json");
+    assert_eq!(status, 400, "malformed body must answer 400");
+    let (status, _) = request(addr, "GET", "/does-not-exist", "");
+    assert_eq!(status, 404, "unknown path must answer 404");
+    eprintln!("  malformed probe: 400 on bad JSON, 404 on unknown path");
+}
+
+/// Loads (or creates) the bench report and appends the server rows.
+fn merge_report(path: &str, rows: Vec<Json>) {
+    let detected = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut report = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .unwrap_or_else(|| {
+            json::obj(vec![
+                ("pr", json::n(10)),
+                ("detected_parallelism", json::n(detected as u64)),
+                ("groups", Json::Array(Vec::new())),
+            ])
+        });
+    if let Json::Object(fields) = &mut report {
+        if let Some((_, Json::Array(groups))) = fields.iter_mut().find(|(k, _)| k == "groups") {
+            groups.retain(|g| {
+                g.get("group")
+                    .and_then(Json::as_str)
+                    .is_none_or(|name| !name.starts_with("server/"))
+            });
+            groups.extend(rows);
+        }
+    }
+    std::fs::write(path, report.render() + "\n").expect("write report");
+    eprintln!("  server rows merged into {path}");
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr10.json".to_owned());
+
+    eprintln!("cold server (session per request):");
+    let cold = boot(0);
+    let cold_runs: Vec<(&str, Measured)> = endpoints()
+        .iter()
+        .map(|(name, path, body)| {
+            let m = measure(cold.addr(), path, body);
+            eprintln!(
+                "  {name:<20} p50 {:>10} ns, {:>8.1} qps",
+                m.quantile(0.5),
+                m.qps()
+            );
+            (*name, m)
+        })
+        .collect();
+    malformed_probe(cold.addr());
+    cold.stop();
+
+    eprintln!("warm server (pooled sessions):");
+    let warm = boot(64);
+    let warm_runs: Vec<(&str, Measured)> = endpoints()
+        .iter()
+        .map(|(name, path, body)| {
+            let m = measure(warm.addr(), path, body);
+            eprintln!(
+                "  {name:<20} p50 {:>10} ns, {:>8.1} qps",
+                m.quantile(0.5),
+                m.qps()
+            );
+            (*name, m)
+        })
+        .collect();
+    warm.stop();
+
+    overload_probe();
+
+    let mut rows = Vec::new();
+    for ((name, cold_m), (_, warm_m)) in cold_runs.iter().zip(&warm_runs) {
+        let speedup = cold_m.quantile(0.5) as f64 / warm_m.quantile(0.5).max(1) as f64;
+        println!(
+            "server/{name:<24} cold p50 {:>10} ns ({:>8.1} qps), warm p50 {:>10} ns \
+             ({:>8.1} qps), speedup {speedup:>6.2}x",
+            cold_m.quantile(0.5),
+            cold_m.qps(),
+            warm_m.quantile(0.5),
+            warm_m.qps(),
+        );
+        rows.push(json::obj(vec![
+            ("group", json::s(format!("server/{name}"))),
+            ("size", json::n(REQUESTS as u64)),
+            ("median_ns_baseline", json::n(cold_m.quantile(0.5) as u64)),
+            ("median_ns_fast", json::n(warm_m.quantile(0.5) as u64)),
+            ("speedup", Json::Number((speedup * 100.0).round() / 100.0)),
+            ("qps_baseline", Json::Number(cold_m.qps().round())),
+            ("qps_fast", Json::Number(warm_m.qps().round())),
+            ("p99_ns_fast", json::n(warm_m.quantile(0.99) as u64)),
+            ("p999_ns_fast", json::n(warm_m.quantile(0.999) as u64)),
+        ]));
+    }
+    merge_report(&out_path, rows);
+
+    // The tentpole claim: on the enumeration-backed query endpoints a
+    // warm session must beat a cold session-per-request by at least 5×
+    // (the cold path re-parses, re-chases and re-enumerates per hit).
+    for probe in ["certain", "certain_answers"] {
+        let cold_m = &cold_runs.iter().find(|(n, _)| *n == probe).expect("row").1;
+        let warm_m = &warm_runs.iter().find(|(n, _)| *n == probe).expect("row").1;
+        let speedup = cold_m.quantile(0.5) as f64 / warm_m.quantile(0.5).max(1) as f64;
+        assert!(
+            speedup >= 5.0,
+            "warm pool must answer {probe} ≥ 5× faster than cold (got {speedup:.2}x)"
+        );
+        eprintln!("  tentpole: {probe} warm/cold = {speedup:.2}x (≥ 5x required)");
+    }
+}

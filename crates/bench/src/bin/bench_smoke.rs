@@ -6,13 +6,13 @@
 //! 500-flight chase and certain-answer sweep, and (d) the PR-5
 //! `data_plane` contrast: frozen CSR adjacency vs the mutable hash index,
 //! and bitset-visited BFS vs a hash-set-visited reimplementation. Writes
-//! a machine-readable JSON report (`BENCH_pr9.json` by default), so the
+//! a machine-readable JSON report (`BENCH_pr10.json` by default), so the
 //! perf trajectory is tracked across PRs. PR 6 adds the
 //! `candidate_family` group: per-candidate materialization cost of
 //! copy-on-write forks vs eager `Graph::clone` at 100/300/500 flights,
 //! and a shard-parallel family sweep (K forks sharing one frozen base
 //! CSR) at 1 vs 4 workers. PR 9 additionally dumps the observability
-//! registry of one fully-instrumented session run (`METRICS_pr9.json`
+//! registry of one fully-instrumented session run (`METRICS_pr10.json`
 //! by default, second positional argument): the dump runs at one worker
 //! on the no-op clock, so it is byte-stable and committed alongside the
 //! bench report.
@@ -620,7 +620,7 @@ fn candidate_family_rows(rows: &mut Vec<Row>) {
 /// metrics recording on. One worker and the no-op clock keep the dump
 /// free of scheduling-shaped counters and wall-clock histograms, so the
 /// rendered registry is byte-stable across hosts and can be committed as
-/// `METRICS_pr9.json` (a drift in its counters is a semantic change, not
+/// `METRICS_pr10.json` (a drift in its counters is a semantic change, not
 /// noise).
 fn observability_metrics() -> String {
     let obs = gdx_obs::Obs::enabled();
@@ -637,10 +637,10 @@ fn observability_metrics() -> String {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr9.json".to_owned());
+        .unwrap_or_else(|| "BENCH_pr10.json".to_owned());
     let metrics_path = std::env::args()
         .nth(2)
-        .unwrap_or_else(|| "METRICS_pr9.json".to_owned());
+        .unwrap_or_else(|| "METRICS_pr10.json".to_owned());
     let mut rows = Vec::new();
     seeded_query_rows(&mut rows);
     certain_probe_rows(&mut rows);
@@ -659,7 +659,7 @@ fn main() {
         one_worker_parity_guard();
     }
     let mut json =
-        format!("{{\n  \"pr\": 9,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
+        format!("{{\n  \"pr\": 10,\n  \"detected_parallelism\": {detected},\n  \"groups\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.baseline_ns as f64 / r.fast_ns.max(1) as f64;
         let _ = write!(

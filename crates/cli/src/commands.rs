@@ -36,9 +36,22 @@ USAGE:
   gdx sim run   [--seeds N] [--start S] [--oracle NAME] [--out DIR]
                 [--max-failures N]
   gdx sim replay --file R.repro
+  gdx serve     --addr HOST:PORT [--setting S.gdx --instance I.facts]
+                [--workers N] [--max-sessions N] [--queue-depth N]
+                [--default-deadline-ms N]
   gdx lint      [--format text|json] [--warnings] [--root DIR]
   gdx info
   gdx help
+
+SERVE (HTTP front end over warm sessions, see ARCHITECTURE.md):
+  binds HOST:PORT (port 0 picks one; the bound address is printed as
+  `listening on ADDR`) and serves /healthz, /metrics and the JSON
+  endpoints /v1/is_solution /v1/certain /v1/certain_answers
+  /v1/solutions over a pool of --max-sessions warm sessions (0
+  disables pooling). --setting/--instance files become the default
+  workload; requests may carry their own inline. When the admission
+  queue (--queue-depth) is full, new connections get 429 + Retry-After.
+  --default-deadline-ms applies to requests that set no deadline_ms.
 
 LINT (workspace invariant checker, see ARCHITECTURE.md):
   mechanically enforces the determinism, panic-hygiene and locking
@@ -60,6 +73,11 @@ SHARED OPTIONS (every subcommand):
   --materialize     force the materializing baseline for certain-answer
                     evaluation (certain / cert-query / explain)
   --null-seed N     first fresh-null name (~N) used by the chase
+  --deadline-ms N   best-effort wall-clock budget for the enumeration
+                    behind solutions / certain / cert-query; on expiry
+                    the result degrades to an inexact prefix (definite
+                    verdicts are never flipped). Measures real time, so
+                    combining it with --metrics makes dumps run-dependent
 
 OBSERVABILITY (chase / solutions / certain / cert-query):
   --metrics FMT     after the result, dump the engine metric registry
@@ -96,6 +114,7 @@ pub fn dispatch(argv: &[String]) -> Result<()> {
         "reduce" => cmd_reduce(rest),
         "direct" => cmd_direct(rest),
         "sim" => cmd_sim(rest),
+        "serve" => cmd_serve(rest),
         "lint" => cmd_lint(rest),
         "info" => cmd_info(rest),
         "help" | "--help" | "-h" => {
@@ -121,6 +140,14 @@ fn threads_flag(a: &Args) -> Result<Threads> {
     })
 }
 
+/// `--deadline-ms N` as microseconds, if given.
+fn deadline_flag(a: &Args) -> Result<Option<u64>> {
+    Ok(match a.get("deadline-ms") {
+        None => None,
+        Some(_) => Some((a.get_usize("deadline-ms", 0)? as u64).saturating_mul(1000)),
+    })
+}
+
 fn options(a: &Args) -> Result<Options> {
     Ok(Options {
         instantiation: InstantiationConfig {
@@ -134,6 +161,7 @@ fn options(a: &Args) -> Result<Options> {
         },
         null_seed: a.get_usize("null-seed", 0)? as u64,
         threads: threads_flag(a)?,
+        deadline_micros: deadline_flag(a)?,
         ..Options::default()
     })
 }
@@ -142,7 +170,13 @@ fn load_session(a: &Args) -> Result<ExchangeSession> {
     let setting = gdx_mapping::dsl::parse_setting(&read_file(a.require("setting")?)?)?;
     let instance = Instance::parse(setting.source.clone(), &read_file(a.require("instance")?)?)?;
     let mut session = ExchangeSession::new(setting, instance).with_options(options(a)?);
-    if let Some(obs) = obs_flags(a)? {
+    if deadline_flag(a)?.is_some() {
+        // A budget needs a clock that moves: the CLI is an entry point,
+        // so it injects real time (library code stays clock-free). This
+        // supersedes the byte-stable NoopClock handle `--metrics` would
+        // pick — documented under --deadline-ms in the usage text.
+        session.set_obs(gdx_server::monotonic_obs());
+    } else if let Some(obs) = obs_flags(a)? {
         session.set_obs(obs);
     }
     Ok(session)
@@ -503,6 +537,35 @@ fn cmd_sim_replay(argv: &[String]) -> Result<()> {
     }
 }
 
+/// `gdx serve` — boot the HTTP front end and block until killed. The
+/// bound address is printed (and flushed) first so harnesses that bind
+/// port 0 can read the picked port off stdout.
+fn cmd_serve(argv: &[String]) -> Result<()> {
+    use std::io::Write;
+    let a = Args::parse(argv, SOLVER_FLAGS)?;
+    let mut config = gdx_server::ServerConfig::new(a.require("addr")?);
+    if let Some(path) = a.get("setting") {
+        config.default_setting = Some(read_file(path)?.into());
+    }
+    if let Some(path) = a.get("instance") {
+        config.default_instance = Some(read_file(path)?.into());
+    }
+    config.workers = a.get_usize("workers", config.workers)?;
+    config.max_sessions = a.get_usize("max-sessions", config.max_sessions)?;
+    config.queue_depth = a.get_usize("queue-depth", config.queue_depth)?;
+    if a.get("default-deadline-ms").is_some() {
+        config.default_deadline_micros =
+            Some((a.get_usize("default-deadline-ms", 0)? as u64).saturating_mul(1000));
+    }
+    config.base_options = options(&a)?;
+    let handle = gdx_server::serve(config)
+        .map_err(|e| GdxError::schema(format!("cannot start server: {e}")))?;
+    println!("listening on {}", handle.addr());
+    drop(std::io::stdout().flush());
+    handle.join();
+    Ok(())
+}
+
 /// `gdx lint` — run the workspace invariant checker (gdx-lint) over
 /// the repository containing the current directory (or `--root DIR`).
 fn cmd_lint(argv: &[String]) -> Result<()> {
@@ -796,6 +859,51 @@ mod tests {
         assert!(dispatch(&v(&["sim", "replay", "--file", "/nonexistent"])).is_err());
         let f = write_tmp("garbage.repro", "not a repro");
         assert!(dispatch(&v(&["sim", "replay", "--file", &f])).is_err());
+    }
+
+    #[test]
+    fn deadline_flag_runs_and_degrades_gracefully() {
+        let (s, i) = example_files("deadline");
+        // A zero budget on the real clock truncates (inexact prefix)
+        // without erroring; a generous one completes normally.
+        for ms in ["0", "10000"] {
+            dispatch(&v(&[
+                "cert-query",
+                "--setting",
+                &s,
+                "--instance",
+                &i,
+                "--cnre",
+                "(x, f.f*, y)",
+                "--deadline-ms",
+                ms,
+            ]))
+            .unwrap();
+        }
+        dispatch(&v(&[
+            "solutions",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--limit",
+            "2",
+            "--deadline-ms",
+            "10000",
+        ]))
+        .unwrap();
+        assert!(dispatch(&v(&[
+            "cert-query",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--cnre",
+            "(x, f.f*, y)",
+            "--deadline-ms",
+            "soon",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -465,6 +465,69 @@ fn sim_run_and_replay_round_trip() {
 }
 
 #[test]
+fn serve_boots_prints_its_address_and_answers_http() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let (s, i) = fixture("serve");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gdx"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--setting",
+            &s,
+            "--instance",
+            &i,
+            "--workers",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn gdx serve");
+    // The bound address is the first (flushed) stdout line.
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_owned();
+
+    let ask = |path: &str, body: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect to gdx serve");
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+    let response = ask("/v1/certain", r#"{"query": "(\"c1\", f.f*, \"c2\")"}"#);
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"verdict\":\"certain\""), "{response}");
+    // The warm pool answers the repeat identically.
+    assert_eq!(
+        response,
+        ask("/v1/certain", r#"{"query": "(\"c1\", f.f*, \"c2\")"}"#)
+    );
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+}
+
+#[test]
+fn help_documents_serve() {
+    let out = stdout_of(&["help"]);
+    assert!(out.contains("gdx serve"), "{out}");
+    assert!(out.contains("--max-sessions"), "{out}");
+    assert!(out.contains("--deadline-ms"), "{out}");
+}
+
+#[test]
 fn lint_reports_a_clean_workspace() {
     // The shipped tree must satisfy its own contract; point --root at
     // the workspace explicitly so the test is cwd-independent.

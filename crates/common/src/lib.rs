@@ -18,6 +18,9 @@
 //! * [`lexer`] — a single tokenizer shared by every text format in the
 //!   workspace (relational instances, graphs, NREs, mapping DSL, DIMACS is
 //!   separate).
+//! * [`json`] — a minimal order-preserving JSON value with parser and
+//!   deterministic renderer, shared by the bench reports and the
+//!   `gdx-server` wire protocol (the workspace carries no serde).
 //! * [`GdxError`] — the workspace-wide error type.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
@@ -28,6 +31,7 @@ pub mod error;
 pub mod gallop;
 pub mod hash;
 pub mod intern;
+pub mod json;
 pub mod lexer;
 pub mod term;
 pub mod union_find;

@@ -63,6 +63,31 @@ pub struct Options {
     /// [`Threads::Fixed`]`(0)` is not an error: worker counts clamp to
     /// at least one, so it behaves exactly like `Fixed(1)`.
     pub threads: Threads,
+    /// Per-request wall-clock budget in microseconds, measured on the
+    /// session's *injected* observability clock ([`gdx_obs::Clock`] via
+    /// [`crate::ExchangeSession::set_obs`]) — library code never reads
+    /// the wall clock itself. Entry points activate it by attaching a
+    /// real clock: the server and CLI inject a `MonotonicClock`, the
+    /// simulator a `VirtualClock`; with the default disabled handle (or
+    /// a `NoopClock`) elapsed time is always `0` and the deadline is
+    /// inert. The budget is checked **between candidates** of the
+    /// solution enumeration (the unbounded part of a request): an
+    /// expired deadline pauses the enumeration exactly like a dropped
+    /// [`crate::SolutionStream`] — results degrade to
+    /// `exact = false` / `Unknown` and the *next* call resumes where the
+    /// budget ran out. A definite verdict is never flipped: truncation
+    /// can withhold a `Certain`/`NoSolution` claim, and a
+    /// counterexample-backed `NotCertain` found within the budget stays
+    /// sound. `Some(0)` never expires on a frozen clock (the comparison
+    /// is strictly greater-than), so the knob composes with byte-stable
+    /// NoopClock dumps.
+    ///
+    /// Unlike every other knob, the deadline never changes what a
+    /// memoized artifact *contains* — only how far one call gets — so
+    /// [`crate::ExchangeSession::set_deadline`] updates it without
+    /// invalidating session memos (the warm-session pool of
+    /// `gdx-server` depends on exactly that).
+    pub deadline_micros: Option<u64>,
 }
 
 impl Options {
@@ -82,6 +107,13 @@ impl Options {
     /// Options with a fixed worker count.
     pub fn with_threads(mut self, threads: Threads) -> Options {
         self.threads = threads;
+        self
+    }
+
+    /// Options with a per-request wall-clock budget (µs on the injected
+    /// clock; see [`Options::deadline_micros`]).
+    pub fn with_deadline_micros(mut self, deadline_micros: Option<u64>) -> Options {
+        self.deadline_micros = deadline_micros;
         self
     }
 

@@ -222,6 +222,27 @@ impl ExchangeSession {
         &self.options
     }
 
+    /// Replaces only [`Options::deadline_micros`], **without**
+    /// invalidating memoized artifacts: the deadline never changes what
+    /// a memo contains, only how far a single call gets before pausing.
+    /// This is the per-request budget hook for long-lived sessions (the
+    /// `gdx-server` pool maps each request's budget here while keeping
+    /// the warm representative, solution family and engine caches).
+    pub fn set_deadline(&mut self, deadline_micros: Option<u64>) {
+        self.options.deadline_micros = deadline_micros;
+    }
+
+    /// Has the per-request budget expired, measured from `start` on the
+    /// injected observability clock? Always `false` without a deadline
+    /// or without a real clock (disabled obs and `NoopClock` both read
+    /// `0`, so `elapsed == 0` and the strict comparison never trips).
+    fn deadline_expired_since(&self, start: u64) -> bool {
+        match self.options.deadline_micros {
+            None => false,
+            Some(budget) => self.obs.now_micros().saturating_sub(start) > budget,
+        }
+    }
+
     /// The data exchange setting `Ω`.
     pub fn setting(&self) -> &Setting {
         &self.setting
@@ -396,6 +417,10 @@ impl ExchangeSession {
     /// exhaustion, whether the family provably covered all
     /// homomorphism-minimal solutions.
     pub fn solutions(&mut self) -> Result<SolutionStream<'_>> {
+        // The per-request budget runs from stream creation on the
+        // injected clock (0 forever without one — see
+        // `Options::deadline_micros`).
+        let deadline_start = self.obs.now_micros();
         if self.solutions_memo.is_some() {
             return Ok(SolutionStream {
                 session: self,
@@ -405,6 +430,7 @@ impl ExchangeSession {
                 collected: Vec::new(),
                 finished: false,
                 cap_stopped: false,
+                deadline_start,
             });
         }
         if let Some(pending) = self.pending.take() {
@@ -423,6 +449,7 @@ impl ExchangeSession {
                 collected: pending.collected,
                 finished: false,
                 cap_stopped: false,
+                deadline_start,
             });
         }
         let inst_cfg = self.options.instantiation;
@@ -459,6 +486,7 @@ impl ExchangeSession {
             collected: Vec::new(),
             finished: false,
             cap_stopped: false,
+            deadline_start,
         })
     }
 
@@ -481,6 +509,14 @@ impl ExchangeSession {
         let _span = self.obs.span("session.certain");
         self.obs.incr("session.requests");
         self.ensure_solutions()?;
+        if self.solutions_memo.is_none() {
+            // The per-request deadline paused the enumeration: the
+            // verified prefix is a sound counterexample pool (a
+            // `NotCertain` found in it stays definite), but nothing
+            // beyond `Unknown` can be claimed — even the representative
+            // lower bound is skipped, the budget is spent.
+            return self.certain_partial(query);
+        }
         {
             // Fan the probe out across the memoized solution family —
             // speculative with a parallel runtime (whole family probed
@@ -526,6 +562,36 @@ impl ExchangeSession {
         ))
     }
 
+    /// The deadline-paused tail of [`ExchangeSession::certain`]: probe
+    /// only the verified prefix stashed by the pause for a
+    /// counterexample, then put the stash back so the next call resumes
+    /// the enumeration.
+    fn certain_partial(&mut self, query: &PreparedQuery) -> Result<CertainAnswer> {
+        let Some(pending) = self.pending.take() else {
+            return Ok(CertainAnswer::Unknown(
+                "deadline exceeded before any candidate was examined".to_owned(),
+            ));
+        };
+        let holds_res = self.family_probe(&pending.collected, query, Some(1), true);
+        let counterexample = match &holds_res {
+            Ok(holds) => holds
+                .iter()
+                .position(|b| b.is_empty())
+                .map(|i| pending.collected[i].clone()),
+            Err(_) => None,
+        };
+        self.pending = Some(pending);
+        holds_res?;
+        if let Some(g) = counterexample {
+            return Ok(CertainAnswer::NotCertain(g));
+        }
+        Ok(CertainAnswer::Unknown(
+            "deadline exceeded: every solution examined so far selects the \
+             tuple, but the enumeration is paused mid-family"
+                .to_owned(),
+        ))
+    }
+
     /// Is `(c1, c2)` a certain answer of the single-NRE query `r`? (The
     /// shape of the paper's query answering problem.) Prepared probes are
     /// cached per `(r, c1, c2)`, so repeated calls skip recompilation.
@@ -559,30 +625,53 @@ impl ExchangeSession {
         let _span = self.obs.span("session.certain_answers");
         self.obs.incr("session.requests");
         self.ensure_solutions()?;
+        if self.solutions_memo.is_none() {
+            // Deadline pause: intersect over the verified prefix only.
+            // The intersection over a *sub*family is a superset of the
+            // certain answers, so it is reported inexact — never as a
+            // definite answer set.
+            let Some(pending) = self.pending.take() else {
+                return Ok((Vec::new(), false));
+            };
+            let res = self.intersect_rows(&pending.collected, false, query);
+            self.pending = Some(pending);
+            return res;
+        }
         // Full evaluations fan out across the solution family (one
         // worker per graph, each with its own cache); a single-graph
         // family instead parallelizes *inside* its evaluation. The
         // intersection is set-valued, so the fan-out order cannot leak
         // into the answer.
         let memo = self.solutions_memo.take().expect("ensured");
-        let per_graph_res = self.family_probe(&memo.graphs, query, None, false);
+        let res = self.intersect_rows(&memo.graphs, memo.exact, query);
         self.solutions_memo = Some(memo);
-        let per_graph = per_graph_res?;
-        let memo = self.solutions_memo.as_ref().expect("just restored");
-        let mut sets = memo
-            .graphs
+        res
+    }
+
+    /// Sorted constant-row intersection over a solution family, with the
+    /// `Options::row_limit` truncation applied — the shared tail of
+    /// [`ExchangeSession::certain_answers`]'s exact and deadline-paused
+    /// paths.
+    fn intersect_rows(
+        &mut self,
+        graphs: &[Graph],
+        base_exact: bool,
+        query: &PreparedQuery,
+    ) -> Result<(Vec<Vec<Node>>, bool)> {
+        let per_graph = self.family_probe(graphs, query, None, false)?;
+        let mut sets = graphs
             .iter()
             .zip(&per_graph)
             .map(|(g, b)| b.constant_rows(g));
         let Some(mut inter) = sets.next() else {
-            return Ok((Vec::new(), memo.exact));
+            return Ok((Vec::new(), base_exact));
         };
         for rows in sets {
             inter.retain(|r| rows.contains(r));
         }
         let mut rows: Vec<Vec<Node>> = inter.into_iter().collect();
         rows.sort_by_key(|r| r.iter().map(|n| n.name().as_str()).collect::<Vec<_>>());
-        let mut exact = memo.exact;
+        let mut exact = base_exact;
         if let Some(cap) = self.options.row_limit {
             if rows.len() > cap {
                 rows.truncate(cap);
@@ -695,8 +784,9 @@ impl ExchangeSession {
                 g?;
             }
         }
-        // Exhausting the live stream stored the memo.
-        debug_assert!(self.solutions_memo.is_some());
+        // Exhausting the live stream stored the memo; a deadline pause
+        // instead stashed the pending enumeration for the next call.
+        debug_assert!(self.solutions_memo.is_some() || self.pending.is_some());
         Ok(())
     }
 
@@ -767,6 +857,9 @@ pub struct SolutionStream<'s> {
     /// Iteration ended at `Options::solution_cap`, not at family
     /// exhaustion.
     cap_stopped: bool,
+    /// Clock reading (µs, injected obs clock) at stream creation — the
+    /// origin of `Options::deadline_micros`.
+    deadline_start: u64,
 }
 
 impl SolutionStream<'_> {
@@ -848,6 +941,17 @@ impl SolutionStream<'_> {
             }
         }
         'candidates: loop {
+            // Per-request budget, checked between candidates (the
+            // unbounded part of a request). Expiry pauses the
+            // enumeration exactly like a dropped stream — the stash
+            // keeps the exactness evidence gathered so far, while this
+            // call's view degrades to a prefix (`exact = false`).
+            if self.session.deadline_expired_since(self.deadline_start) {
+                self.session.obs.incr("session.deadline_pauses");
+                self.pause_live();
+                self.exact = false;
+                return Ok(None);
+            }
             let StreamMode::Live { family, .. } = &mut self.mode else {
                 unreachable!("advance_live called off a live stream")
             };
@@ -925,6 +1029,25 @@ impl SolutionStream<'_> {
                     continue 'candidates;
                 }
             }
+        }
+    }
+
+    /// Pauses a live stream on deadline expiry: the verified prefix and
+    /// the candidate iterator move onto the session (exactly like a
+    /// dropped stream), so the next call resumes where the budget ran
+    /// out. Unlike [`SolutionStream::finish_live`], nothing is memoized
+    /// — a budget-truncated prefix must not masquerade as the
+    /// enumeration's result, or a warm session would serve it forever.
+    fn pause_live(&mut self) {
+        self.finished = true;
+        if let StreamMode::Live { family, .. } =
+            std::mem::replace(&mut self.mode, StreamMode::Empty)
+        {
+            self.session.pending = Some(PendingEnumeration {
+                family,
+                collected: std::mem::take(&mut self.collected),
+                exact: self.exact,
+            });
         }
     }
 

@@ -1,12 +1,20 @@
 //! Boundary-Options conformance: the degenerate knob values promised by
 //! the [`Options`] docs — `row_limit = Some(0)`, `solution_cap = Some(0)`,
-//! `tgd_chase.max_steps = 0`, `Threads::Fixed(0)` — behave exactly as
-//! documented: empty-but-inexact results, a typed `LimitExceeded`, or the
-//! single-worker fallback. Never a panic, never a silent wrong answer.
+//! `tgd_chase.max_steps = 0`, `Threads::Fixed(0)`,
+//! `deadline_micros = Some(0)` — behave exactly as documented:
+//! empty-but-inexact results, a typed `LimitExceeded`, the single-worker
+//! fallback, or a paused (resumable) enumeration. Never a panic, never a
+//! silent wrong answer — and a deadline truncation degrades verdicts to
+//! `exact = false` / `Unknown` without ever flipping a definite one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use gdx_chase::TgdChaseConfig;
 use gdx_common::GdxError;
-use gdx_exchange::{ExchangeSession, Existence, Options};
+use gdx_exchange::{CertainAnswer, ExchangeSession, Existence, Options};
+use gdx_nre::parse::parse_nre;
+use gdx_obs::{Clock, Obs};
 use gdx_query::PreparedQuery;
 use gdx_relational::Instance;
 use gdx_runtime::Threads;
@@ -106,6 +114,127 @@ fn max_steps_zero_degrades_to_unknown_never_a_wrong_verdict() {
         },
     );
     assert!(matches!(chased, Err(GdxError::LimitExceeded(_))));
+}
+
+/// Every read advances virtual time by one microsecond, so any budget —
+/// even `Some(0)`, whose comparison is strictly greater-than — is spent
+/// by the next between-candidates check. Deterministic (no sleeping):
+/// expiry always lands on the *first* fresh-candidate check of a call,
+/// after the already-verified prefix was served.
+#[derive(Debug, Default)]
+struct TickingClock(AtomicU64);
+
+impl Clock for TickingClock {
+    fn now_micros(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+fn ticking_obs() -> Obs {
+    Obs::with_clock(Arc::new(TickingClock::default()))
+}
+
+#[test]
+fn deadline_zero_on_a_frozen_clock_never_expires() {
+    // The default session has no clock (disabled obs reads 0 forever);
+    // elapsed time never strictly exceeds a zero budget, so the knob is
+    // inert and results are byte-identical to the unbudgeted baseline.
+    let query = PreparedQuery::parse("(x, f.f*, y)").unwrap();
+    let (base_rows, base_exact) = session(Options::default()).certain_answers(&query).unwrap();
+    let opts = Options::default().with_deadline_micros(Some(0));
+    let (rows, exact) = session(opts).certain_answers(&query).unwrap();
+    assert_eq!(rows, base_rows);
+    assert_eq!(exact, base_exact);
+}
+
+#[test]
+fn deadline_expiry_pauses_the_stream_as_an_inexact_prefix() {
+    let opts = Options::default().with_deadline_micros(Some(0));
+    let mut s = session(opts).with_obs(ticking_obs());
+    {
+        let mut stream = s.solutions().unwrap();
+        assert!(
+            stream.next().is_none(),
+            "the ticking clock spends the budget before the first candidate"
+        );
+        assert!(
+            !stream.exact(),
+            "a paused stream is a prefix, not the family"
+        );
+    }
+    // The pause is a stash, not a memo: lifting the deadline resumes the
+    // enumeration and recovers the exact family.
+    s.set_deadline(None);
+    let n = s.solutions().unwrap().fold(0, |acc, g| {
+        g.unwrap();
+        acc + 1
+    });
+    let base = session(Options::default())
+        .solutions()
+        .unwrap()
+        .fold(0, |acc, g| {
+            g.unwrap();
+            acc + 1
+        });
+    assert_eq!(n, base, "resume must recover the full family");
+}
+
+#[test]
+fn deadline_truncation_degrades_but_never_flips_a_verdict() {
+    let r = parse_nre("f.f*").unwrap();
+    // Baselines: (c1, c2) is certain, (zz1, zz2) has a counterexample.
+    let mut base = session(Options::default());
+    assert!(base.certain_pair(&r, "c1", "c2").unwrap().is_certain());
+    assert!(matches!(
+        base.certain_pair(&r, "zz1", "zz2").unwrap(),
+        CertainAnswer::NotCertain(_)
+    ));
+
+    // Examine exactly one solution within budget, then pause: drop a
+    // live stream after its first yield (the documented pause), then let
+    // every further call expire at its first fresh-candidate check.
+    let mut s = session(Options::default()).with_obs(ticking_obs());
+    {
+        let mut stream = s.solutions().unwrap();
+        assert!(stream.next().is_some(), "one solution inside the budget");
+    }
+    s.set_deadline(Some(0));
+
+    // A counterexample found inside the verified prefix is still a
+    // definite, sound NotCertain — truncation never weakens it.
+    assert!(matches!(
+        s.certain_pair(&r, "zz1", "zz2").unwrap(),
+        CertainAnswer::NotCertain(_)
+    ));
+    // The certain pair degrades to Unknown: the prefix supports it, but
+    // the family is paused mid-enumeration. Never NotCertain, never a
+    // definite Certain claim off a prefix.
+    assert!(matches!(
+        s.certain_pair(&r, "c1", "c2").unwrap(),
+        CertainAnswer::Unknown(_)
+    ));
+    // Answer sets off a paused prefix are reported inexact.
+    let query = PreparedQuery::parse("(x, f.f*, y)").unwrap();
+    let (_, exact) = s.certain_answers(&query).unwrap();
+    assert!(
+        !exact,
+        "a prefix intersection is not provably the answer set"
+    );
+
+    // Lifting the deadline on the same warm session resumes and restores
+    // the definite verdict — `set_deadline` must not have invalidated
+    // anything.
+    s.set_deadline(None);
+    assert!(s.certain_pair(&r, "c1", "c2").unwrap().is_certain());
+    let (rows, exact) = s.certain_answers(&query).unwrap();
+    let (base_rows, base_exact) = base.certain_answers(&query).unwrap();
+    assert_eq!(rows, base_rows);
+    assert_eq!(exact, base_exact, "resume recovers the baseline exactness");
+
+    // And once the memo exists, re-arming the deadline cannot flip the
+    // memoized verdict: replay never re-enters the candidate loop.
+    s.set_deadline(Some(0));
+    assert!(s.certain_pair(&r, "c1", "c2").unwrap().is_certain());
 }
 
 #[test]

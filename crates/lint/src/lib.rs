@@ -265,6 +265,12 @@ pub struct FileCtx {
     /// True only for gdx-obs's clock module — the one library file
     /// allowed to read the wall clock (it *is* the injected clock).
     pub clock_module: bool,
+    /// True only for gdx-server's network module (`net.rs`) — the
+    /// process edge that owns sockets, the accept/worker threads and
+    /// the real clock it injects into everything behind it. The same
+    /// shape of carve-out as `clock_module`: one named file, not a
+    /// whole crate.
+    pub net_module: bool,
 }
 
 impl FileCtx {
@@ -274,6 +280,7 @@ impl FileCtx {
             kind: CrateKind::Library,
             root: None,
             clock_module: false,
+            net_module: false,
         }
     }
 
@@ -283,6 +290,7 @@ impl FileCtx {
             kind: CrateKind::Tool,
             root: None,
             clock_module: false,
+            net_module: false,
         }
     }
 
@@ -291,16 +299,24 @@ impl FileCtx {
     /// runtime crate touches raw threads; the deterministic-sim crate
     /// is library-class except for the clock (campaign timing); the
     /// observability crate's clock module wraps the wall clock for
-    /// everyone else and constructs what others must inject.
+    /// everyone else and constructs what others must inject; the
+    /// server crate's net module is the process edge that spawns the
+    /// accept/worker threads and constructs the deadline clock it
+    /// injects — every other server file stays under the full library
+    /// contract.
     pub fn applies(&self, rule: Rule) -> bool {
         let lib = self.kind == CrateKind::Library;
         match rule {
             Rule::HashIter | Rule::PanicMacro | Rule::SliceIndex => lib,
-            Rule::WallClock => lib && self.crate_name != "gdx-sim" && !self.clock_module,
-            Rule::ClockInject => {
-                lib && self.crate_name != "gdx-obs" && self.crate_name != "gdx-sim"
+            Rule::WallClock => {
+                lib && self.crate_name != "gdx-sim" && !self.clock_module && !self.net_module
             }
-            Rule::ThreadSpawn => self.crate_name != "gdx-runtime",
+            Rule::ClockInject => {
+                lib && self.crate_name != "gdx-obs"
+                    && self.crate_name != "gdx-sim"
+                    && !self.net_module
+            }
+            Rule::ThreadSpawn => self.crate_name != "gdx-runtime" && !self.net_module,
             Rule::LockUnwrap | Rule::UnsafeCode => true,
             // Crate-root / manifest rules are not per-file.
             Rule::ForbidUnsafe | Rule::DenyPreamble | Rule::DepShim => false,
@@ -330,6 +346,9 @@ mod tests {
         let obs = FileCtx::library("gdx-obs");
         let mut clock = FileCtx::library("gdx-obs");
         clock.clock_module = true;
+        let server = FileCtx::library("gdx-server");
+        let mut net = FileCtx::library("gdx-server");
+        net.net_module = true;
         assert!(lib.applies(Rule::HashIter));
         assert!(!cli.applies(Rule::HashIter));
         assert!(lib.applies(Rule::WallClock));
@@ -345,6 +364,16 @@ mod tests {
         assert!(!runtime.applies(Rule::ThreadSpawn));
         assert!(cli.applies(Rule::ThreadSpawn));
         assert!(cli.applies(Rule::LockUnwrap));
+        // gdx-server is an ordinary library crate except for net.rs,
+        // which owns threads and the real clock (the process edge).
+        assert!(server.applies(Rule::ThreadSpawn));
+        assert!(server.applies(Rule::ClockInject));
+        assert!(server.applies(Rule::WallClock));
+        assert!(!net.applies(Rule::ThreadSpawn), "net.rs spawns the pool");
+        assert!(!net.applies(Rule::ClockInject), "net.rs builds the clock");
+        assert!(!net.applies(Rule::WallClock), "net.rs owns socket timeouts");
+        assert!(net.applies(Rule::PanicMacro), "panic hygiene still applies");
+        assert!(net.applies(Rule::LockUnwrap));
     }
 
     #[test]

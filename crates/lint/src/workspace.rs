@@ -161,6 +161,10 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
                 // library file sanctioned to read the wall clock.
                 clock_module: name == "gdx-obs"
                     && path.file_name().is_some_and(|f| f == "clock.rs"),
+                // The server's process edge: the one library file
+                // sanctioned to spawn threads and build the wall clock
+                // it injects into the handler stack.
+                net_module: name == "gdx-server" && path.file_name().is_some_and(|f| f == "net.rs"),
             };
             if crate_root.as_deref() == Some(path.as_path()) {
                 ctx.root = Some(RootPolicy {

@@ -138,6 +138,34 @@ fn used_allow_suppresses_and_is_recorded() {
     assert!(allows[0].reason.contains("commutative"));
 }
 
+/// The `net_module` carve-out admits exactly the server's process
+/// edge: under the net.rs context the thread/clock fixtures go silent,
+/// while any other gdx-server file keeps the full library contract.
+#[test]
+fn net_module_carve_out_is_per_file_not_per_crate() {
+    let mut net = FileCtx::library("gdx-server");
+    net.net_module = true;
+    for sub in [
+        "violations/thread_spawn.rs",
+        "violations/clock_inject.rs",
+        "violations/wall_clock.rs",
+    ] {
+        let text = read(sub);
+        let fired = lint_source(sub, &text, &net).diagnostics;
+        assert!(fired.is_empty(), "{sub} under net.rs ctx: {fired:?}");
+        let plain = FileCtx::library("gdx-server");
+        let fired = lint_source(sub, &text, &plain).diagnostics;
+        assert!(
+            !fired.is_empty(),
+            "{sub}: the rest of gdx-server must stay covered"
+        );
+    }
+    // Panic hygiene is not part of the carve-out.
+    let text = read("violations/panic_macro.rs");
+    let fired = lint_source("violations/panic_macro.rs", &text, &net).diagnostics;
+    assert!(!fired.is_empty(), "panic-macro still applies in net.rs");
+}
+
 #[test]
 fn bad_root_is_missing_both_attributes() {
     let text = read("roots/bad_root.rs");

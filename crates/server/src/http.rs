@@ -1,0 +1,366 @@
+//! Wire-level HTTP/1.1, hand-rolled over `std::io`.
+//!
+//! The subset this server speaks: request line + headers + optional
+//! `Content-Length` body in; status line + headers + fixed or
+//! `chunked` body out. No TLS, no compression, no `Transfer-Encoding`
+//! on the request side — callers that need more are outside this
+//! reproduction's scope. Everything is bounded: oversized request
+//! heads and bodies are rejected before they are buffered.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request. Header names are lower-cased at parse time;
+/// values keep their bytes (trimmed).
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string, e.g. `/v1/certain_answers`.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lower-cased) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query-string key.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to drop the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// The peer closed the connection before a request line arrived —
+    /// the normal end of a keep-alive connection.
+    Closed,
+    /// Malformed input; respond `400` and close.
+    Bad(String),
+    /// Head or body over the hard caps; respond `413` and close.
+    TooLarge,
+}
+
+/// Reads one HTTP/1.1 request. `Err` is a transport error (including
+/// read timeouts), after which the connection is unusable.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
+    let mut head = Vec::new();
+    // Read up to the blank line ending the head, bounded.
+    loop {
+        let mut line = Vec::new();
+        let n = read_line_bounded(reader, &mut line, MAX_HEAD_BYTES)?;
+        if n == 0 {
+            return Ok(if head.is_empty() {
+                ReadOutcome::Closed
+            } else {
+                ReadOutcome::Bad("connection closed mid-head".to_owned())
+            });
+        }
+        if line == b"\r\n" || line == b"\n" {
+            if head.is_empty() {
+                // Tolerate leading blank lines per RFC 9112 §2.2.
+                continue;
+            }
+            break;
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Ok(ReadOutcome::TooLarge);
+        }
+    }
+    let head = match std::str::from_utf8(&head) {
+        Ok(s) => s,
+        Err(_) => return Ok(ReadOutcome::Bad("request head is not UTF-8".to_owned())),
+    };
+    let mut lines = head.lines();
+    let Some(request_line) = lines.next() else {
+        return Ok(ReadOutcome::Bad("empty request head".to_owned()));
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Bad(format!(
+            "malformed request line: {request_line:?}"
+        )));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Bad(format!(
+            "malformed request line: {request_line:?}"
+        )));
+    }
+    let (path, query) = parse_target(target);
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Bad(format!("malformed header: {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut body = Vec::new();
+    if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str())
+    {
+        let Ok(len) = len.parse::<usize>() else {
+            return Ok(ReadOutcome::Bad(format!("bad content-length: {len:?}")));
+        };
+        if len > MAX_BODY_BYTES {
+            return Ok(ReadOutcome::TooLarge);
+        }
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+    }
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// `\n`-terminated line, bounded; returns bytes read (0 on EOF).
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    out: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<usize> {
+    let mut one = [0u8; 1];
+    let mut n = 0;
+    loop {
+        match reader.read(&mut one)? {
+            0 => return Ok(n),
+            _ => {
+                n += 1;
+                out.push(one[0]);
+                if one[0] == b'\n' {
+                    return Ok(n);
+                }
+                if n > cap {
+                    // Caller maps an over-long line to TooLarge via the
+                    // accumulated head length; stop feeding it.
+                    return Ok(n);
+                }
+            }
+        }
+    }
+}
+
+/// Splits a request target into path and decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = qs
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (percent_decode(path), query)
+}
+
+/// Minimal percent-decoding (plus `+` as space), lossy on bad escapes.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Canonical reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response. `extra` headers come after
+/// the standard ones; none of the standard ones vary with time, so the
+/// same request always serializes to the same bytes.
+pub fn write_response(
+    out: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    )?;
+    for (k, v) in extra {
+        write!(out, "{k}: {v}\r\n")?;
+    }
+    out.write_all(b"\r\n")?;
+    out.write_all(body)
+}
+
+/// Starts a `Transfer-Encoding: chunked` response; follow with
+/// [`write_chunk`] and [`finish_chunked`].
+pub fn start_chunked(out: &mut dyn Write, status: u16, content_type: &str) -> io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n\r\n",
+        reason(status)
+    )
+}
+
+/// One chunk (empty input is skipped — an empty chunk would terminate
+/// the stream).
+pub fn write_chunk(out: &mut dyn Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(out, "{:x}\r\n", data.len())?;
+    out.write_all(data)?;
+    out.write_all(b"\r\n")
+}
+
+/// Terminates a chunked response.
+pub fn finish_chunked(out: &mut dyn Write) -> io::Result<()> {
+    out.write_all(b"0\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(bytes: &[u8]) -> ReadOutcome {
+        read_request(&mut BufReader::new(bytes)).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw =
+            b"POST /v1/certain?format=json HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        match read(raw) {
+            ReadOutcome::Request(r) => {
+                assert_eq!(r.method, "POST");
+                assert_eq!(r.path, "/v1/certain");
+                assert_eq!(r.query_param("format"), Some("json"));
+                assert_eq!(r.header("host"), Some("x"));
+                assert_eq!(r.body, b"body");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_before_a_request_is_a_clean_close() {
+        assert!(matches!(read(b""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn garbage_is_bad_not_an_error() {
+        assert!(matches!(read(b"not http\r\n\r\n"), ReadOutcome::Bad(_)));
+        assert!(matches!(
+            read(b"GET / HTTP/1.1\r\nno-colon-header\r\n\r\n"),
+            ReadOutcome::Bad(_)
+        ));
+        assert!(matches!(
+            read(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            ReadOutcome::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_too_large() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(read(raw.as_bytes()), ReadOutcome::TooLarge));
+    }
+
+    #[test]
+    fn fixed_response_bytes_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_response(&mut a, 200, "application/json", &[], b"{}").unwrap();
+        write_response(&mut b, 200, "application/json", &[], b"{}").unwrap();
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+    }
+
+    #[test]
+    fn chunked_framing_round_trips() {
+        let mut out = Vec::new();
+        start_chunked(&mut out, 200, "application/x-ndjson").unwrap();
+        write_chunk(&mut out, b"hello\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // skipped, not a terminator
+        write_chunk(&mut out, b"world\n").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn percent_decoding_covers_the_query_string() {
+        let (path, query) = parse_target("/a%20b?x=1+2&y=%2Fz&flag");
+        assert_eq!(path, "/a b");
+        assert_eq!(query[0], ("x".to_owned(), "1 2".to_owned()));
+        assert_eq!(query[1], ("y".to_owned(), "/z".to_owned()));
+        assert_eq!(query[2], ("flag".to_owned(), String::new()));
+    }
+}

@@ -1,0 +1,122 @@
+//! Response encodings: JSON helpers over [`gdx_common::json`] and the
+//! compact binary certain-answer row format.
+//!
+//! ## Binary rows (`application/x-gdx-rows`)
+//!
+//! Bulk certain-answer consumers pay JSON escaping and quoting per
+//! cell; the binary encoding is a flat length-prefixed layout instead
+//! (all integers little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "GDXR"
+//! version u8       1
+//! flags   u8       bit0 = exact
+//! arity   u16      cells per row
+//! rows    u32      row count
+//! cells   rows × arity × (u32 length + UTF-8 bytes), row-major
+//! ```
+//!
+//! The encoding is self-delimiting, byte-deterministic (rows arrive
+//! pre-sorted from
+//! [`certain_answers`](gdx_exchange::ExchangeSession::certain_answers)),
+//! and decodable without knowing the arity up front.
+
+use gdx_common::json::Json;
+
+/// Binary row-format magic.
+pub const MAGIC: [u8; 4] = *b"GDXR";
+/// Current binary row-format version.
+pub const VERSION: u8 = 1;
+
+/// Encodes sorted answer rows (cells already rendered to strings).
+pub fn encode_rows(rows: &[Vec<String>], exact: bool) -> Vec<u8> {
+    let arity = rows.first().map(Vec::len).unwrap_or(0);
+    let cells: usize = rows.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(14 + cells * 8);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(u8::from(exact));
+    out.extend_from_slice(&(arity as u16).to_le_bytes());
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        for cell in row {
+            out.extend_from_slice(&(cell.len() as u32).to_le_bytes());
+            out.extend_from_slice(cell.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes the binary row format (the test/client side of
+/// [`encode_rows`]).
+pub fn decode_rows(bytes: &[u8]) -> Result<(Vec<Vec<String>>, bool), String> {
+    let header = bytes.get(..12).ok_or("short header")?;
+    if header[..4] != MAGIC {
+        return Err("bad magic".to_owned());
+    }
+    if header[4] != VERSION {
+        return Err(format!("unsupported version {}", header[4]));
+    }
+    let exact = header[5] & 1 == 1;
+    let arity = u16::from_le_bytes([header[6], header[7]]) as usize;
+    let count = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    let mut at = 12;
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let len_bytes = bytes.get(at..at + 4).ok_or("truncated cell length")?;
+            let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]])
+                as usize;
+            at += 4;
+            let cell = bytes.get(at..at + len).ok_or("truncated cell")?;
+            at += len;
+            row.push(String::from_utf8(cell.to_vec()).map_err(|e| e.to_string())?);
+        }
+        rows.push(row);
+    }
+    if at != bytes.len() {
+        return Err("trailing bytes after the last row".to_owned());
+    }
+    Ok((rows, exact))
+}
+
+/// `{"error": msg}` — the body shape of every non-200 JSON response.
+pub fn error_body(msg: &str) -> Vec<u8> {
+    Json::Object(vec![("error".to_owned(), Json::String(msg.to_owned()))])
+        .render()
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip() {
+        let rows = vec![
+            vec!["c1".to_owned(), "c2".to_owned()],
+            vec!["~0".to_owned(), "naïve".to_owned()],
+        ];
+        let bytes = encode_rows(&rows, true);
+        assert_eq!(decode_rows(&bytes).unwrap(), (rows, true));
+    }
+
+    #[test]
+    fn empty_set_round_trips_inexact() {
+        let bytes = encode_rows(&[], false);
+        assert_eq!(decode_rows(&bytes).unwrap(), (Vec::new(), false));
+        assert_eq!(bytes.len(), 12);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        assert!(decode_rows(b"GDXQ").is_err());
+        let mut ok = encode_rows(&[vec!["x".to_owned()]], true);
+        ok.truncate(ok.len() - 1);
+        assert!(decode_rows(&ok).is_err());
+        let mut extra = encode_rows(&[], true);
+        extra.push(0);
+        assert!(decode_rows(&extra).is_err());
+    }
+}

@@ -15,6 +15,8 @@ use gdx::prelude::*;
 use gdx_mapping::TargetTgd;
 use gdx_query::Cnre;
 use rand::Rng;
+use std::io::Read as _;
+use std::io::Write as _;
 
 fn tgd(body: &str, existential: &[&str], head: &str) -> TargetTgd {
     TargetTgd {
@@ -216,6 +218,102 @@ fn observed_sessions_are_byte_identical_to_unobserved() {
     let dump = obs.render_metrics_json();
     assert!(dump.contains("session.requests"), "{dump}");
     assert!(dump.contains("egd.merges"), "{dump}");
+}
+
+/// The invariant holds through the network edge too: a server at 4
+/// socket workers (and 4-thread sessions) must answer the same request
+/// sequence with responses **byte-identical** to a 1-worker server —
+/// status line, headers, chunk framing and bodies included. The obs
+/// handle is `NoopClock`-backed so no wall-clock reading (latency,
+/// deadline) can leak into a response.
+#[test]
+fn server_responses_identical_across_worker_counts() {
+    const SETTING: &str = "source { Flight/3; Hotel/2 }
+target { f; h }
+sttgd Flight(x1, x2, x3), Hotel(x1, x4)
+      -> exists y : (x2, f.f*, y), (y, h, x4), (y, f.f*, x3);
+egd (x1, h, x3), (x2, h, x3) -> x1 = x2;";
+    const INSTANCE: &str = "Flight(01, c1, c2); Flight(02, c3, c2);
+Hotel(01, hx); Hotel(01, hy); Hotel(02, hx);";
+    const WITNESS: &str = "(c1, f, _N); (c3, f, _N); (_N, f, c2); (_N, h, hx); (_N, h, hy);";
+
+    // One of everything, plus error paths — shapes that exercise both
+    // framings (content-length and chunked) and the warm-pool reuse of
+    // the one pooled session.
+    let requests: Vec<(&str, &str, String)> = vec![
+        ("GET", "/healthz", String::new()),
+        (
+            "POST",
+            "/v1/is_solution",
+            format!("{{\"graph\":{}}}", gdx::common::json::s(WITNESS).render()),
+        ),
+        (
+            "POST",
+            "/v1/certain",
+            "{\"query\":\"(\\\"c1\\\", f.f*, \\\"c2\\\")\"}".to_owned(),
+        ),
+        (
+            "POST",
+            "/v1/certain_answers",
+            "{\"query\":\"(x, f.f*, y)\"}".to_owned(),
+        ),
+        (
+            "POST",
+            "/v1/certain_answers",
+            "{\"query\":\"(x, f.f*, y)\",\"format\":\"binary\"}".to_owned(),
+        ),
+        ("POST", "/v1/solutions", "{\"limit\":2}".to_owned()),
+        ("POST", "/v1/certain", "{\"query\":\"(x,\"}".to_owned()),
+        ("GET", "/nope", String::new()),
+    ];
+
+    // Whole raw response — bytes as they came off the socket.
+    let raw = |addr: std::net::SocketAddr, method: &str, path: &str, body: &str| {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        String::from_utf8(response).unwrap()
+    };
+
+    let run = |workers: usize| {
+        let mut config = gdx_server::ServerConfig::new("127.0.0.1:0");
+        config.default_setting = Some(std::sync::Arc::from(SETTING));
+        config.default_instance = Some(std::sync::Arc::from(INSTANCE));
+        config.workers = workers;
+        config.base_options = Options::default().with_threads(Threads::Fixed(workers));
+        config.obs = Obs::with_clock(std::sync::Arc::new(gdx_obs::NoopClock));
+        let server = gdx_server::serve(config).unwrap();
+        let out: Vec<String> = requests
+            .iter()
+            .map(|(method, path, body)| raw(server.addr(), method, path, body))
+            .collect();
+        server.stop();
+        out
+    };
+
+    let one = run(1);
+    let four = run(4);
+    for ((response_1, response_4), (method, path, _)) in one.iter().zip(&four).zip(&requests) {
+        assert_eq!(
+            response_1, response_4,
+            "{method} {path}: 4-worker server response diverged from 1-worker"
+        );
+    }
+    // Sanity that the sequence actually answered: certainty verdict and
+    // a streamed solution both present in the 1-worker transcript.
+    assert!(one[2].contains("\"verdict\":\"certain\""), "{}", one[2]);
+    assert!(one[5].contains("Transfer-Encoding: chunked"), "{}", one[5]);
+    assert!(one[6].contains("HTTP/1.1 400"), "{}", one[6]);
+    assert!(one[7].contains("HTTP/1.1 404"), "{}", one[7]);
 }
 
 /// Sessions whose solution family has several members exercise the
